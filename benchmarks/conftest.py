@@ -1,0 +1,27 @@
+"""Shared plumbing for the benchmark suite.
+
+Each benchmark regenerates one paper artifact (see DESIGN.md §3),
+asserts its shape against the paper, and saves the rendered tables
+under ``benchmarks/reports/`` so EXPERIMENTS.md can quote them.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+REPORTS = Path(__file__).resolve().parent / "reports"
+
+
+@pytest.fixture(scope="session")
+def record_report():
+    """Write one experiment's rendered output to the reports directory."""
+    REPORTS.mkdir(exist_ok=True)
+
+    def _record(result) -> str:
+        text = result.render()
+        (REPORTS / f"{result.experiment_id}.txt").write_text(text + "\n")
+        return text
+
+    return _record

@@ -1,0 +1,12 @@
+"""Benchmark A1 — the phase-1 ablation: skipping it breaks atomicity."""
+
+from repro.experiments.e_a1_phase1_ablation import run_a1
+
+
+def test_bench_a1(benchmark, record_report):
+    result = benchmark.pedantic(run_a1, rounds=3, iterations=1)
+    record_report(result)
+    assert result.data["standard"]["atomic"]
+    assert not result.data["unsafe-skip-phase1"]["atomic"]
+    assert result.data["unsafe-skip-phase1"]["backup_logged"] == "commit"
+    assert result.data["unsafe-skip-phase1"]["survivors"] == ["abort"]

@@ -1,0 +1,12 @@
+"""Benchmark A2 — 3PC splits under partition; the assumption matters."""
+
+from repro.experiments.e_a2_partition import run_a2
+
+
+def test_bench_a2(benchmark, record_report):
+    result = benchmark.pedantic(run_a2, rounds=3, iterations=1)
+    record_report(result)
+    assert result.data["crash"]["atomic"]
+    assert not result.data["partition"]["atomic"]
+    outcomes = set(result.data["partition"]["outcomes"].values())
+    assert outcomes == {"commit", "abort"}  # The split decision.

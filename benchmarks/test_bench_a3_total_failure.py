@@ -1,0 +1,12 @@
+"""Benchmark A3 — total-failure recovery extension."""
+
+from repro.experiments.e_a3_total_failure import run_a3
+
+
+def test_bench_a3(benchmark, record_report):
+    result = benchmark.pedantic(run_a3, rounds=3, iterations=1)
+    record_report(result)
+    assert not result.data["disabled"]["resolved"]  # The paper's limit.
+    assert result.data["enabled"]["resolved"]
+    assert result.data["enabled"]["atomic"]
+    assert set(result.data["enabled"]["outcomes"].values()) == {"abort"}

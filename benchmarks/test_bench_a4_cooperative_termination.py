@@ -1,0 +1,14 @@
+"""Benchmark A4 — cooperative termination reduces 2PC blocking."""
+
+from repro.experiments.e_a4_cooperative_termination import run_a4
+
+
+def test_bench_a4(benchmark, record_report):
+    result = benchmark.pedantic(run_a4, rounds=3, iterations=1)
+    record_report(result)
+    standard = result.data["standard"]
+    cooperative = result.data["cooperative"]
+    assert cooperative["blocked"] < standard["blocked"]
+    assert cooperative["blocked"] > 0  # The theorem's residue remains.
+    assert standard["violations"] == 0
+    assert cooperative["violations"] == 0

@@ -1,0 +1,17 @@
+"""Benchmark A5 — the quorum termination tradeoff."""
+
+from repro.experiments.e_a5_quorum_tradeoff import run_a5
+
+
+def test_bench_a5(benchmark, record_report):
+    result = benchmark.pedantic(run_a5, rounds=3, iterations=1)
+    record_report(result)
+    data = result.data
+    # Partition: standard splits, quorum stays atomic.
+    assert not data["partition"]["standard"]["atomic"]
+    assert data["partition"]["quorum"]["atomic"]
+    # Cascade: standard's lone survivor decides, quorum's blocks.
+    assert data["cascade"]["standard"]["survivor_decided"]
+    assert not data["cascade"]["quorum"]["survivor_decided"]
+    # Nothing ever violates atomicity under quorum.
+    assert data["cascade"]["quorum"]["atomic"]

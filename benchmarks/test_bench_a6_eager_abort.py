@@ -1,0 +1,17 @@
+"""Benchmark A6 — the eager-abort optimization tradeoff."""
+
+from repro.experiments.e_a6_eager_abort import run_a6
+
+
+def test_bench_a6(benchmark, record_report):
+    result = benchmark.pedantic(run_a6, rounds=3, iterations=1)
+    record_report(result)
+    data = result.data
+    # Benefit: eager aborts without waiting for the straggler.
+    assert data["2PC eager"]["abort_latency"] < data["2PC strict"]["abort_latency"]
+    assert data["3PC eager"]["abort_latency"] < data["3PC strict"]["abort_latency"]
+    # Cost: the lemma's synchrony precondition is gone.
+    assert data["2PC strict"]["synchronous"] and not data["2PC eager"]["synchronous"]
+    # Unchanged: the theorem's verdicts.
+    assert data["3PC eager"]["nonblocking"]
+    assert not data["2PC eager"]["nonblocking"]

@@ -1,0 +1,19 @@
+"""Benchmark A7 — the independent recovery map."""
+
+from repro.experiments.e_a7_independent_recovery import run_a7
+
+
+def test_bench_a7(benchmark, record_report):
+    result = benchmark.pedantic(run_a7, rounds=3, iterations=1)
+    record_report(result)
+    data = result.data
+    # Slide 6's rule holds across the catalog.
+    for name in data:
+        assert data[name]["q"]["independent"] == "abort"
+        assert data[name]["c"]["independent"] == "commit"
+    # The in-doubt window is real: 2PC's w and 3PC's p need queries.
+    assert data["2pc-central"]["w"]["independent"] is None
+    assert data["3pc-central"]["p"]["independent"] is None
+    # The central/decentralized asymmetry at w.
+    assert data["3pc-central"]["w"]["independent"] == "abort"
+    assert data["3pc-decentralized"]["w"]["independent"] is None

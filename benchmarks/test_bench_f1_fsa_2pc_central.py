@@ -1,0 +1,12 @@
+"""Benchmark F1 — regenerate the central-site 2PC automata (slide 15)."""
+
+from repro.experiments.e_f1_fsa_2pc_central import run_f1
+
+
+def test_bench_f1(benchmark, record_report):
+    result = benchmark(run_f1)
+    record_report(result)
+    assert result.data["coordinator_states"] == ["a", "c", "q", "w"]
+    assert result.data["slave_states"] == ["a", "c", "q", "w"]
+    assert result.data["coordinator_phases"] == 2
+    assert result.data["slave_phases"] == 2

@@ -1,0 +1,15 @@
+"""Benchmark F2 — regenerate the 2-site 2PC reachable state graph
+(slide 18)."""
+
+from repro.experiments.e_f2_global_graph import run_f2
+
+
+def test_bench_f2(benchmark, record_report):
+    result = benchmark(run_f2)
+    record_report(result)
+    assert result.data["deadlocked"] == 0
+    assert result.data["inconsistent"] == 0
+    assert result.data["terminal"] <= result.data["final"]
+    assert result.data["states"] > 10  # A nontrivial graph, as drawn.
+    assert result.data["all_executions_terminate"]
+    assert result.data["commit_paths"] > 0 and result.data["abort_paths"] > 0

@@ -1,0 +1,12 @@
+"""Benchmark F3 — regenerate the decentralized 2PC automaton (slide 26)."""
+
+from repro.experiments.e_f3_fsa_2pc_decentralized import run_f3
+
+
+def test_bench_f3(benchmark, record_report):
+    result = benchmark(run_f3)
+    record_report(result)
+    assert result.data["single_role"]
+    assert result.data["sends_to_self"]
+    assert result.data["states"] == ["a", "c", "q", "w"]
+    assert result.data["phases"] == 2

@@ -1,0 +1,12 @@
+"""Benchmark F4 — regenerate the buffer-state construction (slide 34)."""
+
+from repro.experiments.e_f4_buffer_synthesis import run_f4
+
+
+def test_bench_f4(benchmark, record_report):
+    result = benchmark(run_f4)
+    record_report(result)
+    assert result.data["2pc-central"]["equals_3pc"]
+    assert result.data["2pc-decentralized"]["equals_3pc"]
+    assert result.data["lemma_violations_after"] == 0
+    assert result.data["one_pc_rejected"]

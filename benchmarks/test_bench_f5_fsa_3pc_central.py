@@ -1,0 +1,12 @@
+"""Benchmark F5 — regenerate the central-site 3PC automata (slide 35)."""
+
+from repro.experiments.e_f5_fsa_3pc_central import run_f5
+
+
+def test_bench_f5(benchmark, record_report):
+    result = benchmark(run_f5)
+    record_report(result)
+    assert result.data["coordinator_states"] == ["a", "c", "p", "q", "w"]
+    assert result.data["phases"] == 3
+    assert result.data["nonblocking"]
+    assert result.data["synchronous"]

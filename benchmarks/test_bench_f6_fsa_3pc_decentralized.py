@@ -1,0 +1,12 @@
+"""Benchmark F6 — regenerate the decentralized 3PC automaton (slide 36)."""
+
+from repro.experiments.e_f6_fsa_3pc_decentralized import run_f6
+
+
+def test_bench_f6(benchmark, record_report):
+    result = benchmark(run_f6)
+    record_report(result)
+    assert result.data["states"] == ["a", "c", "p", "q", "w"]
+    assert result.data["phases"] == 3
+    assert result.data["nonblocking"]
+    assert result.data["tolerated_failures"] == 2

@@ -1,0 +1,14 @@
+"""Benchmark Q1 — blocking frequency: 2PC blocks, 3PC never does."""
+
+from repro.experiments.e_q1_blocking_frequency import run_q1
+
+
+def test_bench_q1(benchmark, record_report):
+    result = benchmark.pedantic(run_q1, rounds=3, iterations=1)
+    record_report(result)
+    two = result.data["2pc-central"]
+    three = result.data["3pc-central"]
+    # The paper's shape: 2PC has a real blocking window, 3PC none.
+    assert two["blocked_fraction"] > 0.2
+    assert three["blocked_fraction"] == 0.0
+    assert two["violations"] == 0 and three["violations"] == 0

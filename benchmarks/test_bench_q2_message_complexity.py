@@ -1,0 +1,22 @@
+"""Benchmark Q2 — messages and latency: the price of resilience."""
+
+from repro.experiments.e_q2_message_complexity import run_q2
+
+
+def test_bench_q2(benchmark, record_report):
+    result = benchmark.pedantic(run_q2, rounds=3, iterations=1)
+    record_report(result)
+    data = result.data
+    for protocol, per_n in data.items():
+        for n, row in per_n.items():
+            assert row["messages"] == row["expected_messages"], (protocol, n)
+            assert row["latency"] == row["expected_latency"], (protocol, n)
+    # The paper's shape: 3PC costs 5/3x the central 2PC and 2x the
+    # decentralized 2PC in messages.
+    n = 8
+    assert data["3pc-central"][n]["messages"] * 3 == (
+        data["2pc-central"][n]["messages"] * 5
+    )
+    assert data["3pc-decentralized"][n]["messages"] == (
+        2 * data["2pc-decentralized"][n]["messages"]
+    )

@@ -1,0 +1,12 @@
+"""Benchmark Q3 — exponential state-graph growth (slide 19)."""
+
+from repro.experiments.e_q3_graph_growth import run_q3
+
+
+def test_bench_q3(benchmark, record_report):
+    result = benchmark.pedantic(run_q3, rounds=2, iterations=1)
+    record_report(result)
+    assert result.data["min_growth_factor"] > 1.5
+    sizes = result.data["sizes"]
+    # Decentralized graphs outgrow central ones at equal n.
+    assert sizes["2pc-decentralized"][4] > sizes["2pc-central"][4]

@@ -1,0 +1,17 @@
+"""Benchmark Q4 — termination under cascading backup failures."""
+
+from repro.experiments.e_q4_cascading_termination import run_q4
+
+
+def test_bench_q4(benchmark, record_report):
+    result = benchmark.pedantic(run_q4, rounds=3, iterations=1)
+    record_report(result)
+    data = result.data
+    for extra, row in data.items():
+        assert row["all_decided"], f"cascade with {extra} extra failures hung"
+        assert row["atomic"], f"cascade with {extra} extra failures split"
+    # Worst case reaches a single survivor, and latency grows with the
+    # number of failures (roughly one election round each).
+    worst = max(data)
+    assert data[worst]["survivors"] == 1
+    assert data[worst]["duration"] > data[0]["duration"]

@@ -1,0 +1,14 @@
+"""Benchmark Q5 — the recovery outcome matrix."""
+
+from repro.experiments.e_q5_recovery_matrix import run_q5
+
+
+def test_bench_q5(benchmark, record_report):
+    result = benchmark.pedantic(run_q5, rounds=3, iterations=1)
+    record_report(result)
+    for protocol, rows in result.data.items():
+        for row in rows:
+            assert row["consistent"], (protocol, row["label"])
+    vias = {row["via"] for rows in result.data.values() for row in rows}
+    # All three recovery mechanisms are exercised by the matrix.
+    assert "recovery" in vias

@@ -1,0 +1,17 @@
+"""Benchmark Q6 — post-failure database throughput, 2PC vs 3PC."""
+
+from repro.experiments.e_q6_db_throughput import run_q6
+
+
+def test_bench_q6(benchmark, record_report):
+    result = benchmark.pedantic(run_q6, rounds=3, iterations=1)
+    record_report(result)
+    data = result.data
+    # The paper's motivating contrast: after the crash, 2PC's stream is
+    # dead (locks held by the blocked commit) while 3PC's continues.
+    assert data["2pc-central"]["after_crash_commits"] == 0
+    assert data["2pc-central"]["blocked"] == 1
+    assert data["2pc-central"]["stalled"] > 0
+    assert data["3pc-central"]["after_crash_commits"] > 0
+    assert data["3pc-central"]["stalled"] == 0
+    assert data["3pc-central"]["committed"] > data["2pc-central"]["committed"]

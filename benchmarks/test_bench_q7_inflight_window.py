@@ -1,0 +1,16 @@
+"""Benchmark Q7 — the blast radius of one crash across a window."""
+
+from repro.experiments.e_q7_inflight_window import run_q7
+
+
+def test_bench_q7(benchmark, record_report):
+    result = benchmark.pedantic(run_q7, rounds=3, iterations=1)
+    record_report(result)
+    data = result.data
+    assert data["2pc-central"]["blocked"] >= 2   # A real window blocks.
+    assert data["3pc-central"]["blocked"] == 0
+    assert data["2pc-central"]["atomic"]
+    assert data["3pc-central"]["atomic"]
+    # 3PC salvages (commits or aborts) everything 2PC lost.
+    total = sum(v for k, v in data["3pc-central"].items() if k != "atomic")
+    assert data["3pc-central"]["committed"] + data["3pc-central"]["aborted"] == total

@@ -1,0 +1,12 @@
+"""Benchmark T1 — regenerate slide 32's concurrency-set table."""
+
+from repro.experiments.e_t1_concurrency_sets import run_t1
+
+
+def test_bench_t1(benchmark, record_report):
+    result = benchmark(run_t1)
+    record_report(result)
+    assert result.data["all_match"], "concurrency sets drifted from the paper"
+    assert result.data["cs_2pc"]["w"] == ["a", "c", "q", "w"]
+    assert result.data["committable_2pc"] == ["c"]
+    assert result.data["committable_3pc"] == ["c", "p"]

@@ -1,0 +1,13 @@
+"""Benchmark T2 — regenerate the blocking verdicts (slides 28/33)."""
+
+from repro.experiments.e_t2_blocking_verdicts import run_t2
+
+
+def test_bench_t2(benchmark, record_report):
+    result = benchmark(run_t2)
+    record_report(result)
+    assert result.data["blocking"] == [
+        "1pc", "2pc-central", "2pc-decentralized",
+    ]
+    assert result.data["nonblocking"] == ["3pc-central", "3pc-decentralized"]
+    assert result.data["w_violates_both_conditions"]

@@ -1,0 +1,10 @@
+"""Benchmark T3 — regenerate slide 40's termination decision rule."""
+
+from repro.experiments.e_t3_termination_rule import run_t3
+
+
+def test_bench_t3(benchmark, record_report):
+    result = benchmark(run_t3)
+    record_report(result)
+    assert result.data["all_match"], "decision rule drifted from slide 40"
+    assert result.data["two_pc_blocks_at_w"]

@@ -1,0 +1,16 @@
+"""Benchmark T4 — regenerate the corollary's k-resiliency table
+(slide 30)."""
+
+from repro.experiments.e_t4_k_resiliency import run_t4
+
+
+def test_bench_t4(benchmark, record_report):
+    result = benchmark(run_t4)
+    record_report(result)
+    tolerated = result.data["tolerated"]
+    for n in (2, 3, 4):
+        assert tolerated["3pc-central"][n] == n - 1
+        assert tolerated["3pc-decentralized"][n] == n - 1
+        assert tolerated["2pc-central"][n] == 0
+        assert tolerated["2pc-decentralized"][n] == 0
+        assert tolerated["1pc"][n] == 0

@@ -1,0 +1,98 @@
+"""Stress the paper's assumptions: partitions, quorums, total failure.
+
+The nonblocking theorem holds inside a precise model: reliable network,
+reliable failure detection, and at least one operational site.  This
+drill walks the three boundaries of that model:
+
+1. **Partition** (out of model): the detector mistakes unreachability
+   for death, both halves of a 3PC terminate independently, and the
+   decision splits — the famous 3PC weakness.
+2. **Quorum termination** (extension): the same partition with
+   majority-gated termination: the minority blocks, the majority
+   decides, atomicity survives.  The cost: a lone survivor of genuine
+   crashes now blocks too.
+3. **Total failure** (the paper's declared limit): everyone crashes in
+   doubt; the baseline stays undecided forever, while the
+   total-failure-recovery extension aborts safely once every
+   participant proves itself recovered-in-doubt.
+
+Run with::
+
+    python examples/assumption_stress.py
+"""
+
+from repro import CommitRun, catalog
+from repro.runtime.decision import TerminationRule
+from repro.types import Outcome
+from repro.viz import render_run
+from repro.workload.crashes import CrashAt
+
+N = 4
+
+
+def show(title: str, run) -> None:
+    print(f"--- {title} ---")
+    outcomes = {s: r.outcome.value for s, r in sorted(run.reports.items())}
+    print(f"  outcomes: {outcomes}")
+    print(f"  atomic:   {run.atomic}")
+    if run.blocked_sites:
+        print(f"  blocked:  {run.blocked_sites}")
+    print()
+
+
+def main() -> None:
+    spec = catalog.build("3pc-central", N)
+    rule = TerminationRule(spec)
+    groups = [{1, 2}, {3, 4}]
+
+    # 1. Partition under the paper's protocol: split decision.
+    split = CommitRun(
+        spec, rule=rule, partition_at=3.2, partition_groups=groups
+    ).execute()
+    show("partition, standard termination (OUT OF MODEL)", split)
+    assert not split.atomic, "the split-brain is the point of this demo"
+
+    # 2a. Same partition, quorum termination: minorities block, atomic.
+    quorum = CommitRun(
+        spec,
+        rule=rule,
+        termination_mode="quorum",
+        partition_at=3.2,
+        partition_groups=groups,
+    ).execute()
+    show("partition, quorum termination", quorum)
+    assert quorum.atomic
+
+    # 2b. The price: a cascade of real crashes leaves the survivor blocked.
+    cascade = [CrashAt(site=i, at=2.0 + 2.0 * i) for i in (1, 2, 3)]
+    lone = CommitRun(
+        spec, crashes=cascade, rule=rule, termination_mode="quorum"
+    ).execute()
+    show("crash cascade, quorum termination (survivor blocks)", lone)
+    assert lone.reports[4].outcome is Outcome.UNDECIDED
+
+    # 3. Total failure, with and without the recovery extension.
+    spec_d = catalog.build("3pc-decentralized", 3)
+    rule_d = TerminationRule(spec_d)
+    wave = [CrashAt(site=s, at=1.5, restart_at=20.0 + s) for s in spec_d.sites]
+    baseline = CommitRun(
+        spec_d, crashes=wave, rule=rule_d, max_time=120.0
+    ).execute()
+    show("total failure, paper baseline (stays in doubt)", baseline)
+
+    extended = CommitRun(
+        spec_d,
+        crashes=wave,
+        rule=rule_d,
+        total_failure_recovery=True,
+        max_time=120.0,
+    ).execute()
+    show("total failure, recovery extension", extended)
+    assert set(extended.outcomes().values()) == {Outcome.ABORT}
+
+    print("swimlanes of the split-brain run, for the curious:")
+    print(render_run(split))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+"""Global-state analysis of commit protocols.
+
+This package mechanizes the analytical machinery of Skeen (1981):
+
+* :mod:`~repro.analysis.global_state` / :mod:`~repro.analysis.reachability`
+  — the reachable global state graph: a global state is the vector of
+  all local states plus the outstanding messages in the network
+  (slide 17), and the graph contains every global state reachable from
+  the transaction's initial global state;
+* :mod:`~repro.analysis.concurrency` — concurrency sets: the local
+  states other sites may occupy concurrently with a given local state
+  (slide 19);
+* :mod:`~repro.analysis.committable` — committable states: local states
+  whose occupancy implies every site voted yes (slide 20);
+* :mod:`~repro.analysis.nonblocking` — the fundamental nonblocking
+  theorem (slide 29), its corollary on k−1 site failures (slide 30),
+  and the adjacency lemma for protocols synchronous within one
+  transition (slide 33);
+* :mod:`~repro.analysis.synchronicity` — the synchronous-within-one
+  property, checked by counting transitions along executions;
+* :mod:`~repro.analysis.synthesis` — the paper's design method: buffer
+  state insertion that turns the blocking 2PCs into the nonblocking
+  3PCs (slide 34).
+"""
+
+from repro.analysis.committable import committable_states
+from repro.analysis.concurrency import (
+    concurrency_labels,
+    concurrency_set,
+    concurrency_table,
+)
+from repro.analysis.global_state import GlobalEdge, GlobalState
+from repro.analysis.conformance import AuditFinding, audit_run
+from repro.analysis.nonblocking import (
+    NonblockingReport,
+    Violation,
+    check_lemma,
+    check_nonblocking,
+)
+from repro.analysis.paths import (
+    ExecutionPath,
+    enumerate_executions,
+    execution_statistics,
+)
+from repro.analysis.reachability import ReachableStateGraph, build_state_graph
+from repro.analysis.synchronicity import SynchronicityReport, check_synchronicity
+from repro.analysis.synthesis import insert_buffer_states, specs_structurally_equal
+
+__all__ = [
+    "AuditFinding",
+    "ExecutionPath",
+    "GlobalEdge",
+    "GlobalState",
+    "NonblockingReport",
+    "ReachableStateGraph",
+    "SynchronicityReport",
+    "Violation",
+    "audit_run",
+    "build_state_graph",
+    "check_lemma",
+    "check_nonblocking",
+    "check_synchronicity",
+    "committable_states",
+    "concurrency_labels",
+    "concurrency_set",
+    "concurrency_table",
+    "enumerate_executions",
+    "execution_statistics",
+    "insert_buffer_states",
+    "specs_structurally_equal",
+]

@@ -1,0 +1,79 @@
+"""Committable states.
+
+Slide 20: "A local state is called committable if occupancy of that
+state by any site implies that all sites have voted yes on committing
+the transaction.  A state that is not committable is called
+noncommittable."
+
+Computation
+-----------
+Per site, :attr:`SiteAutomaton.implies_yes_vote` marks the local states
+whose occupancy implies that *this* site voted yes (every local path to
+the state traverses a ``Vote.YES`` transition).  A local state ``s`` of
+site ``i`` is then committable iff in *every* reachable global state
+where ``i`` occupies ``s``, every site occupies a yes-implying local
+state.
+
+This is exact for protocols in which a site's vote is reflected in its
+local state (true of every protocol in the catalog — voting moves a
+site into a distinct state per vote).  For pathological specs where a
+state can be reached both with and without a yes vote, the computation
+is *sound but conservative*: it may label a committable state
+noncommittable, never the reverse, so nonblocking verdicts derived
+from it remain trustworthy in the safe direction.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.reachability import ReachableStateGraph
+from repro.types import SiteId
+
+
+def committable_states(
+    graph: ReachableStateGraph,
+) -> dict[tuple[SiteId, str], bool]:
+    """Classify every reachable local state as committable or not.
+
+    Args:
+        graph: A reachable state graph.
+
+    Returns:
+        Mapping ``(site, local_state) -> committable?`` covering every
+        local state that occurs in some reachable global state.
+    """
+    spec = graph.spec
+    implies_yes = {
+        site: spec.automaton(site).implies_yes_vote for site in graph.sites
+    }
+
+    result: dict[tuple[SiteId, str], bool] = {}
+    for site in graph.sites:
+        for local in graph.reachable_local_states(site):
+            committable = True
+            for global_state in graph.occupancy(site, local):
+                for other, other_local in zip(graph.sites, global_state.locals):
+                    if not implies_yes[other].get(other_local, False):
+                        committable = False
+                        break
+                if not committable:
+                    break
+            result[(site, local)] = committable
+    return result
+
+
+def committable_labels(
+    graph: ReachableStateGraph, site: SiteId
+) -> frozenset[str]:
+    """The committable local states of one site, as labels.
+
+    For the catalog protocols this returns ``{c}`` for the 2PCs and
+    ``{p, c}`` for the 3PCs — matching slide 20's observation that "a
+    blocking protocol usually has only one committable state, while
+    nonblocking protocols always have more than one".
+    """
+    table = committable_states(graph)
+    return frozenset(
+        state
+        for (owner, state), committable in table.items()
+        if owner == site and committable
+    )

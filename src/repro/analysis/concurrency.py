@@ -1,0 +1,87 @@
+"""Concurrency sets.
+
+Slide 19: "Assuming that the state of site k is s_k, it is possible to
+derive from the global state graph the local states that may be
+concurrently occupied by other sites.  This set of states is called the
+concurrency set for state s_k."
+
+Two views are provided:
+
+* :func:`concurrency_set` — the precise per-site view: pairs
+  ``(other_site, local_state)``;
+* :func:`concurrency_labels` — the paper's role-collapsed view: just
+  the state labels, as used in the canonical-2PC table of slide 32
+  (``CS(w) = {q, w, a, c}``).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.reachability import ReachableStateGraph
+from repro.errors import AnalysisError
+from repro.types import SiteId
+
+
+def concurrency_set(
+    graph: ReachableStateGraph, site: SiteId, state: str
+) -> frozenset[tuple[SiteId, str]]:
+    """Local states of other sites coexisting with ``state`` at ``site``.
+
+    Args:
+        graph: A reachable state graph.
+        site: The site occupying ``state``.
+        state: A local state of ``site`` reachable in the graph.
+
+    Returns:
+        All ``(other_site, local_state)`` pairs occurring in some
+        reachable global state where ``site`` occupies ``state``.
+
+    Raises:
+        AnalysisError: If ``state`` never occurs at ``site``.
+    """
+    occupancy = graph.occupancy(site, state)
+    if not occupancy:
+        raise AnalysisError(
+            f"local state {state!r} of site {site} is unreachable in "
+            f"{graph.spec.name!r}"
+        )
+    result: set[tuple[SiteId, str]] = set()
+    for global_state in occupancy:
+        for other, local in zip(graph.sites, global_state.locals):
+            if other != site:
+                result.add((other, local))
+    return frozenset(result)
+
+
+def concurrency_labels(
+    graph: ReachableStateGraph, site: SiteId, state: str
+) -> frozenset[str]:
+    """Role-collapsed concurrency set: just the state labels.
+
+    This is the paper's presentation for protocols where all sites run
+    the same role (the canonical protocols of slides 32 and 40).
+    """
+    return frozenset(label for (_, label) in concurrency_set(graph, site, state))
+
+
+def concurrency_table(
+    graph: ReachableStateGraph, site: SiteId
+) -> dict[str, frozenset[str]]:
+    """The full concurrency-set table for one site, label-collapsed.
+
+    Returns:
+        Mapping from each reachable local state of ``site`` to its
+        label-collapsed concurrency set — the shape of slide 32's table.
+    """
+    return {
+        state: concurrency_labels(graph, site, state)
+        for state in sorted(graph.reachable_local_states(site))
+    }
+
+
+def format_concurrency_table(table: dict[str, frozenset[str]]) -> str:
+    """Render a concurrency table in the paper's ``CS(s) = {...}`` style."""
+    lines = []
+    for state in sorted(table):
+        members = ", ".join(sorted(table[state]))
+        lines.append(f"CS({state}) = {{{members}}}")
+    return "\n".join(lines)

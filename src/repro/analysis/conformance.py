@@ -1,0 +1,199 @@
+"""Runtime verification: audit executed runs against the formal model.
+
+The analysis layer proves properties of the *spec*; the engine claims
+to interpret that spec faithfully.  :func:`audit_run` closes the loop
+by re-checking an executed :class:`~repro.runtime.harness.RunResult`
+against the automata:
+
+* every site's transition sequence is a valid path of its automaton
+  from the initial state (forced moves by termination/recovery are
+  exempt from path validity but must respect their own rules);
+* a site that logged a vote actually fired a transition carrying that
+  vote (unless the vote was written ahead of a crashed transition);
+* a logged decision matches the site's final state when one exists;
+* no two sites logged conflicting decisions (the atomicity audit).
+
+Property-based suites run the auditor over randomized campaigns, so an
+engine bug that deviated from the model would be caught even if the
+end-to-end outcome happened to look right.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import re
+from typing import Optional
+
+from repro.fsa.spec import ProtocolSpec
+from repro.runtime.harness import RunResult
+from repro.types import Outcome, SiteId
+
+#: Parses "q --(reads / writes)--> w [vote yes]" transition descriptions.
+_TRANSITION_RE = re.compile(
+    r"^(?P<source>\S+) --\(.*\)--> (?P<target>\S+?)(?: \[vote (?P<vote>yes|no)\])?$"
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class AuditFinding:
+    """One conformance violation found by the auditor."""
+
+    site: Optional[SiteId]
+    kind: str
+    detail: str
+
+    def __str__(self) -> str:
+        where = f"site {self.site}" if self.site is not None else "global"
+        return f"[{self.kind}] {where}: {self.detail}"
+
+
+def audit_run(run: RunResult, spec: ProtocolSpec) -> list[AuditFinding]:
+    """Audit one executed run against its protocol spec.
+
+    Returns:
+        All conformance violations (empty for a faithful execution).
+    """
+    findings: list[AuditFinding] = []
+    findings.extend(_audit_atomicity(run))
+    for site in spec.sites:
+        findings.extend(_audit_site_path(run, spec, site))
+    return findings
+
+
+def _audit_atomicity(run: RunResult) -> list[AuditFinding]:
+    decided = run.decided_outcomes()
+    if len(decided) > 1:
+        return [
+            AuditFinding(
+                site=None,
+                kind="atomicity",
+                detail=f"conflicting outcomes logged: {run.outcomes()!r}",
+            )
+        ]
+    return []
+
+
+def _site_transition_events(run: RunResult, site: SiteId):
+    """The site's engine events in order, as (category, source, target, vote)."""
+    events = []
+    for entry in run.trace.select(site=site):
+        if entry.category == "engine.transition":
+            match = _TRANSITION_RE.match(entry.detail)
+            if match is None:
+                events.append(("unparsed", entry.detail, None, None))
+            else:
+                events.append(
+                    (
+                        "transition",
+                        match.group("source"),
+                        match.group("target"),
+                        match.group("vote"),
+                    )
+                )
+        elif entry.category == "engine.forced_state":
+            events.append(("forced_state", None, entry.data.get("state"), None))
+        elif entry.category == "engine.forced_outcome":
+            events.append(("forced_outcome", None, entry.data.get("state"), None))
+        elif entry.category == "site.restart":
+            events.append(("restart", None, None, None))
+    return events
+
+
+def _audit_site_path(
+    run: RunResult, spec: ProtocolSpec, site: SiteId
+) -> list[AuditFinding]:
+    findings: list[AuditFinding] = []
+    automaton = spec.automaton(site)
+    valid_steps = {(t.source, t.target) for t in automaton.transitions}
+    vote_steps = {
+        (t.source, t.target): t.vote.value
+        for t in automaton.transitions
+        if t.vote is not None
+    }
+
+    current = automaton.initial
+    saw_vote: Optional[str] = None
+    for kind, source, target, vote in _site_transition_events(run, site):
+        if kind == "unparsed":
+            findings.append(
+                AuditFinding(site, "trace", f"unparsable transition {source!r}")
+            )
+        elif kind == "transition":
+            if source != current:
+                findings.append(
+                    AuditFinding(
+                        site,
+                        "path",
+                        f"fired from {source!r} while tracked state was "
+                        f"{current!r}",
+                    )
+                )
+            if (source, target) not in valid_steps:
+                findings.append(
+                    AuditFinding(
+                        site,
+                        "path",
+                        f"{source!r} -> {target!r} is not a transition of "
+                        "the automaton",
+                    )
+                )
+            if vote is not None:
+                expected = vote_steps.get((source, target))
+                if expected != vote:
+                    findings.append(
+                        AuditFinding(
+                            site,
+                            "vote",
+                            f"trace claims vote {vote!r} on "
+                            f"{source!r}->{target!r}, spec says {expected!r}",
+                        )
+                    )
+                saw_vote = vote
+            current = target
+        elif kind == "forced_state":
+            if target not in automaton.states:
+                findings.append(
+                    AuditFinding(
+                        site, "forced", f"adopted unknown state {target!r}"
+                    )
+                )
+            current = target
+        elif kind == "forced_outcome":
+            current = target
+        elif kind == "restart":
+            current = automaton.initial
+
+    report = run.reports.get(site)
+    if report is None:
+        return findings
+
+    # Decision/state agreement for sites that finished normally.
+    if report.outcome.is_final and report.alive and not report.crashed:
+        expected_states = (
+            automaton.commit_states
+            if report.outcome is Outcome.COMMIT
+            else automaton.abort_states
+        )
+        if current not in expected_states:
+            findings.append(
+                AuditFinding(
+                    site,
+                    "decision",
+                    f"logged {report.outcome.value} but ended in state "
+                    f"{current!r}",
+                )
+            )
+
+    # A recorded vote must match some vote event unless the site
+    # crashed mid-transition (vote is forced before sends).
+    if report.vote is not None and saw_vote is not None:
+        if report.vote.value != saw_vote:
+            findings.append(
+                AuditFinding(
+                    site,
+                    "vote",
+                    f"DT log vote {report.vote.value!r} differs from fired "
+                    f"vote {saw_vote!r}",
+                )
+            )
+    return findings

@@ -1,0 +1,65 @@
+"""Global transaction states.
+
+Slide 17: "The global state of a distributed transaction is defined as
+a global state vector containing the local states of all FSAs and the
+outstanding messages in the network.  The global state defines the
+complete processing state of a transaction."
+
+Outstanding messages form a *set*: spec validation
+(:func:`repro.fsa.validate.validate_spec`) guarantees no execution can
+have two identical messages in flight simultaneously, so nothing is
+lost by the set representation.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.fsa.automaton import Transition
+from repro.fsa.messages import Msg
+from repro.types import SiteId
+
+
+@dataclasses.dataclass(frozen=True)
+class GlobalState:
+    """One global transaction state.
+
+    Attributes:
+        locals: Local state of each site, indexed by the site's position
+            in the sorted site list of the owning spec.
+        messages: Messages outstanding in the network.
+    """
+
+    locals: tuple[str, ...]
+    messages: frozenset[Msg]
+
+    def describe(self, sites: tuple[SiteId, ...]) -> str:
+        """Render like the paper: ``(w1, q2) + {yes[2->1]}``."""
+        vector = ", ".join(
+            f"{state}{site}" for site, state in zip(sites, self.locals)
+        )
+        if self.messages:
+            outstanding = ", ".join(str(m) for m in sorted(self.messages))
+            return f"({vector}) + {{{outstanding}}}"
+        return f"({vector})"
+
+
+@dataclasses.dataclass(frozen=True)
+class GlobalEdge:
+    """One edge of the reachable state graph.
+
+    An edge fires a single site transition: the site reads the
+    transition's messages off the network, writes its messages, and
+    moves to the next local state.
+
+    Attributes:
+        source: Global state before the transition.
+        site: The site that moved.
+        transition: The local transition that fired.
+        target: Global state after the transition.
+    """
+
+    source: GlobalState
+    site: SiteId
+    transition: Transition
+    target: GlobalState

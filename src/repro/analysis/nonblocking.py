@@ -1,0 +1,268 @@
+"""The fundamental nonblocking theorem, its corollary, and the lemma.
+
+Theorem (slide 29).  A protocol is nonblocking if and only if, at every
+participating site, both of the following hold:
+
+1. no local state has both an abort and a commit state in its
+   concurrency set;
+2. no *noncommittable* state has a commit state in its concurrency set.
+
+Corollary (slide 30).  A commit protocol is nonblocking with respect to
+k−1 site failures iff some subset of k sites obeys both conditions.
+Because each condition is a per-site property of that site's own local
+states, the largest obeying subset is simply the set of all obeying
+sites.
+
+Lemma (slide 33).  A protocol *synchronous within one state transition*
+is nonblocking iff (1) it contains no local state adjacent to both a
+commit and an abort state and (2) no noncommittable state adjacent to a
+commit state — adjacency in the local FSA.  The lemma is the engine of
+the buffer-state design method in :mod:`repro.analysis.synthesis`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+from repro.analysis.committable import committable_states
+from repro.analysis.concurrency import concurrency_set
+from repro.analysis.reachability import (
+    DEFAULT_BUDGET,
+    ReachableStateGraph,
+    build_state_graph,
+)
+from repro.fsa.spec import ProtocolSpec
+from repro.types import SiteId
+
+
+@dataclasses.dataclass(frozen=True)
+class Violation:
+    """One violated theorem condition at one local state.
+
+    Attributes:
+        site: The site owning the state.
+        state: The offending local state.
+        condition: ``1`` or ``2``, matching the theorem's numbering.
+        commit_witness: A ``(site, state)`` commit state in the
+            concurrency set (present for both conditions).
+        abort_witness: A ``(site, state)`` abort state in the
+            concurrency set (condition 1 only).
+    """
+
+    site: SiteId
+    state: str
+    condition: int
+    commit_witness: tuple[SiteId, str]
+    abort_witness: Optional[tuple[SiteId, str]] = None
+
+    def describe(self) -> str:
+        """Render the violation as one line of explanation."""
+        if self.condition == 1:
+            return (
+                f"site {self.site} state {self.state!r}: concurrency set "
+                f"contains commit state {self.commit_witness[1]!r} (site "
+                f"{self.commit_witness[0]}) and abort state "
+                f"{self.abort_witness[1]!r} (site {self.abort_witness[0]})"
+            )
+        return (
+            f"site {self.site} state {self.state!r}: noncommittable, yet its "
+            f"concurrency set contains commit state {self.commit_witness[1]!r} "
+            f"(site {self.commit_witness[0]})"
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class NonblockingReport:
+    """Result of checking the fundamental nonblocking theorem.
+
+    Attributes:
+        spec_name: Name of the analyzed protocol.
+        nonblocking: Whether both conditions hold at every site.
+        violations: Every violated condition, ordered by site and state.
+        committable: The committable classification used by condition 2.
+        obeying_sites: Sites with no violations — the largest subset in
+            the sense of the corollary.
+    """
+
+    spec_name: str
+    nonblocking: bool
+    violations: tuple[Violation, ...]
+    committable: dict[tuple[SiteId, str], bool]
+    obeying_sites: frozenset[SiteId]
+
+    @property
+    def tolerated_failures(self) -> int:
+        """Resilience per the corollary: failures tolerated without blocking.
+
+        With k obeying sites the protocol is nonblocking with respect to
+        k−1 failures (it terminates as long as one obeying site remains
+        operational).  A protocol with no obeying sites tolerates none.
+        """
+        return max(0, len(self.obeying_sites) - 1)
+
+    def violations_at(self, site: SiteId) -> tuple[Violation, ...]:
+        """The violations belonging to one site."""
+        return tuple(v for v in self.violations if v.site == site)
+
+    def describe(self) -> str:
+        """Multi-line human-readable verdict."""
+        lines = [
+            f"protocol: {self.spec_name}",
+            f"nonblocking: {'YES' if self.nonblocking else 'NO'}",
+            f"obeying sites: {sorted(self.obeying_sites) or 'none'}",
+            f"tolerated failures (corollary): {self.tolerated_failures}",
+        ]
+        if self.violations:
+            lines.append("violations:")
+            lines.extend(f"  - {v.describe()}" for v in self.violations)
+        return "\n".join(lines)
+
+
+def check_nonblocking(
+    spec: ProtocolSpec,
+    graph: Optional[ReachableStateGraph] = None,
+    budget: Optional[int] = DEFAULT_BUDGET,
+) -> NonblockingReport:
+    """Check the fundamental nonblocking theorem for ``spec``.
+
+    Args:
+        spec: The protocol to check.
+        graph: A pre-built reachable state graph (built fresh if
+            omitted).
+        budget: Node budget when building the graph.
+
+    Returns:
+        A :class:`NonblockingReport` with the verdict, per-state
+        violations, and the corollary's resilience count.
+    """
+    if graph is None:
+        graph = build_state_graph(spec, budget=budget)
+    committable = committable_states(graph)
+
+    violations: list[Violation] = []
+    for site in graph.sites:
+        for state in sorted(graph.reachable_local_states(site)):
+            cs = concurrency_set(graph, site, state)
+            commit_states = sorted(
+                (other, local)
+                for (other, local) in cs
+                if spec.is_commit_state(other, local)
+            )
+            abort_states = sorted(
+                (other, local)
+                for (other, local) in cs
+                if spec.is_abort_state(other, local)
+            )
+            if commit_states and abort_states:
+                violations.append(
+                    Violation(
+                        site=site,
+                        state=state,
+                        condition=1,
+                        commit_witness=commit_states[0],
+                        abort_witness=abort_states[0],
+                    )
+                )
+            if commit_states and not committable[(site, state)]:
+                violations.append(
+                    Violation(
+                        site=site,
+                        state=state,
+                        condition=2,
+                        commit_witness=commit_states[0],
+                    )
+                )
+
+    violating_sites = {v.site for v in violations}
+    obeying = frozenset(site for site in graph.sites if site not in violating_sites)
+    return NonblockingReport(
+        spec_name=spec.name,
+        nonblocking=not violations,
+        violations=tuple(violations),
+        committable=committable,
+        obeying_sites=obeying,
+    )
+
+
+@dataclasses.dataclass(frozen=True)
+class LemmaViolation:
+    """One violated lemma condition (local-FSA adjacency version).
+
+    Attributes:
+        site: The site owning the state.
+        state: The offending local state.
+        condition: ``1`` (adjacent to both commit and abort) or ``2``
+            (noncommittable adjacent to commit).
+        adjacent_commit: An adjacent commit state.
+        adjacent_abort: An adjacent abort state (condition 1 only).
+    """
+
+    site: SiteId
+    state: str
+    condition: int
+    adjacent_commit: str
+    adjacent_abort: Optional[str] = None
+
+    def describe(self) -> str:
+        """Render the violation as one line of explanation."""
+        if self.condition == 1:
+            return (
+                f"site {self.site} state {self.state!r}: adjacent to commit "
+                f"state {self.adjacent_commit!r} and abort state "
+                f"{self.adjacent_abort!r}"
+            )
+        return (
+            f"site {self.site} state {self.state!r}: noncommittable, yet "
+            f"adjacent to commit state {self.adjacent_commit!r}"
+        )
+
+
+def check_lemma(
+    spec: ProtocolSpec,
+    committable: Optional[dict[tuple[SiteId, str], bool]] = None,
+    graph: Optional[ReachableStateGraph] = None,
+) -> tuple[LemmaViolation, ...]:
+    """Check the adjacency lemma for a synchronous-within-one protocol.
+
+    Condition 2 needs the committable classification, which is a global
+    property; pass a precomputed map or let this function build the
+    graph itself.
+
+    Returns:
+        All lemma violations (empty means the protocol is nonblocking,
+        provided it is synchronous within one transition — check that
+        separately with :func:`repro.analysis.synchronicity.check_synchronicity`).
+    """
+    if committable is None:
+        if graph is None:
+            graph = build_state_graph(spec)
+        committable = committable_states(graph)
+
+    violations: list[LemmaViolation] = []
+    for site in spec.sites:
+        automaton = spec.automaton(site)
+        for state in sorted(automaton.states):
+            successors = automaton.successors(state)
+            commits = sorted(s for s in successors if s in automaton.commit_states)
+            aborts = sorted(s for s in successors if s in automaton.abort_states)
+            if commits and aborts:
+                violations.append(
+                    LemmaViolation(
+                        site=site,
+                        state=state,
+                        condition=1,
+                        adjacent_commit=commits[0],
+                        adjacent_abort=aborts[0],
+                    )
+                )
+            if commits and not committable.get((site, state), False):
+                violations.append(
+                    LemmaViolation(
+                        site=site,
+                        state=state,
+                        condition=2,
+                        adjacent_commit=commits[0],
+                    )
+                )
+    return tuple(violations)

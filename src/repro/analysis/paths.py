@@ -1,0 +1,160 @@
+"""Execution paths: maximal runs through the reachable state graph.
+
+The graph (slide 17) answers "what states can coexist"; this module
+answers "what complete executions exist".  A maximal path from the
+initial global state to a terminal state is one failure-free execution
+of the protocol — one interleaving of site transitions.  Enumerating
+them supports the liveness half of the story the theorem's safety half
+leaves implicit:
+
+* every maximal execution ends in a *final* state (all sites decided):
+  the protocol cannot wedge without failures;
+* every execution's outcome is unanimous (the safety cross-check);
+* path counts and lengths quantify the interleaving explosion, and the
+  outcome split shows how vote nondeterminism partitions the runs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterator, Optional
+
+from repro.analysis.global_state import GlobalState
+from repro.analysis.reachability import ReachableStateGraph
+from repro.errors import AnalysisError
+from repro.metrics.collector import StatSeries
+from repro.types import Outcome
+
+
+@dataclasses.dataclass(frozen=True)
+class ExecutionPath:
+    """One maximal execution (a root-to-terminal path).
+
+    Attributes:
+        states: Visited global states, initial first.
+        fired: The (site, transition) pairs fired, in order.
+    """
+
+    states: tuple[GlobalState, ...]
+    fired: tuple[tuple[int, str], ...]
+
+    @property
+    def length(self) -> int:
+        """Number of transitions fired."""
+        return len(self.fired)
+
+    def outcome(self, graph: ReachableStateGraph) -> Outcome:
+        """The unanimous outcome of the path's terminal state.
+
+        Raises:
+            AnalysisError: If the terminal state mixes outcomes or is
+                not final (a protocol bug this module exists to catch).
+        """
+        terminal = self.states[-1]
+        spec = graph.spec
+        outcomes = set()
+        for site, local in zip(graph.sites, terminal.locals):
+            if spec.is_commit_state(site, local):
+                outcomes.add(Outcome.COMMIT)
+            elif spec.is_abort_state(site, local):
+                outcomes.add(Outcome.ABORT)
+            else:
+                outcomes.add(Outcome.UNDECIDED)
+        if len(outcomes) != 1 or not next(iter(outcomes)).is_final:
+            raise AnalysisError(
+                f"terminal state {terminal.describe(graph.sites)} is not a "
+                "unanimous final state"
+            )
+        return next(iter(outcomes))
+
+
+def enumerate_executions(
+    graph: ReachableStateGraph,
+    limit: Optional[int] = 100_000,
+) -> Iterator[ExecutionPath]:
+    """Yield every maximal execution path of the graph.
+
+    Depth-first from the initial state; the graph is acyclic (local
+    FSAs are acyclic and messages are consumed), so enumeration
+    terminates.  The count is exponential in sites — ``limit`` bounds
+    it explicitly.
+
+    Raises:
+        AnalysisError: When ``limit`` maximal paths have been yielded
+            and more remain.
+    """
+    produced = 0
+    # Iterative DFS carrying the path; graphs here are small and
+    # acyclic, so recursion depth equals path length — stay iterative
+    # anyway for predictability.
+    stack: list[tuple[GlobalState, tuple[GlobalState, ...], tuple]] = [
+        (graph.initial, (graph.initial,), ())
+    ]
+    while stack:
+        state, states, fired = stack.pop()
+        edges = graph.successors(state)
+        if not edges:
+            produced += 1
+            if limit is not None and produced > limit:
+                raise AnalysisError(
+                    f"more than {limit} maximal executions; raise the limit"
+                )
+            yield ExecutionPath(states=states, fired=fired)
+            continue
+        for edge in reversed(edges):
+            stack.append(
+                (
+                    edge.target,
+                    states + (edge.target,),
+                    fired
+                    + (
+                        (
+                            edge.site,
+                            f"{edge.transition.source}->{edge.transition.target}",
+                        ),
+                    ),
+                )
+            )
+
+
+@dataclasses.dataclass
+class ExecutionStatistics:
+    """Aggregate statistics over every maximal execution."""
+
+    paths: int
+    commit_paths: int
+    abort_paths: int
+    lengths: StatSeries
+
+    @property
+    def all_terminate_finally(self) -> bool:
+        """True when enumeration completed — every path hit a final
+        state (non-final terminals raise during collection)."""
+        return self.paths == self.commit_paths + self.abort_paths
+
+
+def execution_statistics(
+    graph: ReachableStateGraph,
+    limit: Optional[int] = 100_000,
+) -> ExecutionStatistics:
+    """Collect outcome and length statistics over all executions.
+
+    Raises:
+        AnalysisError: If any execution ends non-final or mixed — the
+            liveness/safety failure this analysis exists to expose.
+    """
+    commit = abort = total = 0
+    lengths = StatSeries()
+    for path in enumerate_executions(graph, limit=limit):
+        total += 1
+        lengths.add(float(path.length))
+        if path.outcome(graph) is Outcome.COMMIT:
+            commit += 1
+        else:
+            abort += 1
+    return ExecutionStatistics(
+        paths=total,
+        commit_paths=commit,
+        abort_paths=abort,
+        lengths=lengths,
+    )

@@ -1,0 +1,251 @@
+"""Reachable global state graph construction.
+
+Slide 17: "The graph of all global states reachable from a
+transaction's initial global state is called the reachable state graph
+for that transaction."  Slide 19 classifies global states: *final* when
+every local state is final, *terminal* when there is no successor, and
+*deadlocked* when terminal but not final.
+
+The graph grows exponentially with the number of sites (slide 19), so
+the builder enforces an explicit node budget instead of exhausting
+memory.  References to global state graphs here assume the absence of
+failures (slide 21); failures are analyzed through concurrency sets,
+not by enlarging the graph.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable, Optional
+
+from repro.errors import AnalysisError, StateGraphTooLargeError
+from repro.analysis.global_state import GlobalEdge, GlobalState
+from repro.fsa.spec import ProtocolSpec
+from repro.types import SiteId
+
+#: Default node budget for graph enumeration.
+DEFAULT_BUDGET = 200_000
+
+
+class ReachableStateGraph:
+    """The reachable global state graph of one protocol spec.
+
+    Built by :func:`build_state_graph`.  Read-only once constructed.
+
+    Attributes:
+        spec: The analyzed protocol.
+        sites: Sorted site ids (index order of local-state vectors).
+        initial: The initial global state.
+        adjacency: Successor edges per global state.
+    """
+
+    def __init__(
+        self,
+        spec: ProtocolSpec,
+        initial: GlobalState,
+        adjacency: dict[GlobalState, tuple[GlobalEdge, ...]],
+    ) -> None:
+        self.spec = spec
+        self.sites: tuple[SiteId, ...] = tuple(spec.sites)
+        self._site_index = {site: i for i, site in enumerate(self.sites)}
+        self.initial = initial
+        self.adjacency = adjacency
+        self._occupancy: dict[tuple[SiteId, str], set[GlobalState]] = {}
+        for state in adjacency:
+            for site, local in zip(self.sites, state.locals):
+                self._occupancy.setdefault((site, local), set()).add(state)
+
+    # ------------------------------------------------------------------
+    # Size and membership
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.adjacency)
+
+    def __contains__(self, state: GlobalState) -> bool:
+        return state in self.adjacency
+
+    @property
+    def states(self) -> Iterable[GlobalState]:
+        """All reachable global states."""
+        return self.adjacency.keys()
+
+    @property
+    def edge_count(self) -> int:
+        """Total number of edges in the graph."""
+        return sum(len(edges) for edges in self.adjacency.values())
+
+    def local_of(self, state: GlobalState, site: SiteId) -> str:
+        """The local state of ``site`` within ``state``."""
+        return state.locals[self._site_index[site]]
+
+    # ------------------------------------------------------------------
+    # Classification (slide 19)
+    # ------------------------------------------------------------------
+
+    def successors(self, state: GlobalState) -> tuple[GlobalEdge, ...]:
+        """Outgoing edges of a reachable global state."""
+        try:
+            return self.adjacency[state]
+        except KeyError:
+            raise AnalysisError(f"state {state} is not in the graph") from None
+
+    def is_final(self, state: GlobalState) -> bool:
+        """Whether every site occupies a final (commit/abort) state."""
+        return all(
+            self.spec.is_final_state(site, local)
+            for site, local in zip(self.sites, state.locals)
+        )
+
+    def is_terminal(self, state: GlobalState) -> bool:
+        """Whether the state has no immediately reachable successor."""
+        return not self.adjacency[state]
+
+    def is_deadlocked(self, state: GlobalState) -> bool:
+        """Terminal but not final — the protocol wedged without failures."""
+        return self.is_terminal(state) and not self.is_final(state)
+
+    def is_inconsistent(self, state: GlobalState) -> bool:
+        """Whether the state contains both a commit and an abort state.
+
+        A protocol preserving transaction atomicity can have no
+        inconsistent reachable global state (slide 17).
+        """
+        saw_commit = saw_abort = False
+        for site, local in zip(self.sites, state.locals):
+            if self.spec.is_commit_state(site, local):
+                saw_commit = True
+            elif self.spec.is_abort_state(site, local):
+                saw_abort = True
+        return saw_commit and saw_abort
+
+    def final_states(self) -> list[GlobalState]:
+        """All final global states."""
+        return [state for state in self.adjacency if self.is_final(state)]
+
+    def terminal_states(self) -> list[GlobalState]:
+        """All terminal global states."""
+        return [state for state in self.adjacency if self.is_terminal(state)]
+
+    def deadlocked_states(self) -> list[GlobalState]:
+        """All deadlocked global states (empty for correct protocols)."""
+        return [state for state in self.adjacency if self.is_deadlocked(state)]
+
+    def inconsistent_states(self) -> list[GlobalState]:
+        """All inconsistent global states (empty for correct protocols)."""
+        return [state for state in self.adjacency if self.is_inconsistent(state)]
+
+    # ------------------------------------------------------------------
+    # Occupancy queries (the substrate of concurrency sets)
+    # ------------------------------------------------------------------
+
+    def occupancy(self, site: SiteId, local: str) -> frozenset[GlobalState]:
+        """All reachable global states in which ``site`` occupies ``local``."""
+        return frozenset(self._occupancy.get((site, local), frozenset()))
+
+    def reachable_local_states(self, site: SiteId) -> frozenset[str]:
+        """Local states of ``site`` that occur in some reachable global state."""
+        return frozenset(
+            local for (s, local) in self._occupancy if s == site
+        )
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+
+    def to_dot(self) -> str:
+        """Render the graph as Graphviz DOT (reproducing slide 18)."""
+        index = {state: i for i, state in enumerate(self.adjacency)}
+        lines = ["digraph reachable {", "  rankdir=TB;"]
+        for state, i in index.items():
+            label = state.describe(self.sites).replace('"', "'")
+            shape = "box" if self.is_final(state) else "ellipse"
+            lines.append(f'  n{i} [label="{label}", shape={shape}];')
+        for state, edges in self.adjacency.items():
+            for edge in edges:
+                lines.append(
+                    f"  n{index[edge.source]} -> n{index[edge.target]} "
+                    f'[label="site {edge.site}: {edge.transition.source}->'
+                    f'{edge.transition.target}"];'
+                )
+        lines.append("}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ReachableStateGraph({self.spec.name!r}, states={len(self)}, "
+            f"edges={self.edge_count})"
+        )
+
+
+def build_state_graph(
+    spec: ProtocolSpec,
+    budget: Optional[int] = DEFAULT_BUDGET,
+) -> ReachableStateGraph:
+    """Enumerate the reachable global state graph of ``spec``.
+
+    Breadth-first from the initial global state.  Each edge fires one
+    site transition whose read set is fully outstanding; the target
+    state removes the reads and adds the writes.
+
+    Args:
+        spec: A validated protocol spec.
+        budget: Maximum number of distinct global states to enumerate;
+            ``None`` disables the limit.
+
+    Returns:
+        The complete reachable state graph.
+
+    Raises:
+        StateGraphTooLargeError: When the budget is exceeded.
+        AnalysisError: If an execution would put a duplicate message in
+            flight (cannot happen for validated specs; kept as an
+            internal consistency check).
+    """
+    sites = tuple(spec.sites)
+    initial = GlobalState(
+        locals=spec.initial_state_vector(),
+        messages=spec.initial_messages,
+    )
+    adjacency: dict[GlobalState, tuple[GlobalEdge, ...]] = {}
+    queue: deque[GlobalState] = deque([initial])
+    seen = {initial}
+
+    while queue:
+        state = queue.popleft()
+        edges = []
+        for position, site in enumerate(sites):
+            automaton = spec.automaton(site)
+            local = state.locals[position]
+            for transition in automaton.out_transitions(local):
+                if not transition.reads <= state.messages:
+                    continue
+                remaining = state.messages - transition.reads
+                for msg in transition.writes:
+                    if msg in remaining:
+                        raise AnalysisError(
+                            f"{spec.name!r}: firing {transition.describe()} at "
+                            f"site {site} would duplicate in-flight message {msg}"
+                        )
+                new_locals = list(state.locals)
+                new_locals[position] = transition.target
+                target = GlobalState(
+                    locals=tuple(new_locals),
+                    messages=remaining | frozenset(transition.writes),
+                )
+                edges.append(
+                    GlobalEdge(
+                        source=state, site=site, transition=transition, target=target
+                    )
+                )
+                if target not in seen:
+                    if budget is not None and len(seen) >= budget:
+                        raise StateGraphTooLargeError(
+                            f"{spec.name!r}: reachable state graph exceeds "
+                            f"budget of {budget} states"
+                        )
+                    seen.add(target)
+                    queue.append(target)
+        adjacency[state] = tuple(edges)
+
+    return ReachableStateGraph(spec=spec, initial=initial, adjacency=adjacency)

@@ -1,0 +1,201 @@
+"""Independent recovery analysis.
+
+Slide 12 defers the recovery protocol's theory to the companion report
+(SKEE81a, "Crash Recovery in a Distributed Database System").  The
+central question: a site crashes while in local state ``s`` — which
+outcomes can the *operational* sites reach before it returns?  If that
+set is a single final outcome, the site can recover **independently**
+(no communication needed: the outcome is forced); if both commit and
+abort are possible, it must ask.
+
+The computation explores the crashed-site-augmented behaviour the
+paper's main analysis avoids (slide 21): from every global state where
+the victim occupies ``s``, the operational sites may
+
+* keep executing the commit protocol (the victim's mail is never read,
+  and nothing more is ever heard from it), and
+* at any moment, detect the failure and run the termination protocol —
+  whose decision is the slide-39 rule applied to the elected backup's
+  state at that moment.
+
+Collecting every reachable final outcome over all interleavings gives
+the *post-crash outcome set* of ``(site, s)``.  Expected results, which
+:mod:`tests <tests.unit.test_analysis_recovery>` pin down:
+
+* crashed before voting (``q``) → {abort}: unilateral abort on
+  recovery is sound — exactly slide 6's rule;
+* crashed after a yes vote (``w``, ``p``) → {abort, commit}: in doubt,
+  must query — exactly what the runtime's recovery controller does;
+* crashed in a final state → that outcome (the DT log already knows).
+
+So this module is a machine-checked proof that the recovery
+implementation in :mod:`repro.runtime.recovery` asks exactly when it
+must and decides alone exactly when it may.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import deque
+from typing import Optional
+
+from repro.analysis.global_state import GlobalState
+from repro.analysis.reachability import (
+    DEFAULT_BUDGET,
+    ReachableStateGraph,
+    build_state_graph,
+)
+from repro.errors import AnalysisError, StateGraphTooLargeError
+from repro.fsa.spec import ProtocolSpec
+from repro.runtime.decision import TerminationRule
+from repro.runtime.termination import lowest_id_election
+from repro.types import Outcome, SiteId
+
+
+@dataclasses.dataclass(frozen=True)
+class RecoveryVerdict:
+    """The independent-recovery classification of one (site, state).
+
+    Attributes:
+        site: The crash victim.
+        state: The local state it crashed in.
+        outcomes: Final outcomes the operational sites can reach.
+        blocked_possible: Whether some interleaving leaves the
+            operational sites blocked (waiting for the victim) —
+            possible only under blocking protocols.
+    """
+
+    site: SiteId
+    state: str
+    outcomes: frozenset[Outcome]
+    blocked_possible: bool
+
+    @property
+    def independent(self) -> Optional[Outcome]:
+        """The outcome the victim may adopt alone, or ``None``.
+
+        Independent recovery is sound when every operational future
+        agrees on one outcome (a blocked future also agrees: blocked
+        sites wait for the victim, who — adopting the forced outcome —
+        resolves them consistently).
+        """
+        if len(self.outcomes) == 1:
+            return next(iter(self.outcomes))
+        return None
+
+
+def post_crash_outcomes(
+    spec: ProtocolSpec,
+    site: SiteId,
+    state: str,
+    graph: Optional[ReachableStateGraph] = None,
+    rule: Optional[TerminationRule] = None,
+    budget: Optional[int] = DEFAULT_BUDGET,
+) -> RecoveryVerdict:
+    """Compute the post-crash outcome set for ``site`` crashed in ``state``.
+
+    Args:
+        spec: The protocol.
+        site: The victim site.
+        state: The victim's local state at crash time.
+        graph: Pre-built failure-free graph (for crash snapshots).
+        rule: Pre-built termination rule.
+        budget: Node budget for the crashed-variant exploration.
+
+    Returns:
+        The :class:`RecoveryVerdict`.
+
+    Raises:
+        AnalysisError: If the state never occurs at the site.
+        StateGraphTooLargeError: If exploration exceeds the budget.
+    """
+    if graph is None:
+        graph = build_state_graph(spec, budget=budget)
+    if rule is None:
+        rule = TerminationRule(spec, graph=graph)
+
+    snapshots = graph.occupancy(site, state)
+    if not snapshots:
+        raise AnalysisError(
+            f"state {state!r} never occurs at site {site} in {spec.name!r}"
+        )
+
+    sites = tuple(spec.sites)
+    operational = [s for s in sites if s != site]
+    index = {s: i for i, s in enumerate(sites)}
+
+    outcomes: set[Outcome] = set()
+    blocked_possible = False
+    seen: set[GlobalState] = set()
+    queue: deque[GlobalState] = deque()
+    for snapshot in snapshots:
+        if snapshot not in seen:
+            seen.add(snapshot)
+            queue.append(snapshot)
+
+    while queue:
+        current = queue.popleft()
+
+        # Event class 1: the failure is detected *now* and the
+        # termination protocol runs.  The backup is the elected
+        # operational site; its state decides (slide 39).
+        backup = lowest_id_election(operational)
+        decision = rule.decide(backup, current.locals[index[backup]])
+        if decision is Outcome.BLOCKED:
+            blocked_possible = True
+        else:
+            outcomes.add(decision)
+        # Any operational site already in a final state contributes its
+        # outcome too (it has decided regardless of termination).
+        for other in operational:
+            local = current.locals[index[other]]
+            if spec.is_commit_state(other, local):
+                outcomes.add(Outcome.COMMIT)
+            elif spec.is_abort_state(other, local):
+                outcomes.add(Outcome.ABORT)
+
+        # Event class 2: the protocol continues without the victim.
+        for other in operational:
+            automaton = spec.automaton(other)
+            local = current.locals[index[other]]
+            for transition in automaton.out_transitions(local):
+                if not transition.reads <= current.messages:
+                    continue
+                new_locals = list(current.locals)
+                new_locals[index[other]] = transition.target
+                successor = GlobalState(
+                    locals=tuple(new_locals),
+                    messages=(current.messages - transition.reads)
+                    | frozenset(transition.writes),
+                )
+                if successor not in seen:
+                    if budget is not None and len(seen) >= budget:
+                        raise StateGraphTooLargeError(
+                            f"post-crash exploration of {spec.name!r} "
+                            f"exceeds budget {budget}"
+                        )
+                    seen.add(successor)
+                    queue.append(successor)
+
+    return RecoveryVerdict(
+        site=site,
+        state=state,
+        outcomes=frozenset(outcomes),
+        blocked_possible=blocked_possible,
+    )
+
+
+def independent_recovery_map(
+    spec: ProtocolSpec,
+    site: SiteId,
+    budget: Optional[int] = DEFAULT_BUDGET,
+) -> dict[str, RecoveryVerdict]:
+    """The full per-state recovery classification for one site."""
+    graph = build_state_graph(spec, budget=budget)
+    rule = TerminationRule(spec, graph=graph)
+    return {
+        state: post_crash_outcomes(
+            spec, site, state, graph=graph, rule=rule, budget=budget
+        )
+        for state in sorted(graph.reachable_local_states(site))
+    }

@@ -1,0 +1,121 @@
+"""The synchronous-within-one-state-transition property.
+
+Slide 24: "A protocol is said to be synchronous within one state
+transition if one site never leads another by more than one state
+transition during the execution of the protocol."
+
+The paper's automata are not leveled (an abort state can be one or two
+transitions deep), so the check cannot read transition counts off state
+identity.  Instead we enumerate *step-annotated* global states —
+``(local states, outstanding messages, per-site transition counts)`` —
+and measure the maximum lead ever observed.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import deque
+from typing import Optional
+
+from repro.analysis.global_state import GlobalState
+from repro.errors import StateGraphTooLargeError
+from repro.fsa.spec import ProtocolSpec
+from repro.analysis.reachability import DEFAULT_BUDGET
+
+
+@dataclasses.dataclass(frozen=True)
+class SynchronicityReport:
+    """Result of the synchronous-within-one check.
+
+    Attributes:
+        spec_name: Name of the analyzed protocol.
+        max_lead: The largest difference, over all reachable annotated
+            states, between the most- and least-advanced site's
+            transition counts.
+        synchronous_within_one: Whether ``max_lead <= 1``.
+        witness: Step counts of an annotated state realizing
+            ``max_lead`` (``None`` when the protocol has no states).
+        annotated_states: Number of step-annotated states explored.
+    """
+
+    spec_name: str
+    max_lead: int
+    witness: Optional[tuple[int, ...]]
+    annotated_states: int
+
+    @property
+    def synchronous_within_one(self) -> bool:
+        """Whether the protocol satisfies the slide-24 property."""
+        return self.max_lead <= 1
+
+
+def check_synchronicity(
+    spec: ProtocolSpec,
+    budget: Optional[int] = DEFAULT_BUDGET,
+) -> SynchronicityReport:
+    """Measure the maximum inter-site lead of ``spec``.
+
+    Enumerates every reachable combination of global state and per-site
+    transition counts, tracking ``max(steps) - min(steps)``.
+
+    Args:
+        spec: The protocol to check.
+        budget: Maximum annotated states to explore.
+
+    Returns:
+        A :class:`SynchronicityReport`.
+
+    Raises:
+        StateGraphTooLargeError: When the budget is exceeded.
+    """
+    sites = tuple(spec.sites)
+    initial_state = GlobalState(
+        locals=spec.initial_state_vector(),
+        messages=spec.initial_messages,
+    )
+    initial_steps = (0,) * len(sites)
+
+    seen = {(initial_state, initial_steps)}
+    queue: deque[tuple[GlobalState, tuple[int, ...]]] = deque(
+        [(initial_state, initial_steps)]
+    )
+    max_lead = 0
+    witness: Optional[tuple[int, ...]] = initial_steps
+
+    while queue:
+        state, steps = queue.popleft()
+        lead = max(steps) - min(steps)
+        if lead > max_lead:
+            max_lead = lead
+            witness = steps
+        for position, site in enumerate(sites):
+            automaton = spec.automaton(site)
+            local = state.locals[position]
+            for transition in automaton.out_transitions(local):
+                if not transition.reads <= state.messages:
+                    continue
+                new_locals = list(state.locals)
+                new_locals[position] = transition.target
+                target = GlobalState(
+                    locals=tuple(new_locals),
+                    messages=(state.messages - transition.reads)
+                    | frozenset(transition.writes),
+                )
+                new_steps = list(steps)
+                new_steps[position] += 1
+                annotated = (target, tuple(new_steps))
+                if annotated not in seen:
+                    if budget is not None and len(seen) >= budget:
+                        raise StateGraphTooLargeError(
+                            f"{spec.name!r}: synchronicity enumeration exceeds "
+                            f"budget of {budget} annotated states"
+                        )
+                    seen.add(annotated)
+                    queue.append(annotated)
+
+    return SynchronicityReport(
+        spec_name=spec.name,
+        max_lead=max_lead,
+        witness=witness,
+        annotated_states=len(seen),
+    )

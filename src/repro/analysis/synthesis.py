@@ -1,0 +1,288 @@
+"""Buffer-state synthesis: the paper's method for designing
+nonblocking protocols.
+
+Slide 34 demonstrates the method on the canonical 2PC: introducing a
+buffer state ``p`` ("prepare to commit") between the wait state and the
+commit state satisfies both constraints of the lemma and makes the
+protocol nonblocking.  This module mechanizes that construction for
+both protocol paradigms:
+
+For every transition ``s -> c`` into a commit state whose source ``s``
+is *noncommittable*, a buffer state is inserted.  How the extra message
+round is wired depends on the transition's shape:
+
+* **Rule A — the decider** (the transition *writes* ``commit`` fan-out,
+  i.e. a central-site coordinator): first broadcast ``prepare`` and
+  enter the buffer, then broadcast ``commit`` after collecting an
+  ``ack`` from every recipient.
+* **Rule B — a follower** (the transition *reads* a ``commit``
+  message, i.e. a central-site slave): on ``prepare``, reply ``ack``
+  and enter the buffer; commit on the eventual ``commit`` message.
+* **Rule C — a decentralized peer** (the transition neither reads nor
+  writes ``commit``; it commits on the full set of yes votes): on the
+  full vote set, broadcast ``prepare`` to every site (including
+  itself) and enter the buffer; commit on the full ``prepare`` set.
+
+Applied to the catalog 2PCs, the synthesis reproduces the catalog 3PCs
+exactly (experiment F4 asserts structural equality).  Applied to 1PC —
+where slaves cast no votes, so no buffer placement can ever create a
+committable pre-commit state — the synthesis correctly fails,
+reproducing the paper's observation that 1PC is inadequate.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.analysis.committable import committable_states
+from repro.analysis.nonblocking import check_nonblocking
+from repro.analysis.reachability import DEFAULT_BUDGET, build_state_graph
+from repro.analysis.synchronicity import check_synchronicity
+from repro.errors import NotSynchronousError, SynthesisError
+from repro.fsa.automaton import SiteAutomaton, Transition
+from repro.fsa.messages import Msg, fan_in, fan_out
+from repro.fsa.spec import ProtocolSpec
+from repro.types import SiteId
+
+
+def insert_buffer_states(
+    spec: ProtocolSpec,
+    buffer_name: str = "p",
+    prepare_kind: str = "prepare",
+    ack_kind: str = "ack",
+    budget: Optional[int] = DEFAULT_BUDGET,
+    verify: bool = True,
+) -> ProtocolSpec:
+    """Make a blocking protocol nonblocking by inserting buffer states.
+
+    Args:
+        spec: A blocking protocol, synchronous within one transition.
+        buffer_name: Name for the inserted buffer states (the paper's
+            ``p``).  Uniquified with primes if it collides.
+        prepare_kind: Message kind announcing the impending commit.
+        ack_kind: Message kind acknowledging a ``prepare`` (rule A/B).
+        budget: State-graph budget for the analyses involved.
+        verify: Re-run the nonblocking theorem on the result and raise
+            if it still blocks (default).  Disable only to inspect the
+            raw transform.
+
+    Returns:
+        A new, validated :class:`ProtocolSpec` with buffer states.  A
+        protocol that is already nonblocking is returned unchanged.
+
+    Raises:
+        NotSynchronousError: If the input is not synchronous within one
+            state transition — the lemma the method rests on (slide 33)
+            only applies to such protocols.
+        SynthesisError: If the transformed protocol still blocks (e.g.
+            1PC, whose slaves never vote).
+    """
+    graph = build_state_graph(spec, budget=budget)
+    before = check_nonblocking(spec, graph=graph, budget=budget)
+    if before.nonblocking:
+        return spec
+
+    sync = check_synchronicity(spec, budget=budget)
+    if not sync.synchronous_within_one:
+        raise NotSynchronousError(
+            f"{spec.name!r} is not synchronous within one state transition "
+            f"(max lead {sync.max_lead}); the buffer-state method's lemma "
+            "(slide 33) does not apply"
+        )
+
+    committable = committable_states(graph)
+    new_automata: dict[SiteId, SiteAutomaton] = {}
+    changed = False
+    for site in spec.sites:
+        automaton = spec.automaton(site)
+        rewritten = _rewrite_automaton(
+            spec, automaton, committable, buffer_name, prepare_kind, ack_kind
+        )
+        if rewritten is not automaton:
+            changed = True
+        new_automata[site] = rewritten
+
+    if not changed:
+        raise SynthesisError(
+            f"{spec.name!r} is blocking but no transition into a commit "
+            "state has a noncommittable source; buffer insertion does not "
+            "apply"
+        )
+
+    result = ProtocolSpec(
+        name=f"{spec.name} +buffer",
+        protocol_class=spec.protocol_class,
+        automata=new_automata,
+        initial_messages=spec.initial_messages,
+        coordinator=spec.coordinator,
+    )
+    if verify:
+        after = check_nonblocking(result, budget=budget)
+        if not after.nonblocking:
+            details = "; ".join(v.describe() for v in after.violations[:3])
+            raise SynthesisError(
+                f"buffer insertion did not make {spec.name!r} nonblocking "
+                f"(remaining violations: {details}).  This happens when some "
+                "site casts no vote — e.g. 1PC slaves — so no pre-commit "
+                "state can ever be committable."
+            )
+    return result
+
+
+def _rewrite_automaton(
+    spec: ProtocolSpec,
+    automaton: SiteAutomaton,
+    committable: dict[tuple[SiteId, str], bool],
+    buffer_name: str,
+    prepare_kind: str,
+    ack_kind: str,
+) -> SiteAutomaton:
+    """Rewrite one automaton, returning it unchanged if nothing applies."""
+    site = automaton.site
+    to_rewrite = [
+        t
+        for t in automaton.transitions
+        if t.target in automaton.commit_states
+        and not committable.get((site, t.source), False)
+    ]
+    if not to_rewrite:
+        return automaton
+
+    buffer = _unique_state_name(automaton, buffer_name)
+    new_transitions: list[Transition] = []
+    for transition in automaton.transitions:
+        if transition in to_rewrite:
+            new_transitions.extend(
+                _split_transition(
+                    spec, site, transition, buffer, prepare_kind, ack_kind
+                )
+            )
+        else:
+            new_transitions.append(transition)
+
+    return SiteAutomaton(
+        site=site,
+        role=automaton.role,
+        initial=automaton.initial,
+        commit_states=automaton.commit_states,
+        abort_states=automaton.abort_states,
+        transitions=new_transitions,
+    )
+
+
+def _split_transition(
+    spec: ProtocolSpec,
+    site: SiteId,
+    transition: Transition,
+    buffer: str,
+    prepare_kind: str,
+    ack_kind: str,
+) -> list[Transition]:
+    """Split one commit-entering transition around a buffer state."""
+    commit_writes = [m for m in transition.writes if m.kind == "commit"]
+    commit_reads = [m for m in transition.reads if m.kind == "commit"]
+
+    if commit_writes:
+        # Rule A: the decider.  Writes must be pure commit fan-out.
+        extra = [m for m in transition.writes if m.kind != "commit"]
+        if extra:
+            raise SynthesisError(
+                f"site {site}: transition {transition.describe()} mixes "
+                f"commit messages with {extra}; rule A cannot split it"
+            )
+        prepare_writes = tuple(
+            Msg(prepare_kind, site, m.dst) for m in transition.writes
+        )
+        ack_reads = frozenset(
+            Msg(ack_kind, m.dst, site) for m in transition.writes
+        )
+        return [
+            Transition(
+                source=transition.source,
+                target=buffer,
+                reads=transition.reads,
+                writes=prepare_writes,
+                vote=transition.vote,
+            ),
+            Transition(
+                source=buffer,
+                target=transition.target,
+                reads=ack_reads,
+                writes=transition.writes,
+            ),
+        ]
+
+    if commit_reads:
+        # Rule B: a follower.
+        prepare_reads = frozenset(
+            Msg(prepare_kind, m.src, site) for m in commit_reads
+        )
+        ack_writes = tuple(Msg(ack_kind, site, m.src) for m in commit_reads)
+        return [
+            Transition(
+                source=transition.source,
+                target=buffer,
+                reads=prepare_reads,
+                writes=ack_writes,
+            ),
+            Transition(
+                source=buffer,
+                target=transition.target,
+                reads=transition.reads,
+                writes=transition.writes,
+                vote=transition.vote,
+            ),
+        ]
+
+    # Rule C: a decentralized peer committing on the full vote set.
+    sites = list(spec.sites)
+    return [
+        Transition(
+            source=transition.source,
+            target=buffer,
+            reads=transition.reads,
+            writes=fan_out(prepare_kind, site, sites),
+            vote=transition.vote,
+        ),
+        Transition(
+            source=buffer,
+            target=transition.target,
+            reads=fan_in(prepare_kind, sites, site),
+            writes=transition.writes,
+        ),
+    ]
+
+
+def _unique_state_name(automaton: SiteAutomaton, base: str) -> str:
+    """Return ``base``, primed until it avoids existing state names."""
+    name = base
+    while name in automaton.states:
+        name += "'"
+    return name
+
+
+def specs_structurally_equal(a: ProtocolSpec, b: ProtocolSpec) -> bool:
+    """Whether two specs have identical structure.
+
+    Compares sites, coordinator, initial messages, and — per site —
+    initial state, commit/abort sets, and the transition set (reads,
+    writes, votes).  Names and roles are ignored.  Used by experiment
+    F4 to assert that synthesizing buffer states into the 2PCs yields
+    exactly the catalog 3PCs.
+    """
+    if a.sites != b.sites or a.coordinator != b.coordinator:
+        return False
+    if a.initial_messages != b.initial_messages:
+        return False
+    for site in a.sites:
+        auto_a = a.automaton(site)
+        auto_b = b.automaton(site)
+        if auto_a.initial != auto_b.initial:
+            return False
+        if auto_a.commit_states != auto_b.commit_states:
+            return False
+        if auto_a.abort_states != auto_b.abort_states:
+            return False
+        if set(auto_a.transitions) != set(auto_b.transitions):
+            return False
+    return True

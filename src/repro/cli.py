@@ -1,0 +1,254 @@
+"""Command-line interface.
+
+Usage (after ``pip install -e .``)::
+
+    python -m repro.cli list                 # catalog + experiment ids
+    python -m repro.cli show 3pc-central 3   # render a protocol's FSAs
+    python -m repro.cli analyze 2pc-central 3
+    python -m repro.cli experiment T1        # regenerate one artifact
+    python -m repro.cli experiment all
+    python -m repro.cli run 3pc-central 4 --crash 1@2.0 --no-vote 3
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.analysis import check_nonblocking, check_synchronicity
+from repro.experiments import EXPERIMENTS, run_experiment
+from repro.fsa.render import format_spec
+from repro.protocols import catalog
+from repro.runtime import CommitRun
+from repro.runtime.policies import FixedVotes
+from repro.runtime.termination import TERMINATION_MODES
+from repro.types import SiteId, Vote
+from repro.workload.crashes import CrashAt
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    print("protocols:")
+    for name in catalog.protocol_names():
+        print(f"  {name}")
+    print("experiments:")
+    for experiment_id in EXPERIMENTS:
+        print(f"  {experiment_id}")
+    return 0
+
+
+def _cmd_show(args: argparse.Namespace) -> int:
+    spec = catalog.build(args.protocol, args.n_sites)
+    print(format_spec(spec))
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    spec = catalog.build(args.protocol, args.n_sites)
+    report = check_nonblocking(spec)
+    sync = check_synchronicity(spec)
+    print(report.describe())
+    print(
+        "synchronous within one transition: "
+        f"{'YES' if sync.synchronous_within_one else 'NO'} "
+        f"(max lead {sync.max_lead})"
+    )
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    ids = list(EXPERIMENTS) if args.experiment_id.lower() == "all" else [
+        args.experiment_id
+    ]
+    for experiment_id in ids:
+        print(run_experiment(experiment_id).render())
+        print()
+    return 0
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    from repro.metrics import summarize_runs
+    from repro.workload.generator import WorkloadGenerator
+    from repro.workload.serialize import campaign_from_json, campaign_to_json
+
+    spec = catalog.build(args.protocol, args.n_sites)
+    generator = WorkloadGenerator(
+        spec,
+        seed=args.seed,
+        p_no=args.p_no,
+        p_crash=args.p_crash,
+    )
+
+    if args.replay is not None:
+        with open(args.replay) as handle:
+            transactions = campaign_from_json(handle.read())
+        print(f"replaying {len(transactions)} transactions from {args.replay}")
+    else:
+        transactions = list(generator.transactions(args.count))
+
+    if args.save is not None:
+        with open(args.save, "w") as handle:
+            handle.write(campaign_to_json(transactions))
+        print(f"saved campaign to {args.save}")
+
+    results = [generator.run(txn) for txn in transactions]
+    summary = summarize_runs(results)
+    print(
+        summary.to_table(
+            f"campaign: {spec.name}, {len(results)} transactions"
+        ).render()
+    )
+    if summary.violations:
+        print("ATOMICITY VIOLATIONS DETECTED — replay with --save to report")
+        return 1
+    return 0
+
+
+def _parse_crash(text: str) -> CrashAt:
+    """Parse ``SITE@TIME[@RESTART]`` into a :class:`CrashAt`."""
+    parts = text.split("@")
+    if len(parts) not in (2, 3):
+        raise argparse.ArgumentTypeError(
+            f"crash spec {text!r} must look like SITE@TIME or SITE@TIME@RESTART"
+        )
+    site = SiteId(int(parts[0]))
+    at = float(parts[1])
+    restart = float(parts[2]) if len(parts) == 3 else None
+    return CrashAt(site=site, at=at, restart_at=restart)
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    spec = catalog.build(args.protocol, args.n_sites)
+    votes = {SiteId(site): Vote.NO for site in args.no_vote}
+    run = CommitRun(
+        spec,
+        seed=args.seed,
+        vote_policy=FixedVotes(votes),
+        crashes=args.crash,
+        termination_mode=args.termination,
+    ).execute()
+    if args.trace:
+        print(run.trace.format_timeline())
+        print()
+    if args.swimlanes:
+        from repro.viz import render_run
+
+        print(render_run(run))
+        print()
+    if args.audit:
+        from repro.analysis.conformance import audit_run
+
+        findings = audit_run(run, spec)
+        if findings:
+            print("CONFORMANCE FINDINGS:")
+            for finding in findings:
+                print(f"  {finding}")
+            return 1
+        print("conformance audit: clean")
+    print(f"protocol : {run.protocol}")
+    print(f"duration : {run.duration:g}")
+    print(f"messages : {run.messages_sent}")
+    print(f"atomic   : {'yes' if run.atomic else 'NO — VIOLATION'}")
+    for site, report in sorted(run.reports.items()):
+        status = report.outcome.value
+        if report.blocked:
+            status += " (BLOCKED)"
+        via = f" via {report.via}" if report.via else ""
+        down = "" if report.alive else " [down]"
+        print(f"  site {site}: {status}{via}{down}")
+    return 0 if run.atomic else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Nonblocking commit protocols (Skeen, SIGMOD 1981)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list protocols and experiments").set_defaults(
+        func=_cmd_list
+    )
+
+    show = sub.add_parser("show", help="render a protocol's automata")
+    show.add_argument("protocol", choices=catalog.protocol_names())
+    show.add_argument("n_sites", type=int)
+    show.set_defaults(func=_cmd_show)
+
+    analyze = sub.add_parser("analyze", help="run the nonblocking theorem")
+    analyze.add_argument("protocol", choices=catalog.protocol_names())
+    analyze.add_argument("n_sites", type=int)
+    analyze.set_defaults(func=_cmd_analyze)
+
+    experiment = sub.add_parser("experiment", help="regenerate a paper artifact")
+    experiment.add_argument("experiment_id", help="F1..Q6 or 'all'")
+    experiment.set_defaults(func=_cmd_experiment)
+
+    campaign = sub.add_parser(
+        "campaign", help="run a randomized failure-injection campaign"
+    )
+    campaign.add_argument("protocol", choices=catalog.protocol_names())
+    campaign.add_argument("n_sites", type=int)
+    campaign.add_argument("--count", type=int, default=50)
+    campaign.add_argument("--seed", type=int, default=0)
+    campaign.add_argument("--p-no", type=float, default=0.1, dest="p_no")
+    campaign.add_argument("--p-crash", type=float, default=0.3, dest="p_crash")
+    campaign.add_argument(
+        "--save", metavar="FILE", help="write the campaign as JSON"
+    )
+    campaign.add_argument(
+        "--replay", metavar="FILE", help="replay a saved campaign instead"
+    )
+    campaign.set_defaults(func=_cmd_campaign)
+
+    run = sub.add_parser("run", help="simulate one transaction")
+    run.add_argument("protocol", choices=catalog.protocol_names())
+    run.add_argument("n_sites", type=int)
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument(
+        "--crash",
+        type=_parse_crash,
+        action="append",
+        default=[],
+        metavar="SITE@TIME[@RESTART]",
+        help="crash a site (repeatable)",
+    )
+    run.add_argument(
+        "--no-vote",
+        type=int,
+        action="append",
+        default=[],
+        metavar="SITE",
+        help="make a site vote no (repeatable)",
+    )
+    run.add_argument("--trace", action="store_true", help="print the timeline")
+    run.add_argument(
+        "--swimlanes",
+        action="store_true",
+        help="print per-site swimlanes of the run",
+    )
+    run.add_argument(
+        "--termination",
+        choices=TERMINATION_MODES,
+        default="standard",
+        help="termination protocol variant",
+    )
+    run.add_argument(
+        "--audit",
+        action="store_true",
+        help="verify the execution against the formal model",
+    )
+    run.set_defaults(func=_cmd_run)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

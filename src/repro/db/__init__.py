@@ -1,0 +1,43 @@
+"""The distributed database substrate.
+
+The paper assumes its surrounding system: distributed transactions over
+multiple sites, each with "a local recovery strategy that provides
+atomicity at the local level" (slide 7), concurrency control whose
+conflicts motivate unilateral abort (slide 8: deadlock resolution under
+locking), and a transaction manager that drives a commit protocol.
+This package builds that system:
+
+* :mod:`~repro.db.kv` — the volatile per-site key-value store;
+* :mod:`~repro.db.wal` — the crash-surviving write-ahead log and the
+  redo/undo replay that implements local atomicity;
+* :mod:`~repro.db.locks` — strict two-phase locking with a waits-for
+  graph and deadlock-victim selection;
+* :mod:`~repro.db.local_tm` — the per-site resource manager tying the
+  three together (begin / read / write / prepare / commit / abort);
+* :mod:`~repro.db.distributed` — the distributed database: key
+  placement, multi-site transactions, and a commit phase that runs the
+  *actual* FSA protocols from :mod:`repro.protocols` through the
+  runtime harness, crash injection included.
+
+The data plane (reads/writes/locking) executes synchronously; the
+commit plane is fully simulated message passing.  This split keeps the
+substrate testable while exercising exactly the protocol behaviour the
+paper studies — a blocked 2PC commit really does leave locks held and
+stalls later transactions.
+"""
+
+from repro.db.distributed import DistributedDB, TransactionOutcome
+from repro.db.kv import KVStore
+from repro.db.local_tm import ResourceManager
+from repro.db.locks import LockManager, LockMode
+from repro.db.wal import WriteAheadLog
+
+__all__ = [
+    "DistributedDB",
+    "KVStore",
+    "LockManager",
+    "LockMode",
+    "ResourceManager",
+    "TransactionOutcome",
+    "WriteAheadLog",
+]

@@ -1,0 +1,583 @@
+"""The distributed database: multi-site transactions over real commit
+protocols.
+
+:class:`DistributedDB` owns one :class:`~repro.db.local_tm.ResourceManager`
+per site and routes keys to sites.  A transaction executes its
+reads/writes under strict 2PL at each touched site, then runs the
+commit phase through the *actual* FSA protocol (any catalog protocol)
+on the simulated network, crash injection included.
+
+Two execution modes:
+
+* :meth:`DistributedDB.run_transaction` — one transaction at a time;
+* :meth:`DistributedDB.run_concurrent` — several transaction programs
+  interleaved round-robin, so lock conflicts, deadlocks (→ no votes),
+  and the signature cost of blocking protocols (a blocked commit keeps
+  its locks and stalls later transactions) all actually happen.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import zlib
+from typing import Any, Iterable, Optional, Sequence, Union
+
+from repro.errors import DeadlockError, InvalidProtocolError, TransactionAborted
+from repro.db.local_tm import BlockedOnLock, ResourceManager
+from repro.protocols.catalog import build as build_protocol
+from repro.runtime.decision import TerminationRule
+from repro.runtime.harness import CommitRun, RunResult
+from repro.runtime.policies import FixedVotes
+from repro.types import Outcome, SiteId, TransactionId, Vote
+from repro.workload.crashes import CrashAt, CrashDuringTransition, CrashEvent
+
+#: One operation of a transaction program.
+#: ``("r", key)`` reads; ``("w", key, value)`` writes.
+Op = Union[tuple[str, str], tuple[str, str, Any]]
+
+
+@dataclasses.dataclass
+class TransactionOutcome:
+    """Result of one distributed transaction.
+
+    Attributes:
+        txn: Transaction id.
+        outcome: COMMIT, ABORT, or BLOCKED (commit protocol could not
+            decide and locks remain held).
+        participants: Sites the transaction touched.
+        votes: Per-participant prepare votes (empty if the transaction
+            aborted before the commit phase).
+        reason: Why the transaction aborted early, if it did
+            (``"deadlock"``, ``"stalled"``), else ``None``.
+        commit_run: The commit-phase simulation result, when one ran.
+    """
+
+    txn: TransactionId
+    outcome: Outcome
+    participants: tuple[SiteId, ...]
+    votes: dict[SiteId, Vote] = dataclasses.field(default_factory=dict)
+    reason: Optional[str] = None
+    commit_run: Optional[RunResult] = None
+
+    @property
+    def committed(self) -> bool:
+        """Whether the transaction committed everywhere."""
+        return self.outcome is Outcome.COMMIT
+
+
+class DistributedDB:
+    """A multi-site database committing through a catalog protocol.
+
+    Args:
+        n_sites: Number of database sites (ids 1..n).
+        protocol: Catalog protocol name for the commit phase
+            (``"3pc-central"`` by default).
+        seed: Seed for commit-phase simulations.
+        placement: Optional explicit ``key -> site`` mapping; unlisted
+            keys hash across sites.
+    """
+
+    def __init__(
+        self,
+        n_sites: int,
+        protocol: str = "3pc-central",
+        seed: int = 0,
+        placement: Optional[dict[str, SiteId]] = None,
+    ) -> None:
+        if n_sites < 1:
+            raise InvalidProtocolError(f"need at least 1 site, got {n_sites}")
+        self.n_sites = n_sites
+        self.protocol = protocol
+        self.seed = seed
+        self.sites = [SiteId(i) for i in range(1, n_sites + 1)]
+        self.rms = {site: ResourceManager(site) for site in self.sites}
+        self._placement = dict(placement or {})
+        self._participants: dict[TransactionId, list[SiteId]] = {}
+        self._next_seed = seed
+        # Termination rules are cached per participant count: building
+        # one costs a state-graph enumeration.
+        self._rules: dict[int, TerminationRule] = {}
+
+    # ------------------------------------------------------------------
+    # Placement
+    # ------------------------------------------------------------------
+
+    def place(self, key: str) -> SiteId:
+        """The site storing ``key`` (explicit placement, else hash)."""
+        if key in self._placement:
+            return self._placement[key]
+        return self.sites[zlib.crc32(key.encode()) % self.n_sites]
+
+    def get(self, key: str) -> Any:
+        """Committed value of ``key`` (no transaction, no locks)."""
+        return self.rms[self.place(key)].store.get(key)
+
+    # ------------------------------------------------------------------
+    # Context-manager API
+    # ------------------------------------------------------------------
+
+    def transaction(
+        self,
+        txn: Optional[TransactionId] = None,
+        crashes: Iterable[CrashEvent] = (),
+        max_time: float = 300.0,
+    ) -> "TransactionContext":
+        """Open a transaction as a context manager.
+
+        ::
+
+            with db.transaction() as txn:
+                balance = txn.read("acct:a")
+                txn.write("acct:a", balance - 50)
+                txn.write("acct:b", 50)
+            assert txn.outcome.committed
+
+        A clean exit runs the commit phase through the configured
+        protocol; an exception (including a deadlock-victim abort)
+        aborts everywhere and re-raises.  The result is available as
+        :attr:`TransactionContext.outcome` after exit.
+        """
+        if txn is None:
+            txn = TransactionId(self._auto_txn_id())
+        return TransactionContext(self, txn, tuple(crashes), max_time)
+
+    def _auto_txn_id(self) -> int:
+        self._next_auto_txn = getattr(self, "_next_auto_txn", 10_000) + 1
+        return self._next_auto_txn
+
+    # ------------------------------------------------------------------
+    # Single-transaction execution
+    # ------------------------------------------------------------------
+
+    def run_transaction(
+        self,
+        txn: TransactionId,
+        ops: Sequence[Op],
+        crashes: Iterable[CrashEvent] = (),
+        max_time: float = 300.0,
+    ) -> TransactionOutcome:
+        """Execute ``ops`` and commit via the configured protocol.
+
+        Args:
+            txn: Transaction id (unique per database).
+            ops: The transaction program.
+            crashes: Commit-phase crash schedule, in *database* site
+                ids (translated onto the protocol topology).
+            max_time: Commit-phase simulation deadline.
+
+        Returns:
+            The :class:`TransactionOutcome`.
+        """
+        try:
+            for op in ops:
+                self._apply_op(txn, op)
+        except BlockedOnLock:
+            # Single-transaction mode: nobody will release the lock, so
+            # a queued request means a prior transaction left it held
+            # (typically a *blocked* commit).  The new transaction
+            # gives up rather than waiting forever.
+            self._abort_everywhere(txn)
+            return TransactionOutcome(
+                txn=txn,
+                outcome=Outcome.ABORT,
+                participants=tuple(self._participants.get(txn, ())),
+                reason="stalled",
+            )
+        except (DeadlockError, TransactionAborted):
+            self._abort_everywhere(txn)
+            return TransactionOutcome(
+                txn=txn,
+                outcome=Outcome.ABORT,
+                participants=tuple(self._participants.get(txn, ())),
+                reason="deadlock",
+            )
+        return self._commit_phase(txn, crashes, max_time)
+
+    def _apply_op(self, txn: TransactionId, op: Op) -> None:
+        kind = op[0]
+        key = op[1]
+        site = self.place(key)
+        rm = self.rms[site]
+        participants = self._participants.setdefault(txn, [])
+        if site not in participants:
+            rm.begin(txn)
+            participants.append(site)
+        if kind == "r":
+            rm.read(txn, key)
+        elif kind == "w":
+            rm.write(txn, key, op[2])
+        else:
+            raise ValueError(f"unknown op kind {kind!r}")
+
+    def _abort_everywhere(self, txn: TransactionId) -> None:
+        for site in self._participants.get(txn, ()):
+            self.rms[site].abort(txn)
+
+    # ------------------------------------------------------------------
+    # Commit phase
+    # ------------------------------------------------------------------
+
+    def _commit_phase(
+        self,
+        txn: TransactionId,
+        crashes: Iterable[CrashEvent],
+        max_time: float,
+    ) -> TransactionOutcome:
+        participants = sorted(self._participants.get(txn, ()))
+        if not participants:
+            return TransactionOutcome(
+                txn=txn, outcome=Outcome.COMMIT, participants=()
+            )
+        votes = {site: self.rms[site].prepare(txn) for site in participants}
+
+        if len(participants) == 1:
+            # A flat transaction needs no distributed protocol.
+            site = participants[0]
+            if votes[site] is Vote.YES:
+                self.rms[site].commit(txn)
+                outcome = Outcome.COMMIT
+            else:
+                self.rms[site].abort(txn)
+                outcome = Outcome.ABORT
+            return TransactionOutcome(
+                txn=txn,
+                outcome=outcome,
+                participants=tuple(participants),
+                votes=votes,
+            )
+
+        # Map database sites onto the protocol topology 1..k.  The
+        # lowest participant acts as coordinator for central protocols.
+        k = len(participants)
+        to_proto = {db: SiteId(i + 1) for i, db in enumerate(participants)}
+        from_proto = {v: k_ for k_, v in to_proto.items()}
+        spec = build_protocol(self.protocol, k)
+        rule = self._rules.get(k)
+        if rule is None:
+            rule = TerminationRule(spec)
+            self._rules[k] = rule
+        proto_votes = {to_proto[db]: vote for db, vote in votes.items()}
+        proto_crashes = [self._map_crash(event, to_proto) for event in crashes]
+
+        self._next_seed += 1
+        run = CommitRun(
+            spec=spec,
+            seed=self._next_seed,
+            vote_policy=FixedVotes(proto_votes),
+            crashes=proto_crashes,
+            rule=rule,
+            max_time=max_time,
+        ).execute()
+
+        global_outcomes = run.decided_outcomes()
+        global_decision: Optional[Outcome] = (
+            next(iter(global_outcomes)) if len(global_outcomes) == 1 else None
+        )
+
+        blocked = False
+        for proto_site, report in run.reports.items():
+            db_site = from_proto[proto_site]
+            rm = self.rms[db_site]
+            if report.crashed:
+                # The participant's data plane crashed during the
+                # commit phase: wipe volatile state and replay the WAL.
+                # Any *other* transaction active at the site lost its
+                # volatile updates and locks, so it is aborted
+                # everywhere.  The transaction itself is classified by
+                # what is knowable: its own logged decision, else the
+                # global decision, else — if it voted yes — it stays in
+                # doubt with updates and locks preserved; a site that
+                # never voted rolls back (unilateral abort on
+                # recovery, slide 6).
+                bystanders = [t for t in rm.active_transactions() if t != txn]
+                rm.crash()
+                resolution = (
+                    report.outcome if report.outcome.is_final else global_decision
+                )
+                if resolution is not None:
+                    if resolution is Outcome.COMMIT:
+                        rm.wal.log_commit(txn)
+                    else:
+                        rm.wal.log_abort(txn)
+                    rm.recover()
+                elif report.vote is Vote.YES:
+                    rm.recover(in_doubt=[txn])
+                    blocked = True
+                else:
+                    rm.recover()  # Never voted: rolled back.
+                for bystander in bystanders:
+                    self._abort_everywhere(bystander)
+                continue
+            if report.outcome is Outcome.COMMIT:
+                if rm.is_active(txn):
+                    rm.commit(txn)
+            elif report.outcome is Outcome.ABORT:
+                rm.abort(txn)
+            else:
+                blocked = True  # Undecided: locks stay held.
+
+        if blocked and not run.decided_outcomes():
+            outcome = Outcome.BLOCKED
+        elif Outcome.COMMIT in run.decided_outcomes():
+            outcome = Outcome.COMMIT
+        else:
+            outcome = Outcome.ABORT
+        return TransactionOutcome(
+            txn=txn,
+            outcome=outcome,
+            participants=tuple(participants),
+            votes=votes,
+            commit_run=run,
+        )
+
+    @staticmethod
+    def _map_crash(
+        event: CrashEvent, to_proto: dict[SiteId, SiteId]
+    ) -> CrashEvent:
+        if event.site not in to_proto:
+            raise ValueError(
+                f"crash schedule names site {event.site}, which is not a "
+                "participant of this transaction"
+            )
+        return dataclasses.replace(event, site=to_proto[event.site])
+
+    # ------------------------------------------------------------------
+    # Concurrent execution
+    # ------------------------------------------------------------------
+
+    def run_concurrent(
+        self,
+        programs: dict[TransactionId, Sequence[Op]],
+        crashes: Optional[dict[TransactionId, Sequence[CrashEvent]]] = None,
+        max_stall_rounds: int = 100,
+        max_time: float = 300.0,
+    ) -> dict[TransactionId, TransactionOutcome]:
+        """Interleave several transaction programs round-robin.
+
+        Each scheduling round advances every live transaction by one
+        operation; blocked operations retry the next round.  Deadlock
+        victims abort (and will be reported with ``reason="deadlock"``).
+        A transaction whose operations all completed runs its commit
+        phase immediately.  Transactions making no progress for
+        ``max_stall_rounds`` rounds — typically queued behind the locks
+        of a *blocked* commit — abort with ``reason="stalled"``.
+
+        Returns:
+            Outcome per transaction id.
+        """
+        crashes = crashes or {}
+        cursors = {txn: 0 for txn in programs}
+        stall = {txn: 0 for txn in programs}
+        results: dict[TransactionId, TransactionOutcome] = {}
+
+        def give_up(txn: TransactionId, reason: str) -> None:
+            self._abort_everywhere(txn)
+            results[txn] = TransactionOutcome(
+                txn=txn,
+                outcome=Outcome.ABORT,
+                participants=tuple(self._participants.get(txn, ())),
+                reason=reason,
+            )
+            live.remove(txn)
+
+        live = sorted(programs)
+        while live:
+            progressed_any = False
+            for txn in list(live):
+                ops = programs[txn]
+                if cursors[txn] >= len(ops):
+                    results[txn] = self._commit_phase(
+                        txn, crashes.get(txn, ()), max_time
+                    )
+                    live.remove(txn)
+                    progressed_any = True
+                    continue
+                try:
+                    self._apply_op(txn, ops[cursors[txn]])
+                except BlockedOnLock:
+                    stall[txn] += 1
+                    if stall[txn] >= max_stall_rounds:
+                        give_up(txn, "stalled")
+                    continue
+                except (DeadlockError, TransactionAborted):
+                    give_up(txn, "deadlock")
+                    progressed_any = True
+                    continue
+                cursors[txn] += 1
+                stall[txn] = 0
+                progressed_any = True
+
+            # Local detection cannot see cycles spanning sites; run the
+            # global detector over the union of waits-for graphs.
+            for victim in self._global_deadlock_victims():
+                if victim in live:
+                    give_up(victim, "deadlock")
+                    progressed_any = True
+
+            if not progressed_any:
+                for txn in live:
+                    stall[txn] += 1
+                if all(stall[txn] >= max_stall_rounds for txn in live):
+                    for txn in list(live):
+                        give_up(txn, "stalled")
+        return results
+
+    def _global_deadlock_victims(self) -> list[TransactionId]:
+        """Distributed deadlock detection over the merged waits-for graph.
+
+        Each site only sees its own waits-for edges, so a cycle that
+        spans sites (the classic two-site, two-key deadlock) is
+        invisible locally.  A centralized detector merges the edges and
+        sacrifices the youngest (highest-id) transaction per cycle.
+        """
+        merged: dict[TransactionId, set[TransactionId]] = {}
+        for rm in self.rms.values():
+            for waiter, blockers in rm.locks.waits_for().items():
+                merged.setdefault(waiter, set()).update(blockers)
+
+        victims: set[TransactionId] = set()
+        for start in sorted(merged):
+            if start in victims:
+                continue
+            # DFS from start looking for a path back to start.
+            stack: list[TransactionId] = sorted(merged.get(start, ()))
+            seen: set[TransactionId] = set()
+            while stack:
+                node = stack.pop()
+                if node == start:
+                    victims.add(max(self._cycle_members(merged, start)))
+                    break
+                if node in seen or node in victims:
+                    continue
+                seen.add(node)
+                stack.extend(sorted(merged.get(node, ())))
+        return sorted(victims)
+
+    @staticmethod
+    def _cycle_members(
+        graph: dict[TransactionId, set[TransactionId]], start: TransactionId
+    ) -> set[TransactionId]:
+        """Nodes on some cycle through ``start`` (reach start and are
+        reachable from it)."""
+
+        def reachable(
+            root: TransactionId, edges: dict[TransactionId, set[TransactionId]]
+        ) -> set[TransactionId]:
+            seen: set[TransactionId] = set()
+            stack = [root]
+            while stack:
+                node = stack.pop()
+                for nxt in edges.get(node, ()):
+                    if nxt not in seen:
+                        seen.add(nxt)
+                        stack.append(nxt)
+            return seen
+
+        forward = reachable(start, graph)
+        reverse_edges: dict[TransactionId, set[TransactionId]] = {}
+        for src, dsts in graph.items():
+            for dst in dsts:
+                reverse_edges.setdefault(dst, set()).add(src)
+        backward = reachable(start, reverse_edges)
+        members = forward & backward
+        members.add(start)
+        return members
+
+    # ------------------------------------------------------------------
+    # Site failure plumbing (data plane)
+    # ------------------------------------------------------------------
+
+    def crash_site(self, site: SiteId) -> dict[str, list[TransactionId]]:
+        """Crash a site's data plane and immediately recover it.
+
+        Wipes the volatile store and lock table, then replays the WAL.
+        Returns the recovery classification (committed / aborted /
+        rolled back).
+        """
+        rm = self.rms[site]
+        rm.crash()
+        return rm.recover()
+
+    def snapshot(self) -> dict[str, Any]:
+        """Committed contents of the whole database (for audits)."""
+        merged: dict[str, Any] = {}
+        for rm in self.rms.values():
+            merged.update(rm.store.snapshot())
+        return merged
+
+
+class TransactionContext:
+    """One open transaction with read/write access and auto commit/abort.
+
+    Created by :meth:`DistributedDB.transaction`; see there for usage.
+    Operations execute immediately (locks taken, WAL written) so reads
+    observe the transaction's own writes.
+    """
+
+    def __init__(
+        self,
+        db: DistributedDB,
+        txn: TransactionId,
+        crashes: tuple[CrashEvent, ...],
+        max_time: float,
+    ) -> None:
+        self._db = db
+        self.txn = txn
+        self._crashes = crashes
+        self._max_time = max_time
+        self.outcome: Optional[TransactionOutcome] = None
+        self._open = False
+
+    # -- data operations ------------------------------------------------
+
+    def _rm_for(self, key: str):
+        site = self._db.place(key)
+        rm = self._db.rms[site]
+        participants = self._db._participants.setdefault(self.txn, [])
+        if site not in participants:
+            rm.begin(self.txn)
+            participants.append(site)
+        return rm
+
+    def read(self, key: str) -> Any:
+        """Read ``key`` under a shared lock (sees own writes)."""
+        self._require_open()
+        return self._rm_for(key).read(self.txn, key)
+
+    def write(self, key: str, value: Any) -> None:
+        """Write ``key`` under an exclusive lock."""
+        self._require_open()
+        self._rm_for(key).write(self.txn, key, value)
+
+    def _require_open(self) -> None:
+        if not self._open:
+            raise TransactionAborted(
+                f"transaction {self.txn} is not open (use 'with')"
+            )
+
+    # -- context manager --------------------------------------------------
+
+    def __enter__(self) -> "TransactionContext":
+        self._open = True
+        return self
+
+    def __exit__(self, exc_type, exc, _tb) -> bool:
+        self._open = False
+        if exc_type is not None:
+            self._db._abort_everywhere(self.txn)
+            reason = (
+                "deadlock"
+                if isinstance(exc, (DeadlockError, TransactionAborted))
+                else "error"
+            )
+            self.outcome = TransactionOutcome(
+                txn=self.txn,
+                outcome=Outcome.ABORT,
+                participants=tuple(self._db._participants.get(self.txn, ())),
+                reason=reason,
+            )
+            return False  # Re-raise.
+        self.outcome = self._db._commit_phase(
+            self.txn, self._crashes, self._max_time
+        )
+        return False

@@ -1,0 +1,58 @@
+"""The volatile per-site key-value store.
+
+Plain committed state: transactions mutate it through the resource
+manager (which handles locking and logging), never directly.  The
+store is *volatile* — a site crash wipes it — and is rebuilt from the
+write-ahead log on recovery, which is what makes the WAL the source of
+local atomicity.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Optional
+
+
+class KVStore:
+    """An in-memory key-value store with deletion and iteration."""
+
+    def __init__(self) -> None:
+        self._data: dict[str, Any] = {}
+
+    def get(self, key: str, default: Any = None) -> Any:
+        """Current value of ``key`` (or ``default``)."""
+        return self._data.get(key, default)
+
+    def put(self, key: str, value: Any) -> None:
+        """Set ``key`` to ``value``."""
+        self._data[key] = value
+
+    def delete(self, key: str) -> bool:
+        """Remove ``key``; returns whether it existed."""
+        return self._data.pop(key, None) is not None
+
+    def exists(self, key: str) -> bool:
+        """Whether ``key`` holds a value."""
+        return key in self._data
+
+    def keys(self) -> list[str]:
+        """All keys, sorted."""
+        return sorted(self._data)
+
+    def items(self) -> Iterator[tuple[str, Any]]:
+        """All (key, value) pairs in key order."""
+        for key in self.keys():
+            yield key, self._data[key]
+
+    def snapshot(self) -> dict[str, Any]:
+        """A copy of the current contents (for audits and tests)."""
+        return dict(self._data)
+
+    def wipe(self) -> None:
+        """Lose everything — what a site crash does to volatile state."""
+        self._data.clear()
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"KVStore({len(self._data)} keys)"

@@ -1,0 +1,225 @@
+"""The per-site resource manager.
+
+Ties the store, the WAL, and the lock manager into the local
+transaction interface the distributed layer drives:
+
+``begin`` → ``read``/``write`` (strict 2PL + write-ahead logging) →
+``prepare`` (the site's *vote*) → ``commit`` / ``abort``.
+
+A deadlock victim is aborted immediately and will vote no at prepare
+time — the paper's canonical reason for unilateral abort.  Locks are
+held until commit/abort (strict 2PL), which is precisely why a
+*blocked* commit protocol is expensive: an undecided transaction keeps
+its locks, stalling every later conflicting transaction.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Iterable, Optional
+
+from repro.errors import DeadlockError, TransactionAborted
+from repro.db.kv import KVStore
+from repro.db.locks import LockManager, LockMode
+from repro.db.wal import MISSING, WriteAheadLog
+from repro.types import SiteId, TransactionId, Vote
+
+
+class ResourceManager:
+    """One site's local transaction manager.
+
+    Args:
+        site: The site this manager serves (for diagnostics).
+    """
+
+    def __init__(self, site: SiteId) -> None:
+        self.site = site
+        self.store = KVStore()
+        self.wal = WriteAheadLog()
+        self.locks = LockManager()
+        self._active: set[TransactionId] = set()
+        self._prepared: set[TransactionId] = set()
+        self._aborted: set[TransactionId] = set()
+        self.deadlock_victims = 0
+
+    # ------------------------------------------------------------------
+    # Transaction lifecycle
+    # ------------------------------------------------------------------
+
+    def begin(self, txn: TransactionId) -> None:
+        """Start ``txn`` at this site."""
+        self.wal.log_begin(txn)
+        self._active.add(txn)
+
+    def read(self, txn: TransactionId, key: str) -> Any:
+        """Read ``key`` under a shared lock.
+
+        Returns the committed (or own uncommitted) value.
+
+        Raises:
+            TransactionAborted: If ``txn`` already aborted here.
+            DeadlockError: If waiting would deadlock (txn is aborted as
+                the victim before the error propagates).
+            BlockedOnLock: (as ``False``-like sentinel) — see
+                :meth:`try_read`; this method raises instead of queuing.
+        """
+        self._require_active(txn)
+        self._acquire_or_abort(txn, key, LockMode.SHARED)
+        return self.store.get(key)
+
+    def write(self, txn: TransactionId, key: str, value: Any) -> None:
+        """Write ``key`` under an exclusive lock, logging undo/redo."""
+        self._require_active(txn)
+        self._acquire_or_abort(txn, key, LockMode.EXCLUSIVE)
+        old = self.store.get(key, MISSING) if self.store.exists(key) else MISSING
+        self.wal.log_update(txn, key, old, value)
+        self.store.put(key, value)
+
+    def lock_available(self, txn: TransactionId, key: str, mode: LockMode) -> bool:
+        """Whether ``txn`` could take ``key`` in ``mode`` right now."""
+        holders = self.locks.holders(key)
+        return all(
+            holder == txn or mode.compatible_with(held)
+            for holder, held in holders.items()
+        )
+
+    def _acquire_or_abort(
+        self, txn: TransactionId, key: str, mode: LockMode
+    ) -> None:
+        try:
+            granted = self.locks.acquire(txn, key, mode)
+        except DeadlockError:
+            self.deadlock_victims += 1
+            self.abort(txn)
+            raise
+        if not granted:
+            raise BlockedOnLock(txn, key, mode)
+
+    def _require_active(self, txn: TransactionId) -> None:
+        if txn in self._aborted:
+            raise TransactionAborted(f"transaction {txn} aborted at site {self.site}")
+        if txn not in self._active:
+            raise TransactionAborted(
+                f"transaction {txn} is not active at site {self.site}"
+            )
+
+    # ------------------------------------------------------------------
+    # Commit protocol interface
+    # ------------------------------------------------------------------
+
+    def prepare(self, txn: TransactionId) -> Vote:
+        """The site's vote: yes iff the transaction is healthy here."""
+        if txn in self._active and txn not in self._aborted:
+            self._prepared.add(txn)
+            return Vote.YES
+        return Vote.NO
+
+    def commit(self, txn: TransactionId) -> None:
+        """Make ``txn`` durable and release its locks."""
+        self._require_active(txn)
+        self.wal.log_commit(txn)
+        self._active.discard(txn)
+        self._prepared.discard(txn)
+        self.locks.release_all(txn)
+
+    def abort(self, txn: TransactionId) -> None:
+        """Undo ``txn``'s updates and release its locks (idempotent)."""
+        if txn in self._aborted or txn not in self._active:
+            return
+        for record in reversed(self.wal.updates_of(txn)):
+            if record.old is MISSING:
+                self.store.delete(record.key)
+            else:
+                self.store.put(record.key, record.old)
+        self.wal.log_abort(txn)
+        self._active.discard(txn)
+        self._prepared.discard(txn)
+        self._aborted.add(txn)
+        self.locks.release_all(txn)
+
+    # ------------------------------------------------------------------
+    # Crash / recovery
+    # ------------------------------------------------------------------
+
+    def crash(self) -> None:
+        """Lose volatile state: store contents, lock table, live sets."""
+        self.store.wipe()
+        self.locks = LockManager()
+        self._active.clear()
+        self._prepared.clear()
+
+    def recover(
+        self, in_doubt: Iterable[TransactionId] = ()
+    ) -> dict[str, list[TransactionId]]:
+        """Rebuild the store from the WAL after a crash.
+
+        In-doubt transactions (voted yes, distributed outcome unknown)
+        are preserved rather than rolled back: their updates stay
+        applied, their exclusive locks are re-acquired, and they return
+        to active/prepared status awaiting the eventual
+        :meth:`resolve` — exactly how a recovering 2PC/3PC participant
+        must hold its locks until the in-doubt question is answered.
+
+        Returns the classification from
+        :meth:`repro.db.wal.WriteAheadLog.recover`.
+        """
+        classification = self.wal.recover(self.store, in_doubt=in_doubt)
+        for txn in classification["in_doubt"]:
+            self._active.add(txn)
+            self._prepared.add(txn)
+            for record in self.wal.updates_of(txn):
+                granted = self.locks.acquire(txn, record.key, LockMode.EXCLUSIVE)
+                assert granted, "fresh lock table must grant in-doubt relocks"
+        return classification
+
+    def resolve(self, txn: TransactionId, outcome: "Outcome") -> None:
+        """Apply the distributed decision to a recovered in-doubt txn.
+
+        Raises:
+            TransactionAborted: If the transaction is not active here.
+            ValueError: For a non-final outcome.
+        """
+        from repro.types import Outcome
+
+        if outcome is Outcome.COMMIT:
+            self.commit(txn)
+        elif outcome is Outcome.ABORT:
+            self.abort(txn)
+        else:
+            raise ValueError(f"cannot resolve to non-final outcome {outcome}")
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def is_active(self, txn: TransactionId) -> bool:
+        """Whether ``txn`` is live (begun, not yet finished) here."""
+        return txn in self._active
+
+    def active_transactions(self) -> list[TransactionId]:
+        """All live transactions at this site, sorted."""
+        return sorted(self._active)
+
+    def is_prepared(self, txn: TransactionId) -> bool:
+        """Whether ``txn`` voted yes here and awaits the outcome."""
+        return txn in self._prepared
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ResourceManager(site={self.site}, active={len(self._active)}, "
+            f"keys={len(self.store)})"
+        )
+
+
+class BlockedOnLock(Exception):
+    """A lock request was queued; the operation should be retried.
+
+    Not a :class:`~repro.errors.ReproError` subclass on purpose: it is
+    control flow for the round-robin executor in
+    :mod:`repro.db.distributed`, not an error condition.
+    """
+
+    def __init__(self, txn: TransactionId, key: str, mode: LockMode) -> None:
+        super().__init__(f"transaction {txn} blocked on {key!r} ({mode.value})")
+        self.txn = txn
+        self.key = key
+        self.mode = mode

@@ -1,0 +1,237 @@
+"""Strict two-phase locking with deadlock detection.
+
+The lock manager grants shared (read) and exclusive (write) locks per
+key.  Conflicting requests wait in FIFO order; a waits-for graph is
+maintained, and any request that would close a cycle is refused with
+:class:`~repro.errors.DeadlockError` — the requester becomes the
+deadlock victim and must abort.
+
+This is the paper's stated motivation for unilateral abort (slide 8):
+"a server may not be able to commit its part of a transaction due to
+issues of concurrency control, e.g. the resolution of a deadlock when
+a locking scheme is adopted."  The resource manager converts a
+deadlock-victim abort into a ``no`` vote.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Optional
+
+from repro.errors import DeadlockError, LockError
+from repro.types import TransactionId
+
+
+class LockMode(enum.Enum):
+    """Lock strength."""
+
+    SHARED = "S"
+    EXCLUSIVE = "X"
+
+    def compatible_with(self, other: "LockMode") -> bool:
+        """Whether two holders in these modes can coexist."""
+        return self is LockMode.SHARED and other is LockMode.SHARED
+
+
+@dataclasses.dataclass
+class _LockEntry:
+    """Holders and waiters of one key's lock."""
+
+    holders: dict[TransactionId, LockMode] = dataclasses.field(default_factory=dict)
+    waiters: list[tuple[TransactionId, LockMode]] = dataclasses.field(
+        default_factory=list
+    )
+
+
+class LockManager:
+    """Per-site lock table.
+
+    ``acquire`` either grants immediately, enqueues the requester
+    (returning ``False``), or raises :class:`DeadlockError` when
+    waiting would create a cycle in the waits-for graph.  Blocked
+    requests are re-examined on every release.
+    """
+
+    def __init__(self) -> None:
+        self._table: dict[str, _LockEntry] = {}
+
+    # ------------------------------------------------------------------
+    # Acquisition
+    # ------------------------------------------------------------------
+
+    def acquire(self, txn: TransactionId, key: str, mode: LockMode) -> bool:
+        """Request ``key`` in ``mode`` for ``txn``.
+
+        Returns:
+            ``True`` if granted now, ``False`` if the request was
+            enqueued (the caller retries after releases).
+
+        Raises:
+            DeadlockError: If waiting would deadlock; the request is
+                *not* enqueued and ``txn`` should abort.
+        """
+        entry = self._table.setdefault(key, _LockEntry())
+
+        held = entry.holders.get(txn)
+        if held is not None:
+            if held is mode or held is LockMode.EXCLUSIVE:
+                return True  # Re-entrant / already stronger.
+            # Upgrade S -> X: allowed when we are the sole holder.
+            if len(entry.holders) == 1:
+                entry.holders[txn] = LockMode.EXCLUSIVE
+                return True
+            self._check_deadlock(txn, key, mode, entry)
+            if not self._queued(entry, txn):
+                entry.waiters.insert(0, (txn, mode))  # Upgrades go first.
+            return False
+
+        if self._grantable(entry, txn, mode):
+            entry.holders[txn] = mode
+            return True
+
+        self._check_deadlock(txn, key, mode, entry)
+        if not self._queued(entry, txn):
+            entry.waiters.append((txn, mode))
+        return False
+
+    def _grantable(
+        self, entry: _LockEntry, txn: TransactionId, mode: LockMode
+    ) -> bool:
+        if any(
+            not mode.compatible_with(held)
+            for holder, held in entry.holders.items()
+            if holder != txn
+        ):
+            return False
+        # FIFO fairness: don't jump over earlier waiters.
+        return not any(waiter != txn for waiter, _ in entry.waiters)
+
+    @staticmethod
+    def _queued(entry: _LockEntry, txn: TransactionId) -> bool:
+        return any(waiter == txn for waiter, _ in entry.waiters)
+
+    # ------------------------------------------------------------------
+    # Release and promotion
+    # ------------------------------------------------------------------
+
+    def release_all(self, txn: TransactionId) -> list[TransactionId]:
+        """Drop every lock and queued request of ``txn``.
+
+        Returns:
+            Transactions whose queued requests became grantable — the
+            caller (resource manager) re-drives their work.
+        """
+        woken: list[TransactionId] = []
+        for key in list(self._table):
+            entry = self._table[key]
+            entry.holders.pop(txn, None)
+            entry.waiters = [(w, m) for w, m in entry.waiters if w != txn]
+            woken.extend(self._promote(entry))
+            if not entry.holders and not entry.waiters:
+                del self._table[key]
+        return sorted(set(woken))
+
+    def _promote(self, entry: _LockEntry) -> list[TransactionId]:
+        """Grant queued requests that are now compatible, in order."""
+        woken = []
+        while entry.waiters:
+            txn, mode = entry.waiters[0]
+            others_incompatible = any(
+                not mode.compatible_with(held)
+                for holder, held in entry.holders.items()
+                if holder != txn
+            )
+            if others_incompatible:
+                break
+            entry.waiters.pop(0)
+            current = entry.holders.get(txn)
+            if current is None or mode is LockMode.EXCLUSIVE:
+                entry.holders[txn] = mode
+            woken.append(txn)
+        return woken
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def holders(self, key: str) -> dict[TransactionId, LockMode]:
+        """Current holders of ``key``."""
+        entry = self._table.get(key)
+        return dict(entry.holders) if entry else {}
+
+    def waiters(self, key: str) -> list[TransactionId]:
+        """Queued transactions on ``key``, in FIFO order."""
+        entry = self._table.get(key)
+        return [txn for txn, _ in entry.waiters] if entry else []
+
+    def locks_held(self, txn: TransactionId) -> dict[str, LockMode]:
+        """Every lock ``txn`` currently holds."""
+        return {
+            key: entry.holders[txn]
+            for key, entry in self._table.items()
+            if txn in entry.holders
+        }
+
+    def waits_for(self) -> dict[TransactionId, set[TransactionId]]:
+        """The waits-for graph: waiter -> set of blocking holders."""
+        graph: dict[TransactionId, set[TransactionId]] = {}
+        for entry in self._table.values():
+            for waiter, mode in entry.waiters:
+                blockers = {
+                    holder
+                    for holder, held in entry.holders.items()
+                    if holder != waiter and not mode.compatible_with(held)
+                }
+                if blockers:
+                    graph.setdefault(waiter, set()).update(blockers)
+        return graph
+
+    # ------------------------------------------------------------------
+    # Deadlock detection
+    # ------------------------------------------------------------------
+
+    def _check_deadlock(
+        self,
+        txn: TransactionId,
+        key: str,
+        mode: LockMode,
+        entry: _LockEntry,
+    ) -> None:
+        """Raise if ``txn`` waiting on ``key`` would close a cycle."""
+        blockers = {
+            holder
+            for holder, held in entry.holders.items()
+            if holder != txn and not mode.compatible_with(held)
+        }
+        graph = self.waits_for()
+        graph.setdefault(txn, set()).update(blockers)
+
+        # DFS from txn: a path back to txn is a cycle.
+        stack = list(graph.get(txn, ()))
+        seen: set[TransactionId] = set()
+        while stack:
+            node = stack.pop()
+            if node == txn:
+                raise DeadlockError(
+                    f"transaction {txn} waiting for {key!r} ({mode.value}) "
+                    "would deadlock; chosen as victim"
+                )
+            if node in seen:
+                continue
+            seen.add(node)
+            stack.extend(graph.get(node, ()))
+
+    def unlock(self, txn: TransactionId, key: str) -> None:
+        """Release one lock explicitly (mostly for tests).
+
+        Raises:
+            LockError: If ``txn`` does not hold ``key``.
+        """
+        entry = self._table.get(key)
+        if entry is None or txn not in entry.holders:
+            raise LockError(f"transaction {txn} does not hold {key!r}")
+        del entry.holders[txn]
+        self._promote(entry)
+        if not entry.holders and not entry.waiters:
+            del self._table[key]

@@ -1,0 +1,233 @@
+"""The write-ahead log: per-site local atomicity.
+
+A redo/undo log in the classic style (steal, no-force, no
+checkpoints — the log holds the full history of this simulation):
+
+* every update is logged *before* it is applied to the store, with
+  both the old and the new value;
+* commit and abort are single forced records;
+* recovery replays the whole log forward (redo), then rolls back every
+  transaction without a commit record (undo, in reverse order), writing
+  compensation ``abort`` records for them.
+
+This is the "local recovery strategy that provides atomicity at the
+local level" the paper assumes of every site (slide 7).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Iterable, Optional, Union
+
+from repro.errors import WALError
+from repro.db.kv import KVStore
+from repro.types import TransactionId
+
+#: Sentinel recorded as the "old value" when the key did not exist.
+MISSING = object()
+
+
+@dataclasses.dataclass(frozen=True)
+class BeginRecord:
+    """Transaction start."""
+
+    txn: TransactionId
+
+
+@dataclasses.dataclass(frozen=True)
+class UpdateRecord:
+    """One logged update with undo (old) and redo (new) information.
+
+    ``old`` is :data:`MISSING` when the key had no prior value — undo
+    then deletes the key.
+    """
+
+    txn: TransactionId
+    key: str
+    old: Any
+    new: Any
+
+
+@dataclasses.dataclass(frozen=True)
+class CommitRecord:
+    """Transaction commit (forced)."""
+
+    txn: TransactionId
+
+
+@dataclasses.dataclass(frozen=True)
+class AbortRecord:
+    """Transaction abort (forced; also written as a compensation record
+    when recovery rolls a loser back)."""
+
+    txn: TransactionId
+
+
+WALRecord = Union[BeginRecord, UpdateRecord, CommitRecord, AbortRecord]
+
+
+class WriteAheadLog:
+    """Append-only, crash-surviving log for one site."""
+
+    def __init__(self) -> None:
+        self._records: list[WALRecord] = []
+
+    @property
+    def records(self) -> tuple[WALRecord, ...]:
+        """All records in append order."""
+        return tuple(self._records)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    # ------------------------------------------------------------------
+    # Appends (each validates basic protocol sanity)
+    # ------------------------------------------------------------------
+
+    def log_begin(self, txn: TransactionId) -> None:
+        """Record the start of ``txn``.
+
+        Raises:
+            WALError: If the transaction already began.
+        """
+        if self._began(txn):
+            raise WALError(f"transaction {txn} already began")
+        self._records.append(BeginRecord(txn))
+
+    def log_update(self, txn: TransactionId, key: str, old: Any, new: Any) -> None:
+        """Record an update of ``key`` by ``txn`` (before applying it).
+
+        Raises:
+            WALError: If the transaction never began or already ended.
+        """
+        self._require_active(txn)
+        self._records.append(UpdateRecord(txn, key, old, new))
+
+    def log_commit(self, txn: TransactionId) -> None:
+        """Force a commit record.
+
+        Raises:
+            WALError: If the transaction never began or already ended.
+        """
+        self._require_active(txn)
+        self._records.append(CommitRecord(txn))
+
+    def log_abort(self, txn: TransactionId) -> None:
+        """Force an abort record.
+
+        Raises:
+            WALError: If the transaction never began or already ended.
+        """
+        self._require_active(txn)
+        self._records.append(AbortRecord(txn))
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def _began(self, txn: TransactionId) -> bool:
+        return any(
+            isinstance(r, BeginRecord) and r.txn == txn for r in self._records
+        )
+
+    def _require_active(self, txn: TransactionId) -> None:
+        if not self._began(txn):
+            raise WALError(f"transaction {txn} never began")
+        if self.status(txn) != "active":
+            raise WALError(f"transaction {txn} already {self.status(txn)}")
+
+    def status(self, txn: TransactionId) -> str:
+        """``"active"``, ``"committed"``, ``"aborted"``, or ``"unknown"``."""
+        result = "unknown"
+        for record in self._records:
+            if record.txn != txn:
+                continue
+            if isinstance(record, BeginRecord):
+                result = "active"
+            elif isinstance(record, CommitRecord):
+                result = "committed"
+            elif isinstance(record, AbortRecord):
+                result = "aborted"
+        return result
+
+    def transactions(self) -> list[TransactionId]:
+        """Every transaction id appearing in the log, sorted."""
+        return sorted({r.txn for r in self._records})
+
+    def updates_of(self, txn: TransactionId) -> list[UpdateRecord]:
+        """The update records of ``txn`` in log order."""
+        return [
+            r
+            for r in self._records
+            if isinstance(r, UpdateRecord) and r.txn == txn
+        ]
+
+    # ------------------------------------------------------------------
+    # Recovery
+    # ------------------------------------------------------------------
+
+    def recover(
+        self,
+        store: KVStore,
+        in_doubt: Iterable[TransactionId] = (),
+    ) -> dict[str, list[TransactionId]]:
+        """Rebuild ``store`` from the log after a crash.
+
+        Redo pass: replay every update in log order.  Undo pass: roll
+        back transactions with neither commit nor abort record, newest
+        update first, and append compensation abort records for them.
+
+        Args:
+            store: The (freshly wiped) store to rebuild.
+            in_doubt: Transactions that voted yes in a commit protocol
+                but whose outcome is still unknown.  These must *not*
+                be rolled back — the distributed decision may yet be
+                commit — so their updates stay applied and they remain
+                active, awaiting resolution.
+
+        Returns:
+            ``{"committed": [...], "aborted": [...], "rolled_back":
+            [...], "in_doubt": [...]}`` — how each logged transaction
+            was classified.
+        """
+        keep = set(in_doubt)
+        # Redo: replay history forward.
+        for record in self._records:
+            if isinstance(record, UpdateRecord):
+                store.put(record.key, record.new)
+            elif isinstance(record, AbortRecord):
+                # History already contains the txn's updates; undo them
+                # now exactly as the original abort did.
+                self._undo_into(store, record.txn, upto=self._records.index(record))
+
+        # Undo: roll back losers (active transactions).
+        classification: dict[str, list[TransactionId]] = {
+            "committed": [],
+            "aborted": [],
+            "rolled_back": [],
+            "in_doubt": [],
+        }
+        for txn in self.transactions():
+            status = self.status(txn)
+            if status == "committed":
+                classification["committed"].append(txn)
+            elif status == "aborted":
+                classification["aborted"].append(txn)
+            elif txn in keep:
+                classification["in_doubt"].append(txn)
+            else:
+                self._undo_into(store, txn, upto=len(self._records))
+                self._records.append(AbortRecord(txn))
+                classification["rolled_back"].append(txn)
+        return classification
+
+    def _undo_into(
+        self, store: KVStore, txn: TransactionId, upto: int
+    ) -> None:
+        """Undo ``txn``'s updates recorded before index ``upto``."""
+        for record in reversed(self._records[:upto]):
+            if isinstance(record, UpdateRecord) and record.txn == txn:
+                if record.old is MISSING:
+                    store.delete(record.key)
+                else:
+                    store.put(record.key, record.old)

@@ -1,0 +1,29 @@
+"""Distributed election algorithms for backup-coordinator selection.
+
+Slide 38: "Any distributed election mechanism can be used to choose the
+backup coordinator."  This package provides two classic mechanisms as
+runnable message-passing algorithms on the simulated network:
+
+* :mod:`~repro.election.bully` — Garcia-Molina's bully algorithm: the
+  highest operational id wins;
+* :mod:`~repro.election.ring` — a ring election: candidacies circulate
+  around a logical ring and the highest collected id wins.
+
+Both converge to a deterministic winner among the operational sites,
+which is why the termination protocol's default "strategy function"
+(:func:`repro.runtime.termination.lowest_id_election`, or the
+:func:`bully_strategy` / :func:`ring_strategy` equivalents below) can
+stand in for a full message exchange without changing outcomes.
+"""
+
+from repro.election.bully import BullyNode, bully_strategy, run_bully_election
+from repro.election.ring import RingNode, ring_strategy, run_ring_election
+
+__all__ = [
+    "BullyNode",
+    "RingNode",
+    "bully_strategy",
+    "ring_strategy",
+    "run_bully_election",
+    "run_ring_election",
+]

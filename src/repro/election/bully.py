@@ -1,0 +1,190 @@
+"""The bully election algorithm (Garcia-Molina, 1982).
+
+When a node starts an election it challenges every higher-id node with
+an ``ELECTION`` message.  A higher node that is alive answers ``OK``
+(bullying the challenger out) and starts its own election.  A node that
+hears no ``OK`` within a timeout declares itself coordinator and
+broadcasts ``COORDINATOR``.  The highest operational id always wins.
+
+Run standalone via :func:`run_bully_election`; the equivalent
+deterministic strategy for the termination protocol is
+:func:`bully_strategy`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterable, Optional
+
+from repro.net.message import Envelope
+from repro.net.network import Network
+from repro.sim.process import Process
+from repro.sim.simulator import Simulator
+from repro.types import SiteId
+
+
+@dataclasses.dataclass(frozen=True)
+class Election:
+    """Challenge from a lower-id node."""
+
+
+@dataclasses.dataclass(frozen=True)
+class Ok:
+    """A higher-id node's answer: 'I am alive, stand down'."""
+
+
+@dataclasses.dataclass(frozen=True)
+class Coordinator:
+    """Victory announcement from the new coordinator."""
+
+    winner: SiteId
+
+
+class BullyNode(Process):
+    """One participant in a bully election.
+
+    Args:
+        sim: The simulator.
+        network: The shared network; the node attaches itself.
+        node_id: This node's id (higher ids win).
+        peers: Every participant id, including this node.
+        answer_timeout: How long to wait for an ``OK`` before declaring
+            victory; must exceed one round trip.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        node_id: SiteId,
+        peers: Iterable[SiteId],
+        answer_timeout: float = 3.0,
+    ) -> None:
+        super().__init__(sim, name=f"bully-{node_id}")
+        self.node_id = node_id
+        self.network = network
+        self.peers = sorted(peers)
+        self.answer_timeout = answer_timeout
+        self.coordinator: Optional[SiteId] = None
+        self.elections_started = 0
+        self._awaiting_ok = False
+        network.attach(node_id, self)
+        network.add_failure_listener(node_id, self._peer_failed)
+
+    # ------------------------------------------------------------------
+    # Protocol
+    # ------------------------------------------------------------------
+
+    def start_election(self) -> None:
+        """Challenge all higher-id peers; self-elect if none answers."""
+        if not self.alive:
+            return
+        self.elections_started += 1
+        higher = [p for p in self.peers if p > self.node_id]
+        self.trace(
+            "bully.start",
+            f"challenging {higher or 'nobody'}",
+            site=self.node_id,
+        )
+        if not higher:
+            self._declare_victory()
+            return
+        self._awaiting_ok = True
+        for peer in higher:
+            self.network.send(self.node_id, peer, Election())
+        self.set_timer("bully.answer", self.answer_timeout, self._answer_timeout)
+
+    def _answer_timeout(self) -> None:
+        if self._awaiting_ok:
+            self._awaiting_ok = False
+            self._declare_victory()
+
+    def _declare_victory(self) -> None:
+        self.coordinator = self.node_id
+        self.trace("bully.win", "declared self coordinator", site=self.node_id)
+        for peer in self.peers:
+            if peer != self.node_id and self.network.is_up(peer):
+                self.network.send(self.node_id, peer, Coordinator(self.node_id))
+
+    def deliver(self, envelope: Envelope) -> None:
+        """Network sink."""
+        if not self.alive:
+            return
+        payload = envelope.payload
+        if isinstance(payload, Election):
+            # A lower node challenged us: bully it out and run our own.
+            self.network.send(self.node_id, envelope.src, Ok())
+            if not self._awaiting_ok and self.coordinator != self.node_id:
+                self.start_election()
+        elif isinstance(payload, Ok):
+            # A higher node lives; await its Coordinator announcement.
+            self._awaiting_ok = False
+            self.cancel_timer("bully.answer")
+            self.set_timer(
+                "bully.await_winner",
+                self.answer_timeout * 3,
+                self.start_election,
+            )
+        elif isinstance(payload, Coordinator):
+            self.coordinator = payload.winner
+            self._awaiting_ok = False
+            self.cancel_timer("bully.answer")
+            self.cancel_timer("bully.await_winner")
+            self.trace(
+                "bully.accept",
+                f"accepted coordinator {payload.winner}",
+                site=self.node_id,
+            )
+
+    def _peer_failed(self, failed: SiteId) -> None:
+        """Re-elect if the current coordinator died."""
+        if self.alive and failed == self.coordinator:
+            self.coordinator = None
+            self.start_election()
+
+
+def run_bully_election(
+    node_ids: Iterable[SiteId],
+    crashed: Iterable[SiteId] = (),
+    initiator: Optional[SiteId] = None,
+    seed: int = 0,
+) -> tuple[Optional[SiteId], dict[SiteId, Optional[SiteId]]]:
+    """Run one standalone bully election to convergence.
+
+    Args:
+        node_ids: All participant ids.
+        crashed: Ids that are down before the election starts.
+        initiator: The node that notices the failure and starts the
+            election (default: the lowest operational id).
+        seed: Simulator seed.
+
+    Returns:
+        ``(winner, view)`` where ``view`` maps each node to the
+        coordinator it ended up accepting (``None`` for crashed nodes).
+    """
+    sim = Simulator(seed=seed)
+    network = Network(sim)
+    ids = sorted(node_ids)
+    down = set(crashed)
+    nodes = {i: BullyNode(sim, network, i, ids) for i in ids}
+    for i in down:
+        nodes[i].crash()
+        network.crash(i)
+    operational = [i for i in ids if i not in down]
+    if not operational:
+        return None, {i: None for i in ids}
+    if initiator is None:
+        initiator = min(operational)
+    sim.schedule(0.0, nodes[initiator].start_election, label="start election")
+    sim.run(until=1000.0)
+    view = {i: nodes[i].coordinator for i in ids}
+    return max(operational), view
+
+
+def bully_strategy(candidates: Iterable[SiteId]) -> SiteId:
+    """The bully algorithm's deterministic outcome: the highest id.
+
+    Drop-in :class:`~repro.runtime.termination.ElectionStrategy` for the
+    termination protocol.
+    """
+    return max(candidates)

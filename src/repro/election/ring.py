@@ -1,0 +1,191 @@
+"""A ring election algorithm (Chang & Roberts style, candidacy list).
+
+Nodes form a logical ring in id order.  The initiator sends an
+``ELECTION`` message carrying a candidate list to its successor; each
+operational node appends its own id and forwards.  When the message
+returns to the initiator, the highest collected id is the winner, and a
+``ELECTED`` announcement circulates once more.  Crashed nodes are
+skipped by forwarding to the next operational successor (the reliable
+failure detector keeps each node's ring view current).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterable, Optional
+
+from repro.net.message import Envelope
+from repro.net.network import Network
+from repro.sim.process import Process
+from repro.sim.simulator import Simulator
+from repro.types import SiteId
+
+
+@dataclasses.dataclass(frozen=True)
+class ElectionToken:
+    """The circulating candidacy list.
+
+    Attributes:
+        initiator: Node that started the election.
+        candidates: Ids collected so far, in visit order.
+    """
+
+    initiator: SiteId
+    candidates: tuple[SiteId, ...]
+
+
+@dataclasses.dataclass(frozen=True)
+class ElectedToken:
+    """The circulating victory announcement."""
+
+    initiator: SiteId
+    winner: SiteId
+
+
+class RingNode(Process):
+    """One participant in a ring election.
+
+    Args:
+        sim: The simulator.
+        network: The shared network; the node attaches itself.
+        node_id: This node's id.
+        peers: Every participant id, including this node (defines the
+            ring order).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        node_id: SiteId,
+        peers: Iterable[SiteId],
+    ) -> None:
+        super().__init__(sim, name=f"ring-{node_id}")
+        self.node_id = node_id
+        self.network = network
+        self.peers = sorted(peers)
+        self.coordinator: Optional[SiteId] = None
+        self.known_failed: set[SiteId] = set()
+        network.attach(node_id, self)
+        network.add_failure_listener(node_id, self._peer_failed)
+
+    # ------------------------------------------------------------------
+    # Ring plumbing
+    # ------------------------------------------------------------------
+
+    def successor(self) -> SiteId:
+        """The next operational node clockwise from this one.
+
+        Falls back to this node itself when it believes it is the only
+        survivor.
+        """
+        n = len(self.peers)
+        start = self.peers.index(self.node_id)
+        for step in range(1, n + 1):
+            candidate = self.peers[(start + step) % n]
+            if candidate == self.node_id or candidate not in self.known_failed:
+                return candidate
+        return self.node_id  # pragma: no cover - loop always returns
+
+    def _forward(self, payload: object) -> None:
+        nxt = self.successor()
+        if nxt == self.node_id:
+            # Sole survivor: the election degenerates immediately.
+            if isinstance(payload, ElectionToken):
+                self.coordinator = self.node_id
+                self.trace(
+                    "ring.sole_survivor", "won by default", site=self.node_id
+                )
+            return
+        self.network.send(self.node_id, nxt, payload)
+
+    # ------------------------------------------------------------------
+    # Protocol
+    # ------------------------------------------------------------------
+
+    def start_election(self) -> None:
+        """Begin circulating a candidacy token."""
+        if not self.alive:
+            return
+        self.trace("ring.start", "initiating election", site=self.node_id)
+        self._forward(ElectionToken(self.node_id, (self.node_id,)))
+
+    def deliver(self, envelope: Envelope) -> None:
+        """Network sink."""
+        if not self.alive:
+            return
+        payload = envelope.payload
+        if isinstance(payload, ElectionToken):
+            if payload.initiator == self.node_id:
+                winner = max(payload.candidates)
+                self.coordinator = winner
+                self.trace(
+                    "ring.complete",
+                    f"token returned; winner {winner}",
+                    site=self.node_id,
+                )
+                self._forward(ElectedToken(self.node_id, winner))
+            else:
+                token = ElectionToken(
+                    payload.initiator, payload.candidates + (self.node_id,)
+                )
+                self._forward(token)
+        elif isinstance(payload, ElectedToken):
+            if payload.initiator == self.node_id:
+                return  # The announcement completed the ring.
+            self.coordinator = payload.winner
+            self.trace(
+                "ring.accept",
+                f"accepted coordinator {payload.winner}",
+                site=self.node_id,
+            )
+            self._forward(payload)
+
+    def _peer_failed(self, failed: SiteId) -> None:
+        self.known_failed.add(failed)
+        if self.alive and failed == self.coordinator:
+            self.coordinator = None
+            self.start_election()
+
+
+def run_ring_election(
+    node_ids: Iterable[SiteId],
+    crashed: Iterable[SiteId] = (),
+    initiator: Optional[SiteId] = None,
+    seed: int = 0,
+) -> tuple[Optional[SiteId], dict[SiteId, Optional[SiteId]]]:
+    """Run one standalone ring election to convergence.
+
+    Args mirror :func:`repro.election.bully.run_bully_election`.
+
+    Returns:
+        ``(winner, view)`` with the converged coordinator and each
+        node's accepted coordinator.
+    """
+    sim = Simulator(seed=seed)
+    network = Network(sim)
+    ids = sorted(node_ids)
+    down = set(crashed)
+    nodes = {i: RingNode(sim, network, i, ids) for i in ids}
+    for i in down:
+        nodes[i].crash()
+        network.crash(i)
+    # Give survivors a current ring view before the token circulates
+    # (the detector would deliver these notifications anyway; doing it
+    # up front keeps the standalone runner independent of timing).
+    for node in nodes.values():
+        node.known_failed |= down
+    operational = [i for i in ids if i not in down]
+    if not operational:
+        return None, {i: None for i in ids}
+    if initiator is None:
+        initiator = min(operational)
+    sim.schedule(0.0, nodes[initiator].start_election, label="start election")
+    sim.run(until=1000.0)
+    view = {i: nodes[i].coordinator for i in ids}
+    return max(operational), view
+
+
+def ring_strategy(candidates: Iterable[SiteId]) -> SiteId:
+    """The ring algorithm's deterministic outcome: the highest id."""
+    return max(candidates)

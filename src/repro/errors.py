@@ -1,0 +1,153 @@
+"""Exception hierarchy for the ``repro`` library.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch one base class.  Sub-hierarchies mirror the package
+layout: simulation errors, protocol-specification errors, analysis
+errors, runtime errors, and database errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+# ---------------------------------------------------------------------------
+# Simulation substrate
+# ---------------------------------------------------------------------------
+
+
+class SimulationError(ReproError):
+    """Base class for errors raised by the discrete-event simulator."""
+
+
+class ClockError(SimulationError):
+    """An event was scheduled in the past or with a negative delay."""
+
+
+class ProcessError(SimulationError):
+    """A simulated process was used in an invalid way (e.g. started twice)."""
+
+
+# ---------------------------------------------------------------------------
+# Network substrate
+# ---------------------------------------------------------------------------
+
+
+class NetworkError(ReproError):
+    """Base class for network-substrate errors."""
+
+
+class UnknownSiteError(NetworkError):
+    """A message was addressed to a site id that is not attached."""
+
+
+class SiteDownError(NetworkError):
+    """An operation required a live site but the site has crashed."""
+
+
+# ---------------------------------------------------------------------------
+# Protocol specification (FSA model)
+# ---------------------------------------------------------------------------
+
+
+class SpecError(ReproError):
+    """Base class for protocol-specification errors."""
+
+
+class InvalidAutomatonError(SpecError):
+    """A role automaton violates a structural requirement of the model.
+
+    The formal model of Skeen (1981) requires automata to be acyclic,
+    to have an initial state, and to partition final states into commit
+    and abort states.  Violations raise this error during validation.
+    """
+
+
+class InvalidProtocolError(SpecError):
+    """A protocol spec is self-inconsistent (roles, sites, messages)."""
+
+
+class InstantiationError(SpecError):
+    """A protocol spec could not be instantiated for a given site count."""
+
+
+# ---------------------------------------------------------------------------
+# Analysis
+# ---------------------------------------------------------------------------
+
+
+class AnalysisError(ReproError):
+    """Base class for global-state analysis errors."""
+
+
+class StateGraphTooLargeError(AnalysisError):
+    """Reachable-state enumeration exceeded the configured node budget.
+
+    The reachable state graph grows exponentially with the number of
+    sites (Skeen 1981, "Comments on reachable state graphs"), so the
+    enumerator enforces an explicit budget instead of exhausting memory.
+    """
+
+
+class NotSynchronousError(AnalysisError):
+    """An operation required a protocol synchronous within one transition."""
+
+
+class SynthesisError(AnalysisError):
+    """Buffer-state synthesis could not make the protocol nonblocking."""
+
+
+# ---------------------------------------------------------------------------
+# Runtime (executable protocols)
+# ---------------------------------------------------------------------------
+
+
+class RuntimeProtocolError(ReproError):
+    """Base class for errors in the executable commit-protocol engine."""
+
+
+class TransitionError(RuntimeProtocolError):
+    """The engine could not fire a unique enabled transition."""
+
+
+class TerminationError(RuntimeProtocolError):
+    """The termination protocol failed to terminate the transaction."""
+
+
+class RecoveryError(RuntimeProtocolError):
+    """A crashed site could not recover its transaction state."""
+
+
+class AtomicityViolationError(RuntimeProtocolError):
+    """Some site committed while another aborted the same transaction.
+
+    This is the inconsistency that commit protocols exist to prevent; it
+    is raised by audit utilities, never expected during correct runs.
+    """
+
+
+# ---------------------------------------------------------------------------
+# Database substrate
+# ---------------------------------------------------------------------------
+
+
+class DatabaseError(ReproError):
+    """Base class for database-substrate errors."""
+
+
+class TransactionAborted(DatabaseError):
+    """The transaction was aborted (deadlock victim, vote-no, crash)."""
+
+
+class LockError(DatabaseError):
+    """An invalid lock operation (e.g. unlock without holding)."""
+
+
+class DeadlockError(TransactionAborted):
+    """The transaction was chosen as a deadlock victim."""
+
+
+class WALError(DatabaseError):
+    """The write-ahead log was used incorrectly or is corrupt."""

@@ -1,0 +1,13 @@
+"""The experiment suite: every figure and table of the paper.
+
+Each module regenerates one artifact (see DESIGN.md §3 for the index)
+and returns an :class:`~repro.experiments.base.ExperimentResult` whose
+tables print the same rows the paper reports.  The benchmark harness
+under ``benchmarks/`` calls these functions — one bench per experiment
+— and EXPERIMENTS.md records paper-vs-measured for each id.
+"""
+
+from repro.experiments.base import ExperimentResult
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+
+__all__ = ["EXPERIMENTS", "ExperimentResult", "run_experiment"]

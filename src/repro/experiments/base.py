@@ -1,0 +1,38 @@
+"""Common result type for experiment modules."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any
+
+from repro.metrics.tables import Table
+
+
+@dataclasses.dataclass
+class ExperimentResult:
+    """The regenerated artifact of one experiment.
+
+    Attributes:
+        experiment_id: Index id from DESIGN.md (``"F1"`` ... ``"Q6"``).
+        title: What the artifact is.
+        tables: The regenerated rows, ready to print.
+        data: Structured values for programmatic assertions in tests
+            and benches.
+        notes: Interpretation notes (paper-vs-measured commentary).
+    """
+
+    experiment_id: str
+    title: str
+    tables: list[Table] = dataclasses.field(default_factory=list)
+    data: dict[str, Any] = dataclasses.field(default_factory=dict)
+    notes: list[str] = dataclasses.field(default_factory=list)
+
+    def render(self) -> str:
+        """Render the whole result for printing."""
+        parts = [f"=== {self.experiment_id}: {self.title} ==="]
+        for table in self.tables:
+            parts.append(table.render())
+        if self.notes:
+            parts.append("notes:")
+            parts.extend(f"  - {note}" for note in self.notes)
+        return "\n\n".join(parts)

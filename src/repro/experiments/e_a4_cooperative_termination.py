@@ -1,0 +1,90 @@
+"""Experiment A4 — cooperative termination: polling before deciding.
+
+The paper's backup decides from *its own* state only.  That blocks
+unnecessarily when the elected backup is less informed than a peer —
+e.g. a 2PC slave elected backup while another slave already received
+the commit.  The cooperative extension polls operational sites first
+and adopts any final outcome it finds (always safe: the outcome is
+already durable somewhere), falling back to the paper's rule otherwise.
+
+The experiment sweeps coordinator crashes over 2PC and counts blocked
+runs under each mode: cooperative termination removes the
+"someone-already-knows" blocking cases but — as the theorem demands —
+cannot eliminate the genuinely undecidable window where every survivor
+sits in ``w``.
+"""
+
+from __future__ import annotations
+
+from repro.election.bully import bully_strategy
+from repro.experiments.base import ExperimentResult
+from repro.metrics.tables import Table
+from repro.protocols import catalog
+from repro.runtime.decision import TerminationRule
+from repro.runtime.harness import CommitRun
+from repro.workload.crashes import CrashAt, CrashDuringTransition
+
+
+def _schedules(spec, grid: int):
+    horizon = 2.0 * spec.max_phase_count() + 2.0
+    schedules = [
+        [CrashAt(site=1, at=horizon * (i + 0.5) / grid)] for i in range(grid)
+    ]
+    coordinator = spec.automaton(1)
+    for transition_number in range(1, coordinator.phase_count + 1):
+        for sent in range(spec.n_sites):
+            schedules.append(
+                [
+                    CrashDuringTransition(
+                        site=1,
+                        transition_number=transition_number,
+                        after_writes=sent,
+                    )
+                ]
+            )
+    return schedules
+
+
+def run_a4(n_sites: int = 4, grid: int = 12) -> ExperimentResult:
+    """Regenerate the A4 blocking comparison."""
+    spec = catalog.build("2pc-central", n_sites)
+    rule = TerminationRule(spec)
+
+    result = ExperimentResult(
+        experiment_id="A4",
+        title="Cooperative vs standard termination on 2PC (blocking runs)",
+    )
+
+    table = Table(
+        ["termination mode", "runs", "blocked runs", "atomicity violations"],
+        title="coordinator-crash sweep (bully election: backup = highest id)",
+    )
+    data: dict[str, dict] = {}
+    for mode in ("standard", "cooperative"):
+        blocked = violations = runs = 0
+        for crashes in _schedules(spec, grid):
+            run = CommitRun(
+                spec,
+                crashes=crashes,
+                rule=rule,
+                termination_mode=mode,
+                elect=bully_strategy,
+            ).execute()
+            runs += 1
+            if run.blocked_sites:
+                blocked += 1
+            if not run.atomic:
+                violations += 1
+        table.add_row(mode, runs, blocked, violations)
+        data[mode] = {"runs": runs, "blocked": blocked, "violations": violations}
+    result.tables.append(table)
+
+    result.data = data
+    result.notes.append(
+        "Cooperative polling strictly reduces 2PC's blocked runs (it "
+        "rescues every schedule where some survivor already held the "
+        "outcome) without ever violating atomicity — but the genuinely "
+        "undecidable all-in-w window remains, as the fundamental "
+        "theorem says it must."
+    )
+    return result

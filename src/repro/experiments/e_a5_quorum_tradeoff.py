@@ -1,0 +1,100 @@
+"""Experiment A5 — the quorum tradeoff: partition safety vs crash resilience.
+
+The paper's termination protocol terminates with a single operational
+site (the corollary's best case) but splits under a partition misread
+as crashes (experiment A2).  Quorum termination — in the direction of
+Skeen's quorum-based protocols — inverts the tradeoff: a side without a
+strict majority blocks, so a single partition can no longer produce a
+split decision, but a lone survivor of genuine crashes now blocks too.
+
+The experiment runs both failure shapes under both modes and tabulates
+the 2×2 outcome: what each mode buys and what it costs.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.base import ExperimentResult
+from repro.metrics.tables import Table
+from repro.protocols import catalog
+from repro.runtime.decision import TerminationRule
+from repro.runtime.harness import CommitRun
+from repro.workload.crashes import CrashAt
+
+
+def run_a5(n_sites: int = 4) -> ExperimentResult:
+    """Regenerate the A5 tradeoff table."""
+    spec = catalog.build("3pc-central", n_sites)
+    rule = TerminationRule(spec)
+
+    result = ExperimentResult(
+        experiment_id="A5",
+        title="Quorum termination: partition safety vs crash resilience",
+    )
+
+    table = Table(
+        ["failure shape", "termination", "atomic", "blocked sites",
+         "survivors decided"],
+        title="the 2x2 tradeoff",
+    )
+    data: dict[str, dict[str, dict]] = {"partition": {}, "cascade": {}}
+
+    half = n_sites // 2
+    groups = [
+        {s for s in spec.sites[:half]},
+        {s for s in spec.sites[half:]},
+    ]
+    cascade = [
+        CrashAt(site=site, at=2.0 + 2.0 * i)
+        for i, site in enumerate(spec.sites[:-1])
+    ]
+
+    for mode in ("standard", "quorum"):
+        partitioned = CommitRun(
+            spec,
+            rule=rule,
+            termination_mode=mode,
+            partition_at=3.2,
+            partition_groups=groups,
+        ).execute()
+        decided = sum(
+            1 for r in partitioned.reports.values() if r.outcome.is_final
+        )
+        table.add_row(
+            "even partition",
+            mode,
+            partitioned.atomic,
+            len(partitioned.blocked_sites),
+            decided,
+        )
+        data["partition"][mode] = {
+            "atomic": partitioned.atomic,
+            "blocked": len(partitioned.blocked_sites),
+            "decided": decided,
+        }
+
+        crashed = CommitRun(
+            spec, crashes=cascade, rule=rule, termination_mode=mode
+        ).execute()
+        survivor = crashed.reports[spec.sites[-1]]
+        table.add_row(
+            "cascade to one survivor",
+            mode,
+            crashed.atomic,
+            len(crashed.blocked_sites),
+            1 if survivor.outcome.is_final else 0,
+        )
+        data["cascade"][mode] = {
+            "atomic": crashed.atomic,
+            "survivor_decided": survivor.outcome.is_final,
+        }
+    result.tables.append(table)
+
+    result.data = data
+    result.notes.append(
+        "Standard termination: maximal crash resilience (lone survivor "
+        "decides) but splits under partition.  Quorum termination: "
+        "immune to the single-partition split (minority blocks) but a "
+        "lone survivor of real crashes blocks.  No mode gets both — "
+        "the tension later consensus-based commit protocols resolve."
+    )
+    return result

@@ -1,0 +1,88 @@
+"""Experiment F4 — the buffer-state design method (paper slide 34).
+
+Mechanically applies the paper's construction — insert a buffer state
+``p`` before every commit state entered from a noncommittable state —
+to both 2PC variants and checks that the result is *exactly* the
+catalog 3PC (structural equality), is verified nonblocking by the
+theorem, and that the method correctly fails on 1PC (whose slaves cast
+no votes, so no buffer placement helps — slide 8's inadequacy).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.nonblocking import check_lemma, check_nonblocking
+from repro.analysis.synthesis import insert_buffer_states, specs_structurally_equal
+from repro.errors import SynthesisError
+from repro.experiments.base import ExperimentResult
+from repro.metrics.tables import Table
+from repro.protocols.one_phase import one_phase
+from repro.protocols.three_phase_central import central_three_phase
+from repro.protocols.three_phase_decentralized import decentralized_three_phase
+from repro.protocols.two_phase_central import central_two_phase
+from repro.protocols.two_phase_decentralized import decentralized_two_phase
+
+
+def run_f4(n_sites: int = 3) -> ExperimentResult:
+    """Regenerate figure F4's construction and verify it end to end."""
+    result = ExperimentResult(
+        experiment_id="F4",
+        title=f"Buffer-state synthesis: 2PC + p = 3PC (slide 34), n={n_sites}",
+    )
+
+    table = Table(
+        ["input protocol", "synthesized nonblocking", "equals catalog 3PC"],
+        title="synthesis outcomes",
+    )
+    cases = [
+        (
+            central_two_phase(n_sites),
+            central_three_phase(n_sites),
+            "2pc-central",
+        ),
+        (
+            decentralized_two_phase(n_sites),
+            decentralized_three_phase(n_sites),
+            "2pc-decentralized",
+        ),
+    ]
+    data: dict[str, dict] = {}
+    for blocking_spec, target_spec, name in cases:
+        synthesized = insert_buffer_states(blocking_spec)
+        report = check_nonblocking(synthesized)
+        equal = specs_structurally_equal(synthesized, target_spec)
+        table.add_row(name, report.nonblocking, equal)
+        data[name] = {"nonblocking": report.nonblocking, "equals_3pc": equal}
+    result.tables.append(table)
+
+    # Lemma view: before synthesis the 2PC violates the adjacency lemma;
+    # after, it does not.
+    before = check_lemma(central_two_phase(n_sites))
+    after = check_lemma(insert_buffer_states(central_two_phase(n_sites)))
+    lemma = Table(["stage", "lemma violations"], title="adjacency lemma (slide 33)")
+    lemma.add_row("2PC before buffer insertion", len(before))
+    lemma.add_row("after buffer insertion", len(after))
+    result.tables.append(lemma)
+
+    one_pc_failed = False
+    try:
+        insert_buffer_states(one_phase(n_sites))
+    except SynthesisError:
+        one_pc_failed = True
+    negative = Table(["input protocol", "synthesis result"], title="negative control")
+    negative.add_row(
+        "1pc", "SynthesisError (slaves never vote)" if one_pc_failed else "unexpected success"
+    )
+    result.tables.append(negative)
+
+    result.data = {
+        **data,
+        "lemma_violations_before": len(before),
+        "lemma_violations_after": len(after),
+        "one_pc_rejected": one_pc_failed,
+    }
+    result.notes.append(
+        "The mechanized construction reproduces both 3PCs exactly and "
+        "refuses 1PC, matching the paper's presentation of the method "
+        "and of 1PC's inadequacy."
+    )
+    return result

@@ -1,0 +1,89 @@
+"""Experiment Q7 — one crash, a whole window of in-flight transactions.
+
+A transaction manager rarely runs one commit at a time.  This
+experiment multiplexes a stream of staggered transactions over one
+simulated network (one engine/termination/recovery stack per
+transaction per site) and kills the coordinator once, mid-stream:
+
+* under 2PC, every transaction whose votes were cast but whose
+  decision had not yet been delivered blocks — the blast radius of a
+  single crash is the whole vulnerable window;
+* under 3PC, every one of those transactions is terminated by its own
+  backup round; nothing blocks.
+
+This is the systems-level reading of the abstract's first sentence.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.base import ExperimentResult
+from repro.metrics.tables import Table
+from repro.protocols import catalog
+from repro.runtime.decision import TerminationRule
+from repro.runtime.multi import MultiCommitRun
+from repro.types import Outcome
+from repro.workload.crashes import CrashAt
+
+
+def run_q7(
+    n_sites: int = 4,
+    n_txns: int = 8,
+    stagger: float = 1.0,
+    crash_at: float = 4.0,
+) -> ExperimentResult:
+    """Regenerate the Q7 in-flight-window comparison."""
+    result = ExperimentResult(
+        experiment_id="Q7",
+        title=(
+            f"Blast radius of one coordinator crash across {n_txns} "
+            f"staggered transactions"
+        ),
+    )
+
+    table = Table(
+        [
+            "protocol",
+            "txns",
+            "committed",
+            "aborted (terminated)",
+            "blocked",
+            "atomic",
+        ],
+        title=f"stagger {stagger}, crash at t={crash_at}",
+    )
+    data: dict[str, dict] = {}
+    for protocol in ("2pc-central", "3pc-central"):
+        spec = catalog.build(protocol, n_sites)
+        rule = TerminationRule(spec)
+        run = MultiCommitRun(
+            spec,
+            start_times=[i * stagger for i in range(n_txns)],
+            crashes=[CrashAt(site=1, at=crash_at)],
+            rule=rule,
+        ).execute()
+        committed = aborted = blocked = 0
+        for xid, txn_result in run.per_transaction.items():
+            if txn_result.blocked_sites:
+                blocked += 1
+            elif Outcome.COMMIT in txn_result.decided_outcomes():
+                committed += 1
+            else:
+                aborted += 1
+        table.add_row(
+            protocol, n_txns, committed, aborted, blocked, run.atomic
+        )
+        data[protocol] = {
+            "committed": committed,
+            "aborted": aborted,
+            "blocked": blocked,
+            "atomic": run.atomic,
+        }
+    result.tables.append(table)
+
+    result.data = data
+    result.notes.append(
+        "The same crash, the same stream: 2PC blocks every transaction "
+        "caught in its vulnerable window; 3PC's termination protocol "
+        "resolves each one, so its blocked count is zero."
+    )
+    return result

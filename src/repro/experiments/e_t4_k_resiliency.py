@@ -1,0 +1,48 @@
+"""Experiment T4 — the corollary on k−1 site failures (paper slide 30).
+
+For each catalog protocol and site count, computes the largest subset
+of sites obeying both theorem conditions and the implied number of
+tolerated failures: 3PC tolerates n−1 (any single survivor terminates),
+the blocking protocols tolerate none.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.nonblocking import check_nonblocking
+from repro.experiments.base import ExperimentResult
+from repro.metrics.tables import Table
+from repro.protocols import catalog
+
+
+def run_t4(site_counts: tuple[int, ...] = (2, 3, 4)) -> ExperimentResult:
+    """Regenerate table T4 over the given site counts."""
+    result = ExperimentResult(
+        experiment_id="T4",
+        title="Corollary: resilience to k-1 site failures (slide 30)",
+    )
+
+    table = Table(
+        ["protocol", "n", "obeying sites", "tolerated failures"],
+        title="k-resiliency",
+    )
+    data: dict[str, dict[int, int]] = {}
+    for name in catalog.protocol_names():
+        data[name] = {}
+        for n in site_counts:
+            report = check_nonblocking(catalog.build(name, n))
+            table.add_row(
+                name,
+                n,
+                len(report.obeying_sites),
+                report.tolerated_failures,
+            )
+            data[name][n] = report.tolerated_failures
+    result.tables.append(table)
+
+    result.data = {"tolerated": data}
+    result.notes.append(
+        "Both 3PCs tolerate n-1 failures (every site obeys the theorem, "
+        "so any lone survivor can terminate); 1PC and the 2PCs tolerate "
+        "none."
+    )
+    return result

@@ -1,0 +1,78 @@
+"""Name-indexed registry of all experiments."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import ReproError
+from repro.experiments.base import ExperimentResult
+from repro.experiments.e_a1_phase1_ablation import run_a1
+from repro.experiments.e_a2_partition import run_a2
+from repro.experiments.e_a3_total_failure import run_a3
+from repro.experiments.e_a4_cooperative_termination import run_a4
+from repro.experiments.e_a5_quorum_tradeoff import run_a5
+from repro.experiments.e_a6_eager_abort import run_a6
+from repro.experiments.e_a7_independent_recovery import run_a7
+from repro.experiments.e_f1_fsa_2pc_central import run_f1
+from repro.experiments.e_f2_global_graph import run_f2
+from repro.experiments.e_f3_fsa_2pc_decentralized import run_f3
+from repro.experiments.e_f4_buffer_synthesis import run_f4
+from repro.experiments.e_f5_fsa_3pc_central import run_f5
+from repro.experiments.e_f6_fsa_3pc_decentralized import run_f6
+from repro.experiments.e_q1_blocking_frequency import run_q1
+from repro.experiments.e_q2_message_complexity import run_q2
+from repro.experiments.e_q3_graph_growth import run_q3
+from repro.experiments.e_q4_cascading_termination import run_q4
+from repro.experiments.e_q5_recovery_matrix import run_q5
+from repro.experiments.e_q6_db_throughput import run_q6
+from repro.experiments.e_q7_inflight_window import run_q7
+from repro.experiments.e_t1_concurrency_sets import run_t1
+from repro.experiments.e_t2_blocking_verdicts import run_t2
+from repro.experiments.e_t3_termination_rule import run_t3
+from repro.experiments.e_t4_k_resiliency import run_t4
+
+#: Every experiment by id, in DESIGN.md order.
+EXPERIMENTS: dict[str, Callable[[], ExperimentResult]] = {
+    "F1": run_f1,
+    "F2": run_f2,
+    "F3": run_f3,
+    "T1": run_t1,
+    "T2": run_t2,
+    "F4": run_f4,
+    "F5": run_f5,
+    "F6": run_f6,
+    "T3": run_t3,
+    "T4": run_t4,
+    "Q1": run_q1,
+    "Q2": run_q2,
+    "Q3": run_q3,
+    "Q4": run_q4,
+    "Q5": run_q5,
+    "Q6": run_q6,
+    "Q7": run_q7,
+    # Extensions and ablations beyond the paper's own artifacts.
+    "A1": run_a1,
+    "A2": run_a2,
+    "A3": run_a3,
+    "A4": run_a4,
+    "A5": run_a5,
+    "A6": run_a6,
+    "A7": run_a7,
+}
+
+
+def run_experiment(experiment_id: str) -> ExperimentResult:
+    """Run one experiment by id (case-insensitive).
+
+    Raises:
+        ReproError: For an unknown id.
+    """
+    key = experiment_id.upper()
+    try:
+        runner = EXPERIMENTS[key]
+    except KeyError:
+        known = ", ".join(sorted(EXPERIMENTS))
+        raise ReproError(
+            f"unknown experiment {experiment_id!r}; known: {known}"
+        ) from None
+    return runner()

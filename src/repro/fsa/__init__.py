@@ -1,0 +1,43 @@
+"""The paper's formal model of commit protocols.
+
+Skeen (1981) models the execution of a transaction at each site as a
+nondeterministic finite state automaton, with the network serving as a
+common input/output tape: a state transition reads a nonempty set of
+messages addressed to the site, writes a set of messages, and moves to
+the next local state.  Final states are partitioned into *commit* and
+*abort* states, and state diagrams are acyclic.
+
+This package implements that model:
+
+* :class:`~repro.fsa.messages.Msg` — a model-level message
+  ``(kind, src, dst)``, with ``src = EXTERNAL`` for outside inputs such
+  as the transaction request;
+* :class:`~repro.fsa.automaton.Transition` and
+  :class:`~repro.fsa.automaton.SiteAutomaton` — one site's FSA;
+* :class:`~repro.fsa.spec.ProtocolSpec` — a complete n-site protocol:
+  one automaton per site plus the externally supplied initial messages;
+* :mod:`~repro.fsa.validate` — structural validation of the model's
+  requirements (acyclicity, final-state partition, nonempty reads,
+  message addressing, leveled phase structure);
+* :mod:`~repro.fsa.render` — ASCII and DOT renderers reproducing the
+  paper's protocol figures.
+
+The same specs are *analyzed* by :mod:`repro.analysis` and *executed*
+by :mod:`repro.runtime`, so the artifact proven nonblocking is the
+artifact that runs.
+"""
+
+from repro.fsa.automaton import SiteAutomaton, Transition
+from repro.fsa.messages import EXTERNAL, Msg
+from repro.fsa.spec import ProtocolSpec
+from repro.fsa.validate import validate_automaton, validate_spec
+
+__all__ = [
+    "EXTERNAL",
+    "Msg",
+    "ProtocolSpec",
+    "SiteAutomaton",
+    "Transition",
+    "validate_automaton",
+    "validate_spec",
+]

@@ -1,0 +1,277 @@
+"""One site's protocol automaton.
+
+A :class:`SiteAutomaton` is the per-site FSA of the paper's formal
+model: local states, an initial state, final states partitioned into
+commit and abort states, and transitions that each read a nonempty set
+of messages, write an ordered sequence of messages, and optionally
+carry a vote annotation.
+
+State names follow the paper's figures (``q``, ``w``, ``a``, ``p``,
+``c``); the site subscript is implicit in :attr:`SiteAutomaton.site`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import functools
+from typing import Iterable, Optional
+
+from repro.errors import InvalidAutomatonError
+from repro.fsa.messages import Msg
+from repro.types import SiteId, StateKind, Vote
+
+
+@dataclasses.dataclass(frozen=True)
+class Transition:
+    """One state transition of a site automaton.
+
+    Attributes:
+        source: State the transition leaves.
+        target: State the transition enters.  The change of local state
+            is the instantaneous event marking the end of the transition
+            (and of all its message activity).
+        reads: Nonempty set of messages consumed.  A transition is
+            enabled only when every read message is outstanding and
+            addressed to this site.
+        writes: Ordered sequence of messages produced.  Order matters
+            for failure injection: a site crashing mid-transition may
+            have transmitted only a prefix of its writes (slide 21).
+        vote: Optional vote annotation.  ``Vote.YES`` marks the site's
+            agreement to commit; ``Vote.NO`` marks a unilateral abort.
+            Vote annotations feed the committable-state analysis.
+    """
+
+    source: str
+    target: str
+    reads: frozenset[Msg]
+    writes: tuple[Msg, ...] = ()
+    vote: Optional[Vote] = None
+
+    def describe(self) -> str:
+        """Render the transition in the paper's ``reads / writes`` style."""
+        reads = ", ".join(str(m) for m in sorted(self.reads))
+        writes = ", ".join(str(m) for m in self.writes) or "—"
+        vote = f" [vote {self.vote.value}]" if self.vote else ""
+        return f"{self.source} --({reads} / {writes})--> {self.target}{vote}"
+
+
+class SiteAutomaton:
+    """The finite state automaton executed by one site.
+
+    Args:
+        site: The site this automaton belongs to.
+        role: Role name for display (``"coordinator"``, ``"slave"``,
+            ``"peer"``).
+        initial: Name of the initial state.
+        commit_states: Final states representing commit.
+        abort_states: Final states representing abort.
+        transitions: All transitions.  The full state set is inferred
+            from the initial state, the final states, and transition
+            endpoints.
+
+    The constructor performs no validation; call
+    :func:`repro.fsa.validate.validate_automaton` (done automatically by
+    :class:`repro.fsa.spec.ProtocolSpec`).
+    """
+
+    def __init__(
+        self,
+        site: SiteId,
+        role: str,
+        initial: str,
+        commit_states: Iterable[str],
+        abort_states: Iterable[str],
+        transitions: Iterable[Transition],
+    ) -> None:
+        self.site = site
+        self.role = role
+        self.initial = initial
+        self.commit_states = frozenset(commit_states)
+        self.abort_states = frozenset(abort_states)
+        self.transitions = tuple(transitions)
+        states = {initial} | set(self.commit_states) | set(self.abort_states)
+        for transition in self.transitions:
+            states.add(transition.source)
+            states.add(transition.target)
+        self.states = frozenset(states)
+        self._out: dict[str, tuple[Transition, ...]] = {}
+        self._in: dict[str, tuple[Transition, ...]] = {}
+        for state in self.states:
+            self._out[state] = tuple(
+                t for t in self.transitions if t.source == state
+            )
+            self._in[state] = tuple(t for t in self.transitions if t.target == state)
+
+    # ------------------------------------------------------------------
+    # State classification
+    # ------------------------------------------------------------------
+
+    @property
+    def final_states(self) -> frozenset[str]:
+        """Commit states plus abort states."""
+        return self.commit_states | self.abort_states
+
+    def kind(self, state: str) -> StateKind:
+        """Classify a state: initial, intermediate, commit, or abort."""
+        if state in self.commit_states:
+            return StateKind.COMMIT
+        if state in self.abort_states:
+            return StateKind.ABORT
+        if state == self.initial:
+            return StateKind.INITIAL
+        return StateKind.INTERMEDIATE
+
+    def is_final(self, state: str) -> bool:
+        """Whether the state is a commit or abort state."""
+        return state in self.commit_states or state in self.abort_states
+
+    # ------------------------------------------------------------------
+    # Structure queries
+    # ------------------------------------------------------------------
+
+    def out_transitions(self, state: str) -> tuple[Transition, ...]:
+        """Transitions leaving ``state``."""
+        return self._out.get(state, ())
+
+    def in_transitions(self, state: str) -> tuple[Transition, ...]:
+        """Transitions entering ``state``."""
+        return self._in.get(state, ())
+
+    def successors(self, state: str) -> frozenset[str]:
+        """States adjacent to ``state`` (reachable in one transition).
+
+        This is the adjacency relation used by the paper's lemma for
+        protocols synchronous within one state transition.
+        """
+        return frozenset(t.target for t in self._out.get(state, ()))
+
+    def predecessors(self, state: str) -> frozenset[str]:
+        """States with a transition into ``state``."""
+        return frozenset(t.source for t in self._in.get(state, ()))
+
+    @functools.cached_property
+    def depths(self) -> dict[str, int]:
+        """Shortest distance of each reachable state from the initial state.
+
+        Note the paper's automata are *not* leveled: a slave's abort
+        state is one transition away via a no vote and two away via an
+        abort message.  Shortest-path depth is therefore only a display
+        ordering; transition *counts* during execution are tracked by
+        the synchronicity analysis, not read off state identity.
+        """
+        depths = {self.initial: 0}
+        frontier = [self.initial]
+        while frontier:
+            next_frontier = []
+            for state in frontier:
+                for transition in self._out.get(state, ()):
+                    if transition.target not in depths:
+                        depths[transition.target] = depths[state] + 1
+                        next_frontier.append(transition.target)
+            frontier = next_frontier
+        return depths
+
+    def depth(self, state: str) -> int:
+        """Shortest-path depth of a reachable state (display ordering).
+
+        Raises:
+            InvalidAutomatonError: If the state is unreachable.
+        """
+        try:
+            return self.depths[state]
+        except KeyError:
+            raise InvalidAutomatonError(
+                f"state {state!r} is unreachable in automaton of site {self.site}"
+            ) from None
+
+    @functools.cached_property
+    def phase_count(self) -> int:
+        """Number of phases: the longest path from initial to a final state.
+
+        Matches the protocol names: 2 for the 2PC automata, 3 for the
+        3PC automata (a phase occurs when all sites make a transition,
+        and the longest chain of transitions bounds the phase count).
+        """
+        order = self.topological_order()
+        longest = {state: 0 for state in order}
+        for state in order:
+            for transition in self._out.get(state, ()):
+                if transition.target in longest:
+                    longest[transition.target] = max(
+                        longest[transition.target], longest[state] + 1
+                    )
+        return max(longest[state] for state in self.final_states)
+
+    # ------------------------------------------------------------------
+    # Vote analysis
+    # ------------------------------------------------------------------
+
+    @functools.cached_property
+    def implies_yes_vote(self) -> dict[str, bool]:
+        """For each reachable state, whether occupancy implies a yes vote.
+
+        A state ``s`` implies a yes vote when *every* path from the
+        initial state to ``s`` traverses at least one transition
+        annotated ``Vote.YES``.  Computed by dataflow over the acyclic
+        automaton: a state implies yes iff all its incoming edges either
+        carry a yes vote or originate in a state that implies yes.
+
+        This is the per-site ingredient of the committable-state
+        analysis in :mod:`repro.analysis.committable`.
+        """
+        order = self.topological_order()
+        implies: dict[str, bool] = {}
+        for state in order:
+            incoming = self._in.get(state, ())
+            if state == self.initial and not incoming:
+                implies[state] = False
+                continue
+            if not incoming:
+                implies[state] = False
+                continue
+            implies[state] = all(
+                t.vote is Vote.YES or implies[t.source] for t in incoming
+            )
+        return implies
+
+    def topological_order(self) -> list[str]:
+        """Reachable states in a topological order (initial first).
+
+        Raises:
+            InvalidAutomatonError: If the reachable part has a cycle —
+            state diagrams of commit protocols are acyclic (slide 16).
+        """
+        indegree: dict[str, int] = {}
+        reachable = set(self.depths)
+        for state in reachable:
+            indegree.setdefault(state, 0)
+            for transition in self._out.get(state, ()):
+                if transition.target in reachable:
+                    indegree[transition.target] = indegree.get(transition.target, 0) + 1
+        ready = sorted(state for state, deg in indegree.items() if deg == 0)
+        order: list[str] = []
+        while ready:
+            state = ready.pop(0)
+            order.append(state)
+            inserted = []
+            for transition in self._out.get(state, ()):
+                target = transition.target
+                if target not in indegree:
+                    continue
+                indegree[target] -= 1
+                if indegree[target] == 0:
+                    inserted.append(target)
+            for target in sorted(inserted):
+                ready.append(target)
+            ready.sort()
+        if len(order) != len(reachable):
+            raise InvalidAutomatonError(
+                f"automaton of site {self.site} has a cycle among reachable states"
+            )
+        return order
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SiteAutomaton(site={self.site}, role={self.role!r}, "
+            f"states={sorted(self.states)})"
+        )

@@ -1,0 +1,65 @@
+"""Model-level messages.
+
+A :class:`Msg` is the unit written to and read from the paper's
+"common input/output tape": an immutable ``(kind, src, dst)`` triple.
+Message kinds are short strings following the paper's vocabulary —
+``request``, ``xact``, ``yes``, ``no``, ``commit``, ``abort``,
+``prepare``, ``ack``.
+
+External inputs (the transaction request arriving at the coordinator,
+or the ``xact`` message each site receives in the decentralized model)
+are modelled as messages from the pseudo-site :data:`EXTERNAL`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.types import SiteId
+
+#: Pseudo site id for inputs that originate outside the protocol
+#: (slide 25: "an xact message will be simply received").
+EXTERNAL: SiteId = SiteId(0)
+
+#: The message vocabulary used by the catalog protocols.
+KNOWN_KINDS = frozenset(
+    {"request", "xact", "yes", "no", "commit", "abort", "prepare", "ack"}
+)
+
+
+@dataclasses.dataclass(frozen=True, order=True)
+class Msg:
+    """One message on the model's input/output tape.
+
+    Attributes:
+        kind: Message kind (e.g. ``"yes"``).
+        src: Sending site (``EXTERNAL`` for outside inputs).
+        dst: Receiving site.
+    """
+
+    kind: str
+    src: SiteId
+    dst: SiteId
+
+    def __str__(self) -> str:
+        if self.src == EXTERNAL:
+            return f"{self.kind}→{self.dst}"
+        return f"{self.kind}[{self.src}→{self.dst}]"
+
+
+def fan_out(kind: str, src: SiteId, dsts: list[SiteId]) -> tuple[Msg, ...]:
+    """One message of ``kind`` from ``src`` to each destination, in order.
+
+    Mirrors the paper's notation ``commit_2, ..., commit_n``: the same
+    message kind sent to every other participant.
+    """
+    return tuple(Msg(kind, src, SiteId(dst)) for dst in dsts)
+
+
+def fan_in(kind: str, srcs: list[SiteId], dst: SiteId) -> frozenset[Msg]:
+    """One message of ``kind`` from each source to ``dst``.
+
+    Mirrors the paper's notation ``yes_2, ..., yes_n``: the coordinator
+    waits for the same message kind from every slave.
+    """
+    return frozenset(Msg(kind, SiteId(src), dst) for src in srcs)

@@ -1,0 +1,117 @@
+"""Renderers for protocol automata and specs.
+
+Two output formats:
+
+* ``format_automaton`` / ``format_spec`` — ASCII transition tables in
+  the style of the paper's figures, used by the examples and by the
+  benchmark harness when regenerating figures F1/F3/F5/F6;
+* ``automaton_to_dot`` / ``spec_to_dot`` — Graphviz DOT, for readers
+  who want the figures as actual diagrams.
+"""
+
+from __future__ import annotations
+
+from repro.fsa.automaton import SiteAutomaton
+from repro.fsa.spec import ProtocolSpec
+
+
+def format_automaton(automaton: SiteAutomaton) -> str:
+    """Render one automaton as an ASCII transition table."""
+    lines = [
+        f"site {automaton.site} ({automaton.role})",
+        f"  states : {', '.join(sorted(automaton.states))}",
+        f"  initial: {automaton.initial}",
+        f"  commit : {', '.join(sorted(automaton.commit_states))}",
+        f"  abort  : {', '.join(sorted(automaton.abort_states))}",
+        "  transitions:",
+    ]
+    ordered = sorted(
+        automaton.transitions,
+        key=lambda t: (automaton.depth(t.source), t.source, t.target),
+    )
+    for transition in ordered:
+        lines.append(f"    {transition.describe()}")
+    return "\n".join(lines)
+
+
+def format_spec(spec: ProtocolSpec, collapse_roles: bool = True) -> str:
+    """Render a whole protocol spec.
+
+    Args:
+        spec: The protocol to render.
+        collapse_roles: When true (default), sites sharing a role are
+            rendered once with a representative site — matching the
+            paper's "Site i (i=2, n)" presentation.
+    """
+    lines = [f"protocol: {spec.name} ({spec.protocol_class.value}, n={spec.n_sites})"]
+    if spec.coordinator is not None:
+        lines.append(f"coordinator: site {spec.coordinator}")
+    initial = ", ".join(str(m) for m in sorted(spec.initial_messages))
+    lines.append(f"initial inputs: {initial}")
+    seen_roles: set[str] = set()
+    for site in spec.sites:
+        automaton = spec.automaton(site)
+        if collapse_roles:
+            if automaton.role in seen_roles:
+                continue
+            seen_roles.add(automaton.role)
+        lines.append("")
+        lines.append(format_automaton(automaton))
+    return "\n".join(lines)
+
+
+def automaton_to_dot(automaton: SiteAutomaton, graph_name: str = "fsa") -> str:
+    """Render one automaton as a Graphviz digraph."""
+    lines = [f"digraph {graph_name} {{", "  rankdir=TB;"]
+    for state in sorted(automaton.states):
+        shape = "circle"
+        extra = ""
+        if state in automaton.commit_states:
+            shape = "doublecircle"
+            extra = ' color="darkgreen"'
+        elif state in automaton.abort_states:
+            shape = "doublecircle"
+            extra = ' color="firebrick"'
+        elif state == automaton.initial:
+            extra = ' style="bold"'
+        lines.append(f'  "{state}" [shape={shape}{extra}];')
+    for transition in automaton.transitions:
+        reads = ", ".join(str(m) for m in sorted(transition.reads))
+        writes = ", ".join(str(m) for m in transition.writes)
+        label = f"{reads} / {writes}" if writes else reads
+        lines.append(
+            f'  "{transition.source}" -> "{transition.target}" '
+            f'[label="{label}"];'
+        )
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def spec_to_dot(spec: ProtocolSpec) -> str:
+    """Render every distinct role of a spec as one DOT file of clusters."""
+    lines = ["digraph protocol {", "  rankdir=TB;", "  compound=true;"]
+    seen_roles: set[str] = set()
+    for site in spec.sites:
+        automaton = spec.automaton(site)
+        if automaton.role in seen_roles:
+            continue
+        seen_roles.add(automaton.role)
+        lines.append(f"  subgraph cluster_site_{site} {{")
+        lines.append(f'    label="site {site} ({automaton.role})";')
+        for state in sorted(automaton.states):
+            node = f"s{site}_{state}"
+            shape = (
+                "doublecircle" if automaton.is_final(state) else "circle"
+            )
+            lines.append(f'    "{node}" [label="{state}", shape={shape}];')
+        for transition in automaton.transitions:
+            reads = ", ".join(str(m) for m in sorted(transition.reads))
+            writes = ", ".join(str(m) for m in transition.writes)
+            label = f"{reads} / {writes}" if writes else reads
+            lines.append(
+                f'    "s{site}_{transition.source}" -> '
+                f'"s{site}_{transition.target}" [label="{label}"];'
+            )
+        lines.append("  }")
+    lines.append("}")
+    return "\n".join(lines)

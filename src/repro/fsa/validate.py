@@ -1,0 +1,218 @@
+"""Structural validation of automata and protocol specs.
+
+The checks encode the properties the paper requires of commit-protocol
+FSAs (slide 16) plus closed-world sanity conditions that make global
+state enumeration well-defined:
+
+Automaton-level
+    * the initial state exists and every state is reachable from it;
+    * the state diagram is acyclic;
+    * commit and abort states are disjoint, both nonempty, and final
+      states have no outgoing transitions;
+    * every transition reads a *nonempty* set of messages, each
+      addressed to this site, and writes only messages from this site;
+    (The paper's automata are deliberately *not* leveled — a slave's
+    abort state is reachable in one transition via a no vote and in two
+    via an abort message — so no leveling is enforced; the
+    synchronicity-within-one analysis counts transitions along
+    executions instead.)
+
+Spec-level
+    * automaton site ids match their keys and are positive;
+    * initial messages come only from :data:`~repro.fsa.messages.EXTERNAL`
+      and are addressed to participating sites;
+    * closed world: every message a site expects to read from a peer is
+      actually written by some transition of that peer, and every write
+      is addressed to a participating site;
+    * no two transitions of one site can ever emit the same ``Msg``
+      twice along a single path (in-flight messages form a set, not a
+      multiset; acyclicity plus this check makes that sound);
+    * central-site specs name a participating coordinator.
+"""
+
+from __future__ import annotations
+
+from repro.errors import InvalidAutomatonError, InvalidProtocolError
+from repro.fsa.automaton import SiteAutomaton
+from repro.fsa.messages import EXTERNAL, Msg
+from repro.fsa.spec import ProtocolSpec
+from repro.types import ProtocolClass
+
+
+def validate_automaton(automaton: SiteAutomaton) -> None:
+    """Validate one site automaton.
+
+    Raises:
+        InvalidAutomatonError: Describing the first violated property.
+    """
+    site = automaton.site
+    if automaton.initial not in automaton.states:
+        raise InvalidAutomatonError(f"site {site}: initial state missing")
+
+    overlap = automaton.commit_states & automaton.abort_states
+    if overlap:
+        raise InvalidAutomatonError(
+            f"site {site}: states {sorted(overlap)} are both commit and abort"
+        )
+    if not automaton.commit_states:
+        raise InvalidAutomatonError(f"site {site}: no commit state")
+    if not automaton.abort_states:
+        raise InvalidAutomatonError(f"site {site}: no abort state")
+
+    for transition in automaton.transitions:
+        if not transition.reads:
+            raise InvalidAutomatonError(
+                f"site {site}: transition {transition.describe()} reads nothing; "
+                "the model requires a nonempty read string"
+            )
+        for msg in transition.reads:
+            if msg.dst != site:
+                raise InvalidAutomatonError(
+                    f"site {site}: transition reads {msg}, which is addressed "
+                    f"to site {msg.dst}"
+                )
+        for msg in transition.writes:
+            if msg.src != site:
+                raise InvalidAutomatonError(
+                    f"site {site}: transition writes {msg}, which claims "
+                    f"sender {msg.src}"
+                )
+        if transition.source in automaton.final_states:
+            raise InvalidAutomatonError(
+                f"site {site}: final state {transition.source!r} has an "
+                "outgoing transition; commit and abort are irreversible"
+            )
+
+    # Acyclicity and reachability: topological_order raises on cycles and
+    # only covers reachable states.
+    reachable = set(automaton.topological_order())
+    unreachable = automaton.states - reachable
+    if unreachable:
+        raise InvalidAutomatonError(
+            f"site {site}: unreachable states {sorted(unreachable)}"
+        )
+
+
+def validate_spec(spec: ProtocolSpec) -> None:
+    """Validate a complete protocol spec.
+
+    Runs :func:`validate_automaton` on every site first, then the
+    spec-level consistency checks described in the module docstring.
+
+    Raises:
+        InvalidProtocolError: Describing the first violated property.
+        InvalidAutomatonError: If a member automaton is itself invalid.
+    """
+    if not spec.automata:
+        raise InvalidProtocolError(f"{spec.name!r}: no participating sites")
+
+    for site, automaton in spec.automata.items():
+        if site != automaton.site:
+            raise InvalidProtocolError(
+                f"{spec.name!r}: automaton keyed {site} claims site "
+                f"{automaton.site}"
+            )
+        if site <= EXTERNAL:
+            raise InvalidProtocolError(
+                f"{spec.name!r}: site ids must be positive, got {site}"
+            )
+        validate_automaton(automaton)
+
+    participants = set(spec.automata)
+
+    for msg in spec.initial_messages:
+        if msg.src != EXTERNAL:
+            raise InvalidProtocolError(
+                f"{spec.name!r}: initial message {msg} must come from the "
+                "external world"
+            )
+        if msg.dst not in participants:
+            raise InvalidProtocolError(
+                f"{spec.name!r}: initial message {msg} addressed to a "
+                "non-participant"
+            )
+
+    _check_closed_world(spec, participants)
+    _check_no_duplicate_emission(spec)
+
+    if spec.protocol_class is ProtocolClass.CENTRAL_SITE:
+        if spec.coordinator is None:
+            raise InvalidProtocolError(
+                f"{spec.name!r}: central-site protocols need a coordinator"
+            )
+        if spec.coordinator not in participants:
+            raise InvalidProtocolError(
+                f"{spec.name!r}: coordinator {spec.coordinator} does not "
+                "participate"
+            )
+
+
+def _check_closed_world(spec: ProtocolSpec, participants: set) -> None:
+    """Every read has a possible producer; every write has a consumer site."""
+    producible: set[Msg] = set(spec.initial_messages)
+    for automaton in spec.automata.values():
+        for transition in automaton.transitions:
+            producible.update(transition.writes)
+
+    for automaton in spec.automata.values():
+        for transition in automaton.transitions:
+            for msg in transition.reads:
+                if msg not in producible:
+                    raise InvalidProtocolError(
+                        f"{spec.name!r}: site {automaton.site} reads {msg}, "
+                        "which no transition or initial input can produce"
+                    )
+            for msg in transition.writes:
+                if msg.dst not in participants:
+                    raise InvalidProtocolError(
+                        f"{spec.name!r}: site {automaton.site} writes {msg} "
+                        "to a non-participant"
+                    )
+
+
+def _check_no_duplicate_emission(spec: ProtocolSpec) -> None:
+    """No path through one automaton may emit the same ``Msg`` twice.
+
+    The global-state enumerator represents outstanding messages as a
+    set; this check guarantees the set representation loses nothing.
+    It is conservative: it rejects specs where a message appears in the
+    writes of two transitions with an ancestor/descendant relationship
+    (on the same path).
+    """
+    for automaton in spec.automata.values():
+        # ancestors[s] = states on some path from initial to s (exclusive).
+        order = automaton.topological_order()
+        ancestors: dict[str, frozenset[str]] = {}
+        for state in order:
+            incoming = automaton.in_transitions(state)
+            acc: set[str] = set()
+            for transition in incoming:
+                acc.add(transition.source)
+                acc.update(ancestors.get(transition.source, frozenset()))
+            ancestors[state] = frozenset(acc)
+
+        emissions: dict[Msg, list] = {}
+        for transition in automaton.transitions:
+            for msg in transition.writes:
+                emissions.setdefault(msg, []).append(transition)
+        for msg, transitions in emissions.items():
+            if len(transitions) < 2:
+                continue
+            for i, first in enumerate(transitions):
+                for second in transitions[i + 1 :]:
+                    # Two transitions can both fire along one execution
+                    # only if one's target lies on a path to the other's
+                    # source.  Transitions sharing a source are mutually
+                    # exclusive alternatives and never conflict.
+                    sequential = (
+                        first.target == second.source
+                        or first.target in ancestors[second.source]
+                        or second.target == first.source
+                        or second.target in ancestors[first.source]
+                    )
+                    if sequential:
+                        raise InvalidProtocolError(
+                            f"{spec.name!r}: site {automaton.site} can emit "
+                            f"{msg} twice along one path "
+                            f"({first.describe()} and {second.describe()})"
+                        )

@@ -1,0 +1,13 @@
+"""Result aggregation and table rendering for the experiment harness."""
+
+from repro.metrics.collector import Counter, StatSeries
+from repro.metrics.summary import CampaignSummary, summarize_runs
+from repro.metrics.tables import Table
+
+__all__ = [
+    "CampaignSummary",
+    "Counter",
+    "StatSeries",
+    "Table",
+    "summarize_runs",
+]

@@ -1,0 +1,114 @@
+"""Tiny metric primitives: counters and summary statistics.
+
+Benchmarks accumulate measurements with these and render them through
+:class:`repro.metrics.tables.Table`.  They are deliberately simple —
+no external deps, deterministic output.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+
+class Counter:
+    """A labelled tally: ``counter.add("blocked")``."""
+
+    def __init__(self) -> None:
+        self._counts: dict[str, int] = {}
+
+    def add(self, label: str, amount: int = 1) -> None:
+        """Increment ``label`` by ``amount``."""
+        self._counts[label] = self._counts.get(label, 0) + amount
+
+    def get(self, label: str) -> int:
+        """Current tally for ``label`` (0 if never incremented)."""
+        return self._counts.get(label, 0)
+
+    @property
+    def total(self) -> int:
+        """Sum over all labels."""
+        return sum(self._counts.values())
+
+    def as_dict(self) -> dict[str, int]:
+        """Snapshot of all tallies, sorted by label."""
+        return dict(sorted(self._counts.items()))
+
+    def fraction(self, label: str) -> float:
+        """Share of ``label`` in the total (0.0 when empty)."""
+        total = self.total
+        return self.get(label) / total if total else 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Counter({self.as_dict()!r})"
+
+
+class StatSeries:
+    """Accumulates numeric observations and summarizes them."""
+
+    def __init__(self, values: Iterable[float] = ()) -> None:
+        self._values: list[float] = list(values)
+
+    def add(self, value: float) -> None:
+        """Record one observation."""
+        self._values.append(value)
+
+    def extend(self, values: Iterable[float]) -> None:
+        """Record several observations."""
+        self._values.extend(values)
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    @property
+    def values(self) -> tuple[float, ...]:
+        """All observations in insertion order."""
+        return tuple(self._values)
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean (0.0 when empty)."""
+        return sum(self._values) / len(self._values) if self._values else 0.0
+
+    @property
+    def minimum(self) -> float:
+        """Smallest observation (0.0 when empty)."""
+        return min(self._values) if self._values else 0.0
+
+    @property
+    def maximum(self) -> float:
+        """Largest observation (0.0 when empty)."""
+        return max(self._values) if self._values else 0.0
+
+    @property
+    def stddev(self) -> float:
+        """Population standard deviation (0.0 for < 2 observations)."""
+        if len(self._values) < 2:
+            return 0.0
+        mean = self.mean
+        variance = sum((v - mean) ** 2 for v in self._values) / len(self._values)
+        return math.sqrt(variance)
+
+    def percentile(self, q: float) -> float:
+        """The ``q``-th percentile (nearest-rank; ``q`` in [0, 100])."""
+        if not self._values:
+            return 0.0
+        if not 0 <= q <= 100:
+            raise ValueError(f"percentile must be in [0, 100], got {q}")
+        ordered = sorted(self._values)
+        rank = max(1, math.ceil(q / 100 * len(ordered)))
+        return ordered[rank - 1]
+
+    def summary(self) -> dict[str, float]:
+        """Mean/min/max/p50/p99 in one dict (handy for printing)."""
+        return {
+            "n": float(len(self._values)),
+            "mean": self.mean,
+            "min": self.minimum,
+            "p50": self.percentile(50),
+            "p99": self.percentile(99),
+            "max": self.maximum,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"StatSeries(n={len(self)}, mean={self.mean:.4f})"

@@ -1,0 +1,91 @@
+"""Campaign summaries: aggregate statistics over many runs.
+
+Failure-injection campaigns (Q1, A4, the property suites) produce long
+lists of :class:`~repro.runtime.harness.RunResult`; this module distils
+them into one :class:`CampaignSummary` — outcome mix, blocking rate,
+decision-latency percentiles, message totals, and the all-important
+atomicity-violation count.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterable
+
+from repro.metrics.collector import Counter, StatSeries
+from repro.metrics.tables import Table
+from repro.runtime.harness import RunResult
+from repro.types import Outcome
+
+
+@dataclasses.dataclass
+class CampaignSummary:
+    """Aggregate view of one campaign.
+
+    Attributes:
+        runs: Number of runs aggregated.
+        outcomes: Tally of global outcomes (``commit`` / ``abort`` /
+            ``mixed-undecided``; mixed-final would be a violation).
+        blocked_runs: Runs where at least one operational site ended
+            blocked.
+        violations: Runs that broke atomicity (must be 0 for every
+            in-model protocol).
+        crashed_sites_total: Site-crash count across the campaign.
+        decision_latency: Per-site decision times of operational sites.
+        messages: Messages sent per run.
+    """
+
+    runs: int = 0
+    outcomes: Counter = dataclasses.field(default_factory=Counter)
+    blocked_runs: int = 0
+    violations: int = 0
+    crashed_sites_total: int = 0
+    decision_latency: StatSeries = dataclasses.field(default_factory=StatSeries)
+    messages: StatSeries = dataclasses.field(default_factory=StatSeries)
+
+    @property
+    def blocked_fraction(self) -> float:
+        """Share of runs with at least one blocked site."""
+        return self.blocked_runs / self.runs if self.runs else 0.0
+
+    def to_table(self, title: str = "campaign summary") -> Table:
+        """Render the summary as a two-column table."""
+        table = Table(["metric", "value"], title=title)
+        table.add_row("runs", self.runs)
+        for label, count in self.outcomes.as_dict().items():
+            table.add_row(f"outcome: {label}", count)
+        table.add_row("blocked runs", self.blocked_runs)
+        table.add_row("blocked fraction", self.blocked_fraction)
+        table.add_row("atomicity violations", self.violations)
+        table.add_row("site crashes", self.crashed_sites_total)
+        table.add_row("mean decision latency", self.decision_latency.mean)
+        table.add_row("p99 decision latency", self.decision_latency.percentile(99))
+        table.add_row("mean messages/run", self.messages.mean)
+        return table
+
+
+def summarize_runs(results: Iterable[RunResult]) -> CampaignSummary:
+    """Aggregate a campaign's results into a :class:`CampaignSummary`."""
+    summary = CampaignSummary()
+    for run in results:
+        summary.runs += 1
+        decided = run.decided_outcomes()
+        if len(decided) > 1:
+            summary.violations += 1
+            summary.outcomes.add("VIOLATION")
+        elif decided == {Outcome.COMMIT}:
+            summary.outcomes.add("commit")
+        elif decided == {Outcome.ABORT}:
+            summary.outcomes.add("abort")
+        else:
+            summary.outcomes.add("undecided")
+        if run.blocked_sites:
+            summary.blocked_runs += 1
+        summary.crashed_sites_total += sum(
+            1 for report in run.reports.values() if report.crashed
+        )
+        for report in run.reports.values():
+            if report.alive and report.decided_at is not None:
+                summary.decision_latency.add(report.decided_at)
+        summary.messages.add(float(run.messages_sent))
+    return summary

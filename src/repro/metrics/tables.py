@@ -1,0 +1,69 @@
+"""ASCII table rendering for benchmark output.
+
+Every benchmark prints the rows it regenerates through :class:`Table`,
+so EXPERIMENTS.md and the bench logs share one format.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+
+class Table:
+    """A fixed-column ASCII table.
+
+    Args:
+        columns: Header labels; every row must match this arity.
+        title: Optional caption printed above the table.
+    """
+
+    def __init__(self, columns: Sequence[str], title: str = "") -> None:
+        self.columns = list(columns)
+        self.title = title
+        self._rows: list[list[str]] = []
+
+    def add_row(self, *cells: Any) -> None:
+        """Append one row (cells are str()-formatted; floats get 4sf).
+
+        Raises:
+            ValueError: On arity mismatch with the header.
+        """
+        if len(cells) != len(self.columns):
+            raise ValueError(
+                f"expected {len(self.columns)} cells, got {len(cells)}"
+            )
+        self._rows.append([self._format(cell) for cell in cells])
+
+    @staticmethod
+    def _format(cell: Any) -> str:
+        if isinstance(cell, bool):
+            return "yes" if cell else "no"
+        if isinstance(cell, float):
+            return f"{cell:.4g}"
+        return str(cell)
+
+    @property
+    def rows(self) -> list[list[str]]:
+        """Formatted rows so far."""
+        return [list(row) for row in self._rows]
+
+    def render(self) -> str:
+        """Render the table with aligned columns."""
+        widths = [len(c) for c in self.columns]
+        for row in self._rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        lines = []
+        if self.title:
+            lines.append(self.title)
+        header = " | ".join(c.ljust(widths[i]) for i, c in enumerate(self.columns))
+        lines.append(header)
+        lines.append("-+-".join("-" * w for w in widths))
+        for row in self._rows:
+            lines.append(
+                " | ".join(cell.ljust(widths[i]) for i, cell in enumerate(row))
+            )
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()

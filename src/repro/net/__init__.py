@@ -1,0 +1,35 @@
+"""Simulated network substrate.
+
+Implements exactly the network the paper assumes ("Design assumptions"):
+
+* point-to-point communication that never fails — every message sent to
+  an operational site is eventually delivered, uncorrupted and exactly
+  once;
+* reliable failure detection — when a site crashes, the network detects
+  it and reports it to every operational site after a bounded detection
+  delay, and it never falsely suspects a live site.
+
+Messages addressed to a crashed site are dropped (a crashed site cannot
+read its tape); the recovery protocol in :mod:`repro.runtime.recovery`
+is what re-synchronizes a recovering site, mirroring the paper's
+separation between termination and recovery protocols.
+"""
+
+from repro.net.latency import (
+    FixedLatency,
+    LatencyModel,
+    PerLinkLatency,
+    UniformLatency,
+)
+from repro.net.message import Envelope, Payload
+from repro.net.network import Network
+
+__all__ = [
+    "Envelope",
+    "FixedLatency",
+    "LatencyModel",
+    "Network",
+    "Payload",
+    "PerLinkLatency",
+    "UniformLatency",
+]

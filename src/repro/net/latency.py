@@ -1,0 +1,88 @@
+"""Latency models for the simulated network.
+
+A latency model maps a (source, destination) pair to a transit delay.
+Models draw from a dedicated random stream so latency noise is
+reproducible and independent of other random consumers.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Protocol
+
+from repro.types import SimTime, SiteId
+
+
+class LatencyModel(Protocol):
+    """Anything that can produce a message transit delay."""
+
+    def delay(self, src: SiteId, dst: SiteId, rng: random.Random) -> SimTime:
+        """Return the transit delay for one message from src to dst."""
+        ...  # pragma: no cover - protocol definition
+
+
+class FixedLatency:
+    """Every message takes exactly ``value`` time units.
+
+    The default model: with a fixed latency, protocol executions are
+    fully synchronous in the paper's sense and easiest to reason about.
+    """
+
+    def __init__(self, value: SimTime = 1.0) -> None:
+        if value < 0:
+            raise ValueError(f"latency must be nonnegative, got {value}")
+        self.value = value
+
+    def delay(self, src: SiteId, dst: SiteId, rng: random.Random) -> SimTime:
+        return self.value
+
+    def __repr__(self) -> str:
+        return f"FixedLatency({self.value})"
+
+
+class UniformLatency:
+    """Transit delays drawn uniformly from ``[low, high]``.
+
+    Randomized latency exercises the asynchrony the paper's model
+    permits: "state transitions at one site are asynchronous with
+    respect to transitions at other sites".
+    """
+
+    def __init__(self, low: SimTime, high: SimTime) -> None:
+        if low < 0 or high < low:
+            raise ValueError(f"need 0 <= low <= high, got [{low}, {high}]")
+        self.low = low
+        self.high = high
+
+    def delay(self, src: SiteId, dst: SiteId, rng: random.Random) -> SimTime:
+        return rng.uniform(self.low, self.high)
+
+    def __repr__(self) -> str:
+        return f"UniformLatency({self.low}, {self.high})"
+
+
+class PerLinkLatency:
+    """Explicit per-link delays with a default for unlisted links.
+
+    Useful for modelling a geographically skewed deployment (e.g. one
+    distant site) when studying how stragglers stretch commit latency.
+    """
+
+    def __init__(
+        self,
+        links: dict[tuple[SiteId, SiteId], SimTime],
+        default: SimTime = 1.0,
+    ) -> None:
+        for pair, value in links.items():
+            if value < 0:
+                raise ValueError(f"latency for link {pair} must be nonnegative")
+        if default < 0:
+            raise ValueError("default latency must be nonnegative")
+        self._links = dict(links)
+        self._default = default
+
+    def delay(self, src: SiteId, dst: SiteId, rng: random.Random) -> SimTime:
+        return self._links.get((src, dst), self._default)
+
+    def __repr__(self) -> str:
+        return f"PerLinkLatency({len(self._links)} links, default={self._default})"

@@ -1,0 +1,51 @@
+"""Message envelopes carried by the simulated network.
+
+The protocol layers exchange small structured payloads; the network
+wraps them in an :class:`Envelope` carrying addressing and timing
+metadata.  Payloads are intentionally untyped at this layer (any
+hashable-ish object); the commit engine uses :class:`ProtocolMessage`
+from :mod:`repro.fsa.messages`, the election and database layers use
+their own dataclasses.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Optional
+
+from repro.types import SimTime, SiteId
+
+#: Anything the network will carry.  Kept as an alias for readability.
+Payload = Any
+
+
+@dataclasses.dataclass(frozen=True)
+class Envelope:
+    """A payload in flight between two sites.
+
+    Attributes:
+        msg_id: Network-unique message id (assigned at send time).
+        src: Sending site.
+        dst: Receiving site.
+        payload: The application-level message object.
+        sent_at: Virtual time the send was issued.
+        deliver_at: Virtual time the network will deliver it (set when
+            the delivery event is scheduled; ``None`` for dropped mail).
+    """
+
+    msg_id: int
+    src: SiteId
+    dst: SiteId
+    payload: Payload
+    sent_at: SimTime
+    deliver_at: Optional[SimTime] = None
+
+    @property
+    def latency(self) -> Optional[SimTime]:
+        """Transit time, or ``None`` if the message was never delivered."""
+        if self.deliver_at is None:
+            return None
+        return self.deliver_at - self.sent_at
+
+    def __str__(self) -> str:
+        return f"#{self.msg_id} {self.src}->{self.dst}: {self.payload}"

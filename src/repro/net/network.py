@@ -1,0 +1,289 @@
+"""The simulated point-to-point network with reliable failure detection.
+
+See the package docstring of :mod:`repro.net` for the semantics, which
+match the paper's assumptions precisely.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Protocol
+
+from repro.errors import UnknownSiteError
+from repro.net.latency import FixedLatency, LatencyModel
+from repro.net.message import Envelope, Payload
+from repro.sim.simulator import Simulator
+from repro.types import SimTime, SiteId
+
+
+class MessageSink(Protocol):
+    """Anything that can receive delivered envelopes."""
+
+    def deliver(self, envelope: Envelope) -> None:
+        """Handle one delivered envelope."""
+        ...  # pragma: no cover - protocol definition
+
+
+#: Callback type for failure/recovery notifications: ``callback(site)``.
+FailureListener = Callable[[SiteId], None]
+
+
+class Network:
+    """Reliable point-to-point network connecting simulated sites.
+
+    Args:
+        sim: The owning simulator.
+        latency: Transit-delay model (defaults to one fixed time unit).
+        detection_delay: How long after a crash the network reports the
+            failure to each operational site.  The paper only requires
+            the report to be reliable, not instantaneous.
+
+    Semantics:
+        * A message sent while the destination is up at delivery time is
+          delivered exactly once; delivery order between two sites can
+          interleave arbitrarily under randomized latency.
+        * A message whose destination is down at delivery time is
+          dropped and recorded in the trace (``net.drop``).
+        * When a site crashes, every *other* operational site's failure
+          listeners fire after ``detection_delay``.  Listeners attached
+          later are not retroactively notified.
+        * Recovery notifications (``recovery_listeners``) mirror failure
+          notifications, supporting the paper's recovery protocols.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        latency: Optional[LatencyModel] = None,
+        detection_delay: SimTime = 1.0,
+    ) -> None:
+        self.sim = sim
+        self.latency = latency if latency is not None else FixedLatency(1.0)
+        self.detection_delay = detection_delay
+        self._sinks: dict[SiteId, MessageSink] = {}
+        self._up: dict[SiteId, bool] = {}
+        self._failure_listeners: dict[SiteId, list[FailureListener]] = {}
+        self._recovery_listeners: dict[SiteId, list[FailureListener]] = {}
+        self._next_msg_id = 0
+        self._partition: Optional[list[frozenset[SiteId]]] = None
+        self.messages_sent = 0
+        self.messages_delivered = 0
+        self.messages_dropped = 0
+
+    # ------------------------------------------------------------------
+    # Topology
+    # ------------------------------------------------------------------
+
+    def attach(self, site: SiteId, sink: MessageSink) -> None:
+        """Connect a site's message sink to the network (initially up)."""
+        self._sinks[site] = sink
+        self._up[site] = True
+        self._failure_listeners.setdefault(site, [])
+        self._recovery_listeners.setdefault(site, [])
+
+    @property
+    def sites(self) -> list[SiteId]:
+        """All attached site ids, sorted."""
+        return sorted(self._sinks)
+
+    def is_up(self, site: SiteId) -> bool:
+        """Whether the site is attached and currently operational."""
+        return self._up.get(site, False)
+
+    def operational_sites(self) -> list[SiteId]:
+        """Sorted ids of all currently operational sites."""
+        return sorted(site for site, up in self._up.items() if up)
+
+    def _require_site(self, site: SiteId) -> None:
+        if site not in self._sinks:
+            raise UnknownSiteError(f"site {site} is not attached to the network")
+
+    # ------------------------------------------------------------------
+    # Messaging
+    # ------------------------------------------------------------------
+
+    def send(self, src: SiteId, dst: SiteId, payload: Payload) -> Envelope:
+        """Send ``payload`` from ``src`` to ``dst``.
+
+        Returns the scheduled envelope.  Sending never fails from the
+        sender's perspective (the network is reliable); whether the
+        message is ultimately delivered depends on the destination being
+        up at delivery time.
+        """
+        self._require_site(src)
+        self._require_site(dst)
+        rng = self.sim.streams.stream("net.latency")
+        delay = self.latency.delay(src, dst, rng)
+        envelope = Envelope(
+            msg_id=self._next_msg_id,
+            src=src,
+            dst=dst,
+            payload=payload,
+            sent_at=self.sim.now,
+            deliver_at=self.sim.now + delay,
+        )
+        self._next_msg_id += 1
+        self.messages_sent += 1
+        self.sim.trace.record(
+            self.sim.now, "net.send", f"{envelope}", site=src, msg_id=envelope.msg_id
+        )
+        self.sim.schedule(delay, lambda: self._deliver(envelope), label=f"deliver {envelope.msg_id}")
+        return envelope
+
+    def broadcast(
+        self, src: SiteId, dsts: list[SiteId], payload: Payload
+    ) -> list[Envelope]:
+        """Send the same payload from ``src`` to each destination in order."""
+        return [self.send(src, dst, payload) for dst in dsts]
+
+    def _deliver(self, envelope: Envelope) -> None:
+        if self._partition is not None and not self._same_side(
+            envelope.src, envelope.dst
+        ):
+            self.messages_dropped += 1
+            self.sim.trace.record(
+                self.sim.now,
+                "net.partition_drop",
+                f"{envelope} (cross-partition)",
+                site=envelope.dst,
+                msg_id=envelope.msg_id,
+            )
+            return
+        if not self._up.get(envelope.dst, False):
+            self.messages_dropped += 1
+            self.sim.trace.record(
+                self.sim.now,
+                "net.drop",
+                f"{envelope} (destination down)",
+                site=envelope.dst,
+                msg_id=envelope.msg_id,
+            )
+            return
+        self.messages_delivered += 1
+        self.sim.trace.record(
+            self.sim.now,
+            "net.deliver",
+            f"{envelope}",
+            site=envelope.dst,
+            msg_id=envelope.msg_id,
+        )
+        self._sinks[envelope.dst].deliver(envelope)
+
+    # ------------------------------------------------------------------
+    # Failure detection
+    # ------------------------------------------------------------------
+
+    def add_failure_listener(self, site: SiteId, listener: FailureListener) -> None:
+        """Register ``listener`` to hear about failures of *other* sites.
+
+        The listener fires only while ``site`` itself is operational —
+        a crashed site cannot observe anything.
+        """
+        self._require_site(site)
+        self._failure_listeners[site].append(listener)
+
+    def add_recovery_listener(self, site: SiteId, listener: FailureListener) -> None:
+        """Register ``listener`` to hear about recoveries of other sites."""
+        self._require_site(site)
+        self._recovery_listeners[site].append(listener)
+
+    def crash(self, site: SiteId) -> None:
+        """Mark ``site`` as crashed and schedule failure notifications.
+
+        Crashing an already-down site is a no-op.  Notifications go to
+        every site operational *at notification time*, matching the
+        paper's requirement that failures are reported to operational
+        sites (a site that crashes in the interim misses the report but
+        will learn what it needs from its own recovery protocol).
+        """
+        self._require_site(site)
+        if not self._up[site]:
+            return
+        self._up[site] = False
+        self.sim.trace.record(self.sim.now, "site.crash", f"site {site} crashed", site=site)
+
+        def notify() -> None:
+            for other in self.sites:
+                if other == site or not self._up.get(other, False):
+                    continue
+                for listener in list(self._failure_listeners[other]):
+                    listener(site)
+
+        self.sim.schedule(
+            self.detection_delay, notify, label=f"detect crash of {site}"
+        )
+
+    def restart(self, site: SiteId) -> None:
+        """Mark a crashed ``site`` as operational again and notify peers."""
+        self._require_site(site)
+        if self._up[site]:
+            return
+        self._up[site] = True
+        self.sim.trace.record(
+            self.sim.now, "site.restart", f"site {site} restarted", site=site
+        )
+
+        def notify() -> None:
+            for other in self.sites:
+                if other == site or not self._up.get(other, False):
+                    continue
+                for listener in list(self._recovery_listeners[other]):
+                    listener(site)
+
+        self.sim.schedule(
+            self.detection_delay, notify, label=f"detect restart of {site}"
+        )
+
+    # ------------------------------------------------------------------
+    # Partitions — DELIBERATELY outside the paper's model
+    # ------------------------------------------------------------------
+
+    def _same_side(self, a: SiteId, b: SiteId) -> bool:
+        if a == b:
+            return True
+        assert self._partition is not None
+        for group in self._partition:
+            if a in group:
+                return b in group
+        return False  # Unlisted sites are unreachable from everyone.
+
+    def partition(self, groups: list[set[SiteId]]) -> None:
+        """Split the network, violating the paper's assumptions on purpose.
+
+        The paper assumes the network "never fails" and reliably reports
+        *site* failures.  A partition breaks both at once: cross-group
+        messages are dropped, and — modelling a detector that cannot
+        tell a dead site from an unreachable one — every site receives
+        failure notifications for all sites outside its group.  This is
+        the substrate of experiment A2, which exhibits the well-known
+        3PC split-decision under partition and thereby shows the
+        reliable-network assumption is load-bearing, not cosmetic.
+        """
+        self._partition = [frozenset(group) for group in groups]
+        self.sim.trace.record(
+            self.sim.now,
+            "net.partition",
+            f"network partitioned into {[sorted(g) for g in groups]}",
+        )
+
+        def suspect() -> None:
+            for observer in self.sites:
+                if not self._up.get(observer, False):
+                    continue
+                for other in self.sites:
+                    if other == observer or self._same_side(observer, other):
+                        continue
+                    for listener in list(self._failure_listeners[observer]):
+                        listener(other)
+
+        self.sim.schedule(
+            self.detection_delay, suspect, label="partition suspicion"
+        )
+
+    def heal(self) -> None:
+        """Undo :meth:`partition`; in-flight cross-group mail was lost."""
+        self._partition = None
+        self.sim.trace.record(self.sim.now, "net.heal", "partition healed")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        up = self.operational_sites()
+        return f"Network(sites={self.sites}, up={up}, sent={self.messages_sent})"

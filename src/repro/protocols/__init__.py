@@ -1,0 +1,37 @@
+"""Catalog of the paper's commit protocols.
+
+Five protocols, each built both as an analyzable
+:class:`~repro.fsa.spec.ProtocolSpec` (this package) and executed by the
+generic engine in :mod:`repro.runtime`:
+
+* :func:`~repro.protocols.one_phase.one_phase` — 1PC, the simplest
+  protocol; inadequate because it forbids unilateral abort (slide 8);
+* :func:`~repro.protocols.two_phase_central.central_two_phase` — the
+  central-site 2PC of slide 15;
+* :func:`~repro.protocols.two_phase_decentralized.decentralized_two_phase`
+  — the decentralized 2PC of slide 26;
+* :func:`~repro.protocols.three_phase_central.central_three_phase` — the
+  nonblocking central-site 3PC of slide 35;
+* :func:`~repro.protocols.three_phase_decentralized.decentralized_three_phase`
+  — the nonblocking decentralized 3PC of slide 36.
+
+:mod:`~repro.protocols.catalog` exposes a name-indexed registry.
+"""
+
+from repro.protocols.catalog import PROTOCOLS, build, protocol_names
+from repro.protocols.one_phase import one_phase
+from repro.protocols.three_phase_central import central_three_phase
+from repro.protocols.three_phase_decentralized import decentralized_three_phase
+from repro.protocols.two_phase_central import central_two_phase
+from repro.protocols.two_phase_decentralized import decentralized_two_phase
+
+__all__ = [
+    "PROTOCOLS",
+    "build",
+    "central_three_phase",
+    "central_two_phase",
+    "decentralized_three_phase",
+    "decentralized_two_phase",
+    "one_phase",
+    "protocol_names",
+]

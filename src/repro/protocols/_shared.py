@@ -1,0 +1,56 @@
+"""Shared helpers for the protocol builders."""
+
+from __future__ import annotations
+
+from repro.errors import InstantiationError
+from repro.types import SiteId
+
+#: Site id of the coordinator in every central-site protocol (the paper
+#: numbers it site 1).
+COORDINATOR: SiteId = SiteId(1)
+
+
+def check_site_count(name: str, n_sites: int, minimum: int = 2) -> list[SiteId]:
+    """Validate the site count and return the site id list ``[1..n]``.
+
+    Raises:
+        InstantiationError: If ``n_sites`` is below ``minimum``.
+    """
+    if n_sites < minimum:
+        raise InstantiationError(
+            f"{name} needs at least {minimum} sites, got {n_sites}"
+        )
+    return [SiteId(i) for i in range(1, n_sites + 1)]
+
+
+def slaves_of(sites: list[SiteId]) -> list[SiteId]:
+    """All sites except the coordinator (site 1)."""
+    return [site for site in sites if site != COORDINATOR]
+
+
+def no_vote_combinations(voters: list[SiteId]) -> list[dict[SiteId, str]]:
+    """Every full vote vector over ``voters`` containing at least one no.
+
+    The paper's property 4 (slide 23) — the coordinator "waits for a
+    response from each one of them" — means a vote collector reads the
+    *complete* vote vector before moving, even when aborting.  That is
+    what makes the protocols synchronous within one state transition
+    (slide 24).  Modelling it in a flat FSA needs one abort transition
+    per vote vector with at least one no: ``2**len(voters) - 1``
+    transitions.  Builders therefore accept an ``eager_abort`` flag for
+    the practical abort-on-first-no variant, which uses one transition
+    per dissenter but lets a decided site lead a lagging one by two
+    transitions.
+
+    Returns:
+        All mappings ``voter -> "yes" | "no"`` with at least one no,
+        in a deterministic order.
+    """
+    combinations: list[dict[SiteId, str]] = []
+    for mask in range(1, 2 ** len(voters)):
+        vector = {
+            voter: ("no" if mask & (1 << position) else "yes")
+            for position, voter in enumerate(voters)
+        }
+        combinations.append(vector)
+    return combinations

@@ -1,0 +1,53 @@
+"""Name-indexed registry of the catalog protocols.
+
+The registry powers the CLI, the experiment harness, and parameterized
+tests: anything that wants "every protocol in the paper" iterates
+:data:`PROTOCOLS`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import InvalidProtocolError
+from repro.fsa.spec import ProtocolSpec
+from repro.protocols.one_phase import one_phase
+from repro.protocols.three_phase_central import central_three_phase
+from repro.protocols.three_phase_decentralized import decentralized_three_phase
+from repro.protocols.two_phase_central import central_two_phase
+from repro.protocols.two_phase_decentralized import decentralized_two_phase
+
+#: All catalog protocols by canonical name.  Each value is a builder
+#: taking the participant count.
+PROTOCOLS: dict[str, Callable[[int], ProtocolSpec]] = {
+    "1pc": one_phase,
+    "2pc-central": central_two_phase,
+    "2pc-decentralized": decentralized_two_phase,
+    "3pc-central": central_three_phase,
+    "3pc-decentralized": decentralized_three_phase,
+}
+
+#: Names of the protocols the paper proves blocking / nonblocking.
+BLOCKING = ("1pc", "2pc-central", "2pc-decentralized")
+NONBLOCKING = ("3pc-central", "3pc-decentralized")
+
+
+def protocol_names() -> list[str]:
+    """Canonical names of every catalog protocol, sorted."""
+    return sorted(PROTOCOLS)
+
+
+def build(name: str, n_sites: int) -> ProtocolSpec:
+    """Build the named protocol for ``n_sites`` participants.
+
+    Raises:
+        InvalidProtocolError: If the name is not in the catalog.
+    """
+    try:
+        builder = PROTOCOLS[name]
+    except KeyError:
+        known = ", ".join(protocol_names())
+        raise InvalidProtocolError(
+            f"unknown protocol {name!r}; known protocols: {known}"
+        ) from None
+    return builder(n_sites)

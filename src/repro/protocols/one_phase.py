@@ -1,0 +1,87 @@
+"""The one-phase commit protocol (1PC).
+
+Slide 8: "1PC is the simplest commit protocol.  However, it is
+inadequate because it does not allow a unilateral abort by a server."
+The coordinator receives the client's decision and simply broadcasts
+commit or abort; slaves have no vote and cannot refuse.
+
+The coordinator's own decision is modelled as nondeterminism at its
+initial state: on reading the external ``request`` it either commits
+(vote yes) or aborts (vote no) and broadcasts accordingly.
+"""
+
+from __future__ import annotations
+
+from repro.fsa.automaton import SiteAutomaton, Transition
+from repro.fsa.messages import EXTERNAL, Msg, fan_out
+from repro.fsa.spec import ProtocolSpec
+from repro.protocols._shared import COORDINATOR, check_site_count, slaves_of
+from repro.types import ProtocolClass, SiteId, Vote
+
+
+def one_phase(n_sites: int) -> ProtocolSpec:
+    """Build the 1PC spec for ``n_sites`` participants.
+
+    Args:
+        n_sites: Total participant count including the coordinator
+            (site 1); must be at least 2.
+
+    Returns:
+        A validated :class:`ProtocolSpec`.
+    """
+    sites = check_site_count("1PC", n_sites)
+    slaves = slaves_of(sites)
+
+    coordinator = SiteAutomaton(
+        site=COORDINATOR,
+        role="coordinator",
+        initial="q",
+        commit_states=["c"],
+        abort_states=["a"],
+        transitions=[
+            Transition(
+                source="q",
+                target="c",
+                reads=frozenset({Msg("request", EXTERNAL, COORDINATOR)}),
+                writes=fan_out("commit", COORDINATOR, slaves),
+                vote=Vote.YES,
+            ),
+            Transition(
+                source="q",
+                target="a",
+                reads=frozenset({Msg("request", EXTERNAL, COORDINATOR)}),
+                writes=fan_out("abort", COORDINATOR, slaves),
+                vote=Vote.NO,
+            ),
+        ],
+    )
+
+    automata: dict[SiteId, SiteAutomaton] = {COORDINATOR: coordinator}
+    for site in slaves:
+        automata[site] = SiteAutomaton(
+            site=site,
+            role="slave",
+            initial="q",
+            commit_states=["c"],
+            abort_states=["a"],
+            transitions=[
+                Transition(
+                    source="q",
+                    target="c",
+                    reads=frozenset({Msg("commit", COORDINATOR, site)}),
+                ),
+                Transition(
+                    source="q",
+                    target="a",
+                    reads=frozenset({Msg("abort", COORDINATOR, site)}),
+                ),
+            ],
+        )
+
+    return ProtocolSpec(
+        name=f"1PC (central-site, n={n_sites})",
+        protocol_class=ProtocolClass.CENTRAL_SITE,
+        automata=automata,
+        initial_messages=[Msg("request", EXTERNAL, COORDINATOR)],
+        coordinator=COORDINATOR,
+    )

@@ -1,0 +1,164 @@
+"""The nonblocking central-site three-phase commit protocol, slide 35.
+
+3PC is 2PC with a *buffer state* ``p`` ("prepare to commit") inserted
+between the wait state and the commit state, exactly per the paper's
+construction (slide 34).  Having collected every yes vote, the
+coordinator first broadcasts ``prepare``, waits for every slave's
+``ack``, and only then broadcasts ``commit``.  The buffer state is
+committable but not a commit state, which is what satisfies both
+conditions of the fundamental nonblocking theorem.
+"""
+
+from __future__ import annotations
+
+from repro.fsa.automaton import SiteAutomaton, Transition
+from repro.fsa.messages import EXTERNAL, Msg, fan_in, fan_out
+from repro.fsa.spec import ProtocolSpec
+from repro.protocols._shared import (
+    COORDINATOR,
+    check_site_count,
+    no_vote_combinations,
+    slaves_of,
+)
+from repro.types import ProtocolClass, SiteId, Vote
+
+
+def _coordinator_automaton(slaves: list[SiteId], eager_abort: bool) -> SiteAutomaton:
+    """The coordinator FSA of slide 35: q -> w -> {a, p}, p -> c."""
+    transitions = [
+        Transition(
+            source="q",
+            target="w",
+            reads=frozenset({Msg("request", EXTERNAL, COORDINATOR)}),
+            writes=fan_out("xact", COORDINATOR, slaves),
+        ),
+        # All slaves voted yes and the coordinator votes yes: prepare.
+        Transition(
+            source="w",
+            target="p",
+            reads=fan_in("yes", slaves, COORDINATOR),
+            writes=fan_out("prepare", COORDINATOR, slaves),
+            vote=Vote.YES,
+        ),
+        # All slaves voted yes but the coordinator votes no: abort.
+        Transition(
+            source="w",
+            target="a",
+            reads=fan_in("yes", slaves, COORDINATOR),
+            writes=fan_out("abort", COORDINATOR, slaves),
+            vote=Vote.NO,
+        ),
+        # Every slave acknowledged the prepare: commit.
+        Transition(
+            source="p",
+            target="c",
+            reads=fan_in("ack", slaves, COORDINATOR),
+            writes=fan_out("commit", COORDINATOR, slaves),
+        ),
+    ]
+    if eager_abort:
+        for slave in slaves:
+            transitions.append(
+                Transition(
+                    source="w",
+                    target="a",
+                    reads=frozenset({Msg("no", slave, COORDINATOR)}),
+                    writes=fan_out("abort", COORDINATOR, slaves),
+                )
+            )
+    else:
+        # Property 4: read the full vote vector, abort on any no.
+        for vector in no_vote_combinations(slaves):
+            transitions.append(
+                Transition(
+                    source="w",
+                    target="a",
+                    reads=frozenset(
+                        Msg(kind, slave, COORDINATOR)
+                        for slave, kind in vector.items()
+                    ),
+                    writes=fan_out("abort", COORDINATOR, slaves),
+                )
+            )
+    return SiteAutomaton(
+        site=COORDINATOR,
+        role="coordinator",
+        initial="q",
+        commit_states=["c"],
+        abort_states=["a"],
+        transitions=transitions,
+    )
+
+
+def _slave_automaton(site: SiteId) -> SiteAutomaton:
+    """The slave FSA of slide 35: q -> {w, a}, w -> {p, a}, p -> c."""
+    return SiteAutomaton(
+        site=site,
+        role="slave",
+        initial="q",
+        commit_states=["c"],
+        abort_states=["a"],
+        transitions=[
+            Transition(
+                source="q",
+                target="w",
+                reads=frozenset({Msg("xact", COORDINATOR, site)}),
+                writes=(Msg("yes", site, COORDINATOR),),
+                vote=Vote.YES,
+            ),
+            Transition(
+                source="q",
+                target="a",
+                reads=frozenset({Msg("xact", COORDINATOR, site)}),
+                writes=(Msg("no", site, COORDINATOR),),
+                vote=Vote.NO,
+            ),
+            Transition(
+                source="w",
+                target="p",
+                reads=frozenset({Msg("prepare", COORDINATOR, site)}),
+                writes=(Msg("ack", site, COORDINATOR),),
+            ),
+            Transition(
+                source="w",
+                target="a",
+                reads=frozenset({Msg("abort", COORDINATOR, site)}),
+            ),
+            Transition(
+                source="p",
+                target="c",
+                reads=frozenset({Msg("commit", COORDINATOR, site)}),
+            ),
+        ],
+    )
+
+
+def central_three_phase(n_sites: int, eager_abort: bool = False) -> ProtocolSpec:
+    """Build the central-site 3PC spec for ``n_sites`` participants.
+
+    Args:
+        n_sites: Total participant count including the coordinator
+            (site 1); must be at least 2.
+        eager_abort: Abort on the first ``no`` instead of collecting the
+            full vote vector (loses synchronicity within one
+            transition; see :mod:`repro.protocols.two_phase_central`).
+
+    Returns:
+        A validated :class:`ProtocolSpec`.  Nonblocking: every site
+        satisfies both conditions of the fundamental theorem, which
+        experiment F5 verifies by exhaustive state-graph analysis.
+    """
+    sites = check_site_count("central-site 3PC", n_sites)
+    slaves = slaves_of(sites)
+    automata: dict[SiteId, SiteAutomaton] = {
+        COORDINATOR: _coordinator_automaton(slaves, eager_abort)
+    }
+    for site in slaves:
+        automata[site] = _slave_automaton(site)
+    return ProtocolSpec(
+        name=f"3PC (central-site, n={n_sites})",
+        protocol_class=ProtocolClass.CENTRAL_SITE,
+        automata=automata,
+        initial_messages=[Msg("request", EXTERNAL, COORDINATOR)],
+        coordinator=COORDINATOR,
+    )

@@ -1,0 +1,100 @@
+"""The nonblocking decentralized three-phase commit protocol, slide 36.
+
+The decentralized 2PC with a buffer state: having collected every yes
+vote, a peer broadcasts ``prepare`` (to every site including itself)
+and enters ``p``; having collected every peer's ``prepare`` it commits.
+A ``prepare`` from peer *j* doubles as *j*'s acknowledgement that it
+saw all yes votes, so no separate ack round is needed in this model.
+"""
+
+from __future__ import annotations
+
+from repro.fsa.automaton import SiteAutomaton, Transition
+from repro.fsa.messages import EXTERNAL, Msg, fan_in, fan_out
+from repro.fsa.spec import ProtocolSpec
+from repro.protocols._shared import check_site_count, no_vote_combinations
+from repro.types import ProtocolClass, SiteId, Vote
+
+
+def _peer_automaton(
+    site: SiteId, sites: list[SiteId], eager_abort: bool
+) -> SiteAutomaton:
+    """The peer FSA of slide 36: q -> {w, a}, w -> {p, a}, p -> c."""
+    transitions = [
+        Transition(
+            source="q",
+            target="w",
+            reads=frozenset({Msg("xact", EXTERNAL, site)}),
+            writes=fan_out("yes", site, sites),
+            vote=Vote.YES,
+        ),
+        Transition(
+            source="q",
+            target="a",
+            reads=frozenset({Msg("xact", EXTERNAL, site)}),
+            writes=fan_out("no", site, sites),
+            vote=Vote.NO,
+        ),
+        Transition(
+            source="w",
+            target="p",
+            reads=fan_in("yes", sites, site),
+            writes=fan_out("prepare", site, sites),
+        ),
+        Transition(
+            source="p",
+            target="c",
+            reads=fan_in("prepare", sites, site),
+        ),
+    ]
+    peers = [peer for peer in sites if peer != site]
+    if eager_abort:
+        for peer in peers:
+            transitions.append(
+                Transition(
+                    source="w",
+                    target="a",
+                    reads=frozenset({Msg("no", peer, site)}),
+                )
+            )
+    else:
+        # Full interchange round: own yes plus every peer's vote.
+        for vector in no_vote_combinations(peers):
+            reads = {Msg("yes", site, site)}
+            reads.update(Msg(kind, peer, site) for peer, kind in vector.items())
+            transitions.append(
+                Transition(source="w", target="a", reads=frozenset(reads))
+            )
+    return SiteAutomaton(
+        site=site,
+        role="peer",
+        initial="q",
+        commit_states=["c"],
+        abort_states=["a"],
+        transitions=transitions,
+    )
+
+
+def decentralized_three_phase(
+    n_sites: int, eager_abort: bool = False
+) -> ProtocolSpec:
+    """Build the decentralized 3PC spec for ``n_sites`` participants.
+
+    Args:
+        n_sites: Participant count; must be at least 2.
+        eager_abort: Abort on the first ``no`` instead of completing the
+            vote interchange round (loses synchronicity within one
+            transition; see :mod:`repro.protocols.two_phase_central`).
+
+    Returns:
+        A validated :class:`ProtocolSpec`.  Nonblocking (experiment F6
+        verifies both theorem conditions by exhaustive analysis).
+    """
+    sites = check_site_count("decentralized 3PC", n_sites)
+    automata = {site: _peer_automaton(site, sites, eager_abort) for site in sites}
+    return ProtocolSpec(
+        name=f"3PC (decentralized, n={n_sites})",
+        protocol_class=ProtocolClass.DECENTRALIZED,
+        automata=automata,
+        initial_messages=[Msg("xact", EXTERNAL, site) for site in sites],
+    )

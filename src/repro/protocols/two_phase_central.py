@@ -1,0 +1,162 @@
+"""The central-site two-phase commit protocol (2PC), slide 15.
+
+Phase 1: the coordinator distributes the transaction (``xact``) to all
+slaves and waits for each to vote yes or no.  Phase 2: the coordinator
+collects the votes and informs each slave of the outcome.
+
+The coordinator's own vote — the parenthesized ``(yes_1)`` / ``(no_1)``
+of the paper's figure — is modelled as nondeterminism at its wait
+state: having collected every slave's yes, the coordinator either adds
+its own yes and commits, or adds its own no and aborts.
+
+By default the coordinator honours property 4 of the central-site
+model (slide 23) and collects the *complete* vote vector before
+deciding, which is what makes the protocol synchronous within one
+state transition (slide 24).  Pass ``eager_abort=True`` for the common
+practical optimization of aborting on the first ``no`` — it saves
+waiting but lets a decided site lead a lagging one by two transitions,
+losing the synchronicity property (measurable via
+:func:`repro.analysis.check_synchronicity`).
+"""
+
+from __future__ import annotations
+
+from repro.fsa.automaton import SiteAutomaton, Transition
+from repro.fsa.messages import EXTERNAL, Msg, fan_in, fan_out
+from repro.fsa.spec import ProtocolSpec
+from repro.protocols._shared import (
+    COORDINATOR,
+    check_site_count,
+    no_vote_combinations,
+    slaves_of,
+)
+from repro.types import ProtocolClass, SiteId, Vote
+
+
+def _coordinator_automaton(slaves: list[SiteId], eager_abort: bool) -> SiteAutomaton:
+    """The coordinator FSA: q -> w -> {a, c}."""
+    transitions = [
+        Transition(
+            source="q",
+            target="w",
+            reads=frozenset({Msg("request", EXTERNAL, COORDINATOR)}),
+            writes=fan_out("xact", COORDINATOR, slaves),
+        ),
+        # All slaves voted yes and the coordinator votes yes: commit.
+        Transition(
+            source="w",
+            target="c",
+            reads=fan_in("yes", slaves, COORDINATOR),
+            writes=fan_out("commit", COORDINATOR, slaves),
+            vote=Vote.YES,
+        ),
+        # All slaves voted yes but the coordinator votes no: abort.
+        Transition(
+            source="w",
+            target="a",
+            reads=fan_in("yes", slaves, COORDINATOR),
+            writes=fan_out("abort", COORDINATOR, slaves),
+            vote=Vote.NO,
+        ),
+    ]
+    if eager_abort:
+        # Optimization: any slave no aborts without awaiting other votes.
+        for slave in slaves:
+            transitions.append(
+                Transition(
+                    source="w",
+                    target="a",
+                    reads=frozenset({Msg("no", slave, COORDINATOR)}),
+                    writes=fan_out("abort", COORDINATOR, slaves),
+                )
+            )
+    else:
+        # Property 4: read the full vote vector, abort on any no.
+        for vector in no_vote_combinations(slaves):
+            transitions.append(
+                Transition(
+                    source="w",
+                    target="a",
+                    reads=frozenset(
+                        Msg(kind, slave, COORDINATOR)
+                        for slave, kind in vector.items()
+                    ),
+                    writes=fan_out("abort", COORDINATOR, slaves),
+                )
+            )
+    return SiteAutomaton(
+        site=COORDINATOR,
+        role="coordinator",
+        initial="q",
+        commit_states=["c"],
+        abort_states=["a"],
+        transitions=transitions,
+    )
+
+
+def _slave_automaton(site: SiteId) -> SiteAutomaton:
+    """The slave FSA of slide 15: q -> {w, a}, w -> {c, a}."""
+    return SiteAutomaton(
+        site=site,
+        role="slave",
+        initial="q",
+        commit_states=["c"],
+        abort_states=["a"],
+        transitions=[
+            Transition(
+                source="q",
+                target="w",
+                reads=frozenset({Msg("xact", COORDINATOR, site)}),
+                writes=(Msg("yes", site, COORDINATOR),),
+                vote=Vote.YES,
+            ),
+            Transition(
+                source="q",
+                target="a",
+                reads=frozenset({Msg("xact", COORDINATOR, site)}),
+                writes=(Msg("no", site, COORDINATOR),),
+                vote=Vote.NO,
+            ),
+            Transition(
+                source="w",
+                target="c",
+                reads=frozenset({Msg("commit", COORDINATOR, site)}),
+            ),
+            Transition(
+                source="w",
+                target="a",
+                reads=frozenset({Msg("abort", COORDINATOR, site)}),
+            ),
+        ],
+    )
+
+
+def central_two_phase(n_sites: int, eager_abort: bool = False) -> ProtocolSpec:
+    """Build the central-site 2PC spec for ``n_sites`` participants.
+
+    Args:
+        n_sites: Total participant count including the coordinator
+            (site 1); must be at least 2.
+        eager_abort: Abort on the first ``no`` instead of collecting the
+            full vote vector (see module docstring).
+
+    Returns:
+        A validated :class:`ProtocolSpec`.  This protocol is *blocking*
+        — the theorem checker in :mod:`repro.analysis.nonblocking`
+        reports violations of both conditions at each slave's wait
+        state, exactly as the paper observes.
+    """
+    sites = check_site_count("central-site 2PC", n_sites)
+    slaves = slaves_of(sites)
+    automata: dict[SiteId, SiteAutomaton] = {
+        COORDINATOR: _coordinator_automaton(slaves, eager_abort)
+    }
+    for site in slaves:
+        automata[site] = _slave_automaton(site)
+    return ProtocolSpec(
+        name=f"2PC (central-site, n={n_sites})",
+        protocol_class=ProtocolClass.CENTRAL_SITE,
+        automata=automata,
+        initial_messages=[Msg("request", EXTERNAL, COORDINATOR)],
+        coordinator=COORDINATOR,
+    )

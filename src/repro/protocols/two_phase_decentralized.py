@@ -1,0 +1,105 @@
+"""The decentralized two-phase commit protocol, slide 26.
+
+All sites run the same peer protocol.  In the first phase each site
+receives the external ``xact`` message, decides whether to unilaterally
+abort, and sends its decision to every peer *including itself* (slide
+25: "sites will be assumed to send messages to themselves").  In the
+second phase each site collects all decisions: all yes ⇒ commit, any
+no ⇒ abort.
+
+With ``n_sites = 2`` and roles collapsed, this protocol is the paper's
+*canonical 2PC* (slide 32) whose concurrency sets are
+``CS(q) = {q, w, a}``, ``CS(w) = {q, w, a, c}``, ``CS(a) = {q, w, a}``,
+``CS(c) = {w, c}`` — reproduced by experiment T1.
+"""
+
+from __future__ import annotations
+
+from repro.fsa.automaton import SiteAutomaton, Transition
+from repro.fsa.messages import EXTERNAL, Msg, fan_in, fan_out
+from repro.fsa.spec import ProtocolSpec
+from repro.protocols._shared import check_site_count, no_vote_combinations
+from repro.types import ProtocolClass, SiteId, Vote
+
+
+def _peer_automaton(
+    site: SiteId, sites: list[SiteId], eager_abort: bool
+) -> SiteAutomaton:
+    """The peer FSA of slide 26: q -> {w, a}, w -> {c, a}."""
+    transitions = [
+        Transition(
+            source="q",
+            target="w",
+            reads=frozenset({Msg("xact", EXTERNAL, site)}),
+            writes=fan_out("yes", site, sites),
+            vote=Vote.YES,
+        ),
+        Transition(
+            source="q",
+            target="a",
+            reads=frozenset({Msg("xact", EXTERNAL, site)}),
+            writes=fan_out("no", site, sites),
+            vote=Vote.NO,
+        ),
+        Transition(
+            source="w",
+            target="c",
+            reads=fan_in("yes", sites, site),
+        ),
+    ]
+    peers = [peer for peer in sites if peer != site]
+    if eager_abort:
+        # Optimization: any single no aborts; remaining votes unread.
+        for peer in peers:
+            transitions.append(
+                Transition(
+                    source="w",
+                    target="a",
+                    reads=frozenset({Msg("no", peer, site)}),
+                )
+            )
+    else:
+        # A full message interchange per round (slide 25): read the
+        # complete vote vector — own yes plus every peer's vote — and
+        # abort when any peer voted no.
+        for vector in no_vote_combinations(peers):
+            reads = {Msg("yes", site, site)}
+            reads.update(
+                Msg(kind, peer, site) for peer, kind in vector.items()
+            )
+            transitions.append(
+                Transition(source="w", target="a", reads=frozenset(reads))
+            )
+    return SiteAutomaton(
+        site=site,
+        role="peer",
+        initial="q",
+        commit_states=["c"],
+        abort_states=["a"],
+        transitions=transitions,
+    )
+
+
+def decentralized_two_phase(n_sites: int, eager_abort: bool = False) -> ProtocolSpec:
+    """Build the decentralized 2PC spec for ``n_sites`` participants.
+
+    Args:
+        n_sites: Participant count; must be at least 2.
+        eager_abort: Abort on the first ``no`` instead of completing the
+            vote interchange round (loses synchronicity within one
+            transition; see :mod:`repro.protocols.two_phase_central`).
+
+    Returns:
+        A validated :class:`ProtocolSpec`.  Blocking, like its
+        central-site sibling: a peer in ``w`` has both a commit and an
+        abort state in its concurrency set, and ``w`` is noncommittable
+        with a commit state in its concurrency set.
+    """
+    sites = check_site_count("decentralized 2PC", n_sites)
+    automata = {site: _peer_automaton(site, sites, eager_abort) for site in sites}
+    return ProtocolSpec(
+        name=f"2PC (decentralized, n={n_sites})",
+        protocol_class=ProtocolClass.DECENTRALIZED,
+        automata=automata,
+        initial_messages=[Msg("xact", EXTERNAL, site) for site in sites],
+    )

@@ -1,0 +1,43 @@
+"""Executable commit protocols on the simulated network.
+
+The runtime *interprets* the same :class:`~repro.fsa.spec.ProtocolSpec`
+objects the analysis layer proves things about, so the protocol that is
+verified nonblocking is byte-for-byte the protocol that runs:
+
+* :mod:`~repro.runtime.engine` — the FSA interpreter: buffers incoming
+  protocol messages, fires enabled transitions, resolves vote
+  nondeterminism through a :mod:`~repro.runtime.policies` vote policy,
+  and write-ahead-logs votes and decisions to the site's DT log;
+* :mod:`~repro.runtime.decision` — the termination decision rule
+  derived from concurrency sets (slide 39), generalized with an
+  explicit BLOCKED verdict for states where no safe decision exists
+  (the situation the fundamental theorem characterizes);
+* :mod:`~repro.runtime.termination` — the backup-coordinator
+  termination protocol (slides 38–39): election, the decision rule,
+  and the two-phase backup broadcast that keeps cascading backup
+  failures safe;
+* :mod:`~repro.runtime.recovery` — the recovery protocol for crashed
+  sites: log inspection, unilateral abort before the vote, and outcome
+  queries after it;
+* :mod:`~repro.runtime.site` / :mod:`~repro.runtime.harness` — one
+  simulated site combining all of the above, and the orchestrator that
+  runs a whole transaction with crash injection and collects a
+  :class:`~repro.runtime.harness.RunResult`.
+"""
+
+from repro.runtime.decision import TerminationRule
+from repro.runtime.harness import CommitRun, RunResult
+from repro.runtime.log import DTLog
+from repro.runtime.policies import FixedVotes, UnanimousYes, VotePolicy
+from repro.runtime.site import CommitSite
+
+__all__ = [
+    "CommitRun",
+    "CommitSite",
+    "DTLog",
+    "FixedVotes",
+    "RunResult",
+    "TerminationRule",
+    "UnanimousYes",
+    "VotePolicy",
+]

@@ -1,0 +1,140 @@
+"""The termination decision rule, derived from concurrency sets.
+
+Slide 39's rule for backup coordinators: "If the concurrency set for
+the current state of the backup coordinator contains a commit state,
+then the transaction is committed.  Otherwise, it is aborted."
+
+That rule is stated for *nonblocking* protocols, where it is always
+safe.  Applied naively to a blocking protocol it would violate
+atomicity (a 2PC slave in ``w`` has a commit state in its concurrency
+set, but the crashed coordinator may have aborted).  This module
+therefore implements the rule in its theorem-complete, three-valued
+form, following slides 27–28:
+
+* **ABORT** — safe iff the concurrency set contains no commit state;
+* **COMMIT** — safe iff the state is committable and the concurrency
+  set contains no abort state;
+* **BLOCKED** — neither decision is safe: the concurrency set contains
+  both a commit and an abort state, or the state is noncommittable
+  with a commit state in its concurrency set.  This is exactly the
+  blocking situation of the fundamental theorem; for nonblocking
+  protocols it is unreachable, which :meth:`TerminationRule.verify_nonblocking`
+  checks.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.analysis.committable import committable_states
+from repro.analysis.concurrency import concurrency_set
+from repro.analysis.reachability import (
+    DEFAULT_BUDGET,
+    ReachableStateGraph,
+    build_state_graph,
+)
+from repro.errors import TerminationError
+from repro.fsa.spec import ProtocolSpec
+from repro.types import Outcome, SiteId
+
+
+class TerminationRule:
+    """Precomputed per-(site, state) termination decisions for one spec.
+
+    Building the rule costs one reachable-state-graph enumeration; each
+    lookup is then O(1), which is what the simulated backup coordinator
+    consults at failure time.  (Operationally this mirrors the paper's
+    remark that "in practice, we seldom need to actually build" the
+    graph at run time — here it is built once, offline, per protocol.)
+
+    Args:
+        spec: The protocol the rule serves.
+        graph: Optional pre-built state graph.
+        budget: Node budget when building the graph.
+    """
+
+    def __init__(
+        self,
+        spec: ProtocolSpec,
+        graph: Optional[ReachableStateGraph] = None,
+        budget: Optional[int] = DEFAULT_BUDGET,
+    ) -> None:
+        self.spec = spec
+        if graph is None:
+            graph = build_state_graph(spec, budget=budget)
+        committable = committable_states(graph)
+
+        self._decisions: dict[tuple[SiteId, str], Outcome] = {}
+        for site in graph.sites:
+            automaton = spec.automaton(site)
+            for state in graph.reachable_local_states(site):
+                # Final states decide themselves: commit/abort are
+                # irreversible, so a final backup re-announces its
+                # outcome (slide 39 lets it skip phase 1 too).
+                if state in automaton.commit_states:
+                    self._decisions[(site, state)] = Outcome.COMMIT
+                    continue
+                if state in automaton.abort_states:
+                    self._decisions[(site, state)] = Outcome.ABORT
+                    continue
+                cs = concurrency_set(graph, site, state)
+                has_commit = any(
+                    spec.is_commit_state(other, local) for other, local in cs
+                )
+                has_abort = any(
+                    spec.is_abort_state(other, local) for other, local in cs
+                )
+                if not has_commit:
+                    self._decisions[(site, state)] = Outcome.ABORT
+                elif committable[(site, state)] and not has_abort:
+                    self._decisions[(site, state)] = Outcome.COMMIT
+                else:
+                    self._decisions[(site, state)] = Outcome.BLOCKED
+
+    def decide(self, site: SiteId, state: str) -> Outcome:
+        """The decision a backup in ``state`` at ``site`` must take.
+
+        Raises:
+            TerminationError: If the (site, state) pair is not a
+                reachable configuration of the protocol.
+        """
+        try:
+            return self._decisions[(site, state)]
+        except KeyError:
+            raise TerminationError(
+                f"no termination decision for site {site} state {state!r} "
+                f"in {self.spec.name!r} (unreachable state?)"
+            ) from None
+
+    def table(self, site: SiteId) -> dict[str, Outcome]:
+        """The full decision table of one site — the shape of slide 40."""
+        return {
+            state: outcome
+            for (owner, state), outcome in sorted(self._decisions.items())
+            if owner == site
+        }
+
+    def blocked_states(self) -> list[tuple[SiteId, str]]:
+        """All (site, state) pairs where no safe decision exists."""
+        return sorted(
+            key
+            for key, outcome in self._decisions.items()
+            if outcome is Outcome.BLOCKED
+        )
+
+    def verify_nonblocking(self) -> None:
+        """Assert the rule never yields BLOCKED.
+
+        Raises:
+            TerminationError: Listing the blocked states, if any.  For
+                the catalog 3PCs this never raises; for the 2PCs it
+                does — the paper's point that "a termination protocol
+                can only be effective if the associated commit protocol
+                is nonblocking" (slide 12).
+        """
+        blocked = self.blocked_states()
+        if blocked:
+            listing = ", ".join(f"site {s} state {t!r}" for s, t in blocked)
+            raise TerminationError(
+                f"{self.spec.name!r} has blocked termination states: {listing}"
+            )

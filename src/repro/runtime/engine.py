@@ -1,0 +1,268 @@
+"""The FSA interpreter: executes one site's protocol automaton.
+
+The engine is the runtime half of the "one model, two uses" design: it
+interprets the exact :class:`~repro.fsa.automaton.SiteAutomaton` the
+analysis layer reasons about.  It buffers incoming model messages,
+fires transitions whose read sets are satisfied, resolves vote
+nondeterminism through the site's vote policy, and write-ahead-logs
+votes and decisions to the DT log.
+
+Crash realism (slide 21): local state transitions are *not* atomic
+under site failures.  A transition fires as: force log records, then
+transmit writes one at a time, then advance the local state.  The crash
+injector can interrupt after any prefix of the writes, in which case
+the state does not advance — some messages are out, the rest never
+will be, exactly the partial-transition failure the paper describes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.errors import TransitionError
+from repro.fsa.automaton import SiteAutomaton, Transition
+from repro.fsa.messages import Msg
+from repro.runtime.log import DTLog
+from repro.runtime.policies import VotePolicy
+from repro.types import Outcome, SiteId, Vote
+
+
+class Engine:
+    """Interprets one site automaton.
+
+    Args:
+        automaton: The site's FSA.
+        vote_policy: Resolves this site's vote nondeterminism.
+        log: The site's DT log (crash-surviving).
+        send: Callback transmitting one model message on the network.
+        now: Callback returning the current virtual time (for log
+            timestamps).
+        on_final: Callback invoked with (outcome, via) when the site
+            enters a final state.
+        on_trace: Callback for trace lines ``(category, detail, data)``.
+    """
+
+    def __init__(
+        self,
+        automaton: SiteAutomaton,
+        vote_policy: VotePolicy,
+        log: DTLog,
+        send: Callable[[Msg], None],
+        now: Callable[[], float],
+        on_final: Callable[[Outcome, str], None],
+        on_trace: Callable[..., None],
+    ) -> None:
+        self.automaton = automaton
+        self.site: SiteId = automaton.site
+        self.vote_policy = vote_policy
+        self.log = log
+        self._send = send
+        self._now = now
+        self._on_final = on_final
+        self._trace = on_trace
+        self.state = automaton.initial
+        self.buffer: set[Msg] = set()
+        self.transitions_fired = 0
+        self._halted = False
+        # Partial-send crash request: (transition_number, writes_to_send,
+        # crash_callback).  Armed by the failure injector.
+        self._partial_crash: Optional[tuple[int, int, Callable[[], None]]] = None
+
+    # ------------------------------------------------------------------
+    # Status
+    # ------------------------------------------------------------------
+
+    @property
+    def finished(self) -> bool:
+        """Whether the site reached a final (commit/abort) state."""
+        return self.automaton.is_final(self.state)
+
+    @property
+    def outcome(self) -> Outcome:
+        """Current outcome implied by the local state."""
+        if self.state in self.automaton.commit_states:
+            return Outcome.COMMIT
+        if self.state in self.automaton.abort_states:
+            return Outcome.ABORT
+        return Outcome.UNDECIDED
+
+    def halt(self) -> None:
+        """Stop interpreting (used on crash); buffered messages are lost."""
+        self._halted = True
+
+    # ------------------------------------------------------------------
+    # Failure injection
+    # ------------------------------------------------------------------
+
+    def arm_partial_crash(
+        self,
+        transition_number: int,
+        after_writes: int,
+        crash: Callable[[], None],
+    ) -> None:
+        """Crash mid-transition: during this site's ``transition_number``-th
+        firing (1-based), transmit only ``after_writes`` messages, then
+        invoke ``crash`` without advancing the local state."""
+        self._partial_crash = (transition_number, after_writes, crash)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def receive(self, msg: Msg) -> None:
+        """Buffer one model message and fire whatever becomes enabled."""
+        if self._halted:
+            return
+        self.buffer.add(msg)
+        self.pump()
+
+    def pump(self) -> None:
+        """Fire enabled transitions until quiescent."""
+        while not self._halted and not self.finished:
+            transition = self._pick_enabled()
+            if transition is None:
+                return
+            fired = self._fire(transition)
+            if not fired:
+                return
+
+    def _pick_enabled(self) -> Optional[Transition]:
+        """Choose the transition to fire, resolving vote nondeterminism.
+
+        Raises:
+            TransitionError: If several enabled transitions remain that
+                disagree on target or writes after vote resolution —
+                genuine ambiguity a correct spec never exhibits.
+        """
+        enabled = [
+            t
+            for t in self.automaton.out_transitions(self.state)
+            if t.reads <= self.buffer
+        ]
+        if not enabled:
+            return None
+        if len(enabled) == 1:
+            return enabled[0]
+
+        voted = [t for t in enabled if t.vote is not None]
+        if voted:
+            my_vote = self.vote_policy.vote(self.site)
+            matching = [t for t in enabled if t.vote is my_vote]
+            if matching:
+                enabled = matching
+
+        # Remaining candidates must be interchangeable (same effect).
+        first = enabled[0]
+        for other in enabled[1:]:
+            if other.target != first.target or other.writes != first.writes:
+                raise TransitionError(
+                    f"site {self.site} state {self.state!r}: ambiguous "
+                    f"enabled transitions {first.describe()} vs "
+                    f"{other.describe()}"
+                )
+        return first
+
+    def _fire(self, transition: Transition) -> bool:
+        """Execute one transition.
+
+        Returns:
+            ``True`` if the transition completed (state advanced),
+            ``False`` if a partial-send crash interrupted it.
+        """
+        self.transitions_fired += 1
+
+        # Write-ahead: force the vote and/or decision before any send.
+        if transition.vote is not None and self.log.vote() is None:
+            self.log.write_vote(transition.vote, self._now())
+        entering_final = self.automaton.is_final(transition.target)
+        if entering_final:
+            outcome = (
+                Outcome.COMMIT
+                if transition.target in self.automaton.commit_states
+                else Outcome.ABORT
+            )
+            self.log.write_decision(outcome, self._now(), via="protocol")
+
+        partial = self._partial_crash
+        crash_now = (
+            partial is not None and partial[0] == self.transitions_fired
+        )
+        writes = transition.writes
+        if crash_now:
+            writes = transition.writes[: partial[1]]
+
+        self.buffer -= transition.reads
+        for msg in writes:
+            self._send(msg)
+
+        if crash_now:
+            self._partial_crash = None
+            self._trace(
+                "engine.partial_crash",
+                f"crashed during {transition.describe()} after "
+                f"{len(writes)}/{len(transition.writes)} writes",
+                transition=transition.describe(),
+                sent=len(writes),
+            )
+            partial[2]()
+            return False
+
+        self.state = transition.target
+        self._trace(
+            "engine.transition",
+            transition.describe(),
+            state=self.state,
+            fired=self.transitions_fired,
+        )
+        if entering_final:
+            self._on_final(self.outcome, "protocol")
+        return True
+
+    # ------------------------------------------------------------------
+    # Forced moves (termination protocol hooks)
+    # ------------------------------------------------------------------
+
+    def force_state(self, state: str) -> None:
+        """Adopt a local state on the backup coordinator's order.
+
+        Phase 1 of the backup protocol (slide 39) asks every site to
+        make a transition to the backup's local state.
+
+        Raises:
+            TransitionError: If the label is not a state of this
+                automaton (heterogeneous protocols would need a state
+                mapping, which the catalog protocols do not).
+        """
+        if state not in self.automaton.states:
+            raise TransitionError(
+                f"site {self.site} cannot adopt unknown state {state!r}"
+            )
+        if self.finished:
+            return
+        previous = self.state
+        self.state = state
+        self._trace(
+            "engine.forced_state",
+            f"moved {previous!r} -> {state!r} by termination protocol",
+            state=state,
+        )
+
+    def force_outcome(self, outcome: Outcome, via: str) -> None:
+        """Adopt a final outcome delivered by termination or recovery."""
+        if self.finished:
+            return
+        if outcome is Outcome.COMMIT:
+            target = sorted(self.automaton.commit_states)[0]
+        elif outcome is Outcome.ABORT:
+            target = sorted(self.automaton.abort_states)[0]
+        else:
+            raise TransitionError(f"cannot force non-final outcome {outcome}")
+        self.log.write_decision(outcome, self._now(), via=via)
+        self.state = target
+        self._trace(
+            "engine.forced_outcome",
+            f"{outcome.value} via {via}",
+            state=target,
+            via=via,
+        )
+        self._on_final(outcome, via)

@@ -1,0 +1,336 @@
+"""The run orchestrator: one distributed transaction, end to end.
+
+:class:`CommitRun` assembles a simulator, a network, one
+:class:`~repro.runtime.site.CommitSite` per participant, a crash
+schedule, and executes until quiescence, returning a
+:class:`RunResult` with per-site outcomes, blocking information, and
+network statistics.  Runs are deterministic in (spec, seed, schedule).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterable, Optional
+
+from repro.errors import AtomicityViolationError
+from repro.fsa.messages import EXTERNAL
+from repro.fsa.spec import ProtocolSpec
+from repro.net.latency import LatencyModel
+from repro.net.network import Network
+from repro.runtime.decision import TerminationRule
+from repro.runtime.policies import UnanimousYes, VotePolicy
+from repro.runtime.site import CommitSite
+from repro.runtime.termination import ElectionStrategy
+from repro.sim.simulator import Simulator
+from repro.sim.tracing import TraceLog
+from repro.types import Outcome, SimTime, SiteId, Vote
+from repro.workload.crashes import (
+    CrashAfterPayloads,
+    CrashAt,
+    CrashDuringTransition,
+    CrashEvent,
+)
+
+
+@dataclasses.dataclass
+class SiteReport:
+    """Final status of one site after a run.
+
+    Attributes:
+        site: The site id.
+        outcome: Logged outcome (UNDECIDED when none was reached).
+        via: How the outcome was reached (``protocol`` /
+            ``termination`` / ``recovery``), or ``None``.
+        decided_at: Virtual decision time, or ``None``.
+        blocked: Whether the site ended blocked (operational, undecided,
+            and told by the termination protocol that no safe decision
+            exists).
+        crashed: Whether the site crashed during the run.
+        alive: Whether the site was operational at the end.
+        transitions_fired: FSA transitions executed by the site.
+        vote: The vote the site force-logged before crashing or
+            deciding (``None`` when it never voted).
+    """
+
+    site: SiteId
+    outcome: Outcome
+    via: Optional[str]
+    decided_at: Optional[SimTime]
+    blocked: bool
+    crashed: bool
+    alive: bool
+    transitions_fired: int
+    vote: Optional[Vote] = None
+
+
+@dataclasses.dataclass
+class RunResult:
+    """Everything observable about one completed run."""
+
+    protocol: str
+    n_sites: int
+    reports: dict[SiteId, SiteReport]
+    duration: SimTime
+    messages_sent: int
+    messages_delivered: int
+    messages_dropped: int
+    events_fired: int
+    trace: TraceLog
+
+    def outcomes(self) -> dict[SiteId, Outcome]:
+        """Per-site logged outcome."""
+        return {site: report.outcome for site, report in self.reports.items()}
+
+    def decided_outcomes(self) -> set[Outcome]:
+        """The set of final outcomes actually logged by any site."""
+        return {
+            report.outcome
+            for report in self.reports.values()
+            if report.outcome.is_final
+        }
+
+    @property
+    def atomic(self) -> bool:
+        """Whether no two sites logged conflicting outcomes.
+
+        This audit covers *crashed* sites too: a coordinator that
+        logged commit before dying counts, which is exactly the trap
+        blocking protocols fall into.
+        """
+        return len(self.decided_outcomes()) <= 1
+
+    @property
+    def blocked_sites(self) -> list[SiteId]:
+        """Operational sites that ended blocked."""
+        return sorted(
+            site for site, report in self.reports.items() if report.blocked
+        )
+
+    @property
+    def undecided_operational(self) -> list[SiteId]:
+        """Operational sites that never reached a decision."""
+        return sorted(
+            site
+            for site, report in self.reports.items()
+            if report.alive and not report.outcome.is_final
+        )
+
+    def decision_times(self) -> dict[SiteId, SimTime]:
+        """Decision time per decided site."""
+        return {
+            site: report.decided_at
+            for site, report in self.reports.items()
+            if report.decided_at is not None
+        }
+
+    def assert_atomic(self) -> None:
+        """Raise if the run violated atomicity.
+
+        Raises:
+            AtomicityViolationError: With the conflicting outcomes.
+        """
+        if not self.atomic:
+            raise AtomicityViolationError(
+                f"{self.protocol}: mixed outcomes {self.outcomes()!r}"
+            )
+
+
+class CommitRun:
+    """Configure and execute one distributed transaction.
+
+    Args:
+        spec: The protocol to run.
+        seed: Root seed (drives latency noise).
+        latency: Network latency model (default: fixed 1.0).
+        vote_policy: How sites vote (default: unanimous yes).
+        crashes: Crash schedule (see :mod:`repro.workload.crashes`).
+        detection_delay: Failure-detector reporting delay.
+        termination_enabled: Run the termination protocol on failures.
+        elect: Backup-coordinator election strategy.
+        rule: Pre-built termination rule; built from ``spec`` when
+            omitted.  Pass one in when sweeping many runs of the same
+            protocol — building it costs a state-graph enumeration.
+        requery_interval: Recovery re-query period.
+        max_time: Stop the simulation at this virtual time even if
+            events remain (bounds blocked runs).
+    """
+
+    def __init__(
+        self,
+        spec: ProtocolSpec,
+        seed: int = 0,
+        latency: Optional[LatencyModel] = None,
+        vote_policy: Optional[VotePolicy] = None,
+        crashes: Iterable[CrashEvent] = (),
+        detection_delay: float = 1.0,
+        termination_enabled: bool = True,
+        termination_mode: str = "standard",
+        total_failure_recovery: bool = False,
+        elect: Optional[ElectionStrategy] = None,
+        rule: Optional[TerminationRule] = None,
+        requery_interval: float = 5.0,
+        partition_at: Optional[SimTime] = None,
+        partition_groups: Optional[list[set[SiteId]]] = None,
+        max_time: SimTime = 1000.0,
+    ) -> None:
+        self.spec = spec
+        self.seed = seed
+        self.latency = latency
+        self.vote_policy = vote_policy if vote_policy is not None else UnanimousYes()
+        self.crashes = tuple(crashes)
+        self.detection_delay = detection_delay
+        self.termination_enabled = termination_enabled
+        self.termination_mode = termination_mode
+        self.total_failure_recovery = total_failure_recovery
+        self.elect = elect
+        # Building a TerminationRule costs a state-graph enumeration, so
+        # it is skipped when the termination protocol is disabled (e.g.
+        # large-n happy-path sweeps where no failure can occur).
+        if rule is None and termination_enabled:
+            rule = TerminationRule(spec)
+        self.rule = rule
+        self.requery_interval = requery_interval
+        if (partition_at is None) != (partition_groups is None):
+            raise ValueError(
+                "partition_at and partition_groups must be given together"
+            )
+        self.partition_at = partition_at
+        self.partition_groups = partition_groups
+        self.max_time = max_time
+        self._validate_crashes()
+
+    def _validate_crashes(self) -> None:
+        participants = set(self.spec.automata)
+        for event in self.crashes:
+            if event.site not in participants:
+                raise ValueError(
+                    f"crash schedule names site {event.site}, which does not "
+                    f"participate in {self.spec.name!r}"
+                )
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def execute(self) -> RunResult:
+        """Run the transaction to quiescence and collect the result."""
+        sim = Simulator(seed=self.seed)
+        network = Network(
+            sim, latency=self.latency, detection_delay=self.detection_delay
+        )
+        decided_at: dict[SiteId, SimTime] = {}
+        vias: dict[SiteId, str] = {}
+        blocked: set[SiteId] = set()
+
+        def on_outcome(site: SiteId, outcome: Outcome, via: str) -> None:
+            decided_at.setdefault(site, sim.now)
+            vias.setdefault(site, via)
+            blocked.discard(site)
+
+        def on_blocked(site: SiteId) -> None:
+            blocked.add(site)
+
+        sites: dict[SiteId, CommitSite] = {}
+        for site_id in self.spec.sites:
+            sites[site_id] = CommitSite(
+                sim=sim,
+                network=network,
+                spec=self.spec,
+                site_id=site_id,
+                vote_policy=self.vote_policy,
+                rule=self.rule,
+                elect=self.elect,
+                termination_enabled=self.termination_enabled,
+                termination_mode=self.termination_mode,
+                total_failure_recovery=self.total_failure_recovery,
+                requery_interval=self.requery_interval,
+                on_outcome=on_outcome,
+                on_blocked=on_blocked,
+            )
+
+        self._schedule_crashes(sim, network, sites)
+
+        if self.partition_at is not None:
+            groups = self.partition_groups
+            sim.schedule(
+                self.partition_at,
+                lambda: network.partition(groups),
+                label="partition network",
+            )
+
+        # Kick off the protocol: deliver the external inputs.
+        for msg in sorted(self.spec.initial_messages):
+            assert msg.src == EXTERNAL
+            sim.schedule(
+                0.0,
+                lambda m=msg: sites[m.dst].inject_external(m),
+                label=f"external {msg}",
+            )
+
+        sim.run(until=self.max_time)
+        duration = sim.last_event_time
+
+        reports = {}
+        for site_id, site in sites.items():
+            outcome = site.log.outcome()
+            vote_record = site.log.vote()
+            reports[site_id] = SiteReport(
+                site=site_id,
+                outcome=outcome,
+                via=vias.get(site_id),
+                decided_at=decided_at.get(site_id),
+                blocked=site_id in blocked and not outcome.is_final,
+                crashed=site.ever_crashed,
+                alive=site.alive,
+                transitions_fired=site.engine.transitions_fired,
+                vote=vote_record.vote if vote_record is not None else None,
+            )
+        return RunResult(
+            protocol=self.spec.name,
+            n_sites=self.spec.n_sites,
+            reports=reports,
+            duration=duration,
+            messages_sent=network.messages_sent,
+            messages_delivered=network.messages_delivered,
+            messages_dropped=network.messages_dropped,
+            events_fired=sim.events_fired,
+            trace=sim.trace,
+        )
+
+    def _schedule_crashes(
+        self,
+        sim: Simulator,
+        network: Network,
+        sites: dict[SiteId, CommitSite],
+    ) -> None:
+        for event in self.crashes:
+            site = sites[event.site]
+
+            def crash(target: CommitSite = site) -> None:
+                if not target.alive:
+                    return
+                target.crash()
+                network.crash(target.site)
+
+            if isinstance(event, CrashAt):
+                sim.schedule(event.at, crash, label=f"crash site {event.site}")
+            elif isinstance(event, CrashDuringTransition):
+                site.engine.arm_partial_crash(
+                    event.transition_number, event.after_writes, crash
+                )
+            elif isinstance(event, CrashAfterPayloads):
+                site.arm_payload_crash(event.payload_number, crash)
+            else:  # pragma: no cover - exhaustive over CrashEvent
+                raise TypeError(f"unknown crash event {event!r}")
+
+            if event.restart_at is not None:
+
+                def restart(target: CommitSite = site) -> None:
+                    if target.alive:
+                        return
+                    network.restart(target.site)
+                    target.restart()
+
+                sim.schedule_at(
+                    event.restart_at, restart, label=f"restart site {event.site}"
+                )

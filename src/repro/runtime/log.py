@@ -1,0 +1,123 @@
+"""The distributed-transaction (DT) log.
+
+Each site owns a DT log that — like a real write-ahead log — survives
+crashes while all other site state is lost.  The engine force-writes a
+site's vote before transmitting it and a decision before acting on it,
+so the recovery protocol can reconstruct exactly how far the site got:
+
+* no vote record → the site crashed before its commit point and may
+  unilaterally abort on recovery (slide 6);
+* a yes vote but no decision → the site is in doubt and must ask the
+  operational sites (recovery protocol);
+* a decision record → the outcome is known; commit/abort are
+  irreversible, so it is simply re-applied.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional, Union
+
+from repro.errors import WALError
+from repro.types import Outcome, SimTime, Vote
+
+
+@dataclasses.dataclass(frozen=True)
+class VoteRecord:
+    """A forced log record of the site's vote."""
+
+    vote: Vote
+    at: SimTime
+
+
+@dataclasses.dataclass(frozen=True)
+class DecisionRecord:
+    """A forced log record of the final outcome.
+
+    Attributes:
+        outcome: COMMIT or ABORT.
+        at: Virtual time of the force-write.
+        via: How the decision was reached: ``"protocol"`` (normal FSA
+            execution), ``"termination"`` (the backup protocol), or
+            ``"recovery"`` (learned while recovering).
+    """
+
+    outcome: Outcome
+    at: SimTime
+    via: str
+
+
+LogRecord = Union[VoteRecord, DecisionRecord]
+
+
+class DTLog:
+    """An append-only crash-surviving log for one site and transaction."""
+
+    def __init__(self) -> None:
+        self._records: list[LogRecord] = []
+
+    @property
+    def records(self) -> tuple[LogRecord, ...]:
+        """All records in append order."""
+        return tuple(self._records)
+
+    def write_vote(self, vote: Vote, at: SimTime) -> None:
+        """Force a vote record.
+
+        Raises:
+            WALError: On a second vote or a vote after the decision —
+                both impossible in correct executions.
+        """
+        if self.vote() is not None:
+            raise WALError("vote already logged")
+        if self.decision() is not None:
+            raise WALError("cannot vote after a decision is logged")
+        self._records.append(VoteRecord(vote=vote, at=at))
+
+    def write_decision(self, outcome: Outcome, at: SimTime, via: str) -> None:
+        """Force a decision record.
+
+        Re-logging the *same* outcome is a harmless no-op (a recovering
+        site may re-learn its own decision); logging a conflicting
+        outcome raises, since commit and abort are irreversible.
+
+        Raises:
+            WALError: If a different outcome was already logged, or the
+                outcome is not final.
+        """
+        if not outcome.is_final:
+            raise WALError(f"cannot log non-final outcome {outcome}")
+        existing = self.decision()
+        if existing is not None:
+            if existing.outcome is not outcome:
+                raise WALError(
+                    f"decision {existing.outcome.value} already logged; "
+                    f"refusing conflicting {outcome.value}"
+                )
+            return
+        self._records.append(DecisionRecord(outcome=outcome, at=at, via=via))
+
+    def vote(self) -> Optional[VoteRecord]:
+        """The vote record, if one was logged."""
+        for record in self._records:
+            if isinstance(record, VoteRecord):
+                return record
+        return None
+
+    def decision(self) -> Optional[DecisionRecord]:
+        """The decision record, if one was logged."""
+        for record in self._records:
+            if isinstance(record, DecisionRecord):
+                return record
+        return None
+
+    def outcome(self) -> Outcome:
+        """The logged outcome, or UNDECIDED if no decision was logged."""
+        decision = self.decision()
+        return decision.outcome if decision is not None else Outcome.UNDECIDED
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"DTLog({self._records!r})"

@@ -1,0 +1,138 @@
+"""Network payloads used by the runtime.
+
+Three protocol layers share the simulated network, each with its own
+payload family:
+
+* :class:`ProtoMsg` — a message of the commit protocol proper (a model
+  :class:`~repro.fsa.messages.Msg` kind; sender/receiver come from the
+  envelope);
+* ``Term*`` — the termination protocol (slides 38–39);
+* ``Outcome*`` — the recovery protocol's outcome queries.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.types import Outcome, SiteId
+
+
+@dataclasses.dataclass(frozen=True)
+class ProtoMsg:
+    """One commit-protocol message: just the model message kind."""
+
+    kind: str
+
+    def __str__(self) -> str:
+        return self.kind
+
+
+@dataclasses.dataclass(frozen=True)
+class TermMoveTo:
+    """Phase 1 of the backup protocol: adopt the backup's local state.
+
+    Attributes:
+        backup: The backup coordinator issuing the request.
+        state: The backup's local state, to be adopted by receivers.
+        round_no: Termination round (increases with each re-election so
+            stragglers from a superseded backup are ignored).
+    """
+
+    backup: SiteId
+    state: str
+    round_no: int
+
+    def __str__(self) -> str:
+        return f"term-move-to({self.state}, r{self.round_no})"
+
+
+@dataclasses.dataclass(frozen=True)
+class TermAck:
+    """A participant's acknowledgement of :class:`TermMoveTo`."""
+
+    round_no: int
+
+    def __str__(self) -> str:
+        return f"term-ack(r{self.round_no})"
+
+
+@dataclasses.dataclass(frozen=True)
+class TermDecision:
+    """Phase 2 of the backup protocol: the final commit/abort order."""
+
+    outcome: Outcome
+    round_no: int
+
+    def __str__(self) -> str:
+        return f"term-{self.outcome.value}(r{self.round_no})"
+
+
+@dataclasses.dataclass(frozen=True)
+class TermBlocked:
+    """The backup's announcement that no safe decision exists.
+
+    Sent when the decision rule yields BLOCKED — possible only for
+    blocking protocols such as 2PC.  Operational sites stop and wait
+    for the crashed site(s) to recover.
+    """
+
+    round_no: int
+
+    def __str__(self) -> str:
+        return f"term-blocked(r{self.round_no})"
+
+
+@dataclasses.dataclass(frozen=True)
+class TermStateQuery:
+    """Cooperative termination, phase 0: report your local state.
+
+    Sent by a cooperative backup before applying the decision rule, so
+    a peer that already holds a final outcome can be adopted directly
+    instead of blocking on the backup's own (less informed) state.
+    """
+
+    backup: SiteId
+    round_no: int
+
+    def __str__(self) -> str:
+        return f"term-state-query(r{self.round_no})"
+
+
+@dataclasses.dataclass(frozen=True)
+class TermStateReply:
+    """A participant's answer to :class:`TermStateQuery`."""
+
+    state: str
+    outcome: Outcome
+    round_no: int
+
+    def __str__(self) -> str:
+        return f"term-state-reply({self.state}, r{self.round_no})"
+
+
+@dataclasses.dataclass(frozen=True)
+class OutcomeQuery:
+    """A recovering site asking a peer for the transaction outcome."""
+
+    def __str__(self) -> str:
+        return "outcome-query"
+
+
+@dataclasses.dataclass(frozen=True)
+class OutcomeReply:
+    """Answer to :class:`OutcomeQuery`.
+
+    ``outcome`` is COMMIT/ABORT when the replier has decided, and
+    UNDECIDED when it has not (the recovering site retries later).
+    ``recovered_in_doubt`` marks a replier that itself crashed and came
+    back in doubt — the signal total-failure recovery aggregates: when
+    *every* participant says so, provably no decision was ever made
+    and abort is safe.
+    """
+
+    outcome: Outcome
+    recovered_in_doubt: bool = False
+
+    def __str__(self) -> str:
+        flag = ", recovered-in-doubt" if self.recovered_in_doubt else ""
+        return f"outcome-reply({self.outcome.value}{flag})"

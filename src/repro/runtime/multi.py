@@ -1,0 +1,482 @@
+"""Multi-transaction multiplexing: many commit instances, one network.
+
+A real transaction manager runs many concurrent commit-protocol
+instances; a single site crash therefore lands on *every* in-flight
+transaction at once.  :class:`MultiCommitRun` reproduces that: one
+simulator, one network, one :class:`MultiSite` per site — each hosting
+an independent engine/termination/recovery stack per transaction —
+with protocol traffic multiplexed through :class:`Tagged` envelopes.
+
+Experiment Q7 uses this to measure the amortized effect of one
+coordinator crash across a window of staggered transactions: under 3PC
+every affected instance terminates (one election per instance), while
+under 2PC every instance whose decision was still pending blocks.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Callable, Iterable, Optional
+
+from repro.fsa.messages import EXTERNAL, Msg
+from repro.fsa.spec import ProtocolSpec
+from repro.net.latency import LatencyModel
+from repro.net.message import Envelope
+from repro.net.network import Network
+from repro.runtime.decision import TerminationRule
+from repro.runtime.engine import Engine
+from repro.runtime.harness import RunResult, SiteReport
+from repro.runtime.log import DTLog
+from repro.runtime.messages import (
+    OutcomeQuery,
+    OutcomeReply,
+    ProtoMsg,
+    TermAck,
+    TermBlocked,
+    TermDecision,
+    TermMoveTo,
+    TermStateQuery,
+    TermStateReply,
+)
+from repro.runtime.policies import UnanimousYes, VotePolicy
+from repro.runtime.recovery import RecoveryController
+from repro.runtime.termination import ElectionStrategy, TerminationController
+from repro.sim.process import Process
+from repro.sim.simulator import Simulator
+from repro.types import Outcome, SimTime, SiteId, TransactionId, Vote
+from repro.workload.crashes import CrashAt, CrashEvent
+
+
+@dataclasses.dataclass(frozen=True)
+class Tagged:
+    """A payload multiplexed onto one network, tagged with its xid."""
+
+    xid: TransactionId
+    payload: Any
+
+    def __str__(self) -> str:
+        return f"x{self.xid}:{self.payload}"
+
+
+class TxnAgent:
+    """One transaction's protocol stack at one site.
+
+    Presents the slice of the :class:`~repro.runtime.site.CommitSite`
+    interface the termination and recovery controllers consume, while
+    delegating liveness, timers, and transport to the hosting
+    :class:`MultiSite`.
+    """
+
+    def __init__(
+        self,
+        host: "MultiSite",
+        xid: TransactionId,
+        vote_policy: VotePolicy,
+        rule: TerminationRule,
+        elect: Optional[ElectionStrategy],
+        termination_mode: str,
+        requery_interval: float,
+    ) -> None:
+        self.host = host
+        self.xid = xid
+        self.site = host.site
+        self.spec = host.spec
+        self.log = DTLog()
+        self.vote_policy = vote_policy
+        self.engine = self._fresh_engine()
+        self.termination = TerminationController(
+            self, rule, elect=elect, mode=termination_mode
+        )
+        self.recovery = RecoveryController(
+            self, requery_interval=requery_interval
+        )
+
+    def _fresh_engine(self) -> Engine:
+        return Engine(
+            automaton=self.spec.automaton(self.site),
+            vote_policy=self.vote_policy,
+            log=self.log,
+            send=self._send_model,
+            now=lambda: self.host.sim.now,
+            on_final=self._decided,
+            on_trace=lambda category, detail, **data: self.trace(
+                category, detail, site=self.site, **data
+            ),
+        )
+
+    # -- the CommitSite-like surface the controllers rely on -----------
+
+    @property
+    def alive(self) -> bool:
+        return self.host.alive
+
+    @property
+    def ever_crashed(self) -> bool:
+        return self.host.ever_crashed
+
+    @property
+    def network(self) -> Network:
+        return self.host.network
+
+    def send_payload(self, dst: SiteId, payload: Any) -> None:
+        self.host.send_tagged(self.xid, dst, payload)
+
+    def trace(self, category: str, detail: str, site=None, **data) -> None:
+        self.host.trace(
+            category, f"[x{self.xid}] {detail}", site=site, xid=self.xid, **data
+        )
+
+    def operational_participants(self) -> list[SiteId]:
+        return self.host.operational_participants()
+
+    def notify_blocked(self) -> None:
+        self.host.notify_blocked(self.xid)
+
+    def set_timer(self, key: str, delay: float, callback) -> None:
+        self.host.set_timer(f"x{self.xid}:{key}", delay, callback)
+
+    def cancel_timer(self, key: str) -> bool:
+        return self.host.cancel_timer(f"x{self.xid}:{key}")
+
+    # -- internal ---------------------------------------------------------
+
+    def _send_model(self, msg: Msg) -> None:
+        self.host.send_tagged(self.xid, msg.dst, ProtoMsg(msg.kind))
+
+    def _decided(self, outcome: Outcome, via: str) -> None:
+        self.trace(
+            "site.decided", f"{outcome.value} via {via}", site=self.site, via=via
+        )
+        self.host.record_outcome(self.xid, outcome, via)
+
+
+class MultiSite(Process):
+    """One site hosting one :class:`TxnAgent` per transaction."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        spec: ProtocolSpec,
+        site_id: SiteId,
+        on_outcome: Callable[[TransactionId, SiteId, Outcome, str], None],
+        on_blocked: Callable[[TransactionId, SiteId], None],
+        termination_enabled: bool = True,
+    ) -> None:
+        super().__init__(sim, name=f"msite-{site_id}")
+        self.site = site_id
+        self.spec = spec
+        self.network = network
+        self.agents: dict[TransactionId, TxnAgent] = {}
+        self.known_failed: set[SiteId] = set()
+        self.ever_crashed = False
+        self.termination_enabled = termination_enabled
+        self._on_outcome = on_outcome
+        self._on_blocked = on_blocked
+        network.attach(site_id, self)
+        network.add_failure_listener(site_id, self._peer_failed)
+        network.add_recovery_listener(site_id, self._peer_recovered)
+
+    def add_transaction(
+        self,
+        xid: TransactionId,
+        vote_policy: VotePolicy,
+        rule: TerminationRule,
+        elect: Optional[ElectionStrategy],
+        termination_mode: str,
+        requery_interval: float,
+    ) -> TxnAgent:
+        """Register one transaction's agent at this site."""
+        agent = TxnAgent(
+            self, xid, vote_policy, rule, elect, termination_mode,
+            requery_interval,
+        )
+        self.agents[xid] = agent
+        return agent
+
+    # -- transport ---------------------------------------------------------
+
+    def send_tagged(self, xid: TransactionId, dst: SiteId, payload: Any) -> None:
+        if self.alive:
+            self.network.send(self.site, dst, Tagged(xid, payload))
+
+    def deliver(self, envelope: Envelope) -> None:
+        if not self.alive or not isinstance(envelope.payload, Tagged):
+            return
+        tagged = envelope.payload
+        agent = self.agents.get(tagged.xid)
+        if agent is None:
+            return
+        payload = tagged.payload
+        if isinstance(payload, ProtoMsg):
+            if not self.ever_crashed:
+                agent.engine.receive(
+                    Msg(payload.kind, envelope.src, self.site)
+                )
+        elif isinstance(payload, TermMoveTo):
+            if not self.ever_crashed:
+                agent.termination.on_move_to(envelope.src, payload)
+        elif isinstance(payload, TermAck):
+            agent.termination.on_ack(envelope.src, payload)
+        elif isinstance(payload, TermDecision):
+            agent.termination.on_decision(envelope.src, payload)
+        elif isinstance(payload, TermBlocked):
+            agent.termination.on_blocked(envelope.src, payload)
+        elif isinstance(payload, TermStateQuery):
+            if not self.ever_crashed:
+                agent.termination.on_state_query(envelope.src, payload)
+        elif isinstance(payload, TermStateReply):
+            agent.termination.on_state_reply(envelope.src, payload)
+        elif isinstance(payload, OutcomeQuery):
+            agent.recovery.on_query(envelope.src, payload)
+        elif isinstance(payload, OutcomeReply):
+            agent.recovery.on_reply(envelope.src, payload)
+
+    def inject_external(self, xid: TransactionId, msg: Msg) -> None:
+        """Deliver one transaction's external input."""
+        agent = self.agents.get(xid)
+        if agent is not None and self.alive:
+            agent.engine.receive(msg)
+
+    # -- notifications -------------------------------------------------------
+
+    def _peer_failed(self, failed: SiteId) -> None:
+        if failed not in self.spec.automata:
+            return
+        self.known_failed.add(failed)
+        if not self.termination_enabled or self.ever_crashed:
+            return
+        for agent in self.agents.values():
+            agent.termination.on_peer_failure(failed)
+
+    def _peer_recovered(self, peer: SiteId) -> None:
+        if peer not in self.spec.automata:
+            return
+        for agent in self.agents.values():
+            agent.recovery.on_peer_recovered(peer)
+
+    def operational_participants(self) -> list[SiteId]:
+        return sorted(
+            site
+            for site in self.spec.sites
+            if site not in self.known_failed
+            and (site != self.site or self.alive)
+        )
+
+    # -- outcome plumbing ------------------------------------------------
+
+    def record_outcome(
+        self, xid: TransactionId, outcome: Outcome, via: str
+    ) -> None:
+        self._on_outcome(xid, self.site, outcome, via)
+
+    def notify_blocked(self, xid: TransactionId) -> None:
+        self._on_blocked(xid, self.site)
+
+    # -- crash lifecycle ---------------------------------------------------
+
+    def on_crash(self) -> None:
+        self.ever_crashed = True
+        for agent in self.agents.values():
+            agent.engine.halt()
+        self.trace("site.down", "crashed; volatile state lost", site=self.site)
+
+    def on_restart(self) -> None:
+        self.trace("site.up", "restarted; recovering all transactions", site=self.site)
+        for agent in self.agents.values():
+            agent.engine = agent._fresh_engine()
+            agent.recovery.on_restart()
+
+
+@dataclasses.dataclass
+class MultiRunResult:
+    """Results of a multi-transaction run: one RunResult-like view per xid."""
+
+    per_transaction: dict[TransactionId, RunResult]
+    duration: SimTime
+    messages_sent: int
+
+    @property
+    def atomic(self) -> bool:
+        """Whether every transaction individually preserved atomicity."""
+        return all(r.atomic for r in self.per_transaction.values())
+
+    def outcomes(self) -> dict[TransactionId, dict[SiteId, Outcome]]:
+        """Per-transaction per-site outcomes."""
+        return {
+            xid: result.outcomes()
+            for xid, result in self.per_transaction.items()
+        }
+
+    def blocked_transactions(self) -> list[TransactionId]:
+        """Transactions with at least one blocked operational site."""
+        return sorted(
+            xid
+            for xid, result in self.per_transaction.items()
+            if result.blocked_sites
+        )
+
+
+class MultiCommitRun:
+    """Run several staggered transactions of one protocol concurrently.
+
+    Args:
+        spec: The protocol every transaction runs (same site set).
+        start_times: Virtual start time of each transaction; the list's
+            length determines the transaction count (xids 1..k).
+        seed: Root seed.
+        latency: Network latency model.
+        vote_policies: Optional per-xid vote policies (default all-yes).
+        crashes: Site-level crash schedule — a crash affects every
+            in-flight transaction at that site.  Only
+            :class:`~repro.workload.crashes.CrashAt` events are
+            supported here (per-transaction transition counting is not
+            meaningful across multiplexed instances).
+        rule: Shared termination rule.
+        termination_mode: Variant for all transactions.
+        max_time: Simulation deadline.
+    """
+
+    def __init__(
+        self,
+        spec: ProtocolSpec,
+        start_times: Iterable[SimTime],
+        seed: int = 0,
+        latency: Optional[LatencyModel] = None,
+        vote_policies: Optional[dict[TransactionId, VotePolicy]] = None,
+        crashes: Iterable[CrashEvent] = (),
+        detection_delay: float = 1.0,
+        rule: Optional[TerminationRule] = None,
+        elect: Optional[ElectionStrategy] = None,
+        termination_mode: str = "standard",
+        termination_enabled: bool = True,
+        requery_interval: float = 5.0,
+        max_time: SimTime = 1000.0,
+    ) -> None:
+        self.spec = spec
+        self.start_times = list(start_times)
+        self.seed = seed
+        self.latency = latency
+        self.vote_policies = vote_policies or {}
+        self.crashes = tuple(crashes)
+        self.detection_delay = detection_delay
+        self.rule = rule if rule is not None else TerminationRule(spec)
+        self.elect = elect
+        self.termination_mode = termination_mode
+        self.termination_enabled = termination_enabled
+        self.requery_interval = requery_interval
+        self.max_time = max_time
+        for event in self.crashes:
+            if not isinstance(event, CrashAt):
+                raise ValueError(
+                    "MultiCommitRun supports CrashAt events only; got "
+                    f"{event!r}"
+                )
+
+    def execute(self) -> MultiRunResult:
+        """Run all transactions to quiescence."""
+        sim = Simulator(seed=self.seed)
+        network = Network(
+            sim, latency=self.latency, detection_delay=self.detection_delay
+        )
+        xids = [TransactionId(i + 1) for i in range(len(self.start_times))]
+        decided: dict[tuple[TransactionId, SiteId], tuple[Outcome, str, SimTime]] = {}
+        blocked: set[tuple[TransactionId, SiteId]] = set()
+
+        def on_outcome(xid, site, outcome, via) -> None:
+            decided.setdefault((xid, site), (outcome, via, sim.now))
+            blocked.discard((xid, site))
+
+        def on_blocked(xid, site) -> None:
+            blocked.add((xid, site))
+
+        sites = {
+            site_id: MultiSite(
+                sim,
+                network,
+                self.spec,
+                site_id,
+                on_outcome=on_outcome,
+                on_blocked=on_blocked,
+                termination_enabled=self.termination_enabled,
+            )
+            for site_id in self.spec.sites
+        }
+        for xid in xids:
+            policy = self.vote_policies.get(xid, UnanimousYes())
+            for site in sites.values():
+                site.add_transaction(
+                    xid,
+                    policy,
+                    self.rule,
+                    self.elect,
+                    self.termination_mode,
+                    self.requery_interval,
+                )
+
+        for xid, start in zip(xids, self.start_times):
+            for msg in sorted(self.spec.initial_messages):
+                assert msg.src == EXTERNAL
+                sim.schedule_at(
+                    start,
+                    lambda x=xid, m=msg: sites[m.dst].inject_external(x, m),
+                    label=f"external x{xid} {msg}",
+                )
+
+        for event in self.crashes:
+            target = sites[event.site]
+
+            def crash(t: MultiSite = target) -> None:
+                if t.alive:
+                    t.crash()
+                    network.crash(t.site)
+
+            sim.schedule(event.at, crash, label=f"crash site {event.site}")
+            if event.restart_at is not None:
+
+                def restart(t: MultiSite = target) -> None:
+                    if not t.alive:
+                        network.restart(t.site)
+                        t.restart()
+
+                sim.schedule_at(
+                    event.restart_at, restart, label=f"restart {event.site}"
+                )
+
+        sim.run(until=self.max_time)
+
+        per_transaction: dict[TransactionId, RunResult] = {}
+        for xid in xids:
+            reports = {}
+            for site_id, site in sites.items():
+                agent = site.agents[xid]
+                outcome = agent.log.outcome()
+                info = decided.get((xid, site_id))
+                vote = agent.log.vote()
+                reports[site_id] = SiteReport(
+                    site=site_id,
+                    outcome=outcome,
+                    via=info[1] if info else None,
+                    decided_at=info[2] if info else None,
+                    blocked=(xid, site_id) in blocked and not outcome.is_final,
+                    crashed=site.ever_crashed,
+                    alive=site.alive,
+                    transitions_fired=agent.engine.transitions_fired,
+                    vote=vote.vote if vote else None,
+                )
+            per_transaction[xid] = RunResult(
+                protocol=self.spec.name,
+                n_sites=self.spec.n_sites,
+                reports=reports,
+                duration=sim.last_event_time,
+                messages_sent=network.messages_sent,
+                messages_delivered=network.messages_delivered,
+                messages_dropped=network.messages_dropped,
+                events_fired=sim.events_fired,
+                trace=sim.trace,
+            )
+        return MultiRunResult(
+            per_transaction=per_transaction,
+            duration=sim.last_event_time,
+            messages_sent=network.messages_sent,
+        )

@@ -1,0 +1,81 @@
+"""Vote policies: how a site resolves its own vote nondeterminism.
+
+The model FSAs are nondeterministic — a site reading ``xact`` may move
+to its wait state (vote yes) or abort state (vote no).  When the engine
+finds several enabled transitions distinguished only by their vote
+annotation, it asks the site's vote policy which way to go.  In the
+database substrate (:mod:`repro.db`) the "policy" is real: the local
+transaction manager votes no when it had to abort for concurrency
+control reasons, exactly the paper's motivation for unilateral abort.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Mapping, Protocol
+
+from repro.types import SiteId, Vote
+
+
+class VotePolicy(Protocol):
+    """Anything that can decide a site's vote on one transaction."""
+
+    def vote(self, site: SiteId) -> Vote:
+        """The vote ``site`` casts when asked."""
+        ...  # pragma: no cover - protocol definition
+
+
+class UnanimousYes:
+    """Every site votes yes — the commit fast path."""
+
+    def vote(self, site: SiteId) -> Vote:
+        return Vote.YES
+
+    def __repr__(self) -> str:
+        return "UnanimousYes()"
+
+
+class FixedVotes:
+    """Explicit per-site votes with a default for unlisted sites.
+
+    Args:
+        votes: Mapping from site id to that site's vote.
+        default: Vote for sites not in the mapping.
+    """
+
+    def __init__(
+        self, votes: Mapping[SiteId, Vote], default: Vote = Vote.YES
+    ) -> None:
+        self._votes = dict(votes)
+        self._default = default
+
+    def vote(self, site: SiteId) -> Vote:
+        return self._votes.get(site, self._default)
+
+    def __repr__(self) -> str:
+        return f"FixedVotes({self._votes!r}, default={self._default})"
+
+
+class BernoulliVotes:
+    """Each site votes no independently with probability ``p_no``.
+
+    Votes are drawn once per site and memoized so repeated queries are
+    stable within one run.  Uses its own :class:`random.Random` so runs
+    remain reproducible under a fixed seed.
+    """
+
+    def __init__(self, p_no: float, seed: int = 0) -> None:
+        if not 0.0 <= p_no <= 1.0:
+            raise ValueError(f"p_no must be a probability, got {p_no}")
+        self.p_no = p_no
+        self._rng = random.Random(seed)
+        self._drawn: dict[SiteId, Vote] = {}
+
+    def vote(self, site: SiteId) -> Vote:
+        if site not in self._drawn:
+            roll = self._rng.random()
+            self._drawn[site] = Vote.NO if roll < self.p_no else Vote.YES
+        return self._drawn[site]
+
+    def __repr__(self) -> str:
+        return f"BernoulliVotes(p_no={self.p_no})"

@@ -1,0 +1,206 @@
+"""The recovery protocol for crashed sites.
+
+Slide 12: "A recovery protocol is invoked by a crashed site to resume
+transaction processing upon recovery."  The recovering site inspects
+its crash-surviving DT log:
+
+* **decision logged** — the outcome is known; it is simply re-applied
+  (commit/abort are irreversible);
+* **no vote logged** — the site failed before its commit point and
+  unilaterally aborts (slide 6: "the site will abort the transaction
+  immediately upon recovering");
+* **yes vote, no decision** — the site is *in doubt* and must ask the
+  other sites.  It broadcasts an outcome query and adopts the first
+  final answer; undecided peers cause a timed re-query.
+
+A site blocked by a blocking protocol (2PC after a badly timed
+coordinator crash) also uses outcome queries: when the failure detector
+reports that a crashed peer recovered, the blocked site queries it —
+the recovered site's log (or its own unilateral abort) resolves the
+blocking, which is exactly why blocking protocols "work" only by
+waiting for crashed sites to return.
+
+Total failure is the paper's acknowledged limit: when every site
+crashed in doubt, no query can answer and the transaction stays
+undecided until an answer exists (resolving it requires identifying
+the last site to fail, out of scope of this paper's protocols).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.runtime.messages import OutcomeQuery, OutcomeReply
+from repro.types import Outcome, SiteId, Vote
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.runtime.site import CommitSite
+
+#: Timer key used for periodic re-queries while in doubt.
+REQUERY_TIMER = "recovery.requery"
+
+
+class RecoveryController:
+    """Per-site recovery logic.
+
+    Args:
+        site: The owning :class:`~repro.runtime.site.CommitSite`.
+        requery_interval: Virtual-time delay between outcome queries
+            while in doubt.
+    """
+
+    def __init__(
+        self,
+        site: "CommitSite",
+        requery_interval: float = 5.0,
+        total_failure_recovery: bool = False,
+    ) -> None:
+        self._site = site
+        self.requery_interval = requery_interval
+        self.total_failure_recovery = total_failure_recovery
+        self.in_doubt = False
+        self.queries_sent = 0
+        self._round_replies: dict[SiteId, "OutcomeReply"] = {}
+
+    # ------------------------------------------------------------------
+    # Restart entry point
+    # ------------------------------------------------------------------
+
+    def on_restart(self) -> None:
+        """Run the recovery decision procedure after a restart."""
+        log = self._site.log
+        decision = log.decision()
+        if decision is not None:
+            # Outcome already durable; re-apply it to the fresh engine.
+            self._site.engine.force_outcome(decision.outcome, via="recovery")
+            self._site.trace(
+                "recovery.known",
+                f"log already holds {decision.outcome.value}",
+                site=self._site.site,
+            )
+            return
+
+        vote = log.vote()
+        can_unilaterally_abort = any(
+            t.vote is Vote.NO
+            for t in self._site.spec.automaton(self._site.site).transitions
+        )
+        if (vote is None and can_unilaterally_abort) or (
+            vote is not None and vote.vote is Vote.NO
+        ):
+            # Crashed before the commit point: unilateral abort.  Only
+            # sound for sites that hold a vote — a 1PC slave has no say
+            # and must ask instead, which is exactly why the paper calls
+            # 1PC inadequate (no unilateral abort, slide 8).
+            self._site.engine.force_outcome(Outcome.ABORT, via="recovery")
+            self._site.trace(
+                "recovery.unilateral_abort",
+                "no yes-vote logged; aborting unilaterally",
+                site=self._site.site,
+            )
+            return
+
+        # In doubt: voted yes, outcome unknown.  Ask around.
+        self.in_doubt = True
+        self._site.trace(
+            "recovery.in_doubt",
+            "yes vote logged without decision; querying peers",
+            site=self._site.site,
+        )
+        self.send_queries()
+
+    # ------------------------------------------------------------------
+    # Outcome queries
+    # ------------------------------------------------------------------
+
+    def send_queries(self) -> None:
+        """Query every operational peer for the outcome, with re-arm."""
+        if not self.in_doubt or not self._site.alive:
+            return
+        self._round_replies = {}
+        peers = [
+            s
+            for s in self._site.network.operational_sites()
+            if s != self._site.site and s in self._site.spec.automata
+        ]
+        for peer in peers:
+            self.queries_sent += 1
+            self._site.send_payload(peer, OutcomeQuery())
+        self._site.set_timer(REQUERY_TIMER, self.requery_interval, self.send_queries)
+
+    def on_query(self, sender: SiteId, _msg: OutcomeQuery) -> None:
+        """Answer a peer's outcome query from our own log."""
+        outcome = self._site.log.outcome()
+        self._site.send_payload(
+            sender,
+            OutcomeReply(
+                outcome,
+                recovered_in_doubt=(
+                    not outcome.is_final and self._site.ever_crashed
+                ),
+            ),
+        )
+
+    def on_reply(self, sender: SiteId, msg: OutcomeReply) -> None:
+        """Handle an outcome answer while in doubt or blocked."""
+        if self._site.engine.finished:
+            return
+        if not msg.outcome.is_final:
+            # Peer does not know either; the re-query timer runs.  When
+            # total-failure recovery is enabled, a complete round of
+            # recovered-in-doubt answers proves nobody ever decided.
+            self._round_replies[sender] = msg
+            self._maybe_resolve_total_failure()
+            return
+        self.in_doubt = False
+        self._site.cancel_timer(REQUERY_TIMER)
+        self._site.trace(
+            "recovery.resolved",
+            f"learned {msg.outcome.value} from site {sender}",
+            site=self._site.site,
+        )
+        self._site.engine.force_outcome(msg.outcome, via="recovery")
+
+    def _maybe_resolve_total_failure(self) -> None:
+        """Abort safely once the whole population is provably in doubt.
+
+        Sound because decisions are force-logged before any visible
+        effect: if every participant is a recovered in-doubt site (each
+        asserts it about itself), then no decision record exists
+        anywhere, no site ever acted on a decision, and abort is
+        consistent with every possible future — there isn't one that
+        commits, since committing requires a site that already decided.
+        This is the extension beyond the paper's protocols (its slides
+        leave total failure to the recovery literature); disabled by
+        default.
+        """
+        if not self.total_failure_recovery or not self.in_doubt:
+            return
+        others = [s for s in self._site.spec.sites if s != self._site.site]
+        if set(self._round_replies) != set(others):
+            return
+        if not all(
+            reply.recovered_in_doubt for reply in self._round_replies.values()
+        ):
+            return
+        self.in_doubt = False
+        self._site.cancel_timer(REQUERY_TIMER)
+        self._site.trace(
+            "recovery.total_failure",
+            "all participants recovered in doubt; aborting safely",
+            site=self._site.site,
+        )
+        self._site.engine.force_outcome(Outcome.ABORT, via="recovery")
+
+    def on_peer_recovered(self, peer: SiteId) -> None:
+        """A crashed peer returned; blocked/in-doubt sites query it.
+
+        This is how 2PC's blocked sites eventually resolve: the
+        recovered coordinator answers from its log (or from its own
+        unilateral abort on recovery).
+        """
+        if self._site.engine.finished or not self._site.alive:
+            return
+        if self._site.termination.blocked or self.in_doubt:
+            self.queries_sent += 1
+            self._site.send_payload(peer, OutcomeQuery())

@@ -1,0 +1,273 @@
+"""One simulated site running a commit protocol.
+
+:class:`CommitSite` wires together the four per-site components:
+
+* the FSA :class:`~repro.runtime.engine.Engine` executing the commit
+  protocol proper;
+* the crash-surviving :class:`~repro.runtime.log.DTLog`;
+* the :class:`~repro.runtime.termination.TerminationController`
+  reacting to failure notifications;
+* the :class:`~repro.runtime.recovery.RecoveryController` running after
+  a restart.
+
+A crash loses all volatile state (FSA state, message buffer, timers)
+but keeps the DT log; a restarted site does not rejoin the commit
+protocol — it recovers the outcome, per the paper's separation of
+termination (operational sites) and recovery (crashed sites).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.fsa.messages import Msg
+from repro.fsa.spec import ProtocolSpec
+from repro.net.message import Envelope, Payload
+from repro.net.network import Network
+from repro.runtime.decision import TerminationRule
+from repro.runtime.engine import Engine
+from repro.runtime.log import DTLog
+from repro.runtime.messages import (
+    OutcomeQuery,
+    OutcomeReply,
+    ProtoMsg,
+    TermAck,
+    TermBlocked,
+    TermDecision,
+    TermMoveTo,
+    TermStateQuery,
+    TermStateReply,
+)
+from repro.runtime.policies import VotePolicy
+from repro.runtime.recovery import RecoveryController
+from repro.runtime.termination import ElectionStrategy, TerminationController
+from repro.sim.process import Process
+from repro.sim.simulator import Simulator
+from repro.types import Outcome, SiteId
+
+#: Callback the harness registers for decisions: (site, outcome, via).
+OutcomeListener = Callable[[SiteId, Outcome, str], None]
+
+
+class CommitSite(Process):
+    """A participating site: engine + DT log + termination + recovery.
+
+    Args:
+        sim: The simulator.
+        network: The shared network (the site attaches itself).
+        spec: The protocol being executed.
+        site_id: This site's id within the spec.
+        vote_policy: Resolves this site's vote.
+        rule: Termination decision rule (shared across sites; built
+            once per protocol by the harness).
+        elect: Election strategy for the backup coordinator.
+        termination_enabled: Disable to demonstrate what happens
+            without a termination protocol (undecided sites hang).
+        requery_interval: Recovery re-query period while in doubt.
+        on_outcome: Harness callback fired on every local decision.
+        on_blocked: Harness callback fired when the site learns that
+            the termination protocol is blocked.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        spec: ProtocolSpec,
+        site_id: SiteId,
+        vote_policy: VotePolicy,
+        rule: TerminationRule,
+        elect: Optional[ElectionStrategy] = None,
+        termination_enabled: bool = True,
+        termination_mode: str = "standard",
+        total_failure_recovery: bool = False,
+        requery_interval: float = 5.0,
+        on_outcome: Optional[OutcomeListener] = None,
+        on_blocked: Optional[Callable[[SiteId], None]] = None,
+    ) -> None:
+        super().__init__(sim, name=f"site-{site_id}")
+        self.site = site_id
+        self.spec = spec
+        self.network = network
+        self.log = DTLog()
+        self.vote_policy = vote_policy
+        self.termination_enabled = termination_enabled
+        self.ever_crashed = False
+        self.known_failed: set[SiteId] = set()
+        self._on_outcome = on_outcome
+        self._on_blocked = on_blocked
+        self._payload_crash_at: Optional[int] = None
+        self._payload_crash_cb = lambda: None
+        self._payloads_sent = 0
+
+        self.engine = self._fresh_engine()
+        self.termination = TerminationController(
+            self, rule, elect=elect, mode=termination_mode
+        )
+        self.recovery = RecoveryController(
+            self,
+            requery_interval=requery_interval,
+            total_failure_recovery=total_failure_recovery,
+        )
+
+        network.attach(site_id, self)
+        network.add_failure_listener(site_id, self._peer_failed)
+        network.add_recovery_listener(site_id, self._peer_recovered)
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+
+    def _fresh_engine(self) -> Engine:
+        return Engine(
+            automaton=self.spec.automaton(self.site),
+            vote_policy=self.vote_policy,
+            log=self.log,
+            send=self._send_model,
+            now=lambda: self.sim.now,
+            on_final=self._decided,
+            on_trace=lambda category, detail, **data: self.trace(
+                category, detail, site=self.site, **data
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    # Messaging
+    # ------------------------------------------------------------------
+
+    def _send_model(self, msg: Msg) -> None:
+        """Transmit one model message produced by the engine."""
+        self.network.send(self.site, msg.dst, ProtoMsg(msg.kind))
+
+    def send_payload(self, dst: SiteId, payload: Payload) -> None:
+        """Transmit a termination/recovery payload.
+
+        Control-plane sends honour the payload crash injector: a site
+        armed with :class:`~repro.workload.crashes.CrashAfterPayloads`
+        dies just before its n-th payload leaves, cutting broadcasts
+        off mid-loop (subsequent sends no-op because the site is dead).
+        """
+        if not self.alive:
+            return
+        if self._payload_crash_at is not None:
+            self._payloads_sent += 1
+            if self._payloads_sent >= self._payload_crash_at:
+                self._payload_crash_at = None
+                self.trace(
+                    "site.payload_crash",
+                    f"crashed before control-plane send of {payload}",
+                    site=self.site,
+                )
+                self._payload_crash_cb()
+                return
+        self.network.send(self.site, dst, payload)
+
+    def arm_payload_crash(self, payload_number: int, crash) -> None:
+        """Arm a :class:`CrashAfterPayloads` injection (harness hook)."""
+        self._payload_crash_at = payload_number
+        self._payload_crash_cb = crash
+
+    def inject_external(self, msg: Msg) -> None:
+        """Deliver an external input (``request`` / ``xact``) directly."""
+        if self.alive:
+            self.engine.receive(msg)
+
+    def deliver(self, envelope: Envelope) -> None:
+        """Network sink: dispatch by payload family."""
+        if not self.alive:
+            return
+        payload = envelope.payload
+        if isinstance(payload, ProtoMsg):
+            if self.ever_crashed:
+                # A recovered site does not rejoin the commit protocol;
+                # the recovery protocol resolves its outcome instead.
+                return
+            self.engine.receive(Msg(payload.kind, envelope.src, self.site))
+        elif isinstance(payload, TermMoveTo):
+            if not self.ever_crashed:
+                self.termination.on_move_to(envelope.src, payload)
+        elif isinstance(payload, TermAck):
+            self.termination.on_ack(envelope.src, payload)
+        elif isinstance(payload, TermDecision):
+            self.termination.on_decision(envelope.src, payload)
+        elif isinstance(payload, TermBlocked):
+            self.termination.on_blocked(envelope.src, payload)
+        elif isinstance(payload, TermStateQuery):
+            if not self.ever_crashed:
+                self.termination.on_state_query(envelope.src, payload)
+        elif isinstance(payload, TermStateReply):
+            self.termination.on_state_reply(envelope.src, payload)
+        elif isinstance(payload, OutcomeQuery):
+            self.recovery.on_query(envelope.src, payload)
+        elif isinstance(payload, OutcomeReply):
+            self.recovery.on_reply(envelope.src, payload)
+
+    # ------------------------------------------------------------------
+    # Failure-detector notifications
+    # ------------------------------------------------------------------
+
+    def _peer_failed(self, failed: SiteId) -> None:
+        if failed not in self.spec.automata:
+            return
+        self.known_failed.add(failed)
+        self.trace(
+            "site.peer_failed", f"notified of failure of site {failed}", site=self.site
+        )
+        if self.termination_enabled and not self.ever_crashed:
+            self.termination.on_peer_failure(failed)
+
+    def _peer_recovered(self, peer: SiteId) -> None:
+        if peer not in self.spec.automata:
+            return
+        self.trace(
+            "site.peer_recovered",
+            f"notified of recovery of site {peer}",
+            site=self.site,
+        )
+        self.recovery.on_peer_recovered(peer)
+
+    def operational_participants(self) -> list[SiteId]:
+        """Participants this site believes operational (never-crashed).
+
+        Derived from the reliable failure notifications received so
+        far; the site itself is included while alive.  Recovered sites
+        stay excluded — they are clients of the recovery protocol, not
+        termination participants.
+        """
+        return sorted(
+            site
+            for site in self.spec.sites
+            if site not in self.known_failed and (site != self.site or self.alive)
+        )
+
+    # ------------------------------------------------------------------
+    # Outcome plumbing
+    # ------------------------------------------------------------------
+
+    def _decided(self, outcome: Outcome, via: str) -> None:
+        self.trace(
+            "site.decided", f"{outcome.value} via {via}", site=self.site, via=via
+        )
+        if self._on_outcome is not None:
+            self._on_outcome(self.site, outcome, via)
+
+    def notify_blocked(self) -> None:
+        """Tell the harness this site is blocked (no safe decision)."""
+        if self._on_blocked is not None:
+            self._on_blocked(self.site)
+
+    # ------------------------------------------------------------------
+    # Crash lifecycle
+    # ------------------------------------------------------------------
+
+    def on_crash(self) -> None:
+        """Lose all volatile state; the DT log survives."""
+        self.ever_crashed = True
+        self.engine.halt()
+        self.trace("site.down", "crashed; volatile state lost", site=self.site)
+
+    def on_restart(self) -> None:
+        """Come back up with a fresh engine and run recovery."""
+        self.engine = self._fresh_engine()
+        self.trace("site.up", "restarted; running recovery", site=self.site)
+        self.recovery.on_restart()

@@ -1,0 +1,359 @@
+"""The termination protocol (slides 37–40).
+
+When a site failure impairs the commit protocol, the operational,
+undecided sites terminate the transaction among themselves:
+
+1. a **backup coordinator** is elected from the operational sites (any
+   distributed election mechanism works — slide 38; the default is the
+   deterministic lowest-id rule, which is the stable outcome of the
+   bully/ring elections implemented in :mod:`repro.election`);
+2. the backup applies the **decision rule** to *its own* local state
+   (:class:`~repro.runtime.decision.TerminationRule`): commit if the
+   state's concurrency set contains a commit state, abort if it
+   contains none, BLOCKED when neither decision is safe (possible only
+   for blocking protocols such as 2PC);
+3. the backup runs the **two-phase backup protocol** (slide 39): first
+   it orders every operational site to adopt its local state and
+   collects acknowledgements, then it broadcasts the decision.  Phase 1
+   exists so that if the backup itself fails, the next backup's state —
+   and therefore its decision — is the same.  It is skipped when the
+   backup is already in a commit or abort state.
+
+Cascading failures re-run the election: failure notifications about the
+current backup trigger a new round at every remaining operational site.
+Round numbers discard stragglers from superseded backups.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Iterable, Optional
+
+from repro.runtime.decision import TerminationRule
+from repro.runtime.messages import (
+    TermAck,
+    TermBlocked,
+    TermDecision,
+    TermMoveTo,
+    TermStateQuery,
+    TermStateReply,
+)
+from repro.types import Outcome, SiteId
+
+#: Supported termination variants.
+#:
+#: ``standard``
+#:     The paper's protocol (slides 38–39): the backup applies the
+#:     decision rule to its own state and runs the two-phase backup
+#:     broadcast (adopt-my-state, then decide).
+#: ``cooperative``
+#:     An extension: before applying the rule, the backup polls the
+#:     operational sites' local states and *adopts* any final outcome it
+#:     finds — removing the unnecessary blocking that occurs when the
+#:     elected backup is less informed than some peer (e.g. a 2PC slave
+#:     that already received the commit).  Falls back to ``standard``
+#:     when nobody is final.  Always safe: an adopted outcome is, by
+#:     definition, already durable somewhere.
+#: ``unsafe-skip-phase1``
+#:     A deliberately broken ablation: the backup applies its decision
+#:     locally and broadcasts it *without* phase 1.  If the backup dies
+#:     mid-broadcast, the next backup may reach the opposite decision —
+#:     experiment A1 exhibits the resulting atomicity violation,
+#:     demonstrating why slide 39's phase 1 exists.
+#: ``quorum``
+#:     An extension in the direction of Skeen's quorum-based protocols:
+#:     termination proceeds only when the site's operational view holds
+#:     a strict majority of all participants; otherwise the site blocks.
+#:     Under a (single) partition misread as crashes, at most one side
+#:     has a quorum, so the split decision of experiment A2 cannot
+#:     happen — the minority blocks instead.  The price is reduced
+#:     crash resilience: a lone survivor of real crashes also blocks
+#:     (experiment A5 quantifies the tradeoff).  Full quorum 3PC with
+#:     repeated partitions needs instance numbering beyond this scope.
+TERMINATION_MODES = ("standard", "cooperative", "unsafe-skip-phase1", "quorum")
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.runtime.site import CommitSite
+
+#: An election strategy maps the operational candidate set to a winner.
+ElectionStrategy = Callable[[Iterable[SiteId]], SiteId]
+
+
+def lowest_id_election(candidates: Iterable[SiteId]) -> SiteId:
+    """The default deterministic election: the lowest operational id."""
+    return min(candidates)
+
+
+class TerminationController:
+    """Per-site termination logic, driven by failure notifications.
+
+    Args:
+        site: The owning :class:`~repro.runtime.site.CommitSite`.
+        rule: Precomputed decision rule for the protocol.
+        elect: Election strategy (default: lowest operational id).
+    """
+
+    def __init__(
+        self,
+        site: "CommitSite",
+        rule: TerminationRule,
+        elect: Optional[ElectionStrategy] = None,
+        mode: str = "standard",
+    ) -> None:
+        if mode not in TERMINATION_MODES:
+            raise ValueError(
+                f"unknown termination mode {mode!r}; "
+                f"choose from {TERMINATION_MODES}"
+            )
+        self._site = site
+        self._rule = rule
+        self._elect = elect if elect is not None else lowest_id_election
+        self.mode = mode
+        self.round_no = 0
+        self.blocked = False
+        self.rounds_started = 0
+        self._awaiting_acks: set[SiteId] = set()
+        self._awaiting_states: set[SiteId] = set()
+        self._state_replies: dict[SiteId, TermStateReply] = {}
+        self._phase: str = "idle"  # idle | await_states | await_acks | done
+        self._decision: Optional[Outcome] = None
+
+    # ------------------------------------------------------------------
+    # Triggers
+    # ------------------------------------------------------------------
+
+    def on_peer_failure(self, failed: SiteId) -> None:
+        """A failure notification arrived; restart the round everywhere.
+
+        Every operational site — current backup included, and even
+        sites that already decided — restarts the round on *every*
+        failure notification.  The reliable detector reports each crash
+        to all operational sites, so round counters stay synchronized;
+        a backup that instead kept waiting on a stale round would
+        deadlock against participants that had already moved on (its
+        phase-1 orders would be discarded as stragglers).  Sites that
+        already decided participate because peers cannot know who has
+        decided: an election may pick a final site as backup, which
+        then simply broadcasts its outcome (the slide-39 case where
+        phase 1 is omitted).
+        """
+        self.start_round()
+
+    def start_round(self) -> None:
+        """Run one termination round from this site's point of view."""
+        operational = self._site.operational_participants()
+        if self._site.site not in operational:
+            return
+        self.round_no += 1
+        self.rounds_started += 1
+        self.blocked = False
+        if self.mode == "quorum" and not self._site.engine.finished:
+            total = len(self._site.spec.sites)
+            if 2 * len(operational) <= total:
+                self.blocked = True
+                self._phase = "done"
+                self._site.trace(
+                    "term.no_quorum",
+                    f"only {len(operational)}/{total} sites reachable; "
+                    "blocking rather than risking a split decision",
+                    site=self._site.site,
+                )
+                self._site.notify_blocked()
+                return
+        backup = self._elect(operational)
+        self._site.trace(
+            "term.round",
+            f"round {self.round_no}: backup is site {backup}",
+            site=self._site.site,
+            backup=backup,
+        )
+        if backup == self._site.site:
+            self._run_backup(operational)
+        else:
+            self._phase = "participant"
+
+    # ------------------------------------------------------------------
+    # Backup side
+    # ------------------------------------------------------------------
+
+    def _run_backup(self, operational: list[SiteId]) -> None:
+        engine = self._site.engine
+        others = [s for s in operational if s != self._site.site]
+
+        if self.mode == "cooperative" and not engine.finished and others:
+            # Phase 0: poll peers; adopt any final outcome found.
+            self._phase = "await_states"
+            self._awaiting_states = set(others)
+            self._state_replies = {}
+            self._site.trace(
+                "term.state_poll",
+                f"cooperative backup polling {others}",
+                site=self._site.site,
+            )
+            for other in others:
+                self._site.send_payload(
+                    other, TermStateQuery(self._site.site, self.round_no)
+                )
+            return
+
+        self._decide_and_broadcast(others)
+
+    def _decide_and_broadcast(self, others: list[SiteId]) -> None:
+        engine = self._site.engine
+        decision = self._rule.decide(self._site.site, engine.state)
+
+        if self.mode == "cooperative":
+            adopted = self._adopted_outcome()
+            if adopted is not None:
+                self._site.trace(
+                    "term.adopted",
+                    f"adopting already-final outcome {adopted.value}",
+                    site=self._site.site,
+                )
+                self._decision = adopted
+                self._broadcast_decision(others)
+                return
+
+        if self.mode == "unsafe-skip-phase1" and decision.is_final:
+            # ABLATION: apply locally, then broadcast without phase 1.
+            # Unsafe on purpose — see TERMINATION_MODES.
+            self._decision = decision
+            self._phase = "done"
+            if not engine.finished:
+                engine.force_outcome(decision, via="termination")
+            for other in others:
+                self._site.send_payload(other, TermDecision(decision, self.round_no))
+            return
+
+        if decision is Outcome.BLOCKED:
+            self.blocked = True
+            self._phase = "done"
+            self._site.trace(
+                "term.blocked",
+                f"backup in state {engine.state!r} cannot decide safely",
+                site=self._site.site,
+            )
+            for other in others:
+                self._site.send_payload(other, TermBlocked(self.round_no))
+            self._site.notify_blocked()
+            return
+
+        self._decision = decision
+        if engine.finished:
+            # Slide 39: phase 1 can be omitted when the backup is
+            # already in a commit or abort state.
+            self._broadcast_decision(others)
+            return
+
+        self._phase = "await_acks"
+        self._awaiting_acks = set(others)
+        self._site.trace(
+            "term.phase1",
+            f"backup in {engine.state!r} decided {decision.value}; "
+            f"ordering {others} to adopt state {engine.state!r}",
+            site=self._site.site,
+        )
+        for other in others:
+            self._site.send_payload(
+                other, TermMoveTo(self._site.site, engine.state, self.round_no)
+            )
+        self._maybe_finish_phase1()
+
+    def _adopted_outcome(self) -> Optional[Outcome]:
+        """A final outcome reported by some polled peer, if any."""
+        for reply in self._state_replies.values():
+            if reply.outcome.is_final:
+                return reply.outcome
+        return None
+
+    def _maybe_finish_states(self) -> None:
+        if self._phase != "await_states" or self._awaiting_states:
+            return
+        others = [
+            s
+            for s in self._site.operational_participants()
+            if s != self._site.site
+        ]
+        self._decide_and_broadcast(others)
+
+    def _maybe_finish_phase1(self) -> None:
+        if self._phase != "await_acks" or self._awaiting_acks:
+            return
+        others = [
+            s
+            for s in self._site.operational_participants()
+            if s != self._site.site
+        ]
+        self._broadcast_decision(others)
+
+    def _broadcast_decision(self, others: list[SiteId]) -> None:
+        assert self._decision is not None
+        self._phase = "done"
+        for other in others:
+            self._site.send_payload(other, TermDecision(self._decision, self.round_no))
+        if not self._site.engine.finished:
+            self._site.engine.force_outcome(self._decision, via="termination")
+
+    # ------------------------------------------------------------------
+    # Participant side
+    # ------------------------------------------------------------------
+
+    def on_move_to(self, sender: SiteId, msg: TermMoveTo) -> None:
+        """Phase 1 order: adopt the backup's state, then acknowledge."""
+        if msg.round_no < self.round_no:
+            return  # Straggler from a superseded backup.
+        self.round_no = msg.round_no
+        self.blocked = False
+        if not self._site.engine.finished:
+            self._site.engine.force_state(msg.state)
+        self._site.send_payload(msg.backup, TermAck(msg.round_no))
+
+    def on_ack(self, sender: SiteId, msg: TermAck) -> None:
+        """A participant acknowledged phase 1."""
+        if msg.round_no != self.round_no or self._phase != "await_acks":
+            return
+        self._awaiting_acks.discard(sender)
+        self._maybe_finish_phase1()
+
+    def on_state_query(self, sender: SiteId, msg: TermStateQuery) -> None:
+        """Cooperative phase 0: report our local state and outcome."""
+        if msg.round_no < self.round_no:
+            return
+        self.round_no = max(self.round_no, msg.round_no)
+        engine = self._site.engine
+        self._site.send_payload(
+            msg.backup,
+            TermStateReply(engine.state, engine.outcome, msg.round_no),
+        )
+
+    def on_state_reply(self, sender: SiteId, msg: TermStateReply) -> None:
+        """Cooperative phase 0: collect one peer's state report."""
+        if msg.round_no != self.round_no or self._phase != "await_states":
+            return
+        self._state_replies[sender] = msg
+        self._awaiting_states.discard(sender)
+        self._maybe_finish_states()
+
+    def on_decision(self, sender: SiteId, msg: TermDecision) -> None:
+        """Phase 2 order: apply the backup's decision.
+
+        Accepted regardless of round: a superseded backup only ever
+        broadcasts after completing phase 1, so every operational site
+        (including any newer backup) holds the same local state and
+        would reach the same decision — stale decisions cannot
+        conflict with fresh ones.
+        """
+        self.round_no = max(self.round_no, msg.round_no)
+        self.blocked = False
+        self._phase = "done"
+        if not self._site.engine.finished:
+            self._site.engine.force_outcome(msg.outcome, via="termination")
+
+    def on_blocked(self, sender: SiteId, msg: TermBlocked) -> None:
+        """The backup announced that no safe decision exists."""
+        if msg.round_no < self.round_no:
+            return
+        self.round_no = msg.round_no
+        if not self._site.engine.finished:
+            self.blocked = True
+            self._phase = "done"
+            self._site.notify_blocked()

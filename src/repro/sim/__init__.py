@@ -1,0 +1,34 @@
+"""Deterministic discrete-event simulation substrate.
+
+This package provides the execution substrate every protocol in the
+library runs on: a single-threaded event-driven simulator with a
+virtual clock, named processes, cancellable timers, seeded random
+streams, and a structured trace log.
+
+Determinism contract
+--------------------
+A simulation is a pure function of its inputs: given the same processes,
+the same schedule of external events, and the same seed, two runs
+produce identical traces.  This is achieved by:
+
+* a total order on events — ``(time, sequence number)`` — so ties never
+  depend on heap internals;
+* per-consumer random streams derived from a single root seed, so adding
+  a new random consumer does not perturb existing ones.
+"""
+
+from repro.sim.events import Event, EventHandle
+from repro.sim.process import Process
+from repro.sim.rng import RandomStreams
+from repro.sim.simulator import Simulator
+from repro.sim.tracing import TraceEntry, TraceLog
+
+__all__ = [
+    "Event",
+    "EventHandle",
+    "Process",
+    "RandomStreams",
+    "Simulator",
+    "TraceEntry",
+    "TraceLog",
+]

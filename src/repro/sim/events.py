@@ -1,0 +1,76 @@
+"""Event objects for the discrete-event simulator.
+
+An :class:`Event` couples a firing time with a zero-argument callback.
+Events are totally ordered by ``(time, seq)`` where ``seq`` is a
+monotonically increasing sequence number assigned at scheduling time;
+this makes simulation order deterministic even when many events share a
+timestamp.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable
+
+from repro.types import SimTime
+
+
+@dataclasses.dataclass(order=True)
+class Event:
+    """A scheduled callback in the simulation.
+
+    Attributes:
+        time: Virtual time at which the event fires.
+        seq: Scheduling sequence number; breaks timestamp ties so event
+            order is deterministic and FIFO among same-time events.
+        callback: Zero-argument callable invoked when the event fires.
+            Excluded from ordering comparisons.
+        label: Human-readable description used in traces and debugging.
+        cancelled: Set via :class:`EventHandle`; cancelled events are
+            skipped (lazy deletion keeps the heap simple and fast).
+    """
+
+    time: SimTime
+    seq: int
+    callback: Callable[[], None] = dataclasses.field(compare=False)
+    label: str = dataclasses.field(default="", compare=False)
+    cancelled: bool = dataclasses.field(default=False, compare=False)
+
+
+class EventHandle:
+    """Caller-facing handle allowing a scheduled event to be cancelled.
+
+    Cancellation is how timeouts are retired when the awaited message
+    arrives first — a pattern every timeout-driven termination protocol
+    in :mod:`repro.runtime` relies on.
+    """
+
+    def __init__(self, event: Event) -> None:
+        self._event = event
+
+    @property
+    def time(self) -> SimTime:
+        """The virtual time at which the event is due to fire."""
+        return self._event.time
+
+    @property
+    def label(self) -> str:
+        """The human-readable label given at scheduling time."""
+        return self._event.label
+
+    @property
+    def cancelled(self) -> bool:
+        """Whether :meth:`cancel` has been called."""
+        return self._event.cancelled
+
+    def cancel(self) -> None:
+        """Prevent the event from firing.
+
+        Cancelling an event that already fired or was already cancelled
+        is a harmless no-op, which keeps caller-side cleanup code simple.
+        """
+        self._event.cancelled = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else f"t={self.time:.6f}"
+        return f"EventHandle({self.label!r}, {state})"

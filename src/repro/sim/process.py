@@ -1,0 +1,140 @@
+"""Base class for simulated processes.
+
+A :class:`Process` is a named actor owning a reference to the
+simulator.  It offers timer helpers (``set_timer`` / cancellation) and
+a crash/restart lifecycle that the failure injector drives.  Site-level
+actors — commit-protocol participants, resource managers, election
+participants — all extend this class.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.errors import ProcessError
+from repro.sim.events import EventHandle
+from repro.sim.simulator import Simulator
+from repro.types import SimTime
+
+
+class Process:
+    """A named simulated actor with timers and a crash lifecycle.
+
+    Args:
+        sim: The simulator this process schedules work on.
+        name: Unique human-readable name used in traces.
+    """
+
+    def __init__(self, sim: Simulator, name: str) -> None:
+        self.sim = sim
+        self.name = name
+        self._alive = True
+        self._timers: dict[str, EventHandle] = {}
+
+    # ------------------------------------------------------------------
+    # Liveness
+    # ------------------------------------------------------------------
+
+    @property
+    def alive(self) -> bool:
+        """Whether the process is currently operational."""
+        return self._alive
+
+    def crash(self) -> None:
+        """Mark the process as crashed and cancel all its timers.
+
+        Subclasses override :meth:`on_crash` to lose volatile state;
+        this base method handles the generic bookkeeping.  Crashing a
+        crashed process is a no-op.
+        """
+        if not self._alive:
+            return
+        self._alive = False
+        for handle in self._timers.values():
+            handle.cancel()
+        self._timers.clear()
+        self.on_crash()
+
+    def restart(self) -> None:
+        """Bring a crashed process back up.
+
+        Raises:
+            ProcessError: If the process is already alive.
+        """
+        if self._alive:
+            raise ProcessError(f"process {self.name!r} is already alive")
+        self._alive = True
+        self.on_restart()
+
+    def on_crash(self) -> None:
+        """Hook invoked when the process crashes.  Default: nothing."""
+
+    def on_restart(self) -> None:
+        """Hook invoked when the process restarts.  Default: nothing."""
+
+    # ------------------------------------------------------------------
+    # Timers
+    # ------------------------------------------------------------------
+
+    def set_timer(
+        self,
+        key: str,
+        delay: SimTime,
+        callback: Callable[[], None],
+    ) -> EventHandle:
+        """Arm (or re-arm) the named timer.
+
+        The callback only fires if the process is still alive when the
+        timer expires; a timer armed under the same key replaces the
+        previous one.  Timer callbacks automatically un-register their
+        key before running, so re-arming from inside a callback works.
+        """
+        self.cancel_timer(key)
+
+        def fire() -> None:
+            current = self._timers.get(key)
+            if current is not None and current is handle:
+                del self._timers[key]
+            if self._alive:
+                callback()
+
+        handle = self.sim.schedule(delay, fire, label=f"{self.name}:{key}")
+        self._timers[key] = handle
+        return handle
+
+    def cancel_timer(self, key: str) -> bool:
+        """Cancel the named timer if armed.  Returns whether it existed."""
+        handle = self._timers.pop(key, None)
+        if handle is None:
+            return False
+        handle.cancel()
+        return True
+
+    def timer_armed(self, key: str) -> bool:
+        """Whether a timer with this key is currently pending."""
+        handle = self._timers.get(key)
+        return handle is not None and not handle.cancelled
+
+    def active_timers(self) -> list[str]:
+        """Names of all currently armed timers (sorted for determinism)."""
+        return sorted(
+            key for key, handle in self._timers.items() if not handle.cancelled
+        )
+
+    # ------------------------------------------------------------------
+    # Tracing convenience
+    # ------------------------------------------------------------------
+
+    def trace(
+        self,
+        category: str,
+        detail: str,
+        site: Optional[int] = None,
+        **data: object,
+    ) -> None:
+        """Record a trace entry stamped with the current virtual time."""
+        self.sim.trace.record(self.sim.now, category, detail, site=site, **data)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        status = "up" if self._alive else "down"
+        return f"{type(self).__name__}({self.name!r}, {status})"

@@ -1,0 +1,61 @@
+"""Deterministic per-consumer random streams.
+
+A single root seed fans out into independent named streams, so the
+network latency model, the crash injector, and the workload generator
+each draw from their own sequence.  Adding a new consumer therefore
+never perturbs the draws seen by existing consumers — a property that
+keeps recorded experiment outputs stable as the library grows.
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+
+
+class RandomStreams:
+    """A factory of named, independently seeded :class:`random.Random`.
+
+    Streams are memoized: requesting the same name twice returns the
+    same generator object, so consumers may re-fetch by name instead of
+    holding references.
+
+    Args:
+        seed: Root seed.  Two factories with equal seeds produce
+            identical streams for identical names.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self._seed = seed
+        self._streams: dict[str, random.Random] = {}
+
+    @property
+    def seed(self) -> int:
+        """The root seed this factory was created with."""
+        return self._seed
+
+    def stream(self, name: str) -> random.Random:
+        """Return the generator for ``name``, creating it on first use.
+
+        The stream seed mixes the root seed with a stable hash of the
+        name (CRC32, not Python's randomized ``hash``), so stream
+        identity is reproducible across processes and Python versions.
+        """
+        generator = self._streams.get(name)
+        if generator is None:
+            mixed = (self._seed * 2654435761 + zlib.crc32(name.encode())) % 2**63
+            generator = random.Random(mixed)
+            self._streams[name] = generator
+        return generator
+
+    def fork(self, name: str) -> "RandomStreams":
+        """Derive a child factory rooted at a name-mixed seed.
+
+        Useful when a sub-component (e.g. one simulated site) wants its
+        own namespace of streams.
+        """
+        mixed = (self._seed * 2654435761 + zlib.crc32(name.encode())) % 2**63
+        return RandomStreams(mixed)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RandomStreams(seed={self._seed}, streams={sorted(self._streams)})"

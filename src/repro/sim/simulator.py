@@ -1,0 +1,193 @@
+"""The discrete-event simulator core.
+
+:class:`Simulator` owns the virtual clock and the event heap.  All other
+substrates — the network, the failure injector, the commit-protocol
+engine, the database — schedule work through it.  The simulator is
+single-threaded and deterministic; see :mod:`repro.sim` for the
+determinism contract.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, Optional
+
+from repro.errors import ClockError
+from repro.sim.events import Event, EventHandle
+from repro.sim.rng import RandomStreams
+from repro.sim.tracing import TraceLog
+from repro.types import SimTime
+
+
+class Simulator:
+    """A deterministic discrete-event simulator.
+
+    Typical usage::
+
+        sim = Simulator(seed=42)
+        sim.schedule(1.0, lambda: print("fires at t=1"))
+        sim.run()
+
+    Args:
+        seed: Root seed for all random streams used in the simulation.
+        trace: Optional pre-existing trace log to append to; a fresh one
+            is created when omitted.
+    """
+
+    def __init__(self, seed: int = 0, trace: Optional[TraceLog] = None) -> None:
+        self._now: SimTime = 0.0
+        self._heap: list[Event] = []
+        self._seq = 0
+        self._events_fired = 0
+        self._last_event_time: SimTime = 0.0
+        self._running = False
+        self.streams = RandomStreams(seed)
+        self.trace = trace if trace is not None else TraceLog()
+
+    # ------------------------------------------------------------------
+    # Clock
+    # ------------------------------------------------------------------
+
+    @property
+    def now(self) -> SimTime:
+        """Current virtual time."""
+        return self._now
+
+    @property
+    def events_fired(self) -> int:
+        """Number of events that have fired so far (cancelled excluded)."""
+        return self._events_fired
+
+    @property
+    def last_event_time(self) -> SimTime:
+        """Virtual time of the most recently fired event.
+
+        Unlike :attr:`now` — which a ``run(until=...)`` deadline can
+        advance past the final event — this reflects when the
+        simulation actually went quiet, so it is the natural
+        "completion time" of a run.
+        """
+        return self._last_event_time
+
+    @property
+    def pending_events(self) -> int:
+        """Number of scheduled, not-yet-cancelled events still queued."""
+        return sum(1 for event in self._heap if not event.cancelled)
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+
+    def schedule(
+        self,
+        delay: SimTime,
+        callback: Callable[[], None],
+        label: str = "",
+    ) -> EventHandle:
+        """Schedule ``callback`` to fire ``delay`` time units from now.
+
+        Args:
+            delay: Nonnegative offset from the current virtual time.
+            callback: Zero-argument callable to invoke.
+            label: Description recorded on the event for tracing.
+
+        Returns:
+            A handle that can cancel the event before it fires.
+
+        Raises:
+            ClockError: If ``delay`` is negative.
+        """
+        if delay < 0:
+            raise ClockError(f"cannot schedule event {delay} in the past")
+        return self.schedule_at(self._now + delay, callback, label)
+
+    def schedule_at(
+        self,
+        time: SimTime,
+        callback: Callable[[], None],
+        label: str = "",
+    ) -> EventHandle:
+        """Schedule ``callback`` to fire at absolute virtual time ``time``.
+
+        Raises:
+            ClockError: If ``time`` is before the current virtual time.
+        """
+        if time < self._now:
+            raise ClockError(
+                f"cannot schedule event at t={time} before current t={self._now}"
+            )
+        event = Event(time=time, seq=self._seq, callback=callback, label=label)
+        self._seq += 1
+        heapq.heappush(self._heap, event)
+        return EventHandle(event)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def step(self) -> bool:
+        """Fire the single next non-cancelled event.
+
+        Returns:
+            ``True`` if an event fired, ``False`` if the queue is empty.
+        """
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            self._last_event_time = event.time
+            self._events_fired += 1
+            event.callback()
+            return True
+        return False
+
+    def run(
+        self,
+        until: Optional[SimTime] = None,
+        max_events: Optional[int] = None,
+    ) -> SimTime:
+        """Run events until quiescence, a deadline, or an event budget.
+
+        Args:
+            until: Stop once the next event would fire strictly after
+                this time.  The clock is advanced to ``until`` when the
+                deadline is the binding constraint, so follow-up
+                scheduling sees consistent time.
+            max_events: Stop after firing this many events (a safety
+                budget for property tests over adversarial schedules).
+
+        Returns:
+            The virtual time at which the run stopped.
+        """
+        fired = 0
+        self._running = True
+        try:
+            while self._heap:
+                event = self._heap[0]
+                if event.cancelled:
+                    heapq.heappop(self._heap)
+                    continue
+                if until is not None and event.time > until:
+                    self._now = until
+                    break
+                if max_events is not None and fired >= max_events:
+                    break
+                heapq.heappop(self._heap)
+                self._now = event.time
+                self._last_event_time = event.time
+                self._events_fired += 1
+                fired += 1
+                event.callback()
+            else:
+                if until is not None and until > self._now:
+                    self._now = until
+        finally:
+            self._running = False
+        return self._now
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Simulator(t={self._now:.6f}, pending={self.pending_events}, "
+            f"fired={self._events_fired})"
+        )

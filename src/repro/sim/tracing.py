@@ -1,0 +1,112 @@
+"""Structured trace log for simulations.
+
+Every interesting occurrence in a run — message send/delivery, state
+transition, crash, recovery, decision — is appended to a
+:class:`TraceLog` as a :class:`TraceEntry`.  Tests audit traces (for
+example, the atomicity audit asserts no trace contains both a commit
+and an abort decision for one transaction), and examples print them as
+a readable timeline.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Callable, Iterator, Optional
+
+from repro.types import SimTime
+
+
+@dataclasses.dataclass(frozen=True)
+class TraceEntry:
+    """One timestamped occurrence in a simulation.
+
+    Attributes:
+        time: Virtual time of the occurrence.
+        category: Machine-matchable kind, e.g. ``"net.deliver"``,
+            ``"engine.transition"``, ``"site.crash"``.
+        site: Site the entry concerns, or ``None`` for global events.
+        detail: Free-form human-readable description.
+        data: Structured payload for programmatic audits.
+    """
+
+    time: SimTime
+    category: str
+    site: Optional[int]
+    detail: str
+    data: dict[str, Any] = dataclasses.field(default_factory=dict)
+
+    def format(self) -> str:
+        """Render the entry as one timeline line."""
+        where = f"site {self.site}" if self.site is not None else "-"
+        return f"[{self.time:9.4f}] {self.category:<20} {where:<8} {self.detail}"
+
+
+class TraceLog:
+    """An append-only sequence of :class:`TraceEntry` with query helpers."""
+
+    def __init__(self) -> None:
+        self._entries: list[TraceEntry] = []
+
+    def record(
+        self,
+        time: SimTime,
+        category: str,
+        detail: str,
+        site: Optional[int] = None,
+        **data: Any,
+    ) -> TraceEntry:
+        """Append an entry and return it."""
+        entry = TraceEntry(
+            time=time, category=category, site=site, detail=detail, data=data
+        )
+        self._entries.append(entry)
+        return entry
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[TraceEntry]:
+        return iter(self._entries)
+
+    def __getitem__(self, index: int) -> TraceEntry:
+        return self._entries[index]
+
+    @property
+    def entries(self) -> tuple[TraceEntry, ...]:
+        """An immutable snapshot of all entries so far."""
+        return tuple(self._entries)
+
+    def select(
+        self,
+        category: Optional[str] = None,
+        site: Optional[int] = None,
+        predicate: Optional[Callable[[TraceEntry], bool]] = None,
+    ) -> list[TraceEntry]:
+        """Return entries matching all the given filters.
+
+        ``category`` matches exact categories or prefixes ending in a
+        dot (``"net."`` matches ``"net.send"`` and ``"net.deliver"``).
+        """
+        result = []
+        for entry in self._entries:
+            if category is not None:
+                if category.endswith("."):
+                    if not entry.category.startswith(category):
+                        continue
+                elif entry.category != category:
+                    continue
+            if site is not None and entry.site != site:
+                continue
+            if predicate is not None and not predicate(entry):
+                continue
+            result.append(entry)
+        return result
+
+    def count(self, category: str) -> int:
+        """Number of entries with exactly this category."""
+        return sum(1 for entry in self._entries if entry.category == category)
+
+    def format_timeline(self, limit: Optional[int] = None) -> str:
+        """Render the whole trace (or its first ``limit`` lines)."""
+        entries = self._entries if limit is None else self._entries[:limit]
+        return "\n".join(entry.format() for entry in entries)

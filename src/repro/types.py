@@ -1,0 +1,80 @@
+"""Shared primitive types and enums used across the library.
+
+These are deliberately tiny: site identifiers, transaction identifiers,
+the commit outcome enum, and the vote enum that annotates protocol
+transitions.  Keeping them in one leaf module avoids import cycles
+between the simulation, protocol, and database layers.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import NewType
+
+#: Identifier of a participating site.  The paper numbers sites 1..n with
+#: site 1 acting as coordinator in the central-site model; we follow that
+#: convention throughout (site ids are small positive integers).
+SiteId = NewType("SiteId", int)
+
+#: Identifier of a distributed transaction.
+TransactionId = NewType("TransactionId", int)
+
+#: Simulated time.  The simulator uses float seconds; determinism is
+#: guaranteed by tie-breaking on an event sequence number, not on time.
+SimTime = float
+
+
+class Outcome(enum.Enum):
+    """Final outcome of a distributed transaction at a site.
+
+    ``COMMIT`` and ``ABORT`` are the two irreversible final outcomes of
+    the paper's model.  ``UNDECIDED`` describes a site that has not yet
+    reached a final state, and ``BLOCKED`` describes an operational site
+    that can never decide without waiting for a crashed site to recover
+    (the situation nonblocking protocols eliminate).
+    """
+
+    COMMIT = "commit"
+    ABORT = "abort"
+    UNDECIDED = "undecided"
+    BLOCKED = "blocked"
+
+    @property
+    def is_final(self) -> bool:
+        """Whether this outcome is one of the two irreversible decisions."""
+        return self in (Outcome.COMMIT, Outcome.ABORT)
+
+
+class Vote(enum.Enum):
+    """A site's vote on committing the transaction.
+
+    A transition annotated ``YES`` represents the site agreeing to
+    commit ("yes to commit"); ``NO`` represents a unilateral abort vote.
+    Vote annotations feed the committable-state analysis: a local state
+    is *committable* when its occupancy implies every site has taken a
+    ``YES``-annotated transition (Skeen 1981, "Committable States").
+    """
+
+    YES = "yes"
+    NO = "no"
+
+
+class ProtocolClass(enum.Enum):
+    """The two generic classes of commit protocols the paper studies."""
+
+    CENTRAL_SITE = "central-site"
+    DECENTRALIZED = "decentralized"
+
+
+class StateKind(enum.Enum):
+    """Classification of a local state in a protocol automaton."""
+
+    INITIAL = "initial"
+    INTERMEDIATE = "intermediate"
+    COMMIT = "commit"
+    ABORT = "abort"
+
+    @property
+    def is_final(self) -> bool:
+        """Whether states of this kind are final (commit or abort)."""
+        return self in (StateKind.COMMIT, StateKind.ABORT)

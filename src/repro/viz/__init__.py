@@ -1,0 +1,12 @@
+"""Visualization helpers: ASCII swimlanes for simulation traces.
+
+:func:`~repro.viz.timeline.render_swimlanes` turns a
+:class:`~repro.sim.tracing.TraceLog` (or a whole
+:class:`~repro.runtime.harness.RunResult`) into a per-site swimlane
+diagram — the fastest way to see who sent what, when the detector
+fired, which backup took over, and where each site decided.
+"""
+
+from repro.viz.timeline import render_run, render_swimlanes
+
+__all__ = ["render_run", "render_swimlanes"]

@@ -1,0 +1,138 @@
+"""ASCII swimlane rendering of simulation traces.
+
+One column per site, one row per (time, event) group.  Event glyphs:
+
+====================  =====================================
+trace category        glyph
+====================  =====================================
+``engine.transition``  the new local state, e.g. ``->w``
+``engine.forced_*``    ``=>s`` (termination/recovery moved us)
+``net.send``           ``kind>`` (message leaving)
+``net.deliver``        ``>kind`` (message arriving)
+``site.crash``         ``CRASH``
+``site.restart``       ``UP``
+``site.decided``       ``COMMIT!`` / ``ABORT!``
+``term.*``             ``[term …]`` annotations
+``recovery.*``         ``[rec …]`` annotations
+====================  =====================================
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.sim.tracing import TraceEntry, TraceLog
+from repro.types import SiteId
+
+#: Categories rendered by default (network sends are noisy; deliveries
+#: show the information flow).
+DEFAULT_CATEGORIES = (
+    "engine.transition",
+    "engine.forced_state",
+    "engine.forced_outcome",
+    "engine.partial_crash",
+    "net.deliver",
+    "site.crash",
+    "site.restart",
+    "site.decided",
+    "term.round",
+    "term.blocked",
+    "recovery.in_doubt",
+    "recovery.resolved",
+    "recovery.unilateral_abort",
+    "recovery.total_failure",
+)
+
+
+def _glyph(entry: TraceEntry) -> Optional[str]:
+    category = entry.category
+    if category == "engine.transition":
+        state = entry.data.get("state", "?")
+        return f"->{state}"
+    if category == "engine.forced_state":
+        return f"=>{entry.data.get('state', '?')}"
+    if category == "engine.forced_outcome":
+        return f"=>{entry.data.get('state', '?')}!"
+    if category == "engine.partial_crash":
+        return "CRASH*"
+    if category == "net.deliver":
+        detail = entry.detail
+        payload = detail.split(": ", 1)[-1] if ": " in detail else detail
+        return f">{payload[:10]}"
+    if category == "site.crash":
+        return "CRASH"
+    if category == "site.restart":
+        return "UP"
+    if category == "site.decided":
+        outcome = entry.detail.split(" ", 1)[0].upper()
+        return f"{outcome}!"
+    if category.startswith("term."):
+        return f"[{category.split('.', 1)[1]}]"
+    if category.startswith("recovery."):
+        return f"[rec:{category.split('.', 1)[1]}]"
+    return None
+
+
+def render_swimlanes(
+    trace: TraceLog,
+    sites: Iterable[SiteId],
+    categories: Iterable[str] = DEFAULT_CATEGORIES,
+    width: int = 14,
+) -> str:
+    """Render a trace as per-site swimlanes.
+
+    Args:
+        trace: The trace to render.
+        sites: Site ids, one lane each (left to right).
+        categories: Trace categories to include.
+        width: Column width per lane.
+
+    Returns:
+        The diagram as a multi-line string, header row first.
+    """
+    lanes = list(sites)
+    wanted = set(categories)
+    index = {site: i for i, site in enumerate(lanes)}
+
+    header = "time".ljust(9) + "".join(
+        f"site {site}".ljust(width) for site in lanes
+    )
+    separator = "-" * len(header)
+    rows: list[str] = [header, separator]
+
+    # Group entries by identical timestamp so concurrent events share a
+    # visual row where lanes do not collide.
+    current_time: Optional[float] = None
+    current_cells: dict[int, str] = {}
+
+    def flush() -> None:
+        if current_time is None or not current_cells:
+            return
+        cells = [
+            current_cells.get(i, "").ljust(width) for i in range(len(lanes))
+        ]
+        rows.append(f"{current_time:8.2f} " + "".join(cells))
+
+    for entry in trace:
+        if entry.category not in wanted or entry.site not in index:
+            continue
+        glyph = _glyph(entry)
+        if glyph is None:
+            continue
+        lane = index[entry.site]
+        if entry.time != current_time or lane in current_cells:
+            flush()
+            if entry.time != current_time:
+                current_time = entry.time
+                current_cells = {}
+            else:
+                current_cells = {}
+        current_cells[lane] = glyph[: width - 1]
+    flush()
+    return "\n".join(rows)
+
+
+def render_run(run, **kwargs) -> str:
+    """Render a :class:`~repro.runtime.harness.RunResult`'s swimlanes."""
+    sites = sorted(run.reports)
+    return render_swimlanes(run.trace, sites, **kwargs)

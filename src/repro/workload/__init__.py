@@ -1,0 +1,21 @@
+"""Workload and fault-schedule generators for the experiment harness."""
+
+from repro.workload.crashes import (
+    CrashAfterPayloads,
+    CrashAt,
+    CrashDuringTransition,
+    CrashEvent,
+)
+from repro.workload.generator import TransactionSpec, WorkloadGenerator
+from repro.workload.serialize import campaign_from_json, campaign_to_json
+
+__all__ = [
+    "CrashAfterPayloads",
+    "CrashAt",
+    "CrashDuringTransition",
+    "CrashEvent",
+    "TransactionSpec",
+    "WorkloadGenerator",
+    "campaign_from_json",
+    "campaign_to_json",
+]

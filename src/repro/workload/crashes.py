@@ -1,0 +1,96 @@
+"""Crash schedules for failure injection.
+
+Two trigger flavours cover the failure modes the paper discusses:
+
+* :class:`CrashAt` — the site fails at a virtual time, cleanly between
+  transitions;
+* :class:`CrashDuringTransition` — the site fails *inside* a state
+  transition, having transmitted only a prefix of the transition's
+  messages (slide 21: local transitions are not atomic under failure).
+
+Either kind may schedule a later restart, which hands the site to the
+recovery protocol.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional, Union
+
+from repro.types import SimTime, SiteId
+
+
+@dataclasses.dataclass(frozen=True)
+class CrashAt:
+    """Crash ``site`` at virtual time ``at``; optionally restart later.
+
+    Attributes:
+        site: The site to fail.
+        at: Crash time.
+        restart_at: Optional restart time (must be after ``at``).
+    """
+
+    site: SiteId
+    at: SimTime
+    restart_at: Optional[SimTime] = None
+
+    def __post_init__(self) -> None:
+        if self.restart_at is not None and self.restart_at <= self.at:
+            raise ValueError(
+                f"restart_at {self.restart_at} must come after crash at {self.at}"
+            )
+
+
+@dataclasses.dataclass(frozen=True)
+class CrashDuringTransition:
+    """Crash ``site`` mid-transition after a prefix of its writes.
+
+    Attributes:
+        site: The site to fail.
+        transition_number: Which of the site's transition firings to
+            interrupt (1-based).
+        after_writes: How many of the transition's messages get out
+            before the failure (0 = none).
+        restart_at: Optional absolute restart time.
+    """
+
+    site: SiteId
+    transition_number: int
+    after_writes: int
+    restart_at: Optional[SimTime] = None
+
+    def __post_init__(self) -> None:
+        if self.transition_number < 1:
+            raise ValueError("transition_number is 1-based and must be >= 1")
+        if self.after_writes < 0:
+            raise ValueError("after_writes must be >= 0")
+
+
+@dataclasses.dataclass(frozen=True)
+class CrashAfterPayloads:
+    """Crash ``site`` while it is transmitting control-plane payloads.
+
+    Counts the site's termination/recovery payload sends (``MoveTo``,
+    ``TermDecision``, state queries, ...) and fails the site just
+    before the ``payload_number``-th send leaves, so a broadcast can be
+    cut off after any prefix.  This is the injector behind the phase-1
+    ablation (experiment A1): a backup coordinator that applies its
+    decision locally and then dies mid-broadcast.
+
+    Attributes:
+        site: The site to fail.
+        payload_number: Which control-plane send to interrupt
+            (1-based; the send does not happen).
+        restart_at: Optional absolute restart time.
+    """
+
+    site: SiteId
+    payload_number: int
+    restart_at: Optional[SimTime] = None
+
+    def __post_init__(self) -> None:
+        if self.payload_number < 1:
+            raise ValueError("payload_number is 1-based and must be >= 1")
+
+
+CrashEvent = Union[CrashAt, CrashDuringTransition, CrashAfterPayloads]

@@ -1,0 +1,149 @@
+"""Randomized transaction workloads for failure-injection campaigns.
+
+A :class:`WorkloadGenerator` produces reproducible
+:class:`TransactionSpec` configurations — per-site votes plus a crash
+schedule — and can execute them through the runtime harness.  The
+experiment Q1 sweeps and the property-based atomicity tests are built
+on it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from typing import TYPE_CHECKING, Iterator, Optional
+
+from repro.fsa.spec import ProtocolSpec
+from repro.types import SiteId, Vote
+from repro.workload.crashes import CrashAt, CrashDuringTransition, CrashEvent
+
+if TYPE_CHECKING:  # pragma: no cover - break the workload<->runtime cycle
+    from repro.runtime.decision import TerminationRule
+    from repro.runtime.harness import RunResult
+
+
+@dataclasses.dataclass(frozen=True)
+class TransactionSpec:
+    """One generated transaction configuration.
+
+    Attributes:
+        txn_id: Sequence number within the campaign.
+        seed: Seed for the run's latency noise.
+        votes: Per-site votes.
+        crashes: The fault schedule.
+    """
+
+    txn_id: int
+    seed: int
+    votes: dict[SiteId, Vote]
+    crashes: tuple[CrashEvent, ...]
+
+    def describe(self) -> str:
+        """One-line summary for logs and failure reports."""
+        votes = ", ".join(f"{s}:{v.value}" for s, v in sorted(self.votes.items()))
+        return f"txn {self.txn_id} votes[{votes}] crashes={list(self.crashes)}"
+
+
+class WorkloadGenerator:
+    """Generates and executes randomized transactions for one protocol.
+
+    Args:
+        spec: The protocol under test.
+        seed: Campaign seed; two generators with equal arguments yield
+            identical campaigns.
+        p_no: Probability a site votes no.
+        p_crash: Probability each site is given a crash event.
+        crash_window: Crash times are drawn uniformly from
+            ``[0, crash_window]`` virtual time.
+        p_restart: Probability a crashed site gets a restart.
+        restart_delay: Restarts happen this long after the crash.
+        p_partial: Probability a crash is a mid-transition partial-send
+            crash rather than a timed one.
+        rule: Shared termination rule (built once when omitted).
+    """
+
+    def __init__(
+        self,
+        spec: ProtocolSpec,
+        seed: int = 0,
+        p_no: float = 0.1,
+        p_crash: float = 0.3,
+        crash_window: float = 8.0,
+        p_restart: float = 0.5,
+        restart_delay: float = 20.0,
+        p_partial: float = 0.25,
+        rule: Optional["TerminationRule"] = None,
+    ) -> None:
+        # Imported here (not at module level) to break the import cycle
+        # between the workload and runtime packages.
+        from repro.runtime.decision import TerminationRule
+
+        self.spec = spec
+        self.seed = seed
+        self.p_no = p_no
+        self.p_crash = p_crash
+        self.crash_window = crash_window
+        self.p_restart = p_restart
+        self.restart_delay = restart_delay
+        self.p_partial = p_partial
+        self.rule = rule if rule is not None else TerminationRule(spec)
+
+    def transactions(self, count: int) -> Iterator[TransactionSpec]:
+        """Yield ``count`` reproducible transaction configurations."""
+        rng = random.Random(self.seed)
+        for txn_id in range(count):
+            votes = {
+                site: (Vote.NO if rng.random() < self.p_no else Vote.YES)
+                for site in self.spec.sites
+            }
+            crashes: list[CrashEvent] = []
+            for site in self.spec.sites:
+                if rng.random() >= self.p_crash:
+                    continue
+                crash_time = rng.uniform(0.0, self.crash_window)
+                restart_at = None
+                if rng.random() < self.p_restart:
+                    restart_at = crash_time + self.restart_delay
+                if rng.random() < self.p_partial:
+                    automaton = self.spec.automaton(site)
+                    transition_number = rng.randint(1, automaton.phase_count)
+                    crashes.append(
+                        CrashDuringTransition(
+                            site=site,
+                            transition_number=transition_number,
+                            after_writes=rng.randint(0, self.spec.n_sites),
+                            restart_at=(
+                                crash_time + self.restart_delay
+                                if restart_at is not None
+                                else None
+                            ),
+                        )
+                    )
+                else:
+                    crashes.append(
+                        CrashAt(site=site, at=crash_time, restart_at=restart_at)
+                    )
+            yield TransactionSpec(
+                txn_id=txn_id,
+                seed=rng.randrange(2**31),
+                votes=votes,
+                crashes=tuple(crashes),
+            )
+
+    def run(self, txn: TransactionSpec, max_time: float = 300.0) -> "RunResult":
+        """Execute one generated transaction through the harness."""
+        from repro.runtime.harness import CommitRun
+        from repro.runtime.policies import FixedVotes
+
+        return CommitRun(
+            spec=self.spec,
+            seed=txn.seed,
+            vote_policy=FixedVotes(txn.votes),
+            crashes=txn.crashes,
+            rule=self.rule,
+            max_time=max_time,
+        ).execute()
+
+    def campaign(self, count: int, max_time: float = 300.0) -> list["RunResult"]:
+        """Run a whole campaign and return every result."""
+        return [self.run(txn, max_time=max_time) for txn in self.transactions(count)]

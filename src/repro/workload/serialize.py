@@ -1,0 +1,135 @@
+"""JSON (de)serialization of workloads and fault schedules.
+
+A failure found by a randomized campaign is only useful if it can be
+shipped in a bug report and replayed byte-for-byte.  This module
+round-trips :class:`~repro.workload.generator.TransactionSpec`
+configurations — votes plus crash schedules — through plain JSON.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.errors import ReproError
+from repro.types import SiteId, TransactionId, Vote
+from repro.workload.crashes import (
+    CrashAfterPayloads,
+    CrashAt,
+    CrashDuringTransition,
+    CrashEvent,
+)
+from repro.workload.generator import TransactionSpec
+
+#: Schema version embedded in every document.
+FORMAT_VERSION = 1
+
+
+def crash_to_dict(event: CrashEvent) -> dict[str, Any]:
+    """Encode one crash event as a JSON-compatible dict."""
+    if isinstance(event, CrashAt):
+        return {
+            "type": "at",
+            "site": event.site,
+            "at": event.at,
+            "restart_at": event.restart_at,
+        }
+    if isinstance(event, CrashDuringTransition):
+        return {
+            "type": "during_transition",
+            "site": event.site,
+            "transition_number": event.transition_number,
+            "after_writes": event.after_writes,
+            "restart_at": event.restart_at,
+        }
+    if isinstance(event, CrashAfterPayloads):
+        return {
+            "type": "after_payloads",
+            "site": event.site,
+            "payload_number": event.payload_number,
+            "restart_at": event.restart_at,
+        }
+    raise ReproError(f"unknown crash event type {type(event).__name__}")
+
+
+def crash_from_dict(data: dict[str, Any]) -> CrashEvent:
+    """Decode one crash event.
+
+    Raises:
+        ReproError: On an unknown ``type`` tag.
+    """
+    kind = data.get("type")
+    if kind == "at":
+        return CrashAt(
+            site=SiteId(data["site"]),
+            at=float(data["at"]),
+            restart_at=data.get("restart_at"),
+        )
+    if kind == "during_transition":
+        return CrashDuringTransition(
+            site=SiteId(data["site"]),
+            transition_number=int(data["transition_number"]),
+            after_writes=int(data["after_writes"]),
+            restart_at=data.get("restart_at"),
+        )
+    if kind == "after_payloads":
+        return CrashAfterPayloads(
+            site=SiteId(data["site"]),
+            payload_number=int(data["payload_number"]),
+            restart_at=data.get("restart_at"),
+        )
+    raise ReproError(f"unknown crash event type {kind!r}")
+
+
+def transaction_to_dict(txn: TransactionSpec) -> dict[str, Any]:
+    """Encode one transaction configuration."""
+    return {
+        "txn_id": txn.txn_id,
+        "seed": txn.seed,
+        "votes": {str(site): vote.value for site, vote in txn.votes.items()},
+        "crashes": [crash_to_dict(event) for event in txn.crashes],
+    }
+
+
+def transaction_from_dict(data: dict[str, Any]) -> TransactionSpec:
+    """Decode one transaction configuration."""
+    return TransactionSpec(
+        txn_id=int(data["txn_id"]),
+        seed=int(data["seed"]),
+        votes={
+            SiteId(int(site)): Vote(vote)
+            for site, vote in data["votes"].items()
+        },
+        crashes=tuple(crash_from_dict(event) for event in data["crashes"]),
+    )
+
+
+def campaign_to_json(transactions: list[TransactionSpec]) -> str:
+    """Encode a whole campaign as a JSON document."""
+    return json.dumps(
+        {
+            "format_version": FORMAT_VERSION,
+            "transactions": [transaction_to_dict(t) for t in transactions],
+        },
+        indent=2,
+        sort_keys=True,
+    )
+
+
+def campaign_from_json(text: str) -> list[TransactionSpec]:
+    """Decode a campaign document.
+
+    Raises:
+        ReproError: On a version mismatch or malformed document.
+    """
+    try:
+        document = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ReproError(f"malformed campaign document: {exc}") from exc
+    version = document.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ReproError(
+            f"unsupported campaign format version {version!r} "
+            f"(expected {FORMAT_VERSION})"
+        )
+    return [transaction_from_dict(t) for t in document["transactions"]]

@@ -1,0 +1,98 @@
+"""Shared fixtures.
+
+Protocol specs, state graphs, and termination rules are expensive to
+rebuild per test, immutable once constructed, and used across many test
+modules — so the common instances are session-scoped.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.reachability import build_state_graph
+from repro.protocols import catalog
+from repro.runtime.decision import TerminationRule
+
+
+@pytest.fixture(scope="session")
+def spec_2pc_central():
+    """A 3-site central-site 2PC."""
+    return catalog.build("2pc-central", 3)
+
+
+@pytest.fixture(scope="session")
+def spec_2pc_decentralized():
+    """A 3-site decentralized 2PC."""
+    return catalog.build("2pc-decentralized", 3)
+
+
+@pytest.fixture(scope="session")
+def spec_3pc_central():
+    """A 3-site central-site 3PC."""
+    return catalog.build("3pc-central", 3)
+
+
+@pytest.fixture(scope="session")
+def spec_3pc_decentralized():
+    """A 3-site decentralized 3PC."""
+    return catalog.build("3pc-decentralized", 3)
+
+
+@pytest.fixture(scope="session")
+def spec_1pc():
+    """A 3-site 1PC."""
+    return catalog.build("1pc", 3)
+
+
+@pytest.fixture(scope="session")
+def all_specs(
+    spec_1pc,
+    spec_2pc_central,
+    spec_2pc_decentralized,
+    spec_3pc_central,
+    spec_3pc_decentralized,
+):
+    """Every 3-site catalog protocol by name."""
+    return {
+        "1pc": spec_1pc,
+        "2pc-central": spec_2pc_central,
+        "2pc-decentralized": spec_2pc_decentralized,
+        "3pc-central": spec_3pc_central,
+        "3pc-decentralized": spec_3pc_decentralized,
+    }
+
+
+@pytest.fixture(scope="session")
+def graph_2pc_canonical():
+    """Reachable state graph of the 2-site canonical 2PC."""
+    return build_state_graph(catalog.build("2pc-decentralized", 2))
+
+
+@pytest.fixture(scope="session")
+def graph_3pc_canonical():
+    """Reachable state graph of the 2-site canonical 3PC."""
+    return build_state_graph(catalog.build("3pc-decentralized", 2))
+
+
+@pytest.fixture(scope="session")
+def graph_2pc_central(spec_2pc_central):
+    """Reachable state graph of the 3-site central 2PC."""
+    return build_state_graph(spec_2pc_central)
+
+
+@pytest.fixture(scope="session")
+def graph_3pc_central(spec_3pc_central):
+    """Reachable state graph of the 3-site central 3PC."""
+    return build_state_graph(spec_3pc_central)
+
+
+@pytest.fixture(scope="session")
+def rule_3pc_central(spec_3pc_central, graph_3pc_central):
+    """Termination rule for the 3-site central 3PC."""
+    return TerminationRule(spec_3pc_central, graph=graph_3pc_central)
+
+
+@pytest.fixture(scope="session")
+def rule_2pc_central(spec_2pc_central, graph_2pc_central):
+    """Termination rule for the 3-site central 2PC."""
+    return TerminationRule(spec_2pc_central, graph=graph_2pc_central)

@@ -1,0 +1,63 @@
+"""The example scripts must run clean end to end (their internal
+assertions double as acceptance tests)."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+@pytest.mark.parametrize(
+    "script",
+    [
+        "quickstart.py",
+        "bank_transfer.py",
+        "protocol_designer.py",
+        "outage_drill.py",
+        "assumption_stress.py",
+    ],
+)
+def test_example_runs_clean(script, capsys):
+    runpy.run_path(str(EXAMPLES / script), run_name="__main__")
+    out = capsys.readouterr().out
+    assert out  # Every example narrates what it demonstrates.
+
+
+def test_quickstart_reports_nonblocking(capsys):
+    runpy.run_path(str(EXAMPLES / "quickstart.py"), run_name="__main__")
+    out = capsys.readouterr().out
+    assert "nonblocking: YES" in out
+    assert "atomic: True" in out
+
+
+def test_bank_transfer_contrasts_protocols(capsys):
+    runpy.run_path(str(EXAMPLES / "bank_transfer.py"), run_name="__main__")
+    out = capsys.readouterr().out
+    assert "BLOCKED" in out          # 2PC freezes.
+    assert "stalled" in out
+    assert out.count("---") >= 2     # Both protocol sections present.
+
+
+def test_protocol_designer_synthesizes_3pc(capsys):
+    runpy.run_path(str(EXAMPLES / "protocol_designer.py"), run_name="__main__")
+    out = capsys.readouterr().out
+    assert "nonblocking: NO" in out            # The hand-rolled 2PC.
+    assert "nonblocking = True" in out         # After synthesis.
+    assert "structurally equals the catalog 3PC: True" in out
+
+
+def test_outage_drill_recovers_everyone(capsys):
+    runpy.run_path(str(EXAMPLES / "outage_drill.py"), run_name="__main__")
+    out = capsys.readouterr().out
+    assert "crashed sites recovered" in out
+
+
+def test_assumption_stress_walks_the_boundaries(capsys):
+    runpy.run_path(str(EXAMPLES / "assumption_stress.py"), run_name="__main__")
+    out = capsys.readouterr().out
+    assert "atomic:   False" in out    # The partition split.
+    assert "quorum termination" in out
+    assert "recovery extension" in out

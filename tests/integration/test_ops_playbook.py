@@ -1,0 +1,99 @@
+"""Operational playbook scenarios: the tooling working together.
+
+Each test is a workflow an operator of this library would actually run:
+capture a campaign, replay a suspicious run with swimlanes, audit it,
+summarize a fleet-wide sweep.
+"""
+
+import pytest
+
+from repro.analysis.conformance import audit_run
+from repro.metrics import summarize_runs
+from repro.protocols import catalog
+from repro.runtime.decision import TerminationRule
+from repro.runtime.harness import CommitRun
+from repro.runtime.multi import MultiCommitRun
+from repro.types import Outcome, TransactionId
+from repro.viz import render_run
+from repro.workload.crashes import CrashAt
+from repro.workload.generator import WorkloadGenerator
+from repro.workload.serialize import campaign_from_json, campaign_to_json
+
+
+class TestCaptureAndReplay:
+    def test_full_capture_replay_audit_cycle(self, tmp_path):
+        spec = catalog.build("3pc-central", 4)
+        generator = WorkloadGenerator(spec, seed=31, p_no=0.2, p_crash=0.4)
+
+        # 1. Run a campaign and serialize it.
+        transactions = list(generator.transactions(20))
+        path = tmp_path / "campaign.json"
+        path.write_text(campaign_to_json(transactions))
+
+        # 2. Replay from disk: results must match the originals.
+        replayed = campaign_from_json(path.read_text())
+        for original, copy in zip(transactions, replayed):
+            a = generator.run(original)
+            b = generator.run(copy)
+            assert a.outcomes() == b.outcomes()
+
+        # 3. Every replayed run passes the conformance audit.
+        for txn in replayed:
+            assert audit_run(generator.run(txn), spec) == []
+
+    def test_summary_over_mixed_protocols(self):
+        rows = {}
+        for name in ("2pc-central", "3pc-central"):
+            spec = catalog.build(name, 4)
+            generator = WorkloadGenerator(spec, seed=13, p_crash=0.5)
+            rows[name] = summarize_runs(generator.campaign(40))
+        # The summaries expose the paper's contrast numerically.
+        assert rows["2pc-central"].blocked_fraction > 0
+        assert rows["3pc-central"].blocked_fraction == 0
+        assert rows["2pc-central"].violations == 0
+        assert rows["3pc-central"].violations == 0
+
+
+class TestIncidentForensics:
+    def test_swimlane_of_a_blocked_incident_shows_the_story(self):
+        spec = catalog.build("2pc-central", 3)
+        rule = TerminationRule(spec)
+        run = CommitRun(
+            spec, crashes=[CrashAt(site=1, at=2.0)], rule=rule
+        ).execute()
+        lanes = render_run(run)
+        # The postmortem reads off the diagram: crash, detection round,
+        # and the blocked verdict.
+        assert "CRASH" in lanes
+        assert "[round]" in lanes
+        assert "[blocked]" in lanes
+        assert "COMMIT!" not in lanes
+
+    def test_multi_run_incident_isolates_the_window(self):
+        spec = catalog.build("3pc-central", 4)
+        rule = TerminationRule(spec)
+        run = MultiCommitRun(
+            spec,
+            start_times=[0.0, 3.0, 20.0],
+            crashes=[CrashAt(site=1, at=4.0)],
+            rule=rule,
+        ).execute()
+        # Txn 1 finished pre-crash; txn 2 was in flight (terminated);
+        # txn 3 started after the crash with a dead coordinator — the
+        # slaves never hear about it and terminate it by rule.
+        assert run.atomic
+        first = run.per_transaction[TransactionId(1)]
+        assert Outcome.COMMIT in first.decided_outcomes()
+        second = run.per_transaction[TransactionId(2)]
+        assert second.decided_outcomes() == {Outcome.ABORT}
+
+    def test_audit_attached_to_every_incident(self):
+        spec = catalog.build("3pc-central", 4)
+        rule = TerminationRule(spec)
+        for crash_time in (0.5, 2.0, 3.5, 5.0):
+            run = CommitRun(
+                spec,
+                crashes=[CrashAt(site=1, at=crash_time, restart_at=40.0)],
+                rule=rule,
+            ).execute()
+            assert audit_run(run, spec) == [], f"crash at {crash_time}"

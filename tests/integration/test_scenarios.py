@@ -1,0 +1,228 @@
+"""Integration scenarios: multi-component, end-to-end stories.
+
+Each test tells one complete story across the stack — FSA spec, network,
+engine, termination, recovery, and (for the database scenarios) WAL and
+locks — and asserts the global outcome the paper predicts.
+"""
+
+import pytest
+
+from repro.db.distributed import DistributedDB
+from repro.net.latency import PerLinkLatency, UniformLatency
+from repro.protocols import catalog
+from repro.runtime.decision import TerminationRule
+from repro.runtime.harness import CommitRun
+from repro.runtime.policies import BernoulliVotes, FixedVotes
+from repro.types import Outcome, SiteId, Vote
+from repro.workload.crashes import CrashAt, CrashDuringTransition
+from repro.workload.generator import WorkloadGenerator
+
+
+class TestFullCommitStories:
+    def test_five_site_3pc_with_random_latency(self):
+        spec = catalog.build("3pc-central", 5)
+        run = CommitRun(
+            spec,
+            seed=11,
+            latency=UniformLatency(0.2, 2.5),
+            termination_enabled=False,
+        ).execute()
+        assert set(run.outcomes().values()) == {Outcome.COMMIT}
+        assert run.atomic
+
+    def test_straggler_link_delays_but_does_not_break(self):
+        spec = catalog.build("3pc-central", 4)
+        slow = PerLinkLatency({(1, 4): 10.0, (4, 1): 10.0}, default=1.0)
+        run = CommitRun(spec, latency=slow, termination_enabled=False).execute()
+        assert set(run.outcomes().values()) == {Outcome.COMMIT}
+        fast = CommitRun(
+            spec, termination_enabled=False
+        ).execute()
+        assert run.duration > fast.duration
+
+    def test_mixed_votes_under_randomized_latency(self):
+        spec = catalog.build("2pc-decentralized", 4)
+        run = CommitRun(
+            spec,
+            seed=3,
+            latency=UniformLatency(0.5, 1.5),
+            vote_policy=FixedVotes({SiteId(3): Vote.NO}),
+            termination_enabled=False,
+        ).execute()
+        assert set(run.outcomes().values()) == {Outcome.ABORT}
+
+
+class TestWorstCaseCascade:
+    def test_kill_every_backup_in_turn(self):
+        spec = catalog.build("3pc-central", 6)
+        rule = TerminationRule(spec)
+        crashes = [CrashAt(site=1, at=2.0)]
+        for i, backup in enumerate((2, 3, 4, 5)):
+            crashes.append(CrashAt(site=backup, at=4.0 + 3.0 * i))
+        run = CommitRun(spec, crashes=crashes, rule=rule).execute()
+        survivor = run.reports[6]
+        assert survivor.alive and survivor.outcome.is_final
+        assert run.atomic
+
+    def test_cascade_then_everyone_recovers(self):
+        spec = catalog.build("3pc-central", 4)
+        rule = TerminationRule(spec)
+        run = CommitRun(
+            spec,
+            crashes=[
+                CrashAt(site=1, at=2.0, restart_at=50.0),
+                CrashAt(site=2, at=4.5, restart_at=55.0),
+            ],
+            rule=rule,
+        ).execute()
+        # Everyone — survivors and recovered sites — holds one outcome.
+        outcomes = {r.outcome for r in run.reports.values()}
+        assert len(outcomes) == 1
+        assert next(iter(outcomes)).is_final
+
+
+class TestMassCampaigns:
+    @pytest.mark.parametrize("name", catalog.protocol_names())
+    def test_hundred_randomized_runs_stay_atomic(self, name):
+        spec = catalog.build(name, 4)
+        generator = WorkloadGenerator(
+            spec, seed=23, p_no=0.15, p_crash=0.35, p_partial=0.3
+        )
+        for result in generator.campaign(100):
+            result.assert_atomic()
+
+    @pytest.mark.parametrize("name", ["3pc-central", "3pc-decentralized"])
+    def test_hundred_randomized_runs_never_block_3pc(self, name):
+        spec = catalog.build(name, 4)
+        generator = WorkloadGenerator(spec, seed=29, p_no=0.1, p_crash=0.4)
+        for result in generator.campaign(100):
+            assert result.blocked_sites == []
+            for report in result.reports.values():
+                if report.alive and not report.crashed:
+                    assert report.outcome.is_final
+
+    def test_bernoulli_vote_campaign(self):
+        spec = catalog.build("2pc-central", 4)
+        rule = TerminationRule(spec)
+        outcomes = set()
+        for seed in range(30):
+            run = CommitRun(
+                spec,
+                seed=seed,
+                vote_policy=BernoulliVotes(0.3, seed=seed),
+                rule=rule,
+            ).execute()
+            run.assert_atomic()
+            outcomes |= run.decided_outcomes()
+        assert outcomes == {Outcome.COMMIT, Outcome.ABORT}
+
+
+class TestDatabaseEndToEnd:
+    def test_money_conserved_across_failure_modes(self):
+        db = DistributedDB(
+            3,
+            protocol="3pc-central",
+            placement={"acct:a": SiteId(1), "acct:b": SiteId(2)},
+        )
+        db.run_transaction(0, [("w", "acct:a", 500), ("w", "acct:b", 500)])
+        txn = 1
+        for crash in (
+            [],
+            [CrashAt(site=1, at=2.0)],
+            [CrashDuringTransition(site=1, transition_number=2, after_writes=1)],
+            [CrashAt(site=2, at=1.5)],
+        ):
+            a = db.get("acct:a")
+            b = db.get("acct:b")
+            outcome = db.run_transaction(
+                txn,
+                [
+                    ("r", "acct:a"),
+                    ("w", "acct:a", a - 50),
+                    ("r", "acct:b"),
+                    ("w", "acct:b", b + 50),
+                ],
+                crashes=crash,
+            )
+            assert outcome.outcome in (Outcome.COMMIT, Outcome.ABORT)
+            assert db.get("acct:a") + db.get("acct:b") == 1000
+            txn += 1
+
+    def test_wal_survives_repeated_site_crashes(self):
+        db = DistributedDB(2, placement={"k": SiteId(1)})
+        for i in range(5):
+            db.run_transaction(i, [("w", "k", i)])
+            classification = db.crash_site(SiteId(1))
+            assert i in classification["committed"]
+            assert db.get("k") == i
+
+    def test_contended_stream_serializes_correctly(self):
+        db = DistributedDB(2, placement={"hot": SiteId(1), "cold": SiteId(2)})
+        db.run_transaction(0, [("w", "hot", 0), ("w", "cold", 0)])
+        results = db.run_concurrent(
+            {
+                i: [("r", "hot"), ("w", "hot", i), ("w", "cold", i)]
+                for i in range(1, 6)
+            }
+        )
+        committed = [t for t, r in results.items() if r.committed]
+        assert committed  # At least one wins.
+        assert db.get("hot") == db.get("cold")  # Writes stayed paired.
+
+
+class TestLargerTopologies:
+    def test_eight_site_3pc_cascade_to_last_survivor(self):
+        spec = catalog.build("3pc-central", 8)
+        rule = TerminationRule(spec)
+        crashes = [CrashAt(site=1, at=2.0)]
+        for i, backup in enumerate(range(2, 8)):
+            crashes.append(CrashAt(site=backup, at=4.0 + 3.0 * i))
+        run = CommitRun(spec, crashes=crashes, rule=rule).execute()
+        survivor = run.reports[8]
+        assert survivor.alive and survivor.outcome.is_final
+        assert run.atomic
+        # Seven elections happened (one per failure at minimum).
+        assert run.trace.count("term.round") >= 7
+
+    def test_ten_site_happy_path_all_protocols(self):
+        for name in catalog.protocol_names():
+            run = CommitRun(
+                catalog.build(name, 10), termination_enabled=False
+            ).execute()
+            assert set(run.outcomes().values()) == {Outcome.COMMIT}, name
+
+    def test_six_site_decentralized_crash_storm(self):
+        spec = catalog.build("3pc-decentralized", 6)
+        rule = TerminationRule(spec)
+        run = CommitRun(
+            spec,
+            crashes=[
+                CrashAt(site=2, at=0.5),
+                CrashAt(site=4, at=1.5),
+                CrashAt(site=6, at=2.5),
+            ],
+            rule=rule,
+        ).execute()
+        assert run.atomic
+        for site in (1, 3, 5):
+            assert run.reports[site].outcome.is_final
+
+
+class TestElectionIntegration:
+    def test_termination_with_each_election_strategy(self):
+        from repro.election.bully import bully_strategy
+        from repro.election.ring import ring_strategy
+        from repro.runtime.termination import lowest_id_election
+
+        spec = catalog.build("3pc-central", 4)
+        rule = TerminationRule(spec)
+        for strategy in (lowest_id_election, bully_strategy, ring_strategy):
+            run = CommitRun(
+                spec,
+                crashes=[CrashAt(site=1, at=2.0)],
+                rule=rule,
+                elect=strategy,
+            ).execute()
+            assert run.atomic
+            for site in (2, 3, 4):
+                assert run.reports[site].outcome.is_final

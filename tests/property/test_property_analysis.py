@@ -1,0 +1,126 @@
+"""Property-based tests on the analysis machinery.
+
+Random protocol instances (catalog protocols over random site counts,
+plus randomly synthesized buffer variants) must uphold the structural
+invariants the paper's definitions imply.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.analysis.committable import committable_states
+from repro.analysis.concurrency import concurrency_set
+from repro.analysis.nonblocking import check_nonblocking
+from repro.analysis.reachability import build_state_graph
+from repro.protocols import catalog
+
+protocol_names = st.sampled_from(catalog.protocol_names())
+small_n = st.integers(min_value=2, max_value=3)
+
+
+@st.composite
+def spec_instances(draw):
+    return catalog.build(draw(protocol_names), draw(small_n))
+
+
+class TestGraphInvariants:
+    @given(spec=spec_instances())
+    @settings(max_examples=30, deadline=None)
+    def test_terminal_states_are_final(self, spec):
+        graph = build_state_graph(spec)
+        for state in graph.terminal_states():
+            assert graph.is_final(state)
+
+    @given(spec=spec_instances())
+    @settings(max_examples=30, deadline=None)
+    def test_no_inconsistent_states(self, spec):
+        graph = build_state_graph(spec)
+        assert graph.inconsistent_states() == []
+
+    @given(spec=spec_instances())
+    @settings(max_examples=30, deadline=None)
+    def test_edges_preserve_site_count(self, spec):
+        graph = build_state_graph(spec)
+        width = len(graph.sites)
+        for state in graph.states:
+            assert len(state.locals) == width
+            for edge in graph.successors(state):
+                assert len(edge.target.locals) == width
+
+    @given(spec=spec_instances())
+    @settings(max_examples=30, deadline=None)
+    def test_final_states_have_no_successors_for_their_site(self, spec):
+        graph = build_state_graph(spec)
+        for state in graph.states:
+            for edge in graph.successors(state):
+                source_local = graph.local_of(state, edge.site)
+                assert not spec.is_final_state(edge.site, source_local)
+
+
+class TestConcurrencySymmetry:
+    @given(spec=spec_instances())
+    @settings(max_examples=20, deadline=None)
+    def test_concurrency_is_symmetric(self, spec):
+        # If (j, t) is in CS(i, s) then (i, s) is in CS(j, t): both mean
+        # a reachable global state contains s at i and t at j.
+        graph = build_state_graph(spec)
+        for site in graph.sites:
+            for state in graph.reachable_local_states(site):
+                for other, other_state in concurrency_set(graph, site, state):
+                    back = concurrency_set(graph, other, other_state)
+                    assert (site, state) in back
+
+    @given(spec=spec_instances())
+    @settings(max_examples=20, deadline=None)
+    def test_initial_states_mutually_concurrent(self, spec):
+        graph = build_state_graph(spec)
+        sites = graph.sites
+        for i, site in enumerate(sites):
+            cs = concurrency_set(graph, site, spec.automaton(site).initial)
+            for other in sites:
+                if other != site:
+                    assert (other, spec.automaton(other).initial) in cs
+
+
+class TestCommittableInvariants:
+    @given(spec=spec_instances())
+    @settings(max_examples=20, deadline=None)
+    def test_committable_implies_no_concurrent_abort(self, spec):
+        # Occupancy of a committable state implies every site voted yes,
+        # and a site that voted yes cannot sit in a state it reached by
+        # voting no; for the catalog protocols this surfaces as: no
+        # abort state in any committable state's concurrency set.
+        graph = build_state_graph(spec)
+        table = committable_states(graph)
+        for (site, state), committable in table.items():
+            if not committable:
+                continue
+            cs = concurrency_set(graph, site, state)
+            assert not any(
+                spec.is_abort_state(other, local) for other, local in cs
+            )
+
+    @given(spec=spec_instances())
+    @settings(max_examples=20, deadline=None)
+    def test_initial_never_committable(self, spec):
+        graph = build_state_graph(spec)
+        table = committable_states(graph)
+        for site in graph.sites:
+            assert table[(site, spec.automaton(site).initial)] is False
+
+
+class TestTheoremConsistency:
+    @given(spec=spec_instances())
+    @settings(max_examples=20, deadline=None)
+    def test_verdict_matches_catalog_classification(self, spec):
+        report = check_nonblocking(spec)
+        expected = any(
+            marker in spec.name for marker in ("3PC",)
+        )
+        assert report.nonblocking == expected
+
+    @given(spec=spec_instances())
+    @settings(max_examples=20, deadline=None)
+    def test_tolerated_failures_bounded_by_sites(self, spec):
+        report = check_nonblocking(spec)
+        assert 0 <= report.tolerated_failures <= spec.n_sites - 1

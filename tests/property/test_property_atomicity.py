@@ -1,0 +1,174 @@
+"""Property-based tests of the paper's core guarantees.
+
+Hypothesis drives randomized vote assignments, crash schedules (timed
+and mid-transition partial sends), restarts, and latency seeds through
+the runtime, asserting the invariants the paper proves:
+
+* **atomicity** — no execution of any catalog protocol may log commit
+  at one site and abort at another (counting crashed sites' logs);
+* **nonblocking** — under any schedule with at least one operational
+  3PC site, every operational never-crashed site reaches a decision;
+* **recovery agreement** — a recovered site never contradicts a
+  decided survivor.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import HealthCheck, given, settings
+
+from repro.protocols import catalog
+from repro.runtime.decision import TerminationRule
+from repro.runtime.harness import CommitRun
+from repro.runtime.policies import FixedVotes
+from repro.types import Outcome, SiteId, Vote
+from repro.workload.crashes import CrashAt, CrashDuringTransition
+
+N_SITES = 3
+SITES = [SiteId(i) for i in range(1, N_SITES + 1)]
+
+#: Termination rules are cached per protocol to keep example throughput
+#: reasonable (building one costs a state-graph enumeration).
+_RULES = {
+    name: TerminationRule(catalog.build(name, N_SITES))
+    for name in catalog.protocol_names()
+}
+
+
+def crash_events(site: SiteId):
+    """Strategy: one crash event (timed or partial-send) for ``site``."""
+    timed = st.builds(
+        CrashAt,
+        site=st.just(site),
+        at=st.floats(min_value=0.0, max_value=8.0, allow_nan=False),
+        restart_at=st.one_of(
+            st.none(), st.floats(min_value=30.0, max_value=60.0)
+        ),
+    )
+    partial = st.builds(
+        CrashDuringTransition,
+        site=st.just(site),
+        transition_number=st.integers(min_value=1, max_value=3),
+        after_writes=st.integers(min_value=0, max_value=N_SITES),
+        restart_at=st.one_of(
+            st.none(), st.floats(min_value=30.0, max_value=60.0)
+        ),
+    )
+    return st.one_of(timed, partial)
+
+
+schedules = st.lists(
+    st.one_of(*[crash_events(site) for site in SITES]),
+    max_size=N_SITES,
+    unique_by=lambda event: event.site,
+)
+
+votes = st.fixed_dictionaries(
+    {site: st.sampled_from([Vote.YES, Vote.NO]) for site in SITES}
+)
+
+
+def run(protocol: str, vote_map, crashes, seed: int):
+    return CommitRun(
+        spec=catalog.build(protocol, N_SITES),
+        seed=seed,
+        vote_policy=FixedVotes(vote_map),
+        crashes=crashes,
+        rule=_RULES[protocol],
+        max_time=200.0,
+    ).execute()
+
+
+COMMON_SETTINGS = settings(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+class TestAtomicityAllProtocols:
+    @given(votes=votes, crashes=schedules, seed=st.integers(0, 2**16))
+    @COMMON_SETTINGS
+    def test_2pc_central_never_mixes_outcomes(self, votes, crashes, seed):
+        run("2pc-central", votes, crashes, seed).assert_atomic()
+
+    @given(votes=votes, crashes=schedules, seed=st.integers(0, 2**16))
+    @COMMON_SETTINGS
+    def test_2pc_decentralized_never_mixes_outcomes(self, votes, crashes, seed):
+        run("2pc-decentralized", votes, crashes, seed).assert_atomic()
+
+    @given(votes=votes, crashes=schedules, seed=st.integers(0, 2**16))
+    @COMMON_SETTINGS
+    def test_3pc_central_never_mixes_outcomes(self, votes, crashes, seed):
+        run("3pc-central", votes, crashes, seed).assert_atomic()
+
+    @given(votes=votes, crashes=schedules, seed=st.integers(0, 2**16))
+    @COMMON_SETTINGS
+    def test_3pc_decentralized_never_mixes_outcomes(self, votes, crashes, seed):
+        run("3pc-decentralized", votes, crashes, seed).assert_atomic()
+
+    @given(crashes=schedules, seed=st.integers(0, 2**16))
+    @COMMON_SETTINGS
+    def test_1pc_never_mixes_outcomes(self, crashes, seed):
+        # 1PC slaves hold no vote, so only unanimous-yes is meaningful.
+        run("1pc", {}, crashes, seed).assert_atomic()
+
+
+class TestNonblockingProperty:
+    @given(votes=votes, crashes=schedules, seed=st.integers(0, 2**16))
+    @COMMON_SETTINGS
+    def test_3pc_central_operational_sites_always_decide(
+        self, votes, crashes, seed
+    ):
+        result = run("3pc-central", votes, crashes, seed)
+        for site, report in result.reports.items():
+            if report.alive and not report.crashed:
+                assert report.outcome.is_final, (
+                    f"site {site} hung: {result.outcomes()}"
+                )
+        assert result.blocked_sites == []
+
+    @given(votes=votes, crashes=schedules, seed=st.integers(0, 2**16))
+    @COMMON_SETTINGS
+    def test_3pc_decentralized_operational_sites_always_decide(
+        self, votes, crashes, seed
+    ):
+        result = run("3pc-decentralized", votes, crashes, seed)
+        for site, report in result.reports.items():
+            if report.alive and not report.crashed:
+                assert report.outcome.is_final
+        assert result.blocked_sites == []
+
+
+class TestRecoveryAgreement:
+    @given(
+        votes=votes,
+        crash_time=st.floats(min_value=0.0, max_value=8.0),
+        victim=st.sampled_from(SITES),
+        seed=st.integers(0, 2**16),
+    )
+    @COMMON_SETTINGS
+    def test_recovered_site_agrees_with_survivors(
+        self, votes, crash_time, victim, seed
+    ):
+        result = run(
+            "3pc-central",
+            votes,
+            [CrashAt(site=victim, at=crash_time, restart_at=40.0)],
+            seed,
+        )
+        final = {
+            r.outcome for r in result.reports.values() if r.outcome.is_final
+        }
+        assert len(final) <= 1
+        # The recovered site must itself have terminated.
+        assert result.reports[victim].outcome.is_final
+
+
+class TestDeterminismProperty:
+    @given(votes=votes, crashes=schedules, seed=st.integers(0, 2**16))
+    @settings(max_examples=25, deadline=None)
+    def test_runs_are_reproducible(self, votes, crashes, seed):
+        a = run("3pc-central", votes, crashes, seed)
+        b = run("3pc-central", votes, crashes, seed)
+        assert a.outcomes() == b.outcomes()
+        assert a.duration == b.duration
+        assert a.messages_sent == b.messages_sent

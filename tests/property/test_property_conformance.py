@@ -1,0 +1,125 @@
+"""Property tests: every randomized execution conforms to the model.
+
+Beyond atomicity, hypothesis-driven schedules are audited step by step
+by :func:`repro.analysis.conformance.audit_run` — the engine may never
+fire a transition its automaton does not define, misreport a vote, or
+end in a state inconsistent with its logged decision.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import HealthCheck, given, settings
+
+from repro.analysis.conformance import audit_run
+from repro.protocols import catalog
+from repro.runtime.decision import TerminationRule
+from repro.runtime.harness import CommitRun
+from repro.runtime.multi import MultiCommitRun
+from repro.runtime.policies import FixedVotes
+from repro.types import SiteId, Vote
+from repro.workload.crashes import CrashAt, CrashDuringTransition
+
+N_SITES = 3
+SITES = [SiteId(i) for i in range(1, N_SITES + 1)]
+SPECS = {name: catalog.build(name, N_SITES) for name in catalog.protocol_names()}
+RULES = {name: TerminationRule(spec) for name, spec in SPECS.items()}
+
+crash_schedules = st.lists(
+    st.one_of(
+        st.builds(
+            CrashAt,
+            site=st.sampled_from(SITES),
+            at=st.floats(min_value=0.0, max_value=8.0, allow_nan=False),
+            restart_at=st.one_of(
+                st.none(), st.floats(min_value=30.0, max_value=50.0)
+            ),
+        ),
+        st.builds(
+            CrashDuringTransition,
+            site=st.sampled_from(SITES),
+            transition_number=st.integers(min_value=1, max_value=3),
+            after_writes=st.integers(min_value=0, max_value=N_SITES),
+        ),
+    ),
+    max_size=2,
+    unique_by=lambda e: e.site,
+)
+
+vote_maps = st.fixed_dictionaries(
+    {site: st.sampled_from([Vote.YES, Vote.NO]) for site in SITES}
+)
+
+SETTINGS = settings(
+    max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+
+class TestEveryExecutionConforms:
+    @given(
+        name=st.sampled_from(sorted(SPECS)),
+        votes=vote_maps,
+        crashes=crash_schedules,
+        seed=st.integers(0, 2**16),
+    )
+    @SETTINGS
+    def test_single_run_conformance(self, name, votes, crashes, seed):
+        spec = SPECS[name]
+        run = CommitRun(
+            spec,
+            seed=seed,
+            vote_policy=FixedVotes(votes),
+            crashes=crashes,
+            rule=RULES[name],
+            max_time=200.0,
+        ).execute()
+        findings = audit_run(run, spec)
+        assert findings == [], [str(f) for f in findings]
+
+    @given(
+        mode=st.sampled_from(["standard", "cooperative", "quorum"]),
+        votes=vote_maps,
+        crashes=crash_schedules,
+        seed=st.integers(0, 2**16),
+    )
+    @SETTINGS
+    def test_termination_modes_conform_and_stay_atomic(
+        self, mode, votes, crashes, seed
+    ):
+        spec = SPECS["3pc-central"]
+        run = CommitRun(
+            spec,
+            seed=seed,
+            vote_policy=FixedVotes(votes),
+            crashes=crashes,
+            rule=RULES["3pc-central"],
+            termination_mode=mode,
+            max_time=200.0,
+        ).execute()
+        run.assert_atomic()
+        assert audit_run(run, spec) == []
+
+
+class TestMultiplexedRuns:
+    @given(
+        stagger=st.floats(min_value=0.0, max_value=3.0, allow_nan=False),
+        crash_time=st.floats(min_value=0.5, max_value=10.0, allow_nan=False),
+        seed=st.integers(0, 2**16),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_every_multiplexed_transaction_stays_atomic(
+        self, stagger, crash_time, seed
+    ):
+        spec = SPECS["3pc-central"]
+        run = MultiCommitRun(
+            spec,
+            start_times=[i * stagger for i in range(4)],
+            crashes=[CrashAt(site=1, at=crash_time)],
+            seed=seed,
+            rule=RULES["3pc-central"],
+            max_time=200.0,
+        ).execute()
+        assert run.atomic
+        assert run.blocked_transactions() == []
+        for result in run.per_transaction.values():
+            for site, report in result.reports.items():
+                if report.alive and not report.crashed:
+                    assert report.outcome.is_final

@@ -1,0 +1,232 @@
+"""Property-based tests on the database substrate.
+
+The WAL recovery invariant: after any sequence of transactions (each
+either committed, aborted, or cut off by a crash), recovery rebuilds a
+store reflecting exactly the committed transactions.  The lock-manager
+invariant: holders are always mutually compatible.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.db.kv import KVStore
+from repro.db.local_tm import BlockedOnLock, ResourceManager
+from repro.db.locks import LockManager, LockMode
+from repro.db.wal import MISSING, WriteAheadLog
+from repro.errors import DeadlockError
+from repro.types import SiteId, TransactionId
+
+keys = st.sampled_from(["a", "b", "c", "d"])
+values = st.integers(min_value=0, max_value=999)
+
+#: One transaction: list of (key, value) writes plus a fate.
+transactions = st.lists(
+    st.tuples(
+        st.lists(st.tuples(keys, values), min_size=1, max_size=4),
+        st.sampled_from(["commit", "abort", "crash"]),
+    ),
+    min_size=1,
+    max_size=6,
+)
+
+
+class TestWALRecovery:
+    @given(history=transactions)
+    @settings(max_examples=80, deadline=None)
+    def test_recovery_reflects_exactly_committed_prefix(self, history):
+        wal = WriteAheadLog()
+        live = KVStore()
+        expected = {}
+        crashed = False
+        for index, (writes, fate) in enumerate(history):
+            if crashed:
+                break
+            txn = TransactionId(index + 1)
+            wal.log_begin(txn)
+            pending = {}
+            for key, value in writes:
+                old = live.get(key, MISSING) if live.exists(key) else MISSING
+                wal.log_update(txn, key, old, value)
+                live.put(key, value)
+                pending[key] = value
+            if fate == "commit":
+                wal.log_commit(txn)
+                expected.update(pending)
+            elif fate == "abort":
+                # Undo from the log in reverse, as the RM does.
+                for record in reversed(wal.updates_of(txn)):
+                    if record.old is MISSING:
+                        live.delete(record.key)
+                    else:
+                        live.put(record.key, record.old)
+                wal.log_abort(txn)
+            else:
+                crashed = True  # Mid-transaction crash ends the history.
+
+        recovered = KVStore()
+        wal.recover(recovered)
+        assert recovered.snapshot() == expected
+
+    @given(history=transactions)
+    @settings(max_examples=40, deadline=None)
+    def test_double_recovery_is_stable(self, history):
+        wal = WriteAheadLog()
+        for index, (writes, fate) in enumerate(history):
+            txn = TransactionId(index + 1)
+            wal.log_begin(txn)
+            prior = {}
+            for key, value in writes:
+                wal.log_update(txn, key, prior.get(key, MISSING), value)
+                prior[key] = value
+            if fate == "commit":
+                wal.log_commit(txn)
+            elif fate == "abort":
+                wal.log_abort(txn)
+        first = KVStore()
+        wal.recover(first)
+        second = KVStore()
+        wal.recover(second)
+        assert first.snapshot() == second.snapshot()
+
+
+lock_requests = st.lists(
+    st.tuples(
+        st.integers(min_value=1, max_value=4),  # txn
+        keys,
+        st.sampled_from([LockMode.SHARED, LockMode.EXCLUSIVE]),
+    ),
+    max_size=20,
+)
+
+
+class TestLockInvariants:
+    @given(requests=lock_requests)
+    @settings(max_examples=80, deadline=None)
+    def test_holders_always_compatible(self, requests):
+        locks = LockManager()
+        for txn_id, key, mode in requests:
+            txn = TransactionId(txn_id)
+            try:
+                locks.acquire(txn, key, mode)
+            except DeadlockError:
+                locks.release_all(txn)
+            holders = locks.holders(key)
+            items = list(holders.items())
+            for i, (txn_a, mode_a) in enumerate(items):
+                for txn_b, mode_b in items[i + 1:]:
+                    assert mode_a.compatible_with(mode_b), (
+                        f"{txn_a}:{mode_a} vs {txn_b}:{mode_b} on {key}"
+                    )
+
+    @given(requests=lock_requests)
+    @settings(max_examples=60, deadline=None)
+    def test_release_all_leaves_no_trace(self, requests):
+        locks = LockManager()
+        touched = set()
+        for txn_id, key, mode in requests:
+            txn = TransactionId(txn_id)
+            touched.add(txn)
+            try:
+                locks.acquire(txn, key, mode)
+            except DeadlockError:
+                pass
+        for txn in touched:
+            locks.release_all(txn)
+        for _txn_id, key, _mode in requests:
+            assert locks.holders(key) == {}
+            assert locks.waiters(key) == []
+
+
+concurrent_programs = st.dictionaries(
+    keys=st.integers(min_value=1, max_value=5),
+    values=st.lists(
+        st.tuples(keys, st.integers(min_value=1, max_value=5)),
+        min_size=1,
+        max_size=4,
+    ),
+    min_size=1,
+    max_size=5,
+)
+
+
+class TestConcurrentIsolation:
+    @given(programs=concurrent_programs)
+    @settings(max_examples=40, deadline=None)
+    def test_no_aborted_write_survives(self, programs):
+        """Strict 2PL + WAL: only committed transactions' writes remain.
+
+        Every write value encodes its writer, so the final database
+        state must be attributable entirely to committed transactions —
+        an aborted or stalled transaction leaking even one write would
+        be caught here.
+        """
+        from repro.db.distributed import DistributedDB
+        from repro.types import Outcome, TransactionId
+
+        db = DistributedDB(3)
+        txn_programs = {
+            TransactionId(txn): [
+                ("w", key, (txn, value)) for key, value in writes
+            ]
+            for txn, writes in programs.items()
+        }
+        results = db.run_concurrent(txn_programs)
+        committed = {
+            txn for txn, r in results.items() if r.outcome is Outcome.COMMIT
+        }
+        for key, value in db.snapshot().items():
+            writer, _ = value
+            assert TransactionId(writer) in committed, (
+                f"{key}={value} written by non-committed txn {writer}"
+            )
+
+    @given(programs=concurrent_programs)
+    @settings(max_examples=40, deadline=None)
+    def test_every_transaction_gets_exactly_one_outcome(self, programs):
+        from repro.db.distributed import DistributedDB
+        from repro.types import TransactionId
+
+        db = DistributedDB(3)
+        txn_programs = {
+            TransactionId(txn): [("w", key, value) for key, value in writes]
+            for txn, writes in programs.items()
+        }
+        results = db.run_concurrent(txn_programs)
+        assert set(results) == set(txn_programs)
+        for outcome in results.values():
+            assert outcome.outcome.is_final or outcome.outcome.value == "blocked"
+
+
+rm_programs = st.lists(
+    st.tuples(
+        st.integers(min_value=1, max_value=3),
+        st.sampled_from(["r", "w"]),
+        keys,
+        values,
+    ),
+    max_size=15,
+)
+
+
+class TestResourceManagerNeverCorrupts:
+    @given(program=rm_programs)
+    @settings(max_examples=60, deadline=None)
+    def test_aborting_everything_restores_empty_store(self, program):
+        rm = ResourceManager(SiteId(1))
+        begun = set()
+        for txn_id, kind, key, value in program:
+            txn = TransactionId(txn_id)
+            if txn not in begun:
+                rm.begin(txn)
+                begun.add(txn)
+            try:
+                if kind == "r":
+                    rm.read(txn, key)
+                else:
+                    rm.write(txn, key, value)
+            except (BlockedOnLock, DeadlockError, Exception):
+                # Any refusal is fine; we only test final rollback.
+                pass
+        for txn in begun:
+            rm.abort(txn)
+        assert rm.store.snapshot() == {}

@@ -1,0 +1,89 @@
+"""Property tests on the design method and protocol constructions.
+
+The buffer-state synthesis and the protocol builders must behave as
+algebraically as the paper presents them, across site counts:
+
+* synthesis is idempotent (a synthesized protocol is already
+  nonblocking, so re-synthesizing returns it unchanged);
+* synthesis commutes with the catalog (2PC(n) + buffer == 3PC(n));
+* builders are deterministic (structural equality across calls);
+* strict and eager variants agree on everything the theorem measures.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.analysis.nonblocking import check_nonblocking
+from repro.analysis.synthesis import insert_buffer_states, specs_structurally_equal
+from repro.protocols.three_phase_central import central_three_phase
+from repro.protocols.three_phase_decentralized import decentralized_three_phase
+from repro.protocols.two_phase_central import central_two_phase
+from repro.protocols.two_phase_decentralized import decentralized_two_phase
+
+site_counts = st.integers(min_value=2, max_value=4)
+
+SETTINGS = settings(max_examples=12, deadline=None)
+
+
+class TestSynthesisAlgebra:
+    @given(n=site_counts)
+    @SETTINGS
+    def test_synthesis_reproduces_central_3pc(self, n):
+        assert specs_structurally_equal(
+            insert_buffer_states(central_two_phase(n)),
+            central_three_phase(n),
+        )
+
+    @given(n=site_counts)
+    @SETTINGS
+    def test_synthesis_reproduces_decentralized_3pc(self, n):
+        assert specs_structurally_equal(
+            insert_buffer_states(decentralized_two_phase(n)),
+            decentralized_three_phase(n),
+        )
+
+    @given(n=site_counts)
+    @SETTINGS
+    def test_synthesis_is_idempotent(self, n):
+        once = insert_buffer_states(central_two_phase(n))
+        twice = insert_buffer_states(once)
+        assert twice is once  # Nonblocking input returns unchanged.
+
+    @given(n=site_counts)
+    @SETTINGS
+    def test_synthesized_protocols_tolerate_n_minus_1(self, n):
+        report = check_nonblocking(
+            insert_buffer_states(decentralized_two_phase(n))
+        )
+        assert report.tolerated_failures == n - 1
+
+
+class TestBuilderDeterminism:
+    @given(n=site_counts)
+    @SETTINGS
+    def test_builders_are_pure(self, n):
+        assert specs_structurally_equal(
+            central_three_phase(n), central_three_phase(n)
+        )
+        assert specs_structurally_equal(
+            decentralized_two_phase(n), decentralized_two_phase(n)
+        )
+
+    @given(n=site_counts)
+    @SETTINGS
+    def test_eager_and_strict_share_theorem_verdicts(self, n):
+        for builder in (central_two_phase, central_three_phase,
+                        decentralized_two_phase, decentralized_three_phase):
+            strict = check_nonblocking(builder(n))
+            eager = check_nonblocking(builder(n, eager_abort=True))
+            assert strict.nonblocking == eager.nonblocking
+            assert strict.tolerated_failures == eager.tolerated_failures
+
+    @given(n=site_counts)
+    @SETTINGS
+    def test_eager_and_strict_differ_structurally(self, n):
+        if n == 2:
+            return  # One voter: a single no IS the full vector.
+        assert not specs_structurally_equal(
+            central_two_phase(n), central_two_phase(n, eager_abort=True)
+        )

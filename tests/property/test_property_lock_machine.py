@@ -1,0 +1,121 @@
+"""Stateful property testing of the lock manager.
+
+Hypothesis drives arbitrary interleavings of acquire / unlock /
+release-all across transactions and keys, with a shadow model tracking
+what *should* be held.  Invariants checked after every step:
+
+* holders of one key are pairwise compatible;
+* a transaction never ends up both holding and waiting on one key;
+* FIFO integrity: the waiter queue never contains duplicates;
+* ``release_all`` leaves no residue for the released transaction;
+* deadlock victims are never enqueued.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import settings
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.db.locks import LockManager, LockMode
+from repro.errors import DeadlockError
+from repro.types import TransactionId
+
+TXNS = [TransactionId(i) for i in range(1, 5)]
+KEYS = ["a", "b", "c"]
+MODES = [LockMode.SHARED, LockMode.EXCLUSIVE]
+
+
+class LockMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.locks = LockManager()
+        self.granted: dict[tuple[TransactionId, str], LockMode] = {}
+
+    # ------------------------------------------------------------------
+    # Actions
+    # ------------------------------------------------------------------
+
+    @rule(
+        txn=st.sampled_from(TXNS),
+        key=st.sampled_from(KEYS),
+        mode=st.sampled_from(MODES),
+    )
+    def acquire(self, txn, key, mode):
+        try:
+            granted = self.locks.acquire(txn, key, mode)
+        except DeadlockError:
+            # Mirror the resource manager: the victim aborts, which
+            # must scrub every hold and queued request it ever made.
+            self.locks.release_all(txn)
+            self.granted = {
+                (t, k): m for (t, k), m in self.granted.items() if t != txn
+            }
+            for other_key in KEYS:
+                assert txn not in self.locks.waiters(other_key)
+                assert txn not in self.locks.holders(other_key)
+            return
+        if granted:
+            held = self.locks.holders(key).get(txn)
+            assert held is not None
+            self.granted[(txn, key)] = held
+
+    @rule(txn=st.sampled_from(TXNS))
+    def release_all(self, txn):
+        woken = self.locks.release_all(txn)
+        self.granted = {
+            (t, k): m for (t, k), m in self.granted.items() if t != txn
+        }
+        # Woken transactions now hold their keys; refresh the shadow.
+        for other in woken:
+            for key, mode in self.locks.locks_held(other).items():
+                self.granted[(other, key)] = mode
+
+    @rule(txn=st.sampled_from(TXNS), key=st.sampled_from(KEYS))
+    def unlock_if_held(self, txn, key):
+        if txn in self.locks.holders(key):
+            self.locks.unlock(txn, key)
+            self.granted.pop((txn, key), None)
+            for other, mode in self.locks.holders(key).items():
+                self.granted[(other, key)] = mode
+
+    # ------------------------------------------------------------------
+    # Invariants
+    # ------------------------------------------------------------------
+
+    @invariant()
+    def holders_pairwise_compatible(self):
+        for key in KEYS:
+            holders = list(self.locks.holders(key).items())
+            for i, (txn_a, mode_a) in enumerate(holders):
+                for txn_b, mode_b in holders[i + 1:]:
+                    assert mode_a.compatible_with(mode_b), (key, holders)
+
+    @invariant()
+    def never_both_holding_and_waiting(self):
+        for key in KEYS:
+            holders = set(self.locks.holders(key))
+            waiters = self.locks.waiters(key)
+            # A holder may wait only for an upgrade (S held, X queued).
+            for waiter in waiters:
+                if waiter in holders:
+                    assert self.locks.holders(key)[waiter] is LockMode.SHARED
+
+    @invariant()
+    def waiter_queue_has_no_duplicates(self):
+        for key in KEYS:
+            waiters = self.locks.waiters(key)
+            assert len(waiters) == len(set(waiters)), (key, waiters)
+
+    @invariant()
+    def shadow_model_agrees(self):
+        for (txn, key), mode in self.granted.items():
+            held = self.locks.holders(key).get(txn)
+            assert held is not None, (txn, key)
+            # Upgrades may have strengthened the lock since we recorded it.
+            if mode is LockMode.EXCLUSIVE:
+                assert held is LockMode.EXCLUSIVE
+
+
+LockMachine.TestCase.settings = settings(
+    max_examples=60, stateful_step_count=30, deadline=None
+)
+TestLockMachine = LockMachine.TestCase

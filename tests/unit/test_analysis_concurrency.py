@@ -1,0 +1,129 @@
+"""Unit tests for concurrency sets and committable states.
+
+The key assertions reproduce the paper's tables directly: slide 32's
+concurrency sets for the canonical 2PC and slide 20's committable-state
+counts.
+"""
+
+import pytest
+
+from repro.analysis.committable import committable_labels, committable_states
+from repro.analysis.concurrency import (
+    concurrency_labels,
+    concurrency_set,
+    concurrency_table,
+    format_concurrency_table,
+)
+from repro.errors import AnalysisError
+from repro.types import SiteId
+
+S1, S2 = SiteId(1), SiteId(2)
+
+
+class TestPaperTable:
+    """Slide 32, verified cell by cell."""
+
+    def test_cs_q(self, graph_2pc_canonical):
+        assert concurrency_labels(graph_2pc_canonical, S1, "q") == {"q", "w", "a"}
+
+    def test_cs_w(self, graph_2pc_canonical):
+        assert concurrency_labels(graph_2pc_canonical, S1, "w") == {
+            "q", "w", "a", "c",
+        }
+
+    def test_cs_a(self, graph_2pc_canonical):
+        assert concurrency_labels(graph_2pc_canonical, S1, "a") == {"q", "w", "a"}
+
+    def test_cs_c(self, graph_2pc_canonical):
+        assert concurrency_labels(graph_2pc_canonical, S1, "c") == {"w", "c"}
+
+    def test_symmetric_for_peer_sites(self, graph_2pc_canonical):
+        for state in ("q", "w", "a", "c"):
+            assert concurrency_labels(
+                graph_2pc_canonical, S1, state
+            ) == concurrency_labels(graph_2pc_canonical, S2, state)
+
+
+class TestCanonical3PC:
+    def test_cs_w_has_no_commit(self, graph_3pc_canonical):
+        # The fix that makes 3PC nonblocking: w no longer coexists with c.
+        assert "c" not in concurrency_labels(graph_3pc_canonical, S1, "w")
+
+    def test_cs_p_contains_commit_but_no_abort(self, graph_3pc_canonical):
+        labels = concurrency_labels(graph_3pc_canonical, S1, "p")
+        assert "c" in labels
+        assert "a" not in labels
+
+    def test_cs_table_complete(self, graph_3pc_canonical):
+        table = concurrency_table(graph_3pc_canonical, S1)
+        assert set(table) == {"q", "w", "a", "p", "c"}
+
+
+class TestMechanics:
+    def test_concurrency_set_returns_site_pairs(self, graph_2pc_canonical):
+        pairs = concurrency_set(graph_2pc_canonical, S1, "w")
+        assert all(site == S2 for site, _ in pairs)
+
+    def test_unreachable_state_raises(self, graph_2pc_canonical):
+        with pytest.raises(AnalysisError):
+            concurrency_set(graph_2pc_canonical, S1, "zzz")
+
+    def test_format_renders_paper_style(self, graph_2pc_canonical):
+        text = format_concurrency_table(concurrency_table(graph_2pc_canonical, S1))
+        assert "CS(w) = {a, c, q, w}" in text
+
+    def test_central_protocol_asymmetry(self, graph_2pc_central):
+        # The coordinator's w never coexists with a commit state (it is
+        # the only site that can create one), unlike the slaves' w.
+        coord_w = concurrency_labels(graph_2pc_central, SiteId(1), "w")
+        slave_w = concurrency_labels(graph_2pc_central, SiteId(2), "w")
+        assert "c" not in coord_w
+        assert "c" in slave_w
+
+
+class TestCommittable:
+    def test_2pc_single_committable_state(self, graph_2pc_canonical):
+        assert committable_labels(graph_2pc_canonical, S1) == {"c"}
+
+    def test_3pc_two_committable_states(self, graph_3pc_canonical):
+        assert committable_labels(graph_3pc_canonical, S1) == {"p", "c"}
+
+    def test_blocking_vs_nonblocking_signature(
+        self, graph_2pc_canonical, graph_3pc_canonical
+    ):
+        # Slide 20: "A blocking protocol usually has only one committable
+        # state, while nonblocking protocols always have more than one."
+        assert len(committable_labels(graph_2pc_canonical, S1)) == 1
+        assert len(committable_labels(graph_3pc_canonical, S1)) > 1
+
+    def test_classification_covers_all_reachable_states(
+        self, graph_3pc_canonical
+    ):
+        table = committable_states(graph_3pc_canonical)
+        for site in graph_3pc_canonical.sites:
+            for state in graph_3pc_canonical.reachable_local_states(site):
+                assert (site, state) in table
+
+    def test_initial_state_never_committable(self, graph_3pc_canonical):
+        table = committable_states(graph_3pc_canonical)
+        assert table[(S1, "q")] is False
+
+    def test_abort_state_never_committable(self, graph_3pc_canonical):
+        table = committable_states(graph_3pc_canonical)
+        assert table[(S1, "a")] is False
+
+    def test_central_3pc_coordinator_p_committable(self, graph_3pc_central):
+        table = committable_states(graph_3pc_central)
+        assert table[(SiteId(1), "p")] is True
+        assert table[(SiteId(2), "p")] is True
+
+    def test_1pc_slave_commit_state_noncommittable(self):
+        # 1PC slaves never vote, so even their commit state cannot imply
+        # "all sites voted yes" — the degenerate case behind 1PC's
+        # inadequacy.
+        from repro.analysis.reachability import build_state_graph
+        from repro.protocols import catalog
+
+        graph = build_state_graph(catalog.build("1pc", 3))
+        table = committable_states(graph)
+        assert table[(SiteId(2), "c")] is False

@@ -1,0 +1,111 @@
+"""Unit tests for the run auditor (runtime verification)."""
+
+import pytest
+
+from repro.analysis.conformance import AuditFinding, audit_run
+from repro.protocols import catalog
+from repro.runtime.decision import TerminationRule
+from repro.runtime.harness import CommitRun
+from repro.runtime.policies import FixedVotes
+from repro.sim.tracing import TraceEntry
+from repro.types import Outcome, SiteId, Vote
+from repro.workload.crashes import CrashAt, CrashDuringTransition
+
+
+class TestCleanRunsAudit:
+    @pytest.mark.parametrize("name", catalog.protocol_names())
+    def test_happy_path_is_conformant(self, name):
+        spec = catalog.build(name, 3)
+        run = CommitRun(spec, termination_enabled=False).execute()
+        assert audit_run(run, spec) == []
+
+    def test_abort_path_is_conformant(self, spec_3pc_central, rule_3pc_central):
+        run = CommitRun(
+            spec_3pc_central,
+            vote_policy=FixedVotes({SiteId(2): Vote.NO}),
+            rule=rule_3pc_central,
+        ).execute()
+        assert audit_run(run, spec_3pc_central) == []
+
+    def test_crash_and_termination_is_conformant(
+        self, spec_3pc_central, rule_3pc_central
+    ):
+        run = CommitRun(
+            spec_3pc_central,
+            crashes=[CrashAt(site=1, at=2.0)],
+            rule=rule_3pc_central,
+        ).execute()
+        assert audit_run(run, spec_3pc_central) == []
+
+    def test_recovery_is_conformant(self, spec_3pc_central, rule_3pc_central):
+        run = CommitRun(
+            spec_3pc_central,
+            crashes=[CrashAt(site=2, at=1.5, restart_at=40.0)],
+            rule=rule_3pc_central,
+        ).execute()
+        assert audit_run(run, spec_3pc_central) == []
+
+    def test_partial_send_crash_is_conformant(
+        self, spec_2pc_central, rule_2pc_central
+    ):
+        run = CommitRun(
+            spec_2pc_central,
+            crashes=[
+                CrashDuringTransition(site=1, transition_number=2, after_writes=1)
+            ],
+            rule=rule_2pc_central,
+        ).execute()
+        assert audit_run(run, spec_2pc_central) == []
+
+    def test_campaign_audits_clean(self):
+        from repro.workload.generator import WorkloadGenerator
+
+        spec = catalog.build("3pc-central", 4)
+        generator = WorkloadGenerator(spec, seed=17, p_no=0.2, p_crash=0.35)
+        for result in generator.campaign(40):
+            assert audit_run(result, spec) == []
+
+
+class TestAuditCatchesViolations:
+    def test_fabricated_mixed_outcomes_flagged(
+        self, spec_3pc_central, rule_3pc_central
+    ):
+        run = CommitRun(spec_3pc_central, rule=rule_3pc_central).execute()
+        run.reports[2].outcome = Outcome.ABORT
+        findings = audit_run(run, spec_3pc_central)
+        assert any(f.kind == "atomicity" for f in findings)
+
+    def test_fabricated_illegal_transition_flagged(
+        self, spec_3pc_central, rule_3pc_central
+    ):
+        run = CommitRun(spec_3pc_central, rule=rule_3pc_central).execute()
+        run.trace.record(
+            99.0,
+            "engine.transition",
+            "a --(ghost→2 / —)--> c",
+            site=2,
+            state="c",
+        )
+        findings = audit_run(run, spec_3pc_central)
+        assert any(f.kind == "path" for f in findings)
+
+    def test_fabricated_wrong_vote_flagged(
+        self, spec_3pc_central, rule_3pc_central
+    ):
+        run = CommitRun(spec_3pc_central, rule=rule_3pc_central).execute()
+        # Claim the slave's yes-vote transition carried a NO vote.
+        run.trace.record(
+            99.0,
+            "engine.transition",
+            "q --(xact[1→2] / yes[2→1])--> w [vote no]",
+            site=2,
+            state="w",
+        )
+        findings = audit_run(run, spec_3pc_central)
+        assert any(f.kind == "vote" for f in findings)
+
+    def test_finding_str(self):
+        finding = AuditFinding(site=SiteId(2), kind="path", detail="boom")
+        assert "site 2" in str(finding)
+        assert "[path]" in str(finding)
+        assert "global" in str(AuditFinding(None, "atomicity", "x"))

@@ -1,0 +1,245 @@
+"""Adversarial tests: the analysis must catch *broken* protocol designs.
+
+A checker that only ever says "3PC good, 2PC bad" might be pattern
+matching.  These tests hand-build plausible-but-wrong protocol mutants
+— each a design mistake someone could actually make — and assert the
+machinery flags exactly what is wrong with each.
+"""
+
+import pytest
+
+from repro.analysis.committable import committable_states
+from repro.analysis.nonblocking import check_nonblocking
+from repro.analysis.reachability import build_state_graph
+from repro.fsa.automaton import SiteAutomaton, Transition
+from repro.fsa.messages import EXTERNAL, Msg, fan_in, fan_out
+from repro.fsa.spec import ProtocolSpec
+from repro.protocols._shared import COORDINATOR, no_vote_combinations
+from repro.types import ProtocolClass, SiteId, Vote
+
+N = 3
+SLAVES = [SiteId(2), SiteId(3)]
+SITES = [SiteId(1), SiteId(2), SiteId(3)]
+
+
+def _coordinator(transitions):
+    return SiteAutomaton(
+        site=COORDINATOR,
+        role="coordinator",
+        initial="q",
+        commit_states=["c"],
+        abort_states=["a"],
+        transitions=transitions,
+    )
+
+
+def _slave(site, transitions):
+    return SiteAutomaton(
+        site=site,
+        role="slave",
+        initial="q",
+        commit_states=["c"],
+        abort_states=["a"],
+        transitions=transitions,
+    )
+
+
+def _abort_combos(writes=True):
+    transitions = []
+    for vector in no_vote_combinations(SLAVES):
+        transitions.append(
+            Transition(
+                "w",
+                "a",
+                reads=frozenset(
+                    Msg(kind, slave, COORDINATOR)
+                    for slave, kind in vector.items()
+                ),
+                writes=fan_out("abort", COORDINATOR, SLAVES) if writes else (),
+            )
+        )
+    return transitions
+
+
+def mutant_3pc_without_acks() -> ProtocolSpec:
+    """A '3PC' whose coordinator commits right after sending prepare.
+
+    The designer added the buffer state but forgot the acknowledgement
+    round, so the coordinator can reach ``c`` while slaves are still in
+    ``w`` — the prepare state no longer separates commit from the
+    uncertainty window.
+    """
+    coordinator = _coordinator(
+        [
+            Transition(
+                "q",
+                "w",
+                reads=frozenset({Msg("request", EXTERNAL, COORDINATOR)}),
+                writes=fan_out("xact", COORDINATOR, SLAVES),
+            ),
+            Transition(
+                "w",
+                "p",
+                reads=fan_in("yes", SLAVES, COORDINATOR),
+                writes=fan_out("prepare", COORDINATOR, SLAVES),
+                vote=Vote.YES,
+            ),
+            Transition(
+                "w",
+                "a",
+                reads=fan_in("yes", SLAVES, COORDINATOR),
+                writes=fan_out("abort", COORDINATOR, SLAVES),
+                vote=Vote.NO,
+            ),
+            # BUG: no ack round — commit fires on a self-timer message
+            # the instant prepare is out.  Model that as committing on
+            # nothing gained: read the external 'go' the designer left in.
+            Transition(
+                "p",
+                "c",
+                reads=frozenset({Msg("go", EXTERNAL, COORDINATOR)}),
+                writes=fan_out("commit", COORDINATOR, SLAVES),
+            ),
+        ]
+    )
+    automata = {COORDINATOR: coordinator}
+    for site in SLAVES:
+        automata[site] = _slave(
+            site,
+            [
+                Transition(
+                    "q",
+                    "w",
+                    reads=frozenset({Msg("xact", COORDINATOR, site)}),
+                    writes=(Msg("yes", site, COORDINATOR),),
+                    vote=Vote.YES,
+                ),
+                Transition(
+                    "q",
+                    "a",
+                    reads=frozenset({Msg("xact", COORDINATOR, site)}),
+                    writes=(Msg("no", site, COORDINATOR),),
+                    vote=Vote.NO,
+                ),
+                Transition(
+                    "w",
+                    "p",
+                    reads=frozenset({Msg("prepare", COORDINATOR, site)}),
+                ),
+                Transition(
+                    "w", "a", reads=frozenset({Msg("abort", COORDINATOR, site)})
+                ),
+                Transition(
+                    "p", "c", reads=frozenset({Msg("commit", COORDINATOR, site)})
+                ),
+            ],
+        )
+    return ProtocolSpec(
+        name="mutant 3PC without acks",
+        protocol_class=ProtocolClass.CENTRAL_SITE,
+        automata=automata,
+        initial_messages=[
+            Msg("request", EXTERNAL, COORDINATOR),
+            Msg("go", EXTERNAL, COORDINATOR),
+        ],
+        coordinator=COORDINATOR,
+    )
+
+
+def mutant_3pc_unprepared_slave() -> ProtocolSpec:
+    """A '3PC' where one slave commits straight from ``w``.
+
+    A copy-paste error: slave 3 kept its 2PC transition ``w -> c`` on
+    the commit message and never passes through ``p``.
+    """
+    from repro.protocols.three_phase_central import central_three_phase
+
+    reference = central_three_phase(N)
+    automata = dict(reference.automata)
+    site = SiteId(3)
+    # The mistake: slave 3 never got the p state.  It acks blindly at
+    # vote time (so the coordinator is not stuck waiting) and keeps the
+    # 2PC-style direct w -> c — reopening its uncertainty window.
+    automata[site] = _slave(
+        site,
+        [
+            Transition(
+                "q",
+                "w",
+                reads=frozenset({Msg("xact", COORDINATOR, site)}),
+                writes=(Msg("yes", site, COORDINATOR), Msg("ack", site, COORDINATOR)),
+                vote=Vote.YES,
+            ),
+            Transition(
+                "q",
+                "a",
+                reads=frozenset({Msg("xact", COORDINATOR, site)}),
+                writes=(Msg("no", site, COORDINATOR),),
+                vote=Vote.NO,
+            ),
+            Transition(
+                "w", "a", reads=frozenset({Msg("abort", COORDINATOR, site)})
+            ),
+            # 2PC-style direct commit from w: the uncertainty window is
+            # back for this slave (its ack was sent blindly at vote time).
+            Transition(
+                "w", "c", reads=frozenset({Msg("commit", COORDINATOR, site)})
+            ),
+        ],
+    )
+    return ProtocolSpec(
+        name="mutant 3PC with an unprepared slave",
+        protocol_class=ProtocolClass.CENTRAL_SITE,
+        automata=automata,
+        initial_messages=reference.initial_messages,
+        coordinator=COORDINATOR,
+    )
+
+
+class TestMutantsAreCaught:
+    def test_ackless_3pc_blocks(self):
+        spec = mutant_3pc_without_acks()
+        report = check_nonblocking(spec)
+        assert not report.nonblocking
+        # The failure is at the slaves' wait state: the coordinator can
+        # commit while a slave still sits in w.
+        violating = {(v.site, v.state) for v in report.violations}
+        assert (SiteId(2), "w") in violating
+
+    def test_ackless_3pc_w_concurrency_contains_commit(self):
+        spec = mutant_3pc_without_acks()
+        graph = build_state_graph(spec)
+        from repro.analysis.concurrency import concurrency_labels
+
+        assert "c" in concurrency_labels(graph, SiteId(2), "w")
+
+    def test_unprepared_slave_breaks_nonblocking(self):
+        spec = mutant_3pc_unprepared_slave()
+        report = check_nonblocking(spec)
+        assert not report.nonblocking
+        # Specifically the shortcut slave's wait state is condemned.
+        assert any(
+            v.site == SiteId(3) and v.state == "w" for v in report.violations
+        )
+
+    def test_unprepared_slave_keeps_other_sites_obeying(self):
+        # The corollary's subset view: the *other* slave still obeys.
+        spec = mutant_3pc_unprepared_slave()
+        report = check_nonblocking(spec)
+        assert SiteId(2) in report.obeying_sites
+
+    def test_mutants_still_atomic_without_failures(self):
+        # Broken w.r.t. blocking, but not w.r.t. failure-free atomicity:
+        # the graph has no inconsistent states.  (Blocking and safety
+        # are different properties — the paper's whole point.)
+        for spec in (mutant_3pc_without_acks(), mutant_3pc_unprepared_slave()):
+            graph = build_state_graph(spec)
+            assert graph.inconsistent_states() == []
+
+    def test_ackless_p_state_still_committable(self):
+        # The buffer state is committable even in the ackless mutant —
+        # committability wasn't the bug; the concurrency set was.
+        spec = mutant_3pc_without_acks()
+        graph = build_state_graph(spec)
+        table = committable_states(graph)
+        assert table[(COORDINATOR, "p")] is True

@@ -1,0 +1,118 @@
+"""Unit tests for the fundamental nonblocking theorem, corollary, and
+lemma — the paper's central results."""
+
+import pytest
+
+from repro.analysis.nonblocking import check_lemma, check_nonblocking
+from repro.protocols import catalog
+from repro.types import SiteId
+
+
+class TestTheoremVerdicts:
+    @pytest.mark.parametrize("name", ["1pc", "2pc-central", "2pc-decentralized"])
+    def test_blocking_protocols_flagged(self, name):
+        report = check_nonblocking(catalog.build(name, 3))
+        assert not report.nonblocking
+        assert report.violations
+
+    @pytest.mark.parametrize("name", ["3pc-central", "3pc-decentralized"])
+    def test_nonblocking_protocols_pass(self, name):
+        report = check_nonblocking(catalog.build(name, 3))
+        assert report.nonblocking
+        assert report.violations == ()
+
+    @pytest.mark.parametrize("n", [2, 3, 4])
+    def test_verdicts_stable_across_site_counts(self, n):
+        assert not check_nonblocking(catalog.build("2pc-central", n)).nonblocking
+        assert check_nonblocking(catalog.build("3pc-central", n)).nonblocking
+
+    def test_2pc_wait_state_violates_both_conditions(self):
+        # Slide 28: "both 2PC protocols can block for either reason."
+        report = check_nonblocking(catalog.build("2pc-decentralized", 3))
+        w_violations = {
+            v.condition for v in report.violations if v.state == "w"
+        }
+        assert w_violations == {1, 2}
+
+    def test_2pc_central_only_slaves_violate(self):
+        report = check_nonblocking(catalog.build("2pc-central", 3))
+        assert {v.site for v in report.violations} == {2, 3}
+
+    def test_violation_witnesses_are_real_commit_abort_states(self):
+        spec = catalog.build("2pc-central", 3)
+        report = check_nonblocking(spec)
+        for violation in report.violations:
+            site, state = violation.commit_witness
+            assert spec.is_commit_state(site, state)
+            if violation.abort_witness is not None:
+                site, state = violation.abort_witness
+                assert spec.is_abort_state(site, state)
+
+    def test_violation_describe_mentions_state(self):
+        report = check_nonblocking(catalog.build("2pc-central", 3))
+        text = report.violations[0].describe()
+        assert "'w'" in text
+
+    def test_report_describe_renders(self):
+        report = check_nonblocking(catalog.build("3pc-central", 3))
+        text = report.describe()
+        assert "nonblocking: YES" in text
+
+
+class TestCorollary:
+    def test_3pc_tolerates_n_minus_1_failures(self):
+        for n in (2, 3, 4):
+            report = check_nonblocking(catalog.build("3pc-central", n))
+            assert report.tolerated_failures == n - 1
+            assert report.obeying_sites == frozenset(range(1, n + 1))
+
+    def test_2pc_tolerates_none(self):
+        report = check_nonblocking(catalog.build("2pc-decentralized", 3))
+        assert report.tolerated_failures == 0
+
+    def test_2pc_central_coordinator_obeys_alone(self):
+        # The coordinator's own states never pair a commit with its wait
+        # state, so it obeys the conditions — but one obeying site only
+        # yields resilience to zero failures.
+        report = check_nonblocking(catalog.build("2pc-central", 3))
+        assert report.obeying_sites == frozenset({1})
+        assert report.tolerated_failures == 0
+
+    def test_violations_at_filter(self):
+        report = check_nonblocking(catalog.build("2pc-central", 3))
+        assert report.violations_at(SiteId(2))
+        assert report.violations_at(SiteId(1)) == ()
+
+
+class TestLemma:
+    def test_2pc_violates_lemma(self, spec_2pc_central):
+        violations = check_lemma(spec_2pc_central)
+        assert violations
+        states = {(v.site, v.state) for v in violations}
+        assert (SiteId(2), "w") in states
+
+    def test_2pc_wait_violates_both_lemma_conditions(self, spec_2pc_central):
+        conditions = {
+            v.condition
+            for v in check_lemma(spec_2pc_central)
+            if v.site == SiteId(2) and v.state == "w"
+        }
+        assert conditions == {1, 2}
+
+    def test_3pc_satisfies_lemma(self, spec_3pc_central):
+        assert check_lemma(spec_3pc_central) == ()
+
+    def test_3pc_decentralized_satisfies_lemma(self, spec_3pc_decentralized):
+        assert check_lemma(spec_3pc_decentralized) == ()
+
+    def test_lemma_describe(self, spec_2pc_central):
+        text = check_lemma(spec_2pc_central)[0].describe()
+        assert "adjacent" in text
+
+    def test_lemma_agrees_with_theorem_for_sync_protocols(self, all_specs):
+        # For protocols synchronous within one transition, the lemma and
+        # the theorem must agree on blocking vs nonblocking.
+        for name, spec in all_specs.items():
+            theorem = check_nonblocking(spec).nonblocking
+            lemma = not check_lemma(spec)
+            assert theorem == lemma, name

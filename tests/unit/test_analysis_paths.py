@@ -1,0 +1,91 @@
+"""Unit tests for execution-path enumeration."""
+
+import pytest
+
+from repro.analysis.paths import (
+    enumerate_executions,
+    execution_statistics,
+)
+from repro.analysis.reachability import build_state_graph
+from repro.errors import AnalysisError
+from repro.protocols import catalog
+from repro.types import Outcome
+
+
+class TestEnumeration:
+    def test_paths_start_at_initial(self, graph_2pc_canonical):
+        for path in enumerate_executions(graph_2pc_canonical):
+            assert path.states[0] == graph_2pc_canonical.initial
+
+    def test_paths_end_terminal(self, graph_2pc_canonical):
+        for path in enumerate_executions(graph_2pc_canonical):
+            assert graph_2pc_canonical.is_terminal(path.states[-1])
+
+    def test_path_steps_are_edges(self, graph_2pc_canonical):
+        for path in enumerate_executions(graph_2pc_canonical):
+            for before, after in zip(path.states, path.states[1:]):
+                targets = {
+                    e.target for e in graph_2pc_canonical.successors(before)
+                }
+                assert after in targets
+
+    def test_length_matches_states(self, graph_2pc_canonical):
+        for path in enumerate_executions(graph_2pc_canonical):
+            assert path.length == len(path.states) - 1
+
+    def test_limit_enforced(self, graph_2pc_canonical):
+        with pytest.raises(AnalysisError, match="raise the limit"):
+            list(enumerate_executions(graph_2pc_canonical, limit=1))
+
+    def test_deterministic(self, graph_2pc_canonical):
+        a = [p.fired for p in enumerate_executions(graph_2pc_canonical)]
+        b = [p.fired for p in enumerate_executions(graph_2pc_canonical)]
+        assert a == b
+
+
+class TestLivenessAndSafety:
+    @pytest.mark.parametrize("name", catalog.protocol_names())
+    def test_every_execution_terminates_unanimously(self, name):
+        # The liveness half of the correctness story: no failure-free
+        # interleaving can wedge or split.
+        graph = build_state_graph(catalog.build(name, 2))
+        stats = execution_statistics(graph)
+        assert stats.all_terminate_finally
+        assert stats.paths == stats.commit_paths + stats.abort_paths
+
+    def test_both_outcomes_reachable(self, graph_2pc_canonical):
+        stats = execution_statistics(graph_2pc_canonical)
+        assert stats.commit_paths > 0
+        assert stats.abort_paths > 0
+
+    def test_single_commit_course_in_canonical_2pc(self, graph_2pc_canonical):
+        # Unanimous yes is the only way to commit; each commit path is
+        # one interleaving of the same vote course.
+        for path in enumerate_executions(graph_2pc_canonical):
+            if path.outcome(graph_2pc_canonical) is Outcome.COMMIT:
+                votes = [step for step in path.fired if step[1] == "q->w"]
+                assert len(votes) == 2  # Both sites voted yes.
+
+    def test_3pc_paths_longer_than_2pc(
+        self, graph_2pc_canonical, graph_3pc_canonical
+    ):
+        two = execution_statistics(graph_2pc_canonical)
+        three = execution_statistics(graph_3pc_canonical)
+        assert three.lengths.maximum > two.lengths.maximum
+
+    def test_commit_path_length_equals_total_transitions(
+        self, graph_3pc_canonical
+    ):
+        # A unanimous 3PC commit fires 3 transitions per site.
+        commit_lengths = {
+            path.length
+            for path in enumerate_executions(graph_3pc_canonical)
+            if path.outcome(graph_3pc_canonical) is Outcome.COMMIT
+        }
+        assert commit_lengths == {6}
+
+    def test_statistics_across_three_sites(self):
+        graph = build_state_graph(catalog.build("2pc-central", 3))
+        stats = execution_statistics(graph)
+        assert stats.all_terminate_finally
+        assert stats.paths > 10  # Interleaving explosion is real.

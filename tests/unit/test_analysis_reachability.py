@@ -1,0 +1,117 @@
+"""Unit tests for global-state enumeration and classification."""
+
+import pytest
+
+from repro.analysis.reachability import build_state_graph
+from repro.errors import StateGraphTooLargeError
+from repro.protocols import catalog
+from repro.types import SiteId
+
+
+class TestTwoSiteCanonical2PC:
+    """The graph the paper draws on slide 18."""
+
+    def test_initial_state(self, graph_2pc_canonical):
+        graph = graph_2pc_canonical
+        assert graph.initial.locals == ("q", "q")
+        assert len(graph.initial.messages) == 2  # both xact inputs
+
+    def test_no_deadlocks(self, graph_2pc_canonical):
+        assert graph_2pc_canonical.deadlocked_states() == []
+
+    def test_no_inconsistent_states(self, graph_2pc_canonical):
+        assert graph_2pc_canonical.inconsistent_states() == []
+
+    def test_terminal_states_are_final(self, graph_2pc_canonical):
+        graph = graph_2pc_canonical
+        for state in graph.terminal_states():
+            assert graph.is_final(state)
+
+    def test_final_local_vectors(self, graph_2pc_canonical):
+        vectors = {s.locals for s in graph_2pc_canonical.final_states()}
+        # Unanimous yes -> (c, c); any no -> (a, a); mixed never.
+        assert ("c", "c") in vectors
+        assert ("a", "a") in vectors
+        assert all(v in {("c", "c"), ("a", "a")} for v in vectors)
+
+    def test_reachable_local_states(self, graph_2pc_canonical):
+        assert graph_2pc_canonical.reachable_local_states(SiteId(1)) == {
+            "q", "w", "a", "c",
+        }
+
+    def test_occupancy_consistent_with_states(self, graph_2pc_canonical):
+        graph = graph_2pc_canonical
+        for state in graph.states:
+            for site, local in zip(graph.sites, state.locals):
+                assert state in graph.occupancy(site, local)
+
+    def test_local_of(self, graph_2pc_canonical):
+        graph = graph_2pc_canonical
+        assert graph.local_of(graph.initial, SiteId(2)) == "q"
+
+    def test_edges_conserve_messages(self, graph_2pc_canonical):
+        graph = graph_2pc_canonical
+        for state in graph.states:
+            for edge in graph.successors(state):
+                consumed = edge.transition.reads
+                produced = frozenset(edge.transition.writes)
+                assert consumed <= state.messages
+                assert edge.target.messages == (
+                    (state.messages - consumed) | produced
+                )
+
+    def test_edges_change_exactly_one_site(self, graph_2pc_canonical):
+        graph = graph_2pc_canonical
+        for state in graph.states:
+            for edge in graph.successors(state):
+                diffs = [
+                    i
+                    for i in range(len(state.locals))
+                    if state.locals[i] != edge.target.locals[i]
+                ]
+                assert len(diffs) == 1
+
+    def test_describe_renders_paper_notation(self, graph_2pc_canonical):
+        text = graph_2pc_canonical.initial.describe(graph_2pc_canonical.sites)
+        assert text.startswith("(q1, q2)")
+        assert "xact" in text
+
+    def test_dot_output_contains_all_states(self, graph_2pc_canonical):
+        dot = graph_2pc_canonical.to_dot()
+        assert dot.count("label=") >= len(graph_2pc_canonical)
+        assert dot.startswith("digraph")
+
+
+class TestAcrossCatalog:
+    @pytest.mark.parametrize("name", catalog.protocol_names())
+    @pytest.mark.parametrize("n", [2, 3])
+    def test_no_deadlock_no_inconsistency(self, name, n):
+        graph = build_state_graph(catalog.build(name, n))
+        assert graph.deadlocked_states() == []
+        assert graph.inconsistent_states() == []
+
+    def test_3pc_graph_strictly_larger_than_2pc(self):
+        two = build_state_graph(catalog.build("2pc-central", 3))
+        three = build_state_graph(catalog.build("3pc-central", 3))
+        assert len(three) > len(two)
+
+    def test_graph_len_and_contains(self, graph_2pc_canonical):
+        assert len(graph_2pc_canonical) > 0
+        assert graph_2pc_canonical.initial in graph_2pc_canonical
+
+    def test_budget_enforced(self):
+        spec = catalog.build("2pc-decentralized", 3)
+        with pytest.raises(StateGraphTooLargeError):
+            build_state_graph(spec, budget=5)
+
+    def test_budget_none_disables_limit(self):
+        spec = catalog.build("2pc-decentralized", 2)
+        graph = build_state_graph(spec, budget=None)
+        assert len(graph) > 0
+
+    def test_deterministic_construction(self):
+        spec = catalog.build("3pc-decentralized", 3)
+        a = build_state_graph(spec)
+        b = build_state_graph(spec)
+        assert set(a.states) == set(b.states)
+        assert a.edge_count == b.edge_count

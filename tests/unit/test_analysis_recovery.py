@@ -1,0 +1,150 @@
+"""Unit tests for independent recovery analysis."""
+
+import pytest
+
+from repro.analysis.recovery_analysis import (
+    independent_recovery_map,
+    post_crash_outcomes,
+)
+from repro.errors import AnalysisError
+from repro.protocols import catalog
+from repro.types import Outcome, SiteId
+
+SLAVE = SiteId(2)
+
+
+@pytest.fixture(scope="module")
+def map_2pc_central():
+    return independent_recovery_map(catalog.build("2pc-central", 3), SLAVE)
+
+
+@pytest.fixture(scope="module")
+def map_3pc_central():
+    return independent_recovery_map(catalog.build("3pc-central", 3), SLAVE)
+
+
+@pytest.fixture(scope="module")
+def map_3pc_decentralized():
+    return independent_recovery_map(
+        catalog.build("3pc-decentralized", 3), SLAVE
+    )
+
+
+class TestSlideSixRule:
+    """Slide 6: failure before the commit point → abort upon recovery."""
+
+    @pytest.mark.parametrize(
+        "fixture_name",
+        ["map_2pc_central", "map_3pc_central", "map_3pc_decentralized"],
+    )
+    def test_pre_vote_crash_is_independently_abortable(
+        self, fixture_name, request
+    ):
+        verdicts = request.getfixturevalue(fixture_name)
+        assert verdicts["q"].independent is Outcome.ABORT
+
+    @pytest.mark.parametrize(
+        "fixture_name",
+        ["map_2pc_central", "map_3pc_central", "map_3pc_decentralized"],
+    )
+    def test_final_states_recover_to_themselves(self, fixture_name, request):
+        verdicts = request.getfixturevalue(fixture_name)
+        assert verdicts["a"].independent is Outcome.ABORT
+        assert verdicts["c"].independent is Outcome.COMMIT
+
+
+class TestInDoubtStates:
+    def test_2pc_wait_state_is_in_doubt(self, map_2pc_central):
+        verdict = map_2pc_central["w"]
+        assert verdict.independent is None
+        assert verdict.outcomes == {Outcome.COMMIT, Outcome.ABORT}
+
+    def test_3pc_prepared_state_is_in_doubt(self, map_3pc_central):
+        # p is committable — but a crashed site in p cannot know whether
+        # termination committed (backup in p) or aborted (backup in w).
+        verdict = map_3pc_central["p"]
+        assert verdict.independent is None
+
+    def test_decentralized_wait_is_in_doubt(self, map_3pc_decentralized):
+        # A decentralized peer's w allows commit via termination (a peer
+        # backup in p commits), so the victim must ask.
+        verdict = map_3pc_decentralized["w"]
+        assert verdict.outcomes == {Outcome.COMMIT, Outcome.ABORT}
+
+
+class TestCentralDecentralizedAsymmetry:
+    def test_central_3pc_wait_is_independently_abortable(
+        self, map_3pc_central
+    ):
+        # The asymmetry: a central-site slave crashed in w blocks the
+        # commit path forever (the coordinator can never collect its
+        # ack, and the coordinator-backup's rule aborts from w1/p1), so
+        # abort is forced.
+        assert map_3pc_central["w"].independent is Outcome.ABORT
+
+    def test_decentralized_3pc_wait_is_not(self, map_3pc_decentralized):
+        assert map_3pc_decentralized["w"].independent is None
+
+
+class TestImplementationConsistency:
+    """The runtime's recovery controller must never contradict the map.
+
+    The implementation unilaterally aborts only without a yes vote —
+    i.e. only from pre-vote states — and those are all independently
+    abortable.  In-doubt states (yes voted) are exactly where it
+    queries; the map shows querying is necessary in every such state
+    except central-3PC's w, where the implementation is conservative
+    but still consistent (the answer it gets is the forced abort).
+    """
+
+    @pytest.mark.parametrize(
+        "name", ["2pc-central", "3pc-central", "3pc-decentralized"]
+    )
+    def test_unilateral_abort_states_are_safe(self, name):
+        spec = catalog.build(name, 3)
+        automaton = spec.automaton(SLAVE)
+        verdicts = independent_recovery_map(spec, SLAVE)
+        pre_vote = {
+            state
+            for state, implies in automaton.implies_yes_vote.items()
+            if not implies and state in verdicts
+            and state not in automaton.final_states
+        }
+        for state in pre_vote:
+            # The implementation would abort here on recovery; abort
+            # must be among (indeed, equal to) the forced outcomes.
+            assert verdicts[state].outcomes == {Outcome.ABORT}, (name, state)
+
+
+class TestBlockedPossibility:
+    def test_slave_crash_never_blocks_others_in_these_protocols(
+        self, map_2pc_central, map_3pc_central
+    ):
+        # Blocking arises from a COORDINATOR crash; a slave crash leaves
+        # a coordinator-led termination that always decides.
+        for verdicts in (map_2pc_central, map_3pc_central):
+            for verdict in verdicts.values():
+                assert not verdict.blocked_possible
+
+    def test_coordinator_crash_blocks_2pc(self):
+        spec = catalog.build("2pc-central", 3)
+        verdict = post_crash_outcomes(spec, SiteId(1), "w")
+        # With the coordinator dead in w1, slave backups can be in w —
+        # blocked — while commit/abort futures also exist.
+        assert verdict.blocked_possible
+
+    def test_coordinator_crash_never_blocks_3pc(self):
+        spec = catalog.build("3pc-central", 3)
+        for state in ("q", "w", "p", "a", "c"):
+            verdict = post_crash_outcomes(spec, SiteId(1), state)
+            assert not verdict.blocked_possible, state
+
+
+class TestMechanics:
+    def test_unreachable_state_rejected(self):
+        spec = catalog.build("2pc-central", 3)
+        with pytest.raises(AnalysisError):
+            post_crash_outcomes(spec, SLAVE, "p")
+
+    def test_map_covers_all_reachable_states(self, map_3pc_central):
+        assert set(map_3pc_central) == {"q", "w", "a", "p", "c"}

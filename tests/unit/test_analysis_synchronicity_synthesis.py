@@ -1,0 +1,138 @@
+"""Unit tests for the synchronicity check and buffer-state synthesis."""
+
+import pytest
+
+from repro.analysis.synchronicity import check_synchronicity
+from repro.analysis.synthesis import insert_buffer_states, specs_structurally_equal
+from repro.errors import StateGraphTooLargeError, SynthesisError
+from repro.protocols import catalog
+from repro.protocols.three_phase_central import central_three_phase
+from repro.protocols.three_phase_decentralized import decentralized_three_phase
+from repro.protocols.two_phase_central import central_two_phase
+from repro.protocols.two_phase_decentralized import decentralized_two_phase
+from repro.types import SiteId
+
+
+class TestSynchronicity:
+    @pytest.mark.parametrize("name", catalog.protocol_names())
+    def test_catalog_protocols_synchronous_within_one(self, name):
+        # Slide 24 for the central model, slide 26 for the decentralized:
+        # all of the paper's protocols have this property.
+        report = check_synchronicity(catalog.build(name, 3))
+        assert report.synchronous_within_one
+        assert report.max_lead <= 1
+
+    def test_eager_abort_variant_loses_the_property(self):
+        # Aborting on the first no lets a decided site race two
+        # transitions ahead of a lagging voter.
+        spec = central_two_phase(3, eager_abort=True)
+        report = check_synchronicity(spec)
+        assert not report.synchronous_within_one
+        assert report.max_lead == 2
+
+    def test_eager_decentralized_also_loses_it(self):
+        spec = decentralized_two_phase(3, eager_abort=True)
+        assert not check_synchronicity(spec).synchronous_within_one
+
+    def test_two_sites_eager_equals_strict(self):
+        # With one peer there is only one vote to wait for, so the
+        # eager optimization changes nothing.
+        assert check_synchronicity(
+            decentralized_two_phase(2, eager_abort=True)
+        ).synchronous_within_one
+
+    def test_budget_enforced(self):
+        with pytest.raises(StateGraphTooLargeError):
+            check_synchronicity(catalog.build("3pc-decentralized", 3), budget=5)
+
+    def test_report_metadata(self):
+        report = check_synchronicity(catalog.build("2pc-central", 2))
+        assert report.annotated_states > 0
+        assert report.witness is not None
+
+
+class TestSynthesis:
+    def test_central_2pc_becomes_central_3pc(self):
+        synthesized = insert_buffer_states(central_two_phase(3))
+        assert specs_structurally_equal(synthesized, central_three_phase(3))
+
+    def test_decentralized_2pc_becomes_decentralized_3pc(self):
+        synthesized = insert_buffer_states(decentralized_two_phase(3))
+        assert specs_structurally_equal(
+            synthesized, decentralized_three_phase(3)
+        )
+
+    @pytest.mark.parametrize("n", [2, 3, 4])
+    def test_equality_holds_across_site_counts(self, n):
+        assert specs_structurally_equal(
+            insert_buffer_states(central_two_phase(n)), central_three_phase(n)
+        )
+
+    def test_synthesized_protocol_verified_nonblocking(self):
+        from repro.analysis.nonblocking import check_nonblocking
+
+        synthesized = insert_buffer_states(decentralized_two_phase(3))
+        assert check_nonblocking(synthesized).nonblocking
+
+    def test_already_nonblocking_returned_unchanged(self):
+        spec = central_three_phase(3)
+        assert insert_buffer_states(spec) is spec
+
+    def test_1pc_synthesis_rejected(self):
+        # Slaves cast no votes, so no buffer placement can create a
+        # committable pre-commit state: the method must refuse.
+        with pytest.raises(SynthesisError, match="1PC|vote"):
+            insert_buffer_states(catalog.build("1pc", 3))
+
+    def test_buffer_name_collision_is_primed(self):
+        spec = central_two_phase(3)
+        synthesized = insert_buffer_states(spec, buffer_name="w")
+        coordinator = synthesized.automaton(SiteId(1))
+        assert "w'" in coordinator.states
+
+    def test_custom_message_kinds(self):
+        synthesized = insert_buffer_states(
+            central_two_phase(3), prepare_kind="precommit", ack_kind="ok"
+        )
+        kinds = synthesized.message_kinds()
+        assert "precommit" in kinds and "ok" in kinds
+        assert "prepare" not in kinds
+
+    def test_name_marks_derivation(self):
+        synthesized = insert_buffer_states(central_two_phase(3))
+        assert synthesized.name.endswith("+buffer")
+
+    def test_non_synchronous_input_rejected(self):
+        # The lemma only covers protocols synchronous within one
+        # transition; the eager-abort 2PC is not, so the method refuses.
+        from repro.errors import NotSynchronousError
+
+        with pytest.raises(NotSynchronousError, match="max lead 2"):
+            insert_buffer_states(central_two_phase(3, eager_abort=True))
+
+    def test_two_site_eager_still_accepted(self):
+        # With one voter the eager variant IS synchronous, so the
+        # method applies and produces the 2-site 3PC.
+        synthesized = insert_buffer_states(
+            central_two_phase(2, eager_abort=True)
+        )
+        assert specs_structurally_equal(synthesized, central_three_phase(2))
+
+
+class TestStructuralEquality:
+    def test_spec_equals_itself(self, spec_3pc_central):
+        assert specs_structurally_equal(spec_3pc_central, spec_3pc_central)
+
+    def test_different_protocols_differ(self, spec_2pc_central, spec_3pc_central):
+        assert not specs_structurally_equal(spec_2pc_central, spec_3pc_central)
+
+    def test_different_site_counts_differ(self):
+        assert not specs_structurally_equal(
+            central_three_phase(3), central_three_phase(4)
+        )
+
+    def test_names_are_ignored(self):
+        a = central_three_phase(3)
+        b = central_three_phase(3)
+        b.name = "renamed"
+        assert specs_structurally_equal(a, b)

@@ -1,0 +1,167 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestList:
+    def test_lists_protocols_and_experiments(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "3pc-central" in out
+        assert "T1" in out
+
+
+class TestShow:
+    def test_renders_automata(self, capsys):
+        assert main(["show", "2pc-central", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "coordinator" in out
+        assert "slave" in out
+
+    def test_unknown_protocol_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["show", "9pc", "3"])
+
+
+class TestAnalyze:
+    def test_blocking_verdict(self, capsys):
+        assert main(["analyze", "2pc-central", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "nonblocking: NO" in out
+        assert "synchronous within one transition: YES" in out
+
+    def test_nonblocking_verdict(self, capsys):
+        assert main(["analyze", "3pc-decentralized", "3"]) == 0
+        assert "nonblocking: YES" in capsys.readouterr().out
+
+
+class TestExperiment:
+    def test_single_experiment(self, capsys):
+        assert main(["experiment", "T1"]) == 0
+        out = capsys.readouterr().out
+        assert "Concurrency sets" in out
+
+    def test_lowercase_id(self, capsys):
+        assert main(["experiment", "t3"]) == 0
+        assert "decision" in capsys.readouterr().out.lower()
+
+
+class TestRun:
+    def test_happy_run(self, capsys):
+        assert main(["run", "3pc-central", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "atomic   : yes" in out
+        assert "commit" in out
+
+    def test_crash_flag(self, capsys):
+        assert main(["run", "3pc-central", "4", "--crash", "1@2.0"]) == 0
+        out = capsys.readouterr().out
+        assert "termination" in out
+        assert "[down]" in out
+
+    def test_crash_with_restart(self, capsys):
+        assert main(["run", "3pc-central", "4", "--crash", "1@2.0@40.0"]) == 0
+        assert "recovery" in capsys.readouterr().out
+
+    def test_no_vote_flag(self, capsys):
+        assert main(["run", "2pc-central", "3", "--no-vote", "2"]) == 0
+        assert "abort" in capsys.readouterr().out
+
+    def test_trace_flag(self, capsys):
+        assert main(["run", "2pc-central", "2", "--trace"]) == 0
+        assert "engine.transition" in capsys.readouterr().out
+
+    def test_bad_crash_spec_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "3pc-central", "3", "--crash", "nonsense"])
+
+    def test_swimlanes_flag(self, capsys):
+        assert main(["run", "3pc-central", "3", "--swimlanes"]) == 0
+        out = capsys.readouterr().out
+        assert "site 1" in out and "COMMIT!" in out
+
+    def test_termination_mode_flag(self, capsys):
+        assert main(
+            [
+                "run",
+                "3pc-central",
+                "4",
+                "--crash",
+                "1@2.0",
+                "--termination",
+                "cooperative",
+            ]
+        ) == 0
+        assert "termination" in capsys.readouterr().out
+
+    def test_quorum_mode_flag(self, capsys):
+        assert main(
+            ["run", "3pc-central", "4", "--crash", "1@2.0",
+             "--termination", "quorum"]
+        ) == 0
+
+    def test_unknown_termination_mode_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "3pc-central", "3", "--termination", "bogus"])
+
+
+class TestAuditFlag:
+    def test_clean_audit(self, capsys):
+        assert main(["run", "3pc-central", "3", "--crash", "1@2.0", "--audit"]) == 0
+        assert "conformance audit: clean" in capsys.readouterr().out
+
+
+class TestCampaign:
+    def test_campaign_prints_summary(self, capsys):
+        assert main(["campaign", "3pc-central", "3", "--count", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "atomicity violations" in out
+        assert "runs" in out
+
+    def test_campaign_save_and_replay(self, capsys, tmp_path):
+        path = tmp_path / "campaign.json"
+        assert (
+            main(
+                [
+                    "campaign",
+                    "3pc-central",
+                    "3",
+                    "--count",
+                    "5",
+                    "--save",
+                    str(path),
+                ]
+            )
+            == 0
+        )
+        saved_out = capsys.readouterr().out
+        assert path.exists()
+        assert (
+            main(["campaign", "3pc-central", "3", "--replay", str(path)]) == 0
+        )
+        replay_out = capsys.readouterr().out
+        assert "replaying 5 transactions" in replay_out
+        # Replay reproduces the identical summary table.
+        assert saved_out.split("runs")[1] in replay_out
+
+    def test_campaign_parameters(self, capsys):
+        assert (
+            main(
+                [
+                    "campaign",
+                    "2pc-central",
+                    "3",
+                    "--count",
+                    "8",
+                    "--p-no",
+                    "0.0",
+                    "--p-crash",
+                    "0.0",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "outcome: commit       | 8" in out.replace("  ", "  ")

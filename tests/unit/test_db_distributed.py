@@ -1,0 +1,193 @@
+"""Unit tests for the distributed database layer."""
+
+import pytest
+
+from repro.db.distributed import DistributedDB
+from repro.types import Outcome, SiteId, Vote
+from repro.workload.crashes import CrashAt, CrashDuringTransition
+
+PLACEMENT = {"x": SiteId(1), "y": SiteId(2), "z": SiteId(3)}
+
+
+def make_db(protocol="3pc-central", n=4):
+    return DistributedDB(n, protocol=protocol, placement=PLACEMENT)
+
+
+class TestBasics:
+    def test_multi_site_commit(self):
+        db = make_db()
+        outcome = db.run_transaction(1, [("w", "x", 1), ("w", "y", 2)])
+        assert outcome.committed
+        assert outcome.participants == (1, 2)
+        assert db.get("x") == 1 and db.get("y") == 2
+
+    def test_single_site_txn_needs_no_protocol(self):
+        db = make_db()
+        outcome = db.run_transaction(1, [("w", "x", 5)])
+        assert outcome.committed
+        assert outcome.commit_run is None
+
+    def test_read_only_transaction(self):
+        db = make_db()
+        db.run_transaction(1, [("w", "x", 7)])
+        outcome = db.run_transaction(2, [("r", "x"), ("r", "y")])
+        assert outcome.committed
+
+    def test_placement_hash_fallback(self):
+        db = DistributedDB(4)
+        site = db.place("unmapped-key")
+        assert site in db.sites
+        assert db.place("unmapped-key") == site  # Stable.
+
+    def test_explicit_placement(self):
+        db = make_db()
+        assert db.place("x") == SiteId(1)
+
+    def test_unknown_op_kind_rejected(self):
+        db = make_db()
+        with pytest.raises(ValueError, match="unknown op"):
+            db.run_transaction(1, [("touch", "x")])
+
+    def test_votes_recorded(self):
+        db = make_db()
+        outcome = db.run_transaction(1, [("w", "x", 1), ("w", "y", 2)])
+        assert outcome.votes == {SiteId(1): Vote.YES, SiteId(2): Vote.YES}
+
+    def test_snapshot_merges_sites(self):
+        db = make_db()
+        db.run_transaction(1, [("w", "x", 1), ("w", "y", 2)])
+        assert db.snapshot() == {"x": 1, "y": 2}
+
+
+class TestCommitPhaseFailures:
+    def test_3pc_coordinator_crash_aborts_and_rolls_back(self):
+        db = make_db("3pc-central")
+        db.run_transaction(1, [("w", "x", 1), ("w", "y", 2)])
+        outcome = db.run_transaction(
+            2, [("w", "x", 10), ("w", "y", 20)], crashes=[CrashAt(site=1, at=2.0)]
+        )
+        assert outcome.outcome is Outcome.ABORT
+        assert db.get("x") == 1 and db.get("y") == 2
+
+    def test_3pc_releases_locks_after_termination(self):
+        db = make_db("3pc-central")
+        db.run_transaction(1, [("w", "x", 1), ("w", "y", 2)])
+        db.run_transaction(
+            2, [("w", "x", 10), ("w", "y", 20)], crashes=[CrashAt(site=1, at=2.0)]
+        )
+        follow_up = db.run_transaction(3, [("w", "x", 99), ("w", "y", 98)])
+        assert follow_up.committed
+        assert db.get("x") == 99
+
+    def test_2pc_coordinator_crash_blocks_and_holds_locks(self):
+        db = make_db("2pc-central")
+        db.run_transaction(1, [("w", "x", 1), ("w", "y", 2)])
+        outcome = db.run_transaction(
+            2, [("w", "x", 10), ("w", "y", 20)], crashes=[CrashAt(site=1, at=2.0)]
+        )
+        assert outcome.outcome is Outcome.BLOCKED
+        # The crashed coordinator's own site rolled back (its recovery
+        # would unilaterally abort — it never voted), so "x" is free;
+        # the *blocked slave* at site 2 keeps its lock on "y".
+        follow_up = db.run_transaction(3, [("w", "y", 99)])
+        assert follow_up.outcome is Outcome.ABORT
+        assert follow_up.reason == "stalled"
+        # Steal policy: the blocked transaction's uncommitted write is
+        # in the store, guarded by its still-held exclusive lock
+        # (db.get is a lock-free dirty read).
+        assert db.get("y") == 20
+
+    def test_crashed_slave_post_vote_commits_via_global_decision(self):
+        db = make_db("3pc-central")
+        outcome = db.run_transaction(
+            1,
+            [("w", "x", 1), ("w", "y", 2), ("w", "z", 3)],
+            crashes=[CrashAt(site=3, at=3.5)],
+        )
+        assert outcome.committed
+        assert db.get("z") == 3  # Applied at the crashed site via WAL.
+
+    def test_2pc_partial_commit_fanout_commits_everywhere(self):
+        db = make_db("2pc-central")
+        outcome = db.run_transaction(
+            1,
+            [("w", "x", 1), ("w", "y", 2), ("w", "z", 3)],
+            crashes=[
+                CrashDuringTransition(site=1, transition_number=2, after_writes=1)
+            ],
+        )
+        assert outcome.committed
+        assert db.get("x") == 1 and db.get("y") == 2 and db.get("z") == 3
+
+    def test_crash_of_nonparticipant_rejected(self):
+        db = make_db()
+        with pytest.raises(ValueError, match="not a participant"):
+            db.run_transaction(
+                1, [("w", "x", 1), ("w", "y", 2)], crashes=[CrashAt(site=4, at=1.0)]
+            )
+
+
+class TestConcurrent:
+    def test_disjoint_txns_all_commit(self):
+        db = make_db()
+        results = db.run_concurrent(
+            {1: [("w", "x", 1)], 2: [("w", "y", 2)], 3: [("w", "z", 3)]}
+        )
+        assert all(r.committed for r in results.values())
+
+    def test_distributed_deadlock_resolved(self):
+        db = make_db()
+        results = db.run_concurrent(
+            {
+                10: [("w", "x", 1), ("w", "y", 1)],
+                11: [("w", "y", 2), ("w", "x", 2)],
+            }
+        )
+        outcomes = {t: r.outcome for t, r in results.items()}
+        assert outcomes[10] is Outcome.COMMIT
+        assert outcomes[11] is Outcome.ABORT
+        assert results[11].reason == "deadlock"
+        # Survivor's writes are in place.
+        assert db.get("x") == 1 and db.get("y") == 1
+
+    def test_victim_is_youngest(self):
+        db = make_db()
+        results = db.run_concurrent(
+            {
+                5: [("w", "x", 1), ("w", "y", 1)],
+                9: [("w", "y", 2), ("w", "x", 2)],
+            }
+        )
+        assert results[9].reason == "deadlock"
+        assert results[5].committed
+
+    def test_lock_conflict_without_deadlock_serializes(self):
+        db = make_db()
+        results = db.run_concurrent(
+            {
+                1: [("w", "x", 1), ("w", "x", 11)],
+                2: [("w", "x", 2)],
+            }
+        )
+        assert all(r.committed for r in results.values())
+        assert db.get("x") in (2, 11)
+
+    def test_same_site_deadlock_also_detected(self):
+        db = DistributedDB(1)
+        results = db.run_concurrent(
+            {
+                1: [("w", "a", 1), ("w", "b", 1)],
+                2: [("w", "b", 2), ("w", "a", 2)],
+            }
+        )
+        reasons = sorted(r.reason or "" for r in results.values())
+        assert "deadlock" in reasons
+
+
+class TestDataPlaneCrash:
+    def test_crash_site_replays_wal(self):
+        db = make_db()
+        db.run_transaction(1, [("w", "x", "v1")])
+        classification = db.crash_site(SiteId(1))
+        assert classification["committed"] == [1]
+        assert db.get("x") == "v1"

@@ -1,0 +1,192 @@
+"""Unit tests for the KV store and the write-ahead log."""
+
+import pytest
+
+from repro.db.kv import KVStore
+from repro.db.wal import MISSING, WriteAheadLog
+from repro.errors import WALError
+from repro.types import TransactionId
+
+T1, T2, T3 = TransactionId(1), TransactionId(2), TransactionId(3)
+
+
+class TestKVStore:
+    def test_put_get(self):
+        store = KVStore()
+        store.put("k", 1)
+        assert store.get("k") == 1
+
+    def test_get_default(self):
+        assert KVStore().get("missing", 42) == 42
+
+    def test_delete(self):
+        store = KVStore()
+        store.put("k", 1)
+        assert store.delete("k")
+        assert not store.delete("k")
+        assert not store.exists("k")
+
+    def test_keys_sorted(self):
+        store = KVStore()
+        store.put("b", 1)
+        store.put("a", 2)
+        assert store.keys() == ["a", "b"]
+
+    def test_items_in_key_order(self):
+        store = KVStore()
+        store.put("b", 2)
+        store.put("a", 1)
+        assert list(store.items()) == [("a", 1), ("b", 2)]
+
+    def test_snapshot_is_a_copy(self):
+        store = KVStore()
+        store.put("k", 1)
+        snap = store.snapshot()
+        store.put("k", 2)
+        assert snap == {"k": 1}
+
+    def test_wipe(self):
+        store = KVStore()
+        store.put("k", 1)
+        store.wipe()
+        assert len(store) == 0
+
+
+class TestWALProtocol:
+    def test_begin_twice_rejected(self):
+        wal = WriteAheadLog()
+        wal.log_begin(T1)
+        with pytest.raises(WALError, match="already began"):
+            wal.log_begin(T1)
+
+    def test_update_without_begin_rejected(self):
+        with pytest.raises(WALError, match="never began"):
+            WriteAheadLog().log_update(T1, "k", 1, 2)
+
+    def test_commit_after_abort_rejected(self):
+        wal = WriteAheadLog()
+        wal.log_begin(T1)
+        wal.log_abort(T1)
+        with pytest.raises(WALError, match="already aborted"):
+            wal.log_commit(T1)
+
+    def test_status_progression(self):
+        wal = WriteAheadLog()
+        assert wal.status(T1) == "unknown"
+        wal.log_begin(T1)
+        assert wal.status(T1) == "active"
+        wal.log_commit(T1)
+        assert wal.status(T1) == "committed"
+
+    def test_transactions_listed(self):
+        wal = WriteAheadLog()
+        wal.log_begin(T2)
+        wal.log_begin(T1)
+        assert wal.transactions() == [T1, T2]
+
+    def test_updates_of_in_order(self):
+        wal = WriteAheadLog()
+        wal.log_begin(T1)
+        wal.log_update(T1, "a", MISSING, 1)
+        wal.log_update(T1, "b", MISSING, 2)
+        assert [r.key for r in wal.updates_of(T1)] == ["a", "b"]
+
+
+class TestRecovery:
+    def _store(self):
+        from repro.db.kv import KVStore
+
+        return KVStore()
+
+    def test_committed_txn_redone(self):
+        wal = WriteAheadLog()
+        wal.log_begin(T1)
+        wal.log_update(T1, "k", MISSING, "v")
+        wal.log_commit(T1)
+        store = self._store()
+        classification = wal.recover(store)
+        assert store.get("k") == "v"
+        assert classification["committed"] == [T1]
+
+    def test_active_txn_rolled_back(self):
+        wal = WriteAheadLog()
+        wal.log_begin(T1)
+        wal.log_update(T1, "k", MISSING, "v")
+        store = self._store()
+        classification = wal.recover(store)
+        assert not store.exists("k")
+        assert classification["rolled_back"] == [T1]
+        assert wal.status(T1) == "aborted"  # Compensation record.
+
+    def test_rollback_restores_prior_value(self):
+        wal = WriteAheadLog()
+        wal.log_begin(T1)
+        wal.log_update(T1, "k", MISSING, "old")
+        wal.log_commit(T1)
+        wal.log_begin(T2)
+        wal.log_update(T2, "k", "old", "new")
+        store = self._store()
+        wal.recover(store)
+        assert store.get("k") == "old"
+
+    def test_aborted_txn_stays_undone(self):
+        wal = WriteAheadLog()
+        wal.log_begin(T1)
+        wal.log_update(T1, "k", MISSING, "v")
+        wal.log_abort(T1)
+        store = self._store()
+        classification = wal.recover(store)
+        assert not store.exists("k")
+        assert classification["aborted"] == [T1]
+
+    def test_in_doubt_txn_preserved(self):
+        wal = WriteAheadLog()
+        wal.log_begin(T1)
+        wal.log_update(T1, "k", MISSING, "v")
+        store = self._store()
+        classification = wal.recover(store, in_doubt=[T1])
+        assert store.get("k") == "v"  # Updates kept, not rolled back.
+        assert classification["in_doubt"] == [T1]
+        assert wal.status(T1) == "active"
+
+    def test_mixed_history(self):
+        wal = WriteAheadLog()
+        wal.log_begin(T1)
+        wal.log_update(T1, "a", MISSING, 1)
+        wal.log_commit(T1)
+        wal.log_begin(T2)
+        wal.log_update(T2, "b", MISSING, 2)
+        wal.log_abort(T2)
+        wal.log_begin(T3)
+        wal.log_update(T3, "c", MISSING, 3)
+        store = self._store()
+        classification = wal.recover(store)
+        assert store.get("a") == 1
+        assert not store.exists("b")
+        assert not store.exists("c")
+        assert classification == {
+            "committed": [T1],
+            "aborted": [T2],
+            "rolled_back": [T3],
+            "in_doubt": [],
+        }
+
+    def test_recovery_is_idempotent(self):
+        wal = WriteAheadLog()
+        wal.log_begin(T1)
+        wal.log_update(T1, "k", MISSING, "v")
+        store = self._store()
+        wal.recover(store)
+        store.wipe()
+        wal.recover(store)
+        assert not store.exists("k")
+
+    def test_interleaved_updates_undone_in_reverse(self):
+        wal = WriteAheadLog()
+        wal.log_begin(T1)
+        wal.log_update(T1, "k", MISSING, 1)
+        wal.log_update(T1, "k", 1, 2)
+        wal.log_update(T1, "k", 2, 3)
+        store = self._store()
+        wal.recover(store)
+        assert not store.exists("k")

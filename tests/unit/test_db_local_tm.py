@@ -1,0 +1,186 @@
+"""Unit tests for the per-site resource manager."""
+
+import pytest
+
+from repro.db.local_tm import BlockedOnLock, ResourceManager
+from repro.errors import DeadlockError, TransactionAborted
+from repro.types import Outcome, SiteId, TransactionId, Vote
+
+T1, T2 = TransactionId(1), TransactionId(2)
+
+
+@pytest.fixture()
+def rm():
+    return ResourceManager(SiteId(1))
+
+
+class TestReadWrite:
+    def test_write_then_read_own_value(self, rm):
+        rm.begin(T1)
+        rm.write(T1, "k", 10)
+        assert rm.read(T1, "k") == 10
+
+    def test_read_missing_returns_none(self, rm):
+        rm.begin(T1)
+        assert rm.read(T1, "k") is None
+
+    def test_read_committed_value(self, rm):
+        rm.begin(T1)
+        rm.write(T1, "k", 5)
+        rm.commit(T1)
+        rm.begin(T2)
+        assert rm.read(T2, "k") == 5
+
+    def test_op_on_unknown_txn_raises(self, rm):
+        with pytest.raises(TransactionAborted):
+            rm.read(T1, "k")
+
+    def test_conflicting_write_blocks(self, rm):
+        rm.begin(T1)
+        rm.begin(T2)
+        rm.write(T1, "k", 1)
+        with pytest.raises(BlockedOnLock):
+            rm.write(T2, "k", 2)
+
+    def test_shared_reads_coexist(self, rm):
+        rm.begin(T1)
+        rm.begin(T2)
+        rm.read(T1, "k")
+        rm.read(T2, "k")  # Must not block.
+
+    def test_read_own_write_does_not_self_block(self, rm):
+        rm.begin(T1)
+        rm.write(T1, "k", 1)
+        assert rm.read(T1, "k") == 1
+
+
+class TestCommitAbort:
+    def test_commit_releases_locks(self, rm):
+        rm.begin(T1)
+        rm.write(T1, "k", 1)
+        rm.commit(T1)
+        rm.begin(T2)
+        rm.write(T2, "k", 2)  # Granted: T1's lock is gone.
+        assert rm.store.get("k") == 2
+
+    def test_abort_undoes_updates(self, rm):
+        rm.begin(T1)
+        rm.write(T1, "k", "v1")
+        rm.commit(T1)
+        rm.begin(T2)
+        rm.write(T2, "k", "v2")
+        rm.abort(T2)
+        assert rm.store.get("k") == "v1"
+
+    def test_abort_removes_created_keys(self, rm):
+        rm.begin(T1)
+        rm.write(T1, "fresh", 1)
+        rm.abort(T1)
+        assert not rm.store.exists("fresh")
+
+    def test_abort_is_idempotent(self, rm):
+        rm.begin(T1)
+        rm.abort(T1)
+        rm.abort(T1)  # No error.
+
+    def test_ops_after_abort_raise(self, rm):
+        rm.begin(T1)
+        rm.abort(T1)
+        with pytest.raises(TransactionAborted):
+            rm.write(T1, "k", 1)
+
+    def test_deadlock_victim_auto_aborted(self, rm):
+        rm.begin(T1)
+        rm.begin(T2)
+        rm.write(T1, "a", 1)
+        rm.write(T2, "b", 2)
+        with pytest.raises(BlockedOnLock):
+            rm.write(T1, "b", 3)
+        with pytest.raises(DeadlockError):
+            rm.write(T2, "a", 4)
+        assert not rm.is_active(T2)
+        assert rm.deadlock_victims == 1
+        # The victim's release unblocks T1's queued request eventually.
+        rm.write(T1, "b", 3)
+        assert rm.store.get("b") == 3
+
+
+class TestVoting:
+    def test_healthy_txn_votes_yes(self, rm):
+        rm.begin(T1)
+        rm.write(T1, "k", 1)
+        assert rm.prepare(T1) is Vote.YES
+        assert rm.is_prepared(T1)
+
+    def test_aborted_txn_votes_no(self, rm):
+        rm.begin(T1)
+        rm.abort(T1)
+        assert rm.prepare(T1) is Vote.NO
+
+    def test_unknown_txn_votes_no(self, rm):
+        assert rm.prepare(T1) is Vote.NO
+
+
+class TestCrashRecovery:
+    def test_crash_wipes_volatile_state(self, rm):
+        rm.begin(T1)
+        rm.write(T1, "k", 1)
+        rm.crash()
+        assert len(rm.store) == 0
+        assert not rm.is_active(T1)
+
+    def test_recover_redoes_committed(self, rm):
+        rm.begin(T1)
+        rm.write(T1, "k", "v")
+        rm.commit(T1)
+        rm.crash()
+        classification = rm.recover()
+        assert rm.store.get("k") == "v"
+        assert classification["committed"] == [T1]
+
+    def test_recover_rolls_back_active(self, rm):
+        rm.begin(T1)
+        rm.write(T1, "k", "v")
+        rm.crash()
+        classification = rm.recover()
+        assert not rm.store.exists("k")
+        assert classification["rolled_back"] == [T1]
+
+    def test_recover_preserves_in_doubt_with_locks(self, rm):
+        rm.begin(T1)
+        rm.write(T1, "k", "v")
+        rm.prepare(T1)
+        rm.crash()
+        classification = rm.recover(in_doubt=[T1])
+        assert classification["in_doubt"] == [T1]
+        assert rm.store.get("k") == "v"
+        assert rm.is_active(T1)
+        assert rm.is_prepared(T1)
+        # Re-acquired locks block other writers.
+        rm.begin(T2)
+        with pytest.raises(BlockedOnLock):
+            rm.write(T2, "k", "other")
+
+    def test_resolve_in_doubt_commit(self, rm):
+        rm.begin(T1)
+        rm.write(T1, "k", "v")
+        rm.prepare(T1)
+        rm.crash()
+        rm.recover(in_doubt=[T1])
+        rm.resolve(T1, Outcome.COMMIT)
+        assert rm.store.get("k") == "v"
+        assert rm.wal.status(T1) == "committed"
+
+    def test_resolve_in_doubt_abort(self, rm):
+        rm.begin(T1)
+        rm.write(T1, "k", "v")
+        rm.prepare(T1)
+        rm.crash()
+        rm.recover(in_doubt=[T1])
+        rm.resolve(T1, Outcome.ABORT)
+        assert not rm.store.exists("k")
+
+    def test_resolve_non_final_raises(self, rm):
+        rm.begin(T1)
+        with pytest.raises(ValueError):
+            rm.resolve(T1, Outcome.BLOCKED)

@@ -1,0 +1,144 @@
+"""Unit tests for the lock manager and deadlock detection."""
+
+import pytest
+
+from repro.db.locks import LockManager, LockMode
+from repro.errors import DeadlockError, LockError
+from repro.types import TransactionId
+
+T1, T2, T3 = TransactionId(1), TransactionId(2), TransactionId(3)
+
+
+@pytest.fixture()
+def locks():
+    return LockManager()
+
+
+class TestGranting:
+    def test_exclusive_grant(self, locks):
+        assert locks.acquire(T1, "k", LockMode.EXCLUSIVE)
+        assert locks.holders("k") == {T1: LockMode.EXCLUSIVE}
+
+    def test_shared_locks_coexist(self, locks):
+        assert locks.acquire(T1, "k", LockMode.SHARED)
+        assert locks.acquire(T2, "k", LockMode.SHARED)
+        assert set(locks.holders("k")) == {T1, T2}
+
+    def test_exclusive_blocks_shared(self, locks):
+        locks.acquire(T1, "k", LockMode.EXCLUSIVE)
+        assert not locks.acquire(T2, "k", LockMode.SHARED)
+        assert locks.waiters("k") == [T2]
+
+    def test_shared_blocks_exclusive(self, locks):
+        locks.acquire(T1, "k", LockMode.SHARED)
+        assert not locks.acquire(T2, "k", LockMode.EXCLUSIVE)
+
+    def test_reentrant_same_mode(self, locks):
+        locks.acquire(T1, "k", LockMode.EXCLUSIVE)
+        assert locks.acquire(T1, "k", LockMode.EXCLUSIVE)
+
+    def test_shared_rerequest_while_exclusive_held(self, locks):
+        locks.acquire(T1, "k", LockMode.EXCLUSIVE)
+        assert locks.acquire(T1, "k", LockMode.SHARED)  # Already stronger.
+
+    def test_upgrade_when_sole_holder(self, locks):
+        locks.acquire(T1, "k", LockMode.SHARED)
+        assert locks.acquire(T1, "k", LockMode.EXCLUSIVE)
+        assert locks.holders("k")[T1] is LockMode.EXCLUSIVE
+
+    def test_upgrade_blocked_by_other_sharer(self, locks):
+        locks.acquire(T1, "k", LockMode.SHARED)
+        locks.acquire(T2, "k", LockMode.SHARED)
+        assert not locks.acquire(T1, "k", LockMode.EXCLUSIVE)
+
+    def test_fifo_fairness_no_overtaking(self, locks):
+        locks.acquire(T1, "k", LockMode.EXCLUSIVE)
+        locks.acquire(T2, "k", LockMode.EXCLUSIVE)  # Queued.
+        # T3's shared request must not jump over T2.
+        assert not locks.acquire(T3, "k", LockMode.SHARED)
+        assert locks.waiters("k") == [T2, T3]
+
+
+class TestRelease:
+    def test_release_wakes_next_waiter(self, locks):
+        locks.acquire(T1, "k", LockMode.EXCLUSIVE)
+        locks.acquire(T2, "k", LockMode.EXCLUSIVE)
+        woken = locks.release_all(T1)
+        assert woken == [T2]
+        assert locks.holders("k") == {T2: LockMode.EXCLUSIVE}
+
+    def test_release_wakes_multiple_sharers(self, locks):
+        locks.acquire(T1, "k", LockMode.EXCLUSIVE)
+        locks.acquire(T2, "k", LockMode.SHARED)
+        locks.acquire(T3, "k", LockMode.SHARED)
+        woken = locks.release_all(T1)
+        assert woken == [T2, T3]
+        assert set(locks.holders("k")) == {T2, T3}
+
+    def test_release_drops_queued_requests_too(self, locks):
+        locks.acquire(T1, "k", LockMode.EXCLUSIVE)
+        locks.acquire(T2, "k", LockMode.EXCLUSIVE)
+        locks.release_all(T2)
+        assert locks.waiters("k") == []
+
+    def test_release_all_spans_keys(self, locks):
+        locks.acquire(T1, "a", LockMode.EXCLUSIVE)
+        locks.acquire(T1, "b", LockMode.SHARED)
+        locks.release_all(T1)
+        assert locks.locks_held(T1) == {}
+
+    def test_unlock_single_key(self, locks):
+        locks.acquire(T1, "k", LockMode.EXCLUSIVE)
+        locks.unlock(T1, "k")
+        assert locks.holders("k") == {}
+
+    def test_unlock_not_held_raises(self, locks):
+        with pytest.raises(LockError):
+            locks.unlock(T1, "k")
+
+
+class TestDeadlockDetection:
+    def test_two_txn_cycle_detected(self, locks):
+        locks.acquire(T1, "a", LockMode.EXCLUSIVE)
+        locks.acquire(T2, "b", LockMode.EXCLUSIVE)
+        assert not locks.acquire(T1, "b", LockMode.EXCLUSIVE)  # T1 waits T2.
+        with pytest.raises(DeadlockError):
+            locks.acquire(T2, "a", LockMode.EXCLUSIVE)
+
+    def test_three_txn_cycle_detected(self, locks):
+        locks.acquire(T1, "a", LockMode.EXCLUSIVE)
+        locks.acquire(T2, "b", LockMode.EXCLUSIVE)
+        locks.acquire(T3, "c", LockMode.EXCLUSIVE)
+        assert not locks.acquire(T1, "b", LockMode.EXCLUSIVE)
+        assert not locks.acquire(T2, "c", LockMode.EXCLUSIVE)
+        with pytest.raises(DeadlockError):
+            locks.acquire(T3, "a", LockMode.EXCLUSIVE)
+
+    def test_victim_not_enqueued(self, locks):
+        locks.acquire(T1, "a", LockMode.EXCLUSIVE)
+        locks.acquire(T2, "b", LockMode.EXCLUSIVE)
+        locks.acquire(T1, "b", LockMode.EXCLUSIVE)
+        with pytest.raises(DeadlockError):
+            locks.acquire(T2, "a", LockMode.EXCLUSIVE)
+        assert T2 not in locks.waiters("a")
+
+    def test_chain_without_cycle_allowed(self, locks):
+        locks.acquire(T1, "a", LockMode.EXCLUSIVE)
+        locks.acquire(T2, "b", LockMode.EXCLUSIVE)
+        assert not locks.acquire(T2, "a", LockMode.EXCLUSIVE)  # T2 -> T1.
+        assert not locks.acquire(T3, "b", LockMode.EXCLUSIVE)  # T3 -> T2.
+        # No cycle: T1 holds everything it wants.
+
+    def test_waits_for_graph(self, locks):
+        locks.acquire(T1, "a", LockMode.EXCLUSIVE)
+        locks.acquire(T2, "a", LockMode.EXCLUSIVE)
+        graph = locks.waits_for()
+        assert graph == {T2: {T1}}
+
+    def test_shared_waiters_do_not_block_each_other(self, locks):
+        locks.acquire(T1, "k", LockMode.EXCLUSIVE)
+        locks.acquire(T2, "k", LockMode.SHARED)
+        locks.acquire(T3, "k", LockMode.SHARED)
+        graph = locks.waits_for()
+        assert graph[T2] == {T1}
+        assert graph[T3] == {T1}

@@ -1,0 +1,110 @@
+"""Unit tests for the transaction context-manager API."""
+
+import pytest
+
+from repro.db.distributed import DistributedDB
+from repro.errors import TransactionAborted
+from repro.types import Outcome, SiteId
+from repro.workload.crashes import CrashAt
+
+PLACEMENT = {"a": SiteId(1), "b": SiteId(2)}
+
+
+@pytest.fixture()
+def db():
+    return DistributedDB(3, placement=PLACEMENT)
+
+
+class TestHappyPath:
+    def test_commit_on_clean_exit(self, db):
+        with db.transaction() as txn:
+            txn.write("a", 1)
+            txn.write("b", 2)
+        assert txn.outcome.committed
+        assert db.get("a") == 1 and db.get("b") == 2
+
+    def test_reads_see_own_writes(self, db):
+        with db.transaction() as txn:
+            txn.write("a", 42)
+            assert txn.read("a") == 42
+
+    def test_reads_see_committed_state(self, db):
+        with db.transaction() as txn:
+            txn.write("a", 7)
+        with db.transaction() as txn2:
+            assert txn2.read("a") == 7
+        assert txn2.outcome.committed
+
+    def test_auto_ids_are_unique(self, db):
+        with db.transaction() as t1:
+            t1.write("a", 1)
+        with db.transaction() as t2:
+            t2.write("b", 2)
+        assert t1.txn != t2.txn
+
+    def test_explicit_id_respected(self, db):
+        with db.transaction(txn=77) as txn:
+            txn.write("a", 1)
+        assert txn.txn == 77
+
+    def test_read_only_transaction_commits(self, db):
+        with db.transaction() as txn:
+            txn.read("a")
+        assert txn.outcome.committed
+
+
+class TestAbortPaths:
+    def test_exception_aborts_and_reraises(self, db):
+        with db.transaction() as setup:
+            setup.write("a", 1)
+        with pytest.raises(RuntimeError):
+            with db.transaction() as txn:
+                txn.write("a", 999)
+                raise RuntimeError("boom")
+        assert txn.outcome.outcome is Outcome.ABORT
+        assert db.get("a") == 1  # Rolled back.
+
+    def test_locks_released_after_exception(self, db):
+        with pytest.raises(RuntimeError):
+            with db.transaction() as txn:
+                txn.write("a", 5)
+                raise RuntimeError
+        with db.transaction() as follow_up:
+            follow_up.write("a", 6)
+        assert follow_up.outcome.committed
+
+    def test_ops_outside_with_raise(self, db):
+        txn = db.transaction()
+        with pytest.raises(TransactionAborted, match="not open"):
+            txn.read("a")
+        with pytest.raises(TransactionAborted, match="not open"):
+            txn.write("a", 1)
+
+    def test_ops_after_exit_raise(self, db):
+        with db.transaction() as txn:
+            txn.write("a", 1)
+        with pytest.raises(TransactionAborted, match="not open"):
+            txn.write("a", 2)
+
+
+class TestCommitPhaseIntegration:
+    def test_crash_schedule_passes_through(self, db):
+        with db.transaction(crashes=[CrashAt(site=1, at=2.0)]) as txn:
+            txn.write("a", 10)
+            txn.write("b", 20)
+        # 3PC termination resolves the crash: abort, data rolled back.
+        assert txn.outcome.outcome is Outcome.ABORT
+        assert db.get("a") is None
+
+    def test_outcome_carries_commit_run(self, db):
+        with db.transaction() as txn:
+            txn.write("a", 1)
+            txn.write("b", 2)
+        assert txn.outcome.commit_run is not None
+        assert txn.outcome.commit_run.atomic
+
+    def test_single_site_skips_protocol(self, db):
+        with db.transaction() as txn:
+            txn.write("a", 1)
+        assert txn.outcome.commit_run is None
+        assert txn.outcome.committed

@@ -1,0 +1,190 @@
+"""Edge-case batch: corners the main suites don't reach."""
+
+import pytest
+
+from repro.net.latency import UniformLatency
+from repro.protocols import catalog
+from repro.protocols.three_phase_decentralized import decentralized_three_phase
+from repro.protocols.two_phase_decentralized import decentralized_two_phase
+from repro.runtime.decision import TerminationRule
+from repro.runtime.harness import CommitRun
+from repro.runtime.policies import FixedVotes
+from repro.types import Outcome, SiteId, Vote
+from repro.workload.crashes import CrashAt, CrashDuringTransition
+
+
+class TestTwoSiteMinimum:
+    """n=2 is the smallest legal instance; off-by-ones hide here."""
+
+    @pytest.mark.parametrize("name", catalog.protocol_names())
+    def test_two_site_happy_path(self, name):
+        run = CommitRun(
+            catalog.build(name, 2), termination_enabled=False
+        ).execute()
+        assert set(run.outcomes().values()) == {Outcome.COMMIT}
+
+    def test_two_site_3pc_coordinator_crash(self):
+        spec = catalog.build("3pc-central", 2)
+        run = CommitRun(spec, crashes=[CrashAt(site=1, at=2.0)]).execute()
+        # The single slave is the lone survivor — and terminates.
+        assert run.reports[2].outcome.is_final
+        assert run.atomic
+
+    def test_two_site_decentralized_peer_crash(self):
+        spec = catalog.build("3pc-decentralized", 2)
+        run = CommitRun(spec, crashes=[CrashAt(site=2, at=0.5)]).execute()
+        assert run.reports[1].outcome.is_final
+        assert run.atomic
+
+
+class TestAllVotesNo:
+    def test_everyone_votes_no_decentralized(self):
+        spec = decentralized_two_phase(3)
+        run = CommitRun(
+            spec,
+            vote_policy=FixedVotes({}, default=Vote.NO),
+            termination_enabled=False,
+        ).execute()
+        assert set(run.outcomes().values()) == {Outcome.ABORT}
+        # No-voters go straight to a; nobody consumes the vote flood.
+        for report in run.reports.values():
+            assert report.transitions_fired == 1
+
+    def test_everyone_votes_no_3pc_decentralized(self):
+        spec = decentralized_three_phase(3)
+        run = CommitRun(
+            spec,
+            vote_policy=FixedVotes({}, default=Vote.NO),
+            termination_enabled=False,
+        ).execute()
+        assert set(run.outcomes().values()) == {Outcome.ABORT}
+
+
+class TestCrashTimingCorners:
+    def test_crash_at_time_zero(self, spec_3pc_central, rule_3pc_central):
+        run = CommitRun(
+            spec_3pc_central,
+            crashes=[CrashAt(site=1, at=0.0)],
+            rule=rule_3pc_central,
+        ).execute()
+        # Coordinator dies before doing anything: slaves never even get
+        # the transaction; termination aborts from q.
+        assert run.atomic
+        for site in (2, 3):
+            assert run.reports[site].outcome is Outcome.ABORT
+
+    def test_crash_after_everything_finished(
+        self, spec_3pc_central, rule_3pc_central
+    ):
+        run = CommitRun(
+            spec_3pc_central,
+            crashes=[CrashAt(site=1, at=50.0)],
+            rule=rule_3pc_central,
+        ).execute()
+        assert set(run.outcomes().values()) == {Outcome.COMMIT}
+        assert run.reports[1].crashed
+
+    def test_simultaneous_crashes(self, spec_3pc_central, rule_3pc_central):
+        run = CommitRun(
+            spec_3pc_central,
+            crashes=[CrashAt(site=1, at=2.0), CrashAt(site=2, at=2.0)],
+            rule=rule_3pc_central,
+        ).execute()
+        assert run.atomic
+        assert run.reports[3].outcome.is_final
+
+    def test_partial_crash_on_never_fired_transition(
+        self, spec_3pc_central, rule_3pc_central
+    ):
+        # Armed for the coordinator's 5th transition — it only has 3.
+        run = CommitRun(
+            spec_3pc_central,
+            crashes=[
+                CrashDuringTransition(
+                    site=1, transition_number=5, after_writes=0
+                )
+            ],
+            rule=rule_3pc_central,
+        ).execute()
+        # The crash never triggers; the run completes normally.
+        assert set(run.outcomes().values()) == {Outcome.COMMIT}
+        assert not run.reports[1].crashed
+
+    def test_crash_then_crash_again_after_restart(
+        self, spec_3pc_central, rule_3pc_central
+    ):
+        run = CommitRun(
+            spec_3pc_central,
+            crashes=[
+                CrashAt(site=2, at=1.5, restart_at=20.0),
+                CrashAt(site=2, at=25.0, restart_at=45.0),
+            ],
+            rule=rule_3pc_central,
+        ).execute()
+        assert run.atomic
+        assert run.reports[2].outcome.is_final
+
+
+class TestLatencyExtremes:
+    def test_zero_latency(self, spec_3pc_central):
+        from repro.net.latency import FixedLatency
+
+        run = CommitRun(
+            spec_3pc_central,
+            latency=FixedLatency(0.0),
+            termination_enabled=False,
+        ).execute()
+        assert set(run.outcomes().values()) == {Outcome.COMMIT}
+        assert run.duration == 0.0
+
+    def test_highly_skewed_random_latency(self, spec_3pc_central, rule_3pc_central):
+        run = CommitRun(
+            spec_3pc_central,
+            latency=UniformLatency(0.01, 10.0),
+            seed=99,
+            rule=rule_3pc_central,
+        ).execute()
+        assert set(run.outcomes().values()) == {Outcome.COMMIT}
+
+    def test_detection_slower_than_everything(self, spec_2pc_central, rule_2pc_central):
+        # Detection so slow the protocol would have finished; a crash in
+        # the window still blocks 2PC once detected.
+        run = CommitRun(
+            spec_2pc_central,
+            crashes=[CrashAt(site=1, at=2.0)],
+            detection_delay=30.0,
+            rule=rule_2pc_central,
+        ).execute()
+        assert run.blocked_sites == [2, 3]
+        # Blocking was only announced after the late detection.
+        blocked_entries = run.trace.select(category="term.blocked")
+        assert blocked_entries and blocked_entries[0].time >= 32.0
+
+
+class TestVotePolicyCorners:
+    def test_coordinator_no_with_slave_no(self, spec_2pc_central, rule_2pc_central):
+        run = CommitRun(
+            spec_2pc_central,
+            vote_policy=FixedVotes({}, default=Vote.NO),
+            rule=rule_2pc_central,
+        ).execute()
+        assert set(run.outcomes().values()) == {Outcome.ABORT}
+
+    def test_strict_coordinator_waits_for_all_votes(self):
+        # With one slow slave, the strict coordinator must not abort on
+        # the early no — it needs the full vector.
+        from repro.net.latency import PerLinkLatency
+
+        spec = catalog.build("2pc-central", 3)
+        rule = TerminationRule(spec)
+        latency = PerLinkLatency({(SiteId(3), SiteId(1)): 7.0}, default=1.0)
+        run = CommitRun(
+            spec,
+            latency=latency,
+            vote_policy=FixedVotes({SiteId(2): Vote.NO}),
+            rule=rule,
+            termination_enabled=False,
+        ).execute()
+        times = run.decision_times()
+        assert times[1] >= 8.0  # Waited for the straggler's vote.
+        assert set(run.outcomes().values()) == {Outcome.ABORT}

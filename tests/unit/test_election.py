@@ -1,0 +1,88 @@
+"""Unit tests for the bully and ring election algorithms."""
+
+import pytest
+
+from repro.election.bully import bully_strategy, run_bully_election
+from repro.election.ring import ring_strategy, run_ring_election
+
+
+class TestBully:
+    def test_all_up_highest_wins(self):
+        winner, view = run_bully_election([1, 2, 3, 4, 5])
+        assert winner == 5
+        assert view == {i: 5 for i in range(1, 6)}
+
+    def test_highest_down_next_wins(self):
+        winner, view = run_bully_election([1, 2, 3, 4, 5], crashed=[5])
+        assert winner == 4
+        assert all(view[i] == 4 for i in (1, 2, 3, 4))
+        assert view[5] is None
+
+    def test_multiple_failures(self):
+        winner, view = run_bully_election([1, 2, 3, 4, 5], crashed=[5, 4, 3])
+        assert winner == 2
+        assert view[1] == 2 and view[2] == 2
+
+    def test_initiator_choice_does_not_change_winner(self):
+        for initiator in (1, 2, 3):
+            winner, view = run_bully_election([1, 2, 3, 4], initiator=initiator)
+            assert winner == 4
+            assert all(view[i] == 4 for i in (1, 2, 3, 4))
+
+    def test_highest_node_initiating_self_elects(self):
+        winner, view = run_bully_election([1, 2, 3], initiator=3)
+        assert winner == 3
+        assert view[1] == 3 and view[2] == 3
+
+    def test_sole_survivor(self):
+        winner, view = run_bully_election([1, 2, 3], crashed=[2, 3])
+        assert winner == 1
+        assert view[1] == 1
+
+    def test_all_crashed(self):
+        winner, view = run_bully_election([1, 2], crashed=[1, 2])
+        assert winner is None
+        assert view == {1: None, 2: None}
+
+    def test_strategy_matches_algorithm(self):
+        winner, _ = run_bully_election([1, 2, 3, 4], crashed=[4])
+        assert bully_strategy([1, 2, 3]) == winner
+
+
+class TestRing:
+    def test_all_up_highest_wins(self):
+        winner, view = run_ring_election([1, 2, 3, 4, 5])
+        assert winner == 5
+        assert view == {i: 5 for i in range(1, 6)}
+
+    def test_crashed_nodes_skipped(self):
+        winner, view = run_ring_election([1, 2, 3, 4, 5], crashed=[5, 2])
+        assert winner == 4
+        assert view[1] == 4 and view[3] == 4 and view[4] == 4
+        assert view[2] is None and view[5] is None
+
+    def test_any_initiator_converges(self):
+        for initiator in (1, 3, 4):
+            winner, view = run_ring_election([1, 2, 3, 4], initiator=initiator)
+            assert winner == 4
+            assert all(view[i] == 4 for i in (1, 2, 3, 4))
+
+    def test_single_node_ring(self):
+        winner, view = run_ring_election([3])
+        assert winner == 3
+        assert view == {3: 3}
+
+    def test_sole_survivor(self):
+        winner, view = run_ring_election([1, 2, 3], crashed=[1, 3])
+        assert winner == 2
+        assert view[2] == 2
+
+    def test_strategy_matches_algorithm(self):
+        winner, _ = run_ring_election([1, 2, 3, 4], crashed=[4])
+        assert ring_strategy([1, 2, 3]) == winner
+
+    def test_bully_and_ring_agree(self):
+        for crashed in ([], [5], [5, 3], [1, 2]):
+            b, _ = run_bully_election([1, 2, 3, 4, 5], crashed=crashed)
+            r, _ = run_ring_election([1, 2, 3, 4, 5], crashed=crashed)
+            assert b == r

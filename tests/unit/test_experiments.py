@@ -1,0 +1,215 @@
+"""Unit tests for the experiment suite: every figure/table's key claims.
+
+These are the paper-vs-measured assertions that EXPERIMENTS.md records;
+if any of them fails, the reproduction has drifted from the paper.
+"""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.experiments import EXPERIMENTS, run_experiment
+from repro.experiments.e_f1_fsa_2pc_central import run_f1
+from repro.experiments.e_f2_global_graph import run_f2
+from repro.experiments.e_f3_fsa_2pc_decentralized import run_f3
+from repro.experiments.e_f4_buffer_synthesis import run_f4
+from repro.experiments.e_f5_fsa_3pc_central import run_f5
+from repro.experiments.e_f6_fsa_3pc_decentralized import run_f6
+from repro.experiments.e_q1_blocking_frequency import run_q1
+from repro.experiments.e_q2_message_complexity import run_q2
+from repro.experiments.e_q3_graph_growth import run_q3
+from repro.experiments.e_q4_cascading_termination import run_q4
+from repro.experiments.e_q5_recovery_matrix import run_q5
+from repro.experiments.e_q6_db_throughput import run_q6
+from repro.experiments.e_t1_concurrency_sets import run_t1
+from repro.experiments.e_t2_blocking_verdicts import run_t2
+from repro.experiments.e_t3_termination_rule import run_t3
+from repro.experiments.e_t4_k_resiliency import run_t4
+
+
+class TestRegistry:
+    def test_all_experiments_registered(self):
+        # 17 paper-claim artifacts + 7 extension/ablation experiments.
+        assert len(EXPERIMENTS) == 24
+        assert {"A1", "A2", "A3", "A4", "A5", "A6", "A7", "Q7"} <= set(
+            EXPERIMENTS
+        )
+
+    def test_run_by_id_case_insensitive(self):
+        assert run_experiment("t1").experiment_id == "T1"
+
+    def test_unknown_id_raises(self):
+        with pytest.raises(ReproError, match="unknown experiment"):
+            run_experiment("Z9")
+
+    @pytest.mark.parametrize("experiment_id", sorted(EXPERIMENTS))
+    def test_every_experiment_renders(self, experiment_id):
+        result = EXPERIMENTS[experiment_id]()
+        text = result.render()
+        assert result.experiment_id == experiment_id
+        assert result.tables
+        assert experiment_id in text
+
+
+class TestFigures:
+    def test_f1_shapes_match_slide_15(self):
+        data = run_f1().data
+        assert data["coordinator_states"] == ["a", "c", "q", "w"]
+        assert data["slave_states"] == ["a", "c", "q", "w"]
+        assert data["coordinator_phases"] == 2
+
+    def test_f2_graph_clean(self):
+        data = run_f2().data
+        assert data["deadlocked"] == 0
+        assert data["inconsistent"] == 0
+        assert data["states"] > 0
+        assert "digraph" in data["dot"]
+
+    def test_f3_single_role_with_self_messages(self):
+        data = run_f3().data
+        assert data["single_role"]
+        assert data["sends_to_self"]
+        assert data["phases"] == 2
+
+    def test_f4_synthesis_reproduces_3pc(self):
+        data = run_f4().data
+        assert data["2pc-central"]["equals_3pc"]
+        assert data["2pc-decentralized"]["equals_3pc"]
+        assert data["2pc-central"]["nonblocking"]
+        assert data["lemma_violations_before"] > 0
+        assert data["lemma_violations_after"] == 0
+        assert data["one_pc_rejected"]
+
+    def test_f5_central_3pc_verified(self):
+        data = run_f5().data
+        assert data["coordinator_states"] == ["a", "c", "p", "q", "w"]
+        assert data["phases"] == 3
+        assert data["nonblocking"]
+        assert data["synchronous"]
+
+    def test_f6_decentralized_3pc_verified(self):
+        data = run_f6().data
+        assert data["states"] == ["a", "c", "p", "q", "w"]
+        assert data["nonblocking"]
+        assert data["tolerated_failures"] == 2
+
+
+class TestTables:
+    def test_t1_matches_paper_exactly(self):
+        data = run_t1().data
+        assert data["all_match"]
+        assert data["committable_2pc"] == ["c"]
+        assert data["committable_3pc"] == ["c", "p"]
+
+    def test_t2_verdict_partition(self):
+        data = run_t2().data
+        assert data["blocking"] == ["1pc", "2pc-central", "2pc-decentralized"]
+        assert data["nonblocking"] == ["3pc-central", "3pc-decentralized"]
+        assert data["w_violates_both_conditions"]
+
+    def test_t3_rule_matches_slide_40(self):
+        data = run_t3().data
+        assert data["all_match"]
+        assert data["two_pc_blocks_at_w"]
+        assert data["rule_3pc"] == {
+            "q": "abort", "w": "abort", "a": "abort",
+            "p": "commit", "c": "commit",
+        }
+
+    def test_t4_resilience(self):
+        tolerated = run_t4().data["tolerated"]
+        for n in (2, 3, 4):
+            assert tolerated["3pc-central"][n] == n - 1
+            assert tolerated["3pc-decentralized"][n] == n - 1
+            assert tolerated["2pc-central"][n] == 0
+            assert tolerated["1pc"][n] == 0
+
+
+class TestQuantitative:
+    def test_q1_shape(self):
+        data = run_q1(n_sites=4, grid=8)
+        two = data.data["2pc-central"]
+        three = data.data["3pc-central"]
+        assert two["blocked"] > 0
+        assert three["blocked"] == 0
+        assert two["violations"] == 0 and three["violations"] == 0
+
+    def test_q2_measured_equals_analytic(self):
+        data = run_q2(site_counts=(2, 4, 8)).data
+        for protocol, per_n in data.items():
+            for n, row in per_n.items():
+                assert row["messages"] == row["expected_messages"], (protocol, n)
+                assert row["latency"] == row["expected_latency"], (protocol, n)
+
+    def test_q3_growth_is_multiplicative(self):
+        data = run_q3(
+            {"2pc-central": (2, 3, 4), "2pc-decentralized": (2, 3)}
+        ).data
+        assert data["min_growth_factor"] > 1.5
+
+    def test_q4_always_consistent_down_to_one_survivor(self):
+        data = run_q4(n_sites=4).data
+        for extra, row in data.items():
+            assert row["all_decided"], f"cascade {extra}"
+            assert row["atomic"], f"cascade {extra}"
+        assert data[max(data)]["survivors"] == 1
+
+    def test_q4_latency_grows_with_failures(self):
+        data = run_q4(n_sites=5).data
+        assert data[3]["duration"] > data[0]["duration"]
+
+    def test_q5_every_cell_consistent(self):
+        data = run_q5().data
+        for protocol, rows in data.items():
+            for row in rows:
+                assert row["consistent"], (protocol, row["label"])
+
+    def test_q5_recovery_mechanisms(self):
+        rows = {row["label"]: row for row in run_q5().data["3pc-central"]}
+        pre_vote = rows["before voting (during vote transition, nothing sent)"]
+        assert pre_vote["recovered"] == "abort"
+
+    def test_q6_blocking_kills_throughput(self):
+        data = run_q6(n_txns=12, crash_txn=4).data
+        assert data["3pc-central"]["after_crash_commits"] > 0
+        assert data["2pc-central"]["after_crash_commits"] == 0
+        assert data["2pc-central"]["stalled"] > 0
+        assert data["3pc-central"]["stalled"] == 0
+
+
+class TestExtensions:
+    def test_a1_phase1_is_load_bearing(self):
+        from repro.experiments.e_a1_phase1_ablation import run_a1
+
+        data = run_a1().data
+        assert data["standard"]["atomic"]
+        assert not data["unsafe-skip-phase1"]["atomic"]
+
+    def test_a2_partition_splits_3pc(self):
+        from repro.experiments.e_a2_partition import run_a2
+
+        data = run_a2().data
+        assert data["crash"]["atomic"]
+        assert not data["partition"]["atomic"]
+
+    def test_a3_total_failure_extension_resolves(self):
+        from repro.experiments.e_a3_total_failure import run_a3
+
+        data = run_a3().data
+        assert not data["disabled"]["resolved"]
+        assert data["enabled"]["resolved"] and data["enabled"]["atomic"]
+
+    def test_a4_cooperative_reduces_blocking(self):
+        from repro.experiments.e_a4_cooperative_termination import run_a4
+
+        data = run_a4(grid=8).data
+        assert data["cooperative"]["blocked"] < data["standard"]["blocked"]
+        assert data["cooperative"]["violations"] == 0
+
+    def test_a5_quorum_tradeoff(self):
+        from repro.experiments.e_a5_quorum_tradeoff import run_a5
+
+        data = run_a5().data
+        assert data["partition"]["quorum"]["atomic"]
+        assert not data["partition"]["standard"]["atomic"]
+        assert data["cascade"]["standard"]["survivor_decided"]
+        assert not data["cascade"]["quorum"]["survivor_decided"]

@@ -1,0 +1,175 @@
+"""Unit tests for site automata and the message helpers."""
+
+import pytest
+
+from repro.errors import InvalidAutomatonError
+from repro.fsa.automaton import SiteAutomaton, Transition
+from repro.fsa.messages import EXTERNAL, Msg, fan_in, fan_out
+from repro.types import SiteId, StateKind, Vote
+
+
+def simple_automaton():
+    """q -> w (vote yes) -> c, q -> a (vote no), w -> a."""
+    site = SiteId(1)
+    return SiteAutomaton(
+        site=site,
+        role="peer",
+        initial="q",
+        commit_states=["c"],
+        abort_states=["a"],
+        transitions=[
+            Transition("q", "w", frozenset({Msg("go", EXTERNAL, site)}),
+                       (Msg("yes", site, site),), vote=Vote.YES),
+            Transition("q", "a", frozenset({Msg("go", EXTERNAL, site)}),
+                       vote=Vote.NO),
+            Transition("w", "c", frozenset({Msg("ok", site, site)})),
+            Transition("w", "a", frozenset({Msg("stop", site, site)})),
+        ],
+    )
+
+
+class TestMessages:
+    def test_msg_str_external(self):
+        assert str(Msg("xact", EXTERNAL, SiteId(2))) == "xact→2"
+
+    def test_msg_str_internal(self):
+        assert str(Msg("yes", SiteId(2), SiteId(1))) == "yes[2→1]"
+
+    def test_fan_out_order_and_addressing(self):
+        msgs = fan_out("commit", SiteId(1), [SiteId(2), SiteId(3)])
+        assert [m.dst for m in msgs] == [2, 3]
+        assert all(m.src == 1 and m.kind == "commit" for m in msgs)
+
+    def test_fan_in_collects_from_all(self):
+        msgs = fan_in("yes", [SiteId(2), SiteId(3)], SiteId(1))
+        assert {m.src for m in msgs} == {2, 3}
+        assert all(m.dst == 1 for m in msgs)
+
+    def test_msg_is_hashable_and_ordered(self):
+        a = Msg("a", SiteId(1), SiteId(2))
+        b = Msg("b", SiteId(1), SiteId(2))
+        assert len({a, b, a}) == 2
+        assert sorted([b, a])[0] == a
+
+
+class TestStructure:
+    def test_states_inferred_from_transitions(self):
+        automaton = simple_automaton()
+        assert automaton.states == {"q", "w", "a", "c"}
+
+    def test_final_states_union(self):
+        automaton = simple_automaton()
+        assert automaton.final_states == {"a", "c"}
+
+    def test_kind_classification(self):
+        automaton = simple_automaton()
+        assert automaton.kind("q") is StateKind.INITIAL
+        assert automaton.kind("w") is StateKind.INTERMEDIATE
+        assert automaton.kind("c") is StateKind.COMMIT
+        assert automaton.kind("a") is StateKind.ABORT
+
+    def test_successors_is_paper_adjacency(self):
+        automaton = simple_automaton()
+        assert automaton.successors("w") == {"a", "c"}
+        assert automaton.successors("q") == {"w", "a"}
+        assert automaton.successors("c") == frozenset()
+
+    def test_predecessors(self):
+        automaton = simple_automaton()
+        assert automaton.predecessors("a") == {"q", "w"}
+
+    def test_out_in_transitions(self):
+        automaton = simple_automaton()
+        assert len(automaton.out_transitions("q")) == 2
+        assert len(automaton.in_transitions("a")) == 2
+
+
+class TestDepthsAndPhases:
+    def test_depths_are_shortest_paths(self):
+        automaton = simple_automaton()
+        assert automaton.depths == {"q": 0, "w": 1, "a": 1, "c": 2}
+
+    def test_depth_of_unreachable_raises(self):
+        automaton = simple_automaton()
+        with pytest.raises(InvalidAutomatonError):
+            automaton.depth("zzz")
+
+    def test_phase_count_is_longest_final_path(self):
+        # a is reachable at depth 1 AND 2; phases = longest = 2.
+        assert simple_automaton().phase_count == 2
+
+    def test_topological_order_starts_at_initial(self):
+        order = simple_automaton().topological_order()
+        assert order[0] == "q"
+        assert set(order) == {"q", "w", "a", "c"}
+
+    def test_topological_order_respects_edges(self):
+        order = simple_automaton().topological_order()
+        assert order.index("q") < order.index("w") < order.index("c")
+
+    def test_cycle_detected(self):
+        site = SiteId(1)
+        cyclic = SiteAutomaton(
+            site=site,
+            role="x",
+            initial="q",
+            commit_states=["c"],
+            abort_states=["a"],
+            transitions=[
+                Transition("q", "w", frozenset({Msg("m", site, site)})),
+                Transition("w", "q", frozenset({Msg("n", site, site)})),
+                Transition("w", "c", frozenset({Msg("o", site, site)})),
+                Transition("q", "a", frozenset({Msg("p", site, site)})),
+            ],
+        )
+        with pytest.raises(InvalidAutomatonError):
+            cyclic.topological_order()
+
+
+class TestVoteAnalysis:
+    def test_initial_does_not_imply_yes(self):
+        assert simple_automaton().implies_yes_vote["q"] is False
+
+    def test_state_after_yes_vote_implies_yes(self):
+        implies = simple_automaton().implies_yes_vote
+        assert implies["w"] is True
+        assert implies["c"] is True
+
+    def test_state_reachable_without_yes_does_not_imply(self):
+        # a is reachable via q->a (vote no) — so occupancy of a does not
+        # imply a yes vote even though w->a exists on a yes path.
+        assert simple_automaton().implies_yes_vote["a"] is False
+
+    def test_all_paths_semantics(self):
+        # Diamond: q -> x (yes), q -> y (yes), both -> m: every path to
+        # m carries a yes, so m implies yes.
+        site = SiteId(1)
+        automaton = SiteAutomaton(
+            site=site,
+            role="x",
+            initial="q",
+            commit_states=["m"],
+            abort_states=["a"],
+            transitions=[
+                Transition("q", "x", frozenset({Msg("1", site, site)}), vote=Vote.YES),
+                Transition("q", "y", frozenset({Msg("2", site, site)}), vote=Vote.YES),
+                Transition("x", "m", frozenset({Msg("3", site, site)})),
+                Transition("y", "m", frozenset({Msg("4", site, site)})),
+                Transition("q", "a", frozenset({Msg("5", site, site)}), vote=Vote.NO),
+            ],
+        )
+        assert automaton.implies_yes_vote["m"] is True
+
+
+class TestTransitionDescribe:
+    def test_describe_mentions_reads_writes_vote(self):
+        automaton = simple_automaton()
+        vote_transition = automaton.out_transitions("q")[0]
+        text = vote_transition.describe()
+        assert "q --(" in text and "-->" in text
+        assert "[vote yes]" in text
+
+    def test_describe_empty_writes_renders_dash(self):
+        automaton = simple_automaton()
+        silent = [t for t in automaton.transitions if not t.writes][0]
+        assert "/ —" in silent.describe()

@@ -1,0 +1,304 @@
+"""Unit tests for structural validation of automata and specs."""
+
+import pytest
+
+from repro.errors import InvalidAutomatonError, InvalidProtocolError
+from repro.fsa.automaton import SiteAutomaton, Transition
+from repro.fsa.messages import EXTERNAL, Msg
+from repro.fsa.spec import ProtocolSpec
+from repro.fsa.validate import validate_automaton, validate_spec
+from repro.protocols import catalog
+from repro.types import ProtocolClass, SiteId
+
+
+S1, S2 = SiteId(1), SiteId(2)
+
+
+def minimal_automaton(site, **overrides):
+    """A tiny valid automaton: q -> c on 'go', q -> a on 'no'."""
+    kwargs = dict(
+        site=site,
+        role="peer",
+        initial="q",
+        commit_states=["c"],
+        abort_states=["a"],
+        transitions=[
+            Transition("q", "c", frozenset({Msg("go", EXTERNAL, site)})),
+            Transition("q", "a", frozenset({Msg("no", EXTERNAL, site)})),
+        ],
+    )
+    kwargs.update(overrides)
+    return SiteAutomaton(**kwargs)
+
+
+class TestAutomatonValidation:
+    def test_minimal_is_valid(self):
+        validate_automaton(minimal_automaton(S1))
+
+    def test_catalog_automata_all_valid(self):
+        for name in catalog.protocol_names():
+            spec = catalog.build(name, 4)
+            for automaton in spec.automata.values():
+                validate_automaton(automaton)
+
+    def test_overlapping_final_sets_rejected(self):
+        bad = minimal_automaton(S1, abort_states=["c"])
+        with pytest.raises(InvalidAutomatonError, match="both commit and abort"):
+            validate_automaton(bad)
+
+    def test_missing_commit_state_rejected(self):
+        bad = SiteAutomaton(
+            site=S1, role="x", initial="q", commit_states=[],
+            abort_states=["a"],
+            transitions=[Transition("q", "a", frozenset({Msg("x", EXTERNAL, S1)}))],
+        )
+        with pytest.raises(InvalidAutomatonError, match="no commit state"):
+            validate_automaton(bad)
+
+    def test_missing_abort_state_rejected(self):
+        bad = SiteAutomaton(
+            site=S1, role="x", initial="q", commit_states=["c"],
+            abort_states=[],
+            transitions=[Transition("q", "c", frozenset({Msg("x", EXTERNAL, S1)}))],
+        )
+        with pytest.raises(InvalidAutomatonError, match="no abort state"):
+            validate_automaton(bad)
+
+    def test_empty_reads_rejected(self):
+        bad = minimal_automaton(
+            S1,
+            transitions=[
+                Transition("q", "c", frozenset()),
+                Transition("q", "a", frozenset({Msg("no", EXTERNAL, S1)})),
+            ],
+        )
+        with pytest.raises(InvalidAutomatonError, match="reads nothing"):
+            validate_automaton(bad)
+
+    def test_read_addressed_elsewhere_rejected(self):
+        bad = minimal_automaton(
+            S1,
+            transitions=[
+                Transition("q", "c", frozenset({Msg("go", EXTERNAL, S2)})),
+                Transition("q", "a", frozenset({Msg("no", EXTERNAL, S1)})),
+            ],
+        )
+        with pytest.raises(InvalidAutomatonError, match="addressed"):
+            validate_automaton(bad)
+
+    def test_write_claiming_other_sender_rejected(self):
+        bad = minimal_automaton(
+            S1,
+            transitions=[
+                Transition(
+                    "q", "c", frozenset({Msg("go", EXTERNAL, S1)}),
+                    writes=(Msg("m", S2, S1),),
+                ),
+                Transition("q", "a", frozenset({Msg("no", EXTERNAL, S1)})),
+            ],
+        )
+        with pytest.raises(InvalidAutomatonError, match="claims sender"):
+            validate_automaton(bad)
+
+    def test_outgoing_from_final_state_rejected(self):
+        bad = minimal_automaton(
+            S1,
+            transitions=[
+                Transition("q", "c", frozenset({Msg("go", EXTERNAL, S1)})),
+                Transition("q", "a", frozenset({Msg("no", EXTERNAL, S1)})),
+                Transition("c", "a", frozenset({Msg("undo", EXTERNAL, S1)})),
+            ],
+        )
+        with pytest.raises(InvalidAutomatonError, match="irreversible"):
+            validate_automaton(bad)
+
+    def test_unreachable_state_rejected(self):
+        bad = minimal_automaton(S1)
+        orphan = SiteAutomaton(
+            site=S1, role="x", initial="q",
+            commit_states=["c"], abort_states=["a", "orphan"],
+            transitions=bad.transitions,
+        )
+        with pytest.raises(InvalidAutomatonError, match="unreachable"):
+            validate_automaton(orphan)
+
+
+def two_site_spec(automata=None, initial=None, **overrides):
+    """A tiny valid decentralized spec over sites 1 and 2."""
+    if automata is None:
+        automata = {}
+        for site in (S1, S2):
+            automata[site] = SiteAutomaton(
+                site=site,
+                role="peer",
+                initial="q",
+                commit_states=["c"],
+                abort_states=["a"],
+                transitions=[
+                    Transition("q", "c", frozenset({Msg("go", EXTERNAL, site)})),
+                    Transition("q", "a", frozenset({Msg("no", EXTERNAL, site)})),
+                ],
+            )
+    if initial is None:
+        initial = [
+            Msg("go", EXTERNAL, S1),
+            Msg("no", EXTERNAL, S1),
+            Msg("go", EXTERNAL, S2),
+            Msg("no", EXTERNAL, S2),
+        ]
+    kwargs = dict(
+        name="tiny",
+        protocol_class=ProtocolClass.DECENTRALIZED,
+        automata=automata,
+        initial_messages=initial,
+        validate=False,
+    )
+    kwargs.update(overrides)
+    return ProtocolSpec(**kwargs)
+
+
+class TestSpecValidation:
+    def test_tiny_spec_valid(self):
+        validate_spec(two_site_spec())
+
+    def test_catalog_specs_all_valid(self):
+        for name in catalog.protocol_names():
+            for n in (2, 3, 5):
+                validate_spec(catalog.build(name, n))
+
+    def test_empty_spec_rejected(self):
+        with pytest.raises(InvalidProtocolError, match="no participating"):
+            validate_spec(two_site_spec(automata={}, initial=[]))
+
+    def test_mismatched_site_key_rejected(self):
+        spec = two_site_spec()
+        spec.automata[SiteId(9)] = spec.automata.pop(S2)
+        with pytest.raises(InvalidProtocolError, match="claims site"):
+            validate_spec(spec)
+
+    def test_internal_initial_message_rejected(self):
+        spec = two_site_spec(
+            initial=[Msg("go", S1, S2), Msg("go", EXTERNAL, S1)]
+        )
+        with pytest.raises(InvalidProtocolError, match="external world"):
+            validate_spec(spec)
+
+    def test_initial_message_to_nonparticipant_rejected(self):
+        spec = two_site_spec(
+            initial=[
+                Msg("go", EXTERNAL, S1),
+                Msg("go", EXTERNAL, S2),
+                Msg("go", EXTERNAL, SiteId(9)),
+            ]
+        )
+        with pytest.raises(InvalidProtocolError, match="non-participant"):
+            validate_spec(spec)
+
+    def test_unproducible_read_rejected(self):
+        automata = two_site_spec().automata
+        automata[S1] = SiteAutomaton(
+            site=S1, role="peer", initial="q",
+            commit_states=["c"], abort_states=["a"],
+            transitions=[
+                Transition("q", "c", frozenset({Msg("ghost", S2, S1)})),
+                Transition("q", "a", frozenset({Msg("no", EXTERNAL, S1)})),
+            ],
+        )
+        spec = two_site_spec(automata=automata)
+        with pytest.raises(InvalidProtocolError, match="can produce"):
+            validate_spec(spec)
+
+    def test_write_to_nonparticipant_rejected(self):
+        automata = two_site_spec().automata
+        automata[S1] = SiteAutomaton(
+            site=S1, role="peer", initial="q",
+            commit_states=["c"], abort_states=["a"],
+            transitions=[
+                Transition(
+                    "q", "c", frozenset({Msg("go", EXTERNAL, S1)}),
+                    writes=(Msg("m", S1, SiteId(9)),),
+                ),
+                Transition("q", "a", frozenset({Msg("no", EXTERNAL, S1)})),
+            ],
+        )
+        spec = two_site_spec(automata=automata)
+        with pytest.raises(InvalidProtocolError, match="non-participant"):
+            validate_spec(spec)
+
+    def test_central_without_coordinator_rejected(self):
+        spec = two_site_spec(protocol_class=ProtocolClass.CENTRAL_SITE)
+        with pytest.raises(InvalidProtocolError, match="coordinator"):
+            validate_spec(spec)
+
+    def test_sequential_duplicate_emission_rejected(self):
+        # q --go/m--> w --no/m--> c emits the same message twice on one path.
+        automata = two_site_spec().automata
+        automata[S1] = SiteAutomaton(
+            site=S1, role="peer", initial="q",
+            commit_states=["c"], abort_states=["a"],
+            transitions=[
+                Transition(
+                    "q", "w", frozenset({Msg("go", EXTERNAL, S1)}),
+                    writes=(Msg("m", S1, S2),),
+                ),
+                Transition(
+                    "w", "c", frozenset({Msg("no", EXTERNAL, S1)}),
+                    writes=(Msg("m", S1, S2),),
+                ),
+                Transition("q", "a", frozenset({Msg("no", EXTERNAL, S1)})),
+            ],
+        )
+        automata[S2] = SiteAutomaton(
+            site=S2, role="peer", initial="q",
+            commit_states=["c"], abort_states=["a"],
+            transitions=[
+                Transition("q", "c", frozenset({Msg("m", S1, S2)})),
+                Transition("q", "a", frozenset({Msg("go", EXTERNAL, S2)})),
+            ],
+        )
+        spec = two_site_spec(
+            automata=automata,
+            initial=[
+                Msg("go", EXTERNAL, S1),
+                Msg("no", EXTERNAL, S1),
+                Msg("go", EXTERNAL, S2),
+            ],
+        )
+        with pytest.raises(InvalidProtocolError, match="twice along one path"):
+            validate_spec(spec)
+
+    def test_alternative_branch_duplicates_allowed(self):
+        # Two transitions out of the same state writing the same message
+        # are mutually exclusive — exactly the 2PC coordinator's abort
+        # fan-outs — and must validate.
+        validate_spec(catalog.build("2pc-central", 4))
+
+
+class TestSpecAccessors:
+    def test_sites_sorted(self, spec_3pc_central):
+        assert spec_3pc_central.sites == [1, 2, 3]
+
+    def test_automaton_for_unknown_site_raises(self, spec_3pc_central):
+        with pytest.raises(InvalidProtocolError):
+            spec_3pc_central.automaton(SiteId(99))
+
+    def test_initial_state_vector(self, spec_3pc_central):
+        assert spec_3pc_central.initial_state_vector() == ("q", "q", "q")
+
+    def test_state_kind_queries(self, spec_3pc_central):
+        assert spec_3pc_central.is_commit_state(SiteId(1), "c")
+        assert spec_3pc_central.is_abort_state(SiteId(2), "a")
+        assert spec_3pc_central.is_final_state(SiteId(1), "c")
+        assert not spec_3pc_central.is_final_state(SiteId(1), "w")
+
+    def test_message_kinds(self, spec_3pc_central):
+        kinds = spec_3pc_central.message_kinds()
+        assert {"request", "xact", "yes", "no", "prepare", "ack",
+                "commit", "abort"} <= kinds
+
+    def test_phase_counts_match_names(self, all_specs):
+        assert all_specs["1pc"].max_phase_count() == 1
+        assert all_specs["2pc-central"].max_phase_count() == 2
+        assert all_specs["2pc-decentralized"].max_phase_count() == 2
+        assert all_specs["3pc-central"].max_phase_count() == 3
+        assert all_specs["3pc-decentralized"].max_phase_count() == 3

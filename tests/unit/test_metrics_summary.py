@@ -1,0 +1,82 @@
+"""Unit tests for campaign summaries."""
+
+import pytest
+
+from repro.metrics import summarize_runs
+from repro.protocols import catalog
+from repro.runtime.decision import TerminationRule
+from repro.runtime.harness import CommitRun
+from repro.runtime.policies import FixedVotes
+from repro.types import Outcome, SiteId, Vote
+from repro.workload.crashes import CrashAt
+from repro.workload.generator import WorkloadGenerator
+
+
+@pytest.fixture(scope="module")
+def spec():
+    return catalog.build("3pc-central", 3)
+
+
+@pytest.fixture(scope="module")
+def rule(spec):
+    return TerminationRule(spec)
+
+
+class TestSummarizeRuns:
+    def test_empty_campaign(self):
+        summary = summarize_runs([])
+        assert summary.runs == 0
+        assert summary.blocked_fraction == 0.0
+
+    def test_commit_and_abort_tallied(self, spec, rule):
+        commit_run = CommitRun(spec, rule=rule).execute()
+        abort_run = CommitRun(
+            spec, vote_policy=FixedVotes({SiteId(2): Vote.NO}), rule=rule
+        ).execute()
+        summary = summarize_runs([commit_run, abort_run])
+        assert summary.runs == 2
+        assert summary.outcomes.get("commit") == 1
+        assert summary.outcomes.get("abort") == 1
+        assert summary.violations == 0
+
+    def test_blocked_runs_counted(self):
+        spec2 = catalog.build("2pc-central", 3)
+        rule2 = TerminationRule(spec2)
+        blocked = CommitRun(
+            spec2, crashes=[CrashAt(site=1, at=2.0)], rule=rule2
+        ).execute()
+        summary = summarize_runs([blocked])
+        assert summary.blocked_runs == 1
+        assert summary.blocked_fraction == 1.0
+        assert summary.outcomes.get("undecided") == 1
+
+    def test_violation_counted(self, spec, rule):
+        run = CommitRun(spec, rule=rule).execute()
+        run.reports[2].outcome = Outcome.ABORT  # Fabricated violation.
+        summary = summarize_runs([run])
+        assert summary.violations == 1
+        assert summary.outcomes.get("VIOLATION") == 1
+
+    def test_crash_and_latency_statistics(self, spec, rule):
+        run = CommitRun(
+            spec, crashes=[CrashAt(site=3, at=1.5)], rule=rule
+        ).execute()
+        summary = summarize_runs([run])
+        assert summary.crashed_sites_total == 1
+        assert len(summary.decision_latency) == 2  # Two operational sites.
+        assert summary.messages.mean > 0
+
+    def test_to_table_renders(self, spec, rule):
+        summary = summarize_runs([CommitRun(spec, rule=rule).execute()])
+        text = summary.to_table("my campaign").render()
+        assert "my campaign" in text
+        assert "atomicity violations" in text
+
+    def test_full_generator_campaign(self):
+        spec = catalog.build("3pc-central", 3)
+        generator = WorkloadGenerator(spec, seed=5, p_no=0.2, p_crash=0.3)
+        summary = summarize_runs(generator.campaign(30))
+        assert summary.runs == 30
+        assert summary.violations == 0
+        assert summary.blocked_runs == 0  # 3PC never blocks.
+        assert summary.outcomes.total == 30

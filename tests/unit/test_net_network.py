@@ -1,0 +1,216 @@
+"""Unit tests for the network substrate."""
+
+import pytest
+
+from repro.errors import UnknownSiteError
+from repro.net.latency import FixedLatency, PerLinkLatency, UniformLatency
+from repro.net.network import Network
+from repro.sim.simulator import Simulator
+
+
+class Sink:
+    """Collects delivered envelopes."""
+
+    def __init__(self):
+        self.received = []
+
+    def deliver(self, envelope):
+        self.received.append(envelope)
+
+
+@pytest.fixture()
+def sim():
+    return Simulator(seed=1)
+
+
+@pytest.fixture()
+def net(sim):
+    return Network(sim, latency=FixedLatency(1.0), detection_delay=1.0)
+
+
+def attach(net, *sites):
+    sinks = {}
+    for site in sites:
+        sinks[site] = Sink()
+        net.attach(site, sinks[site])
+    return sinks
+
+
+class TestDelivery:
+    def test_send_delivers_after_latency(self, sim, net):
+        sinks = attach(net, 1, 2)
+        net.send(1, 2, "hello")
+        sim.run()
+        assert len(sinks[2].received) == 1
+        assert sinks[2].received[0].payload == "hello"
+        assert sim.now == 1.0
+
+    def test_envelope_metadata(self, sim, net):
+        sinks = attach(net, 1, 2)
+        envelope = net.send(1, 2, "x")
+        assert envelope.src == 1 and envelope.dst == 2
+        assert envelope.sent_at == 0.0
+        assert envelope.deliver_at == 1.0
+        assert envelope.latency == 1.0
+
+    def test_message_ids_unique_and_increasing(self, net):
+        attach(net, 1, 2)
+        a = net.send(1, 2, "a")
+        b = net.send(1, 2, "b")
+        assert b.msg_id == a.msg_id + 1
+
+    def test_broadcast_sends_to_each(self, sim, net):
+        sinks = attach(net, 1, 2, 3, 4)
+        net.broadcast(1, [2, 3, 4], "hi")
+        sim.run()
+        assert all(len(sinks[i].received) == 1 for i in (2, 3, 4))
+
+    def test_send_to_self_goes_through_network(self, sim, net):
+        sinks = attach(net, 1)
+        net.send(1, 1, "self")
+        sim.run()
+        assert len(sinks[1].received) == 1
+        assert sim.now == 1.0
+
+    def test_unknown_destination_rejected(self, net):
+        attach(net, 1)
+        with pytest.raises(UnknownSiteError):
+            net.send(1, 9, "x")
+
+    def test_unknown_source_rejected(self, net):
+        attach(net, 1)
+        with pytest.raises(UnknownSiteError):
+            net.send(9, 1, "x")
+
+    def test_counters(self, sim, net):
+        attach(net, 1, 2)
+        net.send(1, 2, "a")
+        net.send(2, 1, "b")
+        sim.run()
+        assert net.messages_sent == 2
+        assert net.messages_delivered == 2
+        assert net.messages_dropped == 0
+
+
+class TestCrashSemantics:
+    def test_message_to_down_site_dropped(self, sim, net):
+        sinks = attach(net, 1, 2)
+        net.send(1, 2, "x")
+        net.crash(2)
+        sim.run()
+        assert sinks[2].received == []
+        assert net.messages_dropped == 1
+
+    def test_in_flight_to_live_site_from_dead_sender_delivered(self, sim, net):
+        sinks = attach(net, 1, 2)
+        net.send(1, 2, "x")
+        net.crash(1)  # Sender dies after sending; network is reliable.
+        sim.run()
+        assert len(sinks[2].received) == 1
+
+    def test_crash_is_idempotent(self, sim, net):
+        attach(net, 1, 2)
+        net.crash(2)
+        net.crash(2)
+        assert not net.is_up(2)
+
+    def test_restart_resumes_delivery(self, sim, net):
+        sinks = attach(net, 1, 2)
+        net.crash(2)
+        net.restart(2)
+        net.send(1, 2, "x")
+        sim.run()
+        assert len(sinks[2].received) == 1
+
+    def test_operational_sites_reflect_crashes(self, net):
+        attach(net, 1, 2, 3)
+        net.crash(2)
+        assert net.operational_sites() == [1, 3]
+
+
+class TestFailureDetection:
+    def test_failure_reported_to_operational_sites(self, sim, net):
+        attach(net, 1, 2, 3)
+        seen = []
+        net.add_failure_listener(1, lambda s: seen.append((1, s)))
+        net.add_failure_listener(3, lambda s: seen.append((3, s)))
+        net.crash(2)
+        sim.run()
+        assert sorted(seen) == [(1, 2), (3, 2)]
+
+    def test_detection_delay_applies(self, sim):
+        net = Network(sim, detection_delay=4.0)
+        attach(net, 1, 2)
+        times = []
+        net.add_failure_listener(1, lambda s: times.append(sim.now))
+        net.crash(2)
+        sim.run()
+        assert times == [4.0]
+
+    def test_crashed_site_not_notified(self, sim, net):
+        attach(net, 1, 2, 3)
+        seen = []
+        net.add_failure_listener(3, lambda s: seen.append(s))
+        net.crash(3)
+        net.crash(2)
+        sim.run()
+        assert seen == []
+
+    def test_site_crashing_before_notification_misses_it(self, sim, net):
+        attach(net, 1, 2, 3)
+        seen = []
+        net.add_failure_listener(3, lambda s: seen.append(s))
+        net.crash(2)
+        sim.schedule(0.5, lambda: net.crash(3))  # Before detection at 1.0.
+        sim.run()
+        assert seen == []
+
+    def test_recovery_reported(self, sim, net):
+        attach(net, 1, 2)
+        seen = []
+        net.add_recovery_listener(1, lambda s: seen.append(s))
+        net.crash(2)
+        sim.run()
+        net.restart(2)
+        sim.run()
+        assert seen == [2]
+
+
+class TestLatencyModels:
+    def test_fixed_rejects_negative(self):
+        with pytest.raises(ValueError):
+            FixedLatency(-1.0)
+
+    def test_uniform_bounds(self):
+        model = UniformLatency(1.0, 3.0)
+        sim = Simulator(seed=5)
+        rng = sim.streams.stream("net.latency")
+        for _ in range(100):
+            assert 1.0 <= model.delay(1, 2, rng) <= 3.0
+
+    def test_uniform_rejects_inverted_bounds(self):
+        with pytest.raises(ValueError):
+            UniformLatency(3.0, 1.0)
+
+    def test_per_link_overrides_and_default(self):
+        model = PerLinkLatency({(1, 2): 5.0}, default=1.0)
+        rng = Simulator().streams.stream("net.latency")
+        assert model.delay(1, 2, rng) == 5.0
+        assert model.delay(2, 1, rng) == 1.0
+
+    def test_per_link_rejects_negative(self):
+        with pytest.raises(ValueError):
+            PerLinkLatency({(1, 2): -1.0})
+
+    def test_randomized_latency_is_deterministic_per_seed(self):
+        def run(seed):
+            sim = Simulator(seed=seed)
+            net = Network(sim, latency=UniformLatency(0.5, 2.0))
+            sinks = attach(net, 1, 2)
+            for _ in range(5):
+                net.send(1, 2, "x")
+            sim.run()
+            return [e.deliver_at for e in sinks[2].received]
+
+        assert run(3) == run(3)
+        assert run(3) != run(4)

@@ -1,0 +1,178 @@
+"""Unit tests for the protocol catalog and the individual builders."""
+
+import pytest
+
+from repro.errors import InstantiationError, InvalidProtocolError
+from repro.fsa.messages import EXTERNAL, Msg
+from repro.protocols import catalog
+from repro.protocols.one_phase import one_phase
+from repro.protocols.three_phase_central import central_three_phase
+from repro.protocols.three_phase_decentralized import decentralized_three_phase
+from repro.protocols.two_phase_central import central_two_phase
+from repro.protocols.two_phase_decentralized import decentralized_two_phase
+from repro.protocols._shared import no_vote_combinations
+from repro.types import ProtocolClass, SiteId, Vote
+
+
+class TestCatalog:
+    def test_five_protocols(self):
+        assert catalog.protocol_names() == [
+            "1pc",
+            "2pc-central",
+            "2pc-decentralized",
+            "3pc-central",
+            "3pc-decentralized",
+        ]
+
+    def test_build_by_name(self):
+        spec = catalog.build("3pc-central", 4)
+        assert spec.n_sites == 4
+        assert "3PC" in spec.name
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(InvalidProtocolError, match="unknown protocol"):
+            catalog.build("4pc", 3)
+
+    def test_blocking_and_nonblocking_partitions(self):
+        assert set(catalog.BLOCKING) | set(catalog.NONBLOCKING) == set(
+            catalog.PROTOCOLS
+        )
+
+    @pytest.mark.parametrize("name", catalog.protocol_names())
+    def test_minimum_site_count_enforced(self, name):
+        with pytest.raises(InstantiationError):
+            catalog.build(name, 1)
+
+
+class TestCentralSiteStructure:
+    @pytest.mark.parametrize(
+        "builder", [one_phase, central_two_phase, central_three_phase]
+    )
+    def test_coordinator_is_site_one(self, builder):
+        spec = builder(4)
+        assert spec.coordinator == SiteId(1)
+        assert spec.protocol_class is ProtocolClass.CENTRAL_SITE
+
+    @pytest.mark.parametrize(
+        "builder", [central_two_phase, central_three_phase]
+    )
+    def test_slaves_talk_only_to_coordinator(self, builder):
+        # Property 3 of the central-site model (slide 23).
+        spec = builder(4)
+        for site in spec.sites:
+            if site == spec.coordinator:
+                continue
+            automaton = spec.automaton(site)
+            for transition in automaton.transitions:
+                for msg in transition.writes:
+                    assert msg.dst == spec.coordinator
+                for msg in transition.reads:
+                    assert msg.src in (spec.coordinator, EXTERNAL)
+
+    def test_external_input_is_single_request(self):
+        spec = central_two_phase(4)
+        assert spec.initial_messages == frozenset(
+            {Msg("request", EXTERNAL, SiteId(1))}
+        )
+
+    def test_2pc_coordinator_vote_nondeterminism(self):
+        # Two transitions read the full yes set: one commits (vote yes),
+        # one aborts (vote no) — the "(yes_1)"/"(no_1)" of slide 15.
+        spec = central_two_phase(3)
+        coordinator = spec.automaton(SiteId(1))
+        all_yes = [
+            t
+            for t in coordinator.out_transitions("w")
+            if all(m.kind == "yes" for m in t.reads)
+            and len(t.reads) == spec.n_sites - 1
+        ]
+        votes = {t.vote for t in all_yes}
+        assert votes == {Vote.YES, Vote.NO}
+
+    def test_3pc_has_prepare_and_ack_kinds(self):
+        kinds = central_three_phase(3).message_kinds()
+        assert "prepare" in kinds and "ack" in kinds
+
+    def test_2pc_lacks_prepare(self):
+        assert "prepare" not in central_two_phase(3).message_kinds()
+
+
+class TestDecentralizedStructure:
+    @pytest.mark.parametrize(
+        "builder", [decentralized_two_phase, decentralized_three_phase]
+    )
+    def test_all_sites_same_role_no_coordinator(self, builder):
+        spec = builder(4)
+        assert spec.coordinator is None
+        assert {spec.automaton(s).role for s in spec.sites} == {"peer"}
+
+    def test_every_site_gets_external_xact(self):
+        spec = decentralized_two_phase(3)
+        assert spec.initial_messages == frozenset(
+            Msg("xact", EXTERNAL, SiteId(i)) for i in (1, 2, 3)
+        )
+
+    def test_sites_send_votes_to_themselves(self):
+        # Slide 25: "sites will be assumed to send messages to themselves."
+        spec = decentralized_two_phase(3)
+        peer = spec.automaton(SiteId(2))
+        vote_transition = [t for t in peer.transitions if t.vote is Vote.YES][0]
+        assert Msg("yes", SiteId(2), SiteId(2)) in vote_transition.writes
+
+    def test_commit_requires_full_yes_set(self):
+        spec = decentralized_two_phase(3)
+        peer = spec.automaton(SiteId(1))
+        commit_transitions = [
+            t for t in peer.transitions if t.target in peer.commit_states
+        ]
+        assert len(commit_transitions) == 1
+        assert {m.src for m in commit_transitions[0].reads} == {1, 2, 3}
+
+    def test_3pc_prepare_broadcast_to_all(self):
+        spec = decentralized_three_phase(3)
+        peer = spec.automaton(SiteId(1))
+        to_p = [t for t in peer.transitions if t.target == "p"][0]
+        assert {m.dst for m in to_p.writes} == {1, 2, 3}
+        assert all(m.kind == "prepare" for m in to_p.writes)
+
+
+class TestVoteCombinations:
+    def test_count_is_all_but_all_yes(self):
+        voters = [SiteId(2), SiteId(3), SiteId(4)]
+        assert len(no_vote_combinations(voters)) == 2**3 - 1
+
+    def test_each_has_at_least_one_no(self):
+        for vector in no_vote_combinations([SiteId(2), SiteId(3)]):
+            assert "no" in vector.values()
+
+    def test_all_vectors_distinct(self):
+        combos = no_vote_combinations([SiteId(2), SiteId(3), SiteId(4)])
+        as_tuples = {tuple(sorted(v.items())) for v in combos}
+        assert len(as_tuples) == len(combos)
+
+    def test_strict_2pc_abort_transition_count(self):
+        # w has 2 all-yes transitions plus 2^(n-1)-1 abort vectors.
+        spec = central_two_phase(4)
+        coordinator = spec.automaton(SiteId(1))
+        assert len(coordinator.out_transitions("w")) == 2 + (2**3 - 1)
+
+    def test_eager_2pc_abort_transition_count(self):
+        spec = central_two_phase(4, eager_abort=True)
+        coordinator = spec.automaton(SiteId(1))
+        assert len(coordinator.out_transitions("w")) == 2 + 3
+
+
+class TestOnePhase:
+    def test_slaves_cannot_vote(self):
+        spec = one_phase(3)
+        for site in (2, 3):
+            automaton = spec.automaton(SiteId(site))
+            assert all(t.vote is None for t in automaton.transitions)
+
+    def test_single_phase(self):
+        assert one_phase(3).max_phase_count() == 1
+
+    def test_coordinator_decides_alone(self):
+        spec = one_phase(3)
+        coordinator = spec.automaton(SiteId(1))
+        assert coordinator.successors("q") == {"c", "a"}

@@ -1,0 +1,106 @@
+"""Unit tests for the termination decision rule (slide 39/40)."""
+
+import pytest
+
+from repro.errors import TerminationError
+from repro.protocols import catalog
+from repro.runtime.decision import TerminationRule
+from repro.types import Outcome, SiteId
+
+
+@pytest.fixture(scope="module")
+def rule_3pc_dec():
+    return TerminationRule(catalog.build("3pc-decentralized", 3))
+
+
+@pytest.fixture(scope="module")
+def rule_2pc_dec():
+    return TerminationRule(catalog.build("2pc-decentralized", 3))
+
+
+class TestCanonical3PCRule:
+    """Slide 40: commit iff s in {p, c}."""
+
+    @pytest.mark.parametrize("state", ["q", "w", "a"])
+    def test_abort_states(self, rule_3pc_dec, state):
+        assert rule_3pc_dec.decide(SiteId(1), state) is Outcome.ABORT
+
+    @pytest.mark.parametrize("state", ["p", "c"])
+    def test_commit_states(self, rule_3pc_dec, state):
+        assert rule_3pc_dec.decide(SiteId(1), state) is Outcome.COMMIT
+
+    def test_never_blocked(self, rule_3pc_dec):
+        assert rule_3pc_dec.blocked_states() == []
+        rule_3pc_dec.verify_nonblocking()  # Must not raise.
+
+    def test_symmetric_across_peers(self, rule_3pc_dec):
+        for site in (1, 2, 3):
+            table = rule_3pc_dec.table(SiteId(site))
+            assert table["p"] is Outcome.COMMIT
+            assert table["w"] is Outcome.ABORT
+
+
+class TestCanonical2PCRule:
+    def test_wait_state_blocked(self, rule_2pc_dec):
+        # The essence of 2PC's blocking: w has a commit AND an abort in
+        # its concurrency set, so neither decision is safe.
+        assert rule_2pc_dec.decide(SiteId(1), "w") is Outcome.BLOCKED
+
+    def test_final_states_decide_themselves(self, rule_2pc_dec):
+        assert rule_2pc_dec.decide(SiteId(1), "c") is Outcome.COMMIT
+        assert rule_2pc_dec.decide(SiteId(1), "a") is Outcome.ABORT
+
+    def test_initial_state_aborts(self, rule_2pc_dec):
+        assert rule_2pc_dec.decide(SiteId(1), "q") is Outcome.ABORT
+
+    def test_verify_nonblocking_raises(self, rule_2pc_dec):
+        with pytest.raises(TerminationError, match="blocked"):
+            rule_2pc_dec.verify_nonblocking()
+
+
+class TestCentral3PCAsymmetry:
+    def test_coordinator_p_aborts_but_slave_p_commits(self, rule_3pc_central):
+        # The coordinator in p has not sent commit, so no commit state
+        # can coexist with it — the rule aborts.  A slave in p can
+        # coexist with the coordinator's c — the rule commits.
+        assert rule_3pc_central.decide(SiteId(1), "p") is Outcome.ABORT
+        assert rule_3pc_central.decide(SiteId(2), "p") is Outcome.COMMIT
+
+    def test_central_3pc_never_blocked(self, rule_3pc_central):
+        rule_3pc_central.verify_nonblocking()
+
+    def test_2pc_central_slave_w_blocked(self, rule_2pc_central):
+        assert rule_2pc_central.decide(SiteId(2), "w") is Outcome.BLOCKED
+
+    def test_2pc_central_coordinator_w_aborts(self, rule_2pc_central):
+        assert rule_2pc_central.decide(SiteId(1), "w") is Outcome.ABORT
+
+
+class TestMechanics:
+    def test_unreachable_state_raises(self, rule_3pc_central):
+        with pytest.raises(TerminationError, match="unreachable"):
+            rule_3pc_central.decide(SiteId(1), "zzz")
+
+    def test_table_covers_reachable_states(self, rule_3pc_central):
+        assert set(rule_3pc_central.table(SiteId(2))) == {"q", "w", "a", "p", "c"}
+
+    def test_decisions_never_unsafe(self, rule_2pc_central, graph_2pc_central):
+        # Safety cross-check: an ABORT decision requires no commit state
+        # in the concurrency set; a COMMIT decision requires no abort.
+        from repro.analysis.concurrency import concurrency_set
+
+        spec = graph_2pc_central.spec
+        for site in graph_2pc_central.sites:
+            for state in graph_2pc_central.reachable_local_states(site):
+                decision = rule_2pc_central.decide(site, state)
+                if spec.is_final_state(site, state):
+                    continue
+                cs = concurrency_set(graph_2pc_central, site, state)
+                has_commit = any(
+                    spec.is_commit_state(o, l) for o, l in cs
+                )
+                has_abort = any(spec.is_abort_state(o, l) for o, l in cs)
+                if decision is Outcome.ABORT:
+                    assert not has_commit
+                elif decision is Outcome.COMMIT:
+                    assert not has_abort

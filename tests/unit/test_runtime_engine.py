@@ -1,0 +1,252 @@
+"""Unit tests for the FSA interpreter engine (in isolation)."""
+
+import pytest
+
+from repro.errors import TransitionError
+from repro.fsa.messages import EXTERNAL, Msg
+from repro.protocols.three_phase_central import central_three_phase
+from repro.protocols.two_phase_central import central_two_phase
+from repro.runtime.engine import Engine
+from repro.runtime.log import DTLog
+from repro.runtime.policies import FixedVotes, UnanimousYes
+from repro.types import Outcome, SiteId, Vote
+
+
+class Harness:
+    """Drives one automaton's engine without a network."""
+
+    def __init__(self, automaton, policy=None):
+        self.sent = []
+        self.finals = []
+        self.traces = []
+        self.log = DTLog()
+        self.clock = [0.0]
+        self.engine = Engine(
+            automaton=automaton,
+            vote_policy=policy or UnanimousYes(),
+            log=self.log,
+            send=self.sent.append,
+            now=lambda: self.clock[0],
+            on_final=lambda outcome, via: self.finals.append((outcome, via)),
+            on_trace=lambda category, detail, **data: self.traces.append(category),
+        )
+
+    def feed(self, *msgs):
+        for msg in msgs:
+            self.engine.receive(msg)
+
+
+def coordinator_2pc(n=3):
+    return central_two_phase(n).automaton(SiteId(1))
+
+
+def slave_2pc(n=3):
+    return central_two_phase(n).automaton(SiteId(2))
+
+
+def coordinator_3pc(n=3):
+    return central_three_phase(n).automaton(SiteId(1))
+
+
+REQUEST = Msg("request", EXTERNAL, SiteId(1))
+XACT = Msg("xact", SiteId(1), SiteId(2))
+
+
+class TestBasicExecution:
+    def test_starts_in_initial_state(self):
+        h = Harness(coordinator_2pc())
+        assert h.engine.state == "q"
+        assert not h.engine.finished
+
+    def test_transition_fires_on_read_set(self):
+        h = Harness(coordinator_2pc())
+        h.feed(REQUEST)
+        assert h.engine.state == "w"
+        assert [m.kind for m in h.sent] == ["xact", "xact"]
+
+    def test_waits_for_full_read_set(self):
+        h = Harness(coordinator_2pc())
+        h.feed(REQUEST, Msg("yes", SiteId(2), SiteId(1)))
+        assert h.engine.state == "w"  # Still missing site 3's vote.
+        h.feed(Msg("yes", SiteId(3), SiteId(1)))
+        assert h.engine.state == "c"
+
+    def test_decision_fanout_sent(self):
+        h = Harness(coordinator_2pc())
+        h.feed(
+            REQUEST,
+            Msg("yes", SiteId(2), SiteId(1)),
+            Msg("yes", SiteId(3), SiteId(1)),
+        )
+        assert [m.kind for m in h.sent[-2:]] == ["commit", "commit"]
+
+    def test_final_callback_and_outcome(self):
+        h = Harness(slave_2pc())
+        h.feed(XACT, Msg("commit", SiteId(1), SiteId(2)))
+        assert h.engine.finished
+        assert h.engine.outcome is Outcome.COMMIT
+        assert h.finals == [(Outcome.COMMIT, "protocol")]
+
+    def test_out_of_order_delivery_buffers(self):
+        # Votes arriving before the request: buffered, then consumed.
+        h = Harness(coordinator_2pc())
+        h.feed(Msg("yes", SiteId(2), SiteId(1)), Msg("yes", SiteId(3), SiteId(1)))
+        assert h.engine.state == "q"
+        h.feed(REQUEST)
+        assert h.engine.state == "c"
+
+    def test_transitions_fired_counter(self):
+        h = Harness(slave_2pc())
+        h.feed(XACT, Msg("commit", SiteId(1), SiteId(2)))
+        assert h.engine.transitions_fired == 2
+
+
+class TestVoteResolution:
+    def test_yes_policy_moves_to_wait(self):
+        h = Harness(slave_2pc(), policy=UnanimousYes())
+        h.feed(XACT)
+        assert h.engine.state == "w"
+        assert h.sent[0].kind == "yes"
+
+    def test_no_policy_aborts_unilaterally(self):
+        h = Harness(slave_2pc(), policy=FixedVotes({SiteId(2): Vote.NO}))
+        h.feed(XACT)
+        assert h.engine.state == "a"
+        assert h.engine.outcome is Outcome.ABORT
+        assert h.sent[0].kind == "no"
+
+    def test_vote_logged_before_messages_sent(self):
+        h = Harness(slave_2pc())
+        h.feed(XACT)
+        vote = h.log.vote()
+        assert vote is not None and vote.vote is Vote.YES
+
+    def test_coordinator_unilateral_no(self):
+        h = Harness(coordinator_2pc(), policy=FixedVotes({SiteId(1): Vote.NO}))
+        h.feed(
+            REQUEST,
+            Msg("yes", SiteId(2), SiteId(1)),
+            Msg("yes", SiteId(3), SiteId(1)),
+        )
+        assert h.engine.state == "a"
+        assert [m.kind for m in h.sent[-2:]] == ["abort", "abort"]
+
+    def test_ambiguous_transitions_raise(self):
+        # Craft an automaton with two enabled un-voted transitions that
+        # disagree: the engine must refuse to guess.
+        from repro.fsa.automaton import SiteAutomaton, Transition
+
+        site = SiteId(1)
+        automaton = SiteAutomaton(
+            site=site,
+            role="x",
+            initial="q",
+            commit_states=["c"],
+            abort_states=["a"],
+            transitions=[
+                Transition("q", "c", frozenset({Msg("m", EXTERNAL, site)})),
+                Transition("q", "a", frozenset({Msg("m", EXTERNAL, site)})),
+            ],
+        )
+        h = Harness(automaton)
+        with pytest.raises(TransitionError, match="ambiguous"):
+            h.feed(Msg("m", EXTERNAL, site))
+
+
+class TestDecisionLogging:
+    def test_decision_logged_on_final_entry(self):
+        h = Harness(slave_2pc())
+        h.feed(XACT, Msg("abort", SiteId(1), SiteId(2)))
+        decision = h.log.decision()
+        assert decision.outcome is Outcome.ABORT
+        assert decision.via == "protocol"
+
+    def test_coordinator_logs_commit_before_fanout(self):
+        h = Harness(coordinator_2pc())
+        h.feed(
+            REQUEST,
+            Msg("yes", SiteId(2), SiteId(1)),
+            Msg("yes", SiteId(3), SiteId(1)),
+        )
+        assert h.log.decision().outcome is Outcome.COMMIT
+
+
+class TestPartialCrash:
+    def test_partial_send_stops_after_prefix(self):
+        h = Harness(coordinator_2pc())
+        crashed = []
+        h.engine.arm_partial_crash(2, after_writes=1, crash=lambda: crashed.append(True))
+        h.feed(
+            REQUEST,
+            Msg("yes", SiteId(2), SiteId(1)),
+            Msg("yes", SiteId(3), SiteId(1)),
+        )
+        # Transition 2 (w->c): only 1 of 2 commit messages got out.
+        assert crashed == [True]
+        assert [m.kind for m in h.sent] == ["xact", "xact", "commit"]
+
+    def test_state_does_not_advance_on_partial_crash(self):
+        h = Harness(coordinator_2pc())
+        h.engine.arm_partial_crash(2, after_writes=0, crash=h.engine.halt)
+        h.feed(
+            REQUEST,
+            Msg("yes", SiteId(2), SiteId(1)),
+            Msg("yes", SiteId(3), SiteId(1)),
+        )
+        assert h.engine.state == "w"
+
+    def test_decision_logged_even_if_sends_cut_short(self):
+        # Write-ahead: the commit record is forced before transmission.
+        h = Harness(coordinator_2pc())
+        h.engine.arm_partial_crash(2, after_writes=0, crash=h.engine.halt)
+        h.feed(
+            REQUEST,
+            Msg("yes", SiteId(2), SiteId(1)),
+            Msg("yes", SiteId(3), SiteId(1)),
+        )
+        assert h.log.decision().outcome is Outcome.COMMIT
+
+    def test_halted_engine_ignores_messages(self):
+        h = Harness(slave_2pc())
+        h.engine.halt()
+        h.feed(XACT)
+        assert h.engine.state == "q"
+        assert h.sent == []
+
+
+class TestForcedMoves:
+    def test_force_state(self):
+        h = Harness(coordinator_3pc())
+        h.feed(REQUEST)
+        h.engine.force_state("p")
+        assert h.engine.state == "p"
+
+    def test_force_unknown_state_raises(self):
+        h = Harness(coordinator_3pc())
+        with pytest.raises(TransitionError, match="unknown state"):
+            h.engine.force_state("zzz")
+
+    def test_force_state_on_finished_engine_is_noop(self):
+        h = Harness(slave_2pc())
+        h.feed(XACT, Msg("commit", SiteId(1), SiteId(2)))
+        h.engine.force_state("q")
+        assert h.engine.state == "c"
+
+    def test_force_outcome_commit(self):
+        h = Harness(coordinator_3pc())
+        h.feed(REQUEST)
+        h.engine.force_outcome(Outcome.COMMIT, via="termination")
+        assert h.engine.state == "c"
+        assert h.log.decision().via == "termination"
+        assert h.finals == [(Outcome.COMMIT, "termination")]
+
+    def test_force_outcome_non_final_raises(self):
+        h = Harness(coordinator_3pc())
+        with pytest.raises(TransitionError):
+            h.engine.force_outcome(Outcome.BLOCKED, via="x")
+
+    def test_force_outcome_idempotent_when_finished(self):
+        h = Harness(slave_2pc())
+        h.feed(XACT, Msg("commit", SiteId(1), SiteId(2)))
+        h.engine.force_outcome(Outcome.ABORT, via="termination")  # Ignored.
+        assert h.engine.outcome is Outcome.COMMIT

@@ -1,0 +1,351 @@
+"""Unit tests for the termination/recovery extensions and their
+failure-injection substrate."""
+
+import pytest
+
+from repro.election.bully import bully_strategy
+from repro.protocols import catalog
+from repro.runtime.decision import TerminationRule
+from repro.runtime.harness import CommitRun
+from repro.runtime.termination import TERMINATION_MODES
+from repro.types import Outcome, SiteId
+from repro.workload.crashes import (
+    CrashAfterPayloads,
+    CrashAt,
+    CrashDuringTransition,
+)
+
+
+class TestPayloadCrashInjector:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CrashAfterPayloads(site=1, payload_number=0)
+
+    def test_backup_dies_before_first_broadcast(
+        self, spec_3pc_central, rule_3pc_central
+    ):
+        run = CommitRun(
+            spec_3pc_central,
+            crashes=[
+                CrashAt(site=1, at=2.0),
+                CrashAfterPayloads(site=2, payload_number=1),
+            ],
+            rule=rule_3pc_central,
+        ).execute()
+        assert run.reports[2].crashed
+        assert run.atomic
+        # The remaining survivor still terminates (cascading election).
+        assert run.reports[3].outcome.is_final
+
+    def test_payload_crash_with_restart(self, spec_3pc_central, rule_3pc_central):
+        run = CommitRun(
+            spec_3pc_central,
+            crashes=[
+                CrashAt(site=1, at=2.0),
+                CrashAfterPayloads(site=2, payload_number=1, restart_at=40.0),
+            ],
+            rule=rule_3pc_central,
+        ).execute()
+        assert run.atomic
+        assert run.reports[2].outcome.is_final  # Recovered.
+
+
+class TestTerminationModes:
+    def test_mode_names(self):
+        assert TERMINATION_MODES == (
+            "standard",
+            "cooperative",
+            "unsafe-skip-phase1",
+            "quorum",
+        )
+
+    def test_unknown_mode_rejected(self, spec_3pc_central, rule_3pc_central):
+        with pytest.raises(ValueError, match="unknown termination mode"):
+            CommitRun(
+                spec_3pc_central,
+                rule=rule_3pc_central,
+                termination_mode="bogus",
+            ).execute()
+
+    def test_cooperative_mode_handles_plain_coordinator_crash(
+        self, spec_3pc_central, rule_3pc_central
+    ):
+        run = CommitRun(
+            spec_3pc_central,
+            crashes=[CrashAt(site=1, at=2.0)],
+            rule=rule_3pc_central,
+            termination_mode="cooperative",
+        ).execute()
+        assert run.atomic
+        for site in (2, 3):
+            assert run.reports[site].outcome.is_final
+
+    def test_cooperative_rescues_blocked_2pc(self):
+        # Coordinator crashes mid commit fan-out; only the lowest slave
+        # holds the commit; the bully election picks the HIGHEST slave
+        # as backup, which is in w.  Standard mode blocks; cooperative
+        # mode polls, finds the commit, and adopts it.
+        spec = catalog.build("2pc-central", 4)
+        rule = TerminationRule(spec)
+        crashes = [
+            CrashDuringTransition(site=1, transition_number=2, after_writes=1)
+        ]
+        standard = CommitRun(
+            spec,
+            crashes=crashes,
+            rule=rule,
+            termination_mode="standard",
+            elect=bully_strategy,
+        ).execute()
+        cooperative = CommitRun(
+            spec,
+            crashes=crashes,
+            rule=rule,
+            termination_mode="cooperative",
+            elect=bully_strategy,
+        ).execute()
+        assert standard.blocked_sites  # The paper's rule blocks here.
+        assert cooperative.blocked_sites == []
+        assert set(cooperative.outcomes().values()) == {Outcome.COMMIT}
+        assert cooperative.atomic
+
+    def test_cooperative_still_blocks_when_nobody_knows(
+        self, rule_2pc_central, spec_2pc_central
+    ):
+        # Every survivor in w: polling cannot help — the fundamental
+        # theorem's genuinely undecidable case.
+        run = CommitRun(
+            spec_2pc_central,
+            crashes=[CrashAt(site=1, at=2.0)],
+            rule=rule_2pc_central,
+            termination_mode="cooperative",
+        ).execute()
+        assert run.blocked_sites == [2, 3]
+        assert run.atomic
+
+    def test_skip_phase1_is_equivalent_when_backup_survives(
+        self, spec_3pc_central, rule_3pc_central
+    ):
+        # The ablation only misbehaves when the backup dies mid-round;
+        # otherwise it reaches the same outcomes.
+        safe = CommitRun(
+            spec_3pc_central,
+            crashes=[CrashAt(site=1, at=2.0)],
+            rule=rule_3pc_central,
+            termination_mode="unsafe-skip-phase1",
+        ).execute()
+        assert safe.atomic
+        assert set(safe.outcomes().values()) >= {Outcome.ABORT}
+
+    def test_skip_phase1_violates_atomicity_under_backup_crash(self):
+        spec = catalog.build("3pc-central", 4)
+        rule = TerminationRule(spec)
+        crashes = [
+            CrashDuringTransition(site=1, transition_number=2, after_writes=1),
+            CrashAfterPayloads(site=2, payload_number=1),
+        ]
+        run = CommitRun(
+            spec,
+            crashes=crashes,
+            rule=rule,
+            termination_mode="unsafe-skip-phase1",
+        ).execute()
+        assert not run.atomic  # The documented, intentional failure.
+
+    def test_standard_mode_survives_the_same_schedule(self):
+        spec = catalog.build("3pc-central", 4)
+        rule = TerminationRule(spec)
+        crashes = [
+            CrashDuringTransition(site=1, transition_number=2, after_writes=1),
+            CrashAfterPayloads(site=2, payload_number=1),
+        ]
+        run = CommitRun(
+            spec, crashes=crashes, rule=rule, termination_mode="standard"
+        ).execute()
+        assert run.atomic
+
+
+class TestQuorumMode:
+    def test_even_partition_blocks_both_sides(self):
+        spec = catalog.build("3pc-central", 4)
+        rule = TerminationRule(spec)
+        run = CommitRun(
+            spec,
+            rule=rule,
+            termination_mode="quorum",
+            partition_at=3.2,
+            partition_groups=[{1, 2}, {3, 4}],
+        ).execute()
+        assert run.atomic
+        assert run.blocked_sites == [1, 2, 3, 4]
+
+    def test_majority_side_decides_minority_blocks(self):
+        spec = catalog.build("3pc-central", 4)
+        rule = TerminationRule(spec)
+        run = CommitRun(
+            spec,
+            rule=rule,
+            termination_mode="quorum",
+            partition_at=3.2,
+            partition_groups=[{1}, {2, 3, 4}],
+        ).execute()
+        assert run.atomic
+        for site in (2, 3, 4):
+            assert run.reports[site].outcome.is_final
+        assert run.blocked_sites == [1]
+
+    def test_lone_survivor_of_real_crashes_blocks(self):
+        spec = catalog.build("3pc-central", 4)
+        rule = TerminationRule(spec)
+        crashes = [
+            CrashAt(site=1, at=2.0),
+            CrashAt(site=2, at=4.0),
+            CrashAt(site=3, at=6.0),
+        ]
+        run = CommitRun(
+            spec, crashes=crashes, rule=rule, termination_mode="quorum"
+        ).execute()
+        assert run.reports[4].outcome is Outcome.UNDECIDED
+        assert 4 in run.blocked_sites
+        assert run.atomic
+
+    def test_single_crash_with_majority_terminates_normally(self):
+        spec = catalog.build("3pc-central", 4)
+        rule = TerminationRule(spec)
+        run = CommitRun(
+            spec,
+            crashes=[CrashAt(site=1, at=2.0)],
+            rule=rule,
+            termination_mode="quorum",
+        ).execute()
+        assert run.atomic
+        for site in (2, 3, 4):
+            assert run.reports[site].outcome.is_final
+
+
+class TestPartition:
+    def test_partition_args_validated(self, spec_3pc_central, rule_3pc_central):
+        with pytest.raises(ValueError, match="together"):
+            CommitRun(
+                spec_3pc_central, rule=rule_3pc_central, partition_at=3.0
+            )
+
+    def test_3pc_splits_under_partition(self):
+        spec = catalog.build("3pc-central", 4)
+        rule = TerminationRule(spec)
+        run = CommitRun(
+            spec,
+            rule=rule,
+            partition_at=3.2,
+            partition_groups=[{1, 2}, {3, 4}],
+        ).execute()
+        assert not run.atomic  # Split-brain: the known 3PC weakness.
+        assert set(run.decided_outcomes()) == {Outcome.COMMIT, Outcome.ABORT}
+
+    def test_partition_before_votes_is_harmless(self):
+        # Partition while everyone is still in q/w with no commit
+        # possible: both sides abort — consistent.
+        spec = catalog.build("3pc-central", 4)
+        rule = TerminationRule(spec)
+        run = CommitRun(
+            spec,
+            rule=rule,
+            partition_at=0.5,
+            partition_groups=[{1, 2}, {3, 4}],
+        ).execute()
+        assert run.atomic
+
+    def test_heal_restores_delivery(self):
+        from repro.net.network import Network
+        from repro.sim.simulator import Simulator
+
+        class Sink:
+            def __init__(self):
+                self.n = 0
+
+            def deliver(self, envelope):
+                self.n += 1
+
+        sim = Simulator()
+        net = Network(sim)
+        a, b = Sink(), Sink()
+        net.attach(SiteId(1), a)
+        net.attach(SiteId(2), b)
+        net.partition([{SiteId(1)}, {SiteId(2)}])
+        net.send(SiteId(1), SiteId(2), "lost")
+        sim.run()
+        assert b.n == 0
+        net.heal()
+        net.send(SiteId(1), SiteId(2), "arrives")
+        sim.run()
+        assert b.n == 1
+
+
+class TestTotalFailureRecovery:
+    def _crashes(self, spec):
+        return [
+            CrashAt(site=site, at=1.5, restart_at=20.0 + site)
+            for site in spec.sites
+        ]
+
+    def test_disabled_stays_undecided(self):
+        spec = catalog.build("3pc-decentralized", 3)
+        rule = TerminationRule(spec)
+        run = CommitRun(
+            spec, crashes=self._crashes(spec), rule=rule, max_time=120.0
+        ).execute()
+        assert all(
+            r.outcome is Outcome.UNDECIDED for r in run.reports.values()
+        )
+
+    def test_enabled_aborts_unanimously(self):
+        spec = catalog.build("3pc-decentralized", 3)
+        rule = TerminationRule(spec)
+        run = CommitRun(
+            spec,
+            crashes=self._crashes(spec),
+            rule=rule,
+            total_failure_recovery=True,
+            max_time=120.0,
+        ).execute()
+        assert set(run.outcomes().values()) == {Outcome.ABORT}
+        assert run.atomic
+
+    def test_not_triggered_while_some_site_never_crashed(self):
+        # One survivor keeps running the protocol: the recovered sites
+        # must NOT self-abort on its 'undecided' answers (it could
+        # still commit).  They resolve through it once it decides.
+        spec = catalog.build("3pc-central", 3)
+        rule = TerminationRule(spec)
+        run = CommitRun(
+            spec,
+            crashes=[
+                CrashAt(site=2, at=1.5, restart_at=20.0),
+                CrashAt(site=3, at=1.5, restart_at=21.0),
+            ],
+            rule=rule,
+            total_failure_recovery=True,
+            max_time=120.0,
+        ).execute()
+        assert run.atomic
+        final = {r.outcome for r in run.reports.values() if r.outcome.is_final}
+        assert len(final) == 1
+
+    def test_decision_surviving_total_failure_is_adopted(self):
+        # Site 3 logs the commit decision before the wave of crashes:
+        # recovered peers must adopt it, never invent an abort.
+        spec = catalog.build("3pc-central", 3)
+        rule = TerminationRule(spec)
+        run = CommitRun(
+            spec,
+            crashes=[
+                CrashAt(site=1, at=6.5, restart_at=20.0),
+                CrashAt(site=2, at=6.5, restart_at=21.0),
+                CrashAt(site=3, at=6.5, restart_at=22.0),
+            ],
+            rule=rule,
+            total_failure_recovery=True,
+            max_time=120.0,
+        ).execute()
+        assert run.atomic
+        assert set(run.outcomes().values()) == {Outcome.COMMIT}

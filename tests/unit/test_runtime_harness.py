@@ -1,0 +1,176 @@
+"""Unit tests for CommitRun / RunResult — failure-free and failing runs."""
+
+import pytest
+
+from repro.errors import AtomicityViolationError
+from repro.net.latency import UniformLatency
+from repro.protocols import catalog
+from repro.runtime.harness import CommitRun
+from repro.runtime.policies import FixedVotes
+from repro.types import Outcome, SiteId, Vote
+from repro.workload.crashes import CrashAt, CrashDuringTransition
+
+
+class TestHappyPath:
+    @pytest.mark.parametrize("name", catalog.protocol_names())
+    def test_unanimous_yes_commits_everywhere(self, name):
+        run = CommitRun(catalog.build(name, 4), termination_enabled=False).execute()
+        assert set(run.outcomes().values()) == {Outcome.COMMIT}
+        assert run.atomic
+        assert run.blocked_sites == []
+
+    @pytest.mark.parametrize("name", catalog.protocol_names())
+    def test_all_decisions_via_protocol(self, name):
+        run = CommitRun(catalog.build(name, 3), termination_enabled=False).execute()
+        assert all(r.via == "protocol" for r in run.reports.values())
+
+    def test_one_no_vote_aborts_everywhere(self, spec_3pc_central, rule_3pc_central):
+        run = CommitRun(
+            spec_3pc_central,
+            vote_policy=FixedVotes({SiteId(2): Vote.NO}),
+            rule=rule_3pc_central,
+        ).execute()
+        assert set(run.outcomes().values()) == {Outcome.ABORT}
+
+    def test_coordinator_no_vote_aborts(self, spec_2pc_central, rule_2pc_central):
+        run = CommitRun(
+            spec_2pc_central,
+            vote_policy=FixedVotes({SiteId(1): Vote.NO}),
+            rule=rule_2pc_central,
+        ).execute()
+        assert set(run.outcomes().values()) == {Outcome.ABORT}
+
+    def test_deterministic_given_seed(self, spec_3pc_central, rule_3pc_central):
+        def execute():
+            return CommitRun(
+                spec_3pc_central,
+                seed=5,
+                latency=UniformLatency(0.5, 2.0),
+                rule=rule_3pc_central,
+            ).execute()
+
+        a, b = execute(), execute()
+        assert a.duration == b.duration
+        assert a.messages_sent == b.messages_sent
+        assert a.outcomes() == b.outcomes()
+
+    def test_decision_times_recorded(self, spec_2pc_central, rule_2pc_central):
+        run = CommitRun(spec_2pc_central, rule=rule_2pc_central).execute()
+        times = run.decision_times()
+        assert set(times) == {1, 2, 3}
+        # The coordinator decides first; slaves one hop later.
+        assert times[1] < times[2]
+
+
+class TestCrashScenarios:
+    def test_3pc_coordinator_crash_terminates_survivors(
+        self, spec_3pc_central, rule_3pc_central
+    ):
+        run = CommitRun(
+            spec_3pc_central,
+            crashes=[CrashAt(site=1, at=2.0)],
+            rule=rule_3pc_central,
+        ).execute()
+        assert run.atomic
+        for site in (2, 3):
+            assert run.reports[site].outcome.is_final
+            assert run.reports[site].via == "termination"
+
+    def test_2pc_coordinator_crash_blocks_survivors(
+        self, spec_2pc_central, rule_2pc_central
+    ):
+        run = CommitRun(
+            spec_2pc_central,
+            crashes=[CrashAt(site=1, at=2.0)],
+            rule=rule_2pc_central,
+        ).execute()
+        assert run.atomic
+        assert run.blocked_sites == [2, 3]
+        assert run.undecided_operational == [2, 3]
+
+    def test_blocked_2pc_resolves_on_recovery(
+        self, spec_2pc_central, rule_2pc_central
+    ):
+        run = CommitRun(
+            spec_2pc_central,
+            crashes=[CrashAt(site=1, at=2.0, restart_at=30.0)],
+            rule=rule_2pc_central,
+        ).execute()
+        assert run.atomic
+        assert set(run.outcomes().values()) == {Outcome.ABORT}
+        assert run.reports[1].via == "recovery"
+
+    def test_partial_commit_fanout_heals_via_termination(
+        self, spec_2pc_central, rule_2pc_central
+    ):
+        run = CommitRun(
+            spec_2pc_central,
+            crashes=[CrashDuringTransition(site=1, transition_number=2, after_writes=1)],
+            rule=rule_2pc_central,
+        ).execute()
+        assert run.atomic
+        # Coordinator logged commit before crashing; everyone commits.
+        assert set(run.outcomes().values()) == {Outcome.COMMIT}
+
+    def test_crash_without_termination_leaves_undecided(self, spec_3pc_central):
+        run = CommitRun(
+            spec_3pc_central,
+            crashes=[CrashAt(site=1, at=2.0)],
+            termination_enabled=False,
+        ).execute()
+        assert run.undecided_operational == [2, 3]
+        assert run.blocked_sites == []  # Nobody even tried to terminate.
+
+    def test_slave_crash_before_voting_aborts(self, spec_3pc_central, rule_3pc_central):
+        run = CommitRun(
+            spec_3pc_central,
+            crashes=[CrashAt(site=3, at=0.5)],
+            rule=rule_3pc_central,
+        ).execute()
+        assert run.atomic
+        assert run.reports[1].outcome is Outcome.ABORT
+        assert run.reports[2].outcome is Outcome.ABORT
+
+    def test_vote_recorded_in_report(self, spec_3pc_central, rule_3pc_central):
+        run = CommitRun(
+            spec_3pc_central,
+            crashes=[CrashAt(site=3, at=1.5)],
+            rule=rule_3pc_central,
+        ).execute()
+        assert run.reports[3].vote is Vote.YES
+        assert run.reports[3].crashed
+
+
+class TestRunResult:
+    def test_assert_atomic_raises_on_fabricated_violation(self, spec_3pc_central):
+        run = CommitRun(spec_3pc_central, termination_enabled=False).execute()
+        run.reports[2].outcome = Outcome.ABORT  # Fabricate a violation.
+        assert not run.atomic
+        with pytest.raises(AtomicityViolationError):
+            run.assert_atomic()
+
+    def test_message_accounting(self, spec_2pc_central, rule_2pc_central):
+        run = CommitRun(spec_2pc_central, rule=rule_2pc_central).execute()
+        assert run.messages_sent == 6  # 2 xact + 2 yes + 2 commit.
+        assert run.messages_delivered == 6
+        assert run.messages_dropped == 0
+
+    def test_crash_schedule_validated(self, spec_2pc_central, rule_2pc_central):
+        with pytest.raises(ValueError, match="does not participate"):
+            CommitRun(
+                spec_2pc_central,
+                crashes=[CrashAt(site=9, at=1.0)],
+                rule=rule_2pc_central,
+            )
+
+    def test_crash_event_validation(self):
+        with pytest.raises(ValueError):
+            CrashAt(site=1, at=5.0, restart_at=3.0)
+        with pytest.raises(ValueError):
+            CrashDuringTransition(site=1, transition_number=0, after_writes=0)
+        with pytest.raises(ValueError):
+            CrashDuringTransition(site=1, transition_number=1, after_writes=-1)
+
+    def test_trace_available(self, spec_2pc_central, rule_2pc_central):
+        run = CommitRun(spec_2pc_central, rule=rule_2pc_central).execute()
+        assert run.trace.count("engine.transition") > 0

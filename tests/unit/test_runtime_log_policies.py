@@ -1,0 +1,107 @@
+"""Unit tests for the DT log and vote policies."""
+
+import pytest
+
+from repro.errors import WALError
+from repro.runtime.log import DTLog
+from repro.runtime.policies import BernoulliVotes, FixedVotes, UnanimousYes
+from repro.types import Outcome, SiteId, Vote
+
+
+class TestDTLog:
+    def test_empty_log(self):
+        log = DTLog()
+        assert log.vote() is None
+        assert log.decision() is None
+        assert log.outcome() is Outcome.UNDECIDED
+        assert len(log) == 0
+
+    def test_vote_round_trip(self):
+        log = DTLog()
+        log.write_vote(Vote.YES, at=1.5)
+        record = log.vote()
+        assert record.vote is Vote.YES
+        assert record.at == 1.5
+
+    def test_double_vote_rejected(self):
+        log = DTLog()
+        log.write_vote(Vote.YES, at=1.0)
+        with pytest.raises(WALError, match="already logged"):
+            log.write_vote(Vote.NO, at=2.0)
+
+    def test_decision_round_trip(self):
+        log = DTLog()
+        log.write_decision(Outcome.COMMIT, at=3.0, via="protocol")
+        record = log.decision()
+        assert record.outcome is Outcome.COMMIT
+        assert record.via == "protocol"
+        assert log.outcome() is Outcome.COMMIT
+
+    def test_non_final_decision_rejected(self):
+        with pytest.raises(WALError, match="non-final"):
+            DTLog().write_decision(Outcome.UNDECIDED, at=1.0, via="x")
+
+    def test_same_decision_relog_is_noop(self):
+        log = DTLog()
+        log.write_decision(Outcome.ABORT, at=1.0, via="protocol")
+        log.write_decision(Outcome.ABORT, at=2.0, via="recovery")
+        assert log.decision().at == 1.0  # First write wins.
+        assert len(log) == 1
+
+    def test_conflicting_decision_rejected(self):
+        log = DTLog()
+        log.write_decision(Outcome.COMMIT, at=1.0, via="protocol")
+        with pytest.raises(WALError, match="conflicting"):
+            log.write_decision(Outcome.ABORT, at=2.0, via="termination")
+
+    def test_vote_after_decision_rejected(self):
+        log = DTLog()
+        log.write_decision(Outcome.ABORT, at=1.0, via="protocol")
+        with pytest.raises(WALError, match="after a decision"):
+            log.write_vote(Vote.YES, at=2.0)
+
+    def test_records_preserve_order(self):
+        log = DTLog()
+        log.write_vote(Vote.YES, at=1.0)
+        log.write_decision(Outcome.COMMIT, at=2.0, via="protocol")
+        assert [type(r).__name__ for r in log.records] == [
+            "VoteRecord",
+            "DecisionRecord",
+        ]
+
+
+class TestPolicies:
+    def test_unanimous_yes(self):
+        policy = UnanimousYes()
+        assert all(policy.vote(SiteId(i)) is Vote.YES for i in range(1, 6))
+
+    def test_fixed_votes_with_default(self):
+        policy = FixedVotes({SiteId(2): Vote.NO})
+        assert policy.vote(SiteId(2)) is Vote.NO
+        assert policy.vote(SiteId(1)) is Vote.YES
+
+    def test_fixed_votes_custom_default(self):
+        policy = FixedVotes({}, default=Vote.NO)
+        assert policy.vote(SiteId(7)) is Vote.NO
+
+    def test_bernoulli_bounds_checked(self):
+        with pytest.raises(ValueError):
+            BernoulliVotes(1.5)
+
+    def test_bernoulli_extremes(self):
+        always_no = BernoulliVotes(1.0, seed=1)
+        never_no = BernoulliVotes(0.0, seed=1)
+        for i in range(1, 10):
+            assert always_no.vote(SiteId(i)) is Vote.NO
+            assert never_no.vote(SiteId(i)) is Vote.YES
+
+    def test_bernoulli_memoizes_per_site(self):
+        policy = BernoulliVotes(0.5, seed=3)
+        first = [policy.vote(SiteId(i)) for i in range(1, 20)]
+        second = [policy.vote(SiteId(i)) for i in range(1, 20)]
+        assert first == second
+
+    def test_bernoulli_reproducible_by_seed(self):
+        a = [BernoulliVotes(0.5, seed=9).vote(SiteId(i)) for i in range(1, 20)]
+        b = [BernoulliVotes(0.5, seed=9).vote(SiteId(i)) for i in range(1, 20)]
+        assert a == b

@@ -1,0 +1,144 @@
+"""Unit tests for the multi-transaction runtime."""
+
+import pytest
+
+from repro.protocols import catalog
+from repro.runtime.decision import TerminationRule
+from repro.runtime.multi import MultiCommitRun, Tagged
+from repro.runtime.policies import FixedVotes
+from repro.types import Outcome, SiteId, TransactionId, Vote
+from repro.workload.crashes import CrashAt, CrashDuringTransition
+
+
+@pytest.fixture(scope="module")
+def spec_3pc():
+    return catalog.build("3pc-central", 4)
+
+
+@pytest.fixture(scope="module")
+def rule_3pc(spec_3pc):
+    return TerminationRule(spec_3pc)
+
+
+@pytest.fixture(scope="module")
+def spec_2pc():
+    return catalog.build("2pc-central", 4)
+
+
+@pytest.fixture(scope="module")
+def rule_2pc(spec_2pc):
+    return TerminationRule(spec_2pc)
+
+
+class TestHappyMultiplexing:
+    def test_all_transactions_commit(self, spec_3pc, rule_3pc):
+        run = MultiCommitRun(
+            spec_3pc, start_times=[0.0, 1.0, 2.0], rule=rule_3pc
+        ).execute()
+        assert run.atomic
+        for xid, result in run.per_transaction.items():
+            assert set(result.outcomes().values()) == {Outcome.COMMIT}
+
+    def test_transactions_are_isolated(self, spec_3pc, rule_3pc):
+        # One transaction's no-vote must not affect another.
+        run = MultiCommitRun(
+            spec_3pc,
+            start_times=[0.0, 0.0],
+            vote_policies={
+                TransactionId(2): FixedVotes({SiteId(3): Vote.NO})
+            },
+            rule=rule_3pc,
+        ).execute()
+        assert set(
+            run.per_transaction[TransactionId(1)].outcomes().values()
+        ) == {Outcome.COMMIT}
+        assert set(
+            run.per_transaction[TransactionId(2)].outcomes().values()
+        ) == {Outcome.ABORT}
+
+    def test_message_multiplexing_scales_linearly(self, spec_3pc, rule_3pc):
+        one = MultiCommitRun(spec_3pc, start_times=[0.0], rule=rule_3pc).execute()
+        three = MultiCommitRun(
+            spec_3pc, start_times=[0.0, 0.0, 0.0], rule=rule_3pc
+        ).execute()
+        assert three.messages_sent == 3 * one.messages_sent
+
+    def test_staggered_starts_delay_decisions(self, spec_3pc, rule_3pc):
+        run = MultiCommitRun(
+            spec_3pc, start_times=[0.0, 5.0], rule=rule_3pc
+        ).execute()
+        t1 = run.per_transaction[TransactionId(1)].decision_times()
+        t2 = run.per_transaction[TransactionId(2)].decision_times()
+        assert min(t2.values()) >= min(t1.values()) + 5.0
+
+
+class TestCrashBlastRadius:
+    def test_2pc_blocks_the_inflight_window(self, spec_2pc, rule_2pc):
+        run = MultiCommitRun(
+            spec_2pc,
+            start_times=[float(i) for i in range(6)],
+            crashes=[CrashAt(site=1, at=4.0)],
+            rule=rule_2pc,
+        ).execute()
+        assert run.atomic
+        assert len(run.blocked_transactions()) >= 2
+
+    def test_3pc_blocks_nothing(self, spec_3pc, rule_3pc):
+        run = MultiCommitRun(
+            spec_3pc,
+            start_times=[float(i) for i in range(6)],
+            crashes=[CrashAt(site=1, at=4.0)],
+            rule=rule_3pc,
+        ).execute()
+        assert run.atomic
+        assert run.blocked_transactions() == []
+        for result in run.per_transaction.values():
+            for site in (2, 3, 4):
+                assert result.reports[site].outcome.is_final
+
+    def test_completed_transactions_unaffected(self, spec_3pc, rule_3pc):
+        run = MultiCommitRun(
+            spec_3pc,
+            start_times=[0.0, 20.0],
+            crashes=[CrashAt(site=1, at=30.0)],
+            rule=rule_3pc,
+        ).execute()
+        # Both transactions finished before the crash.
+        for result in run.per_transaction.values():
+            assert Outcome.COMMIT in result.decided_outcomes()
+
+    def test_crash_and_recovery_resolves_every_transaction(
+        self, spec_3pc, rule_3pc
+    ):
+        run = MultiCommitRun(
+            spec_3pc,
+            start_times=[0.0, 1.0, 2.0],
+            crashes=[CrashAt(site=2, at=2.5, restart_at=40.0)],
+            rule=rule_3pc,
+        ).execute()
+        assert run.atomic
+        for xid, result in run.per_transaction.items():
+            finals = {
+                r.outcome for r in result.reports.values() if r.outcome.is_final
+            }
+            assert len(finals) == 1, (xid, result.outcomes())
+            # The recovered site converged too.
+            assert result.reports[2].outcome in finals
+
+
+class TestValidation:
+    def test_only_timed_crashes_supported(self, spec_3pc, rule_3pc):
+        with pytest.raises(ValueError, match="CrashAt"):
+            MultiCommitRun(
+                spec_3pc,
+                start_times=[0.0],
+                crashes=[
+                    CrashDuringTransition(
+                        site=1, transition_number=1, after_writes=0
+                    )
+                ],
+                rule=rule_3pc,
+            )
+
+    def test_tagged_payload_str(self):
+        assert str(Tagged(TransactionId(3), "hello")) == "x3:hello"

@@ -1,0 +1,200 @@
+"""Unit tests for termination and recovery behaviours (via the harness,
+inspecting traces and reports for protocol-level details)."""
+
+import pytest
+
+from repro.election.bully import bully_strategy
+from repro.protocols import catalog
+from repro.runtime.harness import CommitRun
+from repro.runtime.termination import lowest_id_election
+from repro.types import Outcome, SiteId, Vote
+from repro.workload.crashes import CrashAt, CrashDuringTransition
+
+
+class TestBackupElection:
+    def test_default_backup_is_lowest_operational(
+        self, spec_3pc_central, rule_3pc_central
+    ):
+        run = CommitRun(
+            spec_3pc_central,
+            crashes=[CrashAt(site=1, at=2.0)],
+            rule=rule_3pc_central,
+        ).execute()
+        rounds = run.trace.select(category="term.round")
+        assert rounds
+        assert all(entry.data["backup"] == 2 for entry in rounds)
+
+    def test_bully_strategy_elects_highest(self, spec_3pc_central, rule_3pc_central):
+        run = CommitRun(
+            spec_3pc_central,
+            crashes=[CrashAt(site=1, at=2.0)],
+            rule=rule_3pc_central,
+            elect=bully_strategy,
+        ).execute()
+        rounds = run.trace.select(category="term.round")
+        assert all(entry.data["backup"] == 3 for entry in rounds)
+        assert run.atomic
+        assert all(
+            run.reports[s].outcome.is_final for s in (2, 3)
+        )
+
+    def test_lowest_id_election_function(self):
+        assert lowest_id_election([SiteId(3), SiteId(1), SiteId(2)]) == 1
+        assert bully_strategy([SiteId(3), SiteId(1)]) == 3
+
+
+class TestBackupProtocolPhases:
+    def test_phase1_move_to_issued(self, spec_3pc_central, rule_3pc_central):
+        run = CommitRun(
+            spec_3pc_central,
+            crashes=[CrashAt(site=1, at=3.5)],  # Slaves are in p.
+            rule=rule_3pc_central,
+        ).execute()
+        assert run.trace.count("term.phase1") >= 1
+
+    def test_phase1_skipped_when_backup_final(
+        self, spec_2pc_central, rule_2pc_central
+    ):
+        # Coordinator crashes mid commit fan-out: slave 2 receives the
+        # commit, becomes backup, and broadcasts directly (slide 39's
+        # omission case) — no phase-1 trace.
+        run = CommitRun(
+            spec_2pc_central,
+            crashes=[CrashDuringTransition(site=1, transition_number=2, after_writes=1)],
+            rule=rule_2pc_central,
+        ).execute()
+        assert set(run.outcomes().values()) == {Outcome.COMMIT}
+        assert run.trace.count("term.phase1") == 0
+
+    def test_cascading_backup_failures_terminate(self):
+        spec = catalog.build("3pc-central", 5)
+        run = CommitRun(
+            spec,
+            crashes=[
+                CrashAt(site=1, at=2.0),
+                CrashAt(site=2, at=4.5),
+                CrashAt(site=3, at=7.0),
+            ],
+        ).execute()
+        assert run.atomic
+        for site in (4, 5):
+            assert run.reports[site].outcome.is_final
+        # At least one round per failure.
+        assert run.trace.count("term.round") >= 3
+
+    def test_single_survivor_terminates(self):
+        spec = catalog.build("3pc-central", 4)
+        run = CommitRun(
+            spec,
+            crashes=[
+                CrashAt(site=1, at=2.0),
+                CrashAt(site=2, at=4.0),
+                CrashAt(site=3, at=6.0),
+            ],
+        ).execute()
+        survivor = run.reports[4]
+        assert survivor.alive and survivor.outcome.is_final
+        assert run.atomic
+
+    def test_blocked_broadcast_reaches_all(self, spec_2pc_central, rule_2pc_central):
+        run = CommitRun(
+            spec_2pc_central,
+            crashes=[CrashAt(site=1, at=2.0)],
+            rule=rule_2pc_central,
+        ).execute()
+        assert run.blocked_sites == [2, 3]
+        assert run.trace.count("term.blocked") >= 1
+
+    def test_decentralized_peer_crash_terminates(self):
+        spec = catalog.build("3pc-decentralized", 4)
+        run = CommitRun(spec, crashes=[CrashAt(site=2, at=0.5)]).execute()
+        assert run.atomic
+        for site in (1, 3, 4):
+            assert run.reports[site].outcome.is_final
+
+
+class TestRecovery:
+    def test_pre_vote_crash_recovers_by_unilateral_abort(
+        self, spec_3pc_central, rule_3pc_central
+    ):
+        run = CommitRun(
+            spec_3pc_central,
+            crashes=[CrashAt(site=3, at=0.5, restart_at=30.0)],
+            rule=rule_3pc_central,
+        ).execute()
+        report = run.reports[3]
+        assert report.outcome is Outcome.ABORT
+        assert report.via == "recovery"
+        assert run.trace.count("recovery.unilateral_abort") == 1
+
+    def test_in_doubt_crash_recovers_by_query(
+        self, spec_3pc_central, rule_3pc_central
+    ):
+        # Crash after the yes vote: the site is in doubt and must ask.
+        run = CommitRun(
+            spec_3pc_central,
+            crashes=[CrashAt(site=3, at=1.5, restart_at=30.0)],
+            rule=rule_3pc_central,
+        ).execute()
+        report = run.reports[3]
+        assert report.vote is Vote.YES
+        assert report.outcome.is_final
+        assert report.via == "recovery"
+        assert run.trace.count("recovery.in_doubt") == 1
+        assert run.trace.count("recovery.resolved") == 1
+        assert run.atomic
+
+    def test_post_decision_crash_recovers_from_own_log(
+        self, spec_3pc_central, rule_3pc_central
+    ):
+        run = CommitRun(
+            spec_3pc_central,
+            crashes=[CrashAt(site=3, at=6.5, restart_at=30.0)],
+            rule=rule_3pc_central,
+        ).execute()
+        report = run.reports[3]
+        assert report.outcome is Outcome.COMMIT
+        assert run.trace.count("recovery.known") == 1
+
+    def test_recovered_outcome_always_matches_survivors(
+        self, spec_3pc_central, rule_3pc_central
+    ):
+        for crash_time in (0.5, 1.5, 3.5, 4.5, 5.5, 6.5):
+            run = CommitRun(
+                spec_3pc_central,
+                crashes=[CrashAt(site=2, at=crash_time, restart_at=40.0)],
+                rule=rule_3pc_central,
+            ).execute()
+            outcomes = {
+                r.outcome for r in run.reports.values() if r.outcome.is_final
+            }
+            assert len(outcomes) == 1, f"crash at {crash_time}: {run.outcomes()}"
+
+    def test_1pc_recovered_slave_queries_instead_of_aborting(self):
+        # A 1PC slave cannot unilaterally abort (it has no vote), so a
+        # pre-decision crash must resolve by asking the coordinator.
+        spec = catalog.build("1pc", 3)
+        run = CommitRun(
+            spec,
+            crashes=[CrashAt(site=2, at=0.5, restart_at=20.0)],
+        ).execute()
+        report = run.reports[2]
+        assert report.outcome is Outcome.COMMIT
+        assert report.via == "recovery"
+        assert run.atomic
+
+    def test_total_failure_leaves_in_doubt_sites_undecided(self):
+        # All sites crash after voting; the first to restart finds no
+        # one who knows.  With nobody able to answer, it stays undecided
+        # (the paper's acknowledged total-failure limitation).
+        spec = catalog.build("3pc-decentralized", 2)
+        run = CommitRun(
+            spec,
+            crashes=[
+                CrashAt(site=1, at=1.5, restart_at=20.0),
+                CrashAt(site=2, at=1.5),
+            ],
+            max_time=60.0,
+        ).execute()
+        assert run.reports[1].outcome is Outcome.UNDECIDED
+        assert run.atomic

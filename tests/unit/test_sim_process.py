@@ -1,0 +1,128 @@
+"""Unit tests for the simulated process base class."""
+
+import pytest
+
+from repro.errors import ProcessError
+from repro.sim.process import Process
+from repro.sim.simulator import Simulator
+
+
+@pytest.fixture()
+def sim():
+    return Simulator()
+
+
+@pytest.fixture()
+def proc(sim):
+    return Process(sim, "p1")
+
+
+class TestLifecycle:
+    def test_starts_alive(self, proc):
+        assert proc.alive
+
+    def test_crash_marks_dead(self, proc):
+        proc.crash()
+        assert not proc.alive
+
+    def test_double_crash_is_noop(self, proc):
+        proc.crash()
+        proc.crash()
+        assert not proc.alive
+
+    def test_restart_revives(self, proc):
+        proc.crash()
+        proc.restart()
+        assert proc.alive
+
+    def test_restart_while_alive_raises(self, proc):
+        with pytest.raises(ProcessError):
+            proc.restart()
+
+    def test_crash_and_restart_hooks_called(self, sim):
+        calls = []
+
+        class Hooked(Process):
+            def on_crash(self):
+                calls.append("crash")
+
+            def on_restart(self):
+                calls.append("restart")
+
+        p = Hooked(sim, "h")
+        p.crash()
+        p.restart()
+        assert calls == ["crash", "restart"]
+
+
+class TestTimers:
+    def test_timer_fires(self, sim, proc):
+        fired = []
+        proc.set_timer("t", 2.0, lambda: fired.append(sim.now))
+        sim.run()
+        assert fired == [2.0]
+
+    def test_rearming_replaces_previous(self, sim, proc):
+        fired = []
+        proc.set_timer("t", 1.0, lambda: fired.append("first"))
+        proc.set_timer("t", 2.0, lambda: fired.append("second"))
+        sim.run()
+        assert fired == ["second"]
+
+    def test_cancel_timer(self, sim, proc):
+        fired = []
+        proc.set_timer("t", 1.0, lambda: fired.append(True))
+        assert proc.cancel_timer("t")
+        sim.run()
+        assert fired == []
+
+    def test_cancel_missing_timer_returns_false(self, proc):
+        assert not proc.cancel_timer("nope")
+
+    def test_crash_cancels_all_timers(self, sim, proc):
+        fired = []
+        proc.set_timer("a", 1.0, lambda: fired.append("a"))
+        proc.set_timer("b", 2.0, lambda: fired.append("b"))
+        proc.crash()
+        sim.run()
+        assert fired == []
+
+    def test_timer_does_not_fire_after_crash(self, sim, proc):
+        fired = []
+        proc.set_timer("t", 5.0, lambda: fired.append(True))
+        sim.schedule(1.0, proc.crash)
+        sim.run()
+        assert fired == []
+
+    def test_timer_armed_query(self, sim, proc):
+        proc.set_timer("t", 1.0, lambda: None)
+        assert proc.timer_armed("t")
+        sim.run()
+        assert not proc.timer_armed("t")
+
+    def test_rearm_from_inside_callback(self, sim, proc):
+        fired = []
+
+        def tick():
+            fired.append(sim.now)
+            if len(fired) < 3:
+                proc.set_timer("tick", 1.0, tick)
+
+        proc.set_timer("tick", 1.0, tick)
+        sim.run()
+        assert fired == [1.0, 2.0, 3.0]
+
+    def test_active_timers_sorted(self, proc):
+        proc.set_timer("b", 1.0, lambda: None)
+        proc.set_timer("a", 1.0, lambda: None)
+        assert proc.active_timers() == ["a", "b"]
+
+
+class TestTracing:
+    def test_trace_records_current_time(self, sim, proc):
+        sim.schedule(3.0, lambda: proc.trace("cat", "hello", site=7))
+        sim.run()
+        entry = sim.trace.entries[-1]
+        assert entry.time == 3.0
+        assert entry.category == "cat"
+        assert entry.site == 7

@@ -1,0 +1,115 @@
+"""Unit tests for random streams and the trace log."""
+
+from repro.sim.rng import RandomStreams
+from repro.sim.tracing import TraceLog
+
+
+class TestRandomStreams:
+    def test_same_name_returns_same_generator(self):
+        streams = RandomStreams(1)
+        assert streams.stream("net") is streams.stream("net")
+
+    def test_different_names_are_independent(self):
+        streams = RandomStreams(1)
+        a = streams.stream("a")
+        b = streams.stream("b")
+        assert [a.random() for _ in range(5)] != [b.random() for _ in range(5)]
+
+    def test_adding_consumer_does_not_perturb_existing(self):
+        lone = RandomStreams(7)
+        values_alone = [lone.stream("net").random() for _ in range(5)]
+
+        crowded = RandomStreams(7)
+        crowded.stream("other")  # New consumer created first.
+        values_crowded = [crowded.stream("net").random() for _ in range(5)]
+        assert values_alone == values_crowded
+
+    def test_reproducible_across_instances(self):
+        a = RandomStreams(3).stream("x").random()
+        b = RandomStreams(3).stream("x").random()
+        assert a == b
+
+    def test_fork_derives_independent_namespace(self):
+        root = RandomStreams(5)
+        child = root.fork("site-1")
+        assert child.stream("x").random() != root.stream("x").random()
+
+    def test_fork_is_deterministic(self):
+        a = RandomStreams(5).fork("site-1").stream("x").random()
+        b = RandomStreams(5).fork("site-1").stream("x").random()
+        assert a == b
+
+    def test_seed_property(self):
+        assert RandomStreams(9).seed == 9
+
+
+class TestTraceLog:
+    def test_record_and_len(self):
+        log = TraceLog()
+        log.record(1.0, "cat", "detail")
+        log.record(2.0, "cat", "detail2")
+        assert len(log) == 2
+
+    def test_entries_are_immutable_snapshot(self):
+        log = TraceLog()
+        log.record(1.0, "a", "x")
+        snapshot = log.entries
+        log.record(2.0, "b", "y")
+        assert len(snapshot) == 1
+
+    def test_select_by_exact_category(self):
+        log = TraceLog()
+        log.record(1.0, "net.send", "a")
+        log.record(2.0, "net.deliver", "b")
+        assert len(log.select(category="net.send")) == 1
+
+    def test_select_by_category_prefix(self):
+        log = TraceLog()
+        log.record(1.0, "net.send", "a")
+        log.record(2.0, "net.deliver", "b")
+        log.record(3.0, "engine.transition", "c")
+        assert len(log.select(category="net.")) == 2
+
+    def test_select_by_site(self):
+        log = TraceLog()
+        log.record(1.0, "x", "a", site=1)
+        log.record(2.0, "x", "b", site=2)
+        assert [e.detail for e in log.select(site=2)] == ["b"]
+
+    def test_select_by_predicate(self):
+        log = TraceLog()
+        log.record(1.0, "x", "a", value=10)
+        log.record(2.0, "x", "b", value=20)
+        hits = log.select(predicate=lambda e: e.data["value"] > 15)
+        assert [e.detail for e in hits] == ["b"]
+
+    def test_count(self):
+        log = TraceLog()
+        log.record(1.0, "x", "a")
+        log.record(2.0, "x", "b")
+        log.record(3.0, "y", "c")
+        assert log.count("x") == 2
+
+    def test_data_payload_round_trips(self):
+        log = TraceLog()
+        entry = log.record(1.0, "x", "a", key="value", n=3)
+        assert entry.data == {"key": "value", "n": 3}
+
+    def test_format_timeline_has_one_line_per_entry(self):
+        log = TraceLog()
+        log.record(1.0, "x", "a")
+        log.record(2.0, "y", "b", site=4)
+        text = log.format_timeline()
+        assert len(text.splitlines()) == 2
+        assert "site 4" in text
+
+    def test_format_timeline_limit(self):
+        log = TraceLog()
+        for i in range(5):
+            log.record(float(i), "x", str(i))
+        assert len(log.format_timeline(limit=2).splitlines()) == 2
+
+    def test_getitem(self):
+        log = TraceLog()
+        log.record(1.0, "x", "a")
+        assert log[0].detail == "a"

@@ -1,0 +1,181 @@
+"""Unit tests for the discrete-event simulator core."""
+
+import pytest
+
+from repro.errors import ClockError
+from repro.sim.simulator import Simulator
+
+
+class TestScheduling:
+    def test_starts_at_time_zero(self):
+        assert Simulator().now == 0.0
+
+    def test_schedule_fires_at_offset(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(2.5, lambda: fired.append(sim.now))
+        sim.run()
+        assert fired == [2.5]
+
+    def test_schedule_at_absolute_time(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule_at(4.0, lambda: fired.append(sim.now))
+        sim.run()
+        assert fired == [4.0]
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ClockError):
+            Simulator().schedule(-0.1, lambda: None)
+
+    def test_schedule_in_past_rejected(self):
+        sim = Simulator()
+        sim.schedule(5.0, lambda: None)
+        sim.run()
+        with pytest.raises(ClockError):
+            sim.schedule_at(1.0, lambda: None)
+
+    def test_zero_delay_allowed(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(0.0, lambda: fired.append(True))
+        sim.run()
+        assert fired == [True]
+
+
+class TestOrdering:
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(3.0, lambda: order.append("c"))
+        sim.schedule(1.0, lambda: order.append("a"))
+        sim.schedule(2.0, lambda: order.append("b"))
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_ties_break_fifo_by_schedule_order(self):
+        sim = Simulator()
+        order = []
+        for tag in "abcde":
+            sim.schedule(1.0, lambda t=tag: order.append(t))
+        sim.run()
+        assert order == list("abcde")
+
+    def test_nested_scheduling_during_callback(self):
+        sim = Simulator()
+        order = []
+
+        def outer():
+            order.append("outer")
+            sim.schedule(1.0, lambda: order.append("inner"))
+
+        sim.schedule(1.0, outer)
+        sim.run()
+        assert order == ["outer", "inner"]
+        assert sim.now == 2.0
+
+    def test_same_time_nested_event_fires_after_existing(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(1.0, lambda: (order.append("a"), sim.schedule(0, lambda: order.append("nested")))[0])
+        sim.schedule(1.0, lambda: order.append("b"))
+        sim.run()
+        assert order == ["a", "b", "nested"]
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        sim = Simulator()
+        fired = []
+        handle = sim.schedule(1.0, lambda: fired.append(True))
+        handle.cancel()
+        sim.run()
+        assert fired == []
+        assert handle.cancelled
+
+    def test_cancel_after_fire_is_noop(self):
+        sim = Simulator()
+        handle = sim.schedule(1.0, lambda: None)
+        sim.run()
+        handle.cancel()  # Must not raise.
+
+    def test_double_cancel_is_noop(self):
+        sim = Simulator()
+        handle = sim.schedule(1.0, lambda: None)
+        handle.cancel()
+        handle.cancel()
+        assert handle.cancelled
+
+    def test_pending_events_excludes_cancelled(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        handle = sim.schedule(2.0, lambda: None)
+        handle.cancel()
+        assert sim.pending_events == 1
+
+
+class TestRunControls:
+    def test_run_until_stops_clock_at_deadline(self):
+        sim = Simulator()
+        sim.schedule(10.0, lambda: None)
+        end = sim.run(until=5.0)
+        assert end == 5.0
+        assert sim.pending_events == 1
+
+    def test_run_until_resumes_later(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(10.0, lambda: fired.append(True))
+        sim.run(until=5.0)
+        sim.run()
+        assert fired == [True]
+
+    def test_run_advances_clock_to_until_when_queue_empty(self):
+        sim = Simulator()
+        sim.run(until=7.0)
+        assert sim.now == 7.0
+
+    def test_last_event_time_ignores_deadline(self):
+        sim = Simulator()
+        sim.schedule(2.0, lambda: None)
+        sim.run(until=100.0)
+        assert sim.last_event_time == 2.0
+        assert sim.now == 100.0
+
+    def test_max_events_budget(self):
+        sim = Simulator()
+        fired = []
+        for i in range(10):
+            sim.schedule(float(i + 1), lambda i=i: fired.append(i))
+        sim.run(max_events=3)
+        assert fired == [0, 1, 2]
+
+    def test_step_fires_single_event(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append(1))
+        sim.schedule(2.0, lambda: fired.append(2))
+        assert sim.step()
+        assert fired == [1]
+
+    def test_step_on_empty_queue_returns_false(self):
+        assert not Simulator().step()
+
+    def test_events_fired_counter(self):
+        sim = Simulator()
+        for i in range(4):
+            sim.schedule(1.0, lambda: None)
+        sim.run()
+        assert sim.events_fired == 4
+
+
+class TestDeterminism:
+    def test_identical_seeds_identical_streams(self):
+        a = Simulator(seed=42).streams.stream("x")
+        b = Simulator(seed=42).streams.stream("x")
+        assert [a.random() for _ in range(10)] == [b.random() for _ in range(10)]
+
+    def test_different_seeds_differ(self):
+        a = Simulator(seed=1).streams.stream("x")
+        b = Simulator(seed=2).streams.stream("x")
+        assert [a.random() for _ in range(5)] != [b.random() for _ in range(5)]

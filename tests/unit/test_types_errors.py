@@ -1,0 +1,82 @@
+"""Unit tests for the shared types and the exception hierarchy."""
+
+import pytest
+
+from repro import errors
+from repro.types import Outcome, ProtocolClass, StateKind, Vote
+
+
+class TestOutcome:
+    def test_final_partition(self):
+        assert Outcome.COMMIT.is_final
+        assert Outcome.ABORT.is_final
+        assert not Outcome.UNDECIDED.is_final
+        assert not Outcome.BLOCKED.is_final
+
+    def test_values_stable(self):
+        # Values appear in logs, reports, and EXPERIMENTS.md: keep them.
+        assert Outcome.COMMIT.value == "commit"
+        assert Outcome.ABORT.value == "abort"
+        assert Outcome.UNDECIDED.value == "undecided"
+        assert Outcome.BLOCKED.value == "blocked"
+
+
+class TestVoteAndKinds:
+    def test_vote_values(self):
+        assert Vote.YES.value == "yes"
+        assert Vote.NO.value == "no"
+
+    def test_state_kind_finality(self):
+        assert StateKind.COMMIT.is_final
+        assert StateKind.ABORT.is_final
+        assert not StateKind.INITIAL.is_final
+        assert not StateKind.INTERMEDIATE.is_final
+
+    def test_protocol_classes(self):
+        assert ProtocolClass.CENTRAL_SITE.value == "central-site"
+        assert ProtocolClass.DECENTRALIZED.value == "decentralized"
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            errors.ClockError,
+            errors.ProcessError,
+            errors.UnknownSiteError,
+            errors.SiteDownError,
+            errors.InvalidAutomatonError,
+            errors.InvalidProtocolError,
+            errors.InstantiationError,
+            errors.StateGraphTooLargeError,
+            errors.NotSynchronousError,
+            errors.SynthesisError,
+            errors.TransitionError,
+            errors.TerminationError,
+            errors.RecoveryError,
+            errors.AtomicityViolationError,
+            errors.TransactionAborted,
+            errors.LockError,
+            errors.DeadlockError,
+            errors.WALError,
+        ],
+    )
+    def test_everything_is_a_repro_error(self, exc):
+        assert issubclass(exc, errors.ReproError)
+
+    def test_domain_bases(self):
+        assert issubclass(errors.ClockError, errors.SimulationError)
+        assert issubclass(errors.UnknownSiteError, errors.NetworkError)
+        assert issubclass(errors.InvalidAutomatonError, errors.SpecError)
+        assert issubclass(errors.StateGraphTooLargeError, errors.AnalysisError)
+        assert issubclass(errors.TerminationError, errors.RuntimeProtocolError)
+        assert issubclass(errors.DeadlockError, errors.DatabaseError)
+
+    def test_deadlock_is_an_abort(self):
+        # A deadlock victim is an aborted transaction: one except clause
+        # catches both.
+        assert issubclass(errors.DeadlockError, errors.TransactionAborted)
+
+    def test_catchable_as_base(self):
+        with pytest.raises(errors.ReproError):
+            raise errors.WALError("x")

@@ -1,0 +1,111 @@
+"""Unit tests for the visualization helpers and FSA renderers."""
+
+import pytest
+
+from repro.analysis.reachability import build_state_graph
+from repro.fsa.render import automaton_to_dot, format_automaton, format_spec, spec_to_dot
+from repro.protocols import catalog
+from repro.runtime.harness import CommitRun
+from repro.types import SiteId
+from repro.viz import render_run, render_swimlanes
+from repro.workload.crashes import CrashAt
+
+
+class TestFormatAutomaton:
+    def test_contains_states_and_finals(self, spec_3pc_central):
+        text = format_automaton(spec_3pc_central.automaton(SiteId(1)))
+        assert "states : a, c, p, q, w" in text
+        assert "commit : c" in text
+        assert "abort  : a" in text
+
+    def test_transitions_in_paper_notation(self, spec_2pc_central):
+        text = format_automaton(spec_2pc_central.automaton(SiteId(2)))
+        assert "q --(" in text
+        assert "--> w [vote yes]" in text
+
+    def test_format_spec_collapses_roles(self, spec_3pc_central):
+        text = format_spec(spec_3pc_central)
+        assert text.count("(coordinator)") == 1
+        assert text.count("(slave)") == 1  # Not one per slave site.
+
+    def test_format_spec_uncollapsed(self, spec_3pc_central):
+        text = format_spec(spec_3pc_central, collapse_roles=False)
+        assert text.count("(slave)") == 2
+
+    def test_format_spec_headers(self, spec_3pc_central):
+        text = format_spec(spec_3pc_central)
+        assert "coordinator: site 1" in text
+        assert "initial inputs:" in text
+
+
+class TestDotRenderers:
+    def test_automaton_dot_structure(self, spec_3pc_central):
+        dot = automaton_to_dot(spec_3pc_central.automaton(SiteId(1)))
+        assert dot.startswith("digraph")
+        assert dot.rstrip().endswith("}")
+        assert '"q" [shape=circle style="bold"];' in dot.replace("  ", " ") or "q" in dot
+        assert "doublecircle" in dot  # Final states highlighted.
+
+    def test_spec_dot_has_one_cluster_per_role(self, spec_3pc_central):
+        dot = spec_to_dot(spec_3pc_central)
+        assert dot.count("subgraph cluster_site_") == 2  # Two roles.
+
+    def test_graph_dot_marks_final_states(self, graph_2pc_canonical):
+        dot = graph_2pc_canonical.to_dot()
+        assert "shape=box" in dot      # Finals.
+        assert "shape=ellipse" in dot  # Non-finals.
+
+
+class TestSwimlanes:
+    @pytest.fixture(scope="class")
+    def crash_run(self, rule_3pc_central, spec_3pc_central):
+        return CommitRun(
+            spec_3pc_central,
+            crashes=[CrashAt(site=1, at=2.0)],
+            rule=rule_3pc_central,
+        ).execute()
+
+    def test_header_has_one_lane_per_site(self, crash_run):
+        text = render_run(crash_run)
+        header = text.splitlines()[0]
+        assert "site 1" in header and "site 3" in header
+
+    def test_crash_and_decisions_visible(self, crash_run):
+        text = render_run(crash_run)
+        assert "CRASH" in text
+        assert "ABORT!" in text
+
+    def test_termination_round_annotated(self, crash_run):
+        assert "[round]" in render_run(crash_run)
+
+    def test_times_monotone(self, crash_run):
+        times = []
+        for line in render_run(crash_run).splitlines()[2:]:
+            times.append(float(line.split()[0]))
+        assert times == sorted(times)
+
+    def test_category_filter(self, crash_run):
+        text = render_swimlanes(
+            crash_run.trace, sorted(crash_run.reports), categories=["site.crash"]
+        )
+        assert "CRASH" in text
+        assert "ABORT!" not in text
+
+    def test_custom_width(self, crash_run):
+        narrow = render_run(crash_run, width=8)
+        wide = render_run(crash_run, width=20)
+        assert len(wide.splitlines()[0]) > len(narrow.splitlines()[0])
+
+    def test_happy_path_shows_commit(self, spec_2pc_central, rule_2pc_central):
+        run = CommitRun(spec_2pc_central, rule=rule_2pc_central).execute()
+        text = render_run(run)
+        assert "COMMIT!" in text
+        assert "CRASH" not in text
+
+    def test_global_state_describe(self, graph_2pc_canonical):
+        text = graph_2pc_canonical.initial.describe(graph_2pc_canonical.sites)
+        assert text.startswith("(q1, q2)")
+        # Final state without outstanding messages renders bare.
+        finals = graph_2pc_canonical.final_states()
+        rendered = [s.describe(graph_2pc_canonical.sites) for s in finals]
+        assert any("c1, c2" in r for r in rendered)

@@ -1,0 +1,146 @@
+"""Unit tests for the workload generator and metric primitives."""
+
+import pytest
+
+from repro.metrics.collector import Counter, StatSeries
+from repro.metrics.tables import Table
+from repro.protocols import catalog
+from repro.workload.crashes import CrashAt, CrashDuringTransition
+from repro.workload.generator import WorkloadGenerator
+
+
+class TestWorkloadGenerator:
+    @pytest.fixture(scope="class")
+    def generator(self):
+        return WorkloadGenerator(
+            catalog.build("3pc-central", 3), seed=11, p_no=0.2, p_crash=0.4
+        )
+
+    def test_reproducible_campaigns(self, generator):
+        first = list(generator.transactions(10))
+        second = list(generator.transactions(10))
+        assert first == second
+
+    def test_different_seeds_differ(self):
+        spec = catalog.build("3pc-central", 3)
+        rule = WorkloadGenerator(spec, seed=1).rule
+        a = list(WorkloadGenerator(spec, seed=1, rule=rule).transactions(10))
+        b = list(WorkloadGenerator(spec, seed=2, rule=rule).transactions(10))
+        assert a != b
+
+    def test_votes_cover_all_sites(self, generator):
+        for txn in generator.transactions(5):
+            assert set(txn.votes) == {1, 2, 3}
+
+    def test_crash_sites_are_participants(self, generator):
+        for txn in generator.transactions(30):
+            for crash in txn.crashes:
+                assert crash.site in (1, 2, 3)
+
+    def test_zero_crash_probability(self):
+        spec = catalog.build("2pc-central", 3)
+        gen = WorkloadGenerator(spec, seed=1, p_crash=0.0)
+        assert all(not txn.crashes for txn in gen.transactions(20))
+
+    def test_run_executes_transaction(self, generator):
+        txn = next(iter(generator.transactions(1)))
+        result = generator.run(txn)
+        assert result.n_sites == 3
+
+    def test_campaign_length(self, generator):
+        assert len(generator.campaign(4)) == 4
+
+    def test_describe_mentions_votes(self, generator):
+        txn = next(iter(generator.transactions(1)))
+        assert "votes[" in txn.describe()
+
+
+class TestCounter:
+    def test_add_and_get(self):
+        counter = Counter()
+        counter.add("a")
+        counter.add("a", 2)
+        assert counter.get("a") == 3
+        assert counter.get("missing") == 0
+
+    def test_total_and_fraction(self):
+        counter = Counter()
+        counter.add("x", 3)
+        counter.add("y", 1)
+        assert counter.total == 4
+        assert counter.fraction("x") == 0.75
+
+    def test_empty_fraction_is_zero(self):
+        assert Counter().fraction("x") == 0.0
+
+    def test_as_dict_sorted(self):
+        counter = Counter()
+        counter.add("b")
+        counter.add("a")
+        assert list(counter.as_dict()) == ["a", "b"]
+
+
+class TestStatSeries:
+    def test_mean_min_max(self):
+        series = StatSeries([1.0, 2.0, 3.0])
+        assert series.mean == 2.0
+        assert series.minimum == 1.0
+        assert series.maximum == 3.0
+
+    def test_empty_series_degrades_gracefully(self):
+        series = StatSeries()
+        assert series.mean == 0.0
+        assert series.percentile(50) == 0.0
+
+    def test_stddev(self):
+        series = StatSeries([2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0])
+        assert series.stddev == pytest.approx(2.0)
+
+    def test_stddev_single_value_zero(self):
+        assert StatSeries([5.0]).stddev == 0.0
+
+    def test_percentiles(self):
+        series = StatSeries(float(i) for i in range(1, 101))
+        assert series.percentile(50) == 50.0
+        assert series.percentile(99) == 99.0
+        assert series.percentile(100) == 100.0
+
+    def test_percentile_bounds_checked(self):
+        with pytest.raises(ValueError):
+            StatSeries([1.0]).percentile(101)
+
+    def test_summary_keys(self):
+        summary = StatSeries([1.0, 2.0]).summary()
+        assert set(summary) == {"n", "mean", "min", "p50", "p99", "max"}
+
+    def test_add_and_extend(self):
+        series = StatSeries()
+        series.add(1.0)
+        series.extend([2.0, 3.0])
+        assert len(series) == 3
+
+
+class TestTable:
+    def test_render_aligns_columns(self):
+        table = Table(["name", "value"], title="t")
+        table.add_row("a", 1)
+        table.add_row("long-name", 22)
+        lines = table.render().splitlines()
+        assert lines[0] == "t"
+        assert all("|" in line for line in lines[1:] if "-+-" not in line)
+
+    def test_arity_checked(self):
+        table = Table(["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row(1)
+
+    def test_bool_formatting(self):
+        table = Table(["x"])
+        table.add_row(True)
+        table.add_row(False)
+        assert table.rows == [["yes"], ["no"]]
+
+    def test_float_formatting(self):
+        table = Table(["x"])
+        table.add_row(3.14159265)
+        assert table.rows == [["3.142"]]
