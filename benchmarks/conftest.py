@@ -2,7 +2,10 @@
 
 Each benchmark regenerates one paper artifact (see DESIGN.md §3),
 asserts its shape against the paper, and saves the rendered tables
-under ``benchmarks/reports/`` so EXPERIMENTS.md can quote them.
+under ``benchmarks/reports/`` so EXPERIMENTS.md can quote them.  Next
+to every human-readable ``*.txt`` report a machine-readable ``*.json``
+sidecar is written (deterministic, sorted keys), so the perf
+trajectory of each experiment can be tracked mechanically across PRs.
 """
 
 from __future__ import annotations
@@ -10,6 +13,8 @@ from __future__ import annotations
 from pathlib import Path
 
 import pytest
+
+from repro.metrics.registry import json_sidecar
 
 REPORTS = Path(__file__).resolve().parent / "reports"
 
@@ -22,6 +27,9 @@ def record_report():
     def _record(result) -> str:
         text = result.render()
         (REPORTS / f"{result.experiment_id}.txt").write_text(text + "\n")
+        (REPORTS / f"{result.experiment_id}.json").write_text(
+            json_sidecar(result) + "\n"
+        )
         return text
 
     return _record

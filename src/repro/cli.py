@@ -8,6 +8,10 @@ Usage (after ``pip install -e .``)::
     python -m repro.cli experiment T1        # regenerate one artifact
     python -m repro.cli experiment all
     python -m repro.cli run 3pc-central 4 --crash 1@2.0 --no-vote 3
+    python -m repro.cli run 3pc-central 4 --crash 1@2.0 --trace-out t.jsonl
+    python -m repro.cli trace t.jsonl --category net. --site 2
+    python -m repro.cli trace t.jsonl --span 12   # one send->deliver span
+    python -m repro.cli stats t.jsonl             # phase/decision rollup
 """
 
 from __future__ import annotations
@@ -127,6 +131,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
         crashes=args.crash,
         termination_mode=args.termination,
     ).execute()
+    if args.trace_out:
+        count = run.trace.save(args.trace_out)
+        print(f"wrote {count} trace entries to {args.trace_out}")
     if args.trace:
         print(run.trace.format_timeline())
         print()
@@ -157,6 +164,117 @@ def _cmd_run(args: argparse.Namespace) -> int:
         down = "" if report.alive else " [down]"
         print(f"  site {site}: {status}{via}{down}")
     return 0 if run.atomic else 1
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.sim.spans import SpanIndex
+    from repro.sim.tracing import TraceLog
+
+    trace = TraceLog.load(args.file)
+    if args.span is not None:
+        span = SpanIndex.from_trace(trace).span(args.span)
+        if span is None:
+            print(f"no message with id {args.span} in {args.file}")
+            return 1
+        print(span.describe())
+        for entry in (span.send_entry, span.end_entry):
+            if entry is not None:
+                print(f"  {entry.format()}")
+        return 0
+    entries = trace.select(category=args.category, site=args.site)
+    shown = entries if args.limit is None else entries[: args.limit]
+    for entry in shown:
+        print(entry.format())
+    print(
+        f"-- {len(shown)} shown / {len(entries)} matching / "
+        f"{len(trace)} total entries"
+    )
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    from repro.metrics.collector import StatSeries
+    from repro.metrics.registry import MetricsRegistry, observe_trace
+    from repro.metrics.tables import Table
+    from repro.sim.spans import SpanIndex
+    from repro.sim.tracing import TraceLog
+
+    trace = TraceLog.load(args.file)
+    registry = MetricsRegistry()
+    observe_trace(registry, trace)
+    index = SpanIndex.from_trace(trace)
+
+    messages = Table(["metric", "value"], title=f"messages ({args.file})")
+    messages.add_row("sent", registry.counter("messages_sent_total"))
+    messages.add_row("delivered", registry.counter("messages_delivered_total"))
+    messages.add_row("dropped", registry.counter("messages_dropped_total"))
+    messages.add_row("in flight at end", len(index.inflight()))
+    latencies = StatSeries(index.latencies())
+    if len(latencies):
+        messages.add_row("delivery latency p50", latencies.percentile(50))
+        messages.add_row("delivery latency p99", latencies.percentile(99))
+    print(messages.render())
+
+    phase_series: dict[str, StatSeries] = {}
+    for entry in trace.select(category="phase.exit"):
+        phase = entry.data.get("phase")
+        elapsed = entry.data.get("elapsed")
+        if phase is None or elapsed is None:
+            continue
+        phase_series.setdefault(str(phase), StatSeries()).add(float(elapsed))
+    phases = Table(
+        ["phase", "n", "mean", "p50", "p90", "p99", "max"],
+        title="phase latency (time spent per phase occupancy)",
+    )
+    for phase, series in sorted(phase_series.items()):
+        phases.add_row(
+            phase,
+            len(series),
+            series.mean,
+            series.percentile(50),
+            series.percentile(90),
+            series.percentile(99),
+            series.maximum,
+        )
+    print()
+    print(phases.render())
+
+    decisions = Table(
+        ["site", "outcome", "via", "decided at"], title="decisions"
+    )
+    decision_times = StatSeries()
+    outcomes: set[str] = set()
+    for entry in trace.select(category="txn.decided"):
+        outcome = str(entry.data.get("outcome", "?"))
+        outcomes.add(outcome)
+        decisions.add_row(
+            entry.site if entry.site is not None else "-",
+            outcome,
+            entry.data.get("via", "?"),
+            entry.time,
+        )
+        decision_times.add(entry.time)
+    print()
+    print(decisions.render())
+    print()
+    if outcomes:
+        verdict = "/".join(sorted(outcomes))
+        print(
+            f"decision outcome : {verdict}"
+            + ("  (MIXED — atomicity violation!)" if len(outcomes) > 1 else "")
+        )
+        print(
+            "decision latency : "
+            f"p50={decision_times.percentile(50):g} "
+            f"p99={decision_times.percentile(99):g} "
+            f"max={decision_times.maximum:g}"
+        )
+    else:
+        print("decision outcome : none recorded (undecided or blocked)")
+    blocked = registry.counter("blocked_sites_total")
+    if blocked:
+        print(f"blocking events  : {blocked}")
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -224,6 +342,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run.add_argument("--trace", action="store_true", help="print the timeline")
     run.add_argument(
+        "--trace-out",
+        metavar="FILE",
+        dest="trace_out",
+        help="dump the run's trace as JSONL for `trace` / `stats`",
+    )
+    run.add_argument(
         "--swimlanes",
         action="store_true",
         help="print per-site swimlanes of the run",
@@ -240,6 +364,29 @@ def build_parser() -> argparse.ArgumentParser:
         help="verify the execution against the formal model",
     )
     run.set_defaults(func=_cmd_run)
+
+    trace = sub.add_parser("trace", help="inspect a saved JSONL trace")
+    trace.add_argument("file", help="trace file written by run --trace-out")
+    trace.add_argument(
+        "--category",
+        metavar="PREFIX",
+        help="exact category, or a prefix ending in '.' (e.g. net.)",
+    )
+    trace.add_argument("--site", type=int, help="only this site's entries")
+    trace.add_argument(
+        "--span",
+        type=int,
+        metavar="MSGID",
+        help="show one message's send->deliver span with latency",
+    )
+    trace.add_argument(
+        "--limit", type=int, metavar="N", help="show at most N entries"
+    )
+    trace.set_defaults(func=_cmd_trace)
+
+    stats = sub.add_parser("stats", help="summarize a saved JSONL trace")
+    stats.add_argument("file", help="trace file written by run --trace-out")
+    stats.set_defaults(func=_cmd_stats)
     return parser
 
 

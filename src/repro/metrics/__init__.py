@@ -1,13 +1,25 @@
 """Result aggregation and table rendering for the experiment harness."""
 
 from repro.metrics.collector import Counter, StatSeries
+from repro.metrics.registry import (
+    Histogram,
+    MetricsRegistry,
+    json_sidecar,
+    observe_run,
+    observe_trace,
+)
 from repro.metrics.summary import CampaignSummary, summarize_runs
 from repro.metrics.tables import Table
 
 __all__ = [
     "CampaignSummary",
     "Counter",
+    "Histogram",
+    "MetricsRegistry",
     "StatSeries",
     "Table",
+    "json_sidecar",
+    "observe_run",
+    "observe_trace",
     "summarize_runs",
 ]

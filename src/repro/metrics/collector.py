@@ -90,13 +90,34 @@ class StatSeries:
         return math.sqrt(variance)
 
     def percentile(self, q: float) -> float:
-        """The ``q``-th percentile (nearest-rank; ``q`` in [0, 100])."""
+        """The ``q``-th percentile, with *nearest-rank* semantics.
+
+        The result is always one of the observed values: the smallest
+        value v such that at least ``q`` percent of observations are
+        <= v (rank ``ceil(q/100 * n)``).  Edge cases are explicit, not
+        incidental:
+
+        * ``q=0`` returns the minimum (the nearest-rank formula would
+          yield rank 0; we define the 0th percentile as the smallest
+          observation);
+        * ``q=100`` returns the maximum;
+        * with a single observation every ``q`` returns it;
+        * duplicates are counted per-occurrence, as nearest-rank
+          requires (e.g. p50 of ``[1, 1, 9]`` is 1).
+
+        Returns 0.0 on an empty series.
+
+        Raises:
+            ValueError: If ``q`` is outside [0, 100].
+        """
         if not self._values:
             return 0.0
         if not 0 <= q <= 100:
             raise ValueError(f"percentile must be in [0, 100], got {q}")
         ordered = sorted(self._values)
-        rank = max(1, math.ceil(q / 100 * len(ordered)))
+        if q == 0:
+            return ordered[0]
+        rank = math.ceil(q / 100 * len(ordered))
         return ordered[rank - 1]
 
     def summary(self) -> dict[str, float]:

@@ -1,0 +1,337 @@
+"""Labelled metrics registry: counters and fixed-bucket histograms.
+
+The registry is the aggregation side of the observability layer (see
+``docs/OBSERVABILITY.md``): traces record *what happened* in one run;
+the registry rolls many runs up into per-protocol phase-latency,
+decision-latency, message-count, and blocking-rate views.  It follows
+the shape of Prometheus client metrics — names plus sorted label sets,
+cumulative histogram buckets — but is deliberately dependency-free and
+deterministic (sorted serialization, no wall-clock timestamps).
+
+Typical use::
+
+    registry = MetricsRegistry()
+    for seed in range(100):
+        run = CommitRun(spec, seed=seed, ...).execute()
+        observe_run(registry, run)
+    print(registry.to_json())
+    rate = registry.ratio("runs_blocked", "runs_total", protocol=spec.name)
+"""
+
+from __future__ import annotations
+
+import bisect
+import json
+import math
+from typing import Any, Iterable, Optional, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycles
+    from repro.runtime.harness import RunResult
+    from repro.sim.tracing import TraceLog
+
+#: Default latency buckets (virtual time units).  Commit phases take a
+#: handful of message delays, so the grid is dense at the low end.
+DEFAULT_BUCKETS = (0.5, 1.0, 2.0, 3.0, 5.0, 8.0, 13.0, 21.0, 34.0, 55.0, 100.0, 250.0, 1000.0)
+
+#: Label values rendered into metric keys: ``name{k=v,k2=v2}``.
+LabelSet = tuple[tuple[str, str], ...]
+
+
+def _labels_key(labels: dict[str, Any]) -> LabelSet:
+    """Normalize labels to a hashable, deterministically ordered key."""
+    return tuple(sorted((key, str(value)) for key, value in labels.items()))
+
+
+def _render_key(name: str, labels: LabelSet) -> str:
+    """Render ``name{k=v,...}`` (just ``name`` when unlabelled)."""
+    if not labels:
+        return name
+    inner = ",".join(f"{key}={value}" for key, value in labels)
+    return f"{name}{{{inner}}}"
+
+
+class Histogram:
+    """A fixed-bucket cumulative histogram (Prometheus-style).
+
+    Args:
+        buckets: Ascending upper bounds of the finite buckets; one
+            overflow bucket (+Inf) is always appended.
+    """
+
+    def __init__(self, buckets: Iterable[float] = DEFAULT_BUCKETS) -> None:
+        bounds = tuple(sorted(set(float(b) for b in buckets)))
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        self.bounds = bounds
+        self._counts = [0] * (len(bounds) + 1)  # +1 for the +Inf bucket
+        self.count = 0
+        self.sum = 0.0
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        self._counts[bisect.bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.sum += value
+
+    @property
+    def mean(self) -> float:
+        """Mean of all observations (0.0 when empty)."""
+        return self.sum / self.count if self.count else 0.0
+
+    def bucket_counts(self) -> list[tuple[float, int]]:
+        """Per-bucket (upper bound, count) pairs, +Inf last."""
+        pairs: list[tuple[float, int]] = list(zip(self.bounds, self._counts))
+        pairs.append((math.inf, self._counts[-1]))
+        return pairs
+
+    def quantile(self, q: float) -> float:
+        """Upper bound of the bucket containing the ``q``-th percentile.
+
+        A bucketed estimate (resolution limited by the grid): the
+        smallest bucket bound b such that at least ``q`` percent of
+        observations are <= b.  Returns ``inf`` when the quantile falls
+        in the overflow bucket, 0.0 on an empty histogram.
+
+        Raises:
+            ValueError: If ``q`` is outside [0, 100].
+        """
+        if not 0 <= q <= 100:
+            raise ValueError(f"quantile must be in [0, 100], got {q}")
+        if self.count == 0:
+            return 0.0
+        target = max(1, math.ceil(q / 100 * self.count))
+        cumulative = 0
+        for bound, count in self.bucket_counts():
+            cumulative += count
+            if cumulative >= target:
+                return bound
+        return math.inf  # pragma: no cover - unreachable, counts sum to count
+
+    def to_dict(self) -> dict[str, Any]:
+        """Deterministic snapshot: count, sum, cumulative buckets."""
+        cumulative = 0
+        buckets: dict[str, int] = {}
+        for bound, count in self.bucket_counts():
+            cumulative += count
+            label = "+Inf" if math.isinf(bound) else f"{bound:g}"
+            buckets[label] = cumulative
+        return {"count": self.count, "sum": self.sum, "buckets": buckets}
+
+    def merge(self, other: "Histogram") -> None:
+        """Fold another histogram with identical bounds into this one."""
+        if other.bounds != self.bounds:
+            raise ValueError(
+                f"cannot merge histograms with different buckets: "
+                f"{self.bounds} vs {other.bounds}"
+            )
+        for index, count in enumerate(other._counts):
+            self._counts[index] += count
+        self.count += other.count
+        self.sum += other.sum
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Histogram(n={self.count}, mean={self.mean:.4f})"
+
+
+class MetricsRegistry:
+    """Named, labelled counters and histograms with deterministic export."""
+
+    def __init__(self) -> None:
+        self._counters: dict[tuple[str, LabelSet], int] = {}
+        self._histograms: dict[tuple[str, LabelSet], Histogram] = {}
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+
+    def inc(self, name: str, amount: int = 1, **labels: Any) -> None:
+        """Increment the counter ``name{labels}`` by ``amount``."""
+        key = (name, _labels_key(labels))
+        self._counters[key] = self._counters.get(key, 0) + amount
+
+    def observe(
+        self,
+        name: str,
+        value: float,
+        buckets: Optional[Iterable[float]] = None,
+        **labels: Any,
+    ) -> None:
+        """Record ``value`` in the histogram ``name{labels}``.
+
+        ``buckets`` configures the grid on first use of a series and is
+        ignored afterwards (bounds are fixed for a series' lifetime).
+        """
+        key = (name, _labels_key(labels))
+        histogram = self._histograms.get(key)
+        if histogram is None:
+            histogram = Histogram(buckets if buckets is not None else DEFAULT_BUCKETS)
+            self._histograms[key] = histogram
+        histogram.observe(value)
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+
+    def counter(self, name: str, **labels: Any) -> int:
+        """Current value of a counter (0 if never incremented)."""
+        return self._counters.get((name, _labels_key(labels)), 0)
+
+    def histogram(self, name: str, **labels: Any) -> Optional[Histogram]:
+        """The histogram for this series, or ``None``."""
+        return self._histograms.get((name, _labels_key(labels)))
+
+    def ratio(self, numerator: str, denominator: str, **labels: Any) -> float:
+        """Counter ratio, e.g. blocking rate = blocked runs / runs (0.0 safe)."""
+        denom = self.counter(denominator, **labels)
+        return self.counter(numerator, **labels) / denom if denom else 0.0
+
+    def series(self) -> list[str]:
+        """All rendered series keys, sorted (counters then histograms)."""
+        counters = sorted(_render_key(*key) for key in self._counters)
+        histograms = sorted(_render_key(*key) for key in self._histograms)
+        return counters + histograms
+
+    # ------------------------------------------------------------------
+    # Aggregation & export
+    # ------------------------------------------------------------------
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold another registry into this one (cross-shard rollup)."""
+        for (name, labels), value in other._counters.items():
+            key = (name, labels)
+            self._counters[key] = self._counters.get(key, 0) + value
+        for (name, labels), histogram in other._histograms.items():
+            key = (name, labels)
+            mine = self._histograms.get(key)
+            if mine is None:
+                mine = Histogram(histogram.bounds)
+                self._histograms[key] = mine
+            mine.merge(histogram)
+
+    def to_dict(self) -> dict[str, Any]:
+        """Deterministic nested snapshot: sorted keys throughout."""
+        return {
+            "counters": {
+                _render_key(name, labels): value
+                for (name, labels), value in sorted(self._counters.items())
+            },
+            "histograms": {
+                _render_key(name, labels): histogram.to_dict()
+                for (name, labels), histogram in sorted(self._histograms.items())
+            },
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        """Deterministic JSON rendering of :meth:`to_dict`."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"MetricsRegistry(counters={len(self._counters)}, "
+            f"histograms={len(self._histograms)})"
+        )
+
+
+# ----------------------------------------------------------------------
+# Rollup helpers: trace / run -> registry
+# ----------------------------------------------------------------------
+
+
+def observe_trace(
+    registry: MetricsRegistry,
+    trace: "TraceLog",
+    protocol: str = "",
+) -> None:
+    """Roll one trace's observability events into ``registry``.
+
+    Emits, labelled with ``protocol`` (when given):
+
+    * ``messages_{sent,delivered,dropped}_total`` counters from the
+      ``net.*`` events (partition drops count as drops);
+    * ``message_latency`` histogram over delivered send→deliver spans;
+    * ``phase_latency{phase=...}`` histograms from ``phase.exit``;
+    * ``decisions_total{outcome=...,via=...}`` counters and a
+      ``decision_latency`` histogram from ``txn.decided``;
+    * ``blocked_sites_total`` from termination blocking events.
+    """
+    labels = {"protocol": protocol} if protocol else {}
+    for entry in trace:
+        category = entry.category
+        if category == "net.send":
+            registry.inc("messages_sent_total", **labels)
+        elif category == "net.deliver":
+            registry.inc("messages_delivered_total", **labels)
+            sent_at = entry.data.get("sent_at")
+            if sent_at is not None:
+                registry.observe(
+                    "message_latency", entry.time - float(sent_at), **labels
+                )
+        elif category in ("net.drop", "net.partition_drop"):
+            registry.inc("messages_dropped_total", **labels)
+        elif category == "phase.exit":
+            phase = entry.data.get("phase")
+            elapsed = entry.data.get("elapsed")
+            if phase is not None and elapsed is not None:
+                registry.observe(
+                    "phase_latency", float(elapsed), phase=phase, **labels
+                )
+        elif category == "txn.decided":
+            registry.inc(
+                "decisions_total",
+                outcome=entry.data.get("outcome", "?"),
+                via=entry.data.get("via", "?"),
+                **labels,
+            )
+            registry.observe("decision_latency", entry.time, **labels)
+        elif category in ("term.blocked", "term.no_quorum"):
+            registry.inc("blocked_sites_total", **labels)
+
+
+def observe_run(registry: MetricsRegistry, run: "RunResult") -> None:
+    """Roll one :class:`~repro.runtime.harness.RunResult` into ``registry``.
+
+    Adds run-level counters — ``runs_total``, ``runs_blocked``,
+    ``runs_violation``, per-outcome ``run_outcomes_total`` — plus the
+    full per-event rollup of :func:`observe_trace`, all labelled with
+    the run's protocol.  Blocking rate over a campaign is then
+    ``registry.ratio("runs_blocked", "runs_total", protocol=...)``.
+    """
+    protocol = run.protocol
+    registry.inc("runs_total", protocol=protocol)
+    registry.observe(
+        "run_duration", run.duration, protocol=protocol
+    )
+    registry.observe(
+        "messages_per_run", float(run.messages_sent), protocol=protocol
+    )
+    if run.blocked_sites:
+        registry.inc("runs_blocked", protocol=protocol)
+    if not run.atomic:
+        registry.inc("runs_violation", protocol=protocol)
+    decided = sorted(outcome.value for outcome in run.decided_outcomes())
+    registry.inc(
+        "run_outcomes_total",
+        outcome="/".join(decided) if decided else "undecided",
+        protocol=protocol,
+    )
+    observe_trace(registry, run.trace, protocol=protocol)
+
+
+def json_sidecar(result: Any) -> str:
+    """Render an experiment result as a machine-readable JSON document.
+
+    ``result`` is duck-typed against
+    :class:`~repro.experiments.base.ExperimentResult` (experiment_id,
+    title, data, notes).  Output is deterministic (sorted keys), so
+    sidecars diff cleanly across PRs and the perf trajectory of each
+    benchmark can be tracked mechanically.
+    """
+    from repro.sim.tracing import _json_safe
+
+    document = {
+        "experiment_id": result.experiment_id,
+        "title": result.title,
+        "data": _json_safe(result.data),
+        "notes": list(result.notes),
+    }
+    return json.dumps(document, indent=2, sort_keys=True)

@@ -2,6 +2,17 @@
 
 See the package docstring of :mod:`repro.net` for the semantics, which
 match the paper's assumptions precisely.
+
+Trace categories emitted here (see ``docs/OBSERVABILITY.md``):
+
+* ``net.send`` — a message left its source; ``data`` carries the
+  network-unique ``msg_id`` plus ``src``/``dst``.
+* ``net.deliver`` / ``net.drop`` / ``net.partition_drop`` — the
+  message's terminal event, stamped with the same ``msg_id`` (and
+  ``sent_at``) so send/terminal pairs form causal spans
+  (:class:`repro.sim.spans.SpanIndex`).
+* ``site.crash`` / ``site.restart`` — liveness transitions.
+* ``net.partition`` / ``net.heal`` — partition lifecycle.
 """
 
 from __future__ import annotations
@@ -124,7 +135,13 @@ class Network:
         self._next_msg_id += 1
         self.messages_sent += 1
         self.sim.trace.record(
-            self.sim.now, "net.send", f"{envelope}", site=src, msg_id=envelope.msg_id
+            self.sim.now,
+            "net.send",
+            f"{envelope}",
+            site=src,
+            msg_id=envelope.msg_id,
+            src=src,
+            dst=dst,
         )
         self.sim.schedule(delay, lambda: self._deliver(envelope), label=f"deliver {envelope.msg_id}")
         return envelope
@@ -146,6 +163,9 @@ class Network:
                 f"{envelope} (cross-partition)",
                 site=envelope.dst,
                 msg_id=envelope.msg_id,
+                src=envelope.src,
+                dst=envelope.dst,
+                sent_at=envelope.sent_at,
             )
             return
         if not self._up.get(envelope.dst, False):
@@ -156,6 +176,9 @@ class Network:
                 f"{envelope} (destination down)",
                 site=envelope.dst,
                 msg_id=envelope.msg_id,
+                src=envelope.src,
+                dst=envelope.dst,
+                sent_at=envelope.sent_at,
             )
             return
         self.messages_delivered += 1
@@ -165,6 +188,9 @@ class Network:
             f"{envelope}",
             site=envelope.dst,
             msg_id=envelope.msg_id,
+            src=envelope.src,
+            dst=envelope.dst,
+            sent_at=envelope.sent_at,
         )
         self._sinks[envelope.dst].deliver(envelope)
 

@@ -64,6 +64,9 @@ class Engine:
         self.buffer: set[Msg] = set()
         self.transitions_fired = 0
         self._halted = False
+        # When the current FSA state (= protocol phase) was entered;
+        # the initial state is occupied from virtual time zero.
+        self._phase_entered_at: float = 0.0
         # Partial-send crash request: (transition_number, writes_to_send,
         # crash_callback).  Armed by the failure injector.
         self._partial_crash: Optional[tuple[int, int, Callable[[], None]]] = None
@@ -207,6 +210,7 @@ class Engine:
             partial[2]()
             return False
 
+        previous = self.state
         self.state = transition.target
         self._trace(
             "engine.transition",
@@ -214,9 +218,42 @@ class Engine:
             state=self.state,
             fired=self.transitions_fired,
         )
+        self._advance_phase(previous)
         if entering_final:
+            self._record_decision("protocol")
             self._on_final(self.outcome, "protocol")
         return True
+
+    def _advance_phase(self, previous: str) -> None:
+        """Emit the ``phase.exit``/``phase.enter`` pair for a state change.
+
+        The FSA state *is* the protocol phase (q/w/p/a/c...), so phase
+        timing falls straight out of state occupancy: ``elapsed`` on the
+        exit event is how long the site sat in the phase it just left.
+        """
+        now = self._now()
+        self._trace(
+            "phase.exit",
+            f"left {previous!r} after {now - self._phase_entered_at:g}",
+            phase=previous,
+            elapsed=now - self._phase_entered_at,
+        )
+        self._phase_entered_at = now
+        self._trace(
+            "phase.enter",
+            f"entered {self.state!r}",
+            phase=self.state,
+        )
+
+    def _record_decision(self, via: str) -> None:
+        """Emit the ``txn.decided`` event (decision latency = its time)."""
+        self._trace(
+            "txn.decided",
+            f"{self.outcome.value} via {via}",
+            outcome=self.outcome.value,
+            via=via,
+            state=self.state,
+        )
 
     # ------------------------------------------------------------------
     # Forced moves (termination protocol hooks)
@@ -246,6 +283,8 @@ class Engine:
             f"moved {previous!r} -> {state!r} by termination protocol",
             state=state,
         )
+        if state != previous:
+            self._advance_phase(previous)
 
     def force_outcome(self, outcome: Outcome, via: str) -> None:
         """Adopt a final outcome delivered by termination or recovery."""
@@ -258,6 +297,7 @@ class Engine:
         else:
             raise TransitionError(f"cannot force non-final outcome {outcome}")
         self.log.write_decision(outcome, self._now(), via=via)
+        previous = self.state
         self.state = target
         self._trace(
             "engine.forced_outcome",
@@ -265,4 +305,7 @@ class Engine:
             state=target,
             via=via,
         )
+        if target != previous:
+            self._advance_phase(previous)
+        self._record_decision(via)
         self._on_final(outcome, via)

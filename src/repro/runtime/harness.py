@@ -153,6 +153,9 @@ class CommitRun:
         requery_interval: Recovery re-query period.
         max_time: Stop the simulation at this virtual time even if
             events remain (bounds blocked runs).
+        trace: Optional pre-built trace log — pass a bounded one
+            (``TraceLog(max_entries=...)``) to cap trace memory on
+            long campaigns; a fresh unbounded log is used by default.
     """
 
     def __init__(
@@ -172,6 +175,7 @@ class CommitRun:
         partition_at: Optional[SimTime] = None,
         partition_groups: Optional[list[set[SiteId]]] = None,
         max_time: SimTime = 1000.0,
+        trace: Optional[TraceLog] = None,
     ) -> None:
         self.spec = spec
         self.seed = seed
@@ -197,6 +201,7 @@ class CommitRun:
         self.partition_at = partition_at
         self.partition_groups = partition_groups
         self.max_time = max_time
+        self.trace = trace
         self._validate_crashes()
 
     def _validate_crashes(self) -> None:
@@ -214,7 +219,7 @@ class CommitRun:
 
     def execute(self) -> RunResult:
         """Run the transaction to quiescence and collect the result."""
-        sim = Simulator(seed=self.seed)
+        sim = Simulator(seed=self.seed, trace=self.trace)
         network = Network(
             sim, latency=self.latency, detection_delay=self.detection_delay
         )

@@ -118,6 +118,9 @@ class TxnAgent:
     def network(self) -> Network:
         return self.host.network
 
+    def now(self) -> SimTime:
+        return self.host.sim.now
+
     def send_payload(self, dst: SiteId, payload: Any) -> None:
         self.host.send_tagged(self.xid, dst, payload)
 

@@ -61,6 +61,35 @@ class RecoveryController:
         self.in_doubt = False
         self.queries_sent = 0
         self._round_replies: dict[SiteId, "OutcomeReply"] = {}
+        # Virtual time the recovery phase started, or None when the
+        # site is not recovering (observability only).
+        self._phase_entered_at = None
+
+    # ------------------------------------------------------------------
+    # Phase instrumentation (observability; no protocol effect)
+    # ------------------------------------------------------------------
+
+    def _phase_enter(self) -> None:
+        self._phase_entered_at = self._site.now()
+        self._site.trace(
+            "phase.enter",
+            "recovery protocol started",
+            site=self._site.site,
+            phase="recovery",
+        )
+
+    def _phase_exit(self, reason: str) -> None:
+        if self._phase_entered_at is None:
+            return
+        elapsed = self._site.now() - self._phase_entered_at
+        self._phase_entered_at = None
+        self._site.trace(
+            "phase.exit",
+            f"recovery {reason} after {elapsed:g}",
+            site=self._site.site,
+            phase="recovery",
+            elapsed=elapsed,
+        )
 
     # ------------------------------------------------------------------
     # Restart entry point
@@ -68,6 +97,7 @@ class RecoveryController:
 
     def on_restart(self) -> None:
         """Run the recovery decision procedure after a restart."""
+        self._phase_enter()
         log = self._site.log
         decision = log.decision()
         if decision is not None:
@@ -78,6 +108,7 @@ class RecoveryController:
                 f"log already holds {decision.outcome.value}",
                 site=self._site.site,
             )
+            self._phase_exit("resolved from own log")
             return
 
         vote = log.vote()
@@ -98,6 +129,7 @@ class RecoveryController:
                 "no yes-vote logged; aborting unilaterally",
                 site=self._site.site,
             )
+            self._phase_exit("resolved by unilateral abort")
             return
 
         # In doubt: voted yes, outcome unknown.  Ask around.
@@ -160,6 +192,7 @@ class RecoveryController:
             site=self._site.site,
         )
         self._site.engine.force_outcome(msg.outcome, via="recovery")
+        self._phase_exit(f"resolved by site {sender}")
 
     def _maybe_resolve_total_failure(self) -> None:
         """Abort safely once the whole population is provably in doubt.
@@ -191,6 +224,7 @@ class RecoveryController:
             site=self._site.site,
         )
         self._site.engine.force_outcome(Outcome.ABORT, via="recovery")
+        self._phase_exit("resolved by total-failure analysis")
 
     def on_peer_recovered(self, peer: SiteId) -> None:
         """A crashed peer returned; blocked/in-doubt sites query it.

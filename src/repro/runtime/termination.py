@@ -116,6 +116,37 @@ class TerminationController:
         self._state_replies: dict[SiteId, TermStateReply] = {}
         self._phase: str = "idle"  # idle | await_states | await_acks | done
         self._decision: Optional[Outcome] = None
+        # Virtual time the termination phase was entered at this site,
+        # or None while termination is not in progress (observability).
+        self._phase_entered_at: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    # Phase instrumentation (observability; no protocol effect)
+    # ------------------------------------------------------------------
+
+    def _phase_enter(self) -> None:
+        if self._phase_entered_at is not None:
+            return  # Cascading rounds extend the same termination phase.
+        self._phase_entered_at = self._site.now()
+        self._site.trace(
+            "phase.enter",
+            "termination protocol engaged",
+            site=self._site.site,
+            phase="termination",
+        )
+
+    def _phase_exit(self, reason: str) -> None:
+        if self._phase_entered_at is None:
+            return
+        elapsed = self._site.now() - self._phase_entered_at
+        self._phase_entered_at = None
+        self._site.trace(
+            "phase.exit",
+            f"termination {reason} after {elapsed:g}",
+            site=self._site.site,
+            phase="termination",
+            elapsed=elapsed,
+        )
 
     # ------------------------------------------------------------------
     # Triggers
@@ -146,6 +177,7 @@ class TerminationController:
         self.round_no += 1
         self.rounds_started += 1
         self.blocked = False
+        self._phase_enter()
         if self.mode == "quorum" and not self._site.engine.finished:
             total = len(self._site.spec.sites)
             if 2 * len(operational) <= total:
@@ -157,6 +189,7 @@ class TerminationController:
                     "blocking rather than risking a split decision",
                     site=self._site.site,
                 )
+                self._phase_exit("blocked (no quorum)")
                 self._site.notify_blocked()
                 return
         backup = self._elect(operational)
@@ -222,6 +255,7 @@ class TerminationController:
                 engine.force_outcome(decision, via="termination")
             for other in others:
                 self._site.send_payload(other, TermDecision(decision, self.round_no))
+            self._phase_exit("decided (unsafe ablation)")
             return
 
         if decision is Outcome.BLOCKED:
@@ -234,6 +268,7 @@ class TerminationController:
             )
             for other in others:
                 self._site.send_payload(other, TermBlocked(self.round_no))
+            self._phase_exit("blocked")
             self._site.notify_blocked()
             return
 
@@ -292,6 +327,7 @@ class TerminationController:
             self._site.send_payload(other, TermDecision(self._decision, self.round_no))
         if not self._site.engine.finished:
             self._site.engine.force_outcome(self._decision, via="termination")
+        self._phase_exit("decided")
 
     # ------------------------------------------------------------------
     # Participant side
@@ -347,6 +383,7 @@ class TerminationController:
         self._phase = "done"
         if not self._site.engine.finished:
             self._site.engine.force_outcome(msg.outcome, via="termination")
+        self._phase_exit("decided")
 
     def on_blocked(self, sender: SiteId, msg: TermBlocked) -> None:
         """The backup announced that no safe decision exists."""
@@ -356,4 +393,5 @@ class TerminationController:
         if not self._site.engine.finished:
             self.blocked = True
             self._phase = "done"
+            self._phase_exit("blocked")
             self._site.notify_blocked()

@@ -21,14 +21,17 @@ from repro.sim.events import Event, EventHandle
 from repro.sim.process import Process
 from repro.sim.rng import RandomStreams
 from repro.sim.simulator import Simulator
+from repro.sim.spans import MessageSpan, SpanIndex
 from repro.sim.tracing import TraceEntry, TraceLog
 
 __all__ = [
     "Event",
     "EventHandle",
+    "MessageSpan",
     "Process",
     "RandomStreams",
     "Simulator",
+    "SpanIndex",
     "TraceEntry",
     "TraceLog",
 ]

@@ -125,6 +125,10 @@ class Process:
     # Tracing convenience
     # ------------------------------------------------------------------
 
+    def now(self) -> SimTime:
+        """Current virtual time (convenience for phase instrumentation)."""
+        return self.sim.now
+
     def trace(
         self,
         category: str,

@@ -1,0 +1,165 @@
+"""Causal message spans reconstructed from a trace.
+
+The network stamps every ``net.send`` with a network-unique ``msg_id``
+and repeats it on the matching terminal event (``net.deliver``,
+``net.drop``, or ``net.partition_drop``), so a send and its outcome
+form a linkable *span*.  :class:`SpanIndex` walks a
+:class:`~repro.sim.tracing.TraceLog` once and pairs them up, yielding
+per-message latency and per-site causal order — the raw material for
+the message-delay accounting style of analysis (Gray & Lamport's
+*Consensus on Transaction Commit* evaluates commit protocols exactly
+this way).
+
+Spans survive partial traces: a bounded ring log may have evicted the
+``net.send`` of an old message, in which case the terminal entry's
+``sent_at`` field still lets the span report its latency.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+from repro.sim.tracing import TraceEntry, TraceLog
+from repro.types import SimTime, SiteId
+
+#: Terminal categories a span can end with, mapped to its status.
+_TERMINAL = {
+    "net.deliver": "delivered",
+    "net.drop": "dropped",
+    "net.partition_drop": "partition_drop",
+}
+
+
+@dataclasses.dataclass
+class MessageSpan:
+    """One message's lifetime: send → deliver/drop, or still in flight.
+
+    Attributes:
+        msg_id: Network-unique id assigned at send time.
+        src: Sending site (``None`` if the send entry was evicted and
+            the terminal entry predates src/dst stamping).
+        dst: Destination site.
+        sent_at: Virtual send time.
+        ended_at: Virtual time of the terminal event, or ``None`` while
+            in flight.
+        status: ``"delivered"``, ``"dropped"``, ``"partition_drop"``,
+            or ``"inflight"``.
+        send_entry: The ``net.send`` trace entry, if present.
+        end_entry: The terminal trace entry, if present.
+    """
+
+    msg_id: int
+    src: Optional[SiteId] = None
+    dst: Optional[SiteId] = None
+    sent_at: Optional[SimTime] = None
+    ended_at: Optional[SimTime] = None
+    status: str = "inflight"
+    send_entry: Optional[TraceEntry] = None
+    end_entry: Optional[TraceEntry] = None
+
+    @property
+    def latency(self) -> Optional[SimTime]:
+        """Send-to-terminal transit time, or ``None`` if unknown."""
+        if self.sent_at is None or self.ended_at is None:
+            return None
+        return self.ended_at - self.sent_at
+
+    def describe(self) -> str:
+        """One-line summary of the span."""
+        src = "?" if self.src is None else self.src
+        dst = "?" if self.dst is None else self.dst
+        latency = self.latency
+        tail = f"latency={latency:g}" if latency is not None else "latency=?"
+        return f"span #{self.msg_id} {src}->{dst} [{self.status}] {tail}"
+
+
+class SpanIndex:
+    """All message spans of one trace, queryable by id, site, and status."""
+
+    def __init__(self, spans: dict[int, MessageSpan]) -> None:
+        self._spans = spans
+
+    @classmethod
+    def from_trace(cls, trace: TraceLog) -> "SpanIndex":
+        """Pair ``net.send`` entries with their terminal events."""
+        spans: dict[int, MessageSpan] = {}
+        for entry in trace:
+            msg_id = entry.data.get("msg_id")
+            if msg_id is None:
+                continue
+            if entry.category == "net.send":
+                span = spans.setdefault(msg_id, MessageSpan(msg_id=msg_id))
+                span.send_entry = entry
+                span.sent_at = entry.time
+                span.src = entry.data.get("src", entry.site)
+                span.dst = entry.data.get("dst", span.dst)
+            elif entry.category in _TERMINAL:
+                span = spans.setdefault(msg_id, MessageSpan(msg_id=msg_id))
+                span.end_entry = entry
+                span.ended_at = entry.time
+                span.status = _TERMINAL[entry.category]
+                if span.src is None:
+                    span.src = entry.data.get("src")
+                if span.dst is None:
+                    span.dst = entry.data.get("dst", entry.site)
+                if span.sent_at is None:
+                    sent_at = entry.data.get("sent_at")
+                    span.sent_at = float(sent_at) if sent_at is not None else None
+        return cls(spans)
+
+    def __len__(self) -> int:
+        return len(self._spans)
+
+    def span(self, msg_id: int) -> Optional[MessageSpan]:
+        """The span with this message id, or ``None``."""
+        return self._spans.get(msg_id)
+
+    def all(self) -> list[MessageSpan]:
+        """Every span, ordered by message id."""
+        return [self._spans[key] for key in sorted(self._spans)]
+
+    def with_status(self, status: str) -> list[MessageSpan]:
+        """Spans with the given status, ordered by message id."""
+        return [span for span in self.all() if span.status == status]
+
+    def delivered(self) -> list[MessageSpan]:
+        """Spans that completed delivery."""
+        return self.with_status("delivered")
+
+    def dropped(self) -> list[MessageSpan]:
+        """Spans lost to a down destination or a partition."""
+        return [
+            span
+            for span in self.all()
+            if span.status in ("dropped", "partition_drop")
+        ]
+
+    def inflight(self) -> list[MessageSpan]:
+        """Spans with a send but no terminal event (run ended first)."""
+        return self.with_status("inflight")
+
+    def latencies(self) -> list[float]:
+        """Transit times of all delivered spans, in message-id order."""
+        return [
+            span.latency
+            for span in self.delivered()
+            if span.latency is not None
+        ]
+
+    def site_order(self, site: SiteId) -> list[tuple[SimTime, str, int]]:
+        """The causal order of message events observed at one site.
+
+        Returns ``(time, kind, msg_id)`` tuples — ``kind`` is ``"send"``
+        for transmissions originated by the site and ``"recv"`` for
+        deliveries to it — sorted by time (ties broken by msg_id, which
+        is assignment order and therefore causal at the sender).
+        """
+        events: list[tuple[SimTime, str, int]] = []
+        for span in self.all():
+            if span.src == site and span.sent_at is not None:
+                events.append((span.sent_at, "send", span.msg_id))
+            if span.dst == site and span.status == "delivered":
+                events.append((span.ended_at, "recv", span.msg_id))
+        events.sort(key=lambda event: (event[0], event[2]))
+        return events

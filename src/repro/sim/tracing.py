@@ -6,14 +6,50 @@ transition, crash, recovery, decision — is appended to a
 example, the atomicity audit asserts no trace contains both a commit
 and an abort decision for one transaction), and examples print them as
 a readable timeline.
+
+Traces are also the substrate of the observability layer (see
+``docs/OBSERVABILITY.md``): they export to JSON Lines with a
+deterministic field order (:meth:`TraceLog.to_jsonl` /
+:meth:`TraceLog.from_jsonl`), message sends and deliveries carry a
+shared ``msg_id`` so :class:`repro.sim.spans.SpanIndex` can reconstruct
+causal spans, and long-running workloads can bound trace memory with
+``max_entries`` (ring or drop overflow policy, with a ``dropped``
+counter so truncation is never silent).
 """
 
 from __future__ import annotations
 
+import collections
 import dataclasses
-from typing import Any, Callable, Iterator, Optional
+import json
+from typing import Any, Callable, Iterator, Optional, Union
 
 from repro.types import SimTime
+
+#: Overflow policies for bounded logs: ``"ring"`` evicts the oldest
+#: entry to make room (keeps the newest window), ``"drop"`` discards
+#: the incoming entry (keeps the oldest prefix).
+OVERFLOW_POLICIES = ("ring", "drop")
+
+#: Field order of one exported JSONL record.  Fixed so exports are
+#: byte-stable across runs and re-imports (round-trip identity).
+_JSONL_FIELDS = ("time", "category", "site", "detail", "data")
+
+
+def _json_safe(value: Any) -> Any:
+    """Coerce a trace payload value to a JSON-representable one.
+
+    Scalars pass through; containers recurse; anything else (enums,
+    dataclasses, envelopes) becomes its ``str()`` — traces are
+    observability data, not a wire format for live objects.
+    """
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(item) for item in value]
+    if isinstance(value, dict):
+        return {str(key): _json_safe(val) for key, val in value.items()}
+    return str(value)
 
 
 @dataclasses.dataclass(frozen=True)
@@ -40,12 +76,70 @@ class TraceEntry:
         where = f"site {self.site}" if self.site is not None else "-"
         return f"[{self.time:9.4f}] {self.category:<20} {where:<8} {self.detail}"
 
+    def to_json(self) -> str:
+        """Serialize as one canonical JSON line (no trailing newline).
+
+        Field order is fixed (:data:`_JSONL_FIELDS`) and ``data`` keys
+        are sorted, so serialization is deterministic: re-exporting an
+        imported entry reproduces the original bytes.
+        """
+        record = {
+            "time": float(self.time),
+            "category": self.category,
+            "site": self.site,
+            "detail": self.detail,
+            "data": {
+                key: _json_safe(value)
+                for key, value in sorted(self.data.items())
+            },
+        }
+        return json.dumps(record, separators=(",", ":"))
+
+    @classmethod
+    def from_json(cls, line: str) -> "TraceEntry":
+        """Parse one JSONL record produced by :meth:`to_json`."""
+        record = json.loads(line)
+        return cls(
+            time=float(record["time"]),
+            category=record["category"],
+            site=record["site"],
+            detail=record["detail"],
+            data=dict(record.get("data", {})),
+        )
+
 
 class TraceLog:
-    """An append-only sequence of :class:`TraceEntry` with query helpers."""
+    """An append-only sequence of :class:`TraceEntry` with query helpers.
 
-    def __init__(self) -> None:
-        self._entries: list[TraceEntry] = []
+    Args:
+        max_entries: Optional bound on retained entries.  ``None``
+            (default) keeps everything.
+        overflow: What to do when the bound is hit — see
+            :data:`OVERFLOW_POLICIES`.  Overflowed entries increment
+            :attr:`dropped` so truncation is observable.
+    """
+
+    def __init__(
+        self,
+        max_entries: Optional[int] = None,
+        overflow: str = "ring",
+    ) -> None:
+        if max_entries is not None and max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        if overflow not in OVERFLOW_POLICIES:
+            raise ValueError(
+                f"unknown overflow policy {overflow!r}; "
+                f"choose from {OVERFLOW_POLICIES}"
+            )
+        self.max_entries = max_entries
+        self.overflow = overflow
+        #: Entries lost to the bound (evicted or discarded).
+        self.dropped = 0
+        self._entries: Union[list[TraceEntry], collections.deque[TraceEntry]]
+        if max_entries is not None and overflow == "ring":
+            self._entries = collections.deque(maxlen=max_entries)
+        else:
+            self._entries = []
 
     def record(
         self,
@@ -55,12 +149,26 @@ class TraceLog:
         site: Optional[int] = None,
         **data: Any,
     ) -> TraceEntry:
-        """Append an entry and return it."""
+        """Append an entry and return it.
+
+        When the log is bounded, the entry may displace the oldest one
+        (``ring``) or be discarded immediately (``drop``); either way
+        :attr:`dropped` counts the loss and the entry is still returned
+        to the caller.
+        """
         entry = TraceEntry(
             time=time, category=category, site=site, detail=detail, data=data
         )
-        self._entries.append(entry)
+        self.append(entry)
         return entry
+
+    def append(self, entry: TraceEntry) -> None:
+        """Append a pre-built entry, honouring the overflow policy."""
+        if self.max_entries is not None and len(self._entries) >= self.max_entries:
+            self.dropped += 1
+            if self.overflow == "drop":
+                return
+        self._entries.append(entry)
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -108,5 +216,39 @@ class TraceLog:
 
     def format_timeline(self, limit: Optional[int] = None) -> str:
         """Render the whole trace (or its first ``limit`` lines)."""
-        entries = self._entries if limit is None else self._entries[:limit]
+        entries = self.entries if limit is None else self.entries[:limit]
         return "\n".join(entry.format() for entry in entries)
+
+    # ------------------------------------------------------------------
+    # JSONL export / import
+    # ------------------------------------------------------------------
+
+    def to_jsonl(self) -> str:
+        """Serialize the whole log as JSON Lines (one entry per line).
+
+        The encoding is canonical — fixed field order, sorted ``data``
+        keys, compact separators — so ``to_jsonl`` after ``from_jsonl``
+        reproduces the input byte-for-byte.
+        """
+        return "".join(entry.to_json() + "\n" for entry in self._entries)
+
+    @classmethod
+    def from_jsonl(cls, text: str) -> "TraceLog":
+        """Rebuild a log from :meth:`to_jsonl` output (blank lines skipped)."""
+        log = cls()
+        for line in text.splitlines():
+            if line.strip():
+                log.append(TraceEntry.from_json(line))
+        return log
+
+    def save(self, path: str) -> int:
+        """Write the log to ``path`` as JSONL; returns the entry count."""
+        with open(path, "w") as handle:
+            handle.write(self.to_jsonl())
+        return len(self._entries)
+
+    @classmethod
+    def load(cls, path: str) -> "TraceLog":
+        """Read a JSONL trace file written by :meth:`save`."""
+        with open(path) as handle:
+            return cls.from_jsonl(handle.read())

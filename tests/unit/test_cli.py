@@ -165,3 +165,136 @@ class TestCampaign:
         )
         out = capsys.readouterr().out
         assert "outcome: commit       | 8" in out.replace("  ", "  ")
+
+
+class TestTraceOut:
+    def test_run_writes_trace_file(self, capsys, tmp_path):
+        path = tmp_path / "t.jsonl"
+        assert (
+            main(["run", "3pc-central", "3", "--trace-out", str(path)]) == 0
+        )
+        out = capsys.readouterr().out
+        assert f"wrote" in out and str(path) in out
+        assert path.exists()
+        lines = path.read_text().splitlines()
+        assert lines, "trace file should not be empty"
+        import json
+
+        record = json.loads(lines[0])
+        assert list(record) == ["time", "category", "site", "detail", "data"]
+
+    def test_fixed_seed_trace_round_trips_byte_identically(self, tmp_path):
+        from repro.sim.tracing import TraceLog
+
+        path = tmp_path / "t.jsonl"
+        main(
+            ["run", "3pc-central", "4", "--crash", "1@2.0",
+             "--seed", "7", "--trace-out", str(path)]
+        )
+        text = path.read_text()
+        assert TraceLog.from_jsonl(text).to_jsonl() == text
+
+    def test_same_seed_same_bytes(self, tmp_path):
+        a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        argv = ["run", "3pc-central", "4", "--crash", "1@2.0", "--seed", "3"]
+        main(argv + ["--trace-out", str(a)])
+        main(argv + ["--trace-out", str(b)])
+        assert a.read_bytes() == b.read_bytes()
+
+
+class TestTraceCommand:
+    @pytest.fixture()
+    def trace_file(self, tmp_path, capsys):
+        path = tmp_path / "t.jsonl"
+        main(["run", "3pc-central", "4", "--crash", "1@2.0",
+              "--trace-out", str(path)])
+        capsys.readouterr()  # Discard the run output.
+        return str(path)
+
+    def test_prints_timeline_with_footer(self, capsys, trace_file):
+        assert main(["trace", trace_file]) == 0
+        out = capsys.readouterr().out
+        assert "net.send" in out
+        assert "shown" in out and "total entries" in out
+
+    def test_category_prefix_filter(self, capsys, trace_file):
+        assert main(["trace", trace_file, "--category", "phase."]) == 0
+        out = capsys.readouterr().out
+        assert "phase.enter" in out and "phase.exit" in out
+        assert "net.send" not in out
+
+    def test_site_filter(self, capsys, trace_file):
+        assert main(["trace", trace_file, "--site", "2"]) == 0
+        lines = capsys.readouterr().out.splitlines()
+        entry_lines = [line for line in lines if line.startswith("[")]
+        assert entry_lines
+        # The site column (detail text may mention other sites).
+        assert all("site 2" in line[:42] for line in entry_lines)
+        assert not any("site 3" in line[:42] for line in entry_lines)
+
+    def test_span_lookup(self, capsys, trace_file):
+        assert main(["trace", trace_file, "--span", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "span #0" in out
+        assert "latency=" in out
+        assert "net.send" in out and "net.deliver" in out
+
+    def test_dropped_span_shows_drop(self, capsys, trace_file):
+        # Find a dropped message id, then ask for its span.
+        from repro.sim.spans import SpanIndex
+        from repro.sim.tracing import TraceLog
+
+        index = SpanIndex.from_trace(TraceLog.load(trace_file))
+        dropped = index.dropped()
+        assert dropped
+        assert main(["trace", trace_file, "--span",
+                     str(dropped[0].msg_id)]) == 0
+        out = capsys.readouterr().out
+        assert "[dropped]" in out and "net.drop" in out
+
+    def test_unknown_span_is_error(self, capsys, trace_file):
+        assert main(["trace", trace_file, "--span", "99999"]) == 1
+        assert "no message with id 99999" in capsys.readouterr().out
+
+    def test_limit(self, capsys, trace_file):
+        assert main(["trace", trace_file, "--limit", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "3 shown" in out
+
+
+class TestStatsCommand:
+    @pytest.fixture()
+    def trace_file(self, tmp_path, capsys):
+        path = tmp_path / "t.jsonl"
+        main(["run", "3pc-central", "4", "--crash", "1@2.0",
+              "--trace-out", str(path)])
+        capsys.readouterr()
+        return str(path)
+
+    def test_stats_prints_message_counts(self, capsys, trace_file):
+        assert main(["stats", trace_file]) == 0
+        out = capsys.readouterr().out
+        assert "messages" in out
+        assert "sent" in out and "delivered" in out and "dropped" in out
+
+    def test_stats_prints_phase_latency_percentiles(self, capsys, trace_file):
+        assert main(["stats", trace_file]) == 0
+        out = capsys.readouterr().out
+        assert "phase latency" in out
+        assert "p50" in out and "p99" in out
+        assert "termination" in out
+
+    def test_stats_prints_decision_outcome(self, capsys, trace_file):
+        assert main(["stats", trace_file]) == 0
+        out = capsys.readouterr().out
+        assert "decision outcome" in out
+        assert "abort" in out
+        assert "decision latency" in out
+
+    def test_stats_reports_blocking(self, capsys, tmp_path):
+        path = tmp_path / "blocked.jsonl"
+        main(["run", "2pc-central", "3", "--crash", "1@2.0",
+              "--trace-out", str(path)])
+        capsys.readouterr()
+        assert main(["stats", str(path)]) == 0
+        assert "blocking" in capsys.readouterr().out

@@ -1,0 +1,217 @@
+"""Unit tests for the labelled metrics registry (repro.metrics.registry)."""
+
+import json
+import math
+
+import pytest
+
+from repro.metrics.registry import (
+    Histogram,
+    MetricsRegistry,
+    json_sidecar,
+    observe_run,
+    observe_trace,
+)
+from repro.protocols import catalog
+from repro.runtime.harness import CommitRun
+from repro.workload.crashes import CrashAt
+
+
+class TestHistogram:
+    def test_bucketing_places_values_on_boundaries(self):
+        hist = Histogram(buckets=(1.0, 2.0, 5.0))
+        for value in (0.5, 1.0, 1.5, 2.0, 4.0, 100.0):
+            hist.observe(value)
+        # Cumulative counts: <=1: 2, <=2: 4, <=5: 5, +Inf: 6.
+        assert hist.to_dict()["buckets"] == {"1": 2, "2": 4, "5": 5, "+Inf": 6}
+        assert hist.count == 6
+        assert hist.sum == pytest.approx(109.0)
+
+    def test_boundary_value_falls_in_its_bucket(self):
+        # A value equal to a bound belongs to that bucket (le semantics).
+        hist = Histogram(buckets=(1.0, 2.0))
+        hist.observe(1.0)
+        bounds = dict(hist.bucket_counts())
+        assert bounds[1.0] == 1
+        assert bounds[2.0] == 0
+
+    def test_quantile_returns_bucket_upper_bound(self):
+        hist = Histogram(buckets=(1.0, 2.0, 5.0))
+        for value in (0.1, 0.2, 0.3, 4.0):
+            hist.observe(value)
+        assert hist.quantile(50) == 1.0
+        assert hist.quantile(100) == 5.0
+
+    def test_quantile_overflow_is_inf(self):
+        hist = Histogram(buckets=(1.0,))
+        hist.observe(99.0)
+        assert math.isinf(hist.quantile(50))
+
+    def test_quantile_empty_and_bounds(self):
+        hist = Histogram(buckets=(1.0,))
+        assert hist.quantile(50) == 0.0
+        with pytest.raises(ValueError):
+            hist.quantile(101)
+
+    def test_mean(self):
+        hist = Histogram(buckets=(10.0,))
+        hist.observe(2.0)
+        hist.observe(4.0)
+        assert hist.mean == 3.0
+
+    def test_merge_requires_identical_buckets(self):
+        a = Histogram(buckets=(1.0, 2.0))
+        b = Histogram(buckets=(1.0, 3.0))
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+    def test_merge_adds_counts(self):
+        a = Histogram(buckets=(1.0, 2.0))
+        b = Histogram(buckets=(1.0, 2.0))
+        a.observe(0.5)
+        b.observe(1.5)
+        b.observe(9.0)
+        a.merge(b)
+        assert a.count == 3
+        assert a.to_dict()["buckets"] == {"1": 1, "2": 2, "+Inf": 3}
+
+    def test_empty_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram(buckets=())
+
+
+class TestMetricsRegistry:
+    def test_counters_with_labels_are_distinct_series(self):
+        registry = MetricsRegistry()
+        registry.inc("runs_total", protocol="2pc")
+        registry.inc("runs_total", 2, protocol="3pc")
+        assert registry.counter("runs_total", protocol="2pc") == 1
+        assert registry.counter("runs_total", protocol="3pc") == 2
+        assert registry.counter("runs_total") == 0
+
+    def test_label_order_is_irrelevant(self):
+        registry = MetricsRegistry()
+        registry.inc("x", a="1", b="2")
+        assert registry.counter("x", b="2", a="1") == 1
+
+    def test_histogram_series(self):
+        registry = MetricsRegistry()
+        registry.observe("latency", 1.0, phase="w")
+        registry.observe("latency", 2.0, phase="w")
+        registry.observe("latency", 9.0, phase="p")
+        assert registry.histogram("latency", phase="w").count == 2
+        assert registry.histogram("latency", phase="p").count == 1
+        assert registry.histogram("latency", phase="zzz") is None
+
+    def test_ratio(self):
+        registry = MetricsRegistry()
+        registry.inc("runs_total", 4, protocol="2pc")
+        registry.inc("runs_blocked", 1, protocol="2pc")
+        assert registry.ratio("runs_blocked", "runs_total", protocol="2pc") == 0.25
+        assert registry.ratio("runs_blocked", "runs_total", protocol="none") == 0.0
+
+    def test_merge_folds_counters_and_histograms(self):
+        a = MetricsRegistry()
+        b = MetricsRegistry()
+        a.inc("n", 1)
+        b.inc("n", 2)
+        b.inc("only_b")
+        a.observe("h", 1.0)
+        b.observe("h", 2.0)
+        a.merge(b)
+        assert a.counter("n") == 3
+        assert a.counter("only_b") == 1
+        assert a.histogram("h").count == 2
+
+    def test_to_dict_keys_sorted_and_rendered(self):
+        registry = MetricsRegistry()
+        registry.inc("zeta")
+        registry.inc("alpha", protocol="3pc", phase="w")
+        snapshot = registry.to_dict()
+        keys = list(snapshot["counters"])
+        assert keys == sorted(keys)
+        assert "alpha{phase=w,protocol=3pc}" in keys
+
+    def test_to_json_is_deterministic(self):
+        def build():
+            registry = MetricsRegistry()
+            registry.inc("b")
+            registry.inc("a")
+            registry.observe("h", 1.5, phase="w")
+            return registry.to_json()
+
+        assert build() == build()
+        json.loads(build())  # Valid JSON.
+
+
+class TestRollups:
+    @pytest.fixture(scope="class")
+    def crash_run(self):
+        spec = catalog.build("3pc-central", 4)
+        return CommitRun(spec, crashes=[CrashAt(site=1, at=2.0)]).execute()
+
+    def test_observe_trace_message_counters(self, crash_run):
+        registry = MetricsRegistry()
+        observe_trace(registry, crash_run.trace)
+        assert registry.counter("messages_sent_total") == crash_run.messages_sent
+        assert (
+            registry.counter("messages_delivered_total")
+            == crash_run.messages_delivered
+        )
+        assert (
+            registry.counter("messages_dropped_total")
+            == crash_run.messages_dropped
+        )
+
+    def test_observe_trace_phase_latency(self, crash_run):
+        registry = MetricsRegistry()
+        observe_trace(registry, crash_run.trace)
+        termination = registry.histogram("phase_latency", phase="termination")
+        assert termination is not None and termination.count > 0
+
+    def test_observe_trace_decisions(self, crash_run):
+        registry = MetricsRegistry()
+        observe_trace(registry, crash_run.trace)
+        decided = registry.counter(
+            "decisions_total", outcome="abort", via="termination"
+        )
+        assert decided == 3  # Sites 2, 3, 4 abort via termination.
+        assert registry.histogram("decision_latency").count == 3
+
+    def test_observe_run_adds_run_level_counters(self, crash_run):
+        registry = MetricsRegistry()
+        observe_run(registry, crash_run)
+        protocol = crash_run.protocol
+        assert registry.counter("runs_total", protocol=protocol) == 1
+        assert (
+            registry.counter(
+                "run_outcomes_total", outcome="abort", protocol=protocol
+            )
+            == 1
+        )
+        assert registry.counter("runs_violation", protocol=protocol) == 0
+
+    def test_blocking_rate_rollup_across_runs(self):
+        spec = catalog.build("2pc-central", 3)
+        registry = MetricsRegistry()
+        for seed in range(3):
+            run = CommitRun(
+                spec, seed=seed, crashes=[CrashAt(site=1, at=2.0)]
+            ).execute()
+            observe_run(registry, run)
+        rate = registry.ratio(
+            "runs_blocked", "runs_total", protocol=spec.name
+        )
+        assert rate == 1.0  # 2PC blocks on a badly timed coordinator crash.
+
+
+class TestJsonSidecar:
+    def test_sidecar_is_valid_sorted_json(self):
+        from repro.experiments import run_experiment
+
+        result = run_experiment("T2")
+        document = json.loads(json_sidecar(result))
+        assert document["experiment_id"] == "T2"
+        assert "data" in document and "title" in document
+        # Deterministic: same result renders byte-identically.
+        assert json_sidecar(result) == json_sidecar(result)

@@ -1,7 +1,9 @@
 """Unit tests for random streams and the trace log."""
 
+import pytest
+
 from repro.sim.rng import RandomStreams
-from repro.sim.tracing import TraceLog
+from repro.sim.tracing import TraceEntry, TraceLog
 
 
 class TestRandomStreams:
@@ -113,3 +115,122 @@ class TestTraceLog:
         log = TraceLog()
         log.record(1.0, "x", "a")
         assert log[0].detail == "a"
+
+    def test_select_prefix_requires_trailing_dot(self):
+        # "net" (no dot) is an exact match, not a prefix.
+        log = TraceLog()
+        log.record(1.0, "net.send", "a")
+        log.record(2.0, "network.other", "b")
+        assert log.select(category="net") == []
+        assert len(log.select(category="net.")) == 1
+
+    def test_select_prefix_does_not_match_bare_category(self):
+        log = TraceLog()
+        log.record(1.0, "net", "bare")
+        log.record(2.0, "net.send", "a")
+        assert [e.detail for e in log.select(category="net.")] == ["a"]
+
+
+class TestBoundedTraceLog:
+    def test_unbounded_by_default(self):
+        log = TraceLog()
+        for i in range(1000):
+            log.record(float(i), "x", str(i))
+        assert len(log) == 1000
+        assert log.dropped == 0
+
+    def test_ring_keeps_newest(self):
+        log = TraceLog(max_entries=3)
+        for i in range(5):
+            log.record(float(i), "x", str(i))
+        assert len(log) == 3
+        assert [e.detail for e in log] == ["2", "3", "4"]
+        assert log.dropped == 2
+
+    def test_drop_keeps_oldest(self):
+        log = TraceLog(max_entries=3, overflow="drop")
+        for i in range(5):
+            log.record(float(i), "x", str(i))
+        assert len(log) == 3
+        assert [e.detail for e in log] == ["0", "1", "2"]
+        assert log.dropped == 2
+
+    def test_record_still_returns_entry_when_dropped(self):
+        log = TraceLog(max_entries=1, overflow="drop")
+        log.record(1.0, "x", "kept")
+        entry = log.record(2.0, "x", "lost")
+        assert entry.detail == "lost"
+        assert [e.detail for e in log] == ["kept"]
+
+    def test_bounded_log_still_selects(self):
+        log = TraceLog(max_entries=4)
+        for i in range(8):
+            log.record(float(i), "even" if i % 2 == 0 else "odd", str(i))
+        assert [e.detail for e in log.select(category="even")] == ["4", "6"]
+
+    def test_invalid_policy_rejected(self):
+        with pytest.raises(ValueError):
+            TraceLog(max_entries=2, overflow="bogus")
+
+    def test_invalid_bound_rejected(self):
+        with pytest.raises(ValueError):
+            TraceLog(max_entries=0)
+
+
+class TestTraceJsonl:
+    def _sample(self):
+        log = TraceLog()
+        log.record(0.0, "net.send", "#0 1->2: yes", site=1, msg_id=0, src=1, dst=2)
+        log.record(1.0, "net.deliver", "#0 1->2: yes", site=2, msg_id=0, src=1, dst=2, sent_at=0.0)
+        log.record(2.5, "engine.transition", "w -> p", site=2, state="p", fired=2)
+        log.record(3.0, "net.partition", "partitioned")  # site=None
+        return log
+
+    def test_round_trip_preserves_entries(self):
+        log = self._sample()
+        restored = TraceLog.from_jsonl(log.to_jsonl())
+        assert restored.entries == log.entries
+
+    def test_round_trip_is_byte_identical(self):
+        text = self._sample().to_jsonl()
+        assert TraceLog.from_jsonl(text).to_jsonl() == text
+
+    def test_export_is_one_line_per_entry(self):
+        log = self._sample()
+        assert len(log.to_jsonl().splitlines()) == len(log)
+
+    def test_field_order_is_fixed(self):
+        line = self._sample().to_jsonl().splitlines()[0]
+        assert line.index('"time"') < line.index('"category"')
+        assert line.index('"category"') < line.index('"site"')
+        assert line.index('"detail"') < line.index('"data"')
+
+    def test_data_keys_sorted_for_determinism(self):
+        log = TraceLog()
+        log.record(1.0, "x", "d", zeta=1, alpha=2)
+        line = log.to_jsonl()
+        assert line.index('"alpha"') < line.index('"zeta"')
+
+    def test_non_json_values_coerced_to_str(self):
+        class Opaque:
+            def __str__(self):
+                return "opaque!"
+
+        log = TraceLog()
+        log.record(1.0, "x", "d", obj=Opaque(), ok=3)
+        restored = TraceLog.from_jsonl(log.to_jsonl())
+        assert restored[0].data == {"obj": "opaque!", "ok": 3}
+
+    def test_blank_lines_skipped(self):
+        text = self._sample().to_jsonl() + "\n\n"
+        assert len(TraceLog.from_jsonl(text)) == 4
+
+    def test_save_and_load(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        log = self._sample()
+        assert log.save(str(path)) == len(log)
+        assert TraceLog.load(str(path)).entries == log.entries
+
+    def test_entry_json_symmetry(self):
+        entry = TraceEntry(1.5, "cat", 3, "detail", {"a": 1})
+        assert TraceEntry.from_json(entry.to_json()) == entry

@@ -1,0 +1,111 @@
+"""Unit tests for causal span reconstruction (repro.sim.spans)."""
+
+import pytest
+
+from repro.protocols import catalog
+from repro.runtime.harness import CommitRun
+from repro.sim.spans import SpanIndex
+from repro.sim.tracing import TraceLog
+from repro.workload.crashes import CrashAt
+
+
+class TestSpanIndexSynthetic:
+    def _trace(self):
+        log = TraceLog()
+        log.record(0.0, "net.send", "#0 1->2: m", site=1, msg_id=0, src=1, dst=2)
+        log.record(1.5, "net.deliver", "#0 1->2: m", site=2, msg_id=0, src=1, dst=2, sent_at=0.0)
+        log.record(2.0, "net.send", "#1 2->3: m", site=2, msg_id=1, src=2, dst=3)
+        log.record(3.0, "net.drop", "#1 2->3: m", site=3, msg_id=1, src=2, dst=3, sent_at=2.0)
+        log.record(4.0, "net.send", "#2 1->3: m", site=1, msg_id=2, src=1, dst=3)
+        return log
+
+    def test_delivered_span_latency(self):
+        span = SpanIndex.from_trace(self._trace()).span(0)
+        assert span.status == "delivered"
+        assert span.latency == 1.5
+        assert (span.src, span.dst) == (1, 2)
+
+    def test_dropped_span(self):
+        span = SpanIndex.from_trace(self._trace()).span(1)
+        assert span.status == "dropped"
+        assert span.latency == 1.0  # Transit time until the drop.
+
+    def test_inflight_span(self):
+        span = SpanIndex.from_trace(self._trace()).span(2)
+        assert span.status == "inflight"
+        assert span.latency is None
+
+    def test_status_queries(self):
+        index = SpanIndex.from_trace(self._trace())
+        assert [s.msg_id for s in index.delivered()] == [0]
+        assert [s.msg_id for s in index.dropped()] == [1]
+        assert [s.msg_id for s in index.inflight()] == [2]
+        assert len(index) == 3
+
+    def test_latencies_cover_delivered_only(self):
+        assert SpanIndex.from_trace(self._trace()).latencies() == [1.5]
+
+    def test_site_order_interleaves_sends_and_receives(self):
+        index = SpanIndex.from_trace(self._trace())
+        assert index.site_order(2) == [(1.5, "recv", 0), (2.0, "send", 1)]
+        assert index.site_order(1) == [(0.0, "send", 0), (4.0, "send", 2)]
+
+    def test_missing_span(self):
+        assert SpanIndex.from_trace(self._trace()).span(99) is None
+
+    def test_terminal_without_send_recovers_sent_at(self):
+        # A ring-bounded trace may have evicted the send entry; the
+        # terminal event's sent_at still yields a full span.
+        log = TraceLog()
+        log.record(9.0, "net.deliver", "#7 1->2: m", site=2, msg_id=7, src=1, dst=2, sent_at=8.0)
+        span = SpanIndex.from_trace(log).span(7)
+        assert span.status == "delivered"
+        assert span.latency == pytest.approx(1.0)
+        assert span.src == 1
+
+    def test_describe_mentions_id_status_latency(self):
+        text = SpanIndex.from_trace(self._trace()).span(0).describe()
+        assert "#0" in text and "delivered" in text and "latency=1.5" in text
+
+
+class TestSpanIndexFromRuns:
+    def test_happy_run_all_spans_delivered(self):
+        spec = catalog.build("3pc-central", 3)
+        run = CommitRun(spec).execute()
+        index = SpanIndex.from_trace(run.trace)
+        assert len(index) == run.messages_sent
+        assert len(index.delivered()) == run.messages_delivered
+        assert index.dropped() == []
+        assert all(latency > 0 for latency in index.latencies())
+
+    def test_crash_run_reconstructs_dropped_spans(self):
+        spec = catalog.build("3pc-central", 4)
+        run = CommitRun(spec, crashes=[CrashAt(site=1, at=2.0)]).execute()
+        index = SpanIndex.from_trace(run.trace)
+        dropped = index.dropped()
+        assert len(dropped) == run.messages_dropped
+        assert all(span.dst == 1 for span in dropped)
+        assert all(span.status == "dropped" for span in dropped)
+
+    def test_partition_run_marks_partition_drops(self):
+        spec = catalog.build("3pc-central", 4)
+        run = CommitRun(
+            spec,
+            partition_at=1.5,
+            partition_groups=[{1, 2}, {3, 4}],
+        ).execute()
+        index = SpanIndex.from_trace(run.trace)
+        cross = [s for s in index.all() if s.status == "partition_drop"]
+        assert cross, "expected cross-partition messages to be dropped"
+        assert all(
+            (span.src in {1, 2}) != (span.dst in {1, 2}) for span in cross
+        )
+
+    def test_round_trip_preserves_spans(self):
+        spec = catalog.build("3pc-central", 4)
+        run = CommitRun(spec, crashes=[CrashAt(site=1, at=2.0)]).execute()
+        restored = TraceLog.from_jsonl(run.trace.to_jsonl())
+        original = SpanIndex.from_trace(run.trace)
+        reloaded = SpanIndex.from_trace(restored)
+        assert len(reloaded) == len(original)
+        assert reloaded.latencies() == original.latencies()

@@ -108,6 +108,37 @@ class TestStatSeries:
     def test_percentile_bounds_checked(self):
         with pytest.raises(ValueError):
             StatSeries([1.0]).percentile(101)
+        with pytest.raises(ValueError):
+            StatSeries([1.0]).percentile(-1)
+
+    def test_percentile_nearest_rank_single_value(self):
+        # With one observation every percentile is that observation.
+        series = StatSeries([42.0])
+        for q in (0, 1, 50, 99, 100):
+            assert series.percentile(q) == 42.0
+
+    def test_percentile_zero_is_minimum(self):
+        # q=0 is defined as the minimum, not an incidental rank clamp.
+        series = StatSeries([5.0, 1.0, 9.0])
+        assert series.percentile(0) == 1.0
+        assert series.percentile(0) == series.minimum
+
+    def test_percentile_hundred_is_maximum(self):
+        series = StatSeries([5.0, 1.0, 9.0])
+        assert series.percentile(100) == 9.0
+        assert series.percentile(100) == series.maximum
+
+    def test_percentile_duplicates_counted_per_occurrence(self):
+        # Nearest-rank over [1, 1, 9]: rank(50) = ceil(1.5) = 2 -> 1.0.
+        series = StatSeries([1.0, 1.0, 9.0])
+        assert series.percentile(50) == 1.0
+        assert series.percentile(67) == 9.0
+
+    def test_percentile_result_is_an_observed_value(self):
+        # Nearest-rank never interpolates.
+        series = StatSeries([1.0, 2.0, 4.0, 8.0])
+        for q in range(0, 101, 5):
+            assert series.percentile(q) in series.values
 
     def test_summary_keys(self):
         summary = StatSeries([1.0, 2.0]).summary()
