@@ -12,6 +12,11 @@ Usage (after ``pip install -e .``)::
     python -m repro.cli trace t.jsonl --category net. --site 2
     python -m repro.cli trace t.jsonl --span 12   # one send->deliver span
     python -m repro.cli stats t.jsonl             # phase/decision rollup
+    python -m repro.cli experiment all --workers 4
+    python -m repro.cli sweep Q1 Q2 --workers 4 --cache-dir .sweep-cache
+
+The ``sweep`` report on stdout is deterministic: ``--workers N`` is
+byte-identical to ``--workers 1`` (timings go to stderr).
 """
 
 from __future__ import annotations
@@ -64,9 +69,54 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     ids = list(EXPERIMENTS) if args.experiment_id.lower() == "all" else [
         args.experiment_id
     ]
+    if args.workers > 1 and len(ids) > 1:
+        # Fan whole experiments across worker processes; output stays
+        # in the ids' order (and byte-identical to the serial loop).
+        from repro.parallel import SweepRunner, SweepTask
+
+        runner = SweepRunner(workers=args.workers)
+        result = runner.run([SweepTask.make(experiment_id) for experiment_id in ids])
+        renders = {
+            outcome.task.experiment_id: outcome.payload["render"]
+            for outcome in result.outcomes
+        }
+        for experiment_id in ids:
+            print(renders[experiment_id.upper()])
+            print()
+        return 0
     for experiment_id in ids:
         print(run_experiment(experiment_id).render())
         print()
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.parallel import SweepCache, SweepRunner, plan_sweep
+
+    tasks = plan_sweep(args.experiment_ids)
+    cache = SweepCache(args.cache_dir) if args.cache_dir else None
+    runner = SweepRunner(
+        workers=args.workers, cache=cache, task_timeout=args.task_timeout
+    )
+    result = runner.run(tasks)
+    print(result.report)
+    if args.trace_out:
+        count = result.merged.trace.save(args.trace_out)
+        print(f"wrote {count} merged trace entries to {args.trace_out}")
+    if args.metrics_out:
+        with open(args.metrics_out, "w") as handle:
+            handle.write(result.merged.registry.to_json() + "\n")
+        print(f"wrote merged metrics to {args.metrics_out}")
+    if args.json_out:
+        with open(args.json_out, "w") as handle:
+            handle.write(result.merged.sidecar_json() + "\n")
+        print(f"wrote sweep sidecar to {args.json_out}")
+    cached = sum(1 for outcome in result.outcomes if outcome.cached)
+    print(
+        f"sweep: {len(result.outcomes)} tasks ({cached} cached), "
+        f"workers={result.workers}, wall={result.wall_clock_s:.2f}s",
+        file=sys.stderr,
+    )
     return 0
 
 
@@ -301,7 +351,60 @@ def build_parser() -> argparse.ArgumentParser:
 
     experiment = sub.add_parser("experiment", help="regenerate a paper artifact")
     experiment.add_argument("experiment_id", help="F1..Q6 or 'all'")
+    experiment.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="fan multiple experiments across worker processes",
+    )
     experiment.set_defaults(func=_cmd_experiment)
+
+    sweep = sub.add_parser(
+        "sweep",
+        help="run experiment sweeps across worker processes (see docs/PARALLEL.md)",
+    )
+    sweep.add_argument(
+        "experiment_ids", nargs="+", metavar="EXPERIMENT", help="ids or 'all'"
+    )
+    sweep.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes (1 = serial reference path)",
+    )
+    sweep.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        dest="cache_dir",
+        help="artifact cache: completed tasks are skipped on re-sweeps",
+    )
+    sweep.add_argument(
+        "--task-timeout",
+        type=float,
+        default=None,
+        dest="task_timeout",
+        metavar="SECONDS",
+        help="fail fast if a worker task hangs longer than this",
+    )
+    sweep.add_argument(
+        "--trace-out",
+        metavar="FILE",
+        dest="trace_out",
+        help="write the merged JSONL trace (disjoint msg_id spans)",
+    )
+    sweep.add_argument(
+        "--metrics-out",
+        metavar="FILE",
+        dest="metrics_out",
+        help="write the merged metrics registry as JSON",
+    )
+    sweep.add_argument(
+        "--json",
+        metavar="FILE",
+        dest="json_out",
+        help="write the machine-readable sweep sidecar",
+    )
+    sweep.set_defaults(func=_cmd_sweep)
 
     campaign = sub.add_parser(
         "campaign", help="run a randomized failure-injection campaign"

@@ -129,6 +129,27 @@ class AtomicityViolationError(RuntimeProtocolError):
 
 
 # ---------------------------------------------------------------------------
+# Parallel sweep runner
+# ---------------------------------------------------------------------------
+
+
+class SweepError(ReproError):
+    """Base class for parallel sweep-runner errors."""
+
+
+class SweepConfigError(SweepError):
+    """A sweep plan is invalid (duplicate task keys, bad config)."""
+
+
+class SweepTaskError(SweepError):
+    """A sweep task failed in a worker; carries the task description."""
+
+
+class SweepTimeoutError(SweepError):
+    """A sweep task exceeded the per-task timeout (hung worker)."""
+
+
+# ---------------------------------------------------------------------------
 # Database substrate
 # ---------------------------------------------------------------------------
 

@@ -3,9 +3,11 @@
 from __future__ import annotations
 
 import dataclasses
-from typing import Any
+from typing import Any, Optional
 
+from repro.metrics.registry import MetricsRegistry
 from repro.metrics.tables import Table
+from repro.sim.tracing import TraceLog
 
 
 @dataclasses.dataclass
@@ -19,6 +21,13 @@ class ExperimentResult:
         data: Structured values for programmatic assertions in tests
             and benches.
         notes: Interpretation notes (paper-vs-measured commentary).
+        registry: Optional metrics rollup of the experiment's runs;
+            the parallel sweep runner merges these across shards
+            (:meth:`repro.metrics.registry.MetricsRegistry.merge`).
+        traces: Optional per-run trace logs attached by the experiment;
+            the sweep runner merges them into one JSONL stream with
+            per-run ``msg_id`` spans kept disjoint (see
+            ``docs/OBSERVABILITY.md``).
     """
 
     experiment_id: str
@@ -26,6 +35,8 @@ class ExperimentResult:
     tables: list[Table] = dataclasses.field(default_factory=list)
     data: dict[str, Any] = dataclasses.field(default_factory=dict)
     notes: list[str] = dataclasses.field(default_factory=list)
+    registry: Optional[MetricsRegistry] = None
+    traces: list[TraceLog] = dataclasses.field(default_factory=list)
 
     def render(self) -> str:
         """Render the whole result for printing."""

@@ -18,6 +18,7 @@ from typing import Optional
 
 from repro.experiments.base import ExperimentResult
 from repro.metrics.collector import StatSeries
+from repro.metrics.registry import MetricsRegistry
 from repro.metrics.tables import Table
 from repro.protocols import catalog
 from repro.runtime.decision import TerminationRule
@@ -53,16 +54,23 @@ def _crash_schedules(spec, grid: int):
     return schedules
 
 
-def run_q1(n_sites: int = 4, grid: int = 16) -> ExperimentResult:
+def run_q1(
+    n_sites: int = 4,
+    grid: int = 16,
+    protocols: tuple[str, ...] = ("2pc-central", "3pc-central"),
+) -> ExperimentResult:
     """Regenerate the Q1 sweep.
 
     Args:
         n_sites: Participants per run.
         grid: Number of timed crash points across the execution.
+        protocols: Which catalog protocols to sweep — the parallel
+            sweep runner shards along this axis (and ``n_sites``).
     """
     result = ExperimentResult(
         experiment_id="Q1",
         title=f"Blocking frequency under coordinator crashes (n={n_sites})",
+        registry=MetricsRegistry(),
     )
 
     table = Table(
@@ -78,14 +86,16 @@ def run_q1(n_sites: int = 4, grid: int = 16) -> ExperimentResult:
         title="coordinator-crash sweep",
     )
     data: dict[str, dict] = {}
-    for name in ("2pc-central", "3pc-central"):
+    for name in protocols:
         spec = catalog.build(name, n_sites)
         rule = TerminationRule(spec)
         blocked = terminated = violations = 0
         runs = 0
         decision_times = StatSeries()
         for _label, crashes in _crash_schedules(spec, grid):
-            run = CommitRun(spec, crashes=crashes, rule=rule).execute()
+            run = CommitRun(
+                spec, crashes=crashes, rule=rule, registry=result.registry
+            ).execute()
             runs += 1
             if not run.atomic:
                 violations += 1

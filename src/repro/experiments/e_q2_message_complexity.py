@@ -25,6 +25,7 @@ xact fan-out.
 from __future__ import annotations
 
 from repro.experiments.base import ExperimentResult
+from repro.metrics.registry import MetricsRegistry
 from repro.metrics.tables import Table
 from repro.protocols import catalog
 from repro.runtime.harness import CommitRun
@@ -39,11 +40,23 @@ ANALYTIC = {
 }
 
 
-def run_q2(site_counts: tuple[int, ...] = (2, 4, 8, 12, 16)) -> ExperimentResult:
-    """Regenerate the Q2 cost table over ``site_counts``."""
+def run_q2(
+    site_counts: tuple[int, ...] = (2, 4, 8, 12, 16),
+    capture_traces: bool = False,
+) -> ExperimentResult:
+    """Regenerate the Q2 cost table over ``site_counts``.
+
+    Args:
+        site_counts: Participant counts to measure (one row per
+            protocol per count) — the axis the parallel sweep shards.
+        capture_traces: Attach each run's trace log to the result so
+            sweep merges can build a combined JSONL stream; off by
+            default because large-n traces dominate serialization cost.
+    """
     result = ExperimentResult(
         experiment_id="Q2",
         title="Message and latency cost of a unanimous commit",
+        registry=MetricsRegistry(),
     )
 
     table = Table(
@@ -69,8 +82,12 @@ def run_q2(site_counts: tuple[int, ...] = (2, 4, 8, 12, 16)) -> ExperimentResult
                 spec = catalog.build(name, n)
             else:
                 spec = catalog.PROTOCOLS[name](n, eager_abort=True)
-            run = CommitRun(spec, termination_enabled=False).execute()
+            run = CommitRun(
+                spec, termination_enabled=False, registry=result.registry
+            ).execute()
             run.assert_atomic()
+            if capture_traces:
+                result.traces.append(run.trace)
             table.add_row(
                 name,
                 n,

@@ -2,7 +2,8 @@
 
 from __future__ import annotations
 
-from typing import Callable
+import inspect
+from typing import Any, Callable
 
 from repro.errors import ReproError
 from repro.experiments.base import ExperimentResult
@@ -61,11 +62,19 @@ EXPERIMENTS: dict[str, Callable[[], ExperimentResult]] = {
 }
 
 
-def run_experiment(experiment_id: str) -> ExperimentResult:
+def run_experiment(experiment_id: str, **config: Any) -> ExperimentResult:
     """Run one experiment by id (case-insensitive).
 
+    Args:
+        experiment_id: Index id (``"F1"`` ... ``"A7"``).
+        config: Optional keyword overrides forwarded to the
+            experiment's runner (e.g. ``site_counts=(8,)`` for Q2).
+            This is how sweep shards parameterize one experiment; keys
+            the runner does not accept are rejected up front.
+
     Raises:
-        ReproError: For an unknown id.
+        ReproError: For an unknown id or a config key the experiment's
+            runner does not accept.
     """
     key = experiment_id.upper()
     try:
@@ -75,4 +84,12 @@ def run_experiment(experiment_id: str) -> ExperimentResult:
         raise ReproError(
             f"unknown experiment {experiment_id!r}; known: {known}"
         ) from None
-    return runner()
+    if config:
+        accepted = set(inspect.signature(runner).parameters)
+        unknown = sorted(set(config) - accepted)
+        if unknown:
+            raise ReproError(
+                f"experiment {key} does not accept config key(s) "
+                f"{', '.join(unknown)}; accepted: {', '.join(sorted(accepted))}"
+            )
+    return runner(**config)

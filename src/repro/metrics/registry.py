@@ -50,6 +50,26 @@ def _render_key(name: str, labels: LabelSet) -> str:
     return f"{name}{{{inner}}}"
 
 
+def _parse_key(rendered: str) -> tuple[str, LabelSet]:
+    """Invert :func:`_render_key`.
+
+    Label keys and values must not contain ``{``, ``}``, ``,`` or
+    ``=`` — true for every label this codebase emits (protocol names,
+    phases, outcomes); :func:`_render_key` does not escape them.
+    """
+    if "{" not in rendered:
+        return rendered, ()
+    name, _, rest = rendered.partition("{")
+    inner = rest.rstrip("}")
+    if not inner:
+        return name, ()
+    labels = tuple(
+        (key, value)
+        for key, _, value in (pair.partition("=") for pair in inner.split(","))
+    )
+    return name, labels
+
+
 class Histogram:
     """A fixed-bucket cumulative histogram (Prometheus-style).
 
@@ -116,6 +136,29 @@ class Histogram:
             label = "+Inf" if math.isinf(bound) else f"{bound:g}"
             buckets[label] = cumulative
         return {"count": self.count, "sum": self.sum, "buckets": buckets}
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "Histogram":
+        """Rebuild a histogram from a :meth:`to_dict` snapshot.
+
+        The cumulative bucket counts are de-cumulated back into
+        per-bucket counts; ``Histogram.from_dict(h.to_dict())`` is
+        observationally identical to ``h``.
+        """
+        cumulative = {
+            (math.inf if label == "+Inf" else float(label)): int(count)
+            for label, count in data["buckets"].items()
+        }
+        bounds = tuple(sorted(b for b in cumulative if not math.isinf(b)))
+        histogram = cls(bounds)
+        previous = 0
+        for index, bound in enumerate(bounds):
+            histogram._counts[index] = cumulative[bound] - previous
+            previous = cumulative[bound]
+        histogram._counts[-1] = cumulative.get(math.inf, previous) - previous
+        histogram.count = int(data["count"])
+        histogram.sum = float(data["sum"])
+        return histogram
 
     def merge(self, other: "Histogram") -> None:
         """Fold another histogram with identical bounds into this one."""
@@ -220,6 +263,25 @@ class MetricsRegistry:
                 for (name, labels), histogram in sorted(self._histograms.items())
             },
         }
+
+    @classmethod
+    def from_dict(cls, snapshot: dict[str, Any]) -> "MetricsRegistry":
+        """Rebuild a registry from a :meth:`to_dict` snapshot.
+
+        The inverse that makes snapshots a real interchange format:
+        sweep workers and the artifact cache ship registries as plain
+        JSON, and the merger folds them back with :meth:`merge`.
+        Rendered series keys are parsed with the (unescaped) label
+        grammar of :func:`_render_key` — see :func:`_parse_key`.
+        """
+        registry = cls()
+        for rendered, value in snapshot.get("counters", {}).items():
+            name, labels = _parse_key(rendered)
+            registry._counters[(name, labels)] = int(value)
+        for rendered, data in snapshot.get("histograms", {}).items():
+            name, labels = _parse_key(rendered)
+            registry._histograms[(name, labels)] = Histogram.from_dict(data)
+        return registry
 
     def to_json(self, indent: int = 2) -> str:
         """Deterministic JSON rendering of :meth:`to_dict`."""

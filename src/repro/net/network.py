@@ -13,6 +13,8 @@ Trace categories emitted here (see ``docs/OBSERVABILITY.md``):
   (:class:`repro.sim.spans.SpanIndex`).
 * ``site.crash`` / ``site.restart`` — liveness transitions.
 * ``net.partition`` / ``net.heal`` — partition lifecycle.
+* ``net.stale_detect`` — a scheduled failure report found its subject
+  live again (fast restart, or a partition healed) and was suppressed.
 """
 
 from __future__ import annotations
@@ -220,6 +222,11 @@ class Network:
         paper's requirement that failures are reported to operational
         sites (a site that crashes in the interim misses the report but
         will learn what it needs from its own recovery protocol).
+
+        A site that restarts *within* the detection window is live
+        again at notification time, so the report is stale: it is
+        suppressed (recorded as ``net.stale_detect``) rather than
+        telling every peer a running site is dead.
         """
         self._require_site(site)
         if not self._up[site]:
@@ -228,6 +235,15 @@ class Network:
         self.sim.trace.record(self.sim.now, "site.crash", f"site {site} crashed", site=site)
 
         def notify() -> None:
+            if self._up.get(site, False):
+                self.sim.trace.record(
+                    self.sim.now,
+                    "net.stale_detect",
+                    f"suppressed stale crash report for site {site} "
+                    "(restarted within the detection window)",
+                    site=site,
+                )
+                return
             for other in self.sites:
                 if other == site or not self._up.get(other, False):
                     continue
@@ -263,14 +279,20 @@ class Network:
     # Partitions — DELIBERATELY outside the paper's model
     # ------------------------------------------------------------------
 
-    def _same_side(self, a: SiteId, b: SiteId) -> bool:
+    @staticmethod
+    def _same_side_in(
+        groups: list[frozenset[SiteId]], a: SiteId, b: SiteId
+    ) -> bool:
         if a == b:
             return True
-        assert self._partition is not None
-        for group in self._partition:
+        for group in groups:
             if a in group:
                 return b in group
         return False  # Unlisted sites are unreachable from everyone.
+
+    def _same_side(self, a: SiteId, b: SiteId) -> bool:
+        assert self._partition is not None
+        return self._same_side_in(self._partition, a, b)
 
     def partition(self, groups: list[set[SiteId]]) -> None:
         """Split the network, violating the paper's assumptions on purpose.
@@ -284,7 +306,8 @@ class Network:
         3PC split-decision under partition and thereby shows the
         reliable-network assumption is load-bearing, not cosmetic.
         """
-        self._partition = [frozenset(group) for group in groups]
+        sides = [frozenset(group) for group in groups]
+        self._partition = sides
         self.sim.trace.record(
             self.sim.now,
             "net.partition",
@@ -292,11 +315,29 @@ class Network:
         )
 
         def suspect() -> None:
+            if self._partition != sides:
+                # Healed (or re-partitioned) within the detection
+                # window — the suspicion sweep would report sites that
+                # are reachable again, so suppress it.
+                self.sim.trace.record(
+                    self.sim.now,
+                    "net.stale_detect",
+                    "suppressed stale partition suspicion "
+                    "(partition changed within the detection window)",
+                )
+                return
             for observer in self.sites:
                 if not self._up.get(observer, False):
                     continue
                 for other in self.sites:
-                    if other == observer or self._same_side(observer, other):
+                    if other == observer or self._same_side_in(
+                        sides, observer, other
+                    ):
+                        continue
+                    if not self._up.get(other, False):
+                        # Actually down: its crash was (or will be)
+                        # reported by crash() itself; suspecting it
+                        # again would double the notification.
                         continue
                     for listener in list(self._failure_listeners[observer]):
                         listener(other)
@@ -306,9 +347,43 @@ class Network:
         )
 
     def heal(self) -> None:
-        """Undo :meth:`partition`; in-flight cross-group mail was lost."""
+        """Undo :meth:`partition`; in-flight cross-group mail was lost.
+
+        Mirrors the partition suspicion sweep with a recovery sweep:
+        after ``detection_delay``, every operational site's recovery
+        listeners fire for each formerly cross-side site that is
+        operational again — without this, sites suspected dead during
+        the partition would stay suspected forever.  Sites that really
+        crashed stay suspected until their own :meth:`restart`.
+        Healing when no partition is active is a no-op.
+        """
+        if self._partition is None:
+            return
+        sides = self._partition
         self._partition = None
         self.sim.trace.record(self.sim.now, "net.heal", "partition healed")
+
+        def recover() -> None:
+            for observer in self.sites:
+                if not self._up.get(observer, False):
+                    continue
+                for other in self.sites:
+                    if other == observer or self._same_side_in(
+                        sides, observer, other
+                    ):
+                        continue
+                    if not self._up.get(other, False):
+                        continue  # Really dead — stays suspected.
+                    if self._partition is not None and not self._same_side(
+                        observer, other
+                    ):
+                        continue  # Split again before the sweep fired.
+                    for listener in list(self._recovery_listeners[observer]):
+                        listener(other)
+
+        self.sim.schedule(
+            self.detection_delay, recover, label="partition recovery"
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         up = self.operational_sites()

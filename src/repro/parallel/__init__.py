@@ -1,0 +1,37 @@
+"""Parallel sweep runner: fan experiment shards across worker processes.
+
+The scaling substrate for every sweep-shaped workload in this repo
+(see ``docs/PARALLEL.md``):
+
+* :mod:`repro.parallel.tasks` — task identity, ordering keys, and the
+  (experiment, seed, config, code-version) cache hash.
+* :mod:`repro.parallel.plan` — default per-experiment shard plans.
+* :mod:`repro.parallel.worker` — the spawn-safe worker entry point
+  producing canonical JSON payloads.
+* :mod:`repro.parallel.cache` — the on-disk artifact cache.
+* :mod:`repro.parallel.merge` — deterministic merging (task-key order,
+  disjoint ``msg_id`` spans in combined traces).
+* :mod:`repro.parallel.runner` — the orchestrator; ``workers=1`` is
+  the serial reference path, ``workers=N`` must (and does) produce
+  byte-identical output.
+"""
+
+from repro.parallel.cache import SweepCache
+from repro.parallel.merge import MergedSweep, merge_payloads, merge_traces
+from repro.parallel.plan import plan_sweep, sweep_tasks
+from repro.parallel.runner import SweepResult, SweepRunner, TaskOutcome
+from repro.parallel.tasks import SweepTask, code_version
+
+__all__ = [
+    "MergedSweep",
+    "SweepCache",
+    "SweepResult",
+    "SweepRunner",
+    "SweepTask",
+    "TaskOutcome",
+    "code_version",
+    "merge_payloads",
+    "merge_traces",
+    "plan_sweep",
+    "sweep_tasks",
+]

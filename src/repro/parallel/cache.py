@@ -1,0 +1,72 @@
+"""On-disk artifact cache for completed sweep tasks.
+
+One JSON file per task, named by experiment id, seed, and the task's
+:meth:`~repro.parallel.tasks.SweepTask.cache_key` — a hash over
+(experiment id, seed, config, code version).  Because the code version
+is part of the key, editing any ``repro`` source orphans old entries
+rather than replaying them; orphans are just dead files, never wrong
+answers.  Corrupt or mismatched files are treated as misses.
+
+Writes are atomic (temp file + ``os.replace``) so a sweep killed
+mid-store can never leave a half-written artifact that later loads.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+from typing import Any, Optional, Union
+
+from repro.parallel.tasks import PAYLOAD_SCHEMA, SweepTask
+
+
+class SweepCache:
+    """Directory-backed store of completed task payloads.
+
+    Args:
+        root: Cache directory; created (with parents) if missing.
+    """
+
+    def __init__(self, root: Union[str, pathlib.Path]) -> None:
+        self.root = pathlib.Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def path_for(self, task: SweepTask) -> pathlib.Path:
+        """Where this task's artifact lives (exists or not)."""
+        name = f"{task.experiment_id}_s{task.seed}_{task.cache_key()}.json"
+        return self.root / name
+
+    def load(self, task: SweepTask) -> Optional[dict[str, Any]]:
+        """Return the cached payload, or ``None`` on any kind of miss."""
+        path = self.path_for(task)
+        try:
+            document = json.loads(path.read_text())
+        except (OSError, ValueError):
+            return None
+        if (
+            not isinstance(document, dict)
+            or document.get("cache_key") != task.cache_key()
+            or not isinstance(document.get("payload"), dict)
+            or document["payload"].get("schema") != PAYLOAD_SCHEMA
+        ):
+            return None
+        return document["payload"]
+
+    def store(self, task: SweepTask, payload: dict[str, Any]) -> pathlib.Path:
+        """Atomically persist one task's payload; returns its path."""
+        path = self.path_for(task)
+        document = {"cache_key": task.cache_key(), "payload": payload}
+        tmp = path.with_suffix(".tmp")
+        tmp.write_text(json.dumps(document, sort_keys=True, indent=1) + "\n")
+        os.replace(tmp, path)
+        return path
+
+    def entry_count(self) -> int:
+        """Number of artifacts currently on disk.
+
+        Deliberately a method, not ``__len__``: a ``__len__`` would make
+        an *empty* cache falsy, silently disabling any ``if cache:``
+        guard that meant ``if cache is not None:``.
+        """
+        return sum(1 for _ in self.root.glob("*.json"))

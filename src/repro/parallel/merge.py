@@ -1,0 +1,128 @@
+"""Deterministic merging of per-task sweep artifacts.
+
+All merge functions take payloads **already ordered by task key** and
+are pure: same payloads in, same bytes out, regardless of how many
+workers produced them or in which order they finished.  This module is
+the whole determinism story of the parallel runner — the pool may race,
+the merge never does.
+
+Trace merging rebases each run's ``msg_id`` values onto a shared
+namespace (each trace's ids are offset past the previous trace's
+maximum) and stamps every entry with its task id, so causal
+send→deliver spans stay disjoint and attributable in the combined
+stream (see ``docs/OBSERVABILITY.md``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import Any, Optional, Sequence
+
+from repro.metrics.registry import MetricsRegistry
+from repro.parallel.tasks import PAYLOAD_SCHEMA, SweepTask
+from repro.sim.tracing import TraceEntry, TraceLog
+
+#: Schema of the merged sweep sidecar document.
+SWEEP_SIDECAR_SCHEMA = 1
+
+
+@dataclasses.dataclass
+class MergedSweep:
+    """The combined, deterministic artifact of one sweep.
+
+    Attributes:
+        report: Human-readable rendering, one section per task in
+            task-key order.
+        registry: All per-task metrics registries folded together.
+        trace: All attached per-run traces concatenated in task order
+            with disjoint ``msg_id`` spans.
+        sidecar: Machine-readable document (sorted keys) mirroring the
+            per-task structured data.
+    """
+
+    report: str
+    registry: MetricsRegistry
+    trace: TraceLog
+    sidecar: dict[str, Any]
+
+    def sidecar_json(self) -> str:
+        """Deterministic JSON rendering of :attr:`sidecar`."""
+        return json.dumps(self.sidecar, indent=2, sort_keys=True)
+
+
+def merge_traces(
+    chunks: Sequence[tuple[str, str]],
+) -> TraceLog:
+    """Merge ``(task_id, jsonl)`` trace chunks into one log.
+
+    Entries keep their per-run virtual timestamps and arrive in chunk
+    order (runs are concatenated, not interleaved — each run has its
+    own virtual clock, so cross-run time ordering would be
+    meaningless).  Every entry gains a ``task`` field, and ``msg_id``
+    values are offset so no two runs share an id: within the merged
+    log, a ``msg_id`` names exactly one send→terminal span.
+    """
+    merged = TraceLog()
+    offset = 0
+    for task_id, jsonl in chunks:
+        chunk = TraceLog.from_jsonl(jsonl)
+        max_id = -1
+        for entry in chunk:
+            data = dict(entry.data)
+            msg_id = data.get("msg_id")
+            if msg_id is not None:
+                max_id = max(max_id, int(msg_id))
+                data["msg_id"] = int(msg_id) + offset
+            data["task"] = task_id
+            merged.append(
+                TraceEntry(
+                    time=entry.time,
+                    category=entry.category,
+                    site=entry.site,
+                    detail=entry.detail,
+                    data=data,
+                )
+            )
+        offset += max_id + 1
+    return merged
+
+
+def merge_payloads(
+    ordered: Sequence[tuple[SweepTask, dict[str, Any]]],
+) -> MergedSweep:
+    """Combine per-task payloads (pre-sorted by task key) into one artifact."""
+    sections: list[str] = []
+    registry = MetricsRegistry()
+    chunks: list[tuple[str, str]] = []
+    tasks_doc: list[dict[str, Any]] = []
+    for task, payload in ordered:
+        task_id = task.describe()
+        sections.append(f"--- {task_id} ---\n\n{payload['render']}")
+        registry.inc("sweep_tasks_total", experiment=task.experiment_id)
+        if payload.get("registry") is not None:
+            registry.merge(MetricsRegistry.from_dict(payload["registry"]))
+        for index, jsonl in enumerate(payload.get("traces", ())):
+            chunks.append((f"{task_id} run={index}", jsonl))
+        tasks_doc.append(
+            {
+                "experiment_id": payload["experiment_id"],
+                "seed": payload["seed"],
+                "config": payload["config"],
+                "title": payload["title"],
+                "data": payload["data"],
+                "notes": payload["notes"],
+            }
+        )
+    sidecar = {
+        "schema": SWEEP_SIDECAR_SCHEMA,
+        "payload_schema": PAYLOAD_SCHEMA,
+        "tasks": tasks_doc,
+        "metrics": registry.to_dict(),
+    }
+    return MergedSweep(
+        report="\n\n".join(sections),
+        registry=registry,
+        trace=merge_traces(chunks),
+        sidecar=sidecar,
+    )

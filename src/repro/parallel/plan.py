@@ -1,0 +1,78 @@
+"""Default sweep plans: how each experiment shards into tasks.
+
+An experiment with a decomposable axis (site counts for Q2, protocol ×
+site count for Q1) gets a sharder that splits it into several
+independent tasks; everything else becomes a single-task plan.  Plans
+are plain lists of :class:`~repro.parallel.tasks.SweepTask`, so custom
+sweeps (benchmarks, tests) can build their own instead.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+from repro.errors import ReproError
+from repro.experiments.registry import EXPERIMENTS
+from repro.parallel.tasks import SweepTask
+
+
+def _q1_shards() -> list[SweepTask]:
+    """Q1 sharded by (protocol, site count)."""
+    return [
+        SweepTask.make(
+            "Q1", config={"protocols": (protocol,), "n_sites": n_sites}
+        )
+        for protocol in ("2pc-central", "3pc-central")
+        for n_sites in (4, 5, 6)
+    ]
+
+
+def _q2_shards() -> list[SweepTask]:
+    """Q2 sharded by site count.
+
+    Traces are captured only on the default artifact range (n <= 16);
+    larger shards exist to give the sweep real work, and their traces
+    would dominate serialization cost.
+    """
+    return [
+        SweepTask.make(
+            "Q2",
+            config={"site_counts": (n,), "capture_traces": n <= 16},
+        )
+        for n in (2, 4, 8, 12, 16, 24, 32)
+    ]
+
+
+_SHARDERS: dict[str, Callable[[], list[SweepTask]]] = {
+    "Q1": _q1_shards,
+    "Q2": _q2_shards,
+}
+
+
+def sweep_tasks(experiment_id: str) -> list[SweepTask]:
+    """The default sweep plan for one experiment id.
+
+    Raises:
+        ReproError: For an unknown id.
+    """
+    key = experiment_id.upper()
+    if key in _SHARDERS:
+        return _SHARDERS[key]()
+    if key in EXPERIMENTS:
+        return [SweepTask.make(key)]
+    known = ", ".join(sorted(EXPERIMENTS))
+    raise ReproError(f"unknown experiment {experiment_id!r}; known: {known}")
+
+
+def plan_sweep(experiment_ids: Iterable[str]) -> list[SweepTask]:
+    """Concatenate default plans for several ids (``'all'`` = every id)."""
+    ids: list[str] = []
+    for experiment_id in experiment_ids:
+        if experiment_id.lower() == "all":
+            ids.extend(EXPERIMENTS)
+        else:
+            ids.append(experiment_id)
+    tasks: list[SweepTask] = []
+    for experiment_id in ids:
+        tasks.extend(sweep_tasks(experiment_id))
+    return tasks

@@ -1,0 +1,223 @@
+"""The parallel sweep runner: fan tasks out, merge results in key order.
+
+Execution model:
+
+* ``workers <= 1`` runs every task in-process, in task-key order —
+  the *serial path*.
+* ``workers > 1`` fans uncached tasks across a ``spawn`` process pool
+  (shared-nothing: each worker freshly imports ``repro``), then merges
+  by task key.  Completion order never influences output, so the
+  parallel path is byte-identical to the serial one.
+
+Either way, tasks already present in the optional
+:class:`~repro.parallel.cache.SweepCache` are not re-executed: their
+payloads are canonical JSON, indistinguishable from fresh ones.
+
+Hung workers are bounded by ``task_timeout``: results are collected in
+task order and each wait is capped, so a worker that never returns
+fails the sweep within roughly one timeout instead of stalling it
+forever (the pool is terminated, not joined).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import multiprocessing
+import time
+from typing import Any, Optional, Sequence
+
+from repro.errors import SweepConfigError, SweepTaskError, SweepTimeoutError
+from repro.parallel.cache import SweepCache
+from repro.parallel.merge import MergedSweep, merge_payloads
+from repro.parallel.tasks import SweepTask
+from repro.parallel.worker import run_task
+
+
+@dataclasses.dataclass
+class TaskOutcome:
+    """How one task's payload was obtained.
+
+    Attributes:
+        task: The task.
+        payload: Its canonical artifact payload.
+        cached: Whether the payload came from the artifact cache.
+        elapsed_s: Worker-side wall clock (0.0 for cache hits).
+    """
+
+    task: SweepTask
+    payload: dict[str, Any]
+    cached: bool
+    elapsed_s: float
+
+
+@dataclasses.dataclass
+class SweepResult:
+    """A finished sweep: merged artifact plus (non-canonical) timing.
+
+    Everything under :attr:`merged` is deterministic in the task list
+    alone; :attr:`wall_clock_s`, per-task timings, and
+    :attr:`workers` describe this particular execution and must never
+    be folded into the canonical output.
+    """
+
+    outcomes: list[TaskOutcome]
+    merged: MergedSweep
+    workers: int
+    wall_clock_s: float
+
+    @property
+    def report(self) -> str:
+        """The merged human-readable report (canonical)."""
+        return self.merged.report
+
+    def timing(self) -> dict[str, Any]:
+        """Execution-specific timing document (non-canonical)."""
+        return {
+            "workers": self.workers,
+            "wall_clock_s": self.wall_clock_s,
+            "tasks": [
+                {
+                    "task": outcome.task.describe(),
+                    "cached": outcome.cached,
+                    "elapsed_s": outcome.elapsed_s,
+                }
+                for outcome in self.outcomes
+            ],
+        }
+
+
+class SweepRunner:
+    """Execute sweep tasks with optional parallelism and caching.
+
+    Args:
+        workers: Process count; ``1`` (default) is the in-process
+            serial path.
+        cache: Optional artifact cache consulted before executing and
+            updated after.
+        task_timeout: Upper bound, in real seconds, on waiting for any
+            single pending task in the parallel path (hung-worker
+            failsafe).  ``None`` waits forever.  Ignored on the serial
+            path, where a hang is directly visible.
+    """
+
+    def __init__(
+        self,
+        workers: int = 1,
+        cache: Optional[SweepCache] = None,
+        task_timeout: Optional[float] = None,
+    ) -> None:
+        if workers < 1:
+            raise SweepConfigError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
+        self.cache = cache
+        self.task_timeout = task_timeout
+
+    def run(self, tasks: Sequence[SweepTask]) -> SweepResult:
+        """Execute ``tasks`` and return the merged, ordered result.
+
+        Raises:
+            SweepConfigError: On an empty plan or duplicate task keys.
+            SweepTaskError: If a task raises in a worker.
+            SweepTimeoutError: If the parallel path waits longer than
+                ``task_timeout`` on one pending task.
+        """
+        if not tasks:
+            raise SweepConfigError("sweep plan is empty")
+        ordered = sorted(tasks, key=lambda task: task.task_key)
+        keys = [task.task_key for task in ordered]
+        if len(set(keys)) != len(keys):
+            duplicates = sorted(
+                {key[0] for key in keys if keys.count(key) > 1}
+            )
+            raise SweepConfigError(
+                f"duplicate task keys in sweep plan (experiments: "
+                f"{', '.join(duplicates)})"
+            )
+
+        start = time.perf_counter()
+        outcomes: dict[tuple, TaskOutcome] = {}
+        to_run: list[SweepTask] = []
+        for task in ordered:
+            payload = self.cache.load(task) if self.cache is not None else None
+            if payload is not None:
+                outcomes[task.task_key] = TaskOutcome(
+                    task=task, payload=payload, cached=True, elapsed_s=0.0
+                )
+            else:
+                to_run.append(task)
+
+        if to_run:
+            if self.workers > 1 and len(to_run) > 1:
+                fresh = self._run_parallel(to_run)
+            else:
+                fresh = self._run_serial(to_run)
+            for outcome in fresh:
+                if self.cache is not None:
+                    self.cache.store(outcome.task, outcome.payload)
+                outcomes[outcome.task.task_key] = outcome
+
+        ordered_outcomes = [outcomes[task.task_key] for task in ordered]
+        merged = merge_payloads(
+            [(outcome.task, outcome.payload) for outcome in ordered_outcomes]
+        )
+        return SweepResult(
+            outcomes=ordered_outcomes,
+            merged=merged,
+            workers=self.workers,
+            wall_clock_s=time.perf_counter() - start,
+        )
+
+    def _run_serial(self, tasks: Sequence[SweepTask]) -> list[TaskOutcome]:
+        outcomes = []
+        for task in tasks:
+            try:
+                reply = run_task(task)
+            except Exception as error:
+                raise SweepTaskError(
+                    f"task {task.describe()} failed: {error}"
+                ) from error
+            outcomes.append(
+                TaskOutcome(
+                    task=task,
+                    payload=reply["payload"],
+                    cached=False,
+                    elapsed_s=reply["elapsed_s"],
+                )
+            )
+        return outcomes
+
+    def _run_parallel(self, tasks: Sequence[SweepTask]) -> list[TaskOutcome]:
+        context = multiprocessing.get_context("spawn")
+        pool = context.Pool(processes=min(self.workers, len(tasks)))
+        try:
+            handles = [
+                (task, pool.apply_async(run_task, (task,))) for task in tasks
+            ]
+            outcomes = []
+            for task, handle in handles:
+                try:
+                    reply = handle.get(timeout=self.task_timeout)
+                except multiprocessing.TimeoutError:
+                    pool.terminate()
+                    raise SweepTimeoutError(
+                        f"task {task.describe()} did not complete within "
+                        f"{self.task_timeout}s; pool terminated"
+                    ) from None
+                except Exception as error:
+                    pool.terminate()
+                    raise SweepTaskError(
+                        f"task {task.describe()} failed in worker: {error}"
+                    ) from error
+                outcomes.append(
+                    TaskOutcome(
+                        task=task,
+                        payload=reply["payload"],
+                        cached=False,
+                        elapsed_s=reply["elapsed_s"],
+                    )
+                )
+            pool.close()
+            return outcomes
+        finally:
+            pool.terminate()
+            pool.join()

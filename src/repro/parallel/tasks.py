@@ -1,0 +1,139 @@
+"""Sweep task identity: keys, configs, and cache hashing.
+
+A :class:`SweepTask` names one (experiment, seed, config) point of a
+sweep.  Tasks are frozen and hashable so they can cross process
+boundaries (spawn workers pickle them), key dictionaries, and sort
+deterministically — the merge step orders results by
+:attr:`SweepTask.task_key`, never by completion order, which is what
+makes parallel output byte-identical to the serial path.
+
+The artifact cache keys on :meth:`SweepTask.cache_key`, a digest of
+(experiment id, seed, config, code version); any change to the
+``repro`` source invalidates every cached entry via
+:func:`code_version`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import functools
+import hashlib
+import json
+import pathlib
+from typing import Any, Mapping, Optional
+
+import repro
+
+#: Bumped whenever the payload layout changes, invalidating old caches.
+PAYLOAD_SCHEMA = 1
+
+#: Frozen config representation: sorted (key, value) pairs.
+FrozenConfig = tuple[tuple[str, Any], ...]
+
+
+def _freeze_value(value: Any) -> Any:
+    """Recursively convert lists/dicts to hashable tuples."""
+    if isinstance(value, (list, tuple)):
+        return tuple(_freeze_value(item) for item in value)
+    if isinstance(value, Mapping):
+        return tuple(
+            (str(key), _freeze_value(val)) for key, val in sorted(value.items())
+        )
+    return value
+
+
+def _thaw_value(value: Any) -> Any:
+    """Undo :func:`_freeze_value` enough for JSON (tuples -> lists)."""
+    if isinstance(value, tuple):
+        return [_thaw_value(item) for item in value]
+    return value
+
+
+@functools.lru_cache(maxsize=1)
+def code_version() -> str:
+    """Digest of every ``repro`` source file, as a cache-key component.
+
+    Any edit to any module changes the version, so stale artifacts can
+    never be replayed against different code.
+    """
+    root = pathlib.Path(repro.__file__).resolve().parent
+    digest = hashlib.sha256()
+    for path in sorted(root.rglob("*.py")):
+        digest.update(str(path.relative_to(root)).encode())
+        digest.update(b"\0")
+        digest.update(path.read_bytes())
+        digest.update(b"\0")
+    return digest.hexdigest()[:12]
+
+
+@dataclasses.dataclass(frozen=True)
+class SweepTask:
+    """One (experiment, seed, config) point of a sweep.
+
+    Attributes:
+        experiment_id: Registry id, upper-case (``"Q2"``).
+        seed: Root seed forwarded to runners that accept one; recorded
+            in the task identity either way.
+        config: Frozen keyword overrides for the experiment runner.
+    """
+
+    experiment_id: str
+    seed: int = 0
+    config: FrozenConfig = ()
+
+    @classmethod
+    def make(
+        cls,
+        experiment_id: str,
+        seed: int = 0,
+        config: Optional[Mapping[str, Any]] = None,
+    ) -> "SweepTask":
+        """Build a task from a plain config mapping."""
+        frozen: FrozenConfig = ()
+        if config:
+            frozen = tuple(
+                (str(key), _freeze_value(value))
+                for key, value in sorted(config.items())
+            )
+        return cls(experiment_id=experiment_id.upper(), seed=seed, config=frozen)
+
+    def config_dict(self) -> dict[str, Any]:
+        """The config as a plain dict (tuple values preserved)."""
+        return dict(self.config)
+
+    def config_jsonable(self) -> dict[str, Any]:
+        """The config with tuples thawed to lists, for JSON documents."""
+        return {key: _thaw_value(value) for key, value in self.config}
+
+    @property
+    def task_key(self) -> tuple[str, int, str]:
+        """Total deterministic ordering key for merge order."""
+        return (
+            self.experiment_id,
+            self.seed,
+            json.dumps(self.config_jsonable(), sort_keys=True),
+        )
+
+    def cache_key(self) -> str:
+        """Content hash naming this task's cached artifact."""
+        material = json.dumps(
+            {
+                "schema": PAYLOAD_SCHEMA,
+                "code_version": code_version(),
+                "experiment_id": self.experiment_id,
+                "seed": self.seed,
+                "config": self.config_jsonable(),
+            },
+            sort_keys=True,
+        )
+        return hashlib.sha256(material.encode()).hexdigest()[:16]
+
+    def describe(self) -> str:
+        """Short human-readable id used in reports and merged traces."""
+        parts = [self.experiment_id, f"seed={self.seed}"]
+        if self.config:
+            rendered = ",".join(
+                f"{key}={_thaw_value(value)}" for key, value in self.config
+            )
+            parts.append(rendered)
+        return " ".join(parts)

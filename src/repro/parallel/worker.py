@@ -1,0 +1,72 @@
+"""The spawn-safe worker entry point.
+
+:func:`run_task` is what executes inside each pool process: it runs
+one experiment shard and returns a *payload* — a plain-JSON dict that
+fully describes the shard's artifact.  Payloads are normalized through
+a JSON round-trip so a freshly computed payload is byte-identical to
+one reloaded from the artifact cache, which in turn keeps merged sweep
+output independent of where each result came from.
+
+Workers are shared-nothing: the only inputs are the pickled
+:class:`~repro.parallel.tasks.SweepTask` and the worker's own fresh
+import of ``repro`` (spawn start method — no inherited interpreter
+state, so results cannot depend on parent-process history).
+"""
+
+from __future__ import annotations
+
+import inspect
+import json
+import time
+from typing import Any
+
+from repro.errors import SweepConfigError
+from repro.parallel.tasks import PAYLOAD_SCHEMA, SweepTask
+from repro.sim.tracing import _json_safe
+
+
+def build_payload(task: SweepTask) -> dict[str, Any]:
+    """Execute ``task`` and return its canonical payload dict.
+
+    The payload carries everything the merge step needs — rendered
+    report, structured data, metrics-registry snapshot, per-run trace
+    JSONL — and nothing nondeterministic (no timings, no host info).
+    """
+    from repro.experiments.registry import EXPERIMENTS, run_experiment
+
+    config = task.config_dict()
+    runner = EXPERIMENTS.get(task.experiment_id)
+    if runner is not None and "seed" in inspect.signature(runner).parameters:
+        config.setdefault("seed", task.seed)
+    elif task.seed != 0:
+        raise SweepConfigError(
+            f"experiment {task.experiment_id} does not accept a seed, "
+            f"but task requests seed={task.seed}"
+        )
+    result = run_experiment(task.experiment_id, **config)
+    payload = {
+        "schema": PAYLOAD_SCHEMA,
+        "experiment_id": result.experiment_id,
+        "seed": task.seed,
+        "config": task.config_jsonable(),
+        "title": result.title,
+        "render": result.render(),
+        "data": _json_safe(result.data),
+        "notes": list(result.notes),
+        "registry": result.registry.to_dict() if result.registry else None,
+        "traces": [trace.to_jsonl() for trace in result.traces],
+    }
+    # Normalize through JSON so fresh payloads equal cache-reloaded
+    # ones exactly (tuples become lists, keys become strings).
+    return json.loads(json.dumps(payload, sort_keys=True))
+
+
+def run_task(task: SweepTask) -> dict[str, Any]:
+    """Pool entry point: payload plus the worker-side wall clock.
+
+    The elapsed time rides outside the payload so timing (inherently
+    nondeterministic) never contaminates the canonical artifact.
+    """
+    start = time.perf_counter()
+    payload = build_payload(task)
+    return {"payload": payload, "elapsed_s": time.perf_counter() - start}

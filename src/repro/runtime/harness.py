@@ -10,13 +10,16 @@ network statistics.  Runs are deterministic in (spec, seed, schedule).
 from __future__ import annotations
 
 import dataclasses
-from typing import Iterable, Optional
+from typing import Iterable, Optional, TYPE_CHECKING
 
 from repro.errors import AtomicityViolationError
 from repro.fsa.messages import EXTERNAL
 from repro.fsa.spec import ProtocolSpec
 from repro.net.latency import LatencyModel
 from repro.net.network import Network
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycle
+    from repro.metrics.registry import MetricsRegistry
 from repro.runtime.decision import TerminationRule
 from repro.runtime.policies import UnanimousYes, VotePolicy
 from repro.runtime.site import CommitSite
@@ -156,6 +159,11 @@ class CommitRun:
         trace: Optional pre-built trace log — pass a bounded one
             (``TraceLog(max_entries=...)``) to cap trace memory on
             long campaigns; a fresh unbounded log is used by default.
+        registry: Optional shared metrics registry; when given, the
+            finished run is rolled into it via
+            :func:`repro.metrics.registry.observe_run`, so sweeps
+            accumulate per-protocol counters/histograms without
+            per-call boilerplate.
     """
 
     def __init__(
@@ -176,6 +184,7 @@ class CommitRun:
         partition_groups: Optional[list[set[SiteId]]] = None,
         max_time: SimTime = 1000.0,
         trace: Optional[TraceLog] = None,
+        registry: Optional["MetricsRegistry"] = None,
     ) -> None:
         self.spec = spec
         self.seed = seed
@@ -202,6 +211,7 @@ class CommitRun:
         self.partition_groups = partition_groups
         self.max_time = max_time
         self.trace = trace
+        self.registry = registry
         self._validate_crashes()
 
     def _validate_crashes(self) -> None:
@@ -290,7 +300,7 @@ class CommitRun:
                 transitions_fired=site.engine.transitions_fired,
                 vote=vote_record.vote if vote_record is not None else None,
             )
-        return RunResult(
+        result = RunResult(
             protocol=self.spec.name,
             n_sites=self.spec.n_sites,
             reports=reports,
@@ -301,6 +311,11 @@ class CommitRun:
             events_fired=sim.events_fired,
             trace=sim.trace,
         )
+        if self.registry is not None:
+            from repro.metrics.registry import observe_run
+
+            observe_run(self.registry, result)
+        return result
 
     def _schedule_crashes(
         self,

@@ -10,7 +10,7 @@ timestamp.
 from __future__ import annotations
 
 import dataclasses
-from typing import Callable
+from typing import Callable, Optional
 
 from repro.types import SimTime
 
@@ -28,6 +28,8 @@ class Event:
         label: Human-readable description used in traces and debugging.
         cancelled: Set via :class:`EventHandle`; cancelled events are
             skipped (lazy deletion keeps the heap simple and fast).
+        fired: Set by the simulator when the event executes, so a late
+            :meth:`EventHandle.cancel` stays a no-op.
     """
 
     time: SimTime
@@ -35,6 +37,7 @@ class Event:
     callback: Callable[[], None] = dataclasses.field(compare=False)
     label: str = dataclasses.field(default="", compare=False)
     cancelled: bool = dataclasses.field(default=False, compare=False)
+    fired: bool = dataclasses.field(default=False, compare=False)
 
 
 class EventHandle:
@@ -43,10 +46,22 @@ class EventHandle:
     Cancellation is how timeouts are retired when the awaited message
     arrives first — a pattern every timeout-driven termination protocol
     in :mod:`repro.runtime` relies on.
+
+    Args:
+        event: The scheduled event this handle controls.
+        on_cancel: Invoked exactly once if (and when) the handle
+            cancels a not-yet-fired event; the simulator uses this to
+            keep its pending-event counter exact without scanning the
+            heap.
     """
 
-    def __init__(self, event: Event) -> None:
+    def __init__(
+        self,
+        event: Event,
+        on_cancel: Optional[Callable[[], None]] = None,
+    ) -> None:
         self._event = event
+        self._on_cancel = on_cancel
 
     @property
     def time(self) -> SimTime:
@@ -69,7 +84,11 @@ class EventHandle:
         Cancelling an event that already fired or was already cancelled
         is a harmless no-op, which keeps caller-side cleanup code simple.
         """
+        if self._event.cancelled or self._event.fired:
+            return
         self._event.cancelled = True
+        if self._on_cancel is not None:
+            self._on_cancel()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "cancelled" if self.cancelled else f"t={self.time:.6f}"

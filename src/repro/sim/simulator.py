@@ -38,6 +38,7 @@ class Simulator:
         self._now: SimTime = 0.0
         self._heap: list[Event] = []
         self._seq = 0
+        self._pending = 0
         self._events_fired = 0
         self._last_event_time: SimTime = 0.0
         self._running = False
@@ -71,8 +72,17 @@ class Simulator:
 
     @property
     def pending_events(self) -> int:
-        """Number of scheduled, not-yet-cancelled events still queued."""
-        return sum(1 for event in self._heap if not event.cancelled)
+        """Number of scheduled, not-yet-cancelled events still queued.
+
+        O(1): an exact counter maintained on schedule, cancel, and
+        fire, so hot paths can consult it without scanning the heap
+        (cancelled events linger there until popped — lazy deletion).
+        """
+        return self._pending
+
+    def _note_cancel(self) -> None:
+        """Bookkeeping hook invoked by :class:`EventHandle.cancel`."""
+        self._pending -= 1
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -118,8 +128,9 @@ class Simulator:
             )
         event = Event(time=time, seq=self._seq, callback=callback, label=label)
         self._seq += 1
+        self._pending += 1
         heapq.heappush(self._heap, event)
-        return EventHandle(event)
+        return EventHandle(event, on_cancel=self._note_cancel)
 
     # ------------------------------------------------------------------
     # Execution
@@ -135,6 +146,8 @@ class Simulator:
             event = heapq.heappop(self._heap)
             if event.cancelled:
                 continue
+            event.fired = True
+            self._pending -= 1
             self._now = event.time
             self._last_event_time = event.time
             self._events_fired += 1
@@ -174,6 +187,8 @@ class Simulator:
                 if max_events is not None and fired >= max_events:
                     break
                 heapq.heappop(self._heap)
+                event.fired = True
+                self._pending -= 1
                 self._now = event.time
                 self._last_event_time = event.time
                 self._events_fired += 1

@@ -1,8 +1,11 @@
 """Unit tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import main
+from repro.errors import ReproError
 
 
 class TestList:
@@ -298,3 +301,50 @@ class TestStatsCommand:
         capsys.readouterr()
         assert main(["stats", str(path)]) == 0
         assert "blocking" in capsys.readouterr().out
+
+
+class TestSweep:
+    def test_sweep_prints_report_and_timing(self, capsys):
+        assert main(["sweep", "Q2"]) == 0
+        captured = capsys.readouterr()
+        assert "Q2" in captured.out
+        assert "sweep:" in captured.err  # Timing is stderr-only.
+        assert "sweep:" not in captured.out
+
+    def test_sweep_output_is_deterministic(self, capsys):
+        main(["sweep", "Q2"])
+        first = capsys.readouterr().out
+        main(["sweep", "Q2"])
+        second = capsys.readouterr().out
+        assert first == second
+
+    def test_sweep_cache_dir_skips_finished_work(self, capsys, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        main(["sweep", "Q2", "--cache-dir", cache_dir])
+        cold = capsys.readouterr()
+        assert "(0 cached)" in cold.err
+        main(["sweep", "Q2", "--cache-dir", cache_dir])
+        warm = capsys.readouterr()
+        assert "(7 cached)" in warm.err
+        assert warm.out == cold.out
+
+    def test_sweep_writes_artifacts(self, capsys, tmp_path):
+        trace = tmp_path / "sweep.jsonl"
+        metrics = tmp_path / "metrics.json"
+        sidecar = tmp_path / "sweep.json"
+        assert main([
+            "sweep", "Q2",
+            "--trace-out", str(trace),
+            "--metrics-out", str(metrics),
+            "--json", str(sidecar),
+        ]) == 0
+        capsys.readouterr()
+        assert trace.read_text().strip()
+        assert "runs_total" in metrics.read_text()
+        document = json.loads(sidecar.read_text())
+        assert document["tasks"]
+        assert "metrics" in document
+
+    def test_sweep_unknown_experiment_rejected(self):
+        with pytest.raises(ReproError):
+            main(["sweep", "NOPE"])

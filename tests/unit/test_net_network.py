@@ -214,3 +214,98 @@ class TestLatencyModels:
 
         assert run(3) == run(3)
         assert run(3) != run(4)
+
+
+class TestStaleDetection:
+    """Failure reports whose subject came back before the report fired."""
+
+    def test_fast_restart_suppresses_failure_report(self, sim, net):
+        attach(net, 1, 2)
+        seen = []
+        net.add_failure_listener(1, lambda s: seen.append(s))
+        net.crash(2)
+        sim.schedule(0.5, lambda: net.restart(2))  # Inside the 1.0 window.
+        sim.run()
+        assert seen == []
+        assert sim.trace.count("net.stale_detect") == 1
+
+    def test_restart_after_window_still_reports(self, sim, net):
+        attach(net, 1, 2)
+        failures, recoveries = [], []
+        net.add_failure_listener(1, lambda s: failures.append(s))
+        net.add_recovery_listener(1, lambda s: recoveries.append(s))
+        net.crash(2)
+        sim.schedule(1.5, lambda: net.restart(2))  # After the 1.0 window.
+        sim.run()
+        assert failures == [2]
+        assert recoveries == [2]
+        assert sim.trace.count("net.stale_detect") == 0
+
+    def test_partition_healed_before_suspicion_is_suppressed(self, sim, net):
+        attach(net, 1, 2)
+        seen = []
+        net.add_failure_listener(1, lambda s: seen.append(s))
+        net.partition([{1}, {2}])
+        sim.schedule(0.5, lambda: net.heal())  # Inside the 1.0 window.
+        sim.run()
+        assert seen == []
+        assert sim.trace.count("net.stale_detect") == 1
+
+    def test_partition_does_not_double_report_crashed_site(self, sim, net):
+        attach(net, 1, 2, 3)
+        seen = []
+        net.add_failure_listener(1, lambda s: seen.append(s))
+        net.crash(3)
+        net.partition([{1, 2}, {3}])
+        sim.run()
+        # Exactly one report for site 3: the crash's own notification.
+        # The partition suspicion sweep must not repeat it.
+        assert seen.count(3) == 1
+
+
+class TestPartitionHealRecovery:
+    """heal() mirrors the suspicion sweep with a recovery sweep."""
+
+    def test_heal_notifies_recovery_across_sides(self, sim, net):
+        attach(net, 1, 2)
+        failures, recoveries = [], []
+        net.add_failure_listener(1, lambda s: failures.append(s))
+        net.add_recovery_listener(1, lambda s: recoveries.append(s))
+        net.partition([{1}, {2}])
+        sim.run()  # Suspicion sweep: 1 suspects 2.
+        assert failures == [2]
+        net.heal()
+        sim.run()
+        assert recoveries == [2]
+        assert sim.trace.count("net.heal") == 1
+
+    def test_heal_skips_really_dead_sites(self, sim, net):
+        attach(net, 1, 2, 3)
+        recoveries = []
+        net.add_recovery_listener(1, lambda s: recoveries.append(s))
+        net.partition([{1}, {2, 3}])
+        net.crash(3)
+        sim.run()
+        net.heal()
+        sim.run()
+        assert recoveries == [2]  # 3 stays suspected until it restarts.
+
+    def test_heal_without_partition_is_noop(self, sim, net):
+        attach(net, 1, 2)
+        net.heal()
+        assert sim.pending_events == 0
+        assert sim.trace.count("net.heal") == 0
+
+    def test_repartition_before_recovery_sweep_suppresses_split_pairs(
+        self, sim, net
+    ):
+        attach(net, 1, 2)
+        recoveries = []
+        net.add_recovery_listener(1, lambda s: recoveries.append(s))
+        net.partition([{1}, {2}])
+        sim.run()
+        net.heal()
+        # Split again before the recovery sweep fires at +1.0.
+        sim.schedule(0.5, lambda: net.partition([{1}, {2}]))
+        sim.run()
+        assert recoveries == []

@@ -1,0 +1,232 @@
+"""Unit tests for the parallel sweep runner subsystem.
+
+The two hard guarantees under test:
+
+* determinism — the parallel path, the cached path, and any task
+  ordering all produce byte-identical merged artifacts, and
+* the cache — completed payloads persist, reload, and survive
+  corruption as misses (never as wrong answers).
+
+The spawn-based tests require ``repro`` to be importable by a fresh
+interpreter (run the suite with ``PYTHONPATH=src``, as CI does).
+"""
+
+import json
+
+import pytest
+
+from repro.errors import (
+    ReproError,
+    SweepConfigError,
+    SweepTaskError,
+    SweepTimeoutError,
+)
+from repro.experiments.registry import EXPERIMENTS
+from repro.metrics.registry import MetricsRegistry
+from repro.parallel import (
+    SweepCache,
+    SweepRunner,
+    SweepTask,
+    code_version,
+    merge_traces,
+    plan_sweep,
+    sweep_tasks,
+)
+from repro.parallel.worker import build_payload
+from repro.sim.tracing import TraceLog
+
+# Two tiny Q2 shards (n=2 and n=3 sites): enough to exercise traces,
+# registries, and merging while staying fast.
+SMALL_TASKS = [
+    SweepTask.make("Q2", config={"site_counts": (2,), "capture_traces": True}),
+    SweepTask.make("Q2", config={"site_counts": (3,), "capture_traces": True}),
+]
+
+
+class TestSweepTask:
+    def test_make_uppercases_and_freezes_config(self):
+        task = SweepTask.make("q2", config={"site_counts": [4, 2]})
+        assert task.experiment_id == "Q2"
+        assert task.config_dict() == {"site_counts": (4, 2)}
+        assert hash(task) is not None  # Frozen dataclass, usable as a key.
+
+    def test_task_key_is_order_insensitive_in_config(self):
+        a = SweepTask.make("Q2", config={"site_counts": (2,), "capture_traces": True})
+        b = SweepTask.make("Q2", config={"capture_traces": True, "site_counts": (2,)})
+        assert a == b
+        assert a.task_key == b.task_key
+        assert a.cache_key() == b.cache_key()
+
+    def test_list_and_tuple_configs_are_equivalent(self):
+        a = SweepTask.make("Q2", config={"site_counts": [2, 4]})
+        b = SweepTask.make("Q2", config={"site_counts": (2, 4)})
+        assert a.cache_key() == b.cache_key()
+
+    def test_cache_key_separates_experiment_seed_and_config(self):
+        base = SweepTask.make("Q2", config={"site_counts": (2,)})
+        keys = {
+            base.cache_key(),
+            SweepTask.make("Q1").cache_key(),
+            SweepTask.make("Q2", seed=1, config={"site_counts": (2,)}).cache_key(),
+            SweepTask.make("Q2", config={"site_counts": (4,)}).cache_key(),
+        }
+        assert len(keys) == 4
+        assert all(len(key) == 16 for key in keys)
+
+    def test_code_version_is_stable_within_a_process(self):
+        assert code_version() == code_version()
+        assert len(code_version()) == 12
+
+    def test_describe_names_experiment_seed_and_config(self):
+        task = SweepTask.make("Q2", seed=3, config={"site_counts": (2,)})
+        text = task.describe()
+        assert "Q2" in text and "seed=3" in text and "site_counts" in text
+
+
+class TestPlans:
+    def test_q2_plan_shards_by_site_count(self):
+        tasks = sweep_tasks("q2")
+        assert len(tasks) > 1
+        assert all(task.experiment_id == "Q2" for task in tasks)
+        keys = [task.task_key for task in tasks]
+        assert len(set(keys)) == len(keys)
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(ReproError):
+            sweep_tasks("nope")
+
+    def test_plan_all_covers_every_experiment(self):
+        tasks = plan_sweep(["all"])
+        assert {task.experiment_id for task in tasks} == set(EXPERIMENTS)
+
+
+class TestWorkerPayload:
+    def test_payload_is_canonical_json(self):
+        payload = build_payload(SMALL_TASKS[0])
+        assert payload == json.loads(json.dumps(payload, sort_keys=True))
+        assert payload["experiment_id"] == "Q2"
+        assert isinstance(payload["render"], str) and payload["render"]
+        assert payload["registry"] is not None
+        assert len(payload["traces"]) >= 1  # One per protocol run.
+
+    def test_nonzero_seed_rejected_when_runner_lacks_seed(self):
+        task = SweepTask.make("Q2", seed=7, config={"site_counts": (2,)})
+        with pytest.raises(SweepConfigError):
+            build_payload(task)
+
+    def test_unknown_config_key_fails_the_task(self):
+        task = SweepTask.make("Q2", config={"bogus_knob": 1})
+        with pytest.raises(SweepTaskError):
+            SweepRunner(workers=1).run([task])
+
+
+class TestRunnerSerial:
+    def test_empty_plan_rejected(self):
+        with pytest.raises(SweepConfigError):
+            SweepRunner(workers=1).run([])
+
+    def test_duplicate_tasks_rejected(self):
+        with pytest.raises(SweepConfigError):
+            SweepRunner(workers=1).run([SMALL_TASKS[0], SMALL_TASKS[0]])
+
+    def test_zero_workers_rejected(self):
+        with pytest.raises(SweepConfigError):
+            SweepRunner(workers=0)
+
+    def test_task_order_does_not_matter(self):
+        forward = SweepRunner(workers=1).run(SMALL_TASKS)
+        backward = SweepRunner(workers=1).run(list(reversed(SMALL_TASKS)))
+        assert forward.report == backward.report
+        assert forward.merged.sidecar_json() == backward.merged.sidecar_json()
+        assert forward.merged.trace.to_jsonl() == backward.merged.trace.to_jsonl()
+
+
+class TestCache:
+    def test_store_then_hit_round_trips_byte_identically(self, tmp_path):
+        cache = SweepCache(tmp_path / "cache")
+        cold = SweepRunner(workers=1, cache=cache).run(SMALL_TASKS)
+        assert [o.cached for o in cold.outcomes] == [False, False]
+        assert cache.entry_count() == 2
+
+        warm = SweepRunner(workers=1, cache=cache).run(SMALL_TASKS)
+        assert [o.cached for o in warm.outcomes] == [True, True]
+        assert all(o.elapsed_s == 0.0 for o in warm.outcomes)
+        assert warm.report == cold.report
+        assert warm.merged.sidecar_json() == cold.merged.sidecar_json()
+        assert warm.merged.trace.to_jsonl() == cold.merged.trace.to_jsonl()
+
+    def test_corrupt_artifact_is_a_miss_not_an_error(self, tmp_path):
+        cache = SweepCache(tmp_path / "cache")
+        task = SMALL_TASKS[0]
+        path = cache.store(task, build_payload(task))
+        path.write_text("{not json")
+        assert cache.load(task) is None
+        result = SweepRunner(workers=1, cache=cache).run([task])
+        assert result.outcomes[0].cached is False  # Re-ran, re-stored.
+        assert cache.load(task) is not None
+
+    def test_wrong_cache_key_in_file_is_a_miss(self, tmp_path):
+        cache = SweepCache(tmp_path / "cache")
+        task = SMALL_TASKS[0]
+        path = cache.store(task, build_payload(task))
+        document = json.loads(path.read_text())
+        document["cache_key"] = "0" * 16
+        path.write_text(json.dumps(document))
+        assert cache.load(task) is None
+
+
+class TestMergeTraces:
+    def _chunk(self, msg_ids):
+        log = TraceLog()
+        for msg_id in msg_ids:
+            log.record(0.0, "net.send", f"msg {msg_id}", site=1, msg_id=msg_id)
+        return log.to_jsonl()
+
+    def test_msg_ids_are_rebased_into_disjoint_spans(self):
+        merged = merge_traces(
+            [("a", self._chunk([0, 1, 2])), ("b", self._chunk([0, 1]))]
+        )
+        ids = [entry.data["msg_id"] for entry in merged.entries]
+        assert ids == [0, 1, 2, 3, 4]  # Chunk b rebased past chunk a.
+        assert [entry.data["task"] for entry in merged.entries] == [
+            "a", "a", "a", "b", "b",
+        ]
+
+    def test_chunks_without_msg_ids_merge_untouched(self):
+        log = TraceLog()
+        log.record(1.0, "site.crash", "site 1 crashed", site=1)
+        merged = merge_traces([("only", log.to_jsonl())])
+        assert merged.entries[0].data == {"task": "only"}
+
+
+class TestRegistryRoundTrip:
+    def test_from_dict_inverts_to_dict(self):
+        registry = MetricsRegistry()
+        registry.inc("runs_total", protocol="3pc-central")
+        registry.inc("runs_total", 2, protocol="2pc-central")
+        for value in (0.5, 1.5, 120.0):
+            registry.observe("duration", value, protocol="3pc-central")
+        rebuilt = MetricsRegistry.from_dict(registry.to_dict())
+        assert rebuilt.to_dict() == registry.to_dict()
+        assert rebuilt.counter("runs_total", protocol="2pc-central") == 2
+
+
+class TestParallelExecution:
+    """Spawn-based tests — each worker freshly imports ``repro``."""
+
+    def test_parallel_is_byte_identical_to_serial(self):
+        serial = SweepRunner(workers=1).run(SMALL_TASKS)
+        parallel = SweepRunner(workers=2).run(SMALL_TASKS)
+        assert parallel.report == serial.report
+        assert parallel.merged.sidecar_json() == serial.merged.sidecar_json()
+        assert (
+            parallel.merged.registry.to_dict() == serial.merged.registry.to_dict()
+        )
+        assert parallel.merged.trace.to_jsonl() == serial.merged.trace.to_jsonl()
+
+    def test_hung_worker_bounded_by_task_timeout(self):
+        # Spawn startup alone takes far longer than 1ms, so the wait is
+        # guaranteed to trip; the pool must be torn down, not joined.
+        runner = SweepRunner(workers=2, task_timeout=0.001)
+        with pytest.raises(SweepTimeoutError):
+            runner.run(SMALL_TASKS)

@@ -179,3 +179,45 @@ class TestDeterminism:
         a = Simulator(seed=1).streams.stream("x")
         b = Simulator(seed=2).streams.stream("x")
         assert [a.random() for _ in range(5)] != [b.random() for _ in range(5)]
+
+
+class TestPendingCounter:
+    """pending_events is an O(1) counter, not a heap scan."""
+
+    def test_counter_tracks_schedule_cancel_and_fire(self):
+        sim = Simulator()
+        handles = [sim.schedule(float(t), lambda: None) for t in range(1, 4)]
+        assert sim.pending_events == 3
+        handles[1].cancel()
+        assert sim.pending_events == 2
+        sim.step()  # Fires t=1.
+        assert sim.pending_events == 1
+        sim.run()
+        assert sim.pending_events == 0
+
+    def test_cancel_after_fire_does_not_underflow(self):
+        sim = Simulator()
+        handle = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        sim.step()  # Fires the t=1 event.
+        handle.cancel()  # Too late — must not decrement.
+        assert sim.pending_events == 1
+
+    def test_double_cancel_decrements_once(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        handle = sim.schedule(2.0, lambda: None)
+        handle.cancel()
+        handle.cancel()
+        assert sim.pending_events == 1
+
+    def test_counter_survives_many_cancelled_events_cheaply(self):
+        sim = Simulator()
+        handles = [sim.schedule(1.0, lambda: None) for _ in range(1000)]
+        for handle in handles[:999]:
+            handle.cancel()
+        # Lazy deletion leaves 999 tombstones in the heap; the counter
+        # must still be exact without scanning them.
+        assert sim.pending_events == 1
+        sim.run()
+        assert sim.pending_events == 0
