@@ -14,6 +14,9 @@ Usage (after ``pip install -e .``)::
     python -m repro.cli stats t.jsonl             # phase/decision rollup
     python -m repro.cli experiment all --workers 4
     python -m repro.cli sweep Q1 Q2 --workers 4 --cache-dir .sweep-cache
+    python -m repro.cli explore --protocol 3pc-central --sites 3 \
+        --budget 2000 --seed 7 --workers 4 --artifacts-dir out/
+    python -m repro.cli replay out/abc123def456.json
 
 The ``sweep`` report on stdout is deterministic: ``--workers N`` is
 byte-identical to ``--workers 1`` (timings go to stderr).
@@ -155,6 +158,100 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     if summary.violations:
         print("ATOMICITY VIOLATIONS DETECTED — replay with --save to report")
         return 1
+    return 0
+
+
+def _cmd_explore(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.explore import (
+        ExploreConfig,
+        merge_explore_payloads,
+        plan_tasks,
+        render_explore_report,
+    )
+    from repro.parallel import SweepCache, SweepRunner
+
+    config = ExploreConfig(
+        protocol=args.protocol,
+        n_sites=args.n_sites,
+        seed=args.seed,
+        budget=args.budget,
+        depth=args.depth,
+        max_branch=args.max_branch,
+        crash_budget=args.crashes,
+        partitions=args.partitions,
+        mutant=args.mutant,
+        termination_mode=args.termination,
+        mode=args.mode,
+        shards=args.shards,
+    )
+    cache = SweepCache(args.cache_dir) if args.cache_dir else None
+    runner = SweepRunner(
+        workers=args.workers, cache=cache, task_timeout=args.task_timeout
+    )
+    result = runner.run(plan_tasks(config))
+    combined = merge_explore_payloads(
+        [outcome.payload for outcome in result.outcomes]
+    )
+    # Canonical report only on stdout: byte-identical for any --workers.
+    print(render_explore_report(combined), end="")
+    if args.json_out:
+        import json as _json
+
+        with open(args.json_out, "w") as handle:
+            handle.write(
+                _json.dumps(combined, indent=2, sort_keys=True) + "\n"
+            )
+        print(f"wrote exploration document to {args.json_out}", file=sys.stderr)
+    if args.artifacts_dir and combined["violations"]:
+        os.makedirs(args.artifacts_dir, exist_ok=True)
+        for violation in combined["violations"]:
+            path = os.path.join(
+                args.artifacts_dir, f"{violation['shrunk_hash']}.json"
+            )
+            with open(path, "w") as handle:
+                handle.write(violation["artifact"])
+            print(f"wrote replay artifact {path}", file=sys.stderr)
+    cached = sum(1 for outcome in result.outcomes if outcome.cached)
+    print(
+        f"explore: {combined['schedules']} schedules in "
+        f"{len(result.outcomes)} shard tasks ({cached} cached), "
+        f"workers={result.workers}, wall={result.wall_clock_s:.2f}s",
+        file=sys.stderr,
+    )
+    return 1 if combined["verdict"] == "violation" else 0
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    from repro.errors import ReplayDivergenceError
+    from repro.explore import Explorer, ReplayArtifact, replay
+
+    explorers: dict = {}
+    failures = 0
+    for path in args.files:
+        artifact = ReplayArtifact.load(path)
+        explorer = explorers.get(artifact.config)
+        if explorer is None:
+            explorer = explorers[artifact.config] = Explorer(artifact.config)
+        try:
+            outcome = replay(artifact, explorer=explorer)
+        except ReplayDivergenceError as error:
+            failures += 1
+            print(f"{path}: DIVERGED — {error}")
+            continue
+        print(f"{path}: {outcome.describe()}")
+        for problem in outcome.problems:
+            print(f"  {problem}")
+        if args.verbose:
+            for violation in outcome.outcome.violations:
+                print(f"  {violation.describe()}")
+        if not outcome.ok:
+            failures += 1
+    if failures:
+        print(f"{failures}/{len(args.files)} replays failed")
+        return 1
+    print(f"{len(args.files)} replay(s) ok")
     return 0
 
 
@@ -405,6 +502,118 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the machine-readable sweep sidecar",
     )
     sweep.set_defaults(func=_cmd_sweep)
+
+    explore = sub.add_parser(
+        "explore",
+        help="systematically explore schedules and fault injections "
+        "(see docs/EXPLORATION.md)",
+    )
+    explore.add_argument(
+        "--protocol", required=True, choices=catalog.protocol_names()
+    )
+    explore.add_argument(
+        "--sites", type=int, required=True, dest="n_sites", metavar="N"
+    )
+    explore.add_argument("--seed", type=int, default=0)
+    explore.add_argument(
+        "--budget",
+        type=int,
+        default=1000,
+        help="maximum schedules to execute across all shards",
+    )
+    explore.add_argument(
+        "--depth",
+        type=int,
+        default=40,
+        help="leading decisions eligible for branching",
+    )
+    explore.add_argument(
+        "--max-branch",
+        type=int,
+        default=3,
+        dest="max_branch",
+        help="arity cap on event-ordering choice points",
+    )
+    explore.add_argument(
+        "--crashes",
+        type=int,
+        default=1,
+        help="crash injections offered per schedule",
+    )
+    explore.add_argument(
+        "--partitions",
+        action="store_true",
+        help="also offer a network-partition decision point",
+    )
+    explore.add_argument(
+        "--mutant",
+        default=None,
+        help="execute a registered runtime mutant (self-test mode)",
+    )
+    explore.add_argument(
+        "--mode",
+        choices=("dfs", "random"),
+        default="dfs",
+        help="systematic bounded DFS or seeded-random schedules",
+    )
+    explore.add_argument(
+        "--termination",
+        choices=TERMINATION_MODES,
+        default="standard",
+        help="termination protocol variant",
+    )
+    explore.add_argument(
+        "--shards",
+        type=int,
+        default=4,
+        help="logical frontier shards (fixed by config, not workers)",
+    )
+    explore.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes; output is byte-identical for any value",
+    )
+    explore.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        dest="cache_dir",
+        help="sweep artifact cache for shard results",
+    )
+    explore.add_argument(
+        "--task-timeout",
+        type=float,
+        default=None,
+        dest="task_timeout",
+        metavar="SECONDS",
+        help="fail fast if a shard task hangs longer than this",
+    )
+    explore.add_argument(
+        "--artifacts-dir",
+        metavar="DIR",
+        dest="artifacts_dir",
+        help="write one replay artifact per shrunk violation",
+    )
+    explore.add_argument(
+        "--json",
+        metavar="FILE",
+        dest="json_out",
+        help="write the machine-readable exploration document",
+    )
+    explore.set_defaults(func=_cmd_explore)
+
+    replay = sub.add_parser(
+        "replay", help="re-execute saved replay artifacts exactly"
+    )
+    replay.add_argument(
+        "files", nargs="+", metavar="ARTIFACT", help="replay artifact JSON"
+    )
+    replay.add_argument(
+        "--verbose",
+        action="store_true",
+        help="print every reproduced violation",
+    )
+    replay.set_defaults(func=_cmd_replay)
 
     campaign = sub.add_parser(
         "campaign", help="run a randomized failure-injection campaign"

@@ -30,6 +30,10 @@ class ProcessError(SimulationError):
     """A simulated process was used in an invalid way (e.g. started twice)."""
 
 
+class SchedulerChoiceError(SimulationError):
+    """An event chooser returned an out-of-range index."""
+
+
 # ---------------------------------------------------------------------------
 # Network substrate
 # ---------------------------------------------------------------------------
@@ -147,6 +151,28 @@ class SweepTaskError(SweepError):
 
 class SweepTimeoutError(SweepError):
     """A sweep task exceeded the per-task timeout (hung worker)."""
+
+
+# ---------------------------------------------------------------------------
+# Schedule explorer
+# ---------------------------------------------------------------------------
+
+
+class ExploreError(ReproError):
+    """Base class for schedule-explorer errors."""
+
+
+class ExploreConfigError(ExploreError):
+    """An exploration was configured inconsistently."""
+
+
+class ReplayDivergenceError(ExploreError):
+    """A strict schedule replay hit a choice point that no longer matches.
+
+    The code (or config) executing the replay differs from the one that
+    recorded the schedule — re-explore and re-minimize instead of
+    trusting the stale artifact.
+    """
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,80 @@
+"""Deterministic schedule exploration over the live runtime.
+
+This package drives the sim/runtime stack through systematically
+enumerated (bounded DFS) and seeded-random message orderings plus
+crash/partition injection points, checks invariants derived from the
+paper after every run, shrinks violating schedules to minimal
+counterexamples, and serializes them as replayable JSON artifacts.
+
+See ``docs/EXPLORATION.md`` for the choice-point model, the invariant
+catalogue, and the corpus promotion workflow.
+"""
+
+from repro.explore.choices import (
+    Choice,
+    ChoiceController,
+    Prefix,
+    normalize_prefix,
+    strip_defaults,
+)
+from repro.explore.explorer import (
+    Explorer,
+    ScheduleOutcome,
+    ShardResult,
+    ViolationRecord,
+)
+from repro.explore.hooks import ExplorationHooks, FaultSummary
+from repro.explore.invariants import (
+    InvariantPolicy,
+    InvariantViolation,
+    check_run,
+)
+from repro.explore.mutants import MUTANTS, apply_mutant, mutant_names
+from repro.explore.replay import ReplayOutcome, replay
+from repro.explore.schedule import (
+    ExploreConfig,
+    ReplayArtifact,
+    schedule_hash,
+)
+from repro.explore.shard import (
+    EXPLORE_EXPERIMENT_ID,
+    build_explore_payload,
+    merge_explore_payloads,
+    plan_tasks,
+    render_explore_report,
+    violation_artifact,
+)
+from repro.explore.shrink import ShrinkResult, shrink
+
+__all__ = [
+    "Choice",
+    "ChoiceController",
+    "Prefix",
+    "normalize_prefix",
+    "strip_defaults",
+    "Explorer",
+    "ScheduleOutcome",
+    "ShardResult",
+    "ViolationRecord",
+    "ExplorationHooks",
+    "FaultSummary",
+    "InvariantPolicy",
+    "InvariantViolation",
+    "check_run",
+    "MUTANTS",
+    "apply_mutant",
+    "mutant_names",
+    "ReplayOutcome",
+    "replay",
+    "ExploreConfig",
+    "ReplayArtifact",
+    "schedule_hash",
+    "EXPLORE_EXPERIMENT_ID",
+    "build_explore_payload",
+    "merge_explore_payloads",
+    "plan_tasks",
+    "render_explore_report",
+    "violation_artifact",
+    "ShrinkResult",
+    "shrink",
+]

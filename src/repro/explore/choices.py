@@ -1,0 +1,172 @@
+"""The choice model: named decision points and the controller.
+
+Everything nondeterministic about an explored run is reduced to an
+ordered sequence of *choices*.  Each choice happens at a named decision
+point (``"order"``, ``"crash:2"``, ``"partition"``) with a known
+*arity* — the number of alternatives available right there — and picks
+one alternative by index.  A run is then fully determined by
+``(config, choice sequence)``: replaying the same choices through the
+same code reproduces the same execution, byte for byte.
+
+The :class:`ChoiceController` drives one run.  It holds a *prefix* of
+forced choices (empty for the root schedule) and a fallback policy for
+decisions beyond the prefix — index 0 (the "default" schedule: FIFO
+ordering, no faults) for bounded DFS, or a seeded RNG for random
+exploration.  Every decision actually taken is recorded on the
+:attr:`ChoiceController.trail`, which is what the explorer branches on
+and the shrinker minimizes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from typing import Any, Iterable, Optional, Sequence, Union
+
+from repro.errors import ExploreConfigError, ReplayDivergenceError
+
+
+@dataclasses.dataclass(frozen=True)
+class Choice:
+    """One resolved decision: at ``point``, alternative ``index`` of ``arity``.
+
+    Attributes:
+        point: Stable name of the decision point.
+        index: The alternative taken (``0 <= index < arity``); 0 is
+            always the *default* (FIFO order / no fault).
+        arity: How many alternatives existed when the decision was made.
+    """
+
+    point: str
+    index: int
+    arity: int
+
+    def __post_init__(self) -> None:
+        if self.arity < 1:
+            raise ExploreConfigError(f"choice arity must be >= 1: {self}")
+        if not 0 <= self.index < self.arity:
+            raise ExploreConfigError(f"choice index out of range: {self}")
+
+    @property
+    def is_default(self) -> bool:
+        """Whether this decision took the default alternative."""
+        return self.index == 0
+
+    def to_json(self) -> dict[str, Any]:
+        """Plain-JSON representation (replay-artifact schema)."""
+        return {"point": self.point, "index": self.index, "arity": self.arity}
+
+    @classmethod
+    def from_json(cls, record: dict[str, Any]) -> "Choice":
+        """Inverse of :meth:`to_json`."""
+        return cls(
+            point=str(record["point"]),
+            index=int(record["index"]),
+            arity=int(record["arity"]),
+        )
+
+    def describe(self) -> str:
+        """Short human rendering, e.g. ``order=2/3``."""
+        return f"{self.point}={self.index}/{self.arity}"
+
+
+#: A schedule prefix: the choices forced on a run, in decision order.
+Prefix = tuple[Choice, ...]
+
+
+def normalize_prefix(choices: Iterable[Union[Choice, dict]]) -> Prefix:
+    """Coerce an iterable of choices / JSON records into a prefix."""
+    out = []
+    for item in choices:
+        out.append(item if isinstance(item, Choice) else Choice.from_json(item))
+    return tuple(out)
+
+
+def strip_defaults(prefix: Sequence[Choice]) -> Prefix:
+    """Canonicalize a prefix by dropping trailing default choices.
+
+    Beyond the prefix the controller falls back to defaults anyway, so
+    trailing defaults are semantically inert; stripping them makes
+    equal schedules compare equal.
+    """
+    end = len(prefix)
+    while end > 0 and prefix[end - 1].is_default:
+        end -= 1
+    return tuple(prefix[:end])
+
+
+class ChoiceController:
+    """Resolves decision points for one run and records the trail.
+
+    Args:
+        prefix: Choices forced on the first ``len(prefix)`` decisions.
+        rng: Fallback RNG for decisions beyond the prefix; ``None``
+            falls back to the default alternative (index 0).
+        strict: Replay mode.  When set, a decision whose point name or
+            arity differs from the prefix entry — or whose recorded
+            index no longer fits — raises
+            :class:`~repro.errors.ReplayDivergenceError` instead of
+            being tolerantly clamped.  Strict replay is for regression
+            artifacts; tolerant mode is what lets the shrinker probe
+            mutated prefixes whose tails may no longer align.
+    """
+
+    def __init__(
+        self,
+        prefix: Iterable[Union[Choice, dict]] = (),
+        rng: Optional[random.Random] = None,
+        strict: bool = False,
+    ) -> None:
+        self._prefix = normalize_prefix(prefix)
+        self._rng = rng
+        self._strict = strict
+        self.trail: list[Choice] = []
+
+    @property
+    def position(self) -> int:
+        """Index of the next decision (= number already taken)."""
+        return len(self.trail)
+
+    @property
+    def prefix(self) -> Prefix:
+        """The forced prefix this controller was created with."""
+        return self._prefix
+
+    def choose(self, point: str, arity: int) -> int:
+        """Resolve one decision and record it on the trail."""
+        if arity < 1:
+            raise ExploreConfigError(
+                f"decision point {point!r} offered arity {arity}"
+            )
+        position = len(self.trail)
+        if position < len(self._prefix):
+            want = self._prefix[position]
+            if self._strict and (
+                want.point != point
+                or want.arity != arity
+                or want.index >= arity
+            ):
+                raise ReplayDivergenceError(
+                    f"decision {position}: recorded "
+                    f"{want.describe()} but execution reached "
+                    f"{point!r} with arity {arity}"
+                )
+            # Tolerant mode: keep the *intent* of the recorded index as
+            # far as possible; modulo keeps it deterministic when the
+            # tree shifted under a shrink candidate.
+            index = want.index % arity
+        elif self._rng is not None:
+            index = self._rng.randrange(arity)
+        else:
+            index = 0
+        self.trail.append(Choice(point=point, index=index, arity=arity))
+        return index
+
+    def finished_prefix(self) -> bool:
+        """Whether every forced choice was actually consumed.
+
+        A strict replay that ends with unconsumed prefix entries
+        diverged silently — the run quiesced before reaching the
+        recorded decisions — so replayers check this too.
+        """
+        return len(self.trail) >= len(self._prefix)

@@ -1,0 +1,342 @@
+"""The deterministic schedule explorer.
+
+One :class:`Explorer` owns the prebuilt, reusable artifacts for a
+config — claimed spec, reachability graph, termination rule, invariant
+policy, optional runtime mutant — and executes *schedules*: commit runs
+driven by a :class:`~repro.explore.choices.ChoiceController` through
+the harness's instrument hook.
+
+Two search strategies over the choice tree:
+
+* **dfs** — bounded depth-first enumeration.  The root schedule (all
+  defaults) is run first; every recorded decision with untried
+  alternatives spawns sibling prefixes, explored leftmost-first under a
+  schedule budget.  ``depth`` bounds which decisions may branch and
+  ``max_branch`` caps ordering arity, so the tree is finite.
+* **random** — ``budget`` independent schedules whose fallback choices
+  come from per-index seeded RNGs.
+
+Both are deterministic in the config alone: same config, same runs,
+same findings, regardless of process, worker count, or wall clock.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from typing import Callable, Iterable, Optional
+
+from repro.analysis.nonblocking import check_nonblocking
+from repro.analysis.reachability import build_state_graph
+from repro.explore.choices import Choice, ChoiceController, Prefix, strip_defaults
+from repro.explore.hooks import ExplorationHooks, FaultSummary
+from repro.explore.invariants import InvariantPolicy, InvariantViolation, check_run
+from repro.explore.mutants import apply_mutant
+from repro.explore.schedule import ExploreConfig, schedule_hash
+from repro.explore.shrink import ShrinkResult, shrink
+from repro.protocols import catalog
+from repro.runtime.decision import TerminationRule
+from repro.runtime.harness import CommitRun
+from repro.sim import lastrun
+from repro.types import SiteId
+
+
+@dataclasses.dataclass(frozen=True)
+class ScheduleOutcome:
+    """Everything the explorer keeps from one executed schedule.
+
+    Attributes:
+        prefix: The forced choices this run was launched with.
+        trail: Every decision actually taken, in order.
+        canonical: ``trail`` with trailing defaults stripped — the
+            minimal prefix that replays this exact run.
+        hash: Content hash of (config identity, canonical prefix).
+        violations: Invariant findings (empty = clean).
+        faults: Crash/partition injections the hooks performed.
+        blocked: Sites that ended blocked.
+        outcomes: Per-site final outcome values, in site order.
+    """
+
+    prefix: Prefix
+    trail: Prefix
+    canonical: Prefix
+    hash: str
+    violations: tuple[InvariantViolation, ...]
+    faults: FaultSummary
+    blocked: tuple[SiteId, ...]
+    outcomes: tuple[str, ...]
+
+    @property
+    def signature(self) -> tuple[str, ...]:
+        """The run's violation signature: sorted distinct kinds."""
+        return tuple(sorted({v.kind for v in self.violations}))
+
+
+@dataclasses.dataclass
+class ViolationRecord:
+    """One distinct violation signature found during exploration.
+
+    Attributes:
+        signature: Sorted distinct violation kinds.
+        count: How many explored schedules hit this signature.
+        first: The first (unshrunk) offending schedule outcome.
+        shrunk: Minimized canonical prefix reproducing the signature.
+        shrunk_hash: Schedule hash of the minimized prefix.
+        shrink_runs: Probe executions the shrinker spent.
+        details: The violation descriptions from the *shrunk* run.
+    """
+
+    signature: tuple[str, ...]
+    count: int
+    first: ScheduleOutcome
+    shrunk: Prefix
+    shrunk_hash: str
+    shrink_runs: int
+    details: tuple[str, ...]
+
+
+@dataclasses.dataclass
+class ShardResult:
+    """What one logical frontier shard explored."""
+
+    shard: int
+    schedules: int
+    shrink_runs: int
+    violations: list[ViolationRecord]
+
+
+class Explorer:
+    """Execute and search schedules for one exploration config.
+
+    Building an explorer performs the expensive, run-independent work
+    once: catalog build, reachability graph, static nonblocking
+    verdict, committable classification, termination rule, and the
+    optional runtime mutant.
+    """
+
+    def __init__(self, config: ExploreConfig) -> None:
+        self.config = config
+        self.spec = catalog.build(config.protocol, config.n_sites)
+        self.runtime_spec = (
+            apply_mutant(self.spec, config.mutant)
+            if config.mutant is not None
+            else self.spec
+        )
+        self.graph = build_state_graph(self.spec)
+        report = check_nonblocking(self.spec, graph=self.graph)
+        self.policy = InvariantPolicy(
+            nonblocking=report.nonblocking,
+            committable=dict(report.committable),
+        )
+        self.rule = TerminationRule(self.spec, graph=self.graph)
+
+    # ------------------------------------------------------------------
+    # Single-schedule execution
+    # ------------------------------------------------------------------
+
+    def run_one(
+        self,
+        prefix: Iterable[Choice] = (),
+        rng: Optional[random.Random] = None,
+        strict: bool = False,
+    ) -> ScheduleOutcome:
+        """Execute one schedule and check every applicable invariant."""
+        prefix = tuple(prefix)
+        lastrun.note(
+            "explore_schedule",
+            protocol=self.config.protocol,
+            seed=self.config.seed,
+            mutant=self.config.mutant,
+            schedule_hash=schedule_hash(self.config, strip_defaults(prefix)),
+            choices=len(prefix),
+        )
+        controller = ChoiceController(prefix=prefix, rng=rng, strict=strict)
+        hooks = ExplorationHooks(
+            controller,
+            depth=self.config.depth,
+            max_branch=self.config.max_branch,
+            crash_budget=self.config.crash_budget,
+            partitions=self.config.partitions,
+        )
+        run = CommitRun(
+            self.runtime_spec,
+            seed=self.config.seed,
+            rule=self.rule,
+            termination_mode=self.config.termination_mode,
+            max_time=self.config.max_time,
+            instrument=hooks.install,
+        ).execute()
+        faults = hooks.summary()
+        violations = tuple(check_run(run, self.spec, self.policy, faults))
+        trail = tuple(controller.trail)
+        canonical = strip_defaults(trail)
+        return ScheduleOutcome(
+            prefix=prefix,
+            trail=trail,
+            canonical=canonical,
+            hash=schedule_hash(self.config, canonical),
+            violations=violations,
+            faults=faults,
+            blocked=tuple(run.blocked_sites),
+            outcomes=tuple(
+                run.reports[site].outcome.value for site in self.spec.sites
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    # Tree expansion (DFS)
+    # ------------------------------------------------------------------
+
+    def expand(self, prefix_len: int, trail: Prefix) -> list[Prefix]:
+        """Sibling prefixes branching off a recorded trail.
+
+        For every decision at or beyond ``prefix_len`` (decisions
+        *inside* the prefix were branched by an ancestor) and within
+        the depth bound, each untried alternative yields a child prefix
+        ``trail[:p] + (alternative,)``.
+        """
+        children: list[Prefix] = []
+        limit = min(len(trail), self.config.depth)
+        for position in range(prefix_len, limit):
+            choice = trail[position]
+            for alternative in range(choice.index + 1, choice.arity):
+                children.append(
+                    trail[:position]
+                    + (Choice(choice.point, alternative, choice.arity),)
+                )
+        return children
+
+    def _dfs(
+        self,
+        frontier: Iterable[Prefix],
+        budget: int,
+        observe: Callable[[ScheduleOutcome], None],
+    ) -> int:
+        """Bounded DFS from ``frontier``; returns schedules executed."""
+        stack = list(frontier)
+        stack.reverse()
+        executed = 0
+        while stack and executed < budget:
+            prefix = stack.pop()
+            outcome = self.run_one(prefix)
+            executed += 1
+            observe(outcome)
+            children = self.expand(len(prefix), outcome.trail)
+            children.reverse()
+            stack.extend(children)
+        return executed
+
+    # ------------------------------------------------------------------
+    # Sharded exploration
+    # ------------------------------------------------------------------
+
+    def _shard_budget(self, shard: int) -> int:
+        base, extra = divmod(self.config.budget, self.config.shards)
+        return base + (1 if shard < extra else 0)
+
+    def _random_rng(self, index: int) -> random.Random:
+        mixed = (self.config.seed * 2654435761 + index * 1000003) % 2**63
+        return random.Random(mixed)
+
+    def explore_shard(self, shard: int) -> ShardResult:
+        """Explore one logical shard of the schedule space.
+
+        Shards are defined by ``config.shards`` alone — the DFS
+        frontier under the root schedule (or the index stripes of
+        random mode) is dealt round-robin — so the union of all shards
+        is the same schedule set no matter how many worker processes
+        execute them, which is what keeps ``--workers N`` byte-identical
+        to the serial path.
+        """
+        if not 0 <= shard < self.config.shards:
+            raise ValueError(
+                f"shard {shard} out of range for {self.config.shards} shards"
+            )
+        collector = _Collector(self)
+        budget = self._shard_budget(shard)
+        executed = 0
+        if self.config.mode == "random":
+            for index in range(shard, self.config.budget, self.config.shards):
+                if executed >= budget:
+                    break
+                outcome = self.run_one((), rng=self._random_rng(index))
+                executed += 1
+                collector.observe(outcome)
+        else:
+            # Every shard re-runs the root to learn the frontier; only
+            # shard 0 *reports* it (and charges it against its budget).
+            root = self.run_one(())
+            if shard == 0 and budget > 0:
+                executed += 1
+                collector.observe(root)
+            frontier = self.expand(0, root.trail)[shard :: self.config.shards]
+            executed += self._dfs(
+                frontier, budget - executed, collector.observe
+            )
+        return ShardResult(
+            shard=shard,
+            schedules=executed,
+            shrink_runs=collector.shrink_runs,
+            violations=collector.records,
+        )
+
+    # ------------------------------------------------------------------
+    # Shrinking
+    # ------------------------------------------------------------------
+
+    def shrink_violation(
+        self, outcome: ScheduleOutcome
+    ) -> tuple[ShrinkResult, ScheduleOutcome]:
+        """Minimize a violating schedule, preserving its signature.
+
+        Returns the shrink result plus the re-executed outcome of the
+        minimized prefix (whose violations describe the counterexample
+        the artifact documents).
+        """
+        target = outcome.signature
+        if not target:
+            raise ValueError("cannot shrink a clean schedule")
+
+        def probe(candidate: Prefix) -> Optional[Prefix]:
+            probed = self.run_one(candidate)
+            if probed.signature == target:
+                return probed.canonical
+            return None
+
+        result = shrink(outcome.canonical, probe)
+        final = self.run_one(result.prefix)
+        return result, final
+
+
+class _Collector:
+    """Aggregates violating outcomes by signature, shrinking the first."""
+
+    def __init__(self, explorer: Explorer) -> None:
+        self._explorer = explorer
+        self._by_signature: dict[tuple[str, ...], ViolationRecord] = {}
+        self.shrink_runs = 0
+
+    @property
+    def records(self) -> list[ViolationRecord]:
+        return sorted(self._by_signature.values(), key=lambda r: r.signature)
+
+    def observe(self, outcome: ScheduleOutcome) -> None:
+        signature = outcome.signature
+        if not signature:
+            return
+        record = self._by_signature.get(signature)
+        if record is not None:
+            record.count += 1
+            return
+        result, final = self._explorer.shrink_violation(outcome)
+        # +1 for the confirmation run of the minimized prefix.
+        self.shrink_runs += result.probes + 1
+        self._by_signature[signature] = ViolationRecord(
+            signature=signature,
+            count=1,
+            first=outcome,
+            shrunk=result.prefix,
+            shrunk_hash=schedule_hash(self._explorer.config, result.prefix),
+            shrink_runs=result.probes + 1,
+            details=tuple(v.describe() for v in final.violations),
+        )

@@ -1,0 +1,143 @@
+"""Wiring between the choice controller and the live runtime.
+
+:class:`ExplorationHooks` installs itself into one
+:class:`~repro.runtime.harness.CommitRun` via the harness's
+``instrument`` callback and turns the run's nondeterminism into named
+choice points:
+
+* ``order`` — the simulator's same-time tie-break
+  (:attr:`Simulator.chooser`): which of the first ``max_branch`` ready
+  events fires next.  Index 0 is FIFO, the historical default.
+* ``crash:<site>`` — at a message delivery to an operational site,
+  while crash budget remains: 1 crashes the destination *before* the
+  message lands (the message then drops, mid-broadcast).
+* ``partition`` — when enabled and the network is whole: index ``i >
+  0`` splits the network so that site ``i`` is isolated from the rest
+  (the canonical one-vs-rest splits, in site order).
+
+All fault points are only offered within the first ``depth`` decisions
+so the choice tree — and therefore every recorded trail — stays
+bounded.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.explore.choices import ChoiceController
+from repro.net.message import Envelope
+from repro.net.network import Network
+from repro.runtime.site import CommitSite
+from repro.sim.events import Event
+from repro.sim.simulator import Simulator
+from repro.types import SiteId
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultSummary:
+    """What the hooks actually injected into one run.
+
+    The invariant policy reads this to decide which checks apply: a
+    partitioned run waives liveness and the concurrency-theorem checks
+    (the paper's network assumption was deliberately broken), while
+    crash counts feed the declared failure budget.
+    """
+
+    crashes: tuple[SiteId, ...]
+    partitioned: bool
+
+    @property
+    def total(self) -> int:
+        """Number of distinct faults injected."""
+        return len(self.crashes) + (1 if self.partitioned else 0)
+
+
+class ExplorationHooks:
+    """Install choice points into one commit run.
+
+    Args:
+        controller: The run's choice controller.
+        depth: Decisions eligible for branching / fault injection.
+        max_branch: Arity cap for ``order`` choice points.
+        crash_budget: How many crash decisions may answer "yes".
+        partitions: Whether to offer the partition decision point.
+    """
+
+    def __init__(
+        self,
+        controller: ChoiceController,
+        depth: int = 40,
+        max_branch: int = 3,
+        crash_budget: int = 1,
+        partitions: bool = False,
+    ) -> None:
+        self._controller = controller
+        self._depth = depth
+        self._max_branch = max_branch
+        self._crash_budget = crash_budget
+        self._partitions = partitions
+        self._sites: dict[SiteId, CommitSite] = {}
+        self._crashed: list[SiteId] = []
+        self._partitioned = False
+
+    # ------------------------------------------------------------------
+    # Installation (CommitRun ``instrument`` callback)
+    # ------------------------------------------------------------------
+
+    def install(
+        self,
+        sim: Simulator,
+        network: Network,
+        sites: dict[SiteId, CommitSite],
+    ) -> None:
+        """Attach the hooks to a freshly assembled run substrate."""
+        self._sites = sites
+        sim.chooser = self._pick_event
+        network.fault_injector = self
+
+    def summary(self) -> FaultSummary:
+        """The faults injected so far (final after the run quiesces)."""
+        return FaultSummary(
+            crashes=tuple(self._crashed), partitioned=self._partitioned
+        )
+
+    # ------------------------------------------------------------------
+    # Choice points
+    # ------------------------------------------------------------------
+
+    def _pick_event(self, ready: list[Event]) -> int:
+        if self._controller.position >= self._depth:
+            return 0
+        arity = min(len(ready), self._max_branch)
+        if arity < 2:
+            return 0
+        return self._controller.choose("order", arity)
+
+    def before_deliver(self, network: Network, envelope: Envelope) -> None:
+        """The network's fault decision point (see :class:`FaultInjector`)."""
+        controller = self._controller
+        dst = envelope.dst
+        if (
+            self._crash_budget > 0
+            and network.is_up(dst)
+            and controller.position < self._depth
+        ):
+            if controller.choose(f"crash:{dst}", 2) == 1:
+                self._crash_budget -= 1
+                self._crashed.append(dst)
+                site = self._sites.get(dst)
+                if site is not None and site.alive:
+                    site.crash()
+                network.crash(dst)
+        if (
+            self._partitions
+            and not self._partitioned
+            and controller.position < self._depth
+        ):
+            sites = network.sites
+            index = controller.choose("partition", len(sites) + 1)
+            if index > 0:
+                isolated = sites[index - 1]
+                rest = {site for site in sites if site != isolated}
+                self._partitioned = True
+                network.partition([{isolated}, rest])

@@ -1,0 +1,254 @@
+"""Run invariants: what every explored execution is checked against.
+
+Four families, each mapped to the paper (see ``docs/EXPLORATION.md``):
+
+* **atomicity** (AC1) — no two sites ever log conflicting final
+  outcomes.  Checked on every run, crashed sites included: a
+  coordinator that logged commit before dying still committed.
+* **history theorem** — the fundamental nonblocking theorem's
+  conditions, checked over the *observed* state history instead of the
+  abstract reachability graph: at no instant may two operational sites
+  occupy a commit state and an abort state (condition 1), and no
+  operational site may occupy a commit state while another operational,
+  non-recovering site occupies a noncommittable state (condition 2).
+  Enforced only for protocols whose static analysis is nonblocking —
+  for 2PC the analysis itself says the window exists, so observing it
+  is expected, not a runtime bug.
+* **liveness** — under the declared failure budget (crashes only, no
+  partition, at least one operational site), a statically-nonblocking
+  protocol must leave no operational site undecided or blocked.
+* **conformance** — the existing
+  :func:`repro.analysis.conformance.audit_run` auditor: every fired
+  transition is a path of the claimed automaton, votes and decisions
+  match the DT log.
+
+The checker is pure: it reads a finished
+:class:`~repro.runtime.harness.RunResult` (whose trace carries the
+state history) plus prebuilt analysis artifacts, and returns findings.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+from repro.analysis.conformance import audit_run
+from repro.explore.hooks import FaultSummary
+from repro.fsa.spec import ProtocolSpec
+from repro.runtime.harness import RunResult
+from repro.types import SiteId
+
+
+@dataclasses.dataclass(frozen=True)
+class InvariantViolation:
+    """One invariant broken by one run.
+
+    Attributes:
+        kind: Violation family — ``"atomicity"``,
+            ``"history-commit-abort"``, ``"history-noncommittable"``,
+            ``"liveness"``, or ``"conformance"``.
+        detail: Human-readable description with witnesses.
+        site: The site the violation anchors to, when there is one.
+    """
+
+    kind: str
+    detail: str
+    site: Optional[SiteId] = None
+
+    def describe(self) -> str:
+        """One-line rendering."""
+        where = f" (site {self.site})" if self.site is not None else ""
+        return f"[{self.kind}]{where} {self.detail}"
+
+
+@dataclasses.dataclass(frozen=True)
+class InvariantPolicy:
+    """Which checks apply, derived from spec analysis + fault budget.
+
+    Attributes:
+        nonblocking: Static verdict of the claimed spec (drives the
+            history-theorem and liveness checks).
+        committable: ``(site, state) -> committable?`` classification
+            from the claimed spec's reachability graph.
+        check_conformance: Audit runs against the claimed automata.
+    """
+
+    nonblocking: bool
+    committable: dict[tuple[SiteId, str], bool]
+    check_conformance: bool = True
+
+
+def check_run(
+    run: RunResult,
+    spec: ProtocolSpec,
+    policy: InvariantPolicy,
+    faults: FaultSummary,
+) -> list[InvariantViolation]:
+    """Check one finished run against every applicable invariant.
+
+    Args:
+        run: The finished run (its trace carries the state history).
+        spec: The *claimed* spec — what the implementation is supposed
+            to be running, regardless of any mutant actually executing.
+        policy: Prebuilt analysis verdicts for the claimed spec.
+        faults: What the exploration hooks injected into this run.
+
+    Returns:
+        All violations, in a deterministic order (checks run in a fixed
+        sequence; the history walk is chronological).
+    """
+    violations: list[InvariantViolation] = []
+
+    if not run.atomic:
+        violations.append(
+            InvariantViolation(
+                kind="atomicity",
+                detail=f"conflicting final outcomes logged: {run.outcomes()!r}",
+            )
+        )
+
+    theorem_applies = (
+        policy.nonblocking
+        and not faults.partitioned
+        and len(faults.crashes) < spec.n_sites
+    )
+    if theorem_applies:
+        violations.extend(_check_history(run, spec, policy))
+        violations.extend(_check_liveness(run))
+
+    if policy.check_conformance:
+        for finding in audit_run(run, spec):
+            violations.append(
+                InvariantViolation(
+                    kind="conformance",
+                    detail=f"[{finding.kind}] {finding.detail}",
+                    site=finding.site,
+                )
+            )
+    return violations
+
+
+def _check_liveness(run: RunResult) -> list[InvariantViolation]:
+    violations = []
+    for site in run.blocked_sites:
+        violations.append(
+            InvariantViolation(
+                kind="liveness",
+                detail="operational site ended blocked despite the "
+                "protocol's nonblocking verdict",
+                site=site,
+            )
+        )
+    blocked = set(run.blocked_sites)
+    for site in run.undecided_operational:
+        if site in blocked:
+            continue  # Already reported above.
+        violations.append(
+            InvariantViolation(
+                kind="liveness",
+                detail="operational site never reached a decision "
+                "(stalled without even blocking)",
+                site=site,
+            )
+        )
+    return violations
+
+
+def _check_history(
+    run: RunResult,
+    spec: ProtocolSpec,
+    policy: InvariantPolicy,
+) -> list[InvariantViolation]:
+    """Walk the observed state history checking the theorem conditions.
+
+    Tracks, per site: current local state, liveness, and a *recovering*
+    flag.  A freshly restarted site sits in its automaton's initial
+    state only because its engine was rebuilt — the paper's concurrency
+    argument covers operational protocol participants, so a recovering
+    site is exempt from condition 2 until it adopts a state again.
+    """
+    state: dict[SiteId, str] = {
+        site: spec.automaton(site).initial for site in spec.sites
+    }
+    alive: dict[SiteId, bool] = {site: True for site in spec.sites}
+    recovering: dict[SiteId, bool] = {site: False for site in spec.sites}
+    commit_states = {
+        site: spec.automaton(site).commit_states for site in spec.sites
+    }
+    abort_states = {
+        site: spec.automaton(site).abort_states for site in spec.sites
+    }
+
+    violations: list[InvariantViolation] = []
+    seen: set[str] = set()  # Dedup: one report per condition per run.
+
+    def snapshot_check(at_time: float) -> None:
+        committers = [
+            site
+            for site in spec.sites
+            if alive[site] and state[site] in commit_states[site]
+        ]
+        if not committers:
+            return
+        witness = committers[0]
+        for site in spec.sites:
+            if not alive[site] or site == witness:
+                continue
+            local = state[site]
+            if local in abort_states[site] and "history-commit-abort" not in seen:
+                seen.add("history-commit-abort")
+                violations.append(
+                    InvariantViolation(
+                        kind="history-commit-abort",
+                        detail=(
+                            f"t={at_time:g}: site {witness} occupies commit "
+                            f"state {state[witness]!r} while site {site} "
+                            f"occupies abort state {local!r}"
+                        ),
+                        site=witness,
+                    )
+                )
+            elif (
+                not recovering[site]
+                and local not in abort_states[site]
+                and not policy.committable.get((site, local), False)
+                and "history-noncommittable" not in seen
+            ):
+                seen.add("history-noncommittable")
+                violations.append(
+                    InvariantViolation(
+                        kind="history-noncommittable",
+                        detail=(
+                            f"t={at_time:g}: site {witness} occupies commit "
+                            f"state {state[witness]!r} while operational "
+                            f"site {site} occupies noncommittable state "
+                            f"{local!r} (theorem condition 2 over the "
+                            "observed history)"
+                        ),
+                        site=witness,
+                    )
+                )
+
+    for entry in run.trace:
+        category = entry.category
+        site = entry.site
+        if category in (
+            "engine.transition",
+            "engine.forced_state",
+            "engine.forced_outcome",
+        ):
+            if site is None:
+                continue
+            new_state = entry.data.get("state")
+            if new_state is None:
+                continue
+            state[SiteId(site)] = str(new_state)
+            recovering[SiteId(site)] = False
+            snapshot_check(entry.time)
+        elif category == "site.crash" and site is not None:
+            alive[SiteId(site)] = False
+        elif category == "site.restart" and site is not None:
+            alive[SiteId(site)] = True
+            recovering[SiteId(site)] = True
+            state[SiteId(site)] = spec.automaton(SiteId(site)).initial
+    return violations

@@ -1,0 +1,112 @@
+"""Seeded runtime mutants: deliberately broken protocol implementations.
+
+The explorer's job is to catch a *runtime* that diverges from the
+verified design, so its self-test needs runtimes that actually do.  A
+mutant is a transform over the claimed :class:`ProtocolSpec` producing
+the spec the engine will *execute*, while every invariant keeps
+auditing against the unmutated original — exactly the situation where
+an implementation bug ships inside a proven-correct design.
+
+``skip-buffer`` is the canonical one: a 3PC whose coordinator commits
+straight out of the wait state, skipping the prepared-to-commit buffer
+state (and the ack round) that the nonblocking theorem requires.  The
+explorer must flag it via conformance (an un-specced transition),
+the history theorem (commit concurrent with a noncommittable state),
+and — under a crash — atomicity.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import ExploreConfigError
+from repro.fsa.automaton import SiteAutomaton, Transition
+from repro.fsa.messages import fan_out
+from repro.fsa.spec import ProtocolSpec
+from repro.protocols._shared import COORDINATOR
+from repro.types import Vote
+
+
+def _skip_buffer(spec: ProtocolSpec) -> ProtocolSpec:
+    """Collapse the coordinator's buffer state: ``w -> c`` directly.
+
+    The yes-vote transition that should enter ``p`` (broadcasting
+    ``prepare``) instead jumps to ``c`` broadcasting ``commit``; the
+    ``p -> c`` ack-collection transition disappears.  Slaves are left
+    untouched — they wait in ``w`` for a ``prepare`` that never comes,
+    which is precisely the uncertainty window the buffer state was
+    invented to close.
+    """
+    if COORDINATOR not in spec.automata:
+        raise ExploreConfigError(
+            f"mutant 'skip-buffer' needs a central coordinator; "
+            f"{spec.name!r} has none"
+        )
+    coordinator = spec.automaton(COORDINATOR)
+    if "p" not in coordinator.states:
+        raise ExploreConfigError(
+            f"mutant 'skip-buffer' needs a coordinator buffer state 'p'; "
+            f"{spec.name!r} has none (use a 3PC protocol)"
+        )
+    slaves = [site for site in spec.sites if site != COORDINATOR]
+    transitions = []
+    for transition in coordinator.transitions:
+        if transition.source == "p":
+            continue  # The ack round is gone.
+        if transition.target == "p":
+            transition = Transition(
+                source=transition.source,
+                target="c",
+                reads=transition.reads,
+                writes=fan_out("commit", COORDINATOR, slaves),
+                vote=Vote.YES,
+            )
+        transitions.append(transition)
+    mutated = SiteAutomaton(
+        site=COORDINATOR,
+        role=coordinator.role,
+        initial=coordinator.initial,
+        commit_states=sorted(coordinator.commit_states),
+        abort_states=sorted(coordinator.abort_states),
+        transitions=transitions,
+    )
+    automata = {
+        site: (mutated if site == COORDINATOR else spec.automaton(site))
+        for site in spec.sites
+    }
+    # validate=False: the whole point is a spec the validator would
+    # reject (slaves read a 'prepare' nobody sends anymore) — a broken
+    # implementation does not stop being broken gracefully.
+    return ProtocolSpec(
+        name=f"{spec.name}#skip-buffer",
+        protocol_class=spec.protocol_class,
+        automata=automata,
+        initial_messages=spec.initial_messages,
+        coordinator=spec.coordinator,
+        validate=False,
+    )
+
+
+#: Registered mutants: name -> spec transform.
+MUTANTS: dict[str, Callable[[ProtocolSpec], ProtocolSpec]] = {
+    "skip-buffer": _skip_buffer,
+}
+
+
+def mutant_names() -> list[str]:
+    """All registered mutant names, sorted."""
+    return sorted(MUTANTS)
+
+
+def apply_mutant(spec: ProtocolSpec, name: str) -> ProtocolSpec:
+    """Apply the named mutant to ``spec``.
+
+    Raises:
+        ExploreConfigError: For an unknown name or an inapplicable spec.
+    """
+    transform = MUTANTS.get(name)
+    if transform is None:
+        raise ExploreConfigError(
+            f"unknown mutant {name!r}; known: {', '.join(mutant_names())}"
+        )
+    return transform(spec)

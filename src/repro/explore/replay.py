@@ -1,0 +1,108 @@
+"""Exact re-execution of serialized replay artifacts.
+
+:func:`replay` rebuilds the full runtime stack from an artifact's
+config, forces its recorded choice schedule through a *strict*
+controller (any divergence between recorded and live choice points
+raises :class:`~repro.errors.ReplayDivergenceError` instead of being
+papered over), and compares what happened against the artifact's
+expectations.  This is what the ``repro replay`` CLI subcommand and the
+``tests/corpus/`` regression suite run.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.explore.explorer import Explorer, ScheduleOutcome
+from repro.explore.schedule import ReplayArtifact
+
+
+@dataclasses.dataclass(frozen=True)
+class ReplayOutcome:
+    """Result of replaying one artifact.
+
+    Attributes:
+        artifact: What was replayed.
+        outcome: The re-executed schedule's full outcome.
+        verdict: ``"violation"`` or ``"clean"`` — what actually
+            happened this time.
+        problems: Every way reality differed from the artifact's
+            expectations; empty means the replay matched.
+    """
+
+    artifact: ReplayArtifact
+    outcome: ScheduleOutcome
+    verdict: str
+    problems: tuple[str, ...]
+
+    @property
+    def ok(self) -> bool:
+        """True when the replay matched every expectation."""
+        return not self.problems
+
+    def describe(self) -> str:
+        """One-line rendering for reports."""
+        status = "ok" if self.ok else "MISMATCH"
+        return (
+            f"{self.artifact.hash} {status}: verdict={self.verdict} "
+            f"(expected {self.artifact.expect_verdict})"
+        )
+
+
+def replay(
+    artifact: ReplayArtifact, explorer: Explorer | None = None
+) -> ReplayOutcome:
+    """Strictly re-execute an artifact and check its expectations.
+
+    Args:
+        artifact: The schedule to replay.
+        explorer: Optional prebuilt explorer for the artifact's config
+            (corpus tests replay many artifacts sharing one config);
+            when given, its config must equal the artifact's.
+
+    Raises:
+        ReplayDivergenceError: The recorded schedule no longer matches
+            the runtime's live choice points (the code changed in a way
+            that invalidates the artifact, not merely its verdict).
+    """
+    if explorer is None:
+        explorer = Explorer(artifact.config)
+    elif explorer.config != artifact.config:
+        raise ValueError(
+            "prebuilt explorer config does not match the artifact"
+        )
+    outcome = explorer.run_one(artifact.schedule, strict=True)
+    if len(outcome.trail) < len(artifact.schedule):
+        from repro.errors import ReplayDivergenceError
+
+        raise ReplayDivergenceError(
+            f"run quiesced after {len(outcome.trail)} decisions but the "
+            f"artifact records {len(artifact.schedule)} — the runtime no "
+            "longer reaches the recorded choice points"
+        )
+    verdict = "violation" if outcome.violations else "clean"
+
+    problems: list[str] = []
+    if verdict != artifact.expect_verdict:
+        problems.append(
+            f"expected verdict {artifact.expect_verdict!r}, got {verdict!r}"
+        )
+    missing = set(artifact.expect_kinds) - set(outcome.signature)
+    if missing:
+        problems.append(
+            f"expected violation kinds not reproduced: {sorted(missing)} "
+            f"(got {list(outcome.signature)})"
+        )
+    if artifact.expect_blocked is not None:
+        blocked = bool(outcome.blocked)
+        if blocked != artifact.expect_blocked:
+            problems.append(
+                f"expected blocked={artifact.expect_blocked}, "
+                f"got blocked sites {list(outcome.blocked)!r}"
+            )
+    return ReplayOutcome(
+        artifact=artifact,
+        outcome=outcome,
+        verdict=verdict,
+        problems=tuple(problems),
+    )

@@ -1,0 +1,242 @@
+"""Schedule identity and the JSON replay-artifact format.
+
+A *schedule* is an :class:`ExploreConfig` plus a choice prefix — the
+complete recipe for re-executing one explored run.  Violating schedules
+are serialized as replay artifacts (``schema`` 1, sorted-key JSON) that
+the ``repro replay`` CLI subcommand and the regression corpus under
+``tests/corpus/`` re-execute strictly; see ``docs/EXPLORATION.md`` for
+the format and the promotion workflow.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from typing import Any, Optional
+
+from repro.errors import ExploreConfigError
+from repro.explore.choices import Choice, Prefix, normalize_prefix
+
+#: Replay-artifact schema version; bump on incompatible layout changes.
+REPLAY_SCHEMA = 1
+
+#: Marker distinguishing replay artifacts from other JSON lying around.
+REPLAY_KIND = "repro.explore.replay"
+
+#: Exploration strategies.
+MODES = ("dfs", "random")
+
+
+@dataclasses.dataclass(frozen=True)
+class ExploreConfig:
+    """Everything that parameterizes one exploration (or replay).
+
+    Attributes:
+        protocol: Catalog protocol name (``"3pc-central"``).
+        n_sites: Number of participating sites.
+        seed: Root seed — drives the runtime's random streams and, in
+            random mode, the per-schedule fallback choices.
+        budget: Maximum schedules to execute across the exploration.
+        depth: Number of leading decisions eligible for branching (and
+            for fault choice points); beyond it every decision silently
+            defaults, which bounds both the tree and trail lengths.
+        max_branch: Cap on the arity of ordering choice points (the
+            first ``max_branch`` ready events are considered).
+        crash_budget: Crash decision points offered per run.
+        partitions: Offer a partition decision point (off by default —
+            partitions violate the paper's network assumptions, and
+            3PC's split-decision under them is a known result).
+        mutant: Optional registered runtime mutant to execute (the
+            invariants still audit against the unmutated spec).
+        termination_mode: Termination-protocol variant for the runtime.
+        max_time: Virtual-time bound per run.
+        mode: ``"dfs"`` (bounded systematic) or ``"random"`` (seeded).
+        shards: Number of logical frontier shards.  Fixed by config —
+            never by worker count — so output is byte-identical for any
+            ``--workers`` value.
+    """
+
+    protocol: str
+    n_sites: int
+    seed: int = 0
+    budget: int = 1000
+    depth: int = 40
+    max_branch: int = 3
+    crash_budget: int = 1
+    partitions: bool = False
+    mutant: Optional[str] = None
+    termination_mode: str = "standard"
+    max_time: float = 1000.0
+    mode: str = "dfs"
+    shards: int = 4
+
+    def __post_init__(self) -> None:
+        if self.n_sites < 2:
+            raise ExploreConfigError("exploration needs at least 2 sites")
+        if self.budget < 1:
+            raise ExploreConfigError("budget must be >= 1")
+        if self.depth < 1:
+            raise ExploreConfigError("depth must be >= 1")
+        if self.max_branch < 2:
+            raise ExploreConfigError("max_branch must be >= 2")
+        if self.crash_budget < 0:
+            raise ExploreConfigError("crash_budget must be >= 0")
+        if self.mode not in MODES:
+            raise ExploreConfigError(
+                f"unknown mode {self.mode!r}; choose from {MODES}"
+            )
+        if self.shards < 1:
+            raise ExploreConfigError("shards must be >= 1")
+
+    def to_json(self) -> dict[str, Any]:
+        """Plain-JSON representation (stable keys)."""
+        return {
+            "protocol": self.protocol,
+            "n_sites": self.n_sites,
+            "seed": self.seed,
+            "budget": self.budget,
+            "depth": self.depth,
+            "max_branch": self.max_branch,
+            "crash_budget": self.crash_budget,
+            "partitions": self.partitions,
+            "mutant": self.mutant,
+            "termination_mode": self.termination_mode,
+            "max_time": self.max_time,
+            "mode": self.mode,
+            "shards": self.shards,
+        }
+
+    @classmethod
+    def from_json(cls, record: dict[str, Any]) -> "ExploreConfig":
+        """Inverse of :meth:`to_json`; unknown keys are rejected."""
+        fields = {field.name for field in dataclasses.fields(cls)}
+        unknown = set(record) - fields
+        if unknown:
+            raise ExploreConfigError(
+                f"unknown explore config keys: {sorted(unknown)}"
+            )
+        return cls(**record)
+
+
+def schedule_hash(config: ExploreConfig, prefix: Prefix) -> str:
+    """Content hash naming one schedule (config + forced choices).
+
+    The hash covers only run-identity fields — exploration bookkeeping
+    (budget, shards, mode) does not change what a single schedule
+    executes, so it is excluded; two artifacts that replay identically
+    hash identically.
+    """
+    identity = {
+        "protocol": config.protocol,
+        "n_sites": config.n_sites,
+        "seed": config.seed,
+        "depth": config.depth,
+        "max_branch": config.max_branch,
+        "crash_budget": config.crash_budget,
+        "partitions": config.partitions,
+        "mutant": config.mutant,
+        "termination_mode": config.termination_mode,
+        "max_time": config.max_time,
+        "choices": [choice.to_json() for choice in prefix],
+    }
+    material = json.dumps(identity, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(material.encode()).hexdigest()[:12]
+
+
+@dataclasses.dataclass(frozen=True)
+class ReplayArtifact:
+    """A serialized counterexample (or witness) schedule.
+
+    Attributes:
+        config: The exploration config the schedule runs under.
+        schedule: The forced choice prefix.
+        expect_verdict: ``"violation"`` or ``"clean"`` — what replaying
+            this schedule should produce *today*.  A fixed bug flips a
+            corpus entry to ``"clean"``; a documented model limitation
+            (3PC under partition) stays ``"violation"``.
+        expect_kinds: Violation kinds the replay must reproduce
+            (subset check; empty for ``"clean"`` artifacts).
+        expect_blocked: When not ``None``, assert that the replayed run
+            did (``True``) / did not (``False``) leave operational
+            sites blocked — how 2PC's expected blocking is pinned
+            without calling it a violation.
+        note: Free-text provenance (what bug, which session, why kept).
+    """
+
+    config: ExploreConfig
+    schedule: Prefix
+    expect_verdict: str = "violation"
+    expect_kinds: tuple[str, ...] = ()
+    expect_blocked: Optional[bool] = None
+    note: str = ""
+
+    def __post_init__(self) -> None:
+        if self.expect_verdict not in ("violation", "clean"):
+            raise ExploreConfigError(
+                f"expect_verdict must be 'violation' or 'clean', "
+                f"got {self.expect_verdict!r}"
+            )
+
+    @property
+    def hash(self) -> str:
+        """The schedule's content hash (artifact file naming)."""
+        return schedule_hash(self.config, self.schedule)
+
+    def to_json(self) -> str:
+        """Serialize as deterministic, human-diffable JSON."""
+        record = {
+            "schema": REPLAY_SCHEMA,
+            "kind": REPLAY_KIND,
+            "hash": self.hash,
+            "config": self.config.to_json(),
+            "schedule": [choice.to_json() for choice in self.schedule],
+            "expect": {
+                "verdict": self.expect_verdict,
+                "kinds": list(self.expect_kinds),
+                "blocked": self.expect_blocked,
+            },
+            "note": self.note,
+        }
+        return json.dumps(record, indent=2, sort_keys=True) + "\n"
+
+    @classmethod
+    def from_json(cls, text: str) -> "ReplayArtifact":
+        """Parse and validate an artifact written by :meth:`to_json`."""
+        record = json.loads(text)
+        if record.get("kind") != REPLAY_KIND:
+            raise ExploreConfigError(
+                f"not a replay artifact (kind={record.get('kind')!r})"
+            )
+        if record.get("schema") != REPLAY_SCHEMA:
+            raise ExploreConfigError(
+                f"unsupported replay schema {record.get('schema')!r} "
+                f"(this build reads schema {REPLAY_SCHEMA})"
+            )
+        expect = record.get("expect", {})
+        artifact = cls(
+            config=ExploreConfig.from_json(record["config"]),
+            schedule=normalize_prefix(record.get("schedule", ())),
+            expect_verdict=expect.get("verdict", "violation"),
+            expect_kinds=tuple(expect.get("kinds", ())),
+            expect_blocked=expect.get("blocked"),
+            note=str(record.get("note", "")),
+        )
+        recorded_hash = record.get("hash")
+        if recorded_hash is not None and recorded_hash != artifact.hash:
+            raise ExploreConfigError(
+                f"artifact hash mismatch: file says {recorded_hash}, "
+                f"content hashes to {artifact.hash} (hand-edited?)"
+            )
+        return artifact
+
+    def save(self, path: str) -> None:
+        """Write the artifact to ``path``."""
+        with open(path, "w") as handle:
+            handle.write(self.to_json())
+
+    @classmethod
+    def load(cls, path: str) -> "ReplayArtifact":
+        """Read an artifact previously written by :meth:`save`."""
+        with open(path) as handle:
+            return cls.from_json(handle.read())

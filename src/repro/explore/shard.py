@@ -1,0 +1,214 @@
+"""Sharding exploration across the parallel sweep runner.
+
+One exploration is split into ``config.shards`` *logical* shards —
+fixed by the config, never by the worker count — and each shard becomes
+one :class:`~repro.parallel.tasks.SweepTask` under the reserved
+pseudo-experiment id :data:`EXPLORE_EXPERIMENT_ID`.  The sweep worker
+(:func:`repro.parallel.worker.build_payload`) dispatches that id here,
+so exploration inherits the runner's whole determinism story: canonical
+JSON payloads, task-key-ordered merging, spawn-isolated workers, and
+the artifact cache.
+
+Because shard membership and per-shard budgets depend only on the
+config, ``--workers 1`` and ``--workers 8`` execute the same schedule
+sets and merge to byte-identical reports.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Sequence
+
+from repro.errors import ExploreConfigError
+from repro.explore.explorer import Explorer, ViolationRecord
+from repro.explore.schedule import ExploreConfig, ReplayArtifact
+from repro.parallel.tasks import PAYLOAD_SCHEMA, SweepTask
+
+#: Reserved experiment id routing sweep tasks to the explorer.
+EXPLORE_EXPERIMENT_ID = "EXPLORE"
+
+
+def plan_tasks(config: ExploreConfig) -> list[SweepTask]:
+    """One sweep task per logical shard of ``config``.
+
+    The explore config is flattened into the task config (all scalar
+    values, so task freezing/thawing round-trips exactly) plus the
+    shard index.
+    """
+    return [
+        SweepTask.make(
+            EXPLORE_EXPERIMENT_ID,
+            seed=config.seed,
+            config={**config.to_json(), "shard": shard},
+        )
+        for shard in range(config.shards)
+    ]
+
+
+def violation_artifact(
+    config: ExploreConfig, record: ViolationRecord
+) -> ReplayArtifact:
+    """Package one shrunk violation as a replayable artifact."""
+    return ReplayArtifact(
+        config=config,
+        schedule=record.shrunk,
+        expect_verdict="violation",
+        expect_kinds=record.signature,
+        note="found by repro explore; " + "; ".join(record.details),
+    )
+
+
+def build_explore_payload(task: SweepTask) -> dict[str, Any]:
+    """Worker entry point: execute one shard, return its payload.
+
+    The payload mirrors the experiment-payload contract the merge step
+    expects (``render``, ``data``, ``registry``, ``traces``, ...) and
+    is JSON-normalized so fresh results equal cache-reloaded ones.
+    """
+    if task.experiment_id != EXPLORE_EXPERIMENT_ID:
+        raise ExploreConfigError(
+            f"not an explore task: {task.experiment_id!r}"
+        )
+    config_map = dict(task.config_jsonable())
+    shard = config_map.pop("shard", None)
+    if shard is None:
+        raise ExploreConfigError("explore task config lacks a shard index")
+    config = ExploreConfig.from_json(config_map)
+    explorer = Explorer(config)
+    result = explorer.explore_shard(int(shard))
+
+    violations = []
+    for record in result.violations:
+        artifact = violation_artifact(config, record)
+        violations.append(
+            {
+                "signature": list(record.signature),
+                "count": record.count,
+                "first_hash": record.first.hash,
+                "first_choices": [
+                    choice.to_json() for choice in record.first.canonical
+                ],
+                "shrunk_hash": record.shrunk_hash,
+                "shrunk": [choice.to_json() for choice in record.shrunk],
+                "details": list(record.details),
+                "artifact": artifact.to_json(),
+            }
+        )
+    data = {
+        "config": config.to_json(),
+        "shard": result.shard,
+        "schedules": result.schedules,
+        "shrink_runs": result.shrink_runs,
+        "violations": violations,
+    }
+    payload = {
+        "schema": PAYLOAD_SCHEMA,
+        "experiment_id": EXPLORE_EXPERIMENT_ID,
+        "seed": task.seed,
+        "config": task.config_jsonable(),
+        "title": f"schedule exploration shard {result.shard}/{config.shards}",
+        "render": _render_shard(data),
+        "data": data,
+        "notes": [],
+        "registry": None,
+        "traces": [],
+    }
+    return json.loads(json.dumps(payload, sort_keys=True))
+
+
+def _render_shard(data: dict[str, Any]) -> str:
+    lines = [
+        f"shard {data['shard']}: {data['schedules']} schedules, "
+        f"{len(data['violations'])} violation signature(s), "
+        f"{data['shrink_runs']} shrink probes"
+    ]
+    for violation in data["violations"]:
+        lines.append(
+            f"  {'+'.join(violation['signature'])}: x{violation['count']}, "
+            f"shrunk to {len(violation['shrunk'])} choice(s) "
+            f"[{violation['shrunk_hash']}]"
+        )
+    return "\n".join(lines)
+
+
+def merge_explore_payloads(
+    payloads: Sequence[dict[str, Any]],
+) -> dict[str, Any]:
+    """Fold per-shard payloads into the combined exploration document.
+
+    Pure and order-insensitive: shards are sorted by index, violation
+    signatures deduplicated across shards (counts summed, the lowest
+    shard's shrunk witness kept), so output is identical however the
+    shards were executed.
+    """
+    docs = sorted(
+        (payload["data"] for payload in payloads),
+        key=lambda doc: doc["shard"],
+    )
+    if not docs:
+        raise ExploreConfigError("no explore payloads to merge")
+    config = docs[0]["config"]
+    merged: dict[tuple[str, ...], dict[str, Any]] = {}
+    for doc in docs:
+        if doc["config"] != config:
+            raise ExploreConfigError(
+                "explore payloads from different configs cannot merge"
+            )
+        for violation in doc["violations"]:
+            key = tuple(violation["signature"])
+            kept = merged.get(key)
+            if kept is None:
+                merged[key] = dict(violation)
+            else:
+                kept["count"] += violation["count"]
+    violations = [merged[key] for key in sorted(merged)]
+    return {
+        "config": config,
+        "schedules": sum(doc["schedules"] for doc in docs),
+        "shrink_runs": sum(doc["shrink_runs"] for doc in docs),
+        "shards": [
+            {
+                "shard": doc["shard"],
+                "schedules": doc["schedules"],
+                "violations": len(doc["violations"]),
+            }
+            for doc in docs
+        ],
+        "violations": violations,
+        "verdict": "violation" if violations else "clean",
+    }
+
+
+def render_explore_report(combined: dict[str, Any]) -> str:
+    """Canonical human-readable report for a merged exploration."""
+    config = combined["config"]
+    lines = [
+        "=== schedule exploration ===",
+        f"protocol={config['protocol']} sites={config['n_sites']} "
+        f"seed={config['seed']} mode={config['mode']} "
+        f"budget={config['budget']} depth={config['depth']} "
+        f"branch={config['max_branch']} crashes={config['crash_budget']} "
+        f"partitions={config['partitions']} "
+        f"mutant={config['mutant'] or '-'}",
+        f"schedules executed: {combined['schedules']} "
+        f"across {len(combined['shards'])} shard(s) "
+        f"(+{combined['shrink_runs']} shrink probes)",
+        f"verdict: {combined['verdict'].upper()}",
+    ]
+    for violation in combined["violations"]:
+        lines.append("")
+        lines.append(
+            f"violation {'+'.join(violation['signature'])} "
+            f"(seen x{violation['count']})"
+        )
+        lines.append(
+            f"  shrunk schedule [{violation['shrunk_hash']}]: "
+            f"{len(violation['shrunk'])} choice(s)"
+        )
+        for choice in violation["shrunk"]:
+            lines.append(
+                f"    {choice['point']}={choice['index']}/{choice['arity']}"
+            )
+        for detail in violation["details"]:
+            lines.append(f"  {detail}")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,147 @@
+"""Delta-debugging shrinker for violating schedules.
+
+Given a canonical choice prefix that provokes an invariant violation,
+:func:`shrink` searches for a smaller prefix provoking the *same*
+violation signature, using only a probe callback that re-executes a
+candidate and reports whether it is still interesting.
+
+Three deterministic passes, iterated to a fixpoint:
+
+1. **truncate** — try every shorter prefix, shortest first.  Dropping a
+   tail removes whole subtrees of forced decisions at once.
+2. **default-out** — set each non-default choice back to its default
+   (index 0), left to right, and re-strip trailing defaults.
+3. **lower** — reduce each remaining non-default index toward 0 (a
+   lower sibling is an earlier, "simpler" alternative).
+
+Every accepted candidate must strictly decrease the measure
+``(non-default count, length, choice tuple)``, so the loop terminates;
+because the passes and the probe are deterministic, so is the result,
+and a fixpoint admits no further improvement — ``shrink(shrink(s)) ==
+shrink(s)`` (given the probe budget is not exhausted mid-search).
+
+The probe returns the *re-canonicalized* trail of the candidate run
+(or ``None`` if the violation vanished): the controller is tolerant —
+a forced choice whose point has drifted is clamped — so adopting what
+actually executed keeps the prefix honest.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Iterable, Optional
+
+from repro.explore.choices import Choice, Prefix, strip_defaults
+
+#: Re-execute a candidate prefix.  Returns the re-canonicalized trail
+#: when the candidate still reproduces the target violation signature,
+#: ``None`` otherwise.
+ProbeFn = Callable[[Prefix], Optional[Prefix]]
+
+#: Default cap on probe executions for one shrink.
+DEFAULT_MAX_PROBES = 400
+
+
+@dataclasses.dataclass(frozen=True)
+class ShrinkResult:
+    """Outcome of one shrink.
+
+    Attributes:
+        prefix: The minimized canonical prefix.
+        probes: Probe executions spent.
+        exhausted: True when the probe budget ran out mid-search (the
+            result is still valid, just possibly not minimal).
+    """
+
+    prefix: Prefix
+    probes: int
+    exhausted: bool = False
+
+
+def _measure(prefix: Prefix) -> tuple:
+    return (
+        sum(1 for choice in prefix if not choice.is_default),
+        len(prefix),
+        tuple((c.point, c.index, c.arity) for c in prefix),
+    )
+
+
+def shrink(
+    initial: Iterable[Choice],
+    probe: ProbeFn,
+    max_probes: int = DEFAULT_MAX_PROBES,
+) -> ShrinkResult:
+    """Minimize ``initial`` while the probe stays interesting.
+
+    ``initial`` must itself be interesting — the shrinker never
+    re-checks it, it only ever moves to candidates the probe confirmed.
+    """
+    current = strip_defaults(tuple(initial))
+    spent = 0
+    exhausted = False
+
+    def attempt(candidate: Prefix) -> Optional[Prefix]:
+        """Probe one candidate; adopt only strict improvements."""
+        nonlocal spent, exhausted
+        if spent >= max_probes:
+            exhausted = True
+            return None
+        spent += 1
+        result = probe(candidate)
+        if result is None:
+            return None
+        result = strip_defaults(result)
+        if _measure(result) < _measure(current):
+            return result
+        return None
+
+    changed = True
+    while changed and not exhausted:
+        changed = False
+
+        # Pass 1: truncation, shortest surviving prefix first.
+        for cut in range(len(current)):
+            adopted = attempt(strip_defaults(current[:cut]))
+            if adopted is not None:
+                current = adopted
+                changed = True
+                break
+        if changed or exhausted:
+            continue
+
+        # Pass 2: default-out single non-default choices, left to right.
+        for position, choice in enumerate(current):
+            if choice.is_default:
+                continue
+            candidate = (
+                current[:position]
+                + (Choice(choice.point, 0, choice.arity),)
+                + current[position + 1 :]
+            )
+            adopted = attempt(strip_defaults(candidate))
+            if adopted is not None:
+                current = adopted
+                changed = True
+                break
+        if changed or exhausted:
+            continue
+
+        # Pass 3: lower surviving indices toward 0, smallest first.
+        for position, choice in enumerate(current):
+            if choice.index <= 1:
+                continue  # Defaults were pass 2's job.
+            for lower in range(1, choice.index):
+                candidate = (
+                    current[:position]
+                    + (Choice(choice.point, lower, choice.arity),)
+                    + current[position + 1 :]
+                )
+                adopted = attempt(strip_defaults(candidate))
+                if adopted is not None:
+                    current = adopted
+                    changed = True
+                    break
+            if changed:
+                break
+
+    return ShrinkResult(prefix=current, probes=spent, exhausted=exhausted)

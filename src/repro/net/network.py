@@ -40,6 +40,21 @@ class MessageSink(Protocol):
 FailureListener = Callable[[SiteId], None]
 
 
+class FaultInjector(Protocol):
+    """A fault decision point consulted at every message delivery.
+
+    The schedule explorer (:mod:`repro.explore`) implements this to turn
+    "should a crash or partition happen right here?" into an enumerable
+    choice.  The injector runs *before* the delivery's partition/liveness
+    checks, so a crash it injects drops the very message that triggered
+    it — the tightest crash-at-delivery race expressible in the model.
+    """
+
+    def before_deliver(self, network: "Network", envelope: Envelope) -> None:
+        """Optionally mutate ``network`` (crash/partition) pre-delivery."""
+        ...  # pragma: no cover - protocol definition
+
+
 class Network:
     """Reliable point-to-point network connecting simulated sites.
 
@@ -81,6 +96,9 @@ class Network:
         self.messages_sent = 0
         self.messages_delivered = 0
         self.messages_dropped = 0
+        #: Optional fault decision point, consulted at every delivery
+        #: (see :class:`FaultInjector`).  ``None`` = no injected faults.
+        self.fault_injector: Optional[FaultInjector] = None
 
     # ------------------------------------------------------------------
     # Topology
@@ -155,6 +173,8 @@ class Network:
         return [self.send(src, dst, payload) for dst in dsts]
 
     def _deliver(self, envelope: Envelope) -> None:
+        if self.fault_injector is not None:
+            self.fault_injector.before_deliver(self, envelope)
         if self._partition is not None and not self._same_side(
             envelope.src, envelope.dst
         ):

@@ -32,6 +32,14 @@ def build_payload(task: SweepTask) -> dict[str, Any]:
     report, structured data, metrics-registry snapshot, per-run trace
     JSONL — and nothing nondeterministic (no timings, no host info).
     """
+    if task.experiment_id == "EXPLORE":
+        # Reserved pseudo-experiment: schedule-exploration shards ride
+        # the sweep runner (caching, spawn isolation, ordered merge)
+        # without registering as a report experiment.
+        from repro.explore.shard import build_explore_payload
+
+        return build_explore_payload(task)
+
     from repro.experiments.registry import EXPERIMENTS, run_experiment
 
     config = task.config_dict()

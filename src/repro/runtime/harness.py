@@ -10,7 +10,7 @@ network statistics.  Runs are deterministic in (spec, seed, schedule).
 from __future__ import annotations
 
 import dataclasses
-from typing import Iterable, Optional, TYPE_CHECKING
+from typing import Callable, Iterable, Optional, TYPE_CHECKING
 
 from repro.errors import AtomicityViolationError
 from repro.fsa.messages import EXTERNAL
@@ -164,6 +164,13 @@ class CommitRun:
             :func:`repro.metrics.registry.observe_run`, so sweeps
             accumulate per-protocol counters/histograms without
             per-call boilerplate.
+        instrument: Optional callback invoked with ``(sim, network,
+            sites)`` after the run's substrate is assembled but before
+            any event fires.  This is the schedule explorer's entry
+            point for installing its choice-point hooks
+            (:class:`~repro.sim.simulator.Simulator` chooser,
+            :class:`~repro.net.network.Network` fault injector); tests
+            can use it to observe or perturb a run without subclassing.
     """
 
     def __init__(
@@ -185,6 +192,9 @@ class CommitRun:
         max_time: SimTime = 1000.0,
         trace: Optional[TraceLog] = None,
         registry: Optional["MetricsRegistry"] = None,
+        instrument: Optional[
+            Callable[[Simulator, Network, dict[SiteId, CommitSite]], None]
+        ] = None,
     ) -> None:
         self.spec = spec
         self.seed = seed
@@ -212,6 +222,7 @@ class CommitRun:
         self.max_time = max_time
         self.trace = trace
         self.registry = registry
+        self.instrument = instrument
         self._validate_crashes()
 
     def _validate_crashes(self) -> None:
@@ -229,6 +240,16 @@ class CommitRun:
 
     def execute(self) -> RunResult:
         """Run the transaction to quiescence and collect the result."""
+        from repro.sim import lastrun
+
+        lastrun.note(
+            "commit_run",
+            protocol=self.spec.name,
+            n_sites=self.spec.n_sites,
+            seed=self.seed,
+            crashes=len(self.crashes),
+            termination_mode=self.termination_mode,
+        )
         sim = Simulator(seed=self.seed, trace=self.trace)
         network = Network(
             sim, latency=self.latency, detection_delay=self.detection_delay
@@ -262,6 +283,9 @@ class CommitRun:
                 on_outcome=on_outcome,
                 on_blocked=on_blocked,
             )
+
+        if self.instrument is not None:
+            self.instrument(sim, network, sites)
 
         self._schedule_crashes(sim, network, sites)
 

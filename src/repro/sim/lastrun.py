@@ -1,0 +1,54 @@
+"""Best-effort registry of recent simulation identities.
+
+Simulation failures are only reproducible if the failing test's report
+names the inputs that drove the run — the RNG seed and, for explored
+schedules, the schedule hash.  Tests rarely print these themselves, so
+the harness notes every run it starts here, and the pytest hook in
+``tests/conftest.py`` drains the registry into the failure report.
+
+The registry is deliberately tiny and lossy: a bounded deque of plain
+dicts, cleared at the start of each test.  It is observability for
+humans, not program state — nothing in the library reads it back.
+"""
+
+from __future__ import annotations
+
+import collections
+from typing import Any
+
+#: How many recent runs to retain; a single test rarely starts more.
+_CAPACITY = 16
+
+_RECENT: collections.deque[dict[str, Any]] = collections.deque(maxlen=_CAPACITY)
+
+
+def note(kind: str, **fields: Any) -> None:
+    """Record that a simulation-ish thing just started.
+
+    Args:
+        kind: What ran (``"commit_run"``, ``"explore_schedule"``, ...).
+        fields: Whatever identifies the run (seed, protocol, hash...).
+    """
+    _RECENT.append({"kind": kind, **fields})
+
+
+def recent() -> list[dict[str, Any]]:
+    """The retained notes, oldest first."""
+    return list(_RECENT)
+
+
+def clear() -> None:
+    """Forget everything (called by the test harness per test)."""
+    _RECENT.clear()
+
+
+def describe() -> str:
+    """Render the retained notes as one line each (for failure reports)."""
+    lines = []
+    for entry in _RECENT:
+        kind = entry["kind"]
+        rest = " ".join(
+            f"{key}={value}" for key, value in entry.items() if key != "kind"
+        )
+        lines.append(f"{kind}: {rest}")
+    return "\n".join(lines)

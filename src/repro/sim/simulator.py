@@ -12,11 +12,17 @@ from __future__ import annotations
 import heapq
 from typing import Callable, Optional
 
-from repro.errors import ClockError
+from repro.errors import ClockError, SchedulerChoiceError
 from repro.sim.events import Event, EventHandle
 from repro.sim.rng import RandomStreams
 from repro.sim.tracing import TraceLog
 from repro.types import SimTime
+
+#: A schedule chooser: given the non-cancelled events tied at the
+#: earliest virtual time (in scheduling order), return the index of the
+#: one to fire next.  ``None`` (the default) keeps FIFO order among
+#: ties, which is the library's historical deterministic behaviour.
+EventChooser = Callable[[list[Event]], int]
 
 
 class Simulator:
@@ -32,9 +38,19 @@ class Simulator:
         seed: Root seed for all random streams used in the simulation.
         trace: Optional pre-existing trace log to append to; a fresh one
             is created when omitted.
+        chooser: Optional tie-break hook over same-time events — the
+            choice point the schedule explorer drives (see
+            :mod:`repro.explore`).  Events at *different* times always
+            fire in time order; only simultaneity is up for grabs, so a
+            chooser can never violate clock monotonicity.
     """
 
-    def __init__(self, seed: int = 0, trace: Optional[TraceLog] = None) -> None:
+    def __init__(
+        self,
+        seed: int = 0,
+        trace: Optional[TraceLog] = None,
+        chooser: Optional[EventChooser] = None,
+    ) -> None:
         self._now: SimTime = 0.0
         self._heap: list[Event] = []
         self._seq = 0
@@ -44,6 +60,7 @@ class Simulator:
         self._running = False
         self.streams = RandomStreams(seed)
         self.trace = trace if trace is not None else TraceLog()
+        self.chooser = chooser
 
     # ------------------------------------------------------------------
     # Clock
@@ -136,24 +153,66 @@ class Simulator:
     # Execution
     # ------------------------------------------------------------------
 
+    def _skim_cancelled(self) -> None:
+        """Drop cancelled events from the top of the heap (lazy deletion)."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+
+    def _pop_next(self) -> Optional[Event]:
+        """Pop the next event to fire, consulting the chooser on ties.
+
+        Without a chooser this is a plain heap pop (FIFO among
+        same-time events by scheduling sequence).  With one, every
+        non-cancelled event tied at the earliest time is gathered in
+        scheduling order and the chooser picks which fires; the rest
+        are pushed back untouched.
+        """
+        while True:
+            self._skim_cancelled()
+            if not self._heap:
+                return None
+            if self.chooser is None:
+                return heapq.heappop(self._heap)
+            tie_time = self._heap[0].time
+            ready: list[Event] = []
+            while self._heap and self._heap[0].time == tie_time:
+                event = heapq.heappop(self._heap)
+                if not event.cancelled:
+                    ready.append(event)
+            if not ready:
+                continue
+            if len(ready) == 1:
+                return ready[0]
+            index = self.chooser(ready)
+            if not 0 <= index < len(ready):
+                raise SchedulerChoiceError(
+                    f"chooser returned index {index} for {len(ready)} "
+                    "ready events"
+                )
+            chosen = ready.pop(index)
+            for event in ready:
+                heapq.heappush(self._heap, event)
+            return chosen
+
     def step(self) -> bool:
         """Fire the single next non-cancelled event.
 
         Returns:
             ``True`` if an event fired, ``False`` if the queue is empty.
         """
-        while self._heap:
-            event = heapq.heappop(self._heap)
-            if event.cancelled:
-                continue
-            event.fired = True
-            self._pending -= 1
-            self._now = event.time
-            self._last_event_time = event.time
-            self._events_fired += 1
-            event.callback()
-            return True
-        return False
+        event = self._pop_next()
+        if event is None:
+            return False
+        self._fire(event)
+        return True
+
+    def _fire(self, event: Event) -> None:
+        event.fired = True
+        self._pending -= 1
+        self._now = event.time
+        self._last_event_time = event.time
+        self._events_fired += 1
+        event.callback()
 
     def run(
         self,
@@ -176,27 +235,22 @@ class Simulator:
         fired = 0
         self._running = True
         try:
-            while self._heap:
-                event = self._heap[0]
-                if event.cancelled:
-                    heapq.heappop(self._heap)
-                    continue
-                if until is not None and event.time > until:
+            while True:
+                self._skim_cancelled()
+                if not self._heap:
+                    if until is not None and until > self._now:
+                        self._now = until
+                    break
+                if until is not None and self._heap[0].time > until:
                     self._now = until
                     break
                 if max_events is not None and fired >= max_events:
                     break
-                heapq.heappop(self._heap)
-                event.fired = True
-                self._pending -= 1
-                self._now = event.time
-                self._last_event_time = event.time
-                self._events_fired += 1
+                event = self._pop_next()
+                if event is None:  # pragma: no cover - heap emptied above
+                    continue
                 fired += 1
-                event.callback()
-            else:
-                if until is not None and until > self._now:
-                    self._now = until
+                self._fire(event)
         finally:
             self._running = False
         return self._now

@@ -1,8 +1,14 @@
-"""Shared fixtures.
+"""Shared fixtures and failure-reproduction reporting.
 
 Protocol specs, state graphs, and termination rules are expensive to
 rebuild per test, immutable once constructed, and used across many test
 modules — so the common instances are session-scoped.
+
+Any test that executed simulation runs leaves breadcrumbs in
+:mod:`repro.sim.lastrun` (protocol, RNG seed, schedule hash, ...).  When
+such a test fails, the hook below attaches those breadcrumbs to the
+failure report, so a flaking simulation test always prints the exact
+seeds and schedule hashes needed to re-run it deterministically.
 """
 
 from __future__ import annotations
@@ -12,6 +18,31 @@ import pytest
 from repro.analysis.reachability import build_state_graph
 from repro.protocols import catalog
 from repro.runtime.decision import TerminationRule
+from repro.sim import lastrun
+
+
+@pytest.fixture(autouse=True)
+def _fresh_lastrun():
+    """Scope the simulation-run breadcrumbs to one test."""
+    lastrun.clear()
+    yield
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_makereport(item, call):
+    """Attach recent simulation-run parameters to failure reports."""
+    outcome = yield
+    report = outcome.get_result()
+    if report.when == "call" and report.failed:
+        described = lastrun.describe()
+        if described:
+            report.sections.append(
+                (
+                    "simulation runs (most recent last; re-run with these "
+                    "seeds/schedules)",
+                    described,
+                )
+            )
 
 
 @pytest.fixture(scope="session")

@@ -14,6 +14,10 @@ from repro.analysis.nonblocking import check_nonblocking
 from repro.analysis.reachability import build_state_graph
 from repro.protocols import catalog
 
+import pytest
+
+pytestmark = pytest.mark.slow
+
 protocol_names = st.sampled_from(catalog.protocol_names())
 small_n = st.integers(min_value=2, max_value=3)
 

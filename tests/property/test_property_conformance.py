@@ -18,6 +18,10 @@ from repro.runtime.policies import FixedVotes
 from repro.types import SiteId, Vote
 from repro.workload.crashes import CrashAt, CrashDuringTransition
 
+import pytest
+
+pytestmark = pytest.mark.slow
+
 N_SITES = 3
 SITES = [SiteId(i) for i in range(1, N_SITES + 1)]
 SPECS = {name: catalog.build(name, N_SITES) for name in catalog.protocol_names()}

@@ -16,6 +16,10 @@ from repro.db.wal import MISSING, WriteAheadLog
 from repro.errors import DeadlockError
 from repro.types import SiteId, TransactionId
 
+import pytest
+
+pytestmark = pytest.mark.slow
+
 keys = st.sampled_from(["a", "b", "c", "d"])
 values = st.integers(min_value=0, max_value=999)
 

@@ -20,6 +20,10 @@ from repro.protocols.three_phase_decentralized import decentralized_three_phase
 from repro.protocols.two_phase_central import central_two_phase
 from repro.protocols.two_phase_decentralized import decentralized_two_phase
 
+import pytest
+
+pytestmark = pytest.mark.slow
+
 site_counts = st.integers(min_value=2, max_value=4)
 
 SETTINGS = settings(max_examples=12, deadline=None)

@@ -19,6 +19,10 @@ from repro.db.locks import LockManager, LockMode
 from repro.errors import DeadlockError
 from repro.types import TransactionId
 
+import pytest
+
+pytestmark = pytest.mark.slow
+
 TXNS = [TransactionId(i) for i in range(1, 5)]
 KEYS = ["a", "b", "c"]
 MODES = [LockMode.SHARED, LockMode.EXCLUSIVE]

@@ -1,0 +1,81 @@
+"""Replay every regression-corpus schedule and hold it to its verdict.
+
+``tests/corpus/*.json`` are minimized counterexample (and witness)
+schedules promoted from past exploration runs.  Each must re-execute
+*exactly* — the strict controller raises on any divergence between the
+recorded choice points and what the runtime offers — and must still
+produce the verdict, violation kinds, and blocking behavior recorded in
+the artifact.  A behavior change that breaks one of these is either a
+bug or a deliberate semantics change that must update the corpus.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.explore import Explorer, ReplayArtifact, replay
+
+CORPUS_DIR = pathlib.Path(__file__).parent.parent / "corpus"
+CORPUS_FILES = sorted(CORPUS_DIR.glob("*.json"))
+
+#: Explorers are expensive (reachability graph + termination rule);
+#: corpus entries share configs, so share explorers across cases too.
+_EXPLORERS: dict = {}
+
+
+def _explorer_for(artifact: ReplayArtifact) -> Explorer:
+    explorer = _EXPLORERS.get(artifact.config)
+    if explorer is None:
+        explorer = _EXPLORERS[artifact.config] = Explorer(artifact.config)
+    return explorer
+
+
+def test_corpus_is_not_empty():
+    assert len(CORPUS_FILES) >= 4, (
+        "regression corpus missing — expected seeded schedules in "
+        f"{CORPUS_DIR}"
+    )
+
+
+@pytest.mark.parametrize(
+    "path", CORPUS_FILES, ids=[path.stem for path in CORPUS_FILES]
+)
+def test_corpus_entry_replays_exactly(path):
+    artifact = ReplayArtifact.load(str(path))
+    outcome = replay(artifact, explorer=_explorer_for(artifact))
+    assert outcome.ok, (
+        f"{path.name} no longer reproduces its recorded behavior:\n  "
+        + "\n  ".join(outcome.problems)
+        + "\nIf this change is intentional, regenerate the corpus entry "
+        "(see docs/EXPLORATION.md, 'Corpus promotion')."
+    )
+
+
+@pytest.mark.parametrize(
+    "path", CORPUS_FILES, ids=[path.stem for path in CORPUS_FILES]
+)
+def test_corpus_entry_hash_is_consistent(path):
+    # load() verifies the embedded hash; serialization must round-trip.
+    artifact = ReplayArtifact.load(str(path))
+    assert ReplayArtifact.from_json(artifact.to_json()) == artifact
+
+
+def test_corpus_covers_both_verdicts():
+    verdicts = {
+        ReplayArtifact.load(str(path)).expect_verdict
+        for path in CORPUS_FILES
+    }
+    assert verdicts == {"violation", "clean"}
+
+
+def test_corpus_violations_are_minimal():
+    # The ISSUE's acceptance bar: shrunk counterexamples stay small.
+    for path in CORPUS_FILES:
+        artifact = ReplayArtifact.load(str(path))
+        if artifact.expect_verdict == "violation":
+            assert len(artifact.schedule) <= 12, (
+                f"{path.name}: {len(artifact.schedule)} choice points — "
+                "re-shrink before promoting"
+            )

@@ -1,0 +1,240 @@
+"""Explorer behavior: determinism, coverage, mutants, sharding, replay."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ExploreConfigError, ReplayDivergenceError
+from repro.explore import (
+    Choice,
+    ExploreConfig,
+    Explorer,
+    ReplayArtifact,
+    apply_mutant,
+    merge_explore_payloads,
+    mutant_names,
+    plan_tasks,
+    render_explore_report,
+    replay,
+    violation_artifact,
+)
+from repro.explore.shard import build_explore_payload
+from repro.protocols import catalog
+
+
+@pytest.fixture(scope="module")
+def clean_explorer():
+    return Explorer(
+        ExploreConfig(
+            protocol="3pc-central", n_sites=3, seed=7, budget=40, shards=1
+        )
+    )
+
+
+@pytest.fixture(scope="module")
+def mutant_explorer():
+    return Explorer(
+        ExploreConfig(
+            protocol="3pc-central",
+            n_sites=3,
+            seed=7,
+            budget=40,
+            shards=1,
+            mutant="skip-buffer",
+        )
+    )
+
+
+# ----------------------------------------------------------------------
+# Single runs
+# ----------------------------------------------------------------------
+
+
+def test_root_schedule_of_correct_3pc_is_clean(clean_explorer):
+    outcome = clean_explorer.run_one(())
+    assert outcome.violations == ()
+    assert outcome.outcomes == ("commit", "commit", "commit")
+    assert outcome.canonical == ()  # all-defaults trail canonicalizes away
+
+
+def test_run_one_is_deterministic(clean_explorer):
+    first = clean_explorer.run_one(())
+    second = clean_explorer.run_one(())
+    assert first == second
+
+
+def test_prefix_replays_reproduce_the_recorded_trail(clean_explorer):
+    root = clean_explorer.run_one(())
+    # Replaying a run's own full trail is the identity.
+    again = clean_explorer.run_one(root.trail)
+    assert again.trail == root.trail
+    assert again.hash == root.hash
+
+
+def test_expansion_branches_only_beyond_prefix(clean_explorer):
+    root = clean_explorer.run_one(())
+    children = clean_explorer.expand(0, root.trail)
+    assert children, "root trail should offer alternatives"
+    for child in children:
+        assert not child[-1].is_default  # every child ends in a non-default
+    # Children of a child must not re-branch the inherited prefix.
+    child = children[0]
+    grandchildren = clean_explorer.expand(
+        len(child), clean_explorer.run_one(child).trail
+    )
+    for grandchild in grandchildren:
+        assert grandchild[: len(child)] == child
+
+
+# ----------------------------------------------------------------------
+# Exploration: clean protocol, sharding, random mode
+# ----------------------------------------------------------------------
+
+
+def test_clean_3pc_exploration_finds_nothing(clean_explorer):
+    result = clean_explorer.explore_shard(0)
+    assert result.schedules == 40
+    assert result.violations == []
+
+
+def test_shard_union_is_worker_independent():
+    # The same config explored as 2 shards merges to the exact document
+    # the shard tasks produce individually — worker count never appears.
+    config = ExploreConfig(
+        protocol="3pc-central", n_sites=3, seed=7, budget=30, shards=2
+    )
+    tasks = plan_tasks(config)
+    assert len(tasks) == 2
+    payloads_a = [build_explore_payload(task) for task in tasks]
+    payloads_b = [build_explore_payload(task) for task in reversed(tasks)]
+    merged_a = merge_explore_payloads(payloads_a)
+    merged_b = merge_explore_payloads(payloads_b)
+    assert merged_a == merged_b
+    assert merged_a["schedules"] == 30
+    assert render_explore_report(merged_a) == render_explore_report(merged_b)
+
+
+def test_shard_budget_split_is_exact():
+    config = ExploreConfig(
+        protocol="3pc-central", n_sites=3, seed=7, budget=10, shards=4
+    )
+    explorer = Explorer(config)
+    totals = [explorer.explore_shard(shard).schedules for shard in range(4)]
+    assert sum(totals) == 10
+    assert totals[0] >= totals[-1]  # remainder goes to low shards
+
+
+def test_random_mode_is_deterministic():
+    config = ExploreConfig(
+        protocol="3pc-central",
+        n_sites=3,
+        seed=7,
+        budget=12,
+        shards=1,
+        mode="random",
+    )
+    explorer = Explorer(config)
+    first = explorer.explore_shard(0)
+    second = explorer.explore_shard(0)
+    assert first.schedules == second.schedules == 12
+    assert first.violations == second.violations == []
+
+
+def test_shard_index_out_of_range(clean_explorer):
+    with pytest.raises(ValueError):
+        clean_explorer.explore_shard(1)
+
+
+# ----------------------------------------------------------------------
+# Mutants: the explorer must catch a deliberately broken runtime
+# ----------------------------------------------------------------------
+
+
+def test_mutant_registry():
+    assert "skip-buffer" in mutant_names()
+    with pytest.raises(ExploreConfigError):
+        apply_mutant(catalog.build("3pc-central", 3), "nope")
+    with pytest.raises(ExploreConfigError):
+        # 2PC has no buffer state to skip.
+        apply_mutant(catalog.build("2pc-central", 3), "skip-buffer")
+
+
+def test_skip_buffer_mutant_is_caught_and_shrunk(mutant_explorer):
+    result = mutant_explorer.explore_shard(0)
+    assert result.violations, "the seeded bug must be detected"
+    kinds = {kind for rec in result.violations for kind in rec.signature}
+    assert "conformance" in kinds
+    assert "history-noncommittable" in kinds
+    for record in result.violations:
+        # Acceptance bar: minimized counterexamples stay <= 12 choices.
+        assert len(record.shrunk) <= 12
+        # The shrunk schedule must itself reproduce the signature.
+        again = mutant_explorer.run_one(record.shrunk)
+        assert again.signature == record.signature
+
+
+def test_mutant_artifact_replays(mutant_explorer):
+    result = mutant_explorer.explore_shard(0)
+    record = result.violations[0]
+    artifact = violation_artifact(mutant_explorer.config, record)
+    outcome = replay(artifact, explorer=mutant_explorer)
+    assert outcome.ok, outcome.problems
+
+
+# ----------------------------------------------------------------------
+# Replay strictness
+# ----------------------------------------------------------------------
+
+
+def test_replay_detects_wrong_expectations(clean_explorer):
+    artifact = ReplayArtifact(
+        config=clean_explorer.config,
+        schedule=(),
+        expect_verdict="violation",
+        expect_kinds=("atomicity",),
+    )
+    outcome = replay(artifact, explorer=clean_explorer)
+    assert not outcome.ok
+    assert any("verdict" in problem for problem in outcome.problems)
+
+
+def test_replay_raises_on_unreachable_schedule(clean_explorer):
+    # A recorded schedule longer than any real decision sequence means
+    # the runtime changed under the artifact: divergence, not mismatch.
+    root = clean_explorer.run_one(())
+    fabricated = tuple(root.trail) + tuple(
+        Choice("order", 1, 2) for _ in range(60)
+    )
+    artifact = ReplayArtifact(
+        config=clean_explorer.config,
+        schedule=fabricated[: clean_explorer.config.depth + 20],
+        expect_verdict="clean",
+    )
+    with pytest.raises(ReplayDivergenceError):
+        replay(artifact, explorer=clean_explorer)
+
+
+def test_replay_rejects_mismatched_explorer(clean_explorer):
+    artifact = ReplayArtifact(
+        config=ExploreConfig(protocol="2pc-central", n_sites=3),
+        schedule=(),
+        expect_verdict="clean",
+    )
+    with pytest.raises(ValueError):
+        replay(artifact, explorer=clean_explorer)
+
+
+# ----------------------------------------------------------------------
+# 2PC gating: blocking is expected, not a violation
+# ----------------------------------------------------------------------
+
+
+def test_2pc_blocking_is_not_flagged():
+    explorer = Explorer(
+        ExploreConfig(
+            protocol="2pc-central", n_sites=3, seed=7, budget=40, shards=1
+        )
+    )
+    assert explorer.policy.nonblocking is False
+    result = explorer.explore_shard(0)
+    assert result.violations == []

@@ -1,0 +1,200 @@
+"""Schedule identity, choice model, and replay-artifact format."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ExploreConfigError, ReplayDivergenceError
+from repro.explore import (
+    Choice,
+    ChoiceController,
+    ExploreConfig,
+    ReplayArtifact,
+    schedule_hash,
+    strip_defaults,
+)
+
+
+# ----------------------------------------------------------------------
+# Choice / prefix canonicalization
+# ----------------------------------------------------------------------
+
+
+def test_choice_validates_index_and_arity():
+    Choice("order", 0, 1)
+    Choice("order", 2, 3)
+    with pytest.raises(ExploreConfigError):
+        Choice("order", 3, 3)
+    with pytest.raises(ExploreConfigError):
+        Choice("order", -1, 3)
+    with pytest.raises(ExploreConfigError):
+        Choice("order", 0, 0)
+
+
+def test_choice_json_round_trip():
+    choice = Choice("crash:2", 1, 2)
+    assert Choice.from_json(choice.to_json()) == choice
+
+
+def test_strip_defaults_drops_only_trailing():
+    c0 = Choice("order", 0, 3)
+    c1 = Choice("order", 1, 3)
+    assert strip_defaults(()) == ()
+    assert strip_defaults((c0, c0)) == ()
+    assert strip_defaults((c0, c1, c0, c0)) == (c0, c1)
+    assert strip_defaults((c1,)) == (c1,)
+
+
+def test_controller_defaults_and_trail():
+    controller = ChoiceController()
+    assert controller.choose("order", 3) == 0
+    assert controller.choose("crash:1", 2) == 0
+    assert [c.describe() for c in controller.trail] == [
+        "order=0/3",
+        "crash:1=0/2",
+    ]
+
+
+def test_controller_forces_prefix_then_defaults():
+    prefix = (Choice("order", 2, 3), Choice("crash:1", 1, 2))
+    controller = ChoiceController(prefix=prefix)
+    assert controller.choose("order", 3) == 2
+    assert controller.choose("crash:1", 2) == 1
+    assert controller.choose("order", 3) == 0  # beyond prefix: default
+    assert controller.finished_prefix()
+
+
+def test_controller_tolerant_clamps_divergent_prefix():
+    # Recorded index 2 of arity 3, but live arity is only 2.
+    controller = ChoiceController(prefix=(Choice("order", 2, 3),))
+    assert controller.choose("order", 2) == 0  # 2 % 2
+    assert controller.trail[0] == Choice("order", 0, 2)
+
+
+@pytest.mark.parametrize(
+    "point,arity",
+    [("crash:1", 3), ("order", 2)],
+)
+def test_controller_strict_raises_on_divergence(point, arity):
+    controller = ChoiceController(
+        prefix=(Choice("order", 2, 3),), strict=True
+    )
+    with pytest.raises(ReplayDivergenceError):
+        controller.choose(point, arity)
+
+
+def test_controller_strict_accepts_exact_replay():
+    prefix = (Choice("order", 2, 3), Choice("partition", 0, 4))
+    controller = ChoiceController(prefix=prefix, strict=True)
+    assert controller.choose("order", 3) == 2
+    assert controller.choose("partition", 4) == 0
+
+
+# ----------------------------------------------------------------------
+# ExploreConfig
+# ----------------------------------------------------------------------
+
+
+def test_config_validation():
+    with pytest.raises(ExploreConfigError):
+        ExploreConfig(protocol="3pc-central", n_sites=1)
+    with pytest.raises(ExploreConfigError):
+        ExploreConfig(protocol="3pc-central", n_sites=3, budget=0)
+    with pytest.raises(ExploreConfigError):
+        ExploreConfig(protocol="3pc-central", n_sites=3, mode="bogus")
+    with pytest.raises(ExploreConfigError):
+        ExploreConfig(protocol="3pc-central", n_sites=3, shards=0)
+    with pytest.raises(ExploreConfigError):
+        ExploreConfig(protocol="3pc-central", n_sites=3, max_branch=1)
+
+
+def test_config_json_round_trip_and_unknown_keys():
+    config = ExploreConfig(
+        protocol="3pc-central", n_sites=3, seed=7, mutant="skip-buffer"
+    )
+    assert ExploreConfig.from_json(config.to_json()) == config
+    with pytest.raises(ExploreConfigError):
+        ExploreConfig.from_json({**config.to_json(), "bogus": 1})
+
+
+def test_schedule_hash_ignores_exploration_bookkeeping():
+    base = ExploreConfig(protocol="3pc-central", n_sites=3, seed=7)
+    rebudgeted = ExploreConfig(
+        protocol="3pc-central",
+        n_sites=3,
+        seed=7,
+        budget=999,
+        shards=8,
+        mode="random",
+    )
+    reseeded = ExploreConfig(protocol="3pc-central", n_sites=3, seed=8)
+    prefix = (Choice("order", 1, 2),)
+    assert schedule_hash(base, prefix) == schedule_hash(rebudgeted, prefix)
+    assert schedule_hash(base, prefix) != schedule_hash(reseeded, prefix)
+    assert schedule_hash(base, prefix) != schedule_hash(base, ())
+
+
+# ----------------------------------------------------------------------
+# ReplayArtifact
+# ----------------------------------------------------------------------
+
+
+def _artifact() -> ReplayArtifact:
+    return ReplayArtifact(
+        config=ExploreConfig(protocol="3pc-central", n_sites=3, seed=7),
+        schedule=(Choice("order", 1, 2), Choice("crash:2", 1, 2)),
+        expect_verdict="violation",
+        expect_kinds=("atomicity",),
+        note="test artifact",
+    )
+
+
+def test_artifact_round_trip(tmp_path):
+    artifact = _artifact()
+    path = tmp_path / "artifact.json"
+    artifact.save(str(path))
+    assert ReplayArtifact.load(str(path)) == artifact
+
+
+def test_artifact_serialization_is_deterministic():
+    assert _artifact().to_json() == _artifact().to_json()
+    record = json.loads(_artifact().to_json())
+    assert record["schema"] == 1
+    assert record["kind"] == "repro.explore.replay"
+
+
+def test_artifact_rejects_tampered_schedule():
+    record = json.loads(_artifact().to_json())
+    record["schedule"][0]["index"] = 0  # hash no longer matches
+    with pytest.raises(ExploreConfigError, match="hash mismatch"):
+        ReplayArtifact.from_json(json.dumps(record))
+
+
+def test_artifact_note_is_not_identity():
+    # Provenance notes are editable without invalidating the hash.
+    record = json.loads(_artifact().to_json())
+    record["note"] = "edited after the fact"
+    assert ReplayArtifact.from_json(json.dumps(record)).hash == _artifact().hash
+
+
+def test_artifact_rejects_wrong_kind_and_schema():
+    record = json.loads(_artifact().to_json())
+    record["kind"] = "something-else"
+    with pytest.raises(ExploreConfigError, match="not a replay artifact"):
+        ReplayArtifact.from_json(json.dumps(record))
+    record = json.loads(_artifact().to_json())
+    record["schema"] = 99
+    del record["hash"]
+    with pytest.raises(ExploreConfigError, match="schema"):
+        ReplayArtifact.from_json(json.dumps(record))
+
+
+def test_artifact_rejects_bad_verdict():
+    with pytest.raises(ExploreConfigError):
+        ReplayArtifact(
+            config=ExploreConfig(protocol="3pc-central", n_sites=3),
+            schedule=(),
+            expect_verdict="maybe",
+        )

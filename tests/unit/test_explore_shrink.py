@@ -1,0 +1,103 @@
+"""Shrinker unit tests over synthetic (no-runtime) oracles."""
+
+from __future__ import annotations
+
+from repro.explore import Choice, shrink, strip_defaults
+
+
+def _prefix(*indices, arity=3):
+    return tuple(Choice("order", index, arity) for index in indices)
+
+
+def _subset_oracle(required):
+    """Interesting iff every (position, index) in ``required`` is present.
+
+    Mimics a violation that depends on a few specific decisions while
+    everything else is noise.  The re-canonicalized trail is the
+    candidate itself (the synthetic "runtime" follows the prefix).
+    """
+
+    def probe(candidate):
+        padded = dict(enumerate(candidate))
+        for position, index in required.items():
+            choice = padded.get(position)
+            if choice is None or choice.index != index:
+                return None
+        return candidate
+
+    return probe
+
+
+def test_shrink_removes_noise_positions():
+    # Violation only needs decision 1 = 2; decisions 0, 2, 3 are noise.
+    initial = _prefix(1, 2, 1, 2)
+    result = shrink(initial, _subset_oracle({1: 2}))
+    assert result.prefix == _prefix(0, 2)
+    assert not result.exhausted
+
+
+def test_shrink_keeps_required_combination():
+    required = {0: 1, 3: 2}
+    initial = _prefix(1, 2, 2, 2, 1)
+    result = shrink(initial, _subset_oracle(required))
+    assert result.prefix == _prefix(1, 0, 0, 2)
+
+
+def test_shrink_of_already_minimal_is_identity():
+    minimal = _prefix(0, 2)
+    result = shrink(minimal, _subset_oracle({1: 2}))
+    assert result.prefix == minimal
+
+
+def test_shrink_is_idempotent():
+    initial = _prefix(2, 1, 2, 1, 2)
+    probe = _subset_oracle({0: 2, 2: 2})
+    once = shrink(initial, probe)
+    twice = shrink(once.prefix, probe)
+    assert twice.prefix == once.prefix
+
+
+def test_shrink_is_deterministic():
+    initial = _prefix(2, 2, 2, 2)
+    probe = _subset_oracle({1: 2})
+    assert shrink(initial, probe) == shrink(initial, probe)
+
+
+def test_shrink_lowers_indices_when_any_nondefault_works():
+    # Interesting whenever position 0 is non-default; 1 is "simpler"
+    # than 2, so the lowering pass must land on 1.
+    def probe(candidate):
+        if candidate and candidate[0].index != 0:
+            return candidate
+        return None
+
+    result = shrink(_prefix(2, 1), probe)
+    assert result.prefix == _prefix(1)
+
+
+def test_shrink_respects_probe_budget():
+    calls = 0
+
+    def probe(candidate):
+        nonlocal calls
+        calls += 1
+        return None  # nothing ever shrinks
+
+    initial = _prefix(*([2] * 10))
+    result = shrink(initial, probe, max_probes=5)
+    assert result.prefix == initial
+    assert result.probes == 5
+    assert calls == 5
+    assert result.exhausted
+
+
+def test_shrink_result_is_canonical():
+    # Oracle accepts anything whose position-1 choice is index 1; the
+    # adopted result must never carry trailing defaults.
+    def probe(candidate):
+        if len(candidate) >= 2 and candidate[1].index == 1:
+            return candidate + (Choice("order", 0, 3),)
+        return None
+
+    result = shrink(_prefix(1, 1, 1), probe)
+    assert result.prefix == strip_defaults(result.prefix)
