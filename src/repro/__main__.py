@@ -1,0 +1,12 @@
+"""``python -m repro`` — the same entry point as the ``repro`` script.
+
+The live cluster harness spawns its site processes this way so it
+works from a source checkout without an installed console script.
+"""
+
+import sys
+
+from repro.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -220,11 +220,13 @@ def _cmd_explore(args: argparse.Namespace) -> int:
         f"workers={result.workers}, wall={result.wall_clock_s:.2f}s",
         file=sys.stderr,
     )
-    return 1 if combined["verdict"] == "violation" else 0
+    from repro.errors import EXIT_OK, EXIT_VIOLATION
+
+    return EXIT_VIOLATION if combined["verdict"] == "violation" else EXIT_OK
 
 
 def _cmd_replay(args: argparse.Namespace) -> int:
-    from repro.errors import ReplayDivergenceError
+    from repro.errors import EXIT_OK, EXIT_VIOLATION, ReplayDivergenceError
     from repro.explore import Explorer, ReplayArtifact, replay
 
     explorers: dict = {}
@@ -250,9 +252,143 @@ def _cmd_replay(args: argparse.Namespace) -> int:
             failures += 1
     if failures:
         print(f"{failures}/{len(args.files)} replays failed")
-        return 1
+        return EXIT_VIOLATION
     print(f"{len(args.files)} replay(s) ok")
-    return 0
+    return EXIT_OK
+
+
+# ---------------------------------------------------------------------------
+# Live cluster runtime (serve / cluster / txn)
+# ---------------------------------------------------------------------------
+
+
+def _parse_peers(text: str) -> dict:
+    """Parse ``ID=HOST:PORT,ID=HOST:PORT,...`` into a peer map."""
+    from repro.errors import LiveConfigError
+
+    peers = {}
+    for part in filter(None, text.split(",")):
+        try:
+            peer, _, address = part.partition("=")
+            host, _, port = address.rpartition(":")
+            peers[SiteId(int(peer))] = (host, int(port))
+        except ValueError as error:
+            raise LiveConfigError(
+                f"bad peer spec {part!r} (want ID=HOST:PORT): {error}"
+            ) from error
+    return peers
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.errors import exit_code
+    from repro.live.node import LiveConfig, parse_pause_after
+    from repro.live.server import serve
+
+    try:
+        config = LiveConfig(
+            site=SiteId(args.site),
+            spec_name=args.spec,
+            n_sites=args.n_sites,
+            host=args.host,
+            port=args.port,
+            peers=_parse_peers(args.peers),
+            data_dir=Path(args.data_dir),
+            hb_interval=args.hb_interval,
+            suspect_after=args.suspect_after,
+            requery_interval=args.requery_interval,
+            termination_mode=args.termination,
+            vote=args.vote,
+            pause_after=(
+                parse_pause_after(args.pause_after) if args.pause_after else None
+            ),
+        )
+    except Exception as error:  # noqa: BLE001 - CLI boundary
+        print(f"repro serve: {error}", file=sys.stderr)
+        return exit_code(error)
+    return serve(config)
+
+
+def _cmd_cluster(args: argparse.Namespace) -> int:
+    import json
+    import tempfile
+    from pathlib import Path
+
+    from repro.errors import EXIT_OK, exit_code
+    from repro.live.cluster import (
+        ClusterConfig,
+        ClusterHarness,
+        kill_coordinator_scenario,
+    )
+
+    data_dir = Path(
+        args.data_dir if args.data_dir else tempfile.mkdtemp(prefix="repro-cluster-")
+    )
+    config = ClusterConfig(
+        spec_name=args.spec,
+        n_sites=args.n_sites,
+        data_dir=data_dir,
+        hb_interval=args.hb_interval,
+        suspect_after=args.suspect_after,
+        requery_interval=args.requery_interval,
+        termination_mode=args.termination,
+        decide_timeout=args.timeout,
+        ready_timeout=args.timeout,
+    )
+    try:
+        with ClusterHarness(config) as harness:
+            if args.scenario:
+                result = kill_coordinator_scenario(harness).to_dict()
+            else:
+                harness.start()
+                result = harness.bench(args.bench)
+    except Exception as error:  # noqa: BLE001 - CLI boundary
+        print(f"repro cluster: {type(error).__name__}: {error}", file=sys.stderr)
+        print(f"site logs are under {data_dir}", file=sys.stderr)
+        return exit_code(error)
+    document = json.dumps(result, indent=2, sort_keys=True)
+    print(document)
+    if args.json_out:
+        Path(args.json_out).write_text(document + "\n")
+        print(f"wrote report to {args.json_out}", file=sys.stderr)
+    print(f"site logs are under {data_dir}", file=sys.stderr)
+    return EXIT_OK
+
+
+def _cmd_txn(args: argparse.Namespace) -> int:
+    import asyncio
+    import json
+
+    from repro.errors import EXIT_OK, EXIT_VIOLATION, exit_code
+    from repro.live import client
+
+    try:
+        if args.status:
+            reply = asyncio.run(
+                client.query_status(args.host, args.port, args.txn, timeout=args.timeout)
+            )
+        elif args.shutdown:
+            asyncio.run(client.shutdown_site(args.host, args.port, timeout=args.timeout))
+            print(f"site at {args.host}:{args.port} shutting down")
+            return EXIT_OK
+        else:
+            reply = asyncio.run(
+                client.begin_txn(
+                    args.host,
+                    args.port,
+                    args.txn,
+                    wait=not args.no_wait,
+                    timeout=args.timeout,
+                )
+            )
+    except Exception as error:  # noqa: BLE001 - CLI boundary
+        print(f"repro txn: {type(error).__name__}: {error}", file=sys.stderr)
+        return exit_code(error)
+    print(json.dumps(reply, indent=2, sort_keys=True))
+    if reply.get("t") == "decided" and reply.get("outcome") == "abort":
+        return EXIT_VIOLATION
+    return EXIT_OK
 
 
 def _parse_crash(text: str) -> CrashAt:
@@ -699,6 +835,114 @@ def build_parser() -> argparse.ArgumentParser:
     stats = sub.add_parser("stats", help="summarize a saved JSONL trace")
     stats.add_argument("file", help="trace file written by run --trace-out")
     stats.set_defaults(func=_cmd_stats)
+
+    serve = sub.add_parser(
+        "serve", help="run one live commit site over TCP (spawned by `cluster`)"
+    )
+    serve.add_argument("--site", type=int, required=True)
+    serve.add_argument(
+        "--spec", required=True, choices=catalog.protocol_names()
+    )
+    serve.add_argument("--sites", type=int, required=True, dest="n_sites")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, required=True)
+    serve.add_argument(
+        "--peers",
+        required=True,
+        metavar="ID=HOST:PORT,...",
+        help="addresses of every other site",
+    )
+    serve.add_argument("--data-dir", required=True, dest="data_dir")
+    serve.add_argument(
+        "--hb-interval", type=float, default=0.25, dest="hb_interval"
+    )
+    serve.add_argument(
+        "--suspect-after", type=float, default=1.5, dest="suspect_after"
+    )
+    serve.add_argument(
+        "--requery-interval", type=float, default=1.0, dest="requery_interval"
+    )
+    serve.add_argument(
+        "--termination-mode",
+        choices=TERMINATION_MODES,
+        default="standard",
+        dest="termination",
+    )
+    serve.add_argument("--vote", choices=("yes", "no"), default="yes")
+    serve.add_argument(
+        "--pause-after",
+        metavar="KIND:N",
+        dest="pause_after",
+        help="freeze after the N-th protocol send of KIND (crash injection)",
+    )
+    serve.set_defaults(func=_cmd_serve)
+
+    cluster = sub.add_parser(
+        "cluster", help="spawn a live loopback cluster and drive it"
+    )
+    cluster.add_argument(
+        "--spec", default="3pc-central", choices=catalog.protocol_names()
+    )
+    cluster.add_argument("--sites", type=int, default=3, dest="n_sites")
+    cluster.add_argument(
+        "--data-dir",
+        dest="data_dir",
+        help="where site logs/traces go (default: a fresh temp dir)",
+    )
+    cluster.add_argument(
+        "--scenario",
+        choices=("kill-coordinator",),
+        help="run the kill -9 coordinator scenario instead of a benchmark",
+    )
+    cluster.add_argument(
+        "--bench",
+        type=int,
+        default=20,
+        metavar="N",
+        help="commit N transactions and report throughput/latency",
+    )
+    cluster.add_argument(
+        "--json-out",
+        metavar="FILE",
+        dest="json_out",
+        help="also write the JSON report to FILE",
+    )
+    cluster.add_argument(
+        "--hb-interval", type=float, default=0.1, dest="hb_interval"
+    )
+    cluster.add_argument(
+        "--suspect-after", type=float, default=0.6, dest="suspect_after"
+    )
+    cluster.add_argument(
+        "--requery-interval", type=float, default=0.3, dest="requery_interval"
+    )
+    cluster.add_argument(
+        "--termination-mode",
+        choices=TERMINATION_MODES,
+        default="standard",
+        dest="termination",
+    )
+    cluster.add_argument("--timeout", type=float, default=30.0)
+    cluster.set_defaults(func=_cmd_cluster)
+
+    txn = sub.add_parser("txn", help="talk to a running live site")
+    txn.add_argument("--host", default="127.0.0.1")
+    txn.add_argument("--port", type=int, required=True)
+    txn.add_argument("--txn", type=int, default=1)
+    txn.add_argument(
+        "--status", action="store_true", help="query instead of begin"
+    )
+    txn.add_argument(
+        "--shutdown", action="store_true", help="ask the site to exit"
+    )
+    txn.add_argument(
+        "--no-wait",
+        action="store_true",
+        dest="no_wait",
+        help="do not wait for the gateway's decision",
+    )
+    txn.add_argument("--timeout", type=float, default=30.0)
+    txn.set_defaults(func=_cmd_txn)
     return parser
 
 

@@ -176,6 +176,82 @@ class ReplayDivergenceError(ExploreError):
 
 
 # ---------------------------------------------------------------------------
+# Live cluster runtime (asyncio TCP backend)
+# ---------------------------------------------------------------------------
+
+
+class LiveError(ReproError):
+    """Base class for errors raised by the live TCP runtime."""
+
+
+class LiveConfigError(LiveError):
+    """A live site/cluster was configured inconsistently."""
+
+
+class TransportError(LiveError):
+    """A TCP transport operation failed (framing, connect, peer loss)."""
+
+
+class FrameError(TransportError):
+    """A wire frame was malformed (bad length prefix, invalid JSON,
+    unknown payload type, oversized frame)."""
+
+
+class ClusterError(LiveError):
+    """The cluster harness could not orchestrate its site processes."""
+
+
+class LiveTimeoutError(LiveError):
+    """A live operation did not complete within its wall-clock budget."""
+
+
+# ---------------------------------------------------------------------------
+# Process exit codes
+# ---------------------------------------------------------------------------
+
+#: CLI exit codes, shared by every subcommand that can fail for more
+#: than one reason (``explore``, ``replay``, ``serve``, ``cluster``,
+#: ``txn``).  0/1 match the long-standing convention (1 = the protocol
+#: property under test was violated or could not be demonstrated); the
+#: higher codes distinguish *operational* failures so CI jobs and the
+#: cluster harness can tell "the protocol is wrong" from "the run
+#: infrastructure broke".
+EXIT_OK = 0
+EXIT_VIOLATION = 1
+EXIT_CONFIG = 2
+EXIT_TRANSPORT = 3
+EXIT_TIMEOUT = 4
+
+#: Most-derived-first mapping used by :func:`exit_code`.
+_EXIT_CODE_TABLE: tuple[tuple[type, int], ...] = (
+    (LiveTimeoutError, EXIT_TIMEOUT),
+    (TransportError, EXIT_TRANSPORT),
+    (LiveConfigError, EXIT_CONFIG),
+    (ClusterError, EXIT_TRANSPORT),
+)
+
+
+def exit_code(error: BaseException) -> int:
+    """Map an exception to the CLI exit code for its failure class.
+
+    Atomicity violations map to :data:`EXIT_VIOLATION`; configuration
+    mistakes to :data:`EXIT_CONFIG`; transport/orchestration failures
+    to :data:`EXIT_TRANSPORT`; wall-clock budget overruns to
+    :data:`EXIT_TIMEOUT`.  Any other :class:`ReproError` (and anything
+    else) is a violation-class failure: the run did not demonstrate
+    what it was asked to.
+    """
+    if isinstance(error, AtomicityViolationError):
+        return EXIT_VIOLATION
+    for error_type, code in _EXIT_CODE_TABLE:
+        if isinstance(error, error_type):
+            return code
+    if isinstance(error, (ValueError, KeyError)):
+        return EXIT_CONFIG
+    return EXIT_VIOLATION
+
+
+# ---------------------------------------------------------------------------
 # Database substrate
 # ---------------------------------------------------------------------------
 

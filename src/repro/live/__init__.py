@@ -1,0 +1,50 @@
+"""The live cluster runtime: the same commit FSAs over real TCP.
+
+Everything in :mod:`repro.runtime` — the FSA engine, the termination
+protocol, the recovery protocol — was written against the narrow host
+seam of :mod:`repro.runtime.seam`.  This package supplies the second
+implementation of that seam, replacing the discrete-event simulator
+with a real deployment substrate (see ``docs/LIVE.md``):
+
+* :mod:`~repro.live.wire` — length-prefixed JSON frames and the
+  payload codec for the runtime's message dataclasses;
+* :mod:`~repro.live.clock` — :class:`TimeoutClock`, the wall-clock
+  implementation of the :class:`repro.sim.clock.Clock` seam;
+* :mod:`~repro.live.dtlog` — the durable on-disk DT log (append-only,
+  fsync-on-force, CRC-framed records, torn-tail detection on replay);
+* :mod:`~repro.live.transport` — asyncio TCP mesh with connection
+  retry/backoff and heartbeat-timeout failure suspicion;
+* :mod:`~repro.live.node` — :class:`LiveSite` / :class:`LiveTxn`, one
+  server process hosting many concurrent transactions;
+* :mod:`~repro.live.server` — the ``repro serve`` process entry point;
+* :mod:`~repro.live.client` — the ``repro txn`` driver;
+* :mod:`~repro.live.cluster` — the ``repro cluster`` harness: spawns N
+  site subprocesses, drives transactions, injects real ``kill -9``
+  crashes, and benchmarks protocols against each other.
+
+The protocol logic itself is imported, never reimplemented: a live
+site runs byte-for-byte the code the analysis layer proves nonblocking
+and the schedule explorer adversarially tests.
+"""
+
+from repro.live.clock import TimeoutClock
+from repro.live.cluster import ClusterConfig, ClusterHarness
+from repro.live.dtlog import DurableDTLog, SiteLogStore
+from repro.live.node import LiveConfig, LiveSite
+from repro.live.transport import Transport
+from repro.live.wire import decode_payload, encode_frame, encode_payload, read_frame
+
+__all__ = [
+    "ClusterConfig",
+    "ClusterHarness",
+    "DurableDTLog",
+    "LiveConfig",
+    "LiveSite",
+    "SiteLogStore",
+    "TimeoutClock",
+    "Transport",
+    "decode_payload",
+    "encode_frame",
+    "encode_payload",
+    "read_frame",
+]

@@ -1,0 +1,99 @@
+"""The client side of the live cluster's wire protocol.
+
+A client opens one TCP connection per request to any site (the
+*gateway*), sends one frame, and reads one reply — the same protocol
+``repro txn`` speaks from the command line and the cluster harness
+speaks when orchestrating scenarios:
+
+* ``begin`` — start a transaction at the gateway and (by default) wait
+  for the gateway's own decision;
+* ``status`` — ask one site for its local view of a transaction
+  (state, outcome, blocked flag, boot count);
+* ``shutdown`` — ask a site process to exit gracefully.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Optional
+
+from repro.errors import LiveTimeoutError, TransportError
+from repro.live.wire import encode_frame, read_frame
+
+
+async def request(
+    host: str,
+    port: int,
+    frame: dict[str, Any],
+    timeout: float = 10.0,
+) -> dict[str, Any]:
+    """Send one frame and await one reply on a fresh connection.
+
+    Raises:
+        TransportError: If the site is unreachable or closes early.
+        LiveTimeoutError: If no reply arrives within ``timeout``.
+    """
+    try:
+        reader, writer = await asyncio.open_connection(host, port)
+    except OSError as error:
+        raise TransportError(f"cannot reach site at {host}:{port}: {error}") from error
+    try:
+        writer.write(encode_frame(frame))
+        await writer.drain()
+        try:
+            reply = await asyncio.wait_for(read_frame(reader), timeout)
+        except asyncio.TimeoutError:
+            raise LiveTimeoutError(
+                f"no reply from {host}:{port} within {timeout:g}s "
+                f"(request {frame.get('t')!r})"
+            ) from None
+        if reply is None:
+            raise TransportError(f"{host}:{port} closed the connection early")
+        if reply.get("t") == "error":
+            raise TransportError(f"{host}:{port}: {reply.get('error')}")
+        return reply
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):  # pragma: no cover - teardown race
+            pass
+
+
+async def begin_txn(
+    host: str,
+    port: int,
+    txn_id: int,
+    wait: bool = True,
+    timeout: float = 10.0,
+) -> dict[str, Any]:
+    """Start a transaction at the gateway site.
+
+    With ``wait`` (default) the reply is the gateway's ``decided``
+    frame (outcome, via, elapsed_ms); otherwise an immediate ``ok``.
+    """
+    return await request(
+        host, port, {"t": "begin", "txn": txn_id, "wait": wait}, timeout=timeout
+    )
+
+
+async def query_status(
+    host: str, port: int, txn_id: int, timeout: float = 5.0
+) -> dict[str, Any]:
+    """One site's local view of a transaction."""
+    return await request(host, port, {"t": "status", "txn": txn_id}, timeout=timeout)
+
+
+async def shutdown_site(host: str, port: int, timeout: float = 5.0) -> None:
+    """Ask a site process to exit gracefully."""
+    await request(host, port, {"t": "shutdown"}, timeout=timeout)
+
+
+async def try_status(
+    host: str, port: int, txn_id: int, timeout: float = 2.0
+) -> Optional[dict[str, Any]]:
+    """Like :func:`query_status` but ``None`` when the site is down."""
+    try:
+        return await query_status(host, port, txn_id, timeout=timeout)
+    except (TransportError, LiveTimeoutError):
+        return None

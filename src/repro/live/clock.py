@@ -1,0 +1,101 @@
+"""Wall-clock implementation of the :class:`repro.sim.clock.Clock` seam.
+
+The protocol controllers arm timers in *seconds* without caring whether
+those seconds are virtual or real.  :class:`TimeoutClock` makes them
+real: ``now`` reads ``time.monotonic`` (immune to NTP steps and
+``settimeofday``) and ``call_later`` schedules on the running asyncio
+event loop.  A live site hands this clock to the same termination and
+recovery controllers the simulator drives in virtual time.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from typing import Callable, Optional
+
+from repro.types import SimTime
+
+
+class WallTimer:
+    """A cancellable handle over one ``loop.call_later`` callback.
+
+    Satisfies the :class:`repro.sim.clock.TimerHandle` protocol.
+    ``cancelled`` is true only for timers cancelled before firing, not
+    for timers that already ran — matching the simulator's
+    :class:`~repro.sim.events.EventHandle` semantics.
+    """
+
+    def __init__(self, handle: asyncio.TimerHandle, label: str = "") -> None:
+        self._handle = handle
+        self._cancelled = False
+        self._fired = False
+        self.label = label
+
+    @property
+    def cancelled(self) -> bool:
+        """Whether the callback was cancelled before firing."""
+        return self._cancelled
+
+    @property
+    def fired(self) -> bool:
+        """Whether the callback has already run."""
+        return self._fired
+
+    def cancel(self) -> None:
+        """Prevent the callback from firing (idempotent, no-op if fired)."""
+        if self._fired or self._cancelled:
+            return
+        self._cancelled = True
+        self._handle.cancel()
+
+    def _mark_fired(self) -> None:
+        self._fired = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self._cancelled else ("fired" if self._fired else "armed")
+        return f"WallTimer({self.label!r}, {state})"
+
+
+class TimeoutClock:
+    """The :class:`~repro.sim.clock.Clock` seam over asyncio wall time.
+
+    Times are monotonic seconds relative to the clock's creation, so a
+    freshly started site reads ``now() ≈ 0`` just like a freshly built
+    simulator — keeping trace timestamps comparable across backends.
+
+    The event loop is resolved lazily (at first ``call_later``) rather
+    than at construction, so the clock can be built before the loop
+    runs, e.g. in server bootstrap code.
+    """
+
+    def __init__(self, loop: Optional[asyncio.AbstractEventLoop] = None) -> None:
+        self._loop = loop
+        self._epoch = time.monotonic()
+
+    def _running_loop(self) -> asyncio.AbstractEventLoop:
+        if self._loop is None:
+            self._loop = asyncio.get_running_loop()
+        return self._loop
+
+    def now(self) -> SimTime:
+        """Monotonic seconds since this clock was created."""
+        return time.monotonic() - self._epoch
+
+    def call_later(
+        self, delay: SimTime, callback: Callable[[], None], label: str = ""
+    ) -> WallTimer:
+        """Schedule ``callback`` after ``delay`` wall-clock seconds."""
+        loop = self._running_loop()
+        timer_box: list[WallTimer] = []
+
+        def fire() -> None:
+            timer_box[0]._mark_fired()
+            callback()
+
+        timer = WallTimer(loop.call_later(max(0.0, delay), fire), label=label)
+        timer_box.append(timer)
+        return timer
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"TimeoutClock(now={self.now():.3f})"

@@ -1,0 +1,522 @@
+"""The cluster harness: N real site processes, real crashes, one audit.
+
+:class:`ClusterHarness` is the deployment counterpart of the simulator
+harness: it spawns one ``repro serve`` subprocess per site on loopback,
+waits for the mesh to form, drives transactions through a gateway, and
+injects failures with actual POSIX signals — ``SIGKILL`` is delivered
+to a process that has just flushed a broadcast, not to a model.
+
+Determinism over wall clocks comes from *markers*, not sleeps: a site
+configured with ``pause_after`` freezes at an exact protocol point and
+writes ``site-N.paused``; the harness waits for the marker and only
+then kills.  Readiness works the same way (``site-N.ready`` appears
+once a site has heard from every peer), so no transaction starts while
+the mesh could still misread slow startup as failure.
+
+:func:`kill_coordinator_scenario` packages the paper's headline
+experiment as one callable: run a transaction, ``kill -9`` the
+coordinator mid-broadcast, watch the survivors — 3PC terminates
+(commit), 2PC blocks until the coordinator's restarted incarnation
+resolves it — then audit atomicity across every site's final outcome.
+
+:meth:`ClusterHarness.bench` measures the healthy path: sequential
+transactions through a gateway, client-observed commit latency, and
+the per-site forced-write counts that separate 2PC's two forced
+records from 3PC's three.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import time
+from pathlib import Path
+from typing import Any, Callable, Optional
+
+import repro
+from repro.errors import AtomicityViolationError, ClusterError, LiveTimeoutError
+from repro.live import client
+from repro.types import Outcome, SiteId
+
+
+@dataclasses.dataclass
+class ClusterConfig:
+    """Shape and timing of one live cluster.
+
+    The default timing profile is tuned for loopback test runs: fast
+    heartbeats and short suspicion so kill/recover scenarios finish in
+    seconds.  Production-ish LAN deployments would scale these up
+    together (suspicion must stay a few heartbeats wide).
+    """
+
+    spec_name: str
+    data_dir: Path
+    n_sites: int = 3
+    host: str = "127.0.0.1"
+    hb_interval: float = 0.1
+    suspect_after: float = 0.6
+    requery_interval: float = 0.3
+    termination_mode: str = "standard"
+    ready_timeout: float = 30.0
+    decide_timeout: float = 30.0
+
+    def __post_init__(self) -> None:
+        self.data_dir = Path(self.data_dir)
+        if self.n_sites < 2:
+            raise ClusterError("a live cluster needs at least 2 sites")
+
+
+def _free_ports(host: str, count: int) -> list[int]:
+    """Reserve ``count`` currently-free TCP ports on ``host``."""
+    sockets, ports = [], []
+    try:
+        for _ in range(count):
+            sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            sock.bind((host, 0))
+            sockets.append(sock)
+            ports.append(sock.getsockname()[1])
+    finally:
+        for sock in sockets:
+            sock.close()
+    return ports
+
+
+class ClusterHarness:
+    """Spawn, drive, crash, restart, and audit one live cluster."""
+
+    def __init__(self, config: ClusterConfig) -> None:
+        self.config = config
+        self.config.data_dir.mkdir(parents=True, exist_ok=True)
+        self.ports: dict[SiteId, int] = {
+            SiteId(i): port
+            for i, port in enumerate(
+                _free_ports(config.host, config.n_sites), start=1
+            )
+        }
+        self.processes: dict[SiteId, subprocess.Popen] = {}
+        self._log_files: list[Any] = []
+
+    # ------------------------------------------------------------------
+    # Context manager
+    # ------------------------------------------------------------------
+
+    def __enter__(self) -> "ClusterHarness":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    # Process control
+    # ------------------------------------------------------------------
+
+    def _marker(self, site: SiteId, suffix: str) -> Path:
+        return self.config.data_dir / f"site-{site}.{suffix}"
+
+    def _serve_argv(
+        self, site: SiteId, pause_after: Optional[str], vote: str
+    ) -> list[str]:
+        peers = ",".join(
+            f"{peer}={self.config.host}:{port}"
+            for peer, port in sorted(self.ports.items())
+            if peer != site
+        )
+        argv = [
+            sys.executable,
+            "-m",
+            "repro",
+            "serve",
+            "--site", str(int(site)),
+            "--spec", self.config.spec_name,
+            "--sites", str(self.config.n_sites),
+            "--host", self.config.host,
+            "--port", str(self.ports[site]),
+            "--peers", peers,
+            "--data-dir", str(self.config.data_dir),
+            "--hb-interval", str(self.config.hb_interval),
+            "--suspect-after", str(self.config.suspect_after),
+            "--requery-interval", str(self.config.requery_interval),
+            "--termination-mode", self.config.termination_mode,
+            "--vote", vote,
+        ]
+        if pause_after is not None:
+            argv += ["--pause-after", pause_after]
+        return argv
+
+    def spawn(
+        self,
+        site: SiteId,
+        pause_after: Optional[str] = None,
+        vote: str = "yes",
+    ) -> subprocess.Popen:
+        """Start (or restart) one site process.
+
+        Stale ready/paused markers from a previous incarnation are
+        removed first, so waiting on a marker always observes the new
+        process, not history.
+        """
+        site = SiteId(int(site))
+        if site in self.processes and self.processes[site].poll() is None:
+            raise ClusterError(f"site {site} is already running")
+        for suffix in ("ready", "paused"):
+            self._marker(site, suffix).unlink(missing_ok=True)
+        env = dict(os.environ)
+        src_dir = str(Path(repro.__file__).resolve().parent.parent)
+        env["PYTHONPATH"] = src_dir + os.pathsep + env.get("PYTHONPATH", "")
+        log = open(self.config.data_dir / f"site-{site}.stdio.log", "a")
+        self._log_files.append(log)
+        process = subprocess.Popen(
+            self._serve_argv(site, pause_after, vote),
+            stdout=log,
+            stderr=subprocess.STDOUT,
+            env=env,
+        )
+        self.processes[site] = process
+        return process
+
+    def start(self, pause_after: dict[SiteId, str] | None = None) -> None:
+        """Spawn every site and wait for the full mesh to be ready."""
+        pause_after = pause_after or {}
+        for site in self.ports:
+            self.spawn(site, pause_after=pause_after.get(site))
+        self.wait_all_ready()
+
+    def kill(self, site: SiteId, sig: int = signal.SIGKILL) -> None:
+        """Deliver a real signal to one site process and reap it."""
+        site = SiteId(int(site))
+        process = self.processes.get(site)
+        if process is None or process.poll() is not None:
+            raise ClusterError(f"site {site} is not running")
+        process.send_signal(sig)
+        process.wait(timeout=10)
+
+    def stop(self) -> None:
+        """Tear everything down (idempotent; used by ``__exit__``)."""
+        for process in self.processes.values():
+            if process.poll() is None:
+                process.terminate()
+        deadline = time.monotonic() + 5
+        for process in self.processes.values():
+            remaining = max(0.1, deadline - time.monotonic())
+            try:
+                process.wait(timeout=remaining)
+            except subprocess.TimeoutExpired:  # pragma: no cover - stuck proc
+                process.kill()
+                process.wait(timeout=5)
+        for log in self._log_files:
+            if not log.closed:
+                log.close()
+        self._log_files.clear()
+
+    # ------------------------------------------------------------------
+    # Marker / status waiting
+    # ------------------------------------------------------------------
+
+    def wait_marker(self, path: Path, timeout: float, what: str) -> None:
+        """Poll for a marker file; fail loudly with context."""
+        deadline = time.monotonic() + timeout
+        while not path.exists():
+            if time.monotonic() > deadline:
+                raise LiveTimeoutError(
+                    f"{what}: marker {path.name} did not appear in {timeout:g}s"
+                )
+            self._check_processes()
+            time.sleep(0.02)
+
+    def wait_all_ready(self) -> None:
+        """Wait for every running site's ready marker."""
+        for site in self.processes:
+            if self.processes[site].poll() is None:
+                self.wait_marker(
+                    self._marker(site, "ready"),
+                    self.config.ready_timeout,
+                    f"site {site} ready",
+                )
+
+    def wait_paused(self, site: SiteId, timeout: float = 30.0) -> None:
+        """Wait until a pause-instrumented site has frozen and flushed."""
+        self.wait_marker(
+            self._marker(SiteId(int(site)), "paused"), timeout, f"site {site} paused"
+        )
+
+    def _check_processes(self) -> None:
+        """Fail fast if a site died when it was not supposed to."""
+        for site, process in self.processes.items():
+            code = process.poll()
+            if code not in (None, 0, -signal.SIGKILL, -signal.SIGTERM):
+                raise ClusterError(
+                    f"site {site} exited unexpectedly with code {code} "
+                    f"(see site-{site}.stdio.log)"
+                )
+
+    # ------------------------------------------------------------------
+    # Client operations
+    # ------------------------------------------------------------------
+
+    def begin(
+        self,
+        txn_id: int,
+        gateway: SiteId = SiteId(1),
+        wait: bool = True,
+        timeout: Optional[float] = None,
+    ) -> dict[str, Any]:
+        """Start one transaction through a gateway site."""
+        timeout = timeout if timeout is not None else self.config.decide_timeout
+        return asyncio.run(
+            client.begin_txn(
+                self.config.host,
+                self.ports[SiteId(int(gateway))],
+                txn_id,
+                wait=wait,
+                timeout=timeout,
+            )
+        )
+
+    def status(self, txn_id: int, site: SiteId) -> Optional[dict[str, Any]]:
+        """One site's view of a transaction (``None`` if unreachable)."""
+        return asyncio.run(
+            client.try_status(
+                self.config.host, self.ports[SiteId(int(site))], txn_id
+            )
+        )
+
+    def statuses(self, txn_id: int) -> dict[SiteId, Optional[dict[str, Any]]]:
+        """Every site's view of a transaction."""
+        return {site: self.status(txn_id, site) for site in self.ports}
+
+    def wait_outcomes(
+        self,
+        txn_id: int,
+        predicate: Callable[[dict[SiteId, Optional[dict[str, Any]]]], bool],
+        timeout: float,
+        what: str,
+    ) -> dict[SiteId, Optional[dict[str, Any]]]:
+        """Poll cluster-wide statuses until ``predicate`` holds."""
+        deadline = time.monotonic() + timeout
+        while True:
+            views = self.statuses(txn_id)
+            if predicate(views):
+                return views
+            if time.monotonic() > deadline:
+                summary = {
+                    int(site): (view or {}).get("outcome", "down")
+                    for site, view in views.items()
+                }
+                raise LiveTimeoutError(f"{what}: still {summary} after {timeout:g}s")
+            self._check_processes()
+            time.sleep(0.05)
+
+    def audit_atomicity(self, txn_id: int) -> dict[SiteId, str]:
+        """Assert no site committed while another aborted.
+
+        Raises:
+            AtomicityViolationError: On a split decision — the exact
+                inconsistency commit protocols exist to prevent.
+        """
+        finals: dict[SiteId, str] = {}
+        for site, view in self.statuses(txn_id).items():
+            if view is not None and view["outcome"] in ("commit", "abort"):
+                finals[site] = view["outcome"]
+        if len(set(finals.values())) > 1:
+            raise AtomicityViolationError(
+                f"txn {txn_id} split: "
+                f"{ {int(s): o for s, o in finals.items()} }"
+            )
+        return finals
+
+    # ------------------------------------------------------------------
+    # Benchmark
+    # ------------------------------------------------------------------
+
+    def bench(
+        self, n_txns: int, gateway: SiteId = SiteId(1)
+    ) -> dict[str, Any]:
+        """Drive ``n_txns`` sequential transactions; report the numbers.
+
+        Latency is client-observed (begin → gateway decision), which
+        includes every network hop and forced write on the critical
+        path.  Forced-write counts come from the per-site metrics
+        snapshots, minus one boot record per site.
+        """
+        if n_txns < 1:
+            raise ClusterError(f"need at least 1 benchmark txn, got {n_txns}")
+        latencies: list[float] = []
+        started = time.monotonic()
+        for index in range(n_txns):
+            reply = self.begin(index + 1, gateway=gateway)
+            if reply.get("outcome") != Outcome.COMMIT.value:
+                raise ClusterError(
+                    f"benchmark txn {index + 1} ended {reply.get('outcome')!r}; "
+                    "the healthy path must commit"
+                )
+            latencies.append(float(reply["elapsed_ms"]))
+        elapsed = time.monotonic() - started
+        ordered = sorted(latencies)
+
+        def quantile(q: float) -> float:
+            return ordered[min(len(ordered) - 1, int(q * len(ordered)))]
+
+        forced = frames = 0
+        for site in self.ports:
+            snapshot = self.site_metrics(site)
+            if snapshot is None:
+                continue
+            # Each incarnation forces exactly one boot record on open;
+            # discount it so the number reflects protocol log writes.
+            forced += snapshot["live"]["forced_writes"] - 1
+            for key, value in snapshot.get("counters", {}).items():
+                if key.startswith("proto_frames_sent_total"):
+                    frames += value
+        return {
+            "protocol": self.config.spec_name,
+            "n_sites": self.config.n_sites,
+            "txns": n_txns,
+            "elapsed_s": round(elapsed, 4),
+            "txns_per_sec": round(n_txns / elapsed, 2),
+            "latency_ms": {
+                "mean": round(sum(latencies) / len(latencies), 3),
+                "p50": round(quantile(0.50), 3),
+                "p99": round(quantile(0.99), 3),
+                "max": round(ordered[-1], 3),
+            },
+            "forced_writes": forced,
+            "forced_writes_per_txn": round(forced / n_txns, 2),
+            "proto_frames": frames,
+            "proto_frames_per_txn": round(frames / n_txns, 2),
+        }
+
+    def site_metrics(self, site: SiteId) -> Optional[dict[str, Any]]:
+        """The last metrics snapshot a site published (or ``None``)."""
+        path = self.config.data_dir / f"site-{int(site)}.metrics.json"
+        if not path.exists():
+            return None
+        return json.loads(path.read_text())
+
+
+# ----------------------------------------------------------------------
+# Canned scenario: kill -9 the coordinator mid-broadcast
+# ----------------------------------------------------------------------
+
+#: Which protocol message's broadcast to cut the coordinator down
+#: after.  ``xact`` is the 2PC coordinator's last broadcast before its
+#: decision; ``prepare`` is the 3PC coordinator's phase-2 broadcast —
+#: in both cases the slaves are left waiting on a dead coordinator,
+#: which is exactly the situation the termination protocol exists for.
+PAUSE_POINTS = {
+    "2pc-central": "xact",
+    "3pc-central": "prepare",
+}
+
+
+@dataclasses.dataclass
+class ScenarioResult:
+    """What :func:`kill_coordinator_scenario` observed."""
+
+    protocol: str
+    survivors_blocked: bool
+    survivor_outcomes: dict[int, str]
+    final_outcomes: dict[int, str]
+    coordinator_boot: int
+    survivor_decision_s: float
+    total_s: float
+
+    def to_dict(self) -> dict[str, Any]:
+        return dataclasses.asdict(self)
+
+
+def kill_coordinator_scenario(harness: ClusterHarness, txn_id: int = 1) -> ScenarioResult:
+    """Kill -9 the coordinator after its broadcast; watch the cluster.
+
+    For a nonblocking protocol (3PC) the survivors must *commit* via
+    the termination protocol while the coordinator is dead, and the
+    restarted coordinator must learn the commit through recovery.  For
+    a blocking protocol (2PC) the survivors must report BLOCKED and
+    stay undecided until the coordinator's restarted incarnation
+    resolves the transaction (unilateral abort from an empty log).
+    Either way the scenario ends with an atomicity audit across all
+    three durable outcomes.
+
+    Raises:
+        ClusterError: If the protocol has no registered pause point.
+        AtomicityViolationError: If sites decided inconsistently.
+        LiveTimeoutError: If a phase did not happen in time.
+    """
+    spec_name = harness.config.spec_name
+    if spec_name not in PAUSE_POINTS:
+        raise ClusterError(
+            f"no kill-coordinator pause point for {spec_name!r}; "
+            f"known: {sorted(PAUSE_POINTS)}"
+        )
+    coordinator = SiteId(1)
+    gateway = SiteId(2)
+    survivors = [SiteId(i) for i in range(2, harness.config.n_sites + 1)]
+    pause = f"{PAUSE_POINTS[spec_name]}:{harness.config.n_sites - 1}"
+    started = time.monotonic()
+
+    harness.start(pause_after={coordinator: pause})
+    harness.begin(txn_id, gateway=gateway, wait=False)
+    harness.wait_paused(coordinator)
+    harness.kill(coordinator, signal.SIGKILL)
+
+    def survivors_decided(views: dict[SiteId, Optional[dict[str, Any]]]) -> bool:
+        return all(
+            views[s] is not None and views[s]["outcome"] in ("commit", "abort")
+            for s in survivors
+        )
+
+    def survivors_blocked(views: dict[SiteId, Optional[dict[str, Any]]]) -> bool:
+        return all(
+            views[s] is not None and views[s]["blocked"] for s in survivors
+        )
+
+    nonblocking = spec_name.startswith("3pc")
+    waiter = survivors_decided if nonblocking else survivors_blocked
+    what = (
+        "survivors terminating without the coordinator"
+        if nonblocking
+        else "survivors reporting BLOCKED"
+    )
+    views = harness.wait_outcomes(
+        txn_id, waiter, harness.config.decide_timeout, what
+    )
+    survivor_decision_s = time.monotonic() - started
+    survivor_outcomes = {
+        int(s): views[s]["outcome"] for s in survivors if views[s] is not None
+    }
+    harness.audit_atomicity(txn_id)
+
+    # The crashed coordinator returns and recovery resolves it — and,
+    # for 2PC, resolves the blocked survivors too.
+    harness.spawn(coordinator)
+
+    def everyone_final(views: dict[SiteId, Optional[dict[str, Any]]]) -> bool:
+        return all(
+            view is not None and view["outcome"] in ("commit", "abort")
+            for view in views.values()
+        )
+
+    views = harness.wait_outcomes(
+        txn_id,
+        everyone_final,
+        harness.config.decide_timeout,
+        "restarted coordinator recovering the outcome",
+    )
+    finals = harness.audit_atomicity(txn_id)
+    coordinator_view = views[coordinator]
+    assert coordinator_view is not None
+    return ScenarioResult(
+        protocol=spec_name,
+        survivors_blocked=not nonblocking,
+        survivor_outcomes=survivor_outcomes,
+        final_outcomes={int(site): outcome for site, outcome in finals.items()},
+        coordinator_boot=int(coordinator_view["boot"]),
+        survivor_decision_s=round(survivor_decision_s, 3),
+        total_s=round(time.monotonic() - started, 3),
+    )

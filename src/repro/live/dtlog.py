@@ -1,0 +1,236 @@
+"""The durable on-disk DT log for live sites.
+
+A site's DT log is the *only* state that survives ``kill -9``.  The
+paper's recovery protocol is specified entirely in terms of what the
+log holds at restart (no vote → unilateral abort allowed; yes vote but
+no decision → in doubt, ask the operational sites; decision → re-apply),
+so making the log real makes recovery real.
+
+Layout — one append-only text file per site, one record per line::
+
+    crc32(body):08x SP body JSON NL
+
+The CRC frames each record independently: a record is valid only if the
+line is newline-terminated, the checksum matches, and the body parses.
+``fsync`` runs after every *forced* record — the engine forces the vote
+before transmitting it and the decision before acting on it, exactly
+the write-ahead discipline the paper assumes — so a record either hit
+the platter or the site provably never acted on it.
+
+Torn-tail rule on replay: a malformed **last** line is the in-flight
+write the crash interrupted; it is dropped (the site never acted on it,
+by the forced-write discipline).  A malformed line *followed by valid
+records* cannot be explained by a crash and raises
+:class:`~repro.errors.WALError` — the file is corrupt, not torn.
+
+The store is shared by all transactions at a site; each transaction
+sees its own slice through :class:`DurableDTLog`, a drop-in subclass of
+the in-memory :class:`~repro.runtime.log.DTLog` the engine writes to.
+A ``boot`` record is forced at every open, so a replaying site can tell
+"fresh" from "restarted" — the distinction the recovery protocol's
+unilateral-abort rule turns on.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import zlib
+from pathlib import Path
+from typing import Any, Optional, Union
+
+from repro.errors import WALError
+from repro.runtime.log import DecisionRecord, DTLog, VoteRecord
+from repro.types import Outcome, Vote
+
+
+def _encode_line(body: dict[str, Any]) -> bytes:
+    text = json.dumps(body, separators=(",", ":"), sort_keys=True)
+    crc = zlib.crc32(text.encode("utf-8")) & 0xFFFFFFFF
+    return f"{crc:08x} {text}\n".encode("utf-8")
+
+
+def _decode_line(line: bytes) -> Optional[dict[str, Any]]:
+    """Parse one framed line; ``None`` if torn or corrupt."""
+    if not line.endswith(b"\n"):
+        return None
+    try:
+        text = line[:-1].decode("utf-8")
+    except UnicodeDecodeError:
+        return None
+    if len(text) < 9 or text[8] != " ":
+        return None
+    crc_hex, body_text = text[:8], text[9:]
+    try:
+        expected = int(crc_hex, 16)
+    except ValueError:
+        return None
+    if zlib.crc32(body_text.encode("utf-8")) & 0xFFFFFFFF != expected:
+        return None
+    try:
+        body = json.loads(body_text)
+    except json.JSONDecodeError:
+        return None
+    return body if isinstance(body, dict) else None
+
+
+def read_log_file(path: Union[str, Path]) -> tuple[list[dict[str, Any]], bool]:
+    """Replay one log file; returns ``(records, torn_tail)``.
+
+    Raises:
+        WALError: On mid-log corruption — an invalid record that is not
+            the file's last line.
+    """
+    path = Path(path)
+    if not path.exists():
+        return [], False
+    records: list[dict[str, Any]] = []
+    lines = path.read_bytes().splitlines(keepends=True)
+    for index, line in enumerate(lines):
+        if not line.strip():
+            continue
+        body = _decode_line(line)
+        if body is None:
+            if index == len(lines) - 1:
+                return records, True
+            raise WALError(
+                f"{path}: corrupt record at line {index + 1} "
+                f"(not the tail — cannot be a torn write)"
+            )
+        records.append(body)
+    return records, False
+
+
+def _record_to_body(txn: int, record: Union[VoteRecord, DecisionRecord]) -> dict[str, Any]:
+    if isinstance(record, VoteRecord):
+        return {"r": "vote", "txn": txn, "vote": record.vote.value, "at": record.at}
+    if isinstance(record, DecisionRecord):
+        return {
+            "r": "decision",
+            "txn": txn,
+            "outcome": record.outcome.value,
+            "at": record.at,
+            "via": record.via,
+        }
+    raise WALError(f"unknown log record {record!r}")
+
+
+def _body_to_record(body: dict[str, Any]) -> Union[VoteRecord, DecisionRecord]:
+    kind = body.get("r")
+    try:
+        if kind == "vote":
+            return VoteRecord(vote=Vote(body["vote"]), at=float(body["at"]))
+        if kind == "decision":
+            return DecisionRecord(
+                outcome=Outcome(body["outcome"]),
+                at=float(body["at"]),
+                via=str(body["via"]),
+            )
+    except (KeyError, ValueError) as error:
+        raise WALError(f"malformed {kind!r} record: {error}") from error
+    raise WALError(f"unknown record kind {kind!r}")
+
+
+class SiteLogStore:
+    """One site's durable DT log file, shared across transactions.
+
+    Opening the store replays any existing file (enforcing the
+    torn-tail rule), then forces a ``boot`` record.  ``boot_count > 1``
+    therefore means this process is a *restart* of a site that ran
+    before — the condition under which recovery's unilateral-abort rule
+    applies to transactions the log has no vote for.
+    """
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        self.forced_writes = 0
+        self.torn_tail_dropped = False
+        self._by_txn: dict[int, list[Union[VoteRecord, DecisionRecord]]] = {}
+        self.boot_count = 0
+        bodies, self.torn_tail_dropped = read_log_file(self.path)
+        for body in bodies:
+            if body.get("r") == "boot":
+                self.boot_count += 1
+                continue
+            txn = int(body["txn"])
+            self._by_txn.setdefault(txn, []).append(_body_to_record(body))
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._file = open(self.path, "ab")
+        self.boot_count += 1
+        self._append({"r": "boot", "boot": self.boot_count}, force=True)
+
+    @property
+    def restarted(self) -> bool:
+        """Whether a previous incarnation of this site wrote the file."""
+        return self.boot_count > 1
+
+    def txn_ids(self) -> list[int]:
+        """Transactions with at least one surviving record, sorted."""
+        return sorted(self._by_txn)
+
+    def records_for(self, txn: int) -> list[Union[VoteRecord, DecisionRecord]]:
+        """Surviving records for one transaction, in append order."""
+        return list(self._by_txn.get(txn, ()))
+
+    def append_record(
+        self, txn: int, record: Union[VoteRecord, DecisionRecord], force: bool = True
+    ) -> None:
+        """Append (and by default fsync) one transaction record."""
+        self._append(_record_to_body(txn, record), force=force)
+        self._by_txn.setdefault(txn, []).append(record)
+
+    def _append(self, body: dict[str, Any], force: bool) -> None:
+        if self._file.closed:
+            raise WALError(f"{self.path}: store is closed")
+        self._file.write(_encode_line(body))
+        if force:
+            self._file.flush()
+            os.fsync(self._file.fileno())
+            self.forced_writes += 1
+
+    def close(self) -> None:
+        """Flush and close the underlying file (idempotent)."""
+        if not self._file.closed:
+            self._file.flush()
+            self._file.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SiteLogStore({str(self.path)!r}, boot={self.boot_count}, "
+            f"txns={len(self._by_txn)}, forced={self.forced_writes})"
+        )
+
+
+class DurableDTLog(DTLog):
+    """A per-transaction view of a :class:`SiteLogStore`.
+
+    Drop-in for the in-memory :class:`~repro.runtime.log.DTLog`: the
+    engine and controllers call the same ``write_vote`` /
+    ``write_decision``, and every record that passes the in-memory
+    invariants is also forced to disk before the call returns — the
+    write-ahead ordering the recovery proof depends on.
+
+    Construction replays the store's surviving records for this
+    transaction through the in-memory write path, so a restarted site's
+    log object starts exactly where the crashed incarnation's ended.
+    """
+
+    def __init__(self, store: SiteLogStore, txn: int) -> None:
+        super().__init__()
+        self._store = store
+        self._txn = txn
+        for record in store.records_for(txn):
+            if isinstance(record, VoteRecord):
+                super().write_vote(record.vote, record.at)
+            else:
+                super().write_decision(record.outcome, record.at, via=record.via)
+
+    def write_vote(self, vote: Vote, at: float) -> None:
+        super().write_vote(vote, at)
+        self._store.append_record(self._txn, self.records[-1], force=True)
+
+    def write_decision(self, outcome: Outcome, at: float, via: str) -> None:
+        before = len(self)
+        super().write_decision(outcome, at, via=via)
+        if len(self) > before:  # Same-outcome re-log is a no-op; don't re-force.
+            self._store.append_record(self._txn, self.records[-1], force=True)

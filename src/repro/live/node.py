@@ -1,0 +1,765 @@
+"""One live site process: the FSA runtime over TCP and a durable log.
+
+:class:`LiveSite` is the deployment counterpart of the simulator's
+:class:`~repro.runtime.site.CommitSite`.  The protocol components are
+the *same objects* — :class:`~repro.runtime.engine.Engine`,
+:class:`~repro.runtime.termination.TerminationController`,
+:class:`~repro.runtime.recovery.RecoveryController` — bound to a
+different substrate: asyncio TCP instead of the simulated network, a
+fsynced file instead of the in-memory DT log, and wall-clock timers
+instead of the event queue.  One process hosts many concurrent
+transactions; :class:`LiveTxn` is the per-transaction
+:class:`~repro.runtime.seam.ProtocolHost` the controllers see.
+
+A site is also a **gateway**: a client ``begin`` frame makes it inject
+the spec's external inputs — locally for its own automaton, via
+``external`` frames for other sites' — so both central-site and
+decentralized protocols start the same way.
+
+Restart semantics (the point of the whole exercise): at boot the site
+replays its durable log.  Transactions with surviving records come
+back as *recovered* hosts (``ever_crashed=True``) and immediately run
+the paper's recovery protocol.  A frame for a transaction the log has
+*no* records of, arriving at a restarted site, is handled by the
+unilateral-abort rule — no vote record means the dead incarnation
+provably never voted (votes are force-logged before any send), so
+abort is always safe.
+
+Deterministic crash injection: ``pause_after=("prepare", 2)`` freezes
+the site right after its 2nd ``prepare`` send has been flushed to the
+kernel — incoming frames and timers stop, a ``site-N.paused`` marker
+appears, and the harness delivers the real ``kill -9``.  This pins the
+crash to an exact protocol point (e.g. "coordinator dead after the
+prepare broadcast, before any ack") without any sleep-based guessing.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import json
+import os
+from pathlib import Path
+from typing import Any, Callable, Optional
+
+from repro.errors import LiveConfigError
+from repro.fsa.messages import EXTERNAL, Msg
+from repro.live.clock import TimeoutClock, WallTimer
+from repro.live.dtlog import DurableDTLog, SiteLogStore
+from repro.live.transport import Transport
+from repro.live.wire import decode_payload, encode_frame, encode_payload
+from repro.metrics import WALL_MS_BUCKETS, MetricsRegistry
+from repro.protocols import build
+from repro.runtime.decision import TerminationRule
+from repro.runtime.messages import (
+    OutcomeQuery,
+    OutcomeReply,
+    ProtoMsg,
+    TermAck,
+    TermBlocked,
+    TermDecision,
+    TermMoveTo,
+    TermStateQuery,
+    TermStateReply,
+)
+from repro.runtime.engine import Engine
+from repro.runtime.policies import FixedVotes
+from repro.runtime.recovery import RecoveryController
+from repro.runtime.termination import TerminationController
+from repro.sim.tracing import TraceEntry
+from repro.types import Outcome, SiteId, Vote
+
+
+@dataclasses.dataclass
+class LiveConfig:
+    """Everything one ``repro serve`` process needs to come up.
+
+    Attributes:
+        site: This site's id (1-based, per the paper's numbering).
+        spec_name: Catalog protocol name (e.g. ``"3pc-central"``).
+        n_sites: Participant count the spec is built for.
+        host / port: This site's listening endpoint.
+        peers: Peer id → (host, port) for every other site.
+        data_dir: Directory for the DT log, markers, trace, metrics.
+        hb_interval: Heartbeat period (seconds).
+        suspect_after: Silence threshold before suspecting a peer.
+        requery_interval: Recovery re-query period while in doubt.
+        termination_mode: One of
+            :data:`repro.runtime.termination.TERMINATION_MODES`.
+        vote: This site's vote (``"yes"`` / ``"no"``).
+        pause_after: Optional ``(kind, n)`` — freeze the site right
+            after its n-th protocol send of ``kind`` (crash injection).
+    """
+
+    site: SiteId
+    spec_name: str
+    n_sites: int
+    port: int
+    peers: dict[SiteId, tuple[str, int]]
+    data_dir: Path
+    host: str = "127.0.0.1"
+    hb_interval: float = 0.25
+    suspect_after: float = 1.5
+    requery_interval: float = 1.0
+    termination_mode: str = "standard"
+    vote: str = "yes"
+    pause_after: Optional[tuple[str, int]] = None
+
+    def __post_init__(self) -> None:
+        self.site = SiteId(int(self.site))
+        self.data_dir = Path(self.data_dir)
+        self.peers = {
+            SiteId(int(peer)): (host, int(port))
+            for peer, (host, port) in self.peers.items()
+        }
+        if self.vote not in ("yes", "no"):
+            raise LiveConfigError(f"vote must be 'yes' or 'no', got {self.vote!r}")
+        expected = set(range(1, self.n_sites + 1)) - {int(self.site)}
+        if {int(p) for p in self.peers} != expected:
+            raise LiveConfigError(
+                f"site {self.site} of {self.n_sites} needs peers {sorted(expected)}, "
+                f"got {sorted(int(p) for p in self.peers)}"
+            )
+
+
+def parse_pause_after(text: str) -> tuple[str, int]:
+    """Parse a ``KIND:N`` crash-injection spec (e.g. ``prepare:2``).
+
+    Raises:
+        LiveConfigError: On a malformed spec.
+    """
+    kind, _, count = text.partition(":")
+    if not kind or not count.isdigit() or int(count) < 1:
+        raise LiveConfigError(
+            f"pause-after must be KIND:N with N >= 1, got {text!r}"
+        )
+    return kind, int(count)
+
+
+class _TransportView:
+    """The :class:`~repro.runtime.seam.OperationalView` over a transport."""
+
+    def __init__(self, transport: Transport) -> None:
+        self._transport = transport
+
+    def operational_sites(self) -> list[SiteId]:
+        return self._transport.operational_sites()
+
+
+class LiveTxn:
+    """One transaction's :class:`~repro.runtime.seam.ProtocolHost`.
+
+    Owns the per-transaction engine, durable log view, and controllers;
+    delegates transport, clock, and tracing to the owning site process.
+
+    Args:
+        node: The owning :class:`LiveSite`.
+        txn_id: The transaction id (allocated by the client/harness).
+        crashed: Whether this host represents a transaction the
+            previous incarnation of the site was running when it died
+            (recovered from the durable log or inferred from a peer's
+            query at a restarted site).
+    """
+
+    def __init__(self, node: "LiveSite", txn_id: int, crashed: bool = False) -> None:
+        self.node = node
+        self.txn_id = txn_id
+        self.site = node.config.site
+        self.spec = node.spec
+        self.log = DurableDTLog(node.store, txn_id)
+        self.ever_crashed = crashed
+        self.known_failed: set[SiteId] = set(node.transport.suspected)
+        self.network = node.view
+        self.started_at = node.clock.now()
+        self.blocked = False
+        self.decided: Optional[tuple[Outcome, str]] = None
+        self._timers: dict[str, WallTimer] = {}
+        self.engine = Engine(
+            automaton=self.spec.automaton(self.site),
+            vote_policy=node.vote_policy,
+            log=self.log,
+            send=self._send_model,
+            now=node.clock.now,
+            on_final=self._on_final,
+            on_trace=self.trace,
+        )
+        self.termination = TerminationController(
+            self, node.rule, mode=node.config.termination_mode
+        )
+        self.recovery = RecoveryController(
+            self, requery_interval=node.config.requery_interval
+        )
+
+    # -- ProtocolHost surface -------------------------------------------
+
+    @property
+    def alive(self) -> bool:
+        """The site is operational unless frozen by crash injection."""
+        return not self.node.paused
+
+    def send_payload(self, dst: SiteId, payload: Any) -> None:
+        """Transmit a termination/recovery payload to a peer."""
+        if not self.alive:
+            return
+        self.node.send_payload_frame(self.txn_id, dst, payload)
+
+    def set_timer(
+        self, key: str, delay: float, callback: Callable[[], None]
+    ) -> WallTimer:
+        """Arm (or re-arm) a named wall-clock timer."""
+        self.cancel_timer(key)
+
+        def fire() -> None:
+            if not self.alive:
+                return
+            callback()
+
+        timer = self.node.clock.call_later(delay, fire, label=f"txn{self.txn_id}.{key}")
+        self._timers[key] = timer
+        return timer
+
+    def cancel_timer(self, key: str) -> bool:
+        """Cancel the named timer if armed."""
+        timer = self._timers.pop(key, None)
+        if timer is None or timer.fired or timer.cancelled:
+            return False
+        timer.cancel()
+        return True
+
+    def cancel_all_timers(self) -> None:
+        """Cancel every armed timer (site shutdown)."""
+        for key in list(self._timers):
+            self.cancel_timer(key)
+
+    def now(self) -> float:
+        """Wall-clock seconds since the site process started."""
+        return self.node.clock.now()
+
+    def trace(self, category: str, detail: str, **data: Any) -> None:
+        """Record one trace entry, tagged with the transaction id."""
+        data.setdefault("site", int(self.site))
+        data.setdefault("txn", self.txn_id)
+        self.node.trace(category, detail, **data)
+
+    def operational_participants(self) -> list[SiteId]:
+        """Participants this site believes operational (never-crashed)."""
+        return sorted(
+            site
+            for site in self.spec.sites
+            if site not in self.known_failed and (site != self.site or self.alive)
+        )
+
+    def notify_blocked(self) -> None:
+        """The termination protocol found no safe decision here."""
+        self.blocked = True
+        self.node.on_txn_blocked(self)
+
+    # -- Engine plumbing ------------------------------------------------
+
+    def _send_model(self, msg: Msg) -> None:
+        self.node.send_proto(self.txn_id, msg)
+
+    def _on_final(self, outcome: Outcome, via: str) -> None:
+        self.blocked = False
+        self.decided = (outcome, via)
+        self.node.on_txn_decided(self, outcome, via)
+
+    # -- Delivery (mirrors CommitSite.deliver) --------------------------
+
+    def deliver_payload(self, src: SiteId, payload: Any) -> None:
+        """Dispatch one decoded payload by family.
+
+        The branch structure intentionally mirrors
+        :meth:`repro.runtime.site.CommitSite.deliver` — including the
+        rule that a recovered site drops commit-protocol messages and
+        phase-1 termination orders (it resolves via recovery instead).
+        """
+        if not self.alive:
+            return
+        if isinstance(payload, ProtoMsg):
+            if self.ever_crashed:
+                return
+            self.engine.receive(Msg(payload.kind, src, self.site))
+        elif isinstance(payload, TermMoveTo):
+            if not self.ever_crashed:
+                self.termination.on_move_to(src, payload)
+        elif isinstance(payload, TermAck):
+            self.termination.on_ack(src, payload)
+        elif isinstance(payload, TermDecision):
+            self.termination.on_decision(src, payload)
+        elif isinstance(payload, TermBlocked):
+            self.termination.on_blocked(src, payload)
+        elif isinstance(payload, TermStateQuery):
+            if not self.ever_crashed:
+                self.termination.on_state_query(src, payload)
+        elif isinstance(payload, TermStateReply):
+            self.termination.on_state_reply(src, payload)
+        elif isinstance(payload, OutcomeQuery):
+            self.recovery.on_query(src, payload)
+        elif isinstance(payload, OutcomeReply):
+            self.recovery.on_reply(src, payload)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"LiveTxn(site={self.site}, txn={self.txn_id}, "
+            f"state={self.engine.state!r})"
+        )
+
+
+class LiveSite:
+    """One site process: transport + durable log + per-txn hosts."""
+
+    def __init__(self, config: LiveConfig) -> None:
+        self.config = config
+        self.spec = build(config.spec_name, config.n_sites)
+        self.rule = TerminationRule(self.spec)
+        self.clock = TimeoutClock()
+        self.vote_policy = FixedVotes(
+            {config.site: Vote.YES if config.vote == "yes" else Vote.NO}
+        )
+        config.data_dir.mkdir(parents=True, exist_ok=True)
+        self.store = SiteLogStore(config.data_dir / f"site-{config.site}.dtlog")
+        self.metrics = MetricsRegistry()
+        self.transport = Transport(
+            site=config.site,
+            host=config.host,
+            port=config.port,
+            peers=config.peers,
+            clock=self.clock,
+            on_frame=self._on_peer_frame,
+            on_client=self._on_client,
+            on_suspect=self._on_suspect,
+            on_recover=self._on_recover,
+            hb_interval=config.hb_interval,
+            suspect_after=config.suspect_after,
+            trace=self.trace,
+        )
+        self.view = _TransportView(self.transport)
+        self.txns: dict[int, LiveTxn] = {}
+        self.paused = False
+        self._pause_kind_count = 0
+        self._waiters: dict[int, list[asyncio.Future]] = {}
+        self._trace_file = open(
+            config.data_dir / f"site-{config.site}.trace.jsonl", "a", buffering=1
+        )
+        self._metrics_path = config.data_dir / f"site-{config.site}.metrics.json"
+        self._ready_path = config.data_dir / f"site-{config.site}.ready"
+        self._paused_path = config.data_dir / f"site-{config.site}.paused"
+        self.shutdown = asyncio.Event()
+        self._tasks: list[asyncio.Task] = []
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind the transport, recover logged transactions, arm markers."""
+        await self.transport.start()
+        self.trace(
+            "live.boot",
+            f"site {self.config.site} up (boot {self.store.boot_count}, "
+            f"{self.config.spec_name}, n={self.config.n_sites})",
+            boot=self.store.boot_count,
+            restarted=self.store.restarted,
+        )
+        if self.store.restarted:
+            for txn_id in self.store.txn_ids():
+                txn = self._create_txn(txn_id, crashed=True)
+                txn.trace(
+                    "live.recover",
+                    f"replaying {len(self.store.records_for(txn_id))} "
+                    "durable records and running recovery",
+                )
+                txn.recovery.on_restart()
+        self._tasks.append(asyncio.create_task(self._ready_watch()))
+        self.write_metrics()
+
+    async def run(self) -> None:
+        """Start, then serve until :attr:`shutdown` is set."""
+        await self.start()
+        await self.shutdown.wait()
+        await self.stop()
+
+    async def stop(self) -> None:
+        """Tear down tasks, transport, files (idempotent)."""
+        for task in self._tasks:
+            task.cancel()
+        for task in self._tasks:
+            try:
+                await task
+            except (asyncio.CancelledError, Exception):  # noqa: BLE001
+                pass
+        self._tasks.clear()
+        for txn in self.txns.values():
+            txn.cancel_all_timers()
+        await self.transport.stop()
+        self.write_metrics()
+        self.store.close()
+        if not self._trace_file.closed:
+            self._trace_file.close()
+
+    async def _ready_watch(self) -> None:
+        """Write the ready marker once every peer has been heard from.
+
+        The cluster harness waits for all markers before starting
+        transactions, so a slow-booting site cannot be suspected (and
+        spuriously terminated against) during startup.
+        """
+        while not self.transport.all_peers_seen():
+            await asyncio.sleep(0.02)
+        self._ready_path.write_text(f"{self.store.boot_count}\n")
+        self.trace("live.ready", "all peers seen; ready marker written")
+
+    # ------------------------------------------------------------------
+    # Transaction registry
+    # ------------------------------------------------------------------
+
+    def _create_txn(self, txn_id: int, crashed: bool = False) -> LiveTxn:
+        txn = LiveTxn(self, txn_id, crashed=crashed)
+        self.txns[txn_id] = txn
+        return txn
+
+    def _txn_for_frame(self, txn_id: int, payload: Any) -> Optional[LiveTxn]:
+        """Resolve (or create) the host for an incoming peer frame.
+
+        An unknown transaction at a *restarted* site is the recovery
+        protocol's unilateral-abort case when the frame is a
+        termination/recovery payload: no durable record means the dead
+        incarnation never voted, so the host comes up as recovered and
+        resolves itself (abort, or in-doubt queries) before the frame
+        is delivered.  Commit-protocol traffic for an unknown
+        transaction is a genuinely new transaction — votes are
+        force-logged before any send, so "no record" proves the old
+        incarnation never acted — and joins fresh.
+        """
+        txn = self.txns.get(txn_id)
+        if txn is not None:
+            return txn
+        protocol_traffic = isinstance(payload, (ProtoMsg, type(None)))
+        crashed = self.store.restarted and not protocol_traffic
+        if isinstance(payload, OutcomeReply):
+            return None  # A reply to a query we never sent: drop.
+        txn = self._create_txn(txn_id, crashed=crashed)
+        if crashed:
+            txn.trace(
+                "live.unknown_txn",
+                "restarted site has no record of this transaction; "
+                "applying the unilateral-abort recovery rule",
+            )
+            txn.recovery.on_restart()
+        return txn
+
+    # ------------------------------------------------------------------
+    # Outbound frames
+    # ------------------------------------------------------------------
+
+    def send_proto(self, txn_id: int, msg: Msg) -> None:
+        """Transmit one commit-protocol model message."""
+        if self.paused:
+            self.trace(
+                "live.send_dropped",
+                f"paused; dropping {msg}",
+                txn=txn_id,
+            )
+            return
+        self.metrics.inc(
+            "proto_frames_sent_total",
+            protocol=self.config.spec_name,
+            kind=msg.kind,
+        )
+        if msg.dst == self.config.site:
+            # Decentralized specs have every site send its vote to
+            # itself too; the simulator's network delivers those like
+            # any message, so loop them back here (asynchronously, to
+            # keep delivery outside the engine's current pump).
+            self._loopback(txn_id, ProtoMsg(msg.kind))
+        else:
+            self.transport.send(
+                msg.dst,
+                {
+                    "t": "payload",
+                    "txn": txn_id,
+                    "d": encode_payload(ProtoMsg(msg.kind)),
+                },
+            )
+        self._count_pause_kind(msg.kind)
+
+    def send_payload_frame(self, txn_id: int, dst: SiteId, payload: Any) -> None:
+        """Transmit one termination/recovery payload."""
+        if self.paused:
+            return
+        if dst == self.config.site:
+            self._loopback(txn_id, payload)
+            return
+        self.transport.send(
+            dst, {"t": "payload", "txn": txn_id, "d": encode_payload(payload)}
+        )
+
+    def _loopback(self, txn_id: int, payload: Any) -> None:
+        """Deliver a self-addressed payload on the next loop turn."""
+        asyncio.get_running_loop().call_soon(self._deliver_local, txn_id, payload)
+
+    def _deliver_local(self, txn_id: int, payload: Any) -> None:
+        if self.paused:
+            return
+        txn = self._txn_for_frame(txn_id, payload)
+        if txn is not None:
+            txn.deliver_payload(self.config.site, payload)
+
+    def send_external(self, txn_id: int, msg: Msg) -> None:
+        """Forward an external input to the site that consumes it."""
+        self.transport.send(
+            msg.dst, {"t": "external", "txn": txn_id, "kind": msg.kind}
+        )
+
+    # ------------------------------------------------------------------
+    # Crash injection (pause-then-kill determinism)
+    # ------------------------------------------------------------------
+
+    def _count_pause_kind(self, kind: str) -> None:
+        if self.config.pause_after is None or self.paused:
+            return
+        pause_kind, pause_count = self.config.pause_after
+        if kind != pause_kind:
+            return
+        self._pause_kind_count += 1
+        if self._pause_kind_count < pause_count:
+            return
+        # Freeze *synchronously*: incoming frames and timers stop now,
+        # before any reply to the frames just sent can race back in.
+        self.paused = True
+        self.trace(
+            "live.paused",
+            f"pause-after {pause_kind}:{pause_count} reached; freezing",
+        )
+        self._tasks.append(asyncio.create_task(self._finish_pause()))
+
+    async def _finish_pause(self) -> None:
+        """Flush the frames that triggered the pause, then mark it.
+
+        After the marker exists, everything sent before the pause is in
+        the kernel's buffers — the harness can ``kill -9`` without
+        retracting the broadcast, making the crash point exact.
+        """
+        await self.transport.flush()
+        self._paused_path.write_text("paused\n")
+        self.trace("live.pause_marker", "flushed; paused marker written")
+
+    # ------------------------------------------------------------------
+    # Inbound frames
+    # ------------------------------------------------------------------
+
+    async def _on_peer_frame(self, src: SiteId, frame: dict[str, Any]) -> None:
+        if self.paused:
+            return
+        kind = frame.get("t")
+        if kind == "payload":
+            payload = decode_payload(frame["d"])
+            txn = self._txn_for_frame(int(frame["txn"]), payload)
+            if txn is not None:
+                txn.deliver_payload(src, payload)
+        elif kind == "external":
+            txn = self._txn_for_frame(int(frame["txn"]), None)
+            if txn is not None and not txn.ever_crashed:
+                txn.engine.receive(
+                    Msg(str(frame["kind"]), EXTERNAL, self.config.site)
+                )
+        else:
+            self.trace(
+                "live.bad_frame", f"unknown peer frame type {kind!r}",
+                peer=int(src),
+            )
+
+    # ------------------------------------------------------------------
+    # Failure detector fan-out
+    # ------------------------------------------------------------------
+
+    def _on_suspect(self, peer: SiteId) -> None:
+        for txn in list(self.txns.values()):
+            if peer not in self.spec.automata:
+                continue
+            txn.known_failed.add(peer)
+            txn.trace(
+                "site.peer_failed", f"suspecting site {peer} (heartbeat timeout)"
+            )
+            if not txn.ever_crashed:
+                txn.termination.on_peer_failure(peer)
+
+    def _on_recover(self, peer: SiteId) -> None:
+        for txn in list(self.txns.values()):
+            if peer not in self.spec.automata:
+                continue
+            txn.trace("site.peer_recovered", f"site {peer} is reachable again")
+            txn.recovery.on_peer_recovered(peer)
+
+    # ------------------------------------------------------------------
+    # Gateway + client protocol
+    # ------------------------------------------------------------------
+
+    def begin_txn(self, txn_id: int) -> LiveTxn:
+        """Start one transaction as its gateway.
+
+        Injects the spec's external inputs: the local automaton's
+        directly, every other site's via ``external`` frames — the same
+        fan-out for central-site (one ``request`` to the coordinator)
+        and decentralized (an ``xact`` per site) protocols.
+        """
+        txn = self.txns.get(txn_id)
+        if txn is None:
+            txn = self._create_txn(txn_id)
+        txn.trace("live.begin", f"gateway starting transaction {txn_id}")
+        local = []
+        for msg in sorted(self.spec.initial_messages):
+            if msg.dst == self.config.site:
+                local.append(msg)
+            else:
+                self.send_external(txn_id, msg)
+        for msg in local:
+            if not txn.ever_crashed:
+                txn.engine.receive(msg)
+        return txn
+
+    async def _on_client(
+        self,
+        first: dict[str, Any],
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        """Serve one client connection (one request per connection)."""
+        kind = first.get("t")
+        try:
+            if kind == "begin":
+                await self._client_begin(first, writer)
+            elif kind == "status":
+                self._client_status(first, writer)
+                await writer.drain()
+            elif kind == "shutdown":
+                writer.write(encode_frame({"t": "ok"}))
+                await writer.drain()
+                self.shutdown.set()
+            else:
+                writer.write(
+                    encode_frame({"t": "error", "error": f"unknown request {kind!r}"})
+                )
+                await writer.drain()
+        finally:
+            writer.close()
+
+    async def _client_begin(
+        self, frame: dict[str, Any], writer: asyncio.StreamWriter
+    ) -> None:
+        txn_id = int(frame["txn"])
+        txn = self.begin_txn(txn_id)
+        if not frame.get("wait", True):
+            writer.write(encode_frame({"t": "ok", "txn": txn_id}))
+            await writer.drain()
+            return
+        if txn.decided is None:
+            future: asyncio.Future = asyncio.get_running_loop().create_future()
+            self._waiters.setdefault(txn_id, []).append(future)
+            await future
+        assert txn.decided is not None
+        outcome, via = txn.decided
+        writer.write(
+            encode_frame(
+                {
+                    "t": "decided",
+                    "txn": txn_id,
+                    "outcome": outcome.value,
+                    "via": via,
+                    "elapsed_ms": (self.clock.now() - txn.started_at) * 1000.0,
+                }
+            )
+        )
+        await writer.drain()
+
+    def _client_status(
+        self, frame: dict[str, Any], writer: asyncio.StreamWriter
+    ) -> None:
+        txn_id = int(frame["txn"])
+        txn = self.txns.get(txn_id)
+        reply: dict[str, Any] = {
+            "t": "status-reply",
+            "txn": txn_id,
+            "site": int(self.config.site),
+            "boot": self.store.boot_count,
+            "known": txn is not None,
+        }
+        if txn is None:
+            reply.update(state=None, outcome=Outcome.UNDECIDED.value, blocked=False)
+        else:
+            reply.update(
+                state=txn.engine.state,
+                outcome=txn.engine.outcome.value,
+                blocked=txn.blocked,
+                ever_crashed=txn.ever_crashed,
+                via=txn.decided[1] if txn.decided else None,
+            )
+        writer.write(encode_frame(reply))
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+
+    def trace(self, category: str, detail: str, **data: Any) -> None:
+        """Append one JSONL trace entry (PR 1 format, wall-clock time)."""
+        if self._trace_file.closed:
+            return
+        entry = TraceEntry(
+            time=self.clock.now(),
+            category=category,
+            site=int(data.pop("site", self.config.site)),
+            detail=detail,
+            data=data,
+        )
+        self._trace_file.write(entry.to_json() + "\n")
+
+    def on_txn_decided(self, txn: LiveTxn, outcome: Outcome, via: str) -> None:
+        """Record metrics and release client waiters for one decision."""
+        latency_ms = (self.clock.now() - txn.started_at) * 1000.0
+        self.metrics.inc(
+            "txns_total", protocol=self.config.spec_name, outcome=outcome.value
+        )
+        self.metrics.observe(
+            "commit_latency_ms",
+            latency_ms,
+            buckets=WALL_MS_BUCKETS,
+            protocol=self.config.spec_name,
+            outcome=outcome.value,
+        )
+        self.write_metrics()
+        for future in self._waiters.pop(txn.txn_id, []):
+            if not future.done():
+                future.set_result((outcome, via))
+
+    def on_txn_blocked(self, txn: LiveTxn) -> None:
+        """Count one blocked transaction (2PC's defining failure mode)."""
+        self.metrics.inc("txns_blocked_total", protocol=self.config.spec_name)
+        self.write_metrics()
+
+    def write_metrics(self) -> None:
+        """Atomically publish the metrics snapshot (tmp + rename).
+
+        Written on every decision, not just at exit, so a site that is
+        about to be ``kill -9``-ed still leaves a consistent snapshot.
+        """
+        snapshot = self.metrics.to_dict()
+        snapshot["live"] = {
+            "site": int(self.config.site),
+            "boot": self.store.boot_count,
+            "forced_writes": self.store.forced_writes,
+            "frames_sent": self.transport.frames_sent,
+            "frames_received": self.transport.frames_received,
+        }
+        tmp = self._metrics_path.with_suffix(".json.tmp")
+        with open(tmp, "w") as handle:
+            json.dump(snapshot, handle, indent=2, sort_keys=True)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, self._metrics_path)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"LiveSite(site={self.config.site}, {self.config.spec_name}, "
+            f"txns={len(self.txns)}, paused={self.paused})"
+        )

@@ -1,0 +1,383 @@
+"""Asyncio TCP mesh between the sites of one live cluster.
+
+Each site runs one :class:`Transport`: a listening socket plus one
+*outgoing* connection per peer.  A connection's first frame says what
+it is — peers introduce themselves with ``hello`` (their frames are
+routed to the site's frame handler), anything else is a client and is
+handed to the client handler with its first frame.  Each direction of
+a peer pair therefore uses its own TCP connection, which keeps the
+dialing rule trivial (everybody dials everybody) and reconnection
+independent per direction.
+
+Failure detection is heartbeat-timeout suspicion: every peer's
+outgoing connection carries periodic ``hb`` frames, and a peer from
+whom nothing (heartbeat or otherwise) has arrived for ``suspect_after``
+seconds is *suspected*.  Unlike the simulator's reliable detector this
+one can be wrong — which is the point: the live runtime demonstrates
+the protocols under the detector the paper actually assumes away.
+Any frame from a suspected peer clears the suspicion and fires the
+recovery callback, which is how survivors notice a ``kill -9``-ed site
+returning.
+
+Outgoing frames are buffered per peer and survive reconnects: a frame
+is only dropped from the outbox after the socket write for it drained.
+``flush`` awaits empty outboxes — the crash injector uses it to make
+"killed right after the broadcast left" deterministic.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import collections
+from typing import Any, Awaitable, Callable, Optional
+
+from repro.errors import TransportError
+from repro.live.clock import TimeoutClock
+from repro.live.wire import encode_frame, read_frame
+from repro.types import SiteId
+
+#: Reconnect backoff: start fast (loopback restarts are quick), cap low.
+RECONNECT_MIN = 0.05
+RECONNECT_MAX = 1.0
+
+#: An async callback receiving (peer id, frame).
+FrameHandler = Callable[[SiteId, dict[str, Any]], Awaitable[None]]
+
+#: An async callback receiving (first frame, reader, writer) of a
+#: client connection; the handler owns the connection afterwards.
+ClientHandler = Callable[
+    [dict[str, Any], asyncio.StreamReader, asyncio.StreamWriter],
+    Awaitable[None],
+]
+
+
+class Transport:
+    """One site's TCP endpoint: server, peer mesh, failure suspicion.
+
+    Args:
+        site: This site's id.
+        host: Interface to bind and advertise.
+        port: Listening port.
+        peers: Peer id → (host, port) of every *other* site.
+        clock: The wall clock (shared with the protocol controllers so
+            suspicion and protocol timers agree on time).
+        on_frame: Handler for frames arriving from peers.
+        on_client: Handler for client connections.
+        on_suspect / on_recover: Failure-detector callbacks (sync).
+        hb_interval: Heartbeat period, seconds.
+        suspect_after: Silence threshold before suspecting a peer.
+        trace: Trace sink ``(category, detail, **data)``.
+    """
+
+    def __init__(
+        self,
+        site: SiteId,
+        host: str,
+        port: int,
+        peers: dict[SiteId, tuple[str, int]],
+        clock: TimeoutClock,
+        on_frame: FrameHandler,
+        on_client: ClientHandler,
+        on_suspect: Callable[[SiteId], None],
+        on_recover: Callable[[SiteId], None],
+        hb_interval: float = 0.25,
+        suspect_after: float = 1.5,
+        trace: Callable[..., None] = lambda *a, **k: None,
+    ) -> None:
+        if site in peers:
+            raise TransportError(f"site {site} cannot be its own peer")
+        self.site = site
+        self.host = host
+        self.port = port
+        self.peers = dict(peers)
+        self.clock = clock
+        self.hb_interval = hb_interval
+        self.suspect_after = suspect_after
+        self._on_frame = on_frame
+        self._on_client = on_client
+        self._on_suspect = on_suspect
+        self._on_recover = on_recover
+        self._trace = trace
+
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._tasks: list[asyncio.Task] = []
+        self._outbox: dict[SiteId, collections.deque[bytes]] = {
+            peer: collections.deque() for peer in peers
+        }
+        self._outbox_ready: dict[SiteId, asyncio.Event] = {}
+        self._writers: dict[SiteId, asyncio.StreamWriter] = {}
+        #: Wall time of the last frame seen from each peer (None: never).
+        self.last_seen: dict[SiteId, Optional[float]] = {p: None for p in peers}
+        self.suspected: set[SiteId] = set()
+        #: Inbound hello connections accepted per peer, ever.
+        self._hello_count: dict[SiteId, int] = {p: 0 for p in peers}
+        self.frames_sent = 0
+        self.frames_received = 0
+        self._stopped = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind the server and start dialer/heartbeat/monitor tasks."""
+        try:
+            self._server = await asyncio.start_server(
+                self._accept, self.host, self.port
+            )
+        except OSError as error:
+            raise TransportError(
+                f"site {self.site} cannot bind {self.host}:{self.port}: {error}"
+            ) from error
+        self._trace(
+            "live.listen", f"site {self.site} listening on {self.host}:{self.port}"
+        )
+        for peer in self.peers:
+            self._outbox_ready[peer] = asyncio.Event()
+            if self._outbox[peer]:
+                self._outbox_ready[peer].set()
+            self._tasks.append(asyncio.create_task(self._peer_sender(peer)))
+        self._tasks.append(asyncio.create_task(self._heartbeat_loop()))
+        self._tasks.append(asyncio.create_task(self._suspicion_loop()))
+
+    async def stop(self) -> None:
+        """Cancel tasks and close every connection (idempotent)."""
+        if self._stopped:
+            return
+        self._stopped = True
+        for task in self._tasks:
+            task.cancel()
+        for task in self._tasks:
+            try:
+                await task
+            except (asyncio.CancelledError, Exception):  # noqa: BLE001
+                pass
+        self._tasks.clear()
+        for writer in list(self._writers.values()):
+            writer.close()
+        self._writers.clear()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    # ------------------------------------------------------------------
+    # Sending
+    # ------------------------------------------------------------------
+
+    def send(self, dst: SiteId, frame: dict[str, Any]) -> None:
+        """Queue one frame for a peer (buffered across reconnects).
+
+        Raises:
+            TransportError: If ``dst`` is not a configured peer.
+        """
+        if dst not in self._outbox:
+            raise TransportError(f"site {self.site} has no peer {dst}")
+        self._outbox[dst].append(encode_frame(frame))
+        event = self._outbox_ready.get(dst)
+        if event is not None:
+            event.set()
+
+    async def flush(self, timeout: float = 5.0) -> None:
+        """Wait until every queued frame has drained to its socket.
+
+        Used by the deterministic crash injector: after ``flush``
+        returns, everything sent before the call is on the wire (or at
+        least in the kernel's send buffer), so killing the process
+        cannot retract it.
+
+        Raises:
+            LiveTimeoutError: If the outboxes do not drain in time
+                (e.g. a peer is unreachable).
+        """
+        from repro.errors import LiveTimeoutError
+
+        deadline = self.clock.now() + timeout
+        while any(self._outbox.values()):
+            if self.clock.now() > deadline:
+                stuck = {
+                    int(peer): len(queue)
+                    for peer, queue in self._outbox.items()
+                    if queue
+                }
+                raise LiveTimeoutError(
+                    f"site {self.site} flush timed out with {stuck} queued"
+                )
+            await asyncio.sleep(0.01)
+        for writer in list(self._writers.values()):
+            try:
+                await writer.drain()
+            except ConnectionError:
+                pass
+
+    async def _peer_sender(self, peer: SiteId) -> None:
+        """Own the outgoing connection to one peer: dial, retry, drain."""
+        backoff = RECONNECT_MIN
+        host, port = self.peers[peer]
+        outbox = self._outbox[peer]
+        ready = self._outbox_ready[peer]
+        while True:
+            try:
+                reader, writer = await asyncio.open_connection(host, port)
+            except OSError:
+                await asyncio.sleep(backoff)
+                backoff = min(backoff * 2, RECONNECT_MAX)
+                continue
+            backoff = RECONNECT_MIN
+            self._writers[peer] = writer
+            try:
+                writer.write(encode_frame({"t": "hello", "site": int(self.site)}))
+                await writer.drain()
+                while True:
+                    if not outbox:
+                        ready.clear()
+                        await ready.wait()
+                    # Peek-then-pop: the frame leaves the outbox only
+                    # after its bytes drained, so a connection drop
+                    # mid-write re-sends it on the next connection.
+                    frame = outbox[0]
+                    writer.write(frame)
+                    await writer.drain()
+                    outbox.popleft()
+                    self.frames_sent += 1
+            except (ConnectionError, OSError):
+                pass
+            finally:
+                if self._writers.get(peer) is writer:
+                    del self._writers[peer]
+                writer.close()
+            await asyncio.sleep(backoff)
+
+    async def _heartbeat_loop(self) -> None:
+        while True:
+            for peer in self.peers:
+                # Don't grow a dead peer's outbox without bound: the
+                # queued protocol frames already prove liveness intent.
+                if len(self._outbox[peer]) < 64:
+                    self.send(peer, {"t": "hb", "site": int(self.site)})
+            await asyncio.sleep(self.hb_interval)
+
+    # ------------------------------------------------------------------
+    # Failure suspicion
+    # ------------------------------------------------------------------
+
+    async def _suspicion_loop(self) -> None:
+        interval = max(0.01, self.hb_interval / 2)
+        while True:
+            now = self.clock.now()
+            for peer, seen in self.last_seen.items():
+                if seen is None or peer in self.suspected:
+                    # Never-seen peers are not suspected: suspicion
+                    # starts only after first contact, so a slow-booting
+                    # cluster does not open with spurious terminations.
+                    continue
+                if now - seen > self.suspect_after:
+                    self.suspected.add(peer)
+                    self._trace(
+                        "live.suspect",
+                        f"no frames from site {peer} for {now - seen:.2f}s",
+                        peer=int(peer),
+                    )
+                    self._on_suspect(peer)
+            await asyncio.sleep(interval)
+
+    def _saw_peer(self, peer: SiteId) -> None:
+        self.last_seen[peer] = self.clock.now()
+        if peer in self.suspected:
+            self.suspected.discard(peer)
+            self._trace(
+                "live.unsuspect", f"site {peer} is back", peer=int(peer)
+            )
+            self._on_recover(peer)
+
+    def all_peers_seen(self) -> bool:
+        """Whether at least one frame arrived from every peer."""
+        return all(seen is not None for seen in self.last_seen.values())
+
+    def operational_sites(self) -> list[SiteId]:
+        """This site plus every unsuspected peer (OperationalView seam)."""
+        return sorted(
+            [self.site] + [p for p in self.peers if p not in self.suspected]
+        )
+
+    # ------------------------------------------------------------------
+    # Receiving
+    # ------------------------------------------------------------------
+
+    async def _accept(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """Classify a new inbound connection by its first frame."""
+        try:
+            first = await read_frame(reader)
+        except TransportError:
+            writer.close()
+            return
+        if first is None:
+            writer.close()
+            return
+        if first.get("t") == "hello":
+            await self._peer_receiver(SiteId(int(first["site"])), reader, writer)
+            return
+        try:
+            await self._on_client(first, reader, writer)
+        except (ConnectionError, TransportError):
+            writer.close()
+
+    async def _peer_receiver(
+        self,
+        peer: SiteId,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        """Pump frames from one peer's inbound connection until EOF."""
+        if peer not in self.peers:
+            self._trace(
+                "live.unknown_peer", f"hello from unknown site {peer}",
+                peer=int(peer),
+            )
+            writer.close()
+            return
+        # A *new* hello connection from a peer we already had one from
+        # means that peer's sender came back (process restart, or a TCP
+        # reconnect).  Fire the recovery callback even when our own
+        # detector never got around to suspecting it — a blocked site
+        # may learn it is blocked from the termination backup before
+        # its own heartbeat timeout, and must still notice the
+        # coordinator returning.  Spurious firings (mere reconnects)
+        # are harmless: recovery just asks a question the peer answers
+        # with "undecided".
+        reconnect = self._hello_count[peer] > 0
+        self._hello_count[peer] += 1
+        suspected_before = peer in self.suspected
+        self._saw_peer(peer)  # Fires on_recover when it was suspected.
+        if reconnect and not suspected_before:
+            self._trace(
+                "live.peer_reconnect",
+                f"new hello connection from site {peer}",
+                peer=int(peer),
+            )
+            self._on_recover(peer)
+        try:
+            while True:
+                frame = await read_frame(reader)
+                if frame is None:
+                    return
+                self.frames_received += 1
+                self._saw_peer(peer)
+                if frame.get("t") == "hb":
+                    continue
+                await self._on_frame(peer, frame)
+        except TransportError:
+            return
+        except ConnectionError:
+            return
+        finally:
+            writer.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Transport(site={self.site}, {self.host}:{self.port}, "
+            f"peers={sorted(map(int, self.peers))}, "
+            f"suspected={sorted(map(int, self.suspected))})"
+        )

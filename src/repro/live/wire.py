@@ -1,0 +1,213 @@
+"""The wire format: length-prefixed JSON frames.
+
+One frame = a 4-byte big-endian length prefix followed by that many
+bytes of UTF-8 JSON (one object).  JSON keeps the format debuggable
+(``tcpdump``/``strace`` show readable protocol traffic) and versionable;
+the length prefix makes framing trivial and torn reads detectable.
+
+Two layers share the format:
+
+* **control frames** — connection handshake (``hello``), liveness
+  (``hb``), client traffic (``begin`` / ``status`` / ``decided`` /
+  ``status-reply``), external-input forwarding (``external``), and
+  graceful shutdown (``shutdown``);
+* **payload frames** (``t = "payload"``) — the runtime's own message
+  dataclasses (:class:`~repro.runtime.messages.ProtoMsg`, the
+  ``Term*`` family, the ``Outcome*`` family), round-tripped through
+  :func:`encode_payload` / :func:`decode_payload` so *the protocol
+  layer's types never change* between the simulator and the wire.
+
+Frames larger than :data:`MAX_FRAME` are rejected — nothing the commit
+protocols send comes within orders of magnitude of it, so an oversized
+length prefix means a corrupt or hostile peer.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import struct
+from typing import Any, Callable, Optional
+
+from repro.errors import FrameError
+from repro.net.message import Payload
+from repro.runtime.messages import (
+    OutcomeQuery,
+    OutcomeReply,
+    ProtoMsg,
+    TermAck,
+    TermBlocked,
+    TermDecision,
+    TermMoveTo,
+    TermStateQuery,
+    TermStateReply,
+)
+from repro.types import Outcome, SiteId
+
+#: Hard cap on one frame's JSON body, in bytes.
+MAX_FRAME = 1 << 20
+
+_LENGTH = struct.Struct(">I")
+
+
+# ----------------------------------------------------------------------
+# Frame layer
+# ----------------------------------------------------------------------
+
+
+def encode_frame(obj: dict[str, Any]) -> bytes:
+    """Serialize one frame: length prefix + compact, key-sorted JSON.
+
+    Sorted keys make frames deterministic for a given object, which
+    keeps wire-level tests and traces stable.
+
+    Raises:
+        FrameError: If the encoded body exceeds :data:`MAX_FRAME`.
+    """
+    body = json.dumps(obj, separators=(",", ":"), sort_keys=True).encode("utf-8")
+    if len(body) > MAX_FRAME:
+        raise FrameError(f"frame of {len(body)} bytes exceeds MAX_FRAME")
+    return _LENGTH.pack(len(body)) + body
+
+
+async def read_frame(reader: asyncio.StreamReader) -> Optional[dict[str, Any]]:
+    """Read one frame; ``None`` on clean EOF at a frame boundary.
+
+    Raises:
+        FrameError: On a truncated frame, an oversized length prefix,
+            or a body that is not a JSON object.
+    """
+    try:
+        prefix = await reader.readexactly(_LENGTH.size)
+    except asyncio.IncompleteReadError as error:
+        if not error.partial:
+            return None  # Clean EOF between frames.
+        raise FrameError("connection closed mid-length-prefix") from error
+    (length,) = _LENGTH.unpack(prefix)
+    if length > MAX_FRAME:
+        raise FrameError(f"length prefix {length} exceeds MAX_FRAME")
+    try:
+        body = await reader.readexactly(length)
+    except asyncio.IncompleteReadError as error:
+        raise FrameError(
+            f"connection closed mid-frame ({len(error.partial)}/{length} bytes)"
+        ) from error
+    try:
+        obj = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise FrameError(f"frame body is not valid JSON: {error}") from error
+    if not isinstance(obj, dict):
+        raise FrameError(f"frame body must be a JSON object, got {type(obj).__name__}")
+    return obj
+
+
+def decode_frame_bytes(data: bytes) -> tuple[dict[str, Any], bytes]:
+    """Synchronous single-frame decode; returns (frame, remaining bytes).
+
+    The test-facing inverse of :func:`encode_frame` (the live runtime
+    itself reads from stream readers via :func:`read_frame`).
+
+    Raises:
+        FrameError: On truncation or malformed JSON.
+    """
+    if len(data) < _LENGTH.size:
+        raise FrameError("buffer shorter than a length prefix")
+    (length,) = _LENGTH.unpack(data[: _LENGTH.size])
+    if length > MAX_FRAME:
+        raise FrameError(f"length prefix {length} exceeds MAX_FRAME")
+    end = _LENGTH.size + length
+    if len(data) < end:
+        raise FrameError(f"truncated frame ({len(data) - _LENGTH.size}/{length} bytes)")
+    obj = json.loads(data[_LENGTH.size : end].decode("utf-8"))
+    if not isinstance(obj, dict):
+        raise FrameError("frame body must be a JSON object")
+    return obj, data[end:]
+
+
+# ----------------------------------------------------------------------
+# Payload codec
+# ----------------------------------------------------------------------
+
+_ENCODERS: dict[type, Callable[[Any], dict[str, Any]]] = {
+    ProtoMsg: lambda p: {"p": "proto", "kind": p.kind},
+    TermMoveTo: lambda p: {
+        "p": "term-move-to",
+        "backup": int(p.backup),
+        "state": p.state,
+        "round": p.round_no,
+    },
+    TermAck: lambda p: {"p": "term-ack", "round": p.round_no},
+    TermDecision: lambda p: {
+        "p": "term-decision",
+        "outcome": p.outcome.value,
+        "round": p.round_no,
+    },
+    TermBlocked: lambda p: {"p": "term-blocked", "round": p.round_no},
+    TermStateQuery: lambda p: {
+        "p": "term-state-query",
+        "backup": int(p.backup),
+        "round": p.round_no,
+    },
+    TermStateReply: lambda p: {
+        "p": "term-state-reply",
+        "state": p.state,
+        "outcome": p.outcome.value,
+        "round": p.round_no,
+    },
+    OutcomeQuery: lambda p: {"p": "outcome-query"},
+    OutcomeReply: lambda p: {
+        "p": "outcome-reply",
+        "outcome": p.outcome.value,
+        "in_doubt": p.recovered_in_doubt,
+    },
+}
+
+_DECODERS: dict[str, Callable[[dict[str, Any]], Payload]] = {
+    "proto": lambda d: ProtoMsg(str(d["kind"])),
+    "term-move-to": lambda d: TermMoveTo(
+        SiteId(int(d["backup"])), str(d["state"]), int(d["round"])
+    ),
+    "term-ack": lambda d: TermAck(int(d["round"])),
+    "term-decision": lambda d: TermDecision(
+        Outcome(d["outcome"]), int(d["round"])
+    ),
+    "term-blocked": lambda d: TermBlocked(int(d["round"])),
+    "term-state-query": lambda d: TermStateQuery(
+        SiteId(int(d["backup"])), int(d["round"])
+    ),
+    "term-state-reply": lambda d: TermStateReply(
+        str(d["state"]), Outcome(d["outcome"]), int(d["round"])
+    ),
+    "outcome-query": lambda d: OutcomeQuery(),
+    "outcome-reply": lambda d: OutcomeReply(
+        Outcome(d["outcome"]), recovered_in_doubt=bool(d.get("in_doubt", False))
+    ),
+}
+
+
+def encode_payload(payload: Payload) -> dict[str, Any]:
+    """Encode one runtime payload dataclass as a JSON-safe dict.
+
+    Raises:
+        FrameError: If the payload type has no wire encoding.
+    """
+    encoder = _ENCODERS.get(type(payload))
+    if encoder is None:
+        raise FrameError(f"payload type {type(payload).__name__} has no wire codec")
+    return encoder(payload)
+
+
+def decode_payload(data: dict[str, Any]) -> Payload:
+    """Decode :func:`encode_payload` output back to the dataclass.
+
+    Raises:
+        FrameError: On an unknown payload tag or missing fields.
+    """
+    tag = data.get("p")
+    decoder = _DECODERS.get(tag)  # type: ignore[arg-type]
+    if decoder is None:
+        raise FrameError(f"unknown payload tag {tag!r}")
+    try:
+        return decoder(data)
+    except (KeyError, ValueError, TypeError) as error:
+        raise FrameError(f"malformed {tag!r} payload: {error}") from error

@@ -2,6 +2,7 @@
 
 from repro.metrics.collector import Counter, StatSeries
 from repro.metrics.registry import (
+    WALL_MS_BUCKETS,
     Histogram,
     MetricsRegistry,
     json_sidecar,
@@ -14,6 +15,7 @@ from repro.metrics.tables import Table
 __all__ = [
     "CampaignSummary",
     "Counter",
+    "WALL_MS_BUCKETS",
     "Histogram",
     "MetricsRegistry",
     "StatSeries",

@@ -33,6 +33,18 @@ if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycles
 #: handful of message delays, so the grid is dense at the low end.
 DEFAULT_BUCKETS = (0.5, 1.0, 2.0, 3.0, 5.0, 8.0, 13.0, 21.0, 34.0, 55.0, 100.0, 250.0, 1000.0)
 
+#: Wall-clock millisecond buckets for the live TCP runtime.  The
+#: default grid above assumes virtual time units (one unit ≈ one
+#: message delay); real commit latencies on loopback/LAN instead span
+#: sub-millisecond transport hops to multi-second recovery waits, so
+#: the live runtime's histograms (``commit_latency_ms`` and friends)
+#: use this 1-2.5-5 decade ladder.  Pass it as the ``buckets`` argument
+#: of :meth:`MetricsRegistry.observe` on first use of a series.
+WALL_MS_BUCKETS = (
+    0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0,
+    250.0, 500.0, 1000.0, 2500.0, 5000.0, 10000.0, 30000.0,
+)
+
 #: Label values rendered into metric keys: ``name{k=v,k2=v2}``.
 LabelSet = tuple[tuple[str, str], ...]
 

@@ -16,20 +16,24 @@ separation between termination and recovery protocols.
 """
 
 from repro.net.latency import (
+    ExponentialLatency,
     FixedLatency,
     LatencyModel,
     PerLinkLatency,
     UniformLatency,
+    lan_profile,
 )
 from repro.net.message import Envelope, Payload
 from repro.net.network import Network
 
 __all__ = [
     "Envelope",
+    "ExponentialLatency",
     "FixedLatency",
     "LatencyModel",
     "Network",
     "Payload",
     "PerLinkLatency",
     "UniformLatency",
+    "lan_profile",
 ]

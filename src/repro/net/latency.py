@@ -26,6 +26,13 @@ class FixedLatency:
 
     The default model: with a fixed latency, protocol executions are
     fully synchronous in the paper's sense and easiest to reason about.
+
+    The ``rng`` argument of :meth:`delay` is ignored *by design*: a
+    fixed model draws nothing, and — because random streams are named,
+    not positional (see :mod:`repro.sim.rng`) — not drawing does not
+    shift any other consumer's stream.  Swapping ``FixedLatency`` for a
+    randomized model therefore perturbs only message timing, never the
+    rest of the run's randomness.
     """
 
     def __init__(self, value: SimTime = 1.0) -> None:
@@ -59,6 +66,50 @@ class UniformLatency:
 
     def __repr__(self) -> str:
         return f"UniformLatency({self.low}, {self.high})"
+
+
+class ExponentialLatency:
+    """A shifted exponential: ``floor`` plus an exponential tail.
+
+    The empirical shape of real datacenter/LAN message delays: a hard
+    lower bound (propagation + kernel + serialization, the ``floor``)
+    plus a long right tail (queueing), giving p99 ≫ p50.  Use this to
+    make simulator configs mirror delay distributions *measured* on the
+    live cluster runtime (``repro cluster --bench`` reports wall-clock
+    p50/p99; see ``docs/LIVE.md``).
+
+    Args:
+        mean: Mean of the exponential tail (excess over the floor),
+            in simulated time units; must be positive.
+        floor: Minimum transit delay; must be nonnegative.
+    """
+
+    def __init__(self, mean: SimTime, floor: SimTime = 0.0) -> None:
+        if mean <= 0:
+            raise ValueError(f"mean must be positive, got {mean}")
+        if floor < 0:
+            raise ValueError(f"floor must be nonnegative, got {floor}")
+        self.mean = mean
+        self.floor = floor
+
+    def delay(self, src: SiteId, dst: SiteId, rng: random.Random) -> SimTime:
+        return self.floor + rng.expovariate(1.0 / self.mean)
+
+    def __repr__(self) -> str:
+        return f"ExponentialLatency(mean={self.mean}, floor={self.floor})"
+
+
+def lan_profile(scale: SimTime = 1.0) -> ExponentialLatency:
+    """An :class:`ExponentialLatency` shaped like loopback/LAN TCP.
+
+    Calibrated against the live runtime's loopback measurements: the
+    floor dominates (connection reuse, no propagation to speak of) and
+    the tail is roughly half the floor.  At ``scale=1.0`` one simulated
+    time unit corresponds to one *median* LAN hop, so simulated phase
+    counts read directly as round-trip counts; pass ``scale`` in
+    milliseconds (e.g. ``0.12``) to work in wall-clock units instead.
+    """
+    return ExponentialLatency(mean=0.5 * scale, floor=0.75 * scale)
 
 
 class PerLinkLatency:

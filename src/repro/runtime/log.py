@@ -16,7 +16,7 @@ so the recovery protocol can reconstruct exactly how far the site got:
 from __future__ import annotations
 
 import dataclasses
-from typing import Optional, Union
+from typing import Iterable, Optional, Union
 
 from repro.errors import WALError
 from repro.types import Outcome, SimTime, Vote
@@ -96,6 +96,39 @@ class DTLog:
                 )
             return
         self._records.append(DecisionRecord(outcome=outcome, at=at, via=via))
+
+    @classmethod
+    def replay(cls, records: Iterable[LogRecord]) -> "DTLog":
+        """Rebuild a log by re-applying records through the write path.
+
+        Used after a restart: the surviving records (in-memory for the
+        simulated site, decoded from disk for the live runtime's
+        durable log) are re-applied one by one, so every invariant the
+        write path enforces is re-checked on the way in:
+
+        * a second vote, or a vote after the decision, raises
+          :class:`~repro.errors.WALError` (corrupt log);
+        * a duplicate decision with the *same* outcome is absorbed (the
+          no-op re-logging path), a conflicting one raises;
+        * a decision without any vote is accepted — that ordering is
+          legal (e.g. an outcome forced by termination or recovery onto
+          a site that never voted).
+
+        Re-application is idempotent: ``DTLog.replay(log.records)``
+        holds exactly ``log.records``.
+
+        Raises:
+            WALError: If the record sequence violates a log invariant.
+        """
+        log = cls()
+        for record in records:
+            if isinstance(record, VoteRecord):
+                log.write_vote(record.vote, record.at)
+            elif isinstance(record, DecisionRecord):
+                log.write_decision(record.outcome, record.at, via=record.via)
+            else:
+                raise WALError(f"unknown log record {record!r}")
+        return log
 
     def vote(self) -> Optional[VoteRecord]:
         """The vote record, if one was logged."""

@@ -34,7 +34,7 @@ from repro.runtime.messages import OutcomeQuery, OutcomeReply
 from repro.types import Outcome, SiteId, Vote
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
-    from repro.runtime.site import CommitSite
+    from repro.runtime.seam import ProtocolHost
 
 #: Timer key used for periodic re-queries while in doubt.
 REQUERY_TIMER = "recovery.requery"
@@ -44,14 +44,17 @@ class RecoveryController:
     """Per-site recovery logic.
 
     Args:
-        site: The owning :class:`~repro.runtime.site.CommitSite`.
-        requery_interval: Virtual-time delay between outcome queries
-            while in doubt.
+        site: The owning host — any
+            :class:`~repro.runtime.seam.ProtocolHost` (simulated site
+            or live backend).
+        requery_interval: Delay between outcome queries while in doubt,
+            in the host clock's units (virtual time in the simulator,
+            wall-clock seconds in the live runtime).
     """
 
     def __init__(
         self,
-        site: "CommitSite",
+        site: "ProtocolHost",
         requery_interval: float = 5.0,
         total_failure_recovery: bool = False,
     ) -> None:

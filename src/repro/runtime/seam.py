@@ -1,0 +1,103 @@
+"""The host seam: what the protocol controllers require from a site.
+
+The commit FSAs, the termination protocol, and the recovery protocol
+were written against the *simulated* :class:`~repro.runtime.site.CommitSite`.
+Everything they actually touch, though, is a narrow surface — send a
+payload to a peer, arm/cancel a named timer, read the clock, consult
+the failure detector's operational view, and reach the site's engine
+and DT log.  :class:`ProtocolHost` names that surface explicitly, so
+the *same, unmodified* controller code runs over two backends:
+
+* :class:`~repro.runtime.site.CommitSite` — virtual time, simulated
+  network (the analysis/testing backend);
+* :class:`repro.live.node.LiveTxn` — wall-clock time, real asyncio TCP
+  (the deployment backend; see ``docs/LIVE.md``).
+
+The :class:`~repro.runtime.engine.Engine` needs even less: it is
+constructed from plain callables (``send``, ``now``, ``on_final``,
+``on_trace``) and never sees the host at all.  This module exists so
+that narrowness is a checked contract instead of an accident.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Protocol, runtime_checkable
+
+from repro.fsa.spec import ProtocolSpec
+from repro.net.message import Payload
+from repro.runtime.engine import Engine
+from repro.runtime.log import DTLog
+from repro.types import SimTime, SiteId
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycles
+    from repro.runtime.recovery import RecoveryController
+    from repro.runtime.termination import TerminationController
+
+
+@runtime_checkable
+class OperationalView(Protocol):
+    """The failure detector's current view of who is reachable.
+
+    The simulator backend implements this with the ground-truth
+    liveness map of :class:`~repro.net.network.Network`; the live
+    backend with heartbeat-timeout suspicion over TCP
+    (:class:`repro.live.transport.Transport`).
+    """
+
+    def operational_sites(self) -> list[SiteId]:
+        """Sorted ids of the sites currently believed operational."""
+        ...  # pragma: no cover - protocol definition
+
+
+class ProtocolHost(Protocol):
+    """One site, as seen by the termination and recovery controllers.
+
+    Attribute and method semantics match their namesakes on
+    :class:`~repro.runtime.site.CommitSite`, which is the reference
+    implementation of this protocol.
+    """
+
+    site: SiteId
+    spec: ProtocolSpec
+    engine: Engine
+    log: DTLog
+    ever_crashed: bool
+    known_failed: set[SiteId]
+    network: OperationalView
+    termination: "TerminationController"
+    recovery: "RecoveryController"
+
+    @property
+    def alive(self) -> bool:
+        """Whether the site is currently operational."""
+        ...  # pragma: no cover - protocol definition
+
+    def send_payload(self, dst: SiteId, payload: Payload) -> None:
+        """Transmit a termination/recovery payload to a peer."""
+        ...  # pragma: no cover - protocol definition
+
+    def set_timer(
+        self, key: str, delay: SimTime, callback: Callable[[], None]
+    ) -> object:
+        """Arm (or re-arm) the named timer."""
+        ...  # pragma: no cover - protocol definition
+
+    def cancel_timer(self, key: str) -> bool:
+        """Cancel the named timer if armed."""
+        ...  # pragma: no cover - protocol definition
+
+    def now(self) -> SimTime:
+        """Current time in the host's clock (virtual or wall)."""
+        ...  # pragma: no cover - protocol definition
+
+    def trace(self, category: str, detail: str, **data: object) -> None:
+        """Record one trace entry."""
+        ...  # pragma: no cover - protocol definition
+
+    def operational_participants(self) -> list[SiteId]:
+        """Participants this site believes operational (never-crashed)."""
+        ...  # pragma: no cover - protocol definition
+
+    def notify_blocked(self) -> None:
+        """Report that the transaction is blocked at this site."""
+        ...  # pragma: no cover - protocol definition

@@ -72,7 +72,7 @@ from repro.types import Outcome, SiteId
 TERMINATION_MODES = ("standard", "cooperative", "unsafe-skip-phase1", "quorum")
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
-    from repro.runtime.site import CommitSite
+    from repro.runtime.seam import ProtocolHost
 
 #: An election strategy maps the operational candidate set to a winner.
 ElectionStrategy = Callable[[Iterable[SiteId]], SiteId]
@@ -87,14 +87,17 @@ class TerminationController:
     """Per-site termination logic, driven by failure notifications.
 
     Args:
-        site: The owning :class:`~repro.runtime.site.CommitSite`.
+        site: The owning host — any
+            :class:`~repro.runtime.seam.ProtocolHost` (the simulated
+            :class:`~repro.runtime.site.CommitSite` or the live
+            backend's per-transaction host).
         rule: Precomputed decision rule for the protocol.
         elect: Election strategy (default: lowest operational id).
     """
 
     def __init__(
         self,
-        site: "CommitSite",
+        site: "ProtocolHost",
         rule: TerminationRule,
         elect: Optional[ElectionStrategy] = None,
         mode: str = "standard",
@@ -176,7 +179,14 @@ class TerminationController:
             return
         self.round_no += 1
         self.rounds_started += 1
-        self.blocked = False
+        # Deliberately do NOT clear ``blocked`` here.  A round restart
+        # alone is not evidence of progress: with an unsynchronized
+        # failure detector (the live runtime) a site can adopt round R
+        # from the backup's TermBlocked and only *then* see its own
+        # notification of the same failure, restarting into a round no
+        # backup will ever run.  A blocked verdict stays standing until
+        # superseded by a phase-1 order or a decision — which is what
+        # clears it below.
         self._phase_enter()
         if self.mode == "quorum" and not self._site.engine.finished:
             total = len(self._site.spec.sites)
@@ -323,6 +333,7 @@ class TerminationController:
     def _broadcast_decision(self, others: list[SiteId]) -> None:
         assert self._decision is not None
         self._phase = "done"
+        self.blocked = False
         for other in others:
             self._site.send_payload(other, TermDecision(self._decision, self.round_no))
         if not self._site.engine.finished:

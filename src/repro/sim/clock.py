@@ -1,0 +1,83 @@
+"""The clock seam shared by the simulator and the live runtime.
+
+The protocol controllers (termination, recovery) and the failure
+detector only need two powers from time: *read* it (``now``) and
+*schedule* a callback after a delay (``call_later``).  :class:`Clock`
+names exactly that interface, so the same protocol logic runs over
+
+* **virtual time** — :class:`SimClock`, a thin adapter over the
+  discrete-event :class:`~repro.sim.simulator.Simulator`; and
+* **wall-clock time** — :class:`repro.live.clock.TimeoutClock`, backed
+  by ``asyncio`` and ``time.monotonic`` in the live TCP runtime.
+
+Neither side imports the other: the simulator stays dependency-free and
+the live runtime never touches the event queue.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Protocol, runtime_checkable
+
+from repro.sim.simulator import Simulator
+from repro.types import SimTime
+
+
+@runtime_checkable
+class TimerHandle(Protocol):
+    """A cancellable handle for one scheduled callback."""
+
+    @property
+    def cancelled(self) -> bool:
+        """Whether the callback was cancelled before firing."""
+        ...  # pragma: no cover - protocol definition
+
+    def cancel(self) -> None:
+        """Prevent the callback from firing (idempotent)."""
+        ...  # pragma: no cover - protocol definition
+
+
+@runtime_checkable
+class Clock(Protocol):
+    """Anything that can tell time and schedule delayed callbacks.
+
+    Implementations must guarantee that ``now()`` is monotonically
+    nondecreasing and that a callback scheduled with delay ``d`` runs
+    no earlier than ``now() + d`` (virtual or wall, per backend).
+    """
+
+    def now(self) -> SimTime:
+        """The current time in this clock's units (seconds)."""
+        ...  # pragma: no cover - protocol definition
+
+    def call_later(
+        self, delay: SimTime, callback: Callable[[], None], label: str = ""
+    ) -> TimerHandle:
+        """Schedule ``callback`` to run after ``delay``."""
+        ...  # pragma: no cover - protocol definition
+
+
+class SimClock:
+    """Adapt a :class:`~repro.sim.simulator.Simulator` to :class:`Clock`.
+
+    The simulator already exposes ``now`` (as a property) and
+    ``schedule`` (returning an :class:`~repro.sim.events.EventHandle`,
+    which satisfies :class:`TimerHandle`); this adapter only reshapes
+    the call surface so virtual-time code can be handed to components
+    written against the clock seam.
+    """
+
+    def __init__(self, sim: Simulator) -> None:
+        self.sim = sim
+
+    def now(self) -> SimTime:
+        """Current virtual time."""
+        return self.sim.now
+
+    def call_later(
+        self, delay: SimTime, callback: Callable[[], None], label: str = ""
+    ) -> TimerHandle:
+        """Schedule ``callback`` on the simulator's event queue."""
+        return self.sim.schedule(delay, callback, label=label)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SimClock(now={self.sim.now:g})"

@@ -18,6 +18,7 @@ EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
         "protocol_designer.py",
         "outage_drill.py",
         "assumption_stress.py",
+        pytest.param("live_cluster.py", marks=pytest.mark.slow),
     ],
 )
 def test_example_runs_clean(script, capsys):
@@ -53,6 +54,15 @@ def test_outage_drill_recovers_everyone(capsys):
     runpy.run_path(str(EXAMPLES / "outage_drill.py"), run_name="__main__")
     out = capsys.readouterr().out
     assert "crashed sites recovered" in out
+
+
+@pytest.mark.slow
+def test_live_cluster_contrasts_protocols(capsys):
+    runpy.run_path(str(EXAMPLES / "live_cluster.py"), run_name="__main__")
+    out = capsys.readouterr().out
+    assert "survivors decided without the coordinator: commit" in out
+    assert "BLOCKED" in out
+    assert out.count("atomic: True") == 2
 
 
 def test_assumption_stress_walks_the_boundaries(capsys):

@@ -1,0 +1,134 @@
+"""End-to-end live cluster tests: real processes, real TCP, real kill -9.
+
+These spawn `repro serve` subprocesses on loopback, so they are marked
+slow; each scenario is deterministic (marker-gated pause points, no
+sleep-based race windows) and finishes in a few seconds.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.live.cluster import (
+    ClusterConfig,
+    ClusterHarness,
+    kill_coordinator_scenario,
+)
+from repro.types import SiteId
+
+pytestmark = pytest.mark.slow
+
+
+@pytest.fixture
+def make_harness(tmp_path):
+    harnesses = []
+
+    def build(spec_name: str, n_sites: int = 3) -> ClusterHarness:
+        config = ClusterConfig(
+            spec_name=spec_name,
+            n_sites=n_sites,
+            data_dir=tmp_path / spec_name,
+        )
+        harness = ClusterHarness(config)
+        harnesses.append(harness)
+        return harness
+
+    yield build
+    for harness in harnesses:
+        harness.stop()
+
+
+@pytest.mark.parametrize(
+    "spec_name",
+    ["2pc-central", "3pc-central", "2pc-decentralized", "3pc-decentralized"],
+)
+def test_healthy_path_commits(make_harness, spec_name):
+    harness = make_harness(spec_name)
+    harness.start()
+    reply = harness.begin(1)
+    assert reply["t"] == "decided"
+    assert reply["outcome"] == "commit"
+    assert reply["elapsed_ms"] > 0
+    finals = harness.audit_atomicity(1)
+    # Every site, not just the gateway, reached commit durably.
+    harness.wait_outcomes(
+        1,
+        lambda views: all(
+            v is not None and v["outcome"] == "commit" for v in views.values()
+        ),
+        10.0,
+        "all sites committing",
+    )
+    assert set(finals.values()) <= {"commit"}
+
+
+def test_no_vote_aborts_everywhere(make_harness, tmp_path):
+    harness = make_harness("3pc-central")
+    for site in harness.ports:
+        harness.spawn(site, vote="no" if int(site) == 3 else "yes")
+    harness.wait_all_ready()
+    reply = harness.begin(1)
+    assert reply["outcome"] == "abort"
+    harness.wait_outcomes(
+        1,
+        lambda views: all(
+            v is not None and v["outcome"] == "abort" for v in views.values()
+        ),
+        10.0,
+        "all sites aborting",
+    )
+    harness.audit_atomicity(1)
+
+
+def test_3pc_survives_coordinator_kill9(make_harness):
+    """The paper's headline property, live: 3PC is nonblocking.
+
+    The coordinator is SIGKILLed right after flushing its prepare
+    broadcast; the survivors must terminate to COMMIT on their own, and
+    the restarted coordinator must recover the same outcome from its
+    durable log plus queries.
+    """
+    harness = make_harness("3pc-central")
+    result = kill_coordinator_scenario(harness)
+    assert result.survivors_blocked is False
+    assert set(result.survivor_outcomes.values()) == {"commit"}
+    assert result.final_outcomes == {1: "commit", 2: "commit", 3: "commit"}
+    assert result.coordinator_boot == 2  # really was a restart
+
+
+def test_2pc_blocks_on_coordinator_kill9(make_harness):
+    """The contrast case: 2PC blocks when the coordinator dies in-window.
+
+    Survivors sit in their wait state (termination rule: BLOCKED) until
+    the coordinator's restarted incarnation — whose log holds no
+    decision — resolves the transaction by unilateral abort.
+    """
+    harness = make_harness("2pc-central")
+    result = kill_coordinator_scenario(harness)
+    assert result.survivors_blocked is True
+    assert set(result.final_outcomes.values()) == {"abort"}
+    assert result.coordinator_boot == 2
+
+
+def test_metrics_snapshots_published(make_harness):
+    harness = make_harness("3pc-central")
+    harness.start()
+    harness.begin(1)
+    snapshot = harness.site_metrics(SiteId(1))
+    assert snapshot is not None
+    assert snapshot["live"]["site"] == 1
+    assert snapshot["live"]["forced_writes"] >= 1
+    counters = snapshot.get("counters", {})
+    assert any(key.startswith("txns_total") for key in counters)
+
+
+def test_bench_reports_shape(make_harness):
+    harness = make_harness("2pc-central")
+    harness.start()
+    report = harness.bench(3)
+    assert report["protocol"] == "2pc-central"
+    assert report["txns"] == 3
+    assert report["txns_per_sec"] > 0
+    assert 0 < report["latency_ms"]["p50"] <= report["latency_ms"]["p99"]
+    assert report["forced_writes"] > 0
+    assert report["proto_frames"] > 0

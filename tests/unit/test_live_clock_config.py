@@ -1,0 +1,151 @@
+"""Wall-clock timer seam, live config validation, and exit-code mapping."""
+
+from __future__ import annotations
+
+import asyncio
+from pathlib import Path
+
+import pytest
+
+from repro.errors import (
+    EXIT_CONFIG,
+    EXIT_OK,
+    EXIT_TIMEOUT,
+    EXIT_TRANSPORT,
+    EXIT_VIOLATION,
+    AtomicityViolationError,
+    ClusterError,
+    FrameError,
+    LiveConfigError,
+    LiveTimeoutError,
+    TerminationError,
+    TransportError,
+    exit_code,
+)
+from repro.live.clock import TimeoutClock
+from repro.live.node import LiveConfig, parse_pause_after
+from repro.metrics import WALL_MS_BUCKETS
+from repro.types import SiteId
+
+
+class TestTimeoutClock:
+    def test_now_starts_near_zero_and_advances(self):
+        async def go():
+            clock = TimeoutClock()
+            start = clock.now()
+            assert start < 1.0
+            await asyncio.sleep(0.02)
+            assert clock.now() >= start + 0.015
+
+        asyncio.run(go())
+
+    def test_call_later_fires_and_marks(self):
+        async def go():
+            clock = TimeoutClock()
+            fired = asyncio.Event()
+            timer = clock.call_later(0.01, fired.set, label="t")
+            assert not timer.fired and not timer.cancelled
+            await asyncio.wait_for(fired.wait(), 2.0)
+            assert timer.fired
+
+        asyncio.run(go())
+
+    def test_cancel_prevents_firing(self):
+        async def go():
+            clock = TimeoutClock()
+            hits = []
+            timer = clock.call_later(0.01, lambda: hits.append(1))
+            timer.cancel()
+            timer.cancel()  # idempotent
+            assert timer.cancelled
+            await asyncio.sleep(0.05)
+            assert hits == []
+
+        asyncio.run(go())
+
+    def test_negative_delay_clamped(self):
+        async def go():
+            clock = TimeoutClock()
+            fired = asyncio.Event()
+            clock.call_later(-5.0, fired.set)
+            await asyncio.wait_for(fired.wait(), 2.0)
+
+        asyncio.run(go())
+
+
+class TestParsePauseAfter:
+    def test_parses_kind_and_count(self):
+        assert parse_pause_after("prepare:2") == ("prepare", 2)
+
+    @pytest.mark.parametrize("text", ["prepare", "prepare:zero", ":2", "prepare:0"])
+    def test_rejects_malformed(self, text):
+        with pytest.raises(LiveConfigError):
+            parse_pause_after(text)
+
+
+class TestLiveConfigValidation:
+    def _config(self, **overrides):
+        base = dict(
+            site=SiteId(1),
+            spec_name="3pc-central",
+            n_sites=3,
+            port=19000,
+            peers={SiteId(2): ("127.0.0.1", 19001), SiteId(3): ("127.0.0.1", 19002)},
+            data_dir=Path("/tmp/x"),
+        )
+        base.update(overrides)
+        return LiveConfig(**base)
+
+    def test_valid(self):
+        config = self._config()
+        assert config.site == SiteId(1)
+
+    def test_rejects_wrong_peer_set(self):
+        with pytest.raises(LiveConfigError):
+            self._config(peers={SiteId(2): ("127.0.0.1", 19001)})
+
+    def test_rejects_self_in_peers(self):
+        with pytest.raises(LiveConfigError):
+            self._config(
+                peers={
+                    SiteId(1): ("127.0.0.1", 19000),
+                    SiteId(2): ("127.0.0.1", 19001),
+                }
+            )
+
+    def test_rejects_bad_vote(self):
+        with pytest.raises(LiveConfigError):
+            self._config(vote="maybe")
+
+
+class TestExitCodes:
+    @pytest.mark.parametrize(
+        ("error", "code"),
+        [
+            (LiveTimeoutError("slow"), EXIT_TIMEOUT),
+            (TransportError("down"), EXIT_TRANSPORT),
+            (FrameError("torn"), EXIT_TRANSPORT),  # most-derived wins
+            (ClusterError("spawn"), EXIT_TRANSPORT),
+            (LiveConfigError("bad"), EXIT_CONFIG),
+            (ValueError("bad arg"), EXIT_CONFIG),
+            (AtomicityViolationError("split"), EXIT_VIOLATION),
+            (TerminationError("stuck"), EXIT_VIOLATION),
+            (RuntimeError("other"), EXIT_VIOLATION),
+        ],
+    )
+    def test_mapping(self, error, code):
+        assert exit_code(error) == code
+
+    def test_codes_are_distinct(self):
+        codes = {EXIT_OK, EXIT_VIOLATION, EXIT_CONFIG, EXIT_TRANSPORT, EXIT_TIMEOUT}
+        assert len(codes) == 5
+
+
+class TestWallClockBuckets:
+    def test_strictly_increasing(self):
+        assert list(WALL_MS_BUCKETS) == sorted(set(WALL_MS_BUCKETS))
+
+    def test_covers_loopback_to_ci_timeouts(self):
+        # Sub-millisecond loopback hops up through tens of seconds.
+        assert WALL_MS_BUCKETS[0] <= 0.25
+        assert WALL_MS_BUCKETS[-1] >= 30_000.0

@@ -1,0 +1,175 @@
+"""Durable DT log: file framing, torn tails, restart replay, forcing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import WALError
+from repro.live.dtlog import (
+    DurableDTLog,
+    SiteLogStore,
+    _encode_line,
+    read_log_file,
+)
+from repro.runtime.log import DecisionRecord, VoteRecord
+from repro.types import Outcome, Vote
+
+
+@pytest.fixture
+def log_path(tmp_path):
+    return tmp_path / "site-1.dtlog"
+
+
+class TestFileFraming:
+    def test_empty_or_missing_file(self, log_path):
+        assert read_log_file(log_path) == ([], False)
+        log_path.write_bytes(b"")
+        assert read_log_file(log_path) == ([], False)
+
+    def test_round_trip(self, log_path):
+        bodies = [{"r": "boot", "boot": 1}, {"r": "vote", "txn": 1, "vote": "yes", "at": 0.5}]
+        log_path.write_bytes(b"".join(_encode_line(b) for b in bodies))
+        records, torn = read_log_file(log_path)
+        assert records == bodies
+        assert torn is False
+
+    def test_torn_tail_dropped(self, log_path):
+        good = _encode_line({"r": "boot", "boot": 1})
+        torn = _encode_line({"r": "vote", "txn": 1, "vote": "yes", "at": 1.0})[:-5]
+        log_path.write_bytes(good + torn)
+        records, dropped = read_log_file(log_path)
+        assert records == [{"r": "boot", "boot": 1}]
+        assert dropped is True
+
+    def test_tail_with_bad_crc_dropped(self, log_path):
+        good = _encode_line({"r": "boot", "boot": 1})
+        bad = bytearray(_encode_line({"r": "vote", "txn": 1, "vote": "yes", "at": 1.0}))
+        bad[10] ^= 0xFF  # flip a byte inside the body
+        log_path.write_bytes(good + bytes(bad))
+        records, dropped = read_log_file(log_path)
+        assert records == [{"r": "boot", "boot": 1}]
+        assert dropped is True
+
+    def test_mid_log_corruption_raises(self, log_path):
+        good = _encode_line({"r": "boot", "boot": 1})
+        bad = b"garbage that is not a framed record\n"
+        log_path.write_bytes(good + bad + good)
+        with pytest.raises(WALError):
+            read_log_file(log_path)
+
+
+class TestSiteLogStore:
+    def test_fresh_boot(self, log_path):
+        store = SiteLogStore(log_path)
+        assert store.boot_count == 1
+        assert store.restarted is False
+        assert store.txn_ids() == []
+        assert store.forced_writes == 1  # the boot record
+        store.close()
+
+    def test_records_survive_restart(self, log_path):
+        store = SiteLogStore(log_path)
+        store.append_record(7, VoteRecord(vote=Vote.YES, at=1.0))
+        store.append_record(7, DecisionRecord(outcome=Outcome.COMMIT, at=2.0, via="protocol"))
+        store.close()
+
+        reborn = SiteLogStore(log_path)
+        assert reborn.boot_count == 2
+        assert reborn.restarted is True
+        assert reborn.txn_ids() == [7]
+        assert reborn.records_for(7) == [
+            VoteRecord(vote=Vote.YES, at=1.0),
+            DecisionRecord(outcome=Outcome.COMMIT, at=2.0, via="protocol"),
+        ]
+        reborn.close()
+
+    def test_torn_tail_record_never_replayed(self, log_path):
+        store = SiteLogStore(log_path)
+        store.append_record(1, VoteRecord(vote=Vote.YES, at=1.0))
+        store.close()
+        # Simulate a crash mid-append: a torn record at the tail.
+        with open(log_path, "ab") as handle:
+            handle.write(
+                _encode_line({"r": "decision", "txn": 1, "outcome": "commit", "at": 2.0, "via": "protocol"})[:-7]
+            )
+        reborn = SiteLogStore(log_path)
+        assert reborn.torn_tail_dropped is True
+        assert reborn.records_for(1) == [VoteRecord(vote=Vote.YES, at=1.0)]
+        reborn.close()
+
+    def test_append_after_close_raises(self, log_path):
+        store = SiteLogStore(log_path)
+        store.close()
+        with pytest.raises(WALError):
+            store.append_record(1, VoteRecord(vote=Vote.YES, at=1.0))
+
+    def test_many_boots_counted(self, log_path):
+        for expected in (1, 2, 3):
+            store = SiteLogStore(log_path)
+            assert store.boot_count == expected
+            store.close()
+
+
+class TestDurableDTLog:
+    def test_writes_are_forced_to_the_store(self, log_path):
+        store = SiteLogStore(log_path)
+        log = DurableDTLog(store, txn=1)
+        base = store.forced_writes
+        log.write_vote(Vote.YES, at=1.0)
+        assert store.forced_writes == base + 1
+        log.write_decision(Outcome.COMMIT, at=2.0, via="protocol")
+        assert store.forced_writes == base + 2
+        store.close()
+
+    def test_same_outcome_relog_not_reforced(self, log_path):
+        store = SiteLogStore(log_path)
+        log = DurableDTLog(store, txn=1)
+        log.write_vote(Vote.YES, at=1.0)
+        log.write_decision(Outcome.COMMIT, at=2.0, via="protocol")
+        forced = store.forced_writes
+        log.write_decision(Outcome.COMMIT, at=3.0, via="recovery")  # no-op
+        assert store.forced_writes == forced
+        assert len(log) == 2
+        store.close()
+
+    def test_conflicting_decision_raises_and_not_forced(self, log_path):
+        store = SiteLogStore(log_path)
+        log = DurableDTLog(store, txn=1)
+        log.write_decision(Outcome.ABORT, at=1.0, via="recovery")
+        forced = store.forced_writes
+        with pytest.raises(WALError):
+            log.write_decision(Outcome.COMMIT, at=2.0, via="protocol")
+        assert store.forced_writes == forced
+        store.close()
+
+    def test_restart_resumes_where_crash_left_off(self, log_path):
+        store = SiteLogStore(log_path)
+        DurableDTLog(store, txn=1).write_vote(Vote.YES, at=1.0)
+        store.close()  # "crash" after the vote force
+
+        reborn_store = SiteLogStore(log_path)
+        log = DurableDTLog(reborn_store, txn=1)
+        assert log.vote() == VoteRecord(vote=Vote.YES, at=1.0)
+        assert log.decision() is None  # in doubt — recovery must query
+        with pytest.raises(WALError):
+            log.write_vote(Vote.YES, at=5.0)  # invariants re-armed by replay
+        log.write_decision(Outcome.COMMIT, at=6.0, via="recovery")
+        reborn_store.close()
+
+        final = SiteLogStore(log_path)
+        assert [type(r).__name__ for r in final.records_for(1)] == [
+            "VoteRecord",
+            "DecisionRecord",
+        ]
+        final.close()
+
+    def test_transactions_are_isolated(self, log_path):
+        store = SiteLogStore(log_path)
+        DurableDTLog(store, txn=1).write_vote(Vote.YES, at=1.0)
+        DurableDTLog(store, txn=2).write_vote(Vote.NO, at=1.5)
+        store.close()
+        reborn = SiteLogStore(log_path)
+        assert reborn.txn_ids() == [1, 2]
+        assert DurableDTLog(reborn, txn=1).vote().vote is Vote.YES
+        assert DurableDTLog(reborn, txn=2).vote().vote is Vote.NO
+        reborn.close()

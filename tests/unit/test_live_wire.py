@@ -1,0 +1,151 @@
+"""Wire-format round-trips and rejection paths (`repro.live.wire`)."""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import struct
+
+import pytest
+
+from repro.errors import FrameError
+from repro.live.wire import (
+    MAX_FRAME,
+    decode_frame_bytes,
+    decode_payload,
+    encode_frame,
+    encode_payload,
+    read_frame,
+)
+from repro.runtime.messages import (
+    OutcomeQuery,
+    OutcomeReply,
+    ProtoMsg,
+    TermAck,
+    TermBlocked,
+    TermDecision,
+    TermMoveTo,
+    TermStateQuery,
+    TermStateReply,
+)
+from repro.types import Outcome, SiteId
+
+
+def _read(data: bytes):
+    """Run read_frame against an in-memory stream fed with `data` + EOF."""
+
+    async def go():
+        reader = asyncio.StreamReader()
+        reader.feed_data(data)
+        reader.feed_eof()
+        return await read_frame(reader)
+
+    return asyncio.run(go())
+
+
+class TestFrameLayer:
+    def test_round_trip(self):
+        frame = {"t": "begin", "txn": 7, "wait": True}
+        obj, rest = decode_frame_bytes(encode_frame(frame))
+        assert obj == frame
+        assert rest == b""
+
+    def test_deterministic_encoding(self):
+        a = encode_frame({"b": 1, "a": 2})
+        b = encode_frame({"a": 2, "b": 1})
+        assert a == b  # sorted keys
+
+    def test_two_frames_concatenated(self):
+        data = encode_frame({"t": "hb"}) + encode_frame({"t": "hello", "site": 2})
+        first, rest = decode_frame_bytes(data)
+        second, rest = decode_frame_bytes(rest)
+        assert first == {"t": "hb"}
+        assert second == {"t": "hello", "site": 2}
+        assert rest == b""
+
+    def test_oversized_frame_rejected_on_encode(self):
+        with pytest.raises(FrameError):
+            encode_frame({"blob": "x" * (MAX_FRAME + 1)})
+
+    def test_oversized_length_prefix_rejected_on_decode(self):
+        data = struct.pack(">I", MAX_FRAME + 1) + b"{}"
+        with pytest.raises(FrameError):
+            decode_frame_bytes(data)
+
+    def test_truncated_frame_rejected(self):
+        data = encode_frame({"t": "hb"})[:-1]
+        with pytest.raises(FrameError):
+            decode_frame_bytes(data)
+
+    def test_non_object_body_rejected(self):
+        body = json.dumps([1, 2, 3]).encode()
+        data = struct.pack(">I", len(body)) + body
+        with pytest.raises(FrameError):
+            decode_frame_bytes(data)
+
+    def test_read_frame_clean_eof_returns_none(self):
+        assert _read(b"") is None
+
+    def test_read_frame_round_trip(self):
+        assert _read(encode_frame({"t": "status", "txn": 1})) == {
+            "t": "status",
+            "txn": 1,
+        }
+
+    def test_read_frame_torn_prefix(self):
+        with pytest.raises(FrameError):
+            _read(b"\x00\x00")
+
+    def test_read_frame_torn_body(self):
+        with pytest.raises(FrameError):
+            _read(encode_frame({"t": "hb"})[:-2])
+
+    def test_read_frame_garbage_json(self):
+        data = struct.pack(">I", 4) + b"}{}{"
+        with pytest.raises(FrameError):
+            _read(data)
+
+
+PAYLOADS = [
+    ProtoMsg("prepare"),
+    TermMoveTo(SiteId(2), "p", 3),
+    TermAck(3),
+    TermDecision(Outcome.COMMIT, 1),
+    TermBlocked(2),
+    TermStateQuery(SiteId(3), 4),
+    TermStateReply("w", Outcome.UNDECIDED, 4),
+    OutcomeQuery(),
+    OutcomeReply(Outcome.ABORT, recovered_in_doubt=True),
+]
+
+
+class TestPayloadCodec:
+    @pytest.mark.parametrize("payload", PAYLOADS, ids=lambda p: type(p).__name__)
+    def test_round_trip(self, payload):
+        assert decode_payload(encode_payload(payload)) == payload
+
+    @pytest.mark.parametrize("payload", PAYLOADS, ids=lambda p: type(p).__name__)
+    def test_json_safe(self, payload):
+        # The encoded dict must survive a JSON round-trip unchanged.
+        encoded = encode_payload(payload)
+        assert json.loads(json.dumps(encoded)) == encoded
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(FrameError):
+            encode_payload(object())  # type: ignore[arg-type]
+
+    def test_unknown_tag_rejected(self):
+        with pytest.raises(FrameError):
+            decode_payload({"p": "no-such-tag"})
+
+    def test_missing_field_rejected(self):
+        with pytest.raises(FrameError):
+            decode_payload({"p": "term-move-to", "backup": 1})
+
+    def test_bad_outcome_rejected(self):
+        with pytest.raises(FrameError):
+            decode_payload({"p": "term-decision", "outcome": "maybe", "round": 1})
+
+    def test_outcome_reply_in_doubt_defaults_false(self):
+        decoded = decode_payload({"p": "outcome-reply", "outcome": "commit"})
+        assert decoded == OutcomeReply(Outcome.COMMIT, recovered_in_doubt=False)

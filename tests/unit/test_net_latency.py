@@ -1,0 +1,93 @@
+"""Latency models: the randomized profiles and the fixed model's contract."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.net.latency import (
+    ExponentialLatency,
+    FixedLatency,
+    UniformLatency,
+    lan_profile,
+)
+from repro.types import SiteId
+
+A, B = SiteId(1), SiteId(2)
+
+
+class TestExponentialLatency:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ExponentialLatency(mean=0.0)
+        with pytest.raises(ValueError):
+            ExponentialLatency(mean=-1.0)
+        with pytest.raises(ValueError):
+            ExponentialLatency(mean=1.0, floor=-0.1)
+
+    def test_floor_is_a_hard_lower_bound(self):
+        model = ExponentialLatency(mean=0.5, floor=2.0)
+        rng = random.Random(7)
+        assert all(model.delay(A, B, rng) >= 2.0 for _ in range(500))
+
+    def test_mean_of_the_tail(self):
+        model = ExponentialLatency(mean=3.0, floor=1.0)
+        rng = random.Random(42)
+        samples = [model.delay(A, B, rng) - 1.0 for _ in range(20_000)]
+        assert sum(samples) / len(samples) == pytest.approx(3.0, rel=0.05)
+
+    def test_long_right_tail(self):
+        # The defining property vs. uniform noise: p99 well above p50.
+        model = ExponentialLatency(mean=1.0, floor=0.0)
+        rng = random.Random(3)
+        samples = sorted(model.delay(A, B, rng) for _ in range(10_000))
+        p50 = samples[len(samples) // 2]
+        p99 = samples[int(len(samples) * 0.99)]
+        assert p99 > 3 * p50
+
+    def test_deterministic_for_a_seeded_rng(self):
+        model = ExponentialLatency(mean=1.0, floor=0.5)
+        first = [model.delay(A, B, random.Random(9)) for _ in range(5)]
+        second = [model.delay(A, B, random.Random(9)) for _ in range(5)]
+        assert first == second
+
+
+class TestLanProfile:
+    def test_shape(self):
+        model = lan_profile()
+        assert isinstance(model, ExponentialLatency)
+        assert model.floor == pytest.approx(0.75)
+        assert model.mean == pytest.approx(0.5)
+
+    def test_scale_is_linear(self):
+        ms = lan_profile(scale=0.12)
+        assert ms.floor == pytest.approx(0.75 * 0.12)
+        assert ms.mean == pytest.approx(0.5 * 0.12)
+
+    def test_median_hop_is_about_one_time_unit(self):
+        # At scale=1 a median hop should land near 1.0 simulated units,
+        # so phase counts read as round-trip counts.
+        rng = random.Random(11)
+        model = lan_profile()
+        samples = sorted(model.delay(A, B, rng) for _ in range(10_000))
+        median = samples[len(samples) // 2]
+        assert 0.9 < median < 1.3
+
+
+class TestFixedLatencyContract:
+    def test_ignores_the_rng_by_design(self):
+        # FixedLatency documents that it draws nothing: the rng's state
+        # must be untouched, so swapping models never shifts other
+        # consumers' named streams.
+        model = FixedLatency(2.5)
+        rng = random.Random(1234)
+        before = rng.getstate()
+        assert model.delay(A, B, rng) == 2.5
+        assert rng.getstate() == before
+
+    def test_uniform_does_draw(self):
+        rng = random.Random(1234)
+        before = rng.getstate()
+        UniformLatency(0.0, 1.0).delay(A, B, rng)
+        assert rng.getstate() != before

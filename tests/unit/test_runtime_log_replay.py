@@ -1,0 +1,79 @@
+"""`DTLog.replay` edge cases: the restart path re-checks every invariant."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import WALError
+from repro.runtime.log import DecisionRecord, DTLog, VoteRecord
+from repro.types import Outcome, Vote
+
+VOTE = VoteRecord(vote=Vote.YES, at=1.0)
+COMMIT = DecisionRecord(outcome=Outcome.COMMIT, at=2.0, via="protocol")
+ABORT = DecisionRecord(outcome=Outcome.ABORT, at=2.0, via="termination")
+
+
+def test_replay_normal_sequence():
+    log = DTLog.replay([VOTE, COMMIT])
+    assert log.vote() == VOTE
+    assert log.decision() == COMMIT
+    assert log.outcome() is Outcome.COMMIT
+
+
+def test_replay_empty():
+    log = DTLog.replay([])
+    assert len(log) == 0
+    assert log.outcome() is Outcome.UNDECIDED
+
+
+def test_replay_is_idempotent():
+    # Re-applying a log's own records reproduces it exactly.
+    log = DTLog()
+    log.write_vote(Vote.YES, at=1.0)
+    log.write_decision(Outcome.COMMIT, at=2.0, via="protocol")
+    assert DTLog.replay(log.records).records == log.records
+    # And a second round-trip is a fixed point.
+    assert DTLog.replay(DTLog.replay(log.records).records).records == log.records
+
+
+def test_replay_decision_without_vote_is_legal():
+    # Termination/recovery can force an outcome onto a site that never
+    # voted (e.g. unilateral abort after a pre-vote crash).
+    log = DTLog.replay([ABORT])
+    assert log.vote() is None
+    assert log.outcome() is Outcome.ABORT
+
+
+def test_replay_absorbs_duplicate_same_outcome_decisions():
+    # A recovering site may re-learn its own decision; same-outcome
+    # duplicates collapse through the no-op re-logging path.
+    relearn = DecisionRecord(outcome=Outcome.COMMIT, at=9.0, via="recovery")
+    log = DTLog.replay([VOTE, COMMIT, relearn])
+    assert len(log) == 2
+    assert log.decision() == COMMIT  # the first force wins
+
+
+def test_replay_rejects_conflicting_decisions():
+    with pytest.raises(WALError):
+        DTLog.replay([VOTE, COMMIT, ABORT])
+
+
+def test_replay_rejects_duplicate_votes():
+    with pytest.raises(WALError):
+        DTLog.replay([VOTE, VOTE])
+
+
+def test_replay_rejects_vote_after_decision():
+    with pytest.raises(WALError):
+        DTLog.replay([ABORT, VOTE])
+
+
+def test_replay_rejects_foreign_records():
+    with pytest.raises(WALError):
+        DTLog.replay([VOTE, object()])  # type: ignore[list-item]
+
+
+def test_replay_rejects_non_final_decision():
+    bogus = DecisionRecord(outcome=Outcome.UNDECIDED, at=2.0, via="protocol")
+    with pytest.raises(WALError):
+        DTLog.replay([bogus])
