@@ -300,6 +300,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             requery_interval=args.requery_interval,
             termination_mode=args.termination,
             vote=args.vote,
+            max_inflight=args.max_inflight,
             pause_after=(
                 parse_pause_after(args.pause_after) if args.pause_after else None
             ),
@@ -335,6 +336,7 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
         termination_mode=args.termination,
         decide_timeout=args.timeout,
         ready_timeout=args.timeout,
+        max_inflight=args.max_inflight,
     )
     try:
         with ClusterHarness(config) as harness:
@@ -342,7 +344,7 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
                 result = kill_coordinator_scenario(harness).to_dict()
             else:
                 harness.start()
-                result = harness.bench(args.bench)
+                result = harness.bench(args.bench, concurrency=args.concurrency)
     except Exception as error:  # noqa: BLE001 - CLI boundary
         print(f"repro cluster: {type(error).__name__}: {error}", file=sys.stderr)
         print(f"site logs are under {data_dir}", file=sys.stderr)
@@ -870,6 +872,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument("--vote", choices=("yes", "no"), default="yes")
     serve.add_argument(
+        "--max-inflight",
+        type=int,
+        default=64,
+        dest="max_inflight",
+        help="cap on concurrently hosted client transactions (backpressure)",
+    )
+    serve.add_argument(
         "--pause-after",
         metavar="KIND:N",
         dest="pause_after",
@@ -900,6 +909,20 @@ def build_parser() -> argparse.ArgumentParser:
         default=20,
         metavar="N",
         help="commit N transactions and report throughput/latency",
+    )
+    cluster.add_argument(
+        "--concurrency",
+        type=int,
+        default=1,
+        metavar="N",
+        help="closed-loop benchmark clients driving the gateway (default 1)",
+    )
+    cluster.add_argument(
+        "--max-inflight",
+        type=int,
+        default=64,
+        dest="max_inflight",
+        help="per-site cap on concurrently hosted client transactions",
     )
     cluster.add_argument(
         "--json-out",

@@ -1,15 +1,19 @@
 """The client side of the live cluster's wire protocol.
 
-A client opens one TCP connection per request to any site (the
-*gateway*), sends one frame, and reads one reply — the same protocol
-``repro txn`` speaks from the command line and the cluster harness
-speaks when orchestrating scenarios:
+A client talks to any site (the *gateway*) in request/reply frames —
+the same protocol ``repro txn`` speaks from the command line and the
+cluster harness speaks when orchestrating scenarios:
 
 * ``begin`` — start a transaction at the gateway and (by default) wait
   for the gateway's own decision;
 * ``status`` — ask one site for its local view of a transaction
   (state, outcome, blocked flag, boot count);
 * ``shutdown`` — ask a site process to exit gracefully.
+
+The one-shot helpers (:func:`request`, :func:`begin_txn`, …) open a
+fresh connection per request.  :class:`ClientSession` keeps one
+connection open across many requests — the closed-loop benchmark
+workers use it so TCP setup is not on the per-transaction path.
 """
 
 from __future__ import annotations
@@ -58,6 +62,82 @@ async def request(
             await writer.wait_closed()
         except (ConnectionError, OSError):  # pragma: no cover - teardown race
             pass
+
+
+class ClientSession:
+    """One persistent connection to a site, serving sequential requests.
+
+    One request is in flight per session at a time (the server replies
+    in order); run many sessions for client-side concurrency.  Usable
+    as an async context manager.
+    """
+
+    def __init__(self, host: str, port: int) -> None:
+        self.host = host
+        self.port = port
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+
+    async def __aenter__(self) -> "ClientSession":
+        await self.connect()
+        return self
+
+    async def __aexit__(self, *exc_info: Any) -> None:
+        await self.close()
+
+    async def connect(self) -> None:
+        try:
+            self._reader, self._writer = await asyncio.open_connection(
+                self.host, self.port
+            )
+        except OSError as error:
+            raise TransportError(
+                f"cannot reach site at {self.host}:{self.port}: {error}"
+            ) from error
+
+    async def close(self) -> None:
+        if self._writer is None:
+            return
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionError, OSError):  # pragma: no cover - teardown race
+            pass
+        self._reader = self._writer = None
+
+    async def request(
+        self, frame: dict[str, Any], timeout: float = 10.0
+    ) -> dict[str, Any]:
+        """Send one frame on the open connection and await one reply."""
+        if self._reader is None or self._writer is None:
+            raise TransportError("session is not connected")
+        self._writer.write(encode_frame(frame))
+        await self._writer.drain()
+        try:
+            # asyncio.timeout over wait_for: no wrapper Task per request
+            # (a measurable cost for the closed-loop benchmark workers).
+            async with asyncio.timeout(timeout):
+                reply = await read_frame(self._reader)
+        except TimeoutError:
+            raise LiveTimeoutError(
+                f"no reply from {self.host}:{self.port} within {timeout:g}s "
+                f"(request {frame.get('t')!r})"
+            ) from None
+        if reply is None:
+            raise TransportError(
+                f"{self.host}:{self.port} closed the connection early"
+            )
+        if reply.get("t") == "error":
+            raise TransportError(f"{self.host}:{self.port}: {reply.get('error')}")
+        return reply
+
+    async def begin_txn(
+        self, txn_id: int, wait: bool = True, timeout: float = 10.0
+    ) -> dict[str, Any]:
+        """Start a transaction at the gateway (see :func:`begin_txn`)."""
+        return await self.request(
+            {"t": "begin", "txn": txn_id, "wait": wait}, timeout=timeout
+        )
 
 
 async def begin_txn(

@@ -19,10 +19,14 @@ coordinator mid-broadcast, watch the survivors — 3PC terminates
 (commit), 2PC blocks until the coordinator's restarted incarnation
 resolves it — then audit atomicity across every site's final outcome.
 
-:meth:`ClusterHarness.bench` measures the healthy path: sequential
-transactions through a gateway, client-observed commit latency, and
-the per-site forced-write counts that separate 2PC's two forced
-records from 3PC's three.
+:meth:`ClusterHarness.bench` measures the healthy path as a
+closed-loop benchmark: ``concurrency`` client workers each keep one
+transaction in flight through a gateway, so N in-flight transactions
+exercise the sites' group-commit DT logs and frame coalescing.  The
+report carries client-observed latency percentiles plus the
+amortization counters (``fsync_calls`` vs ``forced_writes``,
+``socket_writes`` vs frames).  ``concurrency=1`` is the strictly
+serial path the kill-scenario determinism relies on.
 """
 
 from __future__ import annotations
@@ -65,6 +69,7 @@ class ClusterConfig:
     termination_mode: str = "standard"
     ready_timeout: float = 30.0
     decide_timeout: float = 30.0
+    max_inflight: int = 64
 
     def __post_init__(self) -> None:
         self.data_dir = Path(self.data_dir)
@@ -144,6 +149,7 @@ class ClusterHarness:
             "--suspect-after", str(self.config.suspect_after),
             "--requery-interval", str(self.config.requery_interval),
             "--termination-mode", self.config.termination_mode,
+            "--max-inflight", str(self.config.max_inflight),
             "--vote", vote,
         ]
         if pause_after is not None:
@@ -279,6 +285,34 @@ class ClusterHarness:
             )
         )
 
+    def begin_many(
+        self,
+        txn_ids: list[int],
+        gateway: SiteId = SiteId(1),
+        wait: bool = True,
+        timeout: Optional[float] = None,
+    ) -> list[dict[str, Any]]:
+        """Start many transactions concurrently through one gateway.
+
+        All begins share one event loop, so the gateway sees genuinely
+        interleaved in-flight transactions; replies come back in
+        ``txn_ids`` order.
+        """
+        timeout = timeout if timeout is not None else self.config.decide_timeout
+        host, port = self.config.host, self.ports[SiteId(int(gateway))]
+
+        async def run() -> list[dict[str, Any]]:
+            return list(
+                await asyncio.gather(
+                    *(
+                        client.begin_txn(host, port, txn, wait=wait, timeout=timeout)
+                        for txn in txn_ids
+                    )
+                )
+            )
+
+        return asyncio.run(run())
+
     def status(self, txn_id: int, site: SiteId) -> Optional[dict[str, Any]]:
         """One site's view of a transaction (``None`` if unreachable)."""
         return asyncio.run(
@@ -336,48 +370,53 @@ class ClusterHarness:
     # ------------------------------------------------------------------
 
     def bench(
-        self, n_txns: int, gateway: SiteId = SiteId(1)
+        self,
+        n_txns: int,
+        gateway: SiteId = SiteId(1),
+        concurrency: int = 1,
+        first_txn: int = 1,
     ) -> dict[str, Any]:
-        """Drive ``n_txns`` sequential transactions; report the numbers.
+        """Closed-loop benchmark: ``concurrency`` workers, ``n_txns`` total.
 
-        Latency is client-observed (begin → gateway decision), which
-        includes every network hop and forced write on the critical
-        path.  Forced-write counts come from the per-site metrics
-        snapshots, minus one boot record per site.
+        Each worker keeps exactly one transaction in flight (begin →
+        wait for its gateway's durable decision → next), so the cluster
+        hosts up to ``concurrency`` interleaved transactions.  Workers
+        are assigned gateways round-robin starting at ``gateway`` — any
+        site can gateway a transaction, so client handling spreads
+        across the cluster the way a real deployment's would, while the
+        protocol's coordinator stays wherever the spec puts it.
+        Latency is client-observed and includes every network hop and
+        forced write on the critical path.  ``concurrency=1`` is the
+        strictly serial baseline: one worker, one gateway (``gateway``),
+        one transaction at a time.
+
+        Counter totals come from the per-site metrics snapshots, minus
+        one boot record (one forced write, one fsync) per site, so the
+        numbers reflect protocol log writes only.
         """
         if n_txns < 1:
             raise ClusterError(f"need at least 1 benchmark txn, got {n_txns}")
-        latencies: list[float] = []
-        started = time.monotonic()
-        for index in range(n_txns):
-            reply = self.begin(index + 1, gateway=gateway)
-            if reply.get("outcome") != Outcome.COMMIT.value:
-                raise ClusterError(
-                    f"benchmark txn {index + 1} ended {reply.get('outcome')!r}; "
-                    "the healthy path must commit"
-                )
-            latencies.append(float(reply["elapsed_ms"]))
-        elapsed = time.monotonic() - started
+        if concurrency < 1:
+            raise ClusterError(f"concurrency must be >= 1, got {concurrency}")
+        before = self._bench_counters()
+        latencies, elapsed = asyncio.run(
+            self._bench_async(n_txns, gateway, concurrency, first_txn)
+        )
+        self._quiesce()
+        after = self._bench_counters()
         ordered = sorted(latencies)
 
         def quantile(q: float) -> float:
             return ordered[min(len(ordered) - 1, int(q * len(ordered)))]
 
-        forced = frames = 0
-        for site in self.ports:
-            snapshot = self.site_metrics(site)
-            if snapshot is None:
-                continue
-            # Each incarnation forces exactly one boot record on open;
-            # discount it so the number reflects protocol log writes.
-            forced += snapshot["live"]["forced_writes"] - 1
-            for key, value in snapshot.get("counters", {}).items():
-                if key.startswith("proto_frames_sent_total"):
-                    frames += value
+        delta = {
+            key: after[key] - before[key] for key in after
+        }
         return {
             "protocol": self.config.spec_name,
             "n_sites": self.config.n_sites,
             "txns": n_txns,
+            "concurrency": concurrency,
             "elapsed_s": round(elapsed, 4),
             "txns_per_sec": round(n_txns / elapsed, 2),
             "latency_ms": {
@@ -386,11 +425,102 @@ class ClusterHarness:
                 "p99": round(quantile(0.99), 3),
                 "max": round(ordered[-1], 3),
             },
-            "forced_writes": forced,
-            "forced_writes_per_txn": round(forced / n_txns, 2),
-            "proto_frames": frames,
-            "proto_frames_per_txn": round(frames / n_txns, 2),
+            "forced_writes": delta["forced_writes"],
+            "forced_writes_per_txn": round(delta["forced_writes"] / n_txns, 2),
+            "fsync_calls": delta["fsync_calls"],
+            "fsyncs_per_txn": round(delta["fsync_calls"] / n_txns, 2),
+            "proto_frames": delta["proto_frames"],
+            "proto_frames_per_txn": round(delta["proto_frames"] / n_txns, 2),
+            "socket_writes": delta["socket_writes"],
+            "frames_per_socket_write": round(
+                delta["frames_sent"] / delta["socket_writes"], 2
+            )
+            if delta["socket_writes"]
+            else 0.0,
         }
+
+    async def _bench_async(
+        self, n_txns: int, gateway: SiteId, concurrency: int, first_txn: int
+    ) -> tuple[list[float], float]:
+        host = self.config.host
+        sites = sorted(self.ports)
+        first = sites.index(SiteId(int(gateway)))
+        latencies: list[float] = []
+        ids = iter(range(first_txn, first_txn + n_txns))
+
+        async def worker(port: int) -> None:
+            async with client.ClientSession(host, port) as session:
+                while True:
+                    txn_id = next(ids, None)
+                    if txn_id is None:
+                        return
+                    reply = await session.begin_txn(
+                        txn_id, timeout=self.config.decide_timeout
+                    )
+                    if reply.get("outcome") != Outcome.COMMIT.value:
+                        raise ClusterError(
+                            f"benchmark txn {txn_id} ended "
+                            f"{reply.get('outcome')!r}; "
+                            "the healthy path must commit"
+                        )
+                    latencies.append(float(reply["elapsed_ms"]))
+
+        started = time.monotonic()
+        await asyncio.gather(
+            *(
+                worker(self.ports[sites[(first + i) % len(sites)]])
+                for i in range(min(concurrency, n_txns))
+            )
+        )
+        return latencies, time.monotonic() - started
+
+    def _quiesce(self, timeout: float = 5.0) -> None:
+        """Wait until no site reports in-flight transactions.
+
+        The gateway replies to the last client before the *participants*
+        finish publishing their own decision records, and sites write
+        their final (quiescent) metrics snapshot only once nothing is in
+        flight — so counter reads right after a bench would undercount.
+        """
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            snapshots = [self.site_metrics(site) for site in self.ports]
+            if all(
+                s is not None and s["live"].get("inflight_txns", 0) == 0
+                for s in snapshots
+            ):
+                return
+            time.sleep(0.02)
+
+    def _bench_counters(self) -> dict[str, int]:
+        """Cluster-wide counter totals (boot records discounted).
+
+        Taken before and after a bench run so repeated benches on one
+        live cluster measure only their own transactions.
+        """
+        totals = {
+            "forced_writes": 0,
+            "fsync_calls": 0,
+            "frames_sent": 0,
+            "socket_writes": 0,
+            "proto_frames": 0,
+        }
+        for site in self.ports:
+            snapshot = self.site_metrics(site)
+            if snapshot is None:
+                continue
+            live = snapshot.get("live", {})
+            boots = int(live.get("boot", 1))
+            # Each incarnation forces exactly one boot record on open
+            # (one forced write, one fsync); discount them.
+            totals["forced_writes"] += int(live.get("forced_writes", 0)) - boots
+            totals["fsync_calls"] += int(live.get("fsync_calls", 0)) - boots
+            totals["frames_sent"] += int(live.get("frames_sent", 0))
+            totals["socket_writes"] += int(live.get("socket_writes", 0))
+            for key, value in snapshot.get("counters", {}).items():
+                if key.startswith("proto_frames_sent_total"):
+                    totals["proto_frames"] += value
+        return totals
 
     def site_metrics(self, site: SiteId) -> Optional[dict[str, Any]]:
         """The last metrics snapshot a site published (or ``None``)."""

@@ -23,6 +23,19 @@ Outgoing frames are buffered per peer and survive reconnects: a frame
 is only dropped from the outbox after the socket write for it drained.
 ``flush`` awaits empty outboxes — the crash injector uses it to make
 "killed right after the broadcast left" deterministic.
+
+Two throughput mechanisms ride on the outbox:
+
+* **Durability barriers** — a frame may carry the DT-log LSN it
+  depends on (its site's vote/decision record); the sender awaits the
+  store's durability watermark before letting the frame reach the
+  socket.  This is what lets the group-commit log buffer forced
+  records without ever weakening the write-ahead rule: the record is
+  on the platter before any peer can see a message implying it.
+* **Frame coalescing** — everything queued (and durable) for a peer is
+  written in one ``writer.write`` per drain cycle.  Length-prefixed
+  frames self-delimit, so concatenation is free; ``socket_writes`` vs
+  ``frames_sent`` measures the syscall amortization.
 """
 
 from __future__ import annotations
@@ -33,12 +46,20 @@ from typing import Any, Awaitable, Callable, Optional
 
 from repro.errors import TransportError
 from repro.live.clock import TimeoutClock
-from repro.live.wire import encode_frame, read_frame
+from repro.live.wire import FrameDecoder, encode_frame, read_frame
 from repro.types import SiteId
 
 #: Reconnect backoff: start fast (loopback restarts are quick), cap low.
 RECONNECT_MIN = 0.05
 RECONNECT_MAX = 1.0
+
+#: Upper bound on frames coalesced into one socket write.  Far above
+#: anything the commit protocols queue per drain cycle; it only bounds
+#: the size of a single write after a long reconnect backlog.
+MAX_COALESCE = 256
+
+#: Awaits until the site's DT log is durable up to the given LSN.
+DurabilityGate = Callable[[int], Awaitable[None]]
 
 #: An async callback receiving (peer id, frame).
 FrameHandler = Callable[[SiteId, dict[str, Any]], Awaitable[None]]
@@ -64,9 +85,15 @@ class Transport:
         on_frame: Handler for frames arriving from peers.
         on_client: Handler for client connections.
         on_suspect / on_recover: Failure-detector callbacks (sync).
+        on_restart: Called when a peer's hello carries a higher boot
+            incarnation than previously seen — the peer crashed and
+            came back, even if it beat the heartbeat detector.
+        boot: This site's own boot incarnation, advertised in hellos.
         hb_interval: Heartbeat period, seconds.
         suspect_after: Silence threshold before suspecting a peer.
         trace: Trace sink ``(category, detail, **data)``.
+        wait_durable: Optional durability gate — frames queued with a
+            nonzero barrier LSN are held until this resolves for it.
     """
 
     def __init__(
@@ -80,9 +107,12 @@ class Transport:
         on_client: ClientHandler,
         on_suspect: Callable[[SiteId], None],
         on_recover: Callable[[SiteId], None],
+        on_restart: Optional[Callable[[SiteId], None]] = None,
+        boot: int = 1,
         hb_interval: float = 0.25,
         suspect_after: float = 1.5,
         trace: Callable[..., None] = lambda *a, **k: None,
+        wait_durable: Optional[DurabilityGate] = None,
     ) -> None:
         if site in peers:
             raise TransportError(f"site {site} cannot be its own peer")
@@ -91,17 +121,21 @@ class Transport:
         self.port = port
         self.peers = dict(peers)
         self.clock = clock
+        self.boot = int(boot)
         self.hb_interval = hb_interval
         self.suspect_after = suspect_after
         self._on_frame = on_frame
         self._on_client = on_client
         self._on_suspect = on_suspect
         self._on_recover = on_recover
+        self._on_restart = on_restart
         self._trace = trace
+        self._wait_durable = wait_durable
 
         self._server: Optional[asyncio.base_events.Server] = None
         self._tasks: list[asyncio.Task] = []
-        self._outbox: dict[SiteId, collections.deque[bytes]] = {
+        #: Per-peer queue of (encoded frame, durability-barrier LSN).
+        self._outbox: dict[SiteId, collections.deque[tuple[bytes, int]]] = {
             peer: collections.deque() for peer in peers
         }
         self._outbox_ready: dict[SiteId, asyncio.Event] = {}
@@ -111,8 +145,11 @@ class Transport:
         self.suspected: set[SiteId] = set()
         #: Inbound hello connections accepted per peer, ever.
         self._hello_count: dict[SiteId, int] = {p: 0 for p in peers}
+        #: Highest boot incarnation each peer has announced in a hello.
+        self._peer_boot: dict[SiteId, int] = {}
         self.frames_sent = 0
         self.frames_received = 0
+        self.socket_writes = 0
         self._stopped = False
 
     # ------------------------------------------------------------------
@@ -165,15 +202,42 @@ class Transport:
     # Sending
     # ------------------------------------------------------------------
 
-    def send(self, dst: SiteId, frame: dict[str, Any]) -> None:
+    def send(
+        self,
+        dst: SiteId,
+        frame: dict[str, Any],
+        barrier: int = 0,
+        volatile: bool = False,
+    ) -> None:
         """Queue one frame for a peer (buffered across reconnects).
+
+        ``barrier`` is the DT-log LSN this frame depends on: the sender
+        holds the frame until the log is durable that far (0 = no
+        dependency, e.g. heartbeats).  Queue order is preserved, so a
+        gated frame also delays later frames to the same peer — FIFO
+        per peer is part of the transport contract.
+
+        ``volatile`` marks commit-protocol traffic that must not
+        outlive the destination *incarnation* it was addressed to.
+        The paper's crash model is that messages to a crashed site are
+        lost; replaying a buffered vote-request or begin to a restarted
+        incarnation would instead start a fresh engine there for a
+        transaction its peers already terminated, which then waits
+        forever for votes nobody will send.  Volatile frames are
+        stamped with the destination's boot epoch as known *now*; the
+        receiver drops any stamped frame addressed to an earlier boot
+        than its own.  Termination and recovery payloads stay
+        non-volatile — answering those across incarnations is exactly
+        how a restarted site rejoins.
 
         Raises:
             TransportError: If ``dst`` is not a configured peer.
         """
         if dst not in self._outbox:
             raise TransportError(f"site {self.site} has no peer {dst}")
-        self._outbox[dst].append(encode_frame(frame))
+        if volatile:
+            frame = {**frame, "dst_boot": self._peer_boot.get(dst, 0)}
+        self._outbox[dst].append((encode_frame(frame), barrier))
         event = self._outbox_ready.get(dst)
         if event is not None:
             event.set()
@@ -226,20 +290,39 @@ class Transport:
             backoff = RECONNECT_MIN
             self._writers[peer] = writer
             try:
-                writer.write(encode_frame({"t": "hello", "site": int(self.site)}))
+                writer.write(
+                    encode_frame(
+                        {"t": "hello", "site": int(self.site), "boot": self.boot}
+                    )
+                )
                 await writer.drain()
                 while True:
                     if not outbox:
                         ready.clear()
                         await ready.wait()
-                    # Peek-then-pop: the frame leaves the outbox only
-                    # after its bytes drained, so a connection drop
-                    # mid-write re-sends it on the next connection.
-                    frame = outbox[0]
-                    writer.write(frame)
+                    # Collect every queued frame whose durability
+                    # barrier is satisfied (awaiting the log where
+                    # needed) and write them in ONE syscall — frames
+                    # self-delimit, so concatenation is free, and
+                    # frames that arrive while we await a barrier
+                    # join the same batch.
+                    count = 0
+                    parts: list[bytes] = []
+                    while count < len(outbox) and count < MAX_COALESCE:
+                        data, barrier = outbox[count]
+                        if barrier and self._wait_durable is not None:
+                            await self._wait_durable(barrier)
+                        parts.append(data)
+                        count += 1
+                    writer.write(b"".join(parts))
                     await writer.drain()
-                    outbox.popleft()
-                    self.frames_sent += 1
+                    self.socket_writes += 1
+                    # Peek-then-pop: frames leave the outbox only after
+                    # their bytes drained, so a connection drop
+                    # mid-write re-sends them on the next connection.
+                    for _ in range(count):
+                        outbox.popleft()
+                        self.frames_sent += 1
             except (ConnectionError, OSError):
                 pass
             finally:
@@ -317,7 +400,12 @@ class Transport:
             writer.close()
             return
         if first.get("t") == "hello":
-            await self._peer_receiver(SiteId(int(first["site"])), reader, writer)
+            await self._peer_receiver(
+                SiteId(int(first["site"])),
+                int(first.get("boot", 1)),
+                reader,
+                writer,
+            )
             return
         try:
             await self._on_client(first, reader, writer)
@@ -327,6 +415,7 @@ class Transport:
     async def _peer_receiver(
         self,
         peer: SiteId,
+        boot: int,
         reader: asyncio.StreamReader,
         writer: asyncio.StreamWriter,
     ) -> None:
@@ -338,6 +427,26 @@ class Transport:
             )
             writer.close()
             return
+        # A hello carrying a *higher boot incarnation* than this peer
+        # ever announced proves it crashed and restarted — even when
+        # the restart was faster than the suspicion threshold, in which
+        # case the heartbeat detector never noticed and any frame we
+        # wrote to the dead incarnation's socket is silently gone.  The
+        # restart callback lets in-flight transactions treat the peer
+        # as failed (termination protocol), which is the paper's model:
+        # a recovered site rejoins via recovery, not as an operational
+        # participant of transactions it may have forgotten mid-flight.
+        known_boot = self._peer_boot.get(peer)
+        restarted = known_boot is not None and boot > known_boot
+        self._peer_boot[peer] = max(boot, known_boot or 0)
+        if restarted:
+            self._trace(
+                "live.peer_restart",
+                f"site {peer} came back as boot {boot} (was {known_boot})",
+                peer=int(peer),
+            )
+            if self._on_restart is not None:
+                self._on_restart(peer)
         # A *new* hello connection from a peer we already had one from
         # means that peer's sender came back (process restart, or a TCP
         # reconnect).  Fire the recovery callback even when our own
@@ -358,16 +467,41 @@ class Transport:
                 peer=int(peer),
             )
             self._on_recover(peer)
+        # Read-side coalescing: pull whatever the socket has and split
+        # it synchronously — the sender batches frames per write, so
+        # one read() often yields a whole batch.  EOF with a partial
+        # frame buffered is the same dropped connection as a clean EOF:
+        # the sender re-queues undrained frames on reconnect.
+        decoder = FrameDecoder()
         try:
             while True:
-                frame = await read_frame(reader)
-                if frame is None:
+                data = await reader.read(65536)
+                if not data:
                     return
-                self.frames_received += 1
-                self._saw_peer(peer)
-                if frame.get("t") == "hb":
+                frames = decoder.feed(data)
+                if not frames:
                     continue
-                await self._on_frame(peer, frame)
+                self.frames_received += len(frames)
+                self._saw_peer(peer)
+                for frame in frames:
+                    if frame.get("t") == "hb":
+                        continue
+                    dst_boot = frame.get("dst_boot")
+                    if dst_boot is not None and dst_boot < self.boot:
+                        # Commit-protocol traffic addressed to a dead
+                        # incarnation of this site: per the crash
+                        # model those messages were lost with the
+                        # crash.  This incarnation resolves the
+                        # transactions involved via recovery, not by
+                        # replaying the old protocol run.
+                        self._trace(
+                            "live.stale_frame",
+                            f"dropping {frame.get('t')!r} frame addressed "
+                            f"to boot {dst_boot} (this is boot {self.boot})",
+                            peer=int(peer),
+                        )
+                        continue
+                    await self._on_frame(peer, frame)
         except TransportError:
             return
         except ConnectionError:

@@ -101,6 +101,59 @@ async def read_frame(reader: asyncio.StreamReader) -> Optional[dict[str, Any]]:
     return obj
 
 
+class FrameDecoder:
+    """Incremental frame decoder: feed raw bytes, take complete frames.
+
+    The receive-side complement of sender coalescing — a peer packs
+    many frames into one socket write, so the receiver pulls whatever
+    the socket has buffered and splits it synchronously instead of
+    paying two stream awaits per frame.  Partial frames stay buffered
+    until the next ``feed``.
+    """
+
+    def __init__(self) -> None:
+        self._buf = bytearray()
+
+    @property
+    def pending(self) -> int:
+        """Bytes buffered toward a not-yet-complete frame."""
+        return len(self._buf)
+
+    def feed(self, data: bytes) -> list[dict[str, Any]]:
+        """Append bytes; return every frame completed by them, in order.
+
+        Raises:
+            FrameError: On an oversized length prefix or a body that is
+                not a JSON object.
+        """
+        buf = self._buf
+        buf += data
+        frames: list[dict[str, Any]] = []
+        offset = 0
+        while len(buf) - offset >= _LENGTH.size:
+            (length,) = _LENGTH.unpack_from(buf, offset)
+            if length > MAX_FRAME:
+                raise FrameError(f"length prefix {length} exceeds MAX_FRAME")
+            end = offset + _LENGTH.size + length
+            if len(buf) < end:
+                break
+            try:
+                obj = json.loads(
+                    bytes(buf[offset + _LENGTH.size : end]).decode("utf-8")
+                )
+            except (UnicodeDecodeError, json.JSONDecodeError) as error:
+                raise FrameError(f"frame body is not valid JSON: {error}") from error
+            if not isinstance(obj, dict):
+                raise FrameError(
+                    f"frame body must be a JSON object, got {type(obj).__name__}"
+                )
+            frames.append(obj)
+            offset = end
+        if offset:
+            del buf[:offset]
+        return frames
+
+
 def decode_frame_bytes(data: bytes) -> tuple[dict[str, Any], bytes]:
     """Synchronous single-frame decode; returns (frame, remaining bytes).
 

@@ -189,10 +189,17 @@ class Histogram:
 
 
 class MetricsRegistry:
-    """Named, labelled counters and histograms with deterministic export."""
+    """Named, labelled counters, gauges, and histograms.
+
+    Counters only go up, gauges are set to the current value of
+    something (in-flight transactions, queue depths), histograms bucket
+    observations.  Export is deterministic throughout (sorted keys);
+    snapshots round-trip via :meth:`to_dict` / :meth:`from_dict`.
+    """
 
     def __init__(self) -> None:
         self._counters: dict[tuple[str, LabelSet], int] = {}
+        self._gauges: dict[tuple[str, LabelSet], float] = {}
         self._histograms: dict[tuple[str, LabelSet], Histogram] = {}
 
     # ------------------------------------------------------------------
@@ -203,6 +210,10 @@ class MetricsRegistry:
         """Increment the counter ``name{labels}`` by ``amount``."""
         key = (name, _labels_key(labels))
         self._counters[key] = self._counters.get(key, 0) + amount
+
+    def set_gauge(self, name: str, value: float, **labels: Any) -> None:
+        """Set the gauge ``name{labels}`` to its current value."""
+        self._gauges[(name, _labels_key(labels))] = float(value)
 
     def observe(
         self,
@@ -231,6 +242,10 @@ class MetricsRegistry:
         """Current value of a counter (0 if never incremented)."""
         return self._counters.get((name, _labels_key(labels)), 0)
 
+    def gauge(self, name: str, **labels: Any) -> float:
+        """Current value of a gauge (0.0 if never set)."""
+        return self._gauges.get((name, _labels_key(labels)), 0.0)
+
     def histogram(self, name: str, **labels: Any) -> Optional[Histogram]:
         """The histogram for this series, or ``None``."""
         return self._histograms.get((name, _labels_key(labels)))
@@ -241,20 +256,28 @@ class MetricsRegistry:
         return self.counter(numerator, **labels) / denom if denom else 0.0
 
     def series(self) -> list[str]:
-        """All rendered series keys, sorted (counters then histograms)."""
+        """All rendered series keys, sorted (counters, gauges, histograms)."""
         counters = sorted(_render_key(*key) for key in self._counters)
+        gauges = sorted(_render_key(*key) for key in self._gauges)
         histograms = sorted(_render_key(*key) for key in self._histograms)
-        return counters + histograms
+        return counters + gauges + histograms
 
     # ------------------------------------------------------------------
     # Aggregation & export
     # ------------------------------------------------------------------
 
     def merge(self, other: "MetricsRegistry") -> None:
-        """Fold another registry into this one (cross-shard rollup)."""
+        """Fold another registry into this one (cross-shard rollup).
+
+        Counters and histograms add; gauges are point-in-time values
+        with no meaningful sum, so the *other* registry's value wins
+        (last write) — merge shards in observation order.
+        """
         for (name, labels), value in other._counters.items():
             key = (name, labels)
             self._counters[key] = self._counters.get(key, 0) + value
+        for (name, labels), value in other._gauges.items():
+            self._gauges[(name, labels)] = value
         for (name, labels), histogram in other._histograms.items():
             key = (name, labels)
             mine = self._histograms.get(key)
@@ -264,8 +287,13 @@ class MetricsRegistry:
             mine.merge(histogram)
 
     def to_dict(self) -> dict[str, Any]:
-        """Deterministic nested snapshot: sorted keys throughout."""
-        return {
+        """Deterministic nested snapshot: sorted keys throughout.
+
+        The ``gauges`` key appears only when at least one gauge was
+        set, so snapshots from gauge-free registries (the simulator,
+        the sweep runner) are byte-identical to earlier versions.
+        """
+        snapshot: dict[str, Any] = {
             "counters": {
                 _render_key(name, labels): value
                 for (name, labels), value in sorted(self._counters.items())
@@ -275,6 +303,12 @@ class MetricsRegistry:
                 for (name, labels), histogram in sorted(self._histograms.items())
             },
         }
+        if self._gauges:
+            snapshot["gauges"] = {
+                _render_key(name, labels): value
+                for (name, labels), value in sorted(self._gauges.items())
+            }
+        return snapshot
 
     @classmethod
     def from_dict(cls, snapshot: dict[str, Any]) -> "MetricsRegistry":
@@ -290,6 +324,9 @@ class MetricsRegistry:
         for rendered, value in snapshot.get("counters", {}).items():
             name, labels = _parse_key(rendered)
             registry._counters[(name, labels)] = int(value)
+        for rendered, value in snapshot.get("gauges", {}).items():
+            name, labels = _parse_key(rendered)
+            registry._gauges[(name, labels)] = float(value)
         for rendered, data in snapshot.get("histograms", {}).items():
             name, labels = _parse_key(rendered)
             registry._histograms[(name, labels)] = Histogram.from_dict(data)

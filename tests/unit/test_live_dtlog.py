@@ -1,6 +1,10 @@
-"""Durable DT log: file framing, torn tails, restart replay, forcing."""
+"""Durable DT log: file framing, torn tails, restart replay, forcing,
+and the group-commit flusher's durability ordering."""
 
 from __future__ import annotations
+
+import asyncio
+import time
 
 import pytest
 
@@ -108,6 +112,122 @@ class TestSiteLogStore:
             store = SiteLogStore(log_path)
             assert store.boot_count == expected
             store.close()
+
+
+class TestGroupCommit:
+    def test_nonforced_append_buffers_without_io(self, log_path):
+        """``force=False`` must not flush or fsync — it only buffers."""
+        fsyncs = []
+        store = SiteLogStore(log_path, fsync=fsyncs.append)
+        after_boot = len(fsyncs)
+        lsn = store.append_record(1, VoteRecord(vote=Vote.YES, at=1.0), force=False)
+        assert len(fsyncs) == after_boot
+        assert store.durable_lsn < lsn == store.pending_lsn
+        # close() writes the buffered record out (no fsync — it never
+        # promised durability) so a clean shutdown loses nothing.
+        store.close()
+        assert len(fsyncs) == after_boot
+        reborn = SiteLogStore(log_path)
+        assert reborn.records_for(1) == [VoteRecord(vote=Vote.YES, at=1.0)]
+        reborn.close()
+
+    def test_forced_append_is_durable_on_return_in_sync_mode(self, log_path):
+        fsyncs = []
+        store = SiteLogStore(log_path, fsync=fsyncs.append)
+        after_boot = len(fsyncs)
+        lsn = store.append_record(1, VoteRecord(vote=Vote.YES, at=1.0))
+        assert len(fsyncs) == after_boot + 1
+        assert store.durable_lsn == lsn
+        store.close()
+
+    def test_one_fsync_covers_a_whole_batch(self, log_path):
+        """Appends that queue before the flusher wakes share one fsync."""
+
+        async def main():
+            batches = []
+            store = SiteLogStore(log_path)
+            store.on_batch = batches.append
+            store.start_group_commit()
+            base_fsyncs = store.fsync_calls
+            lsns = [
+                store.append_record(txn, VoteRecord(vote=Vote.YES, at=1.0))
+                for txn in range(1, 9)
+            ]
+            await store.wait_durable(lsns[-1])
+            assert store.fsync_calls == base_fsyncs + 1
+            assert batches == [8]
+            assert store.durable_lsn >= lsns[-1]
+            await store.stop_group_commit()
+            store.close()
+            assert store.forced_writes == 9  # boot + 8, each demanding durability
+            assert store.fsync_calls < store.forced_writes
+
+        asyncio.run(main())
+
+    @pytest.mark.parametrize("slow_device", [False, True])
+    def test_waiter_resolves_only_after_fsync(self, log_path, slow_device):
+        """The group-commit contract: durability waiters never resolve
+        before the batch's fsync returns — on both flusher paths
+        (inline for a fast device, worker thread for a slow one)."""
+        order = []
+
+        def fake_fsync(fileno):
+            if slow_device:
+                time.sleep(0.003)  # pushes the EMA over the inline threshold
+            order.append("fsync")
+
+        async def main():
+            store = SiteLogStore(log_path, fsync=fake_fsync)
+            store.start_group_commit()
+            lsn = store.append_record(1, VoteRecord(vote=Vote.YES, at=1.0))
+
+            async def waiter():
+                await store.wait_durable(lsn)
+                order.append("durable")
+
+            task = asyncio.get_running_loop().create_task(waiter())
+            assert not task.done()  # nothing fsynced yet
+            await task
+            await store.stop_group_commit()
+            store.close()
+
+        asyncio.run(main())
+        assert order[-2:] == ["fsync", "durable"]
+
+    def test_on_durable_watermark_advances(self, log_path):
+        store = SiteLogStore(log_path)
+        watermarks = []
+        store.on_durable = watermarks.append
+        store.append_record(1, VoteRecord(vote=Vote.YES, at=1.0))
+        store.append_record(2, VoteRecord(vote=Vote.YES, at=2.0))
+        assert watermarks == [2, 3]  # LSN 1 is the boot record
+        store.close()
+
+    def test_torn_tail_mid_batch_drops_only_the_tail(self, log_path):
+        """kill -9 during a batched flush tears at most the last record;
+        the batch's earlier records replay intact."""
+
+        async def main():
+            store = SiteLogStore(log_path)
+            store.start_group_commit()
+            last = 0
+            for txn in (1, 2, 3):
+                last = store.append_record(
+                    txn, VoteRecord(vote=Vote.YES, at=float(txn))
+                )
+            await store.wait_durable(last)
+            await store.stop_group_commit()
+            store.close()
+
+        asyncio.run(main())
+        data = log_path.read_bytes()
+        log_path.write_bytes(data[:-7])  # tear the batch's final record
+
+        reborn = SiteLogStore(log_path)
+        assert reborn.torn_tail_dropped is True
+        assert reborn.txn_ids() == [1, 2]
+        assert reborn.records_for(3) == []
+        reborn.close()
 
 
 class TestDurableDTLog:

@@ -11,6 +11,7 @@ import pytest
 from repro.errors import FrameError
 from repro.live.wire import (
     MAX_FRAME,
+    FrameDecoder,
     decode_frame_bytes,
     decode_payload,
     encode_frame,
@@ -104,6 +105,51 @@ class TestFrameLayer:
         data = struct.pack(">I", 4) + b"}{}{"
         with pytest.raises(FrameError):
             _read(data)
+
+
+class TestFrameDecoder:
+    """The receive-side complement of sender coalescing."""
+
+    def test_coalesced_batch_splits_in_order(self):
+        frames = [{"t": "payload", "txn": n} for n in range(5)]
+        data = b"".join(encode_frame(f) for f in frames)
+        decoder = FrameDecoder()
+        assert decoder.feed(data) == frames
+        assert decoder.pending == 0
+
+    def test_byte_by_byte_delivery(self):
+        frame = {"t": "hello", "site": 3}
+        data = encode_frame(frame)
+        decoder = FrameDecoder()
+        for byte in data[:-1]:
+            assert decoder.feed(bytes([byte])) == []
+        assert decoder.feed(data[-1:]) == [frame]
+
+    def test_partial_frame_stays_pending_across_feeds(self):
+        first, second = {"t": "hb"}, {"t": "begin", "txn": 9}
+        data = encode_frame(first) + encode_frame(second)
+        split = len(encode_frame(first)) + 3  # mid-second-frame
+        decoder = FrameDecoder()
+        assert decoder.feed(data[:split]) == [first]
+        assert decoder.pending == 3
+        assert decoder.feed(data[split:]) == [second]
+        assert decoder.pending == 0
+
+    def test_oversized_length_prefix_rejected(self):
+        decoder = FrameDecoder()
+        with pytest.raises(FrameError):
+            decoder.feed(struct.pack(">I", MAX_FRAME + 1) + b"{}")
+
+    def test_garbage_json_rejected(self):
+        decoder = FrameDecoder()
+        with pytest.raises(FrameError):
+            decoder.feed(struct.pack(">I", 4) + b"}{}{")
+
+    def test_non_object_body_rejected(self):
+        body = json.dumps([1]).encode()
+        decoder = FrameDecoder()
+        with pytest.raises(FrameError):
+            decoder.feed(struct.pack(">I", len(body)) + body)
 
 
 PAYLOADS = [

@@ -123,6 +123,29 @@ class TestMetricsRegistry:
         assert a.counter("only_b") == 1
         assert a.histogram("h").count == 2
 
+    def test_gauges_set_and_snapshot(self):
+        registry = MetricsRegistry()
+        assert registry.gauge("inflight_txns") == 0.0
+        registry.set_gauge("inflight_txns", 7)
+        registry.set_gauge("inflight_txns", 3)  # gauges overwrite
+        assert registry.gauge("inflight_txns") == 3.0
+        snapshot = registry.to_dict()
+        assert snapshot["gauges"] == {"inflight_txns": 3.0}
+
+    def test_gauge_free_snapshot_has_no_gauges_key(self):
+        registry = MetricsRegistry()
+        registry.inc("n")
+        assert "gauges" not in registry.to_dict()
+
+    def test_batched_records_histogram_shape(self):
+        """The group-commit batch-size histogram the live site records."""
+        registry = MetricsRegistry()
+        for batch in (1, 4, 4, 16):
+            registry.observe("batched_records_per_fsync", batch)
+        histogram = registry.histogram("batched_records_per_fsync")
+        assert histogram.count == 4
+        assert histogram.sum == 25.0
+
     def test_to_dict_keys_sorted_and_rendered(self):
         registry = MetricsRegistry()
         registry.inc("zeta")
