@@ -123,6 +123,14 @@ def test_bench_live_throughput(benchmark, record_report, tmp_path):
             assert report["concurrency"] == concurrency
             assert report["txns_per_sec"] > 0
             assert 0 < report["latency_ms"]["p50"] <= report["latency_ms"]["p99"]
+            # Latency decomposes into the pipeline's three stages, and
+            # each reply's elapsed_ms is exactly its stage sum, so the
+            # stage means must add up to the measured latency mean.
+            breakdown = report["latency_breakdown"]
+            assert set(breakdown) == {"queue_ms", "resolve_ms", "durable_ms"}
+            mean = report["latency_ms"]["mean"]
+            stage_sum = sum(stats["mean"] for stats in breakdown.values())
+            assert stage_sum == pytest.approx(mean, abs=max(0.5, 0.05 * mean))
             # Every site forces its vote/decision records: at least two
             # writes per site per committed txn land in the DT logs.
             assert report["forced_writes_per_txn"] >= 2

@@ -562,6 +562,81 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_stitch(args: argparse.Namespace) -> int:
+    from repro.errors import EXIT_OK, EXIT_VIOLATION, exit_code
+    from repro.live.files import atomic_write_json, atomic_write_text
+    from repro.live.stitch import stitch_data_dir
+
+    try:
+        result = stitch_data_dir(args.data_dir, canonical=args.canonical)
+    except Exception as error:  # noqa: BLE001 - CLI boundary
+        print(f"repro stitch: {type(error).__name__}: {error}", file=sys.stderr)
+        return exit_code(error)
+    report = result.to_dict()
+    if args.out:
+        atomic_write_text(args.out, result.trace.to_jsonl())
+        print(f"wrote {report['entries']} stitched entries to {args.out}")
+    if args.json_out:
+        atomic_write_json(args.json_out, report)
+        print(f"wrote stitch report to {args.json_out}", file=sys.stderr)
+    for site, stats in sorted(result.sites.items()):
+        torn = (
+            f", {stats['malformed']} torn line(s) skipped"
+            if stats["malformed"]
+            else ""
+        )
+        print(f"site {site}: {stats['entries']} entries{torn}")
+    print(
+        f"stitched {report['entries']} entries"
+        f"{' (canonical)' if result.canonical else ''}: "
+        f"{len(result.orphan_spans)} orphan span(s), "
+        f"{len(result.orphan_parents)} orphan parent(s), "
+        f"{result.inflight} in flight, "
+        f"{result.cycles_broken} cycle(s) broken"
+    )
+    dirty = result.orphan_spans or result.orphan_parents or result.cycles_broken
+    if args.strict and dirty:
+        print("stitch: orphaned spans present (--strict)", file=sys.stderr)
+        return EXIT_VIOLATION
+    return EXIT_OK
+
+
+def _cmd_audit(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.errors import EXIT_OK, EXIT_VIOLATION, exit_code
+    from repro.live.audit import audit_data_dir
+    from repro.live.files import atomic_write_json
+
+    deadline = time.monotonic() + args.watch if args.watch else None
+    try:
+        while True:
+            report = audit_data_dir(
+                args.data_dir, include_traces=not args.no_traces
+            )
+            if not report.ok():
+                break  # Stop watching the moment an invariant breaks.
+            if deadline is None or time.monotonic() >= deadline:
+                break
+            time.sleep(args.interval)
+    except Exception as error:  # noqa: BLE001 - CLI boundary
+        print(f"repro audit: {type(error).__name__}: {error}", file=sys.stderr)
+        return exit_code(error)
+    if args.json_out:
+        atomic_write_json(args.json_out, report.to_dict())
+        print(f"wrote audit report to {args.json_out}", file=sys.stderr)
+    for note in report.notes:
+        print(f"note: {note}")
+    for violation in report.violations:
+        print(f"VIOLATION: {violation}")
+    verdict = "clean" if report.ok() else f"{len(report.violations)} VIOLATION(S)"
+    print(
+        f"audited {len(report.sites)} site log(s), {report.txns} txn(s), "
+        f"{report.decisions} decision record(s): {verdict}"
+    )
+    return EXIT_OK if report.ok() else EXIT_VIOLATION
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the argument parser (exposed for tests)."""
     parser = argparse.ArgumentParser(
@@ -833,6 +908,73 @@ def build_parser() -> argparse.ArgumentParser:
         "--limit", type=int, metavar="N", help="show at most N entries"
     )
     trace.set_defaults(func=_cmd_trace)
+
+    stitch = sub.add_parser(
+        "stitch",
+        help="merge per-site live traces into one causal cluster trace",
+    )
+    stitch.add_argument(
+        "data_dir", help="live data directory holding site-*.trace.jsonl"
+    )
+    stitch.add_argument(
+        "--out",
+        metavar="FILE",
+        help="write the stitched JSONL trace (readable by repro trace/stats)",
+    )
+    stitch.add_argument(
+        "--canonical",
+        action="store_true",
+        help="byte-stable output: strip volatile fields, remap span ids, "
+        "keep only deterministic categories",
+    )
+    stitch.add_argument(
+        "--json",
+        metavar="FILE",
+        dest="json_out",
+        help="write the machine-readable stitch report",
+    )
+    stitch.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit nonzero on orphan spans/parents or causality cycles",
+    )
+    stitch.set_defaults(func=_cmd_stitch)
+
+    audit = sub.add_parser(
+        "audit",
+        help="verify atomicity (AC1) and log-timeline invariants of a "
+        "live cluster's durable state",
+    )
+    audit.add_argument(
+        "data_dir", help="live data directory holding site-*.dtlog"
+    )
+    audit.add_argument(
+        "--no-traces",
+        action="store_true",
+        dest="no_traces",
+        help="skip the advisory trace cross-check (DT logs only)",
+    )
+    audit.add_argument(
+        "--watch",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="re-audit continuously for this long (exits early on violation)",
+    )
+    audit.add_argument(
+        "--interval",
+        type=float,
+        default=0.5,
+        metavar="SECONDS",
+        help="re-audit period in --watch mode",
+    )
+    audit.add_argument(
+        "--json",
+        metavar="FILE",
+        dest="json_out",
+        help="write the machine-readable audit report",
+    )
+    audit.set_defaults(func=_cmd_audit)
 
     stats = sub.add_parser("stats", help="summarize a saved JSONL trace")
     stats.add_argument("file", help="trace file written by run --trace-out")

@@ -1,0 +1,197 @@
+"""Continuous atomicity audit over a live cluster's durable artifacts.
+
+The commit protocols' whole contract is one predicate — AC1, *all
+sites that decide reach the same decision* — plus the write-ahead
+timeline that makes the decision recoverable.  The simulator checks
+this inline on every schedule; the live runtime needs the same check
+against what actually hit the disks.  :func:`audit_data_dir` reads the
+per-site DT logs (and, advisorily, the traces) under one data
+directory and verifies:
+
+* **log integrity** — every surviving record passes its CRC; a corrupt
+  record anywhere but the torn tail is a violation, a torn tail is a
+  note (that is the crash model working as designed);
+* **per-site timeline** — at one site a transaction's records appear
+  write-ahead order: no vote after a decision, at most one decision
+  outcome, and never a ``no`` vote followed by a ``commit`` (the
+  paper's rule that a No voter aborts unilaterally);
+* **AC1 across sites** — the union of durable decision outcomes per
+  transaction is single-valued: no transaction is committed at one
+  site and aborted at another;
+* **trace consistency** (advisory) — ``txn.decided`` events across
+  site traces never disagree for one transaction.  Traces are
+  lossy-by-design (block-buffered, torn by ``kill -9``), so a missing
+  trace event is never a violation — only a *contradicting* one is.
+
+The audit is re-runnable while a cluster is live: DT logs are
+append-only and every prefix of them must already satisfy the
+invariants, so the CLI's ``--watch`` mode simply re-reads on an
+interval and exits nonzero the moment a violation appears.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from pathlib import Path
+from typing import Any, Union
+
+from repro.errors import LiveConfigError, WALError
+from repro.live.dtlog import read_log_file
+from repro.live.stitch import load_site_traces
+
+#: Record kinds whose relative order the timeline check constrains.
+_VOTE, _DECISION = "vote", "decision"
+
+
+@dataclasses.dataclass
+class AuditReport:
+    """Everything one audit pass established.
+
+    Attributes:
+        violations: Human-readable invariant breaches (empty = clean).
+        notes: Expected-damage observations (torn tails, malformed
+            trace lines) that are not violations.
+        sites: Site ids whose DT logs were read.
+        txns: Distinct transactions seen across all logs.
+        decisions: Total durable decision records read.
+    """
+
+    violations: list[str] = dataclasses.field(default_factory=list)
+    notes: list[str] = dataclasses.field(default_factory=list)
+    sites: list[int] = dataclasses.field(default_factory=list)
+    txns: int = 0
+    decisions: int = 0
+
+    def ok(self) -> bool:
+        """Whether every checked invariant held."""
+        return not self.violations
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready summary (the CLI's ``--json`` sidecar)."""
+        return {
+            "ok": self.ok(),
+            "violations": list(self.violations),
+            "notes": list(self.notes),
+            "sites": list(self.sites),
+            "txns": self.txns,
+            "decisions": self.decisions,
+        }
+
+
+def _audit_site_log(
+    site: int, path: Path, report: AuditReport
+) -> dict[int, set[str]]:
+    """Check one site's log; returns per-txn durable decision outcomes."""
+    try:
+        bodies, torn = read_log_file(path)
+    except WALError as error:
+        report.violations.append(f"site {site}: corrupt DT log: {error}")
+        return {}
+    if torn:
+        report.notes.append(
+            f"site {site}: torn tail record dropped (crash mid-append)"
+        )
+    decided: dict[int, set[str]] = {}
+    voted_no: set[int] = set()
+    for body in bodies:
+        kind = body.get("r")
+        if kind not in (_VOTE, _DECISION):
+            continue  # boot records carry no per-txn semantics
+        txn = int(body["txn"])
+        if kind == _VOTE:
+            if txn in decided:
+                report.violations.append(
+                    f"site {site} txn {txn}: vote record after a decision "
+                    "record (write-ahead timeline violated)"
+                )
+            if body.get("vote") == "no":
+                voted_no.add(txn)
+            continue
+        outcome = str(body.get("outcome"))
+        report.decisions += 1
+        outcomes = decided.setdefault(txn, set())
+        if outcomes and outcome not in outcomes:
+            report.violations.append(
+                f"site {site} txn {txn}: conflicting decision records "
+                f"({sorted(outcomes | {outcome})})"
+            )
+        outcomes.add(outcome)
+        if outcome == "commit" and txn in voted_no:
+            report.violations.append(
+                f"site {site} txn {txn}: committed after voting no"
+            )
+    return decided
+
+
+def _audit_traces(data_dir: Path, report: AuditReport) -> None:
+    """Advisory cross-check of ``txn.decided`` events in site traces."""
+    try:
+        logs = load_site_traces(data_dir)
+    except LiveConfigError:
+        return  # No traces yet — nothing to cross-check.
+    trace_outcomes: dict[int, dict[str, list[int]]] = {}
+    for site, log in logs.items():
+        if log.malformed:
+            report.notes.append(
+                f"site {site}: {log.malformed} torn/malformed trace line(s) "
+                "skipped"
+            )
+        for entry in log.select("txn.decided"):
+            txn = entry.data.get("txn")
+            outcome = entry.data.get("outcome")
+            if txn is None or outcome not in ("commit", "abort"):
+                continue
+            trace_outcomes.setdefault(int(txn), {}).setdefault(
+                str(outcome), []
+            ).append(site)
+    for txn, outcomes in sorted(trace_outcomes.items()):
+        if len(outcomes) > 1:
+            where = {
+                outcome: sorted(set(sites))
+                for outcome, sites in sorted(outcomes.items())
+            }
+            report.violations.append(
+                f"txn {txn}: traces disagree on the decision: {where}"
+            )
+
+
+def audit_data_dir(
+    data_dir: Union[str, Path], include_traces: bool = True
+) -> AuditReport:
+    """Audit every site DT log (and trace) under one data directory.
+
+    Raises:
+        LiveConfigError: If the directory holds no ``site-*.dtlog``
+            files — auditing nothing is a configuration error, not a
+            clean pass.
+    """
+    data_dir = Path(data_dir)
+    paths = sorted(data_dir.glob("site-*.dtlog"))
+    if not paths:
+        raise LiveConfigError(f"no site-*.dtlog files under {data_dir}")
+    report = AuditReport()
+    txns: set[int] = set()
+    cluster: dict[int, dict[str, list[int]]] = {}
+    for path in paths:
+        site = int(path.name.split("-", 1)[1].split(".", 1)[0])
+        report.sites.append(site)
+        decided = _audit_site_log(site, path, report)
+        txns.update(decided)
+        for txn, outcomes in decided.items():
+            for outcome in outcomes:
+                cluster.setdefault(txn, {}).setdefault(outcome, []).append(site)
+    # AC1: all sites that decided a transaction decided the same way.
+    for txn, outcomes in sorted(cluster.items()):
+        if len(outcomes) > 1:
+            where = {
+                outcome: sorted(sites)
+                for outcome, sites in sorted(outcomes.items())
+            }
+            report.violations.append(
+                f"txn {txn}: AC1 violated — durable decisions disagree "
+                f"across sites: {where}"
+            )
+    report.txns = len(txns)
+    if include_traces:
+        _audit_traces(data_dir, report)
+    return report

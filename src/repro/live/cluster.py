@@ -399,7 +399,7 @@ class ClusterHarness:
         if concurrency < 1:
             raise ClusterError(f"concurrency must be >= 1, got {concurrency}")
         before = self._bench_counters()
-        latencies, elapsed = asyncio.run(
+        latencies, stage_samples, elapsed = asyncio.run(
             self._bench_async(n_txns, gateway, concurrency, first_txn)
         )
         self._quiesce()
@@ -408,6 +408,23 @@ class ClusterHarness:
 
         def quantile(q: float) -> float:
             return ordered[min(len(ordered) - 1, int(q * len(ordered)))]
+
+        # Per-stage latency decomposition from the gateway replies.
+        # Stages are additive per transaction (queue + resolve +
+        # durable = elapsed), so the stage means sum to the mean
+        # latency — the consistency the benchmark suite asserts.
+        breakdown: dict[str, dict[str, float]] = {}
+        for stage, values in stage_samples.items():
+            values = sorted(values)
+
+            def stage_quantile(q: float) -> float:
+                return values[min(len(values) - 1, int(q * len(values)))]
+
+            breakdown[stage] = {
+                "mean": round(sum(values) / len(values), 3),
+                "p50": round(stage_quantile(0.50), 3),
+                "p99": round(stage_quantile(0.99), 3),
+            }
 
         delta = {
             key: after[key] - before[key] for key in after
@@ -425,6 +442,7 @@ class ClusterHarness:
                 "p99": round(quantile(0.99), 3),
                 "max": round(ordered[-1], 3),
             },
+            "latency_breakdown": breakdown,
             "forced_writes": delta["forced_writes"],
             "forced_writes_per_txn": round(delta["forced_writes"] / n_txns, 2),
             "fsync_calls": delta["fsync_calls"],
@@ -441,11 +459,12 @@ class ClusterHarness:
 
     async def _bench_async(
         self, n_txns: int, gateway: SiteId, concurrency: int, first_txn: int
-    ) -> tuple[list[float], float]:
+    ) -> tuple[list[float], dict[str, list[float]], float]:
         host = self.config.host
         sites = sorted(self.ports)
         first = sites.index(SiteId(int(gateway)))
         latencies: list[float] = []
+        stage_samples: dict[str, list[float]] = {}
         ids = iter(range(first_txn, first_txn + n_txns))
 
         async def worker(port: int) -> None:
@@ -464,6 +483,8 @@ class ClusterHarness:
                             "the healthy path must commit"
                         )
                     latencies.append(float(reply["elapsed_ms"]))
+                    for stage, value in (reply.get("stages") or {}).items():
+                        stage_samples.setdefault(stage, []).append(float(value))
 
         started = time.monotonic()
         await asyncio.gather(
@@ -472,7 +493,7 @@ class ClusterHarness:
                 for i in range(min(concurrency, n_txns))
             )
         )
-        return latencies, time.monotonic() - started
+        return latencies, stage_samples, time.monotonic() - started
 
     def _quiesce(self, timeout: float = 5.0) -> None:
         """Wait until no site reports in-flight transactions.

@@ -205,6 +205,9 @@ class SiteLogStore:
         self._durable_lsn = 0
         self._waiters: list[tuple[int, asyncio.Future]] = []
         self._fsync_ema: Optional[float] = None
+        #: Duration of the most recent fsync, seconds (None before the
+        #: first).  Read by the live site's fsync-span instrumentation.
+        self.last_fsync_s: Optional[float] = None
         self._flush_task: Optional[asyncio.Task] = None
         self._flush_wanted: Optional[asyncio.Event] = None
         self._flush_stop = False
@@ -360,6 +363,7 @@ class SiteLogStore:
         start = time.perf_counter()
         self._fsync(fileno)
         elapsed = time.perf_counter() - start
+        self.last_fsync_s = elapsed
         ema = self._fsync_ema
         self._fsync_ema = elapsed if ema is None else ema * 0.8 + elapsed * 0.2
 

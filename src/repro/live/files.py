@@ -1,0 +1,40 @@
+"""Atomic file publication for live-site observability artifacts.
+
+Metrics snapshots, stitched traces, and audit reports are read by
+*other* processes — the cluster harness, ``repro audit``, external
+scrapers — possibly at any instant, including mid-write.  POSIX
+``rename(2)`` within one filesystem is atomic, so the publication
+pattern is always: write the full content to a temporary sibling,
+then ``os.replace`` it over the destination.  A reader sees either
+the old complete file or the new complete file, never a torn one.
+
+No fsync: these artifacts are advisory observability, not the DT log.
+Page-cache contents survive ``kill -9`` (only an OS crash loses them,
+which is outside this runtime's threat model), and an fsync per
+snapshot was a measured cost on the decision hot path.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Union
+
+
+def atomic_write_text(path: Union[str, Path], text: str) -> None:
+    """Atomically replace ``path`` with ``text`` (tmp + ``os.replace``).
+
+    The temporary file lives next to the destination (same directory,
+    therefore same filesystem) so the final rename is atomic.
+    """
+    path = Path(path)
+    tmp = path.with_name(path.name + ".tmp")
+    with open(tmp, "w") as handle:
+        handle.write(text)
+    os.replace(tmp, path)
+
+
+def atomic_write_json(path: Union[str, Path], obj: Any) -> None:
+    """Atomically publish ``obj`` as pretty, key-sorted JSON."""
+    atomic_write_text(path, json.dumps(obj, indent=2, sort_keys=True) + "\n")

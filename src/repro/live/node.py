@@ -50,7 +50,6 @@ import asyncio
 import collections
 import dataclasses
 import json
-import os
 from pathlib import Path
 from typing import Any, Callable, Optional
 
@@ -58,8 +57,15 @@ from repro.errors import LiveConfigError
 from repro.fsa.messages import EXTERNAL, Msg
 from repro.live.clock import TimeoutClock, WallTimer
 from repro.live.dtlog import DurableDTLog, SiteLogStore
+from repro.live.files import atomic_write_json
 from repro.live.transport import Transport
-from repro.live.wire import decode_payload, encode_frame, encode_payload, read_frame
+from repro.live.wire import (
+    decode_payload,
+    encode_frame,
+    encode_payload,
+    read_frame,
+    stamp_trace_context,
+)
 from repro.metrics import WALL_MS_BUCKETS, MetricsRegistry
 from repro.protocols import build
 from repro.runtime.decision import TerminationRule
@@ -110,6 +116,11 @@ class LiveConfig:
         max_inflight: Backpressure bound on concurrently undecided
             client-begun transactions at this gateway; further
             ``begin`` requests queue until a decision frees a slot.
+        trace_max_entries: Bound on trace entries written to this
+            site's trace file per process lifetime.  Past the bound
+            new entries are discarded (keep-oldest: the boot and early
+            protocol runs survive) and counted in the metrics snapshot
+            so truncation is never silent.
     """
 
     site: SiteId
@@ -126,6 +137,7 @@ class LiveConfig:
     vote: str = "yes"
     pause_after: Optional[tuple[str, int]] = None
     max_inflight: int = 64
+    trace_max_entries: int = 200_000
 
     def __post_init__(self) -> None:
         self.site = SiteId(int(self.site))
@@ -202,6 +214,16 @@ class LiveTxn:
         #: Set once the decision record is durable and client waiters
         #: were resolved — the group-commit analogue of "decided".
         self.published = False
+        #: Latency-stage timestamps, set only for client-begun
+        #: transactions at their gateway (peers lack the queue view):
+        #: begin request received / admitted past backpressure /
+        #: engine decided / published (implicit: publication time).
+        self.stage_begin: Optional[float] = None
+        self.stage_admitted: Optional[float] = None
+        self.decided_at: Optional[float] = None
+        #: Per-stage commit-latency breakdown in ms, filled at
+        #: publication; additive: their sum IS the reported latency.
+        self.stages: Optional[dict[str, float]] = None
         self._timers: dict[str, WallTimer] = {}
         self.engine = Engine(
             automaton=self.spec.automaton(self.site),
@@ -372,6 +394,16 @@ class LiveSite:
         self.txns: dict[int, LiveTxn] = {}
         self.paused = False
         self._pause_kind_count = 0
+        #: Span-id allocator for net.send events; ids are cluster-unique
+        #: (site and boot baked in) so stitched traces never collide.
+        self._span_seq = 0
+        #: Span id of the message whose delivery is being handled right
+        #: now — every trace entry emitted inside that (synchronous)
+        #: handling is stamped with it as ``parent``, which is how the
+        #: stitched cluster trace carries causality across sites.
+        self._current_parent: Optional[int] = None
+        self._trace_entries = 0
+        self._trace_dropped = 0
         self._waiters: dict[int, list[asyncio.Future]] = {}
         self._inflight_sem = asyncio.Semaphore(config.max_inflight)
         self._gateway_permits: set[int] = set()
@@ -522,6 +554,21 @@ class LiveSite:
     # Outbound frames
     # ------------------------------------------------------------------
 
+    def _next_span(self) -> int:
+        """Allocate a cluster-unique span id for one ``net.send``.
+
+        ``site * 1e9 + boot * 1e6 + seq`` keeps ids unique across
+        sites *and* across restarts of one site (the trace file is
+        appended across boots), so :class:`repro.sim.spans.SpanIndex`
+        over a stitched cluster trace never conflates two messages.
+        """
+        self._span_seq += 1
+        return (
+            int(self.config.site) * 1_000_000_000
+            + self.store.boot_count * 1_000_000
+            + self._span_seq
+        )
+
     def send_proto(self, txn_id: int, msg: Msg) -> None:
         """Transmit one commit-protocol model message."""
         if self.paused:
@@ -536,12 +583,22 @@ class LiveSite:
             protocol=self.config.spec_name,
             kind=msg.kind,
         )
+        sid = self._next_span()
+        self.trace(
+            "net.send",
+            f"{msg.kind} -> site {int(msg.dst)}",
+            msg_id=sid,
+            src=int(self.config.site),
+            dst=int(msg.dst),
+            txn=txn_id,
+            kind=msg.kind,
+        )
         if msg.dst == self.config.site:
             # Decentralized specs have every site send its vote to
             # itself too; the simulator's network delivers those like
             # any message, so loop them back here (asynchronously, to
             # keep delivery outside the engine's current pump).
-            self._loopback(txn_id, ProtoMsg(msg.kind))
+            self._loopback(txn_id, ProtoMsg(msg.kind), sid)
         else:
             # The engine force-logged any vote/decision this message
             # implies *before* calling send; gating the frame on the
@@ -549,11 +606,15 @@ class LiveSite:
             # the group-commit flusher batches the actual fsync.
             self.transport.send(
                 msg.dst,
-                {
-                    "t": "payload",
-                    "txn": txn_id,
-                    "d": encode_payload(ProtoMsg(msg.kind)),
-                },
+                stamp_trace_context(
+                    {
+                        "t": "payload",
+                        "txn": txn_id,
+                        "d": encode_payload(ProtoMsg(msg.kind)),
+                    },
+                    sid,
+                    self._current_parent,
+                ),
                 barrier=self.store.pending_lsn,
                 volatile=True,
             )
@@ -563,31 +624,79 @@ class LiveSite:
         """Transmit one termination/recovery payload."""
         if self.paused:
             return
+        encoded = encode_payload(payload)
+        sid = self._next_span()
+        self.trace(
+            "net.send",
+            f"{encoded['p']} -> site {int(dst)}",
+            msg_id=sid,
+            src=int(self.config.site),
+            dst=int(dst),
+            txn=txn_id,
+            kind=encoded["p"],
+        )
         if dst == self.config.site:
-            self._loopback(txn_id, payload)
+            self._loopback(txn_id, payload, sid)
             return
         self.transport.send(
             dst,
-            {"t": "payload", "txn": txn_id, "d": encode_payload(payload)},
+            stamp_trace_context(
+                {"t": "payload", "txn": txn_id, "d": encoded},
+                sid,
+                self._current_parent,
+            ),
             barrier=self.store.pending_lsn,
         )
 
-    def _loopback(self, txn_id: int, payload: Any) -> None:
+    def _loopback(
+        self, txn_id: int, payload: Any, sid: Optional[int] = None
+    ) -> None:
         """Deliver a self-addressed payload on the next loop turn."""
-        asyncio.get_running_loop().call_soon(self._deliver_local, txn_id, payload)
+        asyncio.get_running_loop().call_soon(
+            self._deliver_local, txn_id, payload, sid
+        )
 
-    def _deliver_local(self, txn_id: int, payload: Any) -> None:
+    def _deliver_local(
+        self, txn_id: int, payload: Any, sid: Optional[int] = None
+    ) -> None:
         if self.paused:
             return
-        txn = self._txn_for_frame(txn_id, payload)
-        if txn is not None:
-            txn.deliver_payload(self.config.site, payload)
+        if sid is not None:
+            self.trace(
+                "net.deliver",
+                f"loopback delivery at site {int(self.config.site)}",
+                msg_id=sid,
+                src=int(self.config.site),
+                dst=int(self.config.site),
+                txn=txn_id,
+            )
+        self._current_parent = sid
+        try:
+            txn = self._txn_for_frame(txn_id, payload)
+            if txn is not None:
+                txn.deliver_payload(self.config.site, payload)
+        finally:
+            self._current_parent = None
 
     def send_external(self, txn_id: int, msg: Msg) -> None:
         """Forward an external input to the site that consumes it."""
+        sid = self._next_span()
+        self.trace(
+            "net.send",
+            f"external {msg.kind} -> site {int(msg.dst)}",
+            msg_id=sid,
+            src=int(self.config.site),
+            dst=int(msg.dst),
+            txn=txn_id,
+            kind=msg.kind,
+        )
         self.transport.send(
             msg.dst,
-            {"t": "external", "txn": txn_id, "kind": msg.kind},
+            stamp_trace_context(
+                {"t": "external", "txn": txn_id, "kind": msg.kind},
+                sid,
+                self._current_parent,
+            ),
             volatile=True,
         )
 
@@ -634,17 +743,39 @@ class LiveSite:
         if self.paused:
             return
         kind = frame.get("t")
+        sid = frame.get("sid")
+        if sid is not None:
+            # Echo the sender's span id as this deliver's msg_id —
+            # the cross-process half of the SpanIndex contract.  The
+            # deliver itself is a root event (no parent); causality
+            # flows through the entries emitted while handling it.
+            self.trace(
+                "net.deliver",
+                f"{kind} frame from site {int(src)}",
+                msg_id=int(sid),
+                src=int(src),
+                dst=int(self.config.site),
+                txn=frame.get("txn"),
+            )
         if kind == "payload":
             payload = decode_payload(frame["d"])
-            txn = self._txn_for_frame(int(frame["txn"]), payload)
-            if txn is not None:
-                txn.deliver_payload(src, payload)
+            self._current_parent = int(sid) if sid is not None else None
+            try:
+                txn = self._txn_for_frame(int(frame["txn"]), payload)
+                if txn is not None:
+                    txn.deliver_payload(src, payload)
+            finally:
+                self._current_parent = None
         elif kind == "external":
-            txn = self._txn_for_frame(int(frame["txn"]), None)
-            if txn is not None and not txn.ever_crashed:
-                txn.engine.receive(
-                    Msg(str(frame["kind"]), EXTERNAL, self.config.site)
-                )
+            self._current_parent = int(sid) if sid is not None else None
+            try:
+                txn = self._txn_for_frame(int(frame["txn"]), None)
+                if txn is not None and not txn.ever_crashed:
+                    txn.engine.receive(
+                        Msg(str(frame["kind"]), EXTERNAL, self.config.site)
+                    )
+            finally:
+                self._current_parent = None
         else:
             self.trace(
                 "live.bad_frame", f"unknown peer frame type {kind!r}",
@@ -779,12 +910,18 @@ class LiveSite:
         ``begin`` beyond the bound waits for a slot instead of failing.
         """
         txn_id = int(frame["txn"])
+        queued_at = self.clock.now()
         if txn_id not in self.txns:
             await self._inflight_sem.acquire()
             if txn_id in self.txns:  # Raced with a peer frame / dup begin.
                 self._inflight_sem.release()
             else:
                 self._gateway_permits.add(txn_id)
+                txn = self._create_txn(txn_id)
+                # Stage clock for the latency breakdown: time parked
+                # behind backpressure vs. time resolving the commit.
+                txn.stage_begin = queued_at
+                txn.stage_admitted = self.clock.now()
         txn = self.begin_txn(txn_id)
         if not frame.get("wait", True):
             writer.write(encode_frame({"t": "ok", "txn": txn_id}))
@@ -799,17 +936,20 @@ class LiveSite:
             await future
         assert txn.decided is not None
         outcome, via = txn.decided
-        writer.write(
-            encode_frame(
-                {
-                    "t": "decided",
-                    "txn": txn_id,
-                    "outcome": outcome.value,
-                    "via": via,
-                    "elapsed_ms": (self.clock.now() - txn.started_at) * 1000.0,
-                }
-            )
-        )
+        reply: dict[str, Any] = {
+            "t": "decided",
+            "txn": txn_id,
+            "outcome": outcome.value,
+            "via": via,
+        }
+        if txn.stages is not None:
+            # The breakdown is additive by construction, so the total
+            # the client sees is exactly the sum of its stages.
+            reply["stages"] = txn.stages
+            reply["elapsed_ms"] = round(sum(txn.stages.values()), 3)
+        else:
+            reply["elapsed_ms"] = (self.clock.now() - txn.started_at) * 1000.0
+        writer.write(encode_frame(reply))
         await writer.drain()
 
     def _client_status(
@@ -851,6 +991,17 @@ class LiveSite:
         """
         if self._trace_file.closed:
             return
+        if (
+            self._trace_dropped
+            or self._trace_entries >= self.config.trace_max_entries
+        ):
+            # Keep-oldest overflow: boot and the first runs survive,
+            # the snapshot's trace_dropped counter records the loss.
+            self._trace_dropped += 1
+            return
+        self._trace_entries += 1
+        if self._current_parent is not None:
+            data.setdefault("parent", self._current_parent)
         record = {
             "time": self.clock.now(),
             "category": category,
@@ -875,6 +1026,8 @@ class LiveSite:
         """
         if txn.published:
             return
+        if txn.decided_at is None:
+            txn.decided_at = self.clock.now()
         lsn = self.store.pending_lsn
         self._unpublished.append((lsn, txn, outcome, via))
         if self.store.durable_lsn >= lsn:
@@ -894,7 +1047,8 @@ class LiveSite:
                 continue
             txn.published = True
             self._undecided = max(0, self._undecided - 1)
-            latency_ms = (self.clock.now() - txn.started_at) * 1000.0
+            now = self.clock.now()
+            latency_ms = (now - txn.started_at) * 1000.0
             self.metrics.inc(
                 "txns_total", protocol=self.config.spec_name, outcome=outcome.value
             )
@@ -905,6 +1059,41 @@ class LiveSite:
                 protocol=self.config.spec_name,
                 outcome=outcome.value,
             )
+            if (
+                txn.stage_begin is not None
+                and txn.stage_admitted is not None
+                and txn.decided_at is not None
+            ):
+                # Gateway-side latency decomposition.  The stages tile
+                # the begin→publication interval exactly: queue wait
+                # behind backpressure, protocol resolution (vote round
+                # RTTs and decision), then the group-commit fsync wait
+                # between the in-memory decision and its durability.
+                txn.stages = {
+                    "queue_ms": round(
+                        (txn.stage_admitted - txn.stage_begin) * 1000.0, 3
+                    ),
+                    "resolve_ms": round(
+                        (txn.decided_at - txn.stage_admitted) * 1000.0, 3
+                    ),
+                    "durable_ms": round(
+                        (now - txn.decided_at) * 1000.0, 3
+                    ),
+                }
+                for stage, value in txn.stages.items():
+                    self.metrics.observe(
+                        "txn_stage_ms",
+                        value,
+                        buckets=WALL_MS_BUCKETS,
+                        protocol=self.config.spec_name,
+                        stage=stage.removesuffix("_ms"),
+                    )
+                txn.trace(
+                    "txn.stages",
+                    "latency breakdown at publication",
+                    total_ms=round(sum(txn.stages.values()), 3),
+                    **txn.stages,
+                )
             self.metrics.set_gauge("inflight_txns", self._undecided)
             self._metrics_changed()
             for future in self._waiters.pop(txn.txn_id, []):
@@ -915,12 +1104,22 @@ class LiveSite:
                 self._inflight_sem.release()
 
     def _on_fsync_batch(self, batch: int) -> None:
-        """Roll one group-commit fsync into the metrics registry."""
+        """Roll one group-commit fsync into metrics and the trace."""
         self.metrics.inc("dtlog_fsync_calls_total")
         self.metrics.observe(
             "batched_records_per_fsync",
             float(batch),
             buckets=(1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0),
+        )
+        duration_ms = (self.store.last_fsync_s or 0.0) * 1000.0
+        self.metrics.observe(
+            "fsync_duration_ms", duration_ms, buckets=WALL_MS_BUCKETS
+        )
+        self.trace(
+            "log.fsync",
+            f"group-commit fsync of {batch} record(s)",
+            batch=int(batch),
+            duration_ms=round(duration_ms, 3),
         )
 
     def on_txn_blocked(self, txn: LiveTxn) -> None:
@@ -992,11 +1191,15 @@ class LiveSite:
             "frames_sent": self.transport.frames_sent,
             "frames_received": self.transport.frames_received,
             "socket_writes": self.transport.socket_writes,
+            "decoder_hwm": self.transport.decoder_hwm,
+            "peer_reconnects": {
+                str(int(peer)): count
+                for peer, count in sorted(self.transport.reconnects.items())
+            },
+            "trace_entries": self._trace_entries,
+            "trace_dropped": self._trace_dropped,
         }
-        tmp = self._metrics_path.with_suffix(".json.tmp")
-        with open(tmp, "w") as handle:
-            json.dump(snapshot, handle, indent=2, sort_keys=True)
-        os.replace(tmp, self._metrics_path)
+        atomic_write_json(self._metrics_path, snapshot)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -1,0 +1,370 @@
+"""Deterministic cluster-trace stitching for the live runtime.
+
+Each live site writes its own JSONL trace with timestamps from its own
+monotonic clock — wall times of *different processes* (let alone
+different boots of one process) are incomparable, so a cluster-wide
+timeline cannot be built by sorting on time.  What the traces do carry
+is causality: every ``net.send`` has a cluster-unique ``msg_id``, the
+receiver echoes it on its ``net.deliver`` / ``net.drop``, and every
+entry a site emits *while handling* a delivery is stamped with that
+span as ``parent``.  The stitcher turns N site traces into one
+causally-ordered trace by topologically sorting the event graph:
+
+* **program order** — entries of one site are ordered as written,
+  *per transaction* (Skeen's protocols impose no cross-transaction
+  order, and the interleaving of unrelated transactions in one site's
+  file is scheduler noise, not causality);
+* **symmetric arrivals** — maximal runs of consecutive arrival events
+  (``net.deliver`` / ``net.drop``) within one transaction are mutually
+  unordered: vote messages from different peers race, and which
+  arrived first is again scheduler noise.  The run's members all
+  depend on what preceded the run and are all required before what
+  follows it;
+* **message edges** — every arrival depends on its ``net.send``.
+
+Ties in the resulting partial order are broken by *content* (category,
+site, and the stable part of the payload), never by local timestamps,
+so two runs of the same fixed-seed scenario stitch to the same order.
+With ``canonical=True`` the output is additionally **byte-stable**:
+volatile fields (durations, timestamps, span ids) are stripped or
+remapped to dense deterministic ids and racy advisory categories are
+excluded, so the stitched bytes can be diffed across runs — the
+cluster-level analogue of the simulator's deterministic traces.
+
+The stitcher also audits span hygiene: an arrival whose send is
+missing (**orphan span**) or a ``parent`` pointing at no known send
+(**orphan parent**) means lost instrumentation or a truncated trace;
+a send with no arrival is merely **in flight** (expected when a site
+was killed).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import heapq
+import json
+from pathlib import Path
+from typing import Any, Optional, Union
+
+from repro.errors import LiveConfigError
+from repro.sim.tracing import TraceEntry, TraceLog
+
+#: Arrival categories — the receiving end of a message span.
+ARRIVALS = frozenset({"net.deliver", "net.drop", "net.partition_drop"})
+
+#: Categories kept in canonical (byte-stable) output: the protocol
+#: narrative.  Deliberately excluded: startup/teardown races
+#: (``live.ready``, ``live.listen``), wall-clock advisory events
+#: (``log.fsync``, ``txn.stages``), and failure-detector noise
+#: (suspicion, reconnects, heartbeat-driven events) — all of which
+#: vary run to run even for a fixed scenario.
+CANONICAL_CATEGORIES = frozenset(
+    {
+        "live.boot",
+        "live.begin",
+        "live.recover",
+        "live.unknown_txn",
+        "net.send",
+        "net.deliver",
+        "net.drop",
+        "engine.transition",
+        "engine.forced_state",
+        "engine.forced_outcome",
+        "engine.partial_crash",
+        "phase.enter",
+        "phase.exit",
+        "txn.decided",
+    }
+)
+
+#: Data keys stripped from canonical output and from tie-break keys:
+#: measured durations, local timestamps, and log positions are real
+#: observations but not part of the causal narrative.
+VOLATILE_DATA_KEYS = frozenset(
+    {
+        "elapsed",
+        "elapsed_ms",
+        "duration_ms",
+        "sent_at",
+        "queue_ms",
+        "resolve_ms",
+        "durable_ms",
+        "total_ms",
+        "batch",
+        "lsn",
+        "site_time",
+    }
+)
+
+#: Keys whose values are span ids — remapped, not stripped.
+_SPAN_ID_KEYS = ("msg_id", "parent")
+
+
+@dataclasses.dataclass
+class StitchResult:
+    """One stitched cluster trace plus its hygiene report.
+
+    Attributes:
+        trace: The merged :class:`TraceLog`, causally ordered; entry
+            times are emission indices (site clocks are incomparable).
+        sites: Per-site ``{"entries": n, "malformed": m}`` input stats.
+        orphan_spans: ``msg_id`` values of arrivals with no send.
+        orphan_parents: ``parent`` values pointing at no known send.
+        inflight: Sends that never reached an arrival (expected when a
+            site died with frames queued).
+        cycles_broken: Entries emitted out of order because the event
+            graph was cyclic (always 0 for well-formed traces).
+        canonical: Whether byte-stable normalization was applied.
+    """
+
+    trace: TraceLog
+    sites: dict[int, dict[str, int]]
+    orphan_spans: list[int]
+    orphan_parents: list[int]
+    inflight: int
+    cycles_broken: int
+    canonical: bool
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready summary (the CLI's ``--json`` sidecar)."""
+        return {
+            "entries": len(self.trace),
+            "sites": {
+                str(site): dict(stats)
+                for site, stats in sorted(self.sites.items())
+            },
+            "orphan_spans": sorted(self.orphan_spans),
+            "orphan_parents": sorted(self.orphan_parents),
+            "inflight": self.inflight,
+            "cycles_broken": self.cycles_broken,
+            "canonical": self.canonical,
+        }
+
+
+def load_site_traces(data_dir: Union[str, Path]) -> dict[int, TraceLog]:
+    """Load every ``site-N.trace.jsonl`` under a live data directory.
+
+    Lenient parse: a ``kill -9`` mid-run tears the block-buffered
+    trace tail, and torn lines must degrade the analysis, not abort it
+    (each log's ``malformed`` counter records the damage).
+
+    Raises:
+        LiveConfigError: If the directory holds no site traces.
+    """
+    data_dir = Path(data_dir)
+    logs: dict[int, TraceLog] = {}
+    for path in sorted(data_dir.glob("site-*.trace.jsonl")):
+        site = int(path.name.split("-", 1)[1].split(".", 1)[0])
+        logs[site] = TraceLog.load(str(path), lenient=True)
+    if not logs:
+        raise LiveConfigError(f"no site-*.trace.jsonl files under {data_dir}")
+    return logs
+
+
+def _tiebreak_data(entry: TraceEntry) -> dict[str, Any]:
+    """The stable part of an entry's payload, for content ordering."""
+    return {
+        key: value
+        for key, value in entry.data.items()
+        if key not in VOLATILE_DATA_KEYS and key not in _SPAN_ID_KEYS
+    }
+
+
+def stitch(
+    site_logs: dict[int, TraceLog], canonical: bool = False
+) -> StitchResult:
+    """Merge per-site traces into one causally-ordered cluster trace."""
+    # ------------------------------------------------------------------
+    # Collect nodes (optionally pre-filtered for canonical stability —
+    # racy categories must not influence the graph shape either).
+    # ------------------------------------------------------------------
+    nodes: list[tuple[int, int, TraceEntry]] = []  # (site, local seq, entry)
+    for site in sorted(site_logs):
+        seq = 0
+        for entry in site_logs[site]:
+            if canonical and entry.category not in CANONICAL_CATEGORIES:
+                continue
+            nodes.append((site, seq, entry))
+            seq += 1
+
+    n = len(nodes)
+    children: list[list[int]] = [[] for _ in range(n)]
+    indegree = [0] * n
+
+    def edge(src: int, dst: int) -> None:
+        children[src].append(dst)
+        indegree[dst] += 1
+
+    # ------------------------------------------------------------------
+    # Program-order edges, per site and per transaction.
+    # ------------------------------------------------------------------
+    by_site: dict[int, list[int]] = {}
+    for idx, (site, _seq, _entry) in enumerate(nodes):
+        by_site.setdefault(site, []).append(idx)
+
+    sends: dict[int, int] = {}  # msg_id -> node index of its net.send
+    arrivals: list[tuple[int, int]] = []  # (msg_id, node index)
+    parent_refs: list[int] = []  # every `parent` value seen
+
+    for site, indices in by_site.items():
+        last_global: Optional[int] = None
+        # txn -> (prev nodes, anchor for the open arrival run, run).
+        txn_state: dict[Any, tuple[list[int], list[int], list[int]]] = {}
+        for idx in indices:
+            entry = nodes[idx][2]
+            data = entry.data
+            msg_id = data.get("msg_id")
+            if msg_id is not None:
+                if entry.category == "net.send":
+                    sends.setdefault(int(msg_id), idx)
+                elif entry.category in ARRIVALS:
+                    arrivals.append((int(msg_id), idx))
+            if data.get("parent") is not None:
+                parent_refs.append(int(data["parent"]))
+
+            txn = data.get("txn")
+            if txn is None:
+                if last_global is not None:
+                    edge(last_global, idx)
+                last_global = idx
+                continue
+            state = txn_state.get(txn)
+            if state is None:
+                prev = [last_global] if last_global is not None else []
+                state = (prev, [], [])
+            prev, anchor, run = state
+            if entry.category in ARRIVALS:
+                # Arrivals racing within one transaction are mutually
+                # unordered; they all hang off the pre-run anchor.
+                if not run:
+                    anchor = list(prev)
+                for pred in anchor:
+                    edge(pred, idx)
+                run.append(idx)
+            else:
+                preds = run if run else prev
+                for pred in preds:
+                    edge(pred, idx)
+                prev, anchor, run = [idx], [], []
+            txn_state[txn] = (prev, anchor, run)
+
+    # ------------------------------------------------------------------
+    # Message edges: an arrival happens after its send.
+    # ------------------------------------------------------------------
+    orphan_spans: set[int] = set()
+    terminated: set[int] = set()
+    for msg_id, idx in arrivals:
+        send_idx = sends.get(msg_id)
+        if send_idx is None:
+            orphan_spans.add(msg_id)
+        else:
+            terminated.add(msg_id)
+            edge(send_idx, idx)
+    orphan_parents = sorted({ref for ref in parent_refs if ref not in sends})
+    inflight = len([m for m in sends if m not in terminated])
+
+    # ------------------------------------------------------------------
+    # Kahn's algorithm with a content-keyed ready heap: among causally
+    # unordered events, emission order is decided by what the event
+    # *says*, never by local clocks or span ids.  Raw span ids are
+    # allocation-order artifacts, so instead every emitted msg_id is
+    # assigned a *dense* id in emission order, and an arrival's key
+    # includes its message's dense id (known by then — its send is an
+    # ancestor): two vote deliveries from one peer are otherwise
+    # byte-identical, and the dense id orders them by their sends.
+    # ------------------------------------------------------------------
+    span_map: dict[int, int] = {}
+
+    def dense(span: int) -> int:
+        return span_map.setdefault(int(span), len(span_map) + 1)
+
+    def sort_key(idx: int) -> tuple[str, int, int, int]:
+        site, seq, entry = nodes[idx]
+        content = json.dumps(
+            [entry.category, _tiebreak_data(entry)],
+            sort_keys=True,
+            default=str,
+        )
+        msg_id = entry.data.get("msg_id")
+        rank = span_map.get(int(msg_id), 0) if msg_id is not None else 0
+        return (content, rank, site, seq)
+
+    ready = [(sort_key(idx), idx) for idx in range(n) if indegree[idx] == 0]
+    heapq.heapify(ready)
+    order: list[int] = []
+    while ready:
+        _key, idx = heapq.heappop(ready)
+        order.append(idx)
+        msg_id = nodes[idx][2].data.get("msg_id")
+        if msg_id is not None:
+            dense(int(msg_id))
+        for child in children[idx]:
+            indegree[child] -= 1
+            if indegree[child] == 0:
+                heapq.heappush(ready, (sort_key(child), child))
+    cycles_broken = n - len(order)
+    if cycles_broken:
+        emitted = set(order)
+        order.extend(
+            sorted((i for i in range(n) if i not in emitted), key=sort_key)
+        )
+
+    # ------------------------------------------------------------------
+    # Emit.  Time becomes the emission index (cluster-causal position);
+    # canonical mode additionally strips volatile payload fields and
+    # remaps span ids through the dense emission-order map.
+    # ------------------------------------------------------------------
+    merged = TraceLog()
+    for position, idx in enumerate(order):
+        site, _seq, entry = nodes[idx]
+        if canonical:
+            data = _tiebreak_data(entry)
+            # msg_id is remapped; parent is *stripped*: it names the
+            # specific racing arrival whose handler emitted the entry
+            # (e.g. whichever ack happened to complete a vote round),
+            # which is scheduler noise.  Orphan-parent hygiene is
+            # checked against the raw inputs above regardless.
+            if entry.data.get("msg_id") is not None:
+                data["msg_id"] = dense(int(entry.data["msg_id"]))
+            merged.append(
+                TraceEntry(
+                    time=float(position),
+                    category=entry.category,
+                    site=site,
+                    detail="",
+                    data=data,
+                )
+            )
+        else:
+            data = dict(entry.data)
+            data["site_time"] = entry.time
+            merged.append(
+                TraceEntry(
+                    time=float(position),
+                    category=entry.category,
+                    site=site,
+                    detail=entry.detail,
+                    data=data,
+                )
+            )
+
+    sites = {
+        site: {"entries": len(log), "malformed": log.malformed}
+        for site, log in sorted(site_logs.items())
+    }
+    return StitchResult(
+        trace=merged,
+        sites=sites,
+        orphan_spans=sorted(orphan_spans),
+        orphan_parents=orphan_parents,
+        inflight=inflight,
+        cycles_broken=cycles_broken,
+        canonical=canonical,
+    )
+
+
+def stitch_data_dir(
+    data_dir: Union[str, Path], canonical: bool = False
+) -> StitchResult:
+    """Load and stitch every site trace under one live data directory."""
+    return stitch(load_site_traces(data_dir), canonical=canonical)

@@ -150,6 +150,14 @@ class Transport:
         self.frames_sent = 0
         self.frames_received = 0
         self.socket_writes = 0
+        #: Successful outgoing re-dials per peer (first dial excluded).
+        #: A healthy loopback mesh stays at 0; churn here is the cheap
+        #: gray-failure signal (flapping peer, half-open links).
+        self.reconnects: dict[SiteId, int] = {p: 0 for p in peers}
+        self._dialed: set[SiteId] = set()
+        #: Largest receive-side decode buffer ever observed, bytes,
+        #: across all inbound peer connections (see FrameDecoder.hwm).
+        self.decoder_hwm = 0
         self._stopped = False
 
     # ------------------------------------------------------------------
@@ -288,6 +296,10 @@ class Transport:
                 backoff = min(backoff * 2, RECONNECT_MAX)
                 continue
             backoff = RECONNECT_MIN
+            if peer in self._dialed:
+                self.reconnects[peer] += 1
+            else:
+                self._dialed.add(peer)
             self._writers[peer] = writer
             try:
                 writer.write(
@@ -479,6 +491,8 @@ class Transport:
                 if not data:
                     return
                 frames = decoder.feed(data)
+                if decoder.hwm > self.decoder_hwm:
+                    self.decoder_hwm = decoder.hwm
                 if not frames:
                     continue
                 self.frames_received += len(frames)
@@ -500,6 +514,24 @@ class Transport:
                             f"to boot {dst_boot} (this is boot {self.boot})",
                             peer=int(peer),
                         )
+                        sid = frame.get("sid")
+                        if sid is not None:
+                            # Close the sender's span: a fenced frame is
+                            # a *deliberate* drop with a reason, never an
+                            # orphan or a forever-inflight mystery.
+                            drop_data: dict[str, Any] = {
+                                "msg_id": int(sid),
+                                "src": int(peer),
+                                "dst": int(self.site),
+                                "reason": "stale_incarnation",
+                            }
+                            if frame.get("txn") is not None:
+                                drop_data["txn"] = frame["txn"]
+                            self._trace(
+                                "net.drop",
+                                f"span {int(sid)} fenced by boot {self.boot}",
+                                **drop_data,
+                            )
                         continue
                     await self._on_frame(peer, frame)
         except TransportError:

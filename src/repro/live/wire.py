@@ -20,6 +20,16 @@ Two layers share the format:
 Frames larger than :data:`MAX_FRAME` are rejected — nothing the commit
 protocols send comes within orders of magnitude of it, so an oversized
 length prefix means a corrupt or hostile peer.
+
+**Trace context** rides in two optional frame keys: ``sid`` is the
+span id the sender assigned to this message's ``net.send`` trace
+event, ``pid`` the span the send was causally triggered by (the
+message whose delivery the sender was handling).  The receiver echoes
+``sid`` as the ``msg_id`` of its ``net.deliver`` / ``net.drop`` event,
+which is exactly the contract :class:`repro.sim.spans.SpanIndex`
+expects — so the simulator's span tooling reconstructs live
+cross-process message spans unchanged.  Frames that carry no protocol
+causality (heartbeats, hellos, client traffic) are never stamped.
 """
 
 from __future__ import annotations
@@ -48,6 +58,37 @@ from repro.types import Outcome, SiteId
 MAX_FRAME = 1 << 20
 
 _LENGTH = struct.Struct(">I")
+
+
+# ----------------------------------------------------------------------
+# Trace context
+# ----------------------------------------------------------------------
+
+
+def stamp_trace_context(
+    frame: dict[str, Any],
+    span_id: int,
+    parent: Optional[int] = None,
+) -> dict[str, Any]:
+    """Stamp a frame with its span id (and optional parent span) in place.
+
+    Returns the frame for chaining.  ``parent`` is omitted from the
+    wire entirely when ``None`` — root spans stay one key smaller.
+    """
+    frame["sid"] = int(span_id)
+    if parent is not None:
+        frame["pid"] = int(parent)
+    return frame
+
+
+def trace_context(frame: dict[str, Any]) -> tuple[Optional[int], Optional[int]]:
+    """Extract ``(span_id, parent_span_id)`` from a frame (None if unstamped)."""
+    sid = frame.get("sid")
+    pid = frame.get("pid")
+    return (
+        int(sid) if sid is not None else None,
+        int(pid) if pid is not None else None,
+    )
 
 
 # ----------------------------------------------------------------------
@@ -109,10 +150,18 @@ class FrameDecoder:
     the socket has buffered and splits it synchronously instead of
     paying two stream awaits per frame.  Partial frames stay buffered
     until the next ``feed``.
+
+    :attr:`hwm` records the largest number of bytes the buffer ever
+    held right after an append — the receive-side backlog gauge.  A
+    high-water mark creeping toward :data:`MAX_FRAME` means a peer is
+    outpacing this site's event loop (or dribbling a huge frame), the
+    kind of gray-failure signal a soak harness watches for.
     """
 
     def __init__(self) -> None:
         self._buf = bytearray()
+        #: Largest buffered byte count ever observed (monotonic).
+        self.hwm = 0
 
     @property
     def pending(self) -> int:
@@ -128,6 +177,8 @@ class FrameDecoder:
         """
         buf = self._buf
         buf += data
+        if len(buf) > self.hwm:
+            self.hwm = len(buf)
         frames: list[dict[str, Any]] = []
         offset = 0
         while len(buf) - offset >= _LENGTH.size:

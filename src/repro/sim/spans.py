@@ -65,6 +65,32 @@ class MessageSpan:
             return None
         return self.ended_at - self.sent_at
 
+    @property
+    def orphan(self) -> bool:
+        """A terminal event with no matching ``net.send`` anywhere.
+
+        In a single-process trace this means the ring log evicted the
+        send; in a *stitched* cluster trace it means a whole site's
+        send is missing — lost instrumentation, a truncated trace
+        file, or a stitching bug — which is why the stitcher reports
+        orphans explicitly.
+        """
+        return self.send_entry is None and self.end_entry is not None
+
+    @property
+    def drop_reason(self) -> Optional[str]:
+        """Why a dropped span was dropped (``reason`` on the terminal).
+
+        The live transport closes spans it refuses to deliver — e.g.
+        ``"stale_incarnation"`` for commit traffic addressed to a dead
+        boot epoch — so a deliberate drop is a *closed* span with a
+        reason, never an orphan or a forever-inflight mystery.
+        """
+        if self.end_entry is None or self.status == "delivered":
+            return None
+        reason = self.end_entry.data.get("reason")
+        return str(reason) if reason is not None else None
+
     def describe(self) -> str:
         """One-line summary of the span."""
         src = "?" if self.src is None else self.src
@@ -138,6 +164,10 @@ class SpanIndex:
     def inflight(self) -> list[MessageSpan]:
         """Spans with a send but no terminal event (run ended first)."""
         return self.with_status("inflight")
+
+    def orphans(self) -> list[MessageSpan]:
+        """Terminal events whose ``net.send`` is missing, by message id."""
+        return [span for span in self.all() if span.orphan]
 
     def latencies(self) -> list[float]:
         """Transit times of all delivered spans, in message-id order."""

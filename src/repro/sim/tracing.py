@@ -135,6 +135,9 @@ class TraceLog:
         self.overflow = overflow
         #: Entries lost to the bound (evicted or discarded).
         self.dropped = 0
+        #: Unparseable lines skipped by a lenient import (see
+        #: :meth:`from_jsonl`); always 0 for strict imports.
+        self.malformed = 0
         self._entries: Union[list[TraceEntry], collections.deque[TraceEntry]]
         if max_entries is not None and overflow == "ring":
             self._entries = collections.deque(maxlen=max_entries)
@@ -233,11 +236,29 @@ class TraceLog:
         return "".join(entry.to_json() + "\n" for entry in self._entries)
 
     @classmethod
-    def from_jsonl(cls, text: str) -> "TraceLog":
-        """Rebuild a log from :meth:`to_jsonl` output (blank lines skipped)."""
+    def from_jsonl(cls, text: str, lenient: bool = False) -> "TraceLog":
+        """Rebuild a log from :meth:`to_jsonl` output (blank lines skipped).
+
+        With ``lenient=True``, lines that fail to parse are *skipped*
+        and counted in :attr:`malformed` instead of raising.  Live
+        sites block-buffer their trace files and a ``kill -9`` can
+        tear the final line (or, after a restart appends to the same
+        file, a line mid-stream) — advisory data should degrade, not
+        abort the analysis.  The strict default preserves the
+        byte-identical round-trip contract.
+        """
         log = cls()
         for line in text.splitlines():
-            if line.strip():
+            if not line.strip():
+                continue
+            if lenient:
+                try:
+                    entry = TraceEntry.from_json(line)
+                except (ValueError, KeyError, TypeError):
+                    log.malformed += 1
+                    continue
+                log.append(entry)
+            else:
                 log.append(TraceEntry.from_json(line))
         return log
 
@@ -248,7 +269,7 @@ class TraceLog:
         return len(self._entries)
 
     @classmethod
-    def load(cls, path: str) -> "TraceLog":
+    def load(cls, path: str, lenient: bool = False) -> "TraceLog":
         """Read a JSONL trace file written by :meth:`save`."""
         with open(path) as handle:
-            return cls.from_jsonl(handle.read())
+            return cls.from_jsonl(handle.read(), lenient=lenient)

@@ -11,12 +11,16 @@ import asyncio
 
 import pytest
 
+from repro.cli import main as cli_main
+from repro.errors import EXIT_OK
+from repro.live.audit import audit_data_dir
 from repro.live.client import ClientSession
 from repro.live.cluster import (
     ClusterConfig,
     ClusterHarness,
     kill_coordinator_scenario,
 )
+from repro.live.stitch import stitch_data_dir
 from repro.types import SiteId
 
 pytestmark = pytest.mark.slow
@@ -121,8 +125,27 @@ def test_metrics_snapshots_published(make_harness):
     assert snapshot is not None
     assert snapshot["live"]["site"] == 1
     assert snapshot["live"]["forced_writes"] >= 1
+    # Transport observability: decoder backlog gauge and per-peer
+    # reconnect counters (zero on a healthy run, but present).
+    assert snapshot["live"]["decoder_hwm"] >= 0
+    assert set(snapshot["live"]["peer_reconnects"]) == {"2", "3"}
+    assert snapshot["live"]["trace_entries"] > 0
+    assert snapshot["live"]["trace_dropped"] == 0
     counters = snapshot.get("counters", {})
     assert any(key.startswith("txns_total") for key in counters)
+
+
+def test_decided_reply_carries_stage_breakdown(make_harness):
+    """The client reply decomposes commit latency into additive stages:
+    queue wait, protocol resolution, and the fsync-durability wait."""
+    harness = make_harness("3pc-central")
+    harness.start()
+    reply = harness.begin(1)
+    stages = reply["stages"]
+    assert set(stages) == {"queue_ms", "resolve_ms", "durable_ms"}
+    assert all(value >= 0 for value in stages.values())
+    # Additive by construction: the advertised latency IS the stage sum.
+    assert reply["elapsed_ms"] == pytest.approx(sum(stages.values()), abs=1e-3)
 
 
 def test_bench_reports_shape(make_harness):
@@ -136,6 +159,16 @@ def test_bench_reports_shape(make_harness):
     assert 0 < report["latency_ms"]["p50"] <= report["latency_ms"]["p99"]
     assert report["forced_writes"] > 0
     assert report["proto_frames"] > 0
+    breakdown = report["latency_breakdown"]
+    assert set(breakdown) == {"queue_ms", "resolve_ms", "durable_ms"}
+    for stats in breakdown.values():
+        assert 0 <= stats["p50"] <= stats["p99"]
+    # Stage means must sum to the measured latency mean (each reply's
+    # elapsed_ms is exactly its stage sum, so the means telescope).
+    stage_mean_sum = sum(stats["mean"] for stats in breakdown.values())
+    assert stage_mean_sum == pytest.approx(
+        report["latency_ms"]["mean"], abs=max(0.05, 0.02 * report["latency_ms"]["mean"])
+    )
 
 
 @pytest.mark.parametrize("spec_name", ["2pc-central", "3pc-central"])
@@ -222,3 +255,64 @@ def test_kill9_coordinator_under_concurrent_load(make_harness, spec_name):
         )
         finals = harness.audit_atomicity(txn_id)
         assert len(set(finals.values())) == 1  # no split decision
+
+
+def test_kill9_traces_stitch_clean_and_audit_passes(make_harness):
+    """The CI smoke contract: after a kill -9 scenario, the site traces
+    stitch into one cluster trace with zero orphan spans (the pause
+    marker flushed everything the coordinator sent before dying, and
+    incarnation-fenced frames become *closed* drop spans), and the
+    durable artifacts pass the atomicity audit.
+    """
+    harness = make_harness("3pc-central")
+    result = kill_coordinator_scenario(harness)
+    assert result.final_outcomes == {1: "commit", 2: "commit", 3: "commit"}
+    harness.stop()  # graceful stop flushes every surviving trace tail
+    data_dir = harness.config.data_dir
+
+    stitched = stitch_data_dir(data_dir)
+    assert stitched.orphan_spans == []
+    assert stitched.orphan_parents == []
+    assert stitched.cycles_broken == 0
+    assert len(stitched.trace) > 0
+
+    report = audit_data_dir(data_dir)
+    assert report.ok(), report.violations
+    assert report.decisions >= 3
+    assert cli_main(["stitch", str(data_dir), "--strict"]) == EXIT_OK
+    assert cli_main(["audit", str(data_dir)]) == EXIT_OK
+
+
+def test_canonical_stitch_byte_stable_across_runs(tmp_path):
+    """Two independent live runs of the same fixed scenario stitch to
+    byte-identical canonical cluster traces — the live analogue of the
+    simulator's deterministic trace guarantee."""
+    outputs = []
+    for run in ("run-a", "run-b"):
+        config = ClusterConfig(
+            spec_name="3pc-central",
+            n_sites=3,
+            data_dir=tmp_path / run,
+        )
+        harness = ClusterHarness(config)
+        try:
+            harness.start()
+            reply = harness.begin(1)
+            assert reply["outcome"] == "commit"
+            harness.wait_outcomes(
+                1,
+                lambda views: all(
+                    v is not None and v["outcome"] == "commit"
+                    for v in views.values()
+                ),
+                10.0,
+                "all sites committing",
+            )
+        finally:
+            harness.stop()
+        result = stitch_data_dir(config.data_dir, canonical=True)
+        assert result.orphan_spans == []
+        assert result.orphan_parents == []
+        assert result.cycles_broken == 0
+        outputs.append(result.trace.to_jsonl())
+    assert outputs[0] == outputs[1]

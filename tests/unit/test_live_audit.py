@@ -1,0 +1,235 @@
+"""Continuous atomicity audit over durable site artifacts."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.errors import EXIT_CONFIG, EXIT_OK, EXIT_VIOLATION, LiveConfigError
+from repro.live.audit import audit_data_dir
+from repro.live.dtlog import SiteLogStore, _encode_line
+from repro.runtime.log import DecisionRecord, VoteRecord
+from repro.types import Outcome, Vote
+
+
+def _vote(vote: str = "yes", at: float = 0.1) -> VoteRecord:
+    return VoteRecord(vote=Vote(vote), at=at)
+
+
+def _decision(
+    outcome: str = "commit", at: float = 0.2, via: str = "protocol"
+) -> DecisionRecord:
+    return DecisionRecord(outcome=Outcome(outcome), at=at, via=via)
+
+
+def _write_log(data_dir: Path, site: int, records) -> Path:
+    """One site DT log written through the real store (boot record,
+    CRC framing, fsync path) — the audit must read production bytes."""
+    path = data_dir / f"site-{site}.dtlog"
+    store = SiteLogStore(path)
+    for txn, record in records:
+        store.append_record(txn, record)
+    store.close()
+    return path
+
+
+def _trace_line(category: str, site: int, **data) -> str:
+    record = {
+        "time": 0.0,
+        "category": category,
+        "site": site,
+        "detail": "",
+        "data": dict(sorted(data.items())),
+    }
+    return json.dumps(record, separators=(",", ":"))
+
+
+def _clean_cluster(data_dir: Path, sites=(1, 2, 3)) -> None:
+    for site in sites:
+        _write_log(data_dir, site, [(1, _vote("yes")), (1, _decision("commit"))])
+
+
+class TestCleanCluster:
+    def test_unanimous_commit_passes(self, tmp_path):
+        _clean_cluster(tmp_path)
+        report = audit_data_dir(tmp_path)
+        assert report.ok()
+        assert report.violations == []
+        assert report.sites == [1, 2, 3]
+        assert report.txns == 1
+        assert report.decisions == 3
+
+    def test_unilateral_abort_is_consistent(self, tmp_path):
+        # A No voter aborts unilaterally; others abort via the protocol.
+        _write_log(tmp_path, 1, [(1, _vote("no")), (1, _decision("abort"))])
+        _write_log(tmp_path, 2, [(1, _vote("yes")), (1, _decision("abort"))])
+        assert audit_data_dir(tmp_path).ok()
+
+    def test_undecided_site_is_not_a_violation(self, tmp_path):
+        # A site killed before deciding has a vote and nothing else —
+        # that is blocking, not an atomicity breach.
+        _write_log(tmp_path, 1, [(1, _vote("yes")), (1, _decision("commit"))])
+        _write_log(tmp_path, 2, [(1, _vote("yes"))])
+        assert audit_data_dir(tmp_path).ok()
+
+
+class TestSiteTimeline:
+    def test_vote_after_decision_flagged(self, tmp_path):
+        _write_log(tmp_path, 1, [(1, _decision("commit")), (1, _vote("yes"))])
+        report = audit_data_dir(tmp_path)
+        assert any("write-ahead timeline" in v for v in report.violations)
+
+    def test_commit_after_no_vote_flagged(self, tmp_path):
+        _write_log(tmp_path, 1, [(1, _vote("no")), (1, _decision("commit"))])
+        report = audit_data_dir(tmp_path)
+        assert any("committed after voting no" in v for v in report.violations)
+
+    def test_conflicting_decisions_at_one_site_flagged(self, tmp_path):
+        _write_log(
+            tmp_path, 1,
+            [(1, _vote("yes")), (1, _decision("commit")), (1, _decision("abort"))],
+        )
+        report = audit_data_dir(tmp_path)
+        assert any("conflicting decision" in v for v in report.violations)
+
+    def test_redundant_same_decision_allowed(self, tmp_path):
+        # Termination and recovery may re-log the same outcome; only a
+        # *different* outcome is a violation.
+        _write_log(
+            tmp_path, 1,
+            [
+                (1, _vote("yes")),
+                (1, _decision("commit", via="protocol")),
+                (1, _decision("commit", via="recovery")),
+            ],
+        )
+        assert audit_data_dir(tmp_path).ok()
+
+
+class TestAc1:
+    def test_cross_site_disagreement_flagged(self, tmp_path):
+        _write_log(tmp_path, 1, [(1, _vote("yes")), (1, _decision("commit"))])
+        _write_log(tmp_path, 2, [(1, _vote("yes")), (1, _decision("abort"))])
+        report = audit_data_dir(tmp_path)
+        assert not report.ok()
+        assert any("AC1 violated" in v for v in report.violations)
+
+    def test_hand_corrupted_outcome_caught(self, tmp_path):
+        """The acceptance check: flip one durable decision's outcome
+        (CRC recomputed, so the record is *valid*) and the audit must
+        flag it — integrity checking alone would never notice."""
+        _clean_cluster(tmp_path, sites=(1, 2))
+        victim = tmp_path / "site-2.dtlog"
+        lines = victim.read_bytes().splitlines(keepends=True)
+        rewritten = []
+        for line in lines:
+            body = json.loads(line.split(b" ", 1)[1])
+            if body.get("r") == "decision":
+                body["outcome"] = "abort"
+                line = _encode_line(body)
+            rewritten.append(line)
+        victim.write_bytes(b"".join(rewritten))
+
+        report = audit_data_dir(tmp_path)
+        assert any("AC1 violated" in v for v in report.violations)
+        assert main(["audit", str(tmp_path)]) == EXIT_VIOLATION
+
+
+class TestLogIntegrity:
+    def test_mid_log_corruption_is_violation(self, tmp_path):
+        path = _write_log(
+            tmp_path, 1, [(1, _vote("yes")), (1, _decision("commit"))]
+        )
+        lines = path.read_bytes().splitlines(keepends=True)
+        assert len(lines) >= 3  # boot + vote + decision
+        lines[1] = b"00000000" + lines[1][8:]  # break the vote's CRC
+        path.write_bytes(b"".join(lines))
+        report = audit_data_dir(tmp_path)
+        assert any("corrupt DT log" in v for v in report.violations)
+
+    def test_torn_tail_is_note_not_violation(self, tmp_path):
+        path = _write_log(
+            tmp_path, 1, [(1, _vote("yes")), (1, _decision("commit"))]
+        )
+        with path.open("ab") as handle:
+            handle.write(b'deadbeef {"r":"dec')  # kill -9 mid-append
+        report = audit_data_dir(tmp_path)
+        assert report.ok()
+        assert any("torn tail" in note for note in report.notes)
+        assert report.decisions == 1  # the intact decision still counts
+
+    def test_no_logs_is_config_error(self, tmp_path):
+        with pytest.raises(LiveConfigError):
+            audit_data_dir(tmp_path)
+
+
+class TestTraceCrossCheck:
+    def test_trace_disagreement_flagged(self, tmp_path):
+        # DT logs alone are consistent (boot records only) — the
+        # contradiction lives in the traces.
+        _write_log(tmp_path, 1, [])
+        _write_log(tmp_path, 2, [])
+        (tmp_path / "site-1.trace.jsonl").write_text(
+            _trace_line("txn.decided", 1, txn=1, outcome="commit") + "\n"
+        )
+        (tmp_path / "site-2.trace.jsonl").write_text(
+            _trace_line("txn.decided", 2, txn=1, outcome="abort") + "\n"
+        )
+        report = audit_data_dir(tmp_path)
+        assert any("traces disagree" in v for v in report.violations)
+        # Advisory layer only: --no-traces must pass the same directory.
+        assert audit_data_dir(tmp_path, include_traces=False).ok()
+        assert main(["audit", str(tmp_path), "--no-traces"]) == EXIT_OK
+
+    def test_missing_trace_events_are_not_violations(self, tmp_path):
+        # Traces are lossy by design (bounded, block-buffered, torn by
+        # kill -9): absence of a txn.decided event proves nothing.
+        _clean_cluster(tmp_path, sites=(1, 2))
+        (tmp_path / "site-1.trace.jsonl").write_text(
+            _trace_line("txn.decided", 1, txn=1, outcome="commit") + "\n"
+        )
+        assert audit_data_dir(tmp_path).ok()
+
+    def test_malformed_trace_lines_are_notes(self, tmp_path):
+        _clean_cluster(tmp_path, sites=(1,))
+        (tmp_path / "site-1.trace.jsonl").write_text('{"time":0.0,"cat\n')
+        report = audit_data_dir(tmp_path)
+        assert report.ok()
+        assert any("malformed trace" in note for note in report.notes)
+
+
+class TestAuditCli:
+    def test_clean_exit_with_json_sidecar(self, tmp_path, capsys):
+        _clean_cluster(tmp_path)
+        sidecar = tmp_path / "audit.json"
+        assert main(["audit", str(tmp_path), "--json", str(sidecar)]) == EXIT_OK
+        report = json.loads(sidecar.read_text())
+        assert report["ok"] is True
+        assert report["violations"] == []
+        assert report["decisions"] == 3
+        out = capsys.readouterr().out
+        assert "clean" in out
+
+    def test_violation_exit_and_sidecar(self, tmp_path, capsys):
+        _write_log(tmp_path, 1, [(1, _decision("commit"))])
+        _write_log(tmp_path, 2, [(1, _decision("abort"))])
+        sidecar = tmp_path / "audit.json"
+        code = main(["audit", str(tmp_path), "--json", str(sidecar)])
+        assert code == EXIT_VIOLATION
+        assert json.loads(sidecar.read_text())["ok"] is False
+        assert "VIOLATION" in capsys.readouterr().out
+
+    def test_empty_dir_is_config_exit(self, tmp_path, capsys):
+        assert main(["audit", str(tmp_path)]) == EXIT_CONFIG
+        capsys.readouterr()
+
+    def test_watch_window_passes_on_clean_logs(self, tmp_path, capsys):
+        _clean_cluster(tmp_path, sites=(1,))
+        code = main(
+            ["audit", str(tmp_path), "--watch", "0.2", "--interval", "0.05"]
+        )
+        assert code == EXIT_OK
+        capsys.readouterr()

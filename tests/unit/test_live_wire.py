@@ -17,6 +17,8 @@ from repro.live.wire import (
     encode_frame,
     encode_payload,
     read_frame,
+    stamp_trace_context,
+    trace_context,
 )
 from repro.runtime.messages import (
     OutcomeQuery,
@@ -151,6 +153,26 @@ class TestFrameDecoder:
         with pytest.raises(FrameError):
             decoder.feed(struct.pack(">I", len(body)) + body)
 
+    def test_hwm_tracks_largest_backlog(self):
+        frame = {"t": "payload", "txn": 1, "d": {"p": "proto", "kind": "x"}}
+        data = encode_frame(frame)
+        decoder = FrameDecoder()
+        assert decoder.hwm == 0
+        decoder.feed(data[:7])
+        assert decoder.hwm == 7  # partial frame buffered
+        decoder.feed(data[7:])
+        assert decoder.hwm == len(data)  # peak, even though drained
+        assert decoder.pending == 0
+        decoder.feed(data[:2])
+        assert decoder.hwm == len(data)  # monotonic: never shrinks
+
+    def test_hwm_counts_coalesced_batch(self):
+        frames = [{"t": "hb", "n": i} for i in range(4)]
+        data = b"".join(encode_frame(f) for f in frames)
+        decoder = FrameDecoder()
+        decoder.feed(data)
+        assert decoder.hwm == len(data)
+
 
 PAYLOADS = [
     ProtoMsg("prepare"),
@@ -195,3 +217,57 @@ class TestPayloadCodec:
     def test_outcome_reply_in_doubt_defaults_false(self):
         decoded = decode_payload({"p": "outcome-reply", "outcome": "commit"})
         assert decoded == OutcomeReply(Outcome.COMMIT, recovered_in_doubt=False)
+
+
+class TestTraceContext:
+    """Span context stamped into frames and recovered on the far side."""
+
+    def test_round_trip_through_codec(self):
+        frame = stamp_trace_context(
+            {"t": "payload", "txn": 7, "d": encode_payload(ProtoMsg("prepare"))},
+            span_id=1_000_000_042,
+            parent=2_000_000_007,
+        )
+        decoded, rest = decode_frame_bytes(encode_frame(frame))
+        assert rest == b""
+        assert trace_context(decoded) == (1_000_000_042, 2_000_000_007)
+        assert decode_payload(decoded["d"]) == ProtoMsg("prepare")
+
+    def test_root_span_omits_parent_key(self):
+        frame = stamp_trace_context({"t": "external", "txn": 1, "kind": "x"}, 9)
+        assert "pid" not in frame
+        decoded, _ = decode_frame_bytes(encode_frame(frame))
+        assert trace_context(decoded) == (9, None)
+
+    def test_unstamped_frame_has_no_context(self):
+        assert trace_context({"t": "hb"}) == (None, None)
+
+    def test_context_survives_reconnect_redelivery(self):
+        # The transport's peek-then-pop outbox re-sends a frame whose
+        # connection died mid-write.  The torn half buffers in the old
+        # connection's decoder (discarded with it); the fresh
+        # connection re-delivers the whole frame, trace context intact.
+        frame = stamp_trace_context(
+            {"t": "payload", "txn": 3, "d": encode_payload(ProtoMsg("commit"))},
+            span_id=5_000_000_001,
+            parent=5_000_000_000,
+        )
+        data = encode_frame(frame)
+        torn = FrameDecoder()
+        assert torn.feed(data[: len(data) // 2]) == []  # connection dies here
+        fresh = FrameDecoder()
+        (redelivered,) = fresh.feed(data)
+        assert trace_context(redelivered) == (5_000_000_001, 5_000_000_000)
+
+    def test_context_survives_split_across_coalesced_feeds(self):
+        frames = [
+            stamp_trace_context(
+                {"t": "payload", "txn": n, "d": encode_payload(ProtoMsg("ack"))},
+                span_id=100 + n,
+            )
+            for n in range(3)
+        ]
+        data = b"".join(encode_frame(f) for f in frames)
+        decoder = FrameDecoder()
+        out = decoder.feed(data[:-4]) + decoder.feed(data[-4:])
+        assert [trace_context(f)[0] for f in out] == [100, 101, 102]
