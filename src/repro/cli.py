@@ -304,6 +304,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             pause_after=(
                 parse_pause_after(args.pause_after) if args.pause_after else None
             ),
+            chaos=Path(args.chaos) if args.chaos else None,
         )
     except Exception as error:  # noqa: BLE001 - CLI boundary
         print(f"repro serve: {error}", file=sys.stderr)
@@ -320,6 +321,7 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
     from repro.live.cluster import (
         ClusterConfig,
         ClusterHarness,
+        gray_failure_scenario,
         kill_coordinator_scenario,
     )
 
@@ -340,11 +342,28 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
     )
     try:
         with ClusterHarness(config) as harness:
-            if args.scenario:
+            if args.scenario == "gray-failure":
+                result = gray_failure_scenario(
+                    harness, seed=args.chaos_seed
+                ).to_dict()
+                chaos_policy = harness.config.chaos
+            elif args.scenario:
                 result = kill_coordinator_scenario(harness).to_dict()
             else:
                 harness.start()
                 result = harness.bench(args.bench, concurrency=args.concurrency)
+        if args.scenario == "gray-failure" and args.emit_artifact:
+            # Round-trip the live counterexample into the explorer's
+            # replay corpus: same split decision, microsecond replay.
+            from repro.explore.chaos_bridge import gray_counterexample
+
+            artifact = gray_counterexample(chaos_policy)
+            artifact.save(args.emit_artifact)
+            result["artifact"] = args.emit_artifact
+            print(
+                f"wrote replay artifact to {args.emit_artifact}",
+                file=sys.stderr,
+            )
     except Exception as error:  # noqa: BLE001 - CLI boundary
         print(f"repro cluster: {type(error).__name__}: {error}", file=sys.stderr)
         print(f"site logs are under {data_dir}", file=sys.stderr)
@@ -355,6 +374,51 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
         Path(args.json_out).write_text(document + "\n")
         print(f"wrote report to {args.json_out}", file=sys.stderr)
     print(f"site logs are under {data_dir}", file=sys.stderr)
+    return EXIT_OK
+
+
+def _cmd_soak(args: argparse.Namespace) -> int:
+    import json
+    import tempfile
+    from pathlib import Path
+
+    from repro.errors import EXIT_OK, EXIT_VIOLATION, exit_code
+    from repro.live.soak import SoakConfig, run_soak
+
+    data_dir = Path(
+        args.data_dir if args.data_dir else tempfile.mkdtemp(prefix="repro-soak-")
+    )
+    try:
+        config = SoakConfig(
+            data_dir=data_dir,
+            spec_name=args.spec,
+            n_sites=args.n_sites,
+            txns=args.txns,
+            batch=args.batch,
+            concurrency=args.concurrency,
+            profile=args.profile,
+            seed=args.seed,
+            hb_interval=args.hb_interval,
+            suspect_after=args.suspect_after,
+            requery_interval=args.requery_interval,
+            timeout=args.timeout,
+            fsync_delay_ms=args.fsync_delay_ms,
+        )
+        result = run_soak(config)
+    except Exception as error:  # noqa: BLE001 - CLI boundary
+        print(f"repro soak: {type(error).__name__}: {error}", file=sys.stderr)
+        print(f"site logs are under {data_dir}", file=sys.stderr)
+        return exit_code(error)
+    document = json.dumps(result.to_dict(), indent=2, sort_keys=True)
+    print(document)
+    if args.json_out:
+        Path(args.json_out).write_text(document + "\n")
+        print(f"wrote soak report to {args.json_out}", file=sys.stderr)
+    print(f"site logs are under {data_dir}", file=sys.stderr)
+    if not result.ok:
+        for violation in result.violations:
+            print(f"VIOLATION: {violation}", file=sys.stderr)
+        return EXIT_VIOLATION
     return EXIT_OK
 
 
@@ -1026,6 +1090,12 @@ def build_parser() -> argparse.ArgumentParser:
         dest="pause_after",
         help="freeze after the N-th protocol send of KIND (crash injection)",
     )
+    serve.add_argument(
+        "--chaos",
+        metavar="FILE",
+        help="chaos policy JSON (ChaosPolicy.save) shaping this site's "
+        "inbound links, fsync latency, and clock skew",
+    )
     serve.set_defaults(func=_cmd_serve)
 
     cluster = sub.add_parser(
@@ -1042,8 +1112,24 @@ def build_parser() -> argparse.ArgumentParser:
     )
     cluster.add_argument(
         "--scenario",
-        choices=("kill-coordinator",),
-        help="run the kill -9 coordinator scenario instead of a benchmark",
+        choices=("kill-coordinator", "gray-failure"),
+        help="run a failure scenario instead of a benchmark: kill -9 the "
+        "coordinator, or a gray link that delivers heartbeats while "
+        "dropping commit-phase frames (expects a split decision)",
+    )
+    cluster.add_argument(
+        "--chaos-seed",
+        type=int,
+        default=0,
+        dest="chaos_seed",
+        help="seed for the gray-failure chaos policy",
+    )
+    cluster.add_argument(
+        "--emit-artifact",
+        metavar="FILE",
+        dest="emit_artifact",
+        help="after gray-failure, round-trip the split decision into an "
+        "explorer replay artifact at FILE",
     )
     cluster.add_argument(
         "--bench",
@@ -1089,6 +1175,72 @@ def build_parser() -> argparse.ArgumentParser:
     )
     cluster.add_argument("--timeout", type=float, default=30.0)
     cluster.set_defaults(func=_cmd_cluster)
+
+    soak = sub.add_parser(
+        "soak",
+        help="sustained txn volume under chaos with continuous audits",
+    )
+    soak.add_argument(
+        "--spec", default="3pc-central", choices=catalog.protocol_names()
+    )
+    soak.add_argument("--sites", type=int, default=3, dest="n_sites")
+    soak.add_argument(
+        "--data-dir",
+        dest="data_dir",
+        help="where site logs/traces go (default: a fresh temp dir)",
+    )
+    soak.add_argument(
+        "--txns",
+        type=int,
+        default=200,
+        help="total transactions to push through (default 200)",
+    )
+    soak.add_argument(
+        "--batch",
+        type=int,
+        default=50,
+        help="transactions per wave; the DT logs are audited between "
+        "waves (default 50)",
+    )
+    soak.add_argument(
+        "--concurrency",
+        type=int,
+        default=4,
+        help="closed-loop clients per wave (default 4)",
+    )
+    soak.add_argument(
+        "--profile",
+        choices=("none", "wan", "disk", "combined"),
+        default="combined",
+        help="chaos profile: WAN latency, slow fsyncs, both, or neither",
+    )
+    soak.add_argument(
+        "--seed", type=int, default=0, help="chaos seed (default 0)"
+    )
+    soak.add_argument(
+        "--fsync-delay-ms",
+        type=float,
+        default=4.0,
+        dest="fsync_delay_ms",
+        help="injected fsync latency for disk profiles (default 4.0)",
+    )
+    soak.add_argument(
+        "--hb-interval", type=float, default=0.1, dest="hb_interval"
+    )
+    soak.add_argument(
+        "--suspect-after", type=float, default=0.6, dest="suspect_after"
+    )
+    soak.add_argument(
+        "--requery-interval", type=float, default=0.3, dest="requery_interval"
+    )
+    soak.add_argument("--timeout", type=float, default=30.0)
+    soak.add_argument(
+        "--json-out",
+        metavar="FILE",
+        dest="json_out",
+        help="also write the JSON soak report to FILE",
+    )
+    soak.set_defaults(func=_cmd_soak)
 
     txn = sub.add_parser("txn", help="talk to a running live site")
     txn.add_argument("--host", default="127.0.0.1")

@@ -1,0 +1,114 @@
+"""Round-trip live gray-failure chaos schedules into the replay corpus.
+
+A chaos counterexample found on the live cluster (real processes, real
+TCP, wall-clock detector) is strong evidence but a weak regression
+test: replaying it takes seconds of real time and a working loopback
+stack.  The explorer is the opposite — microseconds per schedule,
+bit-exact replay — and it can express the *same* failure: a gray link
+that keeps delivering heartbeats while dropping a site's commit-phase
+frames is, to the protocol FSAs, a partition that the failure detector
+never reports symmetrically.
+
+:func:`gray_counterexample` performs that translation.  Given the live
+:class:`~repro.live.chaos.ChaosPolicy` that produced a split decision,
+it searches the explorer (partitions enabled, no crashes — nobody
+actually died, that is the point) for an atomicity violation whose
+shrunk schedule isolates the same site the gray link starved, shrinks
+it with ddmin, and packages a hash-verified
+:class:`~repro.explore.schedule.ReplayArtifact` whose note records the
+chaos policy's content hash as provenance.  The artifact is what gets
+pinned under ``tests/corpus/`` and replayed by the regression suite.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ExploreError
+from repro.explore.choices import Choice
+from repro.explore.explorer import Explorer, ViolationRecord
+from repro.explore.schedule import ExploreConfig, ReplayArtifact
+from repro.live.chaos import ChaosPolicy
+
+
+def _isolates(schedule: tuple[Choice, ...], isolate: int) -> bool:
+    """Whether the schedule's partition choice isolates site ``isolate``.
+
+    The ``partition`` choice point has arity ``n_sites + 1``: index 0
+    keeps the network whole, index ``i`` isolates the i-th site (sites
+    are 1-based and sorted, so index == site id).
+    """
+    return any(
+        choice.point == "partition" and choice.index == int(isolate)
+        for choice in schedule
+    )
+
+
+def _artifact(
+    config: ExploreConfig,
+    record: ViolationRecord,
+    policy: ChaosPolicy,
+    isolate: int,
+) -> ReplayArtifact:
+    note = (
+        f"round-trip of live gray-link chaos policy {policy.hash} "
+        f"({policy.note}): heartbeats delivered but commit-phase frames "
+        f"dropped, so the reliable-detector assumption fails for site "
+        f"{isolate}; the explorer reproduces the same split decision by "
+        f"isolating site {isolate} mid-protocol; "
+        + "; ".join(record.details)
+    )
+    return ReplayArtifact(
+        config=config,
+        schedule=record.shrunk,
+        expect_verdict="violation",
+        expect_kinds=record.signature,
+        note=note,
+    )
+
+
+def gray_counterexample(
+    policy: ChaosPolicy,
+    protocol: str = "3pc-central",
+    n_sites: int = 3,
+    isolate: int = 3,
+    budget: int = 400,
+    seed: int = 11,
+    seed_tries: int = 4,
+) -> ReplayArtifact:
+    """Search the explorer for the gray policy's split decision.
+
+    Tries ``seed_tries`` consecutive seeds; prefers an atomicity
+    violation whose shrunk schedule isolates ``isolate`` (the site the
+    gray link starved of protocol frames), falling back to any
+    atomicity violation if no seed produces that exact shape.
+
+    Raises:
+        ExploreError: If no tried seed surfaces an atomicity violation
+            at all — the budget was too small or the runtime changed.
+    """
+    fallback: tuple[ExploreConfig, ViolationRecord] | None = None
+    for attempt in range(seed_tries):
+        config = ExploreConfig(
+            protocol=protocol,
+            n_sites=n_sites,
+            seed=seed + attempt,
+            budget=budget,
+            partitions=True,
+            crash_budget=0,
+            shards=1,
+        )
+        explorer = Explorer(config)
+        result = explorer.explore_shard(0)
+        for record in result.violations:
+            if "atomicity" not in record.signature:
+                continue
+            if _isolates(record.shrunk, isolate):
+                return _artifact(config, record, policy, isolate)
+            if fallback is None:
+                fallback = (config, record)
+    if fallback is not None:
+        return _artifact(fallback[0], fallback[1], policy, isolate)
+    raise ExploreError(
+        f"no atomicity violation found for {protocol} within "
+        f"{seed_tries} seeds x {budget} schedules — cannot round-trip "
+        f"chaos policy {policy.hash} into the corpus"
+    )

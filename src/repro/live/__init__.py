@@ -27,16 +27,24 @@ site runs byte-for-byte the code the analysis layer proves nonblocking
 and the schedule explorer adversarially tests.
 """
 
+from repro.live.chaos import ChaosPolicy, ChaosRule, LinkChaos
 from repro.live.clock import TimeoutClock
 from repro.live.cluster import ClusterConfig, ClusterHarness
 from repro.live.dtlog import DurableDTLog, SiteLogStore
 from repro.live.node import LiveConfig, LiveSite
+from repro.live.soak import SoakConfig, SoakResult, run_soak
 from repro.live.transport import Transport
 from repro.live.wire import decode_payload, encode_frame, encode_payload, read_frame
 
 __all__ = [
+    "ChaosPolicy",
+    "ChaosRule",
     "ClusterConfig",
     "ClusterHarness",
+    "LinkChaos",
+    "SoakConfig",
+    "SoakResult",
+    "run_soak",
     "DurableDTLog",
     "LiveConfig",
     "LiveSite",

@@ -1,0 +1,507 @@
+"""Deterministic chaos injection for the live cluster.
+
+Skeen's nonblocking theorem for 3PC assumes a *reliable* failure
+detector: a site is suspected iff it has actually failed.  The live
+runtime's heartbeat detector can only approximate that over a real
+network, and this module supplies the network conditions under which
+the approximation breaks — observably, deterministically, and in a
+form that can be serialized, replayed, and round-tripped into the
+schedule explorer's corpus for ddmin shrinking.
+
+A :class:`ChaosPolicy` is a frozen, seeded description of everything
+the injection seam can do:
+
+* **Gray links** (:class:`ChaosRule`): per ordered peer pair, drop or
+  delay only some frame kinds — only heartbeats, only commit-phase
+  frames, or a seeded fraction of each.  Rules can arm themselves
+  after the link has carried N frames of a trigger kind, which is how
+  a scenario says "healthy until the vote-request goes out".
+* **WAN latency profiles**: asymmetric per-direction base delay plus
+  seeded jitter spikes (:func:`wan_policy`).
+* **Slow-fsync disks**: a per-site fsync delay threaded into
+  :class:`~repro.live.dtlog.SiteLogStore`'s injectable ``fsync``,
+  stressing the adaptive inline-vs-executor EMA placement.
+* **Clock skew**: a per-site offset applied to
+  :class:`~repro.live.clock.TimeoutClock`.
+
+Injection happens on the *receive* side of the transport
+(:meth:`repro.live.transport.Transport._peer_receiver`), before the
+frame earns any liveness credit: a dropped frame is exactly as if the
+network lost it, and a delayed frame keeps its original socket-arrival
+stamp so stale evidence cannot un-suspect a peer.
+
+Determinism contract: every probabilistic rule draws from its own
+``random.Random`` stream keyed by ``(policy seed, receiving site,
+rule index)``, and consumes one draw per frame *that rule matches*.
+Frames on one TCP link arrive in send order, so for any rule whose
+matched frames are deterministic in content and per-link order (e.g.
+protocol payload frames under a serial workload), the decision stream
+is identical across runs regardless of cross-link interleaving.
+Rules that match timer-driven heartbeats are deterministic only when
+``drop`` is 0 or 1 and ``jitter_ms`` is 0 — heartbeat counts are not
+reproducible, so give such rules no randomness to consume.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import random
+from pathlib import Path
+from typing import Any, Mapping, Optional, Tuple
+
+from repro.errors import LiveConfigError
+
+#: Schema version stamped into serialized policies.
+CHAOS_SCHEMA = 1
+
+#: Artifact kind marker (mirrors the explorer's replay artifacts).
+CHAOS_KIND = "repro.live.chaos"
+
+#: Category tags a rule's ``kinds`` may name (prefixed with ``@``):
+#: ``@hb`` heartbeats, ``@payload`` any protocol-host payload frame,
+#: ``@proto`` FSA protocol messages specifically, ``@external``
+#: external stimulus frames, ``@control`` everything else.
+CATEGORIES = ("hb", "payload", "proto", "external", "control")
+
+
+def frame_chaos_kind(frame: Mapping[str, Any]) -> Tuple[str, Tuple[str, ...]]:
+    """Classify a wire frame for chaos matching.
+
+    Returns ``(kind, categories)``: the specific kind a rule can match
+    by name (an FSA message kind like ``"prepare"`` for protocol
+    payloads, the payload codec tag like ``"term-decision"`` for
+    runtime payloads, the external kind for external frames, the frame
+    type otherwise) and the ``@``-matchable category tags.
+    """
+    t = frame.get("t")
+    if t == "hb":
+        return "hb", ("hb",)
+    if t == "payload":
+        d = frame.get("d") or {}
+        p = d.get("p")
+        if p == "proto":
+            return str(d.get("kind")), ("payload", "proto")
+        return str(p), ("payload",)
+    if t == "external":
+        return str(frame.get("kind")), ("external",)
+    return str(t), ("control",)
+
+
+@dataclasses.dataclass(frozen=True)
+class ChaosRule:
+    """One gray-link rule on the ordered link ``src -> dst``.
+
+    Attributes:
+        src: Sending site of the link this rule watches.
+        dst: Receiving site (rules run on the receiver).
+        kinds: Frame kinds the rule applies to — specific kind names
+            and/or ``@category`` tags; ``None`` applies to every frame.
+        drop: Probability in [0, 1] that a matched frame is dropped.
+        delay_ms: Base added one-way delay for matched frames.
+        jitter_ms: Extra uniform [0, jitter_ms) delay per frame.
+        after_kind: Arm the rule only once the link has carried
+            ``after_count`` frames of this kind (``None`` counts every
+            frame).  The arming frames themselves pass unmodified.
+        after_count: How many trigger frames arm the rule (0 = armed
+            from the start).
+    """
+
+    src: int
+    dst: int
+    kinds: Optional[Tuple[str, ...]] = None
+    drop: float = 0.0
+    delay_ms: float = 0.0
+    jitter_ms: float = 0.0
+    after_kind: Optional[str] = None
+    after_count: int = 0
+
+    def __post_init__(self) -> None:
+        if self.src == self.dst:
+            raise LiveConfigError(f"chaos rule on self-link {self.src}")
+        if not 0.0 <= self.drop <= 1.0:
+            raise LiveConfigError(f"chaos drop {self.drop} outside [0, 1]")
+        if self.delay_ms < 0 or self.jitter_ms < 0:
+            raise LiveConfigError("chaos delay/jitter must be >= 0")
+        if self.after_count < 0:
+            raise LiveConfigError("chaos after_count must be >= 0")
+        if self.kinds is not None:
+            object.__setattr__(self, "kinds", tuple(self.kinds))
+            for kind in self.kinds:  # type: ignore[union-attr]
+                if kind.startswith("@") and kind[1:] not in CATEGORIES:
+                    raise LiveConfigError(
+                        f"unknown chaos category {kind!r}; "
+                        f"known: {', '.join('@' + c for c in CATEGORIES)}"
+                    )
+
+    def matches(self, kind: str, categories: Tuple[str, ...]) -> bool:
+        """Whether this rule applies to a frame of ``kind``/``categories``."""
+        if self.kinds is None:
+            return True
+        for entry in self.kinds:
+            if entry.startswith("@"):
+                if entry[1:] in categories:
+                    return True
+            elif entry == kind:
+                return True
+        return False
+
+    def to_dict(self) -> dict[str, Any]:
+        data: dict[str, Any] = {"src": self.src, "dst": self.dst}
+        if self.kinds is not None:
+            data["kinds"] = list(self.kinds)
+        if self.drop:
+            data["drop"] = self.drop
+        if self.delay_ms:
+            data["delay_ms"] = self.delay_ms
+        if self.jitter_ms:
+            data["jitter_ms"] = self.jitter_ms
+        if self.after_kind is not None:
+            data["after_kind"] = self.after_kind
+        if self.after_count:
+            data["after_count"] = self.after_count
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ChaosRule":
+        kinds = data.get("kinds")
+        return cls(
+            src=int(data["src"]),
+            dst=int(data["dst"]),
+            kinds=tuple(kinds) if kinds is not None else None,
+            drop=float(data.get("drop", 0.0)),
+            delay_ms=float(data.get("delay_ms", 0.0)),
+            jitter_ms=float(data.get("jitter_ms", 0.0)),
+            after_kind=data.get("after_kind"),
+            after_count=int(data.get("after_count", 0)),
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class ChaosPolicy:
+    """A complete, serializable chaos schedule for one cluster run.
+
+    Attributes:
+        seed: Root seed for every per-rule random stream.
+        links: Gray-link rules, in evaluation order.
+        disk: Per-site fsync delay, as sorted ``(site, delay_ms)``.
+        skew: Per-site clock offset, as sorted ``(site, offset_s)``.
+        note: Human-readable provenance (what scenario built this).
+    """
+
+    seed: int = 0
+    links: Tuple[ChaosRule, ...] = ()
+    disk: Tuple[Tuple[int, float], ...] = ()
+    skew: Tuple[Tuple[int, float], ...] = ()
+    note: str = ""
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "links", tuple(self.links))
+        object.__setattr__(
+            self, "disk", tuple(sorted((int(s), float(v)) for s, v in self.disk))
+        )
+        object.__setattr__(
+            self, "skew", tuple(sorted((int(s), float(v)) for s, v in self.skew))
+        )
+        for _, delay in self.disk:
+            if delay < 0:
+                raise LiveConfigError("chaos fsync delay must be >= 0")
+
+    # -- per-site accessors -------------------------------------------
+
+    def fsync_delay_ms(self, site: int) -> float:
+        """Injected fsync delay for ``site`` (0 when unlisted)."""
+        return dict(self.disk).get(int(site), 0.0)
+
+    def skew_s(self, site: int) -> float:
+        """Clock offset for ``site`` in seconds (0 when unlisted)."""
+        return dict(self.skew).get(int(site), 0.0)
+
+    def rules_for(self, dst: int) -> Tuple[Tuple[int, ChaosRule], ...]:
+        """The ``(global index, rule)`` pairs received by site ``dst``."""
+        return tuple(
+            (idx, rule)
+            for idx, rule in enumerate(self.links)
+            if rule.dst == int(dst)
+        )
+
+    def merged(self, other: "ChaosPolicy") -> "ChaosPolicy":
+        """Combine two policies (rules concatenate; ``other`` wins on
+        per-site disk/skew conflicts; ``self.seed`` is kept)."""
+        disk = dict(self.disk)
+        disk.update(dict(other.disk))
+        skew = dict(self.skew)
+        skew.update(dict(other.skew))
+        note = " + ".join(n for n in (self.note, other.note) if n)
+        return ChaosPolicy(
+            seed=self.seed,
+            links=self.links + other.links,
+            disk=tuple(disk.items()),
+            skew=tuple(skew.items()),
+            note=note,
+        )
+
+    # -- serialization ------------------------------------------------
+
+    def _payload(self) -> dict[str, Any]:
+        return {
+            "schema": CHAOS_SCHEMA,
+            "kind": CHAOS_KIND,
+            "seed": self.seed,
+            "links": [rule.to_dict() for rule in self.links],
+            "disk": {str(site): delay for site, delay in self.disk},
+            "skew": {str(site): offset for site, offset in self.skew},
+            "note": self.note,
+        }
+
+    @property
+    def hash(self) -> str:
+        """Content hash over the canonical payload (12 hex chars)."""
+        canonical = json.dumps(
+            self._payload(), sort_keys=True, separators=(",", ":")
+        )
+        return hashlib.sha256(canonical.encode()).hexdigest()[:12]
+
+    def to_json(self) -> str:
+        payload = self._payload()
+        payload["hash"] = self.hash
+        return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+    @classmethod
+    def from_json(cls, text: str) -> "ChaosPolicy":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as error:
+            raise LiveConfigError(f"chaos policy is not JSON: {error}") from error
+        if not isinstance(data, dict) or data.get("kind") != CHAOS_KIND:
+            raise LiveConfigError("not a chaos policy artifact")
+        if data.get("schema") != CHAOS_SCHEMA:
+            raise LiveConfigError(
+                f"unsupported chaos schema {data.get('schema')!r}"
+            )
+        policy = cls(
+            seed=int(data.get("seed", 0)),
+            links=tuple(
+                ChaosRule.from_dict(rule) for rule in data.get("links", ())
+            ),
+            disk=tuple(
+                (int(site), float(delay))
+                for site, delay in (data.get("disk") or {}).items()
+            ),
+            skew=tuple(
+                (int(site), float(offset))
+                for site, offset in (data.get("skew") or {}).items()
+            ),
+            note=str(data.get("note", "")),
+        )
+        expected = data.get("hash")
+        if expected is not None and expected != policy.hash:
+            raise LiveConfigError(
+                f"chaos policy hash mismatch: artifact says {expected}, "
+                f"content hashes to {policy.hash}"
+            )
+        return policy
+
+    def save(self, path: Path) -> None:
+        from repro.live.files import atomic_write_text
+
+        atomic_write_text(Path(path), self.to_json())
+
+    @classmethod
+    def load(cls, path: Path) -> "ChaosPolicy":
+        try:
+            text = Path(path).read_text()
+        except OSError as error:
+            raise LiveConfigError(
+                f"cannot read chaos policy {path}: {error}"
+            ) from error
+        return cls.from_json(text)
+
+
+class LinkChaos:
+    """The receive-side chaos engine bound to one receiving site.
+
+    One instance lives inside a site's :class:`Transport` and is asked,
+    frame by frame, what the network does to the frame.  All state —
+    per-link trigger counts, per-rule random streams, drop/delay
+    counters — is local to the receiving site, so determinism never
+    depends on cross-site scheduling.
+    """
+
+    def __init__(self, policy: ChaosPolicy, site: int) -> None:
+        self.policy = policy
+        self.site = int(site)
+        self._rules = policy.rules_for(self.site)
+        #: rule index -> its private random stream (lazily created).
+        self._rngs: dict[int, random.Random] = {}
+        #: src site -> {kind or None: frames seen on that link}.
+        self._seen: dict[int, dict[Optional[str], int]] = {}
+        self.drops = 0
+        self.delays = 0
+
+    @property
+    def active(self) -> bool:
+        """Whether any link rule targets this site."""
+        return bool(self._rules)
+
+    def _rng(self, index: int) -> random.Random:
+        rng = self._rngs.get(index)
+        if rng is None:
+            rng = random.Random(f"{self.policy.seed}:{self.site}:{index}")
+            self._rngs[index] = rng
+        return rng
+
+    def _armed(self, rule: ChaosRule, src: int) -> bool:
+        if rule.after_count <= 0:
+            return True
+        counts = self._seen.get(src)
+        if counts is None:
+            return False
+        return counts.get(rule.after_kind, 0) >= rule.after_count
+
+    def decide(self, src: int, frame: Mapping[str, Any]) -> Tuple[bool, float]:
+        """What happens to one frame arriving from ``src``.
+
+        Returns ``(drop, delay_s)``.  Arming counts see only *prior*
+        frames: the frame that satisfies a trigger passes unmodified.
+        """
+        src = int(src)
+        kind, categories = frame_chaos_kind(frame)
+        drop = False
+        delay_s = 0.0
+        for index, rule in self._rules:
+            if rule.src != src or not rule.matches(kind, categories):
+                continue
+            if not self._armed(rule, src):
+                continue
+            if rule.drop >= 1.0:
+                drop = True
+            elif rule.drop > 0.0 and self._rng(index).random() < rule.drop:
+                drop = True
+            if not drop and (rule.delay_ms or rule.jitter_ms):
+                extra = rule.delay_ms
+                if rule.jitter_ms:
+                    extra += self._rng(index).random() * rule.jitter_ms
+                delay_s = max(delay_s, extra / 1000.0)
+        counts = self._seen.setdefault(src, {})
+        counts[kind] = counts.get(kind, 0) + 1
+        counts[None] = counts.get(None, 0) + 1
+        if drop:
+            self.drops += 1
+            return True, 0.0
+        if delay_s > 0.0:
+            self.delays += 1
+        return False, delay_s
+
+
+# ---------------------------------------------------------------------------
+# Packaged profiles
+# ---------------------------------------------------------------------------
+
+
+def wan_policy(
+    n_sites: int,
+    seed: int = 0,
+    min_ms: float = 1.0,
+    max_ms: float = 6.0,
+    jitter_ms: float = 2.0,
+) -> ChaosPolicy:
+    """Asymmetric geo-latency profile over every ordered peer pair.
+
+    Each direction of each pair gets its own base delay, derived
+    deterministically from the seed (so ``1 -> 2`` and ``2 -> 1``
+    differ, like real WAN paths), plus per-frame jitter.  Delay-only
+    and scoped to payload/external frames: heartbeats stay on time so
+    the failure detector's view of a *slow* network remains "alive",
+    which is exactly the regime where commit latency — not suspicion —
+    absorbs the geography.
+    """
+    if n_sites < 2:
+        raise LiveConfigError("WAN profile needs at least 2 sites")
+    spread = max_ms - min_ms
+    if spread < 0:
+        raise LiveConfigError("WAN profile needs max_ms >= min_ms")
+    rules = []
+    for src in range(1, n_sites + 1):
+        for dst in range(1, n_sites + 1):
+            if src == dst:
+                continue
+            digest = hashlib.sha256(f"{seed}:{src}->{dst}".encode()).digest()
+            fraction = int.from_bytes(digest[:8], "big") / 2**64
+            rules.append(
+                ChaosRule(
+                    src=src,
+                    dst=dst,
+                    kinds=("@payload", "@external"),
+                    delay_ms=min_ms + fraction * spread,
+                    jitter_ms=jitter_ms,
+                )
+            )
+    return ChaosPolicy(
+        seed=seed,
+        links=tuple(rules),
+        note=f"wan profile {min_ms}-{max_ms}ms +{jitter_ms}ms jitter",
+    )
+
+
+def slow_disk_policy(
+    n_sites: int, fsync_delay_ms: float = 4.0, seed: int = 0
+) -> ChaosPolicy:
+    """Every site's fsync takes ``fsync_delay_ms`` longer.
+
+    Above the DT log's 2 ms EMA threshold this pushes group-commit
+    fsyncs off the event loop onto the executor — the adaptive
+    placement path that loopback CI never exercises.
+    """
+    return ChaosPolicy(
+        seed=seed,
+        disk=tuple((site, fsync_delay_ms) for site in range(1, n_sites + 1)),
+        note=f"slow disks +{fsync_delay_ms}ms fsync",
+    )
+
+
+def gray_link_policy(seed: int = 0, coordinator: int = 1) -> ChaosPolicy:
+    """The packaged reliable-detector violation for 3 sites.
+
+    The schedule that drives central 3PC into a split decision:
+
+    * Links out of the coordinator keep delivering until the
+      vote-request (``xact``) goes out, then silently stop carrying
+      heartbeats — both participants eventually suspect a coordinator
+      that is still running.
+    * The coordinator-to-site-3 link additionally drops ``prepare``,
+      so site 3 is stranded in its wait state while site 2 advances to
+      prepared.
+    * The participant-to-participant links go dark after first
+      contact, so each participant ends up alone and runs the
+      termination protocol solo: ``rule(p) = COMMIT`` at site 2,
+      ``rule(w) = ABORT`` at site 3.  Split decision; AC1 violated.
+
+    Links *into* the coordinator stay clean: the coordinator never
+    suspects anyone, showcasing how asymmetric gray loss breaks the
+    "suspected iff down" assumption in both directions at once.
+    """
+    c = int(coordinator)
+    others = sorted(set(range(1, 4)) - {c})
+    p2, p3 = others
+    rules = (
+        # Heartbeats from the coordinator die once the txn is in flight.
+        ChaosRule(src=c, dst=p2, kinds=("@hb",), drop=1.0,
+                  after_kind="xact", after_count=1),
+        ChaosRule(src=c, dst=p3, kinds=("@hb",), drop=1.0,
+                  after_kind="xact", after_count=1),
+        # Site p3 never learns the cohort prepared.
+        ChaosRule(src=c, dst=p3, kinds=("prepare",), drop=1.0),
+        # Participants lose each other after first contact.
+        ChaosRule(src=p2, dst=p3, drop=1.0, after_count=1),
+        ChaosRule(src=p3, dst=p2, drop=1.0, after_count=1),
+    )
+    return ChaosPolicy(
+        seed=seed,
+        links=rules,
+        note=(
+            f"gray links: hb-only loss out of coordinator {c}, "
+            f"prepare dropped to site {p3}, participants partitioned"
+        ),
+    )

@@ -67,11 +67,23 @@ class TimeoutClock:
     The event loop is resolved lazily (at first ``call_later``) rather
     than at construction, so the clock can be built before the loop
     runs, e.g. in server bootstrap code.
+
+    ``skew`` offsets every ``now()`` reading by a constant, emulating a
+    site whose clock is set wrong.  Relative timers (``call_later``,
+    ``now() - earlier_now()``) are unaffected — exactly like a real
+    skewed-but-stable clock — but every *absolute* timestamp the site
+    publishes (trace events, metrics snapshots) is shifted, which is
+    what cross-site consumers of those timestamps must survive.
     """
 
-    def __init__(self, loop: Optional[asyncio.AbstractEventLoop] = None) -> None:
+    def __init__(
+        self,
+        loop: Optional[asyncio.AbstractEventLoop] = None,
+        skew: float = 0.0,
+    ) -> None:
         self._loop = loop
         self._epoch = time.monotonic()
+        self.skew = float(skew)
 
     def _running_loop(self) -> asyncio.AbstractEventLoop:
         if self._loop is None:
@@ -79,8 +91,8 @@ class TimeoutClock:
         return self._loop
 
     def now(self) -> SimTime:
-        """Monotonic seconds since this clock was created."""
-        return time.monotonic() - self._epoch
+        """Monotonic seconds since this clock was created, plus skew."""
+        return time.monotonic() - self._epoch + self.skew
 
     def call_later(
         self, delay: SimTime, callback: Callable[[], None], label: str = ""

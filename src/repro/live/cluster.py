@@ -46,6 +46,7 @@ from typing import Any, Callable, Optional
 import repro
 from repro.errors import AtomicityViolationError, ClusterError, LiveTimeoutError
 from repro.live import client
+from repro.live.chaos import ChaosPolicy, gray_link_policy
 from repro.types import Outcome, SiteId
 
 
@@ -70,6 +71,10 @@ class ClusterConfig:
     ready_timeout: float = 30.0
     decide_timeout: float = 30.0
     max_inflight: int = 64
+    #: Optional chaos policy applied cluster-wide: serialized to
+    #: ``data_dir/chaos.json`` at spawn time and passed to every site
+    #: via ``repro serve --chaos`` (each site applies its own slice).
+    chaos: Optional[ChaosPolicy] = None
 
     def __post_init__(self) -> None:
         self.data_dir = Path(self.data_dir)
@@ -154,7 +159,12 @@ class ClusterHarness:
         ]
         if pause_after is not None:
             argv += ["--pause-after", pause_after]
+        if self.config.chaos is not None:
+            argv += ["--chaos", str(self._chaos_path())]
         return argv
+
+    def _chaos_path(self) -> Path:
+        return self.config.data_dir / "chaos.json"
 
     def spawn(
         self,
@@ -173,6 +183,11 @@ class ClusterHarness:
             raise ClusterError(f"site {site} is already running")
         for suffix in ("ready", "paused"):
             self._marker(site, suffix).unlink(missing_ok=True)
+        if self.config.chaos is not None:
+            # (Re)write the shared policy so a site restarted after a
+            # config change sees the current one; the file is the
+            # run's replayable chaos record.
+            self.config.chaos.save(self._chaos_path())
         env = dict(os.environ)
         src_dir = str(Path(repro.__file__).resolve().parent.parent)
         env["PYTHONPATH"] = src_dir + os.pathsep + env.get("PYTHONPATH", "")
@@ -669,5 +684,152 @@ def kill_coordinator_scenario(harness: ClusterHarness, txn_id: int = 1) -> Scena
         final_outcomes={int(site): outcome for site, outcome in finals.items()},
         coordinator_boot=int(coordinator_view["boot"]),
         survivor_decision_s=round(survivor_decision_s, 3),
+        total_s=round(time.monotonic() - started, 3),
+    )
+
+
+# ----------------------------------------------------------------------
+# Canned scenario: gray links break the reliable-detector assumption
+# ----------------------------------------------------------------------
+
+
+@dataclasses.dataclass
+class GrayFailureResult:
+    """What :func:`gray_failure_scenario` observed.
+
+    Attributes:
+        protocol: Spec under test (``3pc-central``).
+        chaos_hash: Content hash of the chaos policy that was applied.
+        split_detected: Whether the expected split decision happened.
+        outcomes: Final outcome per participant that decided.
+        coordinator_outcome: The (never-suspecting) coordinator's view.
+        violation: The atomicity violation message the harness caught.
+        audit_ok: Whether the durable-log audit passed (must be False).
+        audit_violations: What ``repro audit`` flagged.
+        suspected: Each site's suspected-peer list from its metrics
+            snapshot — the detector asymmetry in the raw.
+        total_s: Wall time of the whole scenario.
+    """
+
+    protocol: str
+    chaos_hash: str
+    split_detected: bool
+    outcomes: dict[int, str]
+    coordinator_outcome: str
+    violation: str
+    audit_ok: bool
+    audit_violations: list[str]
+    suspected: dict[int, list[int]]
+    total_s: float
+
+    def to_dict(self) -> dict[str, Any]:
+        return dataclasses.asdict(self)
+
+
+def gray_failure_scenario(
+    harness: ClusterHarness, txn_id: int = 1, seed: int = 0
+) -> GrayFailureResult:
+    """Drive 3PC into a split decision with gray links — no site dies.
+
+    The chaos policy (:func:`~repro.live.chaos.gray_link_policy`)
+    violates the paper's reliable-detector assumption in both
+    directions at once: the participants suspect a coordinator that is
+    alive (its heartbeats stop once the vote-request is out), while the
+    coordinator — whose inbound links stay clean — never suspects
+    anyone.  Site 2 reaches *prepared* and terminates solo with
+    ``rule(p) = COMMIT``; site 3, whose ``prepare`` the link dropped,
+    terminates solo from *wait* with ``rule(w) = ABORT``.  Nonblocking
+    termination without the assumption it rests on is exactly wrong,
+    and the audit must catch it as an AC1 violation across the durable
+    DT logs.
+
+    The split is the scenario's *success* criterion; failing to
+    reproduce it raises.
+
+    Raises:
+        ClusterError: If the harness is not a 3-site central-3PC
+            cluster, or the split decision did not occur.
+        LiveTimeoutError: If the participants never decided.
+    """
+    spec_name = harness.config.spec_name
+    if spec_name != "3pc-central" or harness.config.n_sites != 3:
+        raise ClusterError(
+            "gray_failure_scenario needs a 3-site 3pc-central cluster, "
+            f"got {spec_name!r} with {harness.config.n_sites} sites"
+        )
+    if harness.config.chaos is None:
+        harness.config.chaos = gray_link_policy(seed=seed)
+    policy = harness.config.chaos
+    coordinator, committer, aborter = SiteId(1), SiteId(2), SiteId(3)
+    started = time.monotonic()
+
+    harness.start()
+    # Gateway at site 2: the client's decided reply comes from the
+    # survivor side of the split, while the coordinator hangs in
+    # *prepared* waiting for an ack the gray link ate.
+    harness.begin(txn_id, gateway=committer, wait=True)
+
+    def participants_decided(
+        views: dict[SiteId, Optional[dict[str, Any]]]
+    ) -> bool:
+        return all(
+            views[s] is not None
+            and views[s]["outcome"] in ("commit", "abort")
+            for s in (committer, aborter)
+        )
+
+    views = harness.wait_outcomes(
+        txn_id,
+        participants_decided,
+        harness.config.decide_timeout,
+        "participants terminating solo under gray links",
+    )
+    outcomes = {
+        int(s): views[s]["outcome"]
+        for s in (committer, aborter)
+        if views[s] is not None
+    }
+    coordinator_view = views[coordinator]
+    coordinator_outcome = (
+        str(coordinator_view["outcome"])
+        if coordinator_view is not None
+        else "down"
+    )
+
+    violation = ""
+    try:
+        harness.audit_atomicity(txn_id)
+    except AtomicityViolationError as error:
+        violation = str(error)
+    split = len(set(outcomes.values())) > 1
+
+    # The durable evidence: the per-site DT logs must already disagree.
+    from repro.live.audit import audit_data_dir
+
+    report = audit_data_dir(harness.config.data_dir, include_traces=False)
+    suspected = {}
+    for site in harness.ports:
+        snapshot = harness.site_metrics(site)
+        if snapshot is not None:
+            suspected[int(site)] = list(
+                snapshot.get("live", {}).get("suspected", [])
+            )
+
+    if not split or report.ok():
+        raise ClusterError(
+            "gray-failure scenario did not reproduce the split decision: "
+            f"outcomes={outcomes}, audit_ok={report.ok()} "
+            f"(chaos {policy.hash})"
+        )
+    return GrayFailureResult(
+        protocol=spec_name,
+        chaos_hash=policy.hash,
+        split_detected=split,
+        outcomes=outcomes,
+        coordinator_outcome=coordinator_outcome,
+        violation=violation,
+        audit_ok=report.ok(),
+        audit_violations=list(report.violations),
+        suspected=suspected,
         total_s=round(time.monotonic() - started, 3),
     )

@@ -69,6 +69,29 @@ from repro.types import Outcome, Vote
 FSYNC_INLINE_THRESHOLD_S = 0.002
 
 
+def delayed_fsync(
+    delay_s: float, fsync: Callable[[int], None] = os.fsync
+) -> Callable[[int], None]:
+    """An ``fsync`` that models a slow disk: sleep, then really sync.
+
+    The chaos seam injects this into :class:`SiteLogStore` to emulate
+    spinning-disk or congested-EBS fsync latency.  The sleep happens
+    wherever the flusher runs the fsync, so a delay above
+    :data:`FSYNC_INLINE_THRESHOLD_S` first stalls the event loop a few
+    batches, then — once the EMA has learned the device — migrates to
+    the executor: the adaptive-placement path a fast CI disk never
+    exercises.
+    """
+    if delay_s < 0:
+        raise ValueError(f"fsync delay must be >= 0, got {delay_s}")
+
+    def slow_fsync(fileno: int) -> None:
+        time.sleep(delay_s)
+        fsync(fileno)
+
+    return slow_fsync
+
+
 def _encode_line(body: dict[str, Any]) -> bytes:
     text = json.dumps(body, separators=(",", ":"), sort_keys=True)
     crc = zlib.crc32(text.encode("utf-8")) & 0xFFFFFFFF

@@ -50,13 +50,15 @@ import asyncio
 import collections
 import dataclasses
 import json
+import os
 from pathlib import Path
 from typing import Any, Callable, Optional
 
 from repro.errors import LiveConfigError
 from repro.fsa.messages import EXTERNAL, Msg
+from repro.live.chaos import ChaosPolicy, LinkChaos
 from repro.live.clock import TimeoutClock, WallTimer
-from repro.live.dtlog import DurableDTLog, SiteLogStore
+from repro.live.dtlog import DurableDTLog, SiteLogStore, delayed_fsync
 from repro.live.files import atomic_write_json
 from repro.live.transport import Transport
 from repro.live.wire import (
@@ -121,6 +123,10 @@ class LiveConfig:
             new entries are discarded (keep-oldest: the boot and early
             protocol runs survive) and counted in the metrics snapshot
             so truncation is never silent.
+        chaos: Optional path to a serialized
+            :class:`~repro.live.chaos.ChaosPolicy`.  The site applies
+            its own slice: inbound gray-link rules, its fsync delay,
+            and its clock skew.
     """
 
     site: SiteId
@@ -138,10 +144,13 @@ class LiveConfig:
     pause_after: Optional[tuple[str, int]] = None
     max_inflight: int = 64
     trace_max_entries: int = 200_000
+    chaos: Optional[Path] = None
 
     def __post_init__(self) -> None:
         self.site = SiteId(int(self.site))
         self.data_dir = Path(self.data_dir)
+        if self.chaos is not None:
+            self.chaos = Path(self.chaos)
         self.peers = {
             SiteId(int(peer)): (host, int(port))
             for peer, (host, port) in self.peers.items()
@@ -364,12 +373,31 @@ class LiveSite:
         self.config = config
         self.spec = build(config.spec_name, config.n_sites)
         self.rule = TerminationRule(self.spec)
-        self.clock = TimeoutClock()
+        # The chaos policy (if any) is cluster-wide; this site applies
+        # only its own slice of it.
+        self.chaos_policy = (
+            ChaosPolicy.load(config.chaos) if config.chaos is not None else None
+        )
+        skew = 0.0
+        fsync_delay_ms = 0.0
+        link_chaos: Optional[LinkChaos] = None
+        if self.chaos_policy is not None:
+            skew = self.chaos_policy.skew_s(int(config.site))
+            fsync_delay_ms = self.chaos_policy.fsync_delay_ms(int(config.site))
+            link_chaos = LinkChaos(self.chaos_policy, int(config.site))
+        self.clock = TimeoutClock(skew=skew)
         self.vote_policy = FixedVotes(
             {config.site: Vote.YES if config.vote == "yes" else Vote.NO}
         )
         config.data_dir.mkdir(parents=True, exist_ok=True)
-        self.store = SiteLogStore(config.data_dir / f"site-{config.site}.dtlog")
+        self.store = SiteLogStore(
+            config.data_dir / f"site-{config.site}.dtlog",
+            fsync=(
+                delayed_fsync(fsync_delay_ms / 1000.0)
+                if fsync_delay_ms > 0
+                else os.fsync
+            ),
+        )
         self.store.on_batch = self._on_fsync_batch
         self.store.on_durable = self._publish_durable
         self.metrics = MetricsRegistry()
@@ -389,6 +417,7 @@ class LiveSite:
             suspect_after=config.suspect_after,
             trace=self.trace,
             wait_durable=self.store.wait_durable,
+            chaos=link_chaos,
         )
         self.view = _TransportView(self.transport)
         self.txns: dict[int, LiveTxn] = {}
@@ -504,6 +533,16 @@ class LiveSite:
         self.txns[txn_id] = txn
         self._undecided += 1
         self.metrics.set_gauge("inflight_txns", self._undecided)
+        if self._undecided == 1:
+            # 0 -> 1 transition: the on-disk snapshot still reads
+            # "quiescent" from the last publication, and the harness's
+            # drain check trusts that file — under WAN-delayed links a
+            # participant can sit here for milliseconds waiting on its
+            # decision frame while the harness concludes nothing is in
+            # flight and stops the cluster.  Publish the transition
+            # immediately; under load _undecided stays above zero so
+            # this never touches the batched hot path.
+            self.write_metrics()
         return txn
 
     def _txn_for_frame(self, txn_id: int, payload: Any) -> Optional[LiveTxn]:
@@ -1198,6 +1237,9 @@ class LiveSite:
             },
             "trace_entries": self._trace_entries,
             "trace_dropped": self._trace_dropped,
+            "chaos_drops": self.transport.chaos_drops,
+            "chaos_delays": self.transport.chaos_delays,
+            "suspected": sorted(int(p) for p in self.transport.suspected),
         }
         atomic_write_json(self._metrics_path, snapshot)
 

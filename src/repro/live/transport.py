@@ -44,7 +44,8 @@ import asyncio
 import collections
 from typing import Any, Awaitable, Callable, Optional
 
-from repro.errors import TransportError
+from repro.errors import LiveTimeoutError, TransportError
+from repro.live.chaos import LinkChaos
 from repro.live.clock import TimeoutClock
 from repro.live.wire import FrameDecoder, encode_frame, read_frame
 from repro.types import SiteId
@@ -94,6 +95,12 @@ class Transport:
         trace: Trace sink ``(category, detail, **data)``.
         wait_durable: Optional durability gate — frames queued with a
             nonzero barrier LSN are held until this resolves for it.
+        chaos: Optional receive-side chaos engine.  When it has rules
+            for this site, every inbound peer frame (except the hello
+            handshake) is classified and may be dropped (no liveness
+            credit, traced ``net.drop`` if it carried a span) or
+            delayed (delivered later, FIFO per link, carrying its
+            original socket-arrival stamp).
     """
 
     def __init__(
@@ -113,6 +120,7 @@ class Transport:
         suspect_after: float = 1.5,
         trace: Callable[..., None] = lambda *a, **k: None,
         wait_durable: Optional[DurabilityGate] = None,
+        chaos: Optional[LinkChaos] = None,
     ) -> None:
         if site in peers:
             raise TransportError(f"site {site} cannot be its own peer")
@@ -143,6 +151,20 @@ class Transport:
         #: Wall time of the last frame seen from each peer (None: never).
         self.last_seen: dict[SiteId, Optional[float]] = {p: None for p in peers}
         self.suspected: set[SiteId] = set()
+        #: When each current suspicion was raised — the suspicion
+        #: *epoch*.  Only evidence of life *newer* than the epoch may
+        #: clear a suspicion; a long-delayed frame stamped before it is
+        #: stale and proves nothing about the peer now.
+        self.suspected_at: dict[SiteId, float] = {}
+        #: Flush calls waiting (event-driven) for all outboxes to drain.
+        self._flush_waiters: list[asyncio.Future] = []
+        #: Receive-side chaos: per-peer FIFO delivery queues and the
+        #: latest due time per link (delays never reorder a link).
+        self.chaos = chaos if chaos is not None and chaos.active else None
+        self._chaos_queues: dict[
+            SiteId, asyncio.Queue[tuple[float, float, dict[str, Any]]]
+        ] = {}
+        self._chaos_due: dict[SiteId, float] = {}
         #: Inbound hello connections accepted per peer, ever.
         self._hello_count: dict[SiteId, int] = {p: 0 for p in peers}
         #: Highest boot incarnation each peer has announced in a hello.
@@ -182,6 +204,12 @@ class Transport:
             if self._outbox[peer]:
                 self._outbox_ready[peer].set()
             self._tasks.append(asyncio.create_task(self._peer_sender(peer)))
+            if self.chaos is not None:
+                queue: asyncio.Queue = asyncio.Queue()
+                self._chaos_queues[peer] = queue
+                self._tasks.append(
+                    asyncio.create_task(self._chaos_delivery_loop(peer, queue))
+                )
         self._tasks.append(asyncio.create_task(self._heartbeat_loop()))
         self._tasks.append(asyncio.create_task(self._suspicion_loop()))
 
@@ -262,25 +290,51 @@ class Transport:
             LiveTimeoutError: If the outboxes do not drain in time
                 (e.g. a peer is unreachable).
         """
-        from repro.errors import LiveTimeoutError
+        if any(self._outbox.values()):
+            # Event-driven wait: senders resolve the waiter when the
+            # last outbox drains, and the deadline is a real timer on
+            # the clock seam — no polling loop to spin past the
+            # deadline or to return between a drain and a re-queue.
+            waiter: asyncio.Future[None] = (
+                asyncio.get_running_loop().create_future()
+            )
+            self._flush_waiters.append(waiter)
 
-        deadline = self.clock.now() + timeout
-        while any(self._outbox.values()):
-            if self.clock.now() > deadline:
-                stuck = {
-                    int(peer): len(queue)
-                    for peer, queue in self._outbox.items()
-                    if queue
-                }
-                raise LiveTimeoutError(
-                    f"site {self.site} flush timed out with {stuck} queued"
-                )
-            await asyncio.sleep(0.01)
+            def expire() -> None:
+                if not waiter.done():
+                    stuck = {
+                        int(peer): len(queue)
+                        for peer, queue in self._outbox.items()
+                        if queue
+                    }
+                    waiter.set_exception(
+                        LiveTimeoutError(
+                            f"site {self.site} flush timed out with "
+                            f"{stuck} queued"
+                        )
+                    )
+
+            timer = self.clock.call_later(timeout, expire, label="flush")
+            try:
+                await waiter
+            finally:
+                timer.cancel()
+                if waiter in self._flush_waiters:
+                    self._flush_waiters.remove(waiter)
         for writer in list(self._writers.values()):
             try:
                 await writer.drain()
             except ConnectionError:
                 pass
+
+    def _notify_flush_waiters(self) -> None:
+        """Resolve pending flushes once every outbox is empty."""
+        if not self._flush_waiters or any(self._outbox.values()):
+            return
+        waiters, self._flush_waiters = self._flush_waiters, []
+        for waiter in waiters:
+            if not waiter.done():
+                waiter.set_result(None)
 
     async def _peer_sender(self, peer: SiteId) -> None:
         """Own the outgoing connection to one peer: dial, retry, drain."""
@@ -335,6 +389,8 @@ class Transport:
                     for _ in range(count):
                         outbox.popleft()
                         self.frames_sent += 1
+                    if not outbox:
+                        self._notify_flush_waiters()
             except (ConnectionError, OSError):
                 pass
             finally:
@@ -368,6 +424,7 @@ class Transport:
                     continue
                 if now - seen > self.suspect_after:
                     self.suspected.add(peer)
+                    self.suspected_at[peer] = now
                     self._trace(
                         "live.suspect",
                         f"no frames from site {peer} for {now - seen:.2f}s",
@@ -376,10 +433,34 @@ class Transport:
                     self._on_suspect(peer)
             await asyncio.sleep(interval)
 
-    def _saw_peer(self, peer: SiteId) -> None:
-        self.last_seen[peer] = self.clock.now()
+    def _saw_peer(self, peer: SiteId, stamp: Optional[float] = None) -> None:
+        """Credit liveness evidence stamped at ``stamp`` (default: now).
+
+        ``stamp`` is when the evidence *arrived at the socket*, not
+        when chaos delivered it.  A suspicion clears only on evidence
+        newer than the suspicion epoch: a frame that was already in
+        flight (or chaos-delayed) when the peer went quiet says
+        nothing about the peer now, and un-suspecting on it made the
+        detector flap against genuinely dark links.
+        """
+        if stamp is None:
+            stamp = self.clock.now()
+        seen = self.last_seen.get(peer)
+        if seen is None or stamp > seen:
+            self.last_seen[peer] = stamp
         if peer in self.suspected:
+            epoch = self.suspected_at.get(peer)
+            if epoch is not None and stamp <= epoch:
+                self._trace(
+                    "live.stale_liveness",
+                    f"frame from suspected site {peer} predates the "
+                    f"suspicion ({stamp:.3f}s <= {epoch:.3f}s); "
+                    "staying suspected",
+                    peer=int(peer),
+                )
+                return
             self.suspected.discard(peer)
+            self.suspected_at.pop(peer, None)
             self._trace(
                 "live.unsuspect", f"site {peer} is back", peer=int(peer)
             )
@@ -388,6 +469,16 @@ class Transport:
     def all_peers_seen(self) -> bool:
         """Whether at least one frame arrived from every peer."""
         return all(seen is not None for seen in self.last_seen.values())
+
+    @property
+    def chaos_drops(self) -> int:
+        """Frames the chaos seam dropped on this site's inbound links."""
+        return self.chaos.drops if self.chaos is not None else 0
+
+    @property
+    def chaos_delays(self) -> int:
+        """Frames the chaos seam delayed on this site's inbound links."""
+        return self.chaos.delays if self.chaos is not None else 0
 
     def operational_sites(self) -> list[SiteId]:
         """This site plus every unsuspected peer (OperationalView seam)."""
@@ -496,50 +587,120 @@ class Transport:
                 if not frames:
                     continue
                 self.frames_received += len(frames)
-                self._saw_peer(peer)
+                now = self.clock.now()
+                if self.chaos is None:
+                    self._saw_peer(peer, now)
+                    for frame in frames:
+                        await self._deliver_frame(peer, frame)
+                    continue
+                # Chaos seam: decide per frame *before* any liveness
+                # credit — a dropped frame is as if the network lost
+                # it, and delayed frames go through the per-link FIFO
+                # queue (a zero-delay frame must still not overtake an
+                # earlier delayed one) carrying their socket-arrival
+                # stamp ``now``.
+                queue = self._chaos_queues.get(peer)
                 for frame in frames:
-                    if frame.get("t") == "hb":
+                    drop, delay_s = self.chaos.decide(int(peer), frame)
+                    if drop:
+                        self._trace_chaos_drop(peer, frame)
                         continue
-                    dst_boot = frame.get("dst_boot")
-                    if dst_boot is not None and dst_boot < self.boot:
-                        # Commit-protocol traffic addressed to a dead
-                        # incarnation of this site: per the crash
-                        # model those messages were lost with the
-                        # crash.  This incarnation resolves the
-                        # transactions involved via recovery, not by
-                        # replaying the old protocol run.
-                        self._trace(
-                            "live.stale_frame",
-                            f"dropping {frame.get('t')!r} frame addressed "
-                            f"to boot {dst_boot} (this is boot {self.boot})",
-                            peer=int(peer),
-                        )
-                        sid = frame.get("sid")
-                        if sid is not None:
-                            # Close the sender's span: a fenced frame is
-                            # a *deliberate* drop with a reason, never an
-                            # orphan or a forever-inflight mystery.
-                            drop_data: dict[str, Any] = {
-                                "msg_id": int(sid),
-                                "src": int(peer),
-                                "dst": int(self.site),
-                                "reason": "stale_incarnation",
-                            }
-                            if frame.get("txn") is not None:
-                                drop_data["txn"] = frame["txn"]
-                            self._trace(
-                                "net.drop",
-                                f"span {int(sid)} fenced by boot {self.boot}",
-                                **drop_data,
-                            )
+                    if queue is None:
+                        self._saw_peer(peer, now)
+                        await self._deliver_frame(peer, frame)
                         continue
-                    await self._on_frame(peer, frame)
+                    due = max(
+                        self._chaos_due.get(peer, 0.0), now + delay_s
+                    )
+                    self._chaos_due[peer] = due
+                    queue.put_nowait((due, now, frame))
         except TransportError:
             return
         except ConnectionError:
             return
         finally:
             writer.close()
+
+    async def _chaos_delivery_loop(
+        self,
+        peer: SiteId,
+        queue: "asyncio.Queue[tuple[float, float, dict[str, Any]]]",
+    ) -> None:
+        """Deliver one link's chaos-scheduled frames in FIFO order."""
+        while True:
+            due, stamp, frame = await queue.get()
+            remaining = due - self.clock.now()
+            if remaining > 0:
+                await asyncio.sleep(remaining)
+            self._saw_peer(peer, stamp)
+            try:
+                await self._deliver_frame(peer, frame)
+            except (TransportError, ConnectionError):
+                continue
+
+    def _trace_chaos_drop(self, peer: SiteId, frame: dict[str, Any]) -> None:
+        """Record a chaos drop; close the sender's span if it had one."""
+        self._trace(
+            "live.chaos_drop",
+            f"chaos dropped {frame.get('t')!r} frame from site {peer}",
+            peer=int(peer),
+        )
+        sid = frame.get("sid")
+        if sid is None:
+            return
+        # As with incarnation fencing, a chaos drop is a *deliberate*
+        # loss with a reason — close the span so strict stitching sees
+        # neither an orphan nor a forever-inflight send.
+        drop_data: dict[str, Any] = {
+            "msg_id": int(sid),
+            "src": int(peer),
+            "dst": int(self.site),
+            "reason": "chaos",
+        }
+        if frame.get("txn") is not None:
+            drop_data["txn"] = frame["txn"]
+        self._trace(
+            "net.drop", f"span {int(sid)} dropped by chaos", **drop_data
+        )
+
+    async def _deliver_frame(self, peer: SiteId, frame: dict[str, Any]) -> None:
+        """Hand one surviving inbound frame to the site."""
+        if frame.get("t") == "hb":
+            return
+        dst_boot = frame.get("dst_boot")
+        if dst_boot is not None and dst_boot < self.boot:
+            # Commit-protocol traffic addressed to a dead
+            # incarnation of this site: per the crash
+            # model those messages were lost with the
+            # crash.  This incarnation resolves the
+            # transactions involved via recovery, not by
+            # replaying the old protocol run.
+            self._trace(
+                "live.stale_frame",
+                f"dropping {frame.get('t')!r} frame addressed "
+                f"to boot {dst_boot} (this is boot {self.boot})",
+                peer=int(peer),
+            )
+            sid = frame.get("sid")
+            if sid is not None:
+                # Close the sender's span: a fenced frame is
+                # a *deliberate* drop with a reason, never an
+                # orphan or a forever-inflight mystery.
+                drop_data: dict[str, Any] = {
+                    "msg_id": int(sid),
+                    "src": int(peer),
+                    "dst": int(self.site),
+                    "reason": "stale_incarnation",
+                }
+                if frame.get("txn") is not None:
+                    drop_data["txn"] = frame["txn"]
+                self._trace(
+                    "net.drop",
+                    f"span {int(sid)} fenced by boot {self.boot}",
+                    **drop_data,
+                )
+            return
+        await self._on_frame(peer, frame)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

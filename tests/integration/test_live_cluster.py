@@ -316,3 +316,107 @@ def test_canonical_stitch_byte_stable_across_runs(tmp_path):
         assert result.cycles_broken == 0
         outputs.append(result.trace.to_jsonl())
     assert outputs[0] == outputs[1]
+
+
+# ----------------------------------------------------------------------
+# Chaos: gray failures and soak
+# ----------------------------------------------------------------------
+
+
+def test_gray_failure_scenario_splits_the_decision(tmp_path):
+    """Heartbeats flow, commit-phase frames die: 3PC splits.
+
+    The packaged gray-link policy starves site 3 of its prepare while
+    keeping every TCP connection up.  Site 2 (in p) solo-terminates to
+    commit, site 3 (in w) to abort — the reliable-detector assumption
+    violated on real sockets, caught by the durable-log audit.
+    """
+    from repro.live.cluster import gray_failure_scenario
+
+    config = ClusterConfig(
+        spec_name="3pc-central", n_sites=3, data_dir=tmp_path / "gray"
+    )
+    harness = ClusterHarness(config)
+    try:
+        result = gray_failure_scenario(harness)
+    finally:
+        harness.stop()
+    assert result.split_detected
+    assert result.outcomes == {2: "commit", 3: "abort"}
+    assert result.coordinator_outcome == "undecided"
+    assert result.violation is not None
+    assert not result.audit_ok
+    assert any("AC1" in v for v in result.audit_violations)
+    # Re-auditing the durable artifacts agrees after the fact.
+    report = audit_data_dir(config.data_dir, include_traces=False)
+    assert not report.ok()
+    # Chaos drops close their spans: strict stitching stays clean.
+    stitched = stitch_data_dir(config.data_dir)
+    assert stitched.orphan_spans == []
+    assert stitched.cycles_broken == 0
+
+
+def test_gray_failure_scenario_is_deterministic(tmp_path):
+    from repro.live.cluster import gray_failure_scenario
+
+    outcomes = []
+    for run in ("a", "b"):
+        config = ClusterConfig(
+            spec_name="3pc-central", n_sites=3, data_dir=tmp_path / run
+        )
+        harness = ClusterHarness(config)
+        try:
+            result = gray_failure_scenario(harness)
+        finally:
+            harness.stop()
+        outcomes.append((result.outcomes, result.chaos_hash))
+    assert outcomes[0] == outcomes[1]
+
+
+def test_soak_smoke_under_combined_chaos(tmp_path):
+    """A short soak under WAN + slow-disk chaos audits clean."""
+    from repro.live.soak import SoakConfig, run_soak
+
+    result = run_soak(
+        SoakConfig(
+            data_dir=tmp_path / "soak",
+            txns=30,
+            batch=15,
+            concurrency=3,
+            profile="combined",
+            seed=1,
+        )
+    )
+    assert result.ok
+    assert result.txns == 30
+    assert result.waves == 2
+    assert result.audits == 2  # one mid-run, one final
+    assert result.chaos_hash is not None
+    # The WAN profile is delay-only: delays observed, nothing dropped.
+    assert sum(result.chaos_delays.values()) > 0
+    assert sum(result.chaos_drops.values()) == 0
+    assert result.stitch["orphan_spans"] == []
+    assert result.stitch["cycles_broken"] == 0
+
+
+def test_soak_canonical_stitch_byte_stable_under_wan_chaos(tmp_path):
+    """Fixed-seed serial soaks replay to byte-identical canonical
+    traces even with WAN delay/jitter live on every link — the chaos
+    determinism contract holding end-to-end through real sockets."""
+    from repro.live.soak import SoakConfig, run_soak
+
+    hashes = []
+    for run in ("a", "b"):
+        result = run_soak(
+            SoakConfig(
+                data_dir=tmp_path / run,
+                txns=8,
+                batch=8,
+                concurrency=1,
+                profile="wan",
+                seed=3,
+            )
+        )
+        assert result.ok
+        hashes.append(result.stitch_hash)
+    assert hashes[0] == hashes[1]

@@ -166,6 +166,71 @@ class TestLogIntegrity:
             audit_data_dir(tmp_path)
 
 
+class TestMidAppendRetry:
+    def test_transient_parse_failure_is_clean_on_retry(
+        self, tmp_path, monkeypatch
+    ):
+        """A reader racing a live appender re-reads before escalating."""
+        from repro.errors import WALError
+        from repro.live import audit as audit_module
+        from repro.live.dtlog import read_log_file
+
+        _clean_cluster(tmp_path)
+        failures = {"left": 1}
+
+        def flaky_read(path):
+            if failures["left"]:
+                failures["left"] -= 1
+                raise WALError("corrupt record 1 of 3 (not the tail)")
+            return read_log_file(path)
+
+        monkeypatch.setattr(audit_module, "read_log_file", flaky_read)
+        report = audit_data_dir(tmp_path, include_traces=False)
+        assert report.ok()
+        assert any("clean on retry" in note for note in report.notes)
+
+    def test_repeatable_parse_failure_still_escalates(
+        self, tmp_path, monkeypatch
+    ):
+        from repro.errors import WALError
+        from repro.live import audit as audit_module
+
+        _clean_cluster(tmp_path, sites=(1,))
+
+        def broken_read(path):
+            raise WALError("corrupt record 1 of 3 (not the tail)")
+
+        monkeypatch.setattr(audit_module, "read_log_file", broken_read)
+        report = audit_data_dir(tmp_path, include_traces=False)
+        assert any("corrupt DT log" in v for v in report.violations)
+
+    def test_audit_racing_live_appender_stays_clean(self, tmp_path):
+        """Audit a log while a writer thread appends to it."""
+        import threading
+
+        path = tmp_path / "site-1.dtlog"
+        store = SiteLogStore(path)
+        stop = threading.Event()
+
+        def appender():
+            txn = 1
+            while not stop.is_set():
+                store.append_record(txn, _vote("yes"))
+                store.append_record(txn, _decision("commit"))
+                txn += 1
+
+        writer = threading.Thread(target=appender)
+        writer.start()
+        try:
+            for _ in range(25):
+                report = audit_data_dir(tmp_path, include_traces=False)
+                assert report.violations == []
+        finally:
+            stop.set()
+            writer.join()
+            store.close()
+
+
 class TestTraceCrossCheck:
     def test_trace_disagreement_flagged(self, tmp_path):
         # DT logs alone are consistent (boot records only) — the

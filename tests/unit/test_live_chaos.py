@@ -1,0 +1,279 @@
+"""Unit tests for the chaos-injection policy layer.
+
+Covers frame classification, rule matching and validation, policy
+serialization (round-trip, hash pinning, merge), the receive-side
+:class:`LinkChaos` engine (arming, deterministic drops, FIFO-safe
+delays), and the packaged profiles.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import LiveConfigError
+from repro.live.chaos import (
+    ChaosPolicy,
+    ChaosRule,
+    LinkChaos,
+    frame_chaos_kind,
+    gray_link_policy,
+    slow_disk_policy,
+    wan_policy,
+)
+
+
+def proto_frame(kind: str, txn: int = 1) -> dict:
+    """A payload frame carrying one FSA protocol message."""
+    return {"t": "payload", "d": {"p": "proto", "kind": kind, "txn": txn}}
+
+
+class TestFrameChaosKind:
+    def test_heartbeat(self):
+        assert frame_chaos_kind({"t": "hb", "site": 1}) == ("hb", ("hb",))
+
+    def test_protocol_payload_reports_message_kind(self):
+        kind, categories = frame_chaos_kind(proto_frame("prepare"))
+        assert kind == "prepare"
+        assert categories == ("payload", "proto")
+
+    def test_runtime_payload_reports_codec_tag(self):
+        kind, categories = frame_chaos_kind(
+            {"t": "payload", "d": {"p": "term-decision"}}
+        )
+        assert kind == "term-decision"
+        assert categories == ("payload",)
+
+    def test_external_frame(self):
+        kind, categories = frame_chaos_kind({"t": "external", "kind": "xact"})
+        assert kind == "xact"
+        assert categories == ("external",)
+
+    def test_everything_else_is_control(self):
+        kind, categories = frame_chaos_kind({"t": "hello", "site": 2})
+        assert kind == "hello"
+        assert categories == ("control",)
+
+
+class TestChaosRule:
+    def test_rejects_self_link(self):
+        with pytest.raises(LiveConfigError):
+            ChaosRule(src=1, dst=1)
+
+    def test_rejects_drop_outside_unit_interval(self):
+        with pytest.raises(LiveConfigError):
+            ChaosRule(src=1, dst=2, drop=1.5)
+
+    def test_rejects_negative_delay(self):
+        with pytest.raises(LiveConfigError):
+            ChaosRule(src=1, dst=2, delay_ms=-1.0)
+
+    def test_rejects_unknown_category(self):
+        with pytest.raises(LiveConfigError, match="unknown chaos category"):
+            ChaosRule(src=1, dst=2, kinds=("@nonsense",))
+
+    def test_matches_by_category_and_exact_kind(self):
+        rule = ChaosRule(src=1, dst=2, kinds=("@hb", "prepare"))
+        assert rule.matches("hb", ("hb",))
+        assert rule.matches("prepare", ("payload", "proto"))
+        assert not rule.matches("commit", ("payload", "proto"))
+
+    def test_none_kinds_matches_everything(self):
+        rule = ChaosRule(src=1, dst=2)
+        assert rule.matches("anything", ("control",))
+
+    def test_dict_round_trip_omits_defaults(self):
+        rule = ChaosRule(src=1, dst=3, kinds=("prepare",), drop=1.0)
+        data = rule.to_dict()
+        assert "delay_ms" not in data and "after_kind" not in data
+        assert ChaosRule.from_dict(data) == rule
+
+
+class TestChaosPolicy:
+    def test_json_round_trip_preserves_hash(self):
+        policy = gray_link_policy(seed=4)
+        clone = ChaosPolicy.from_json(policy.to_json())
+        assert clone == policy
+        assert clone.hash == policy.hash
+
+    def test_hash_changes_with_seed(self):
+        assert gray_link_policy(seed=0).hash != gray_link_policy(seed=1).hash
+
+    def test_from_json_rejects_foreign_document(self):
+        with pytest.raises(LiveConfigError, match="not a chaos policy"):
+            ChaosPolicy.from_json('{"kind": "something-else"}')
+
+    def test_from_json_rejects_tampered_hash(self):
+        text = gray_link_policy().to_json().replace(
+            gray_link_policy().hash, "0" * 12
+        )
+        with pytest.raises(LiveConfigError, match="hash mismatch"):
+            ChaosPolicy.from_json(text)
+
+    def test_save_load_round_trip(self, tmp_path):
+        policy = wan_policy(3, seed=9)
+        path = tmp_path / "chaos.json"
+        policy.save(path)
+        assert ChaosPolicy.load(path) == policy
+
+    def test_merged_concatenates_links_and_overlays_disk(self):
+        combined = wan_policy(3, seed=2).merged(
+            slow_disk_policy(3, fsync_delay_ms=7.0, seed=2)
+        )
+        assert len(combined.links) == 6  # every ordered pair of 3 sites
+        assert combined.fsync_delay_ms(2) == 7.0
+        assert "wan profile" in combined.note
+        assert "slow disks" in combined.note
+
+    def test_rules_for_filters_by_receiver(self):
+        policy = gray_link_policy()
+        for _, rule in policy.rules_for(3):
+            assert rule.dst == 3
+        assert policy.rules_for(1) == ()
+
+    def test_accessors_default_to_zero(self):
+        policy = ChaosPolicy()
+        assert policy.fsync_delay_ms(1) == 0.0
+        assert policy.skew_s(1) == 0.0
+
+
+class TestLinkChaos:
+    def test_inactive_without_rules_for_site(self):
+        assert not LinkChaos(gray_link_policy(), site=1).active
+        assert LinkChaos(gray_link_policy(), site=3).active
+
+    def test_certain_drop_is_deterministic(self):
+        policy = ChaosPolicy(
+            links=(ChaosRule(src=1, dst=2, kinds=("prepare",), drop=1.0),)
+        )
+        chaos = LinkChaos(policy, site=2)
+        drop, delay = chaos.decide(1, proto_frame("prepare"))
+        assert drop and delay == 0.0
+        drop, _ = chaos.decide(1, proto_frame("commit"))
+        assert not drop
+        assert chaos.drops == 1
+
+    def test_arming_frames_pass_unmodified(self):
+        policy = ChaosPolicy(
+            links=(
+                ChaosRule(
+                    src=1,
+                    dst=2,
+                    kinds=("@hb",),
+                    drop=1.0,
+                    after_kind="xact",
+                    after_count=1,
+                ),
+            )
+        )
+        chaos = LinkChaos(policy, site=2)
+        # Before the trigger: heartbeats pass.
+        drop, _ = chaos.decide(1, {"t": "hb", "site": 1})
+        assert not drop
+        # The trigger frame itself passes (prior-frames-only arming).
+        drop, _ = chaos.decide(1, {"t": "external", "kind": "xact"})
+        assert not drop
+        # After the trigger: heartbeats die.
+        drop, _ = chaos.decide(1, {"t": "hb", "site": 1})
+        assert drop
+
+    def test_arming_counts_are_per_source_link(self):
+        policy = ChaosPolicy(
+            links=(
+                ChaosRule(src=1, dst=3, drop=1.0, after_count=1),
+                ChaosRule(src=2, dst=3, drop=1.0, after_count=1),
+            )
+        )
+        chaos = LinkChaos(policy, site=3)
+        assert not chaos.decide(1, proto_frame("a"))[0]
+        # Site 2's rule is still unarmed: site 1's traffic is not its.
+        assert not chaos.decide(2, proto_frame("a"))[0]
+        assert chaos.decide(1, proto_frame("b"))[0]
+        assert chaos.decide(2, proto_frame("b"))[0]
+
+    def test_delay_takes_max_across_matching_rules(self):
+        policy = ChaosPolicy(
+            links=(
+                ChaosRule(src=1, dst=2, delay_ms=5.0),
+                ChaosRule(src=1, dst=2, kinds=("@proto",), delay_ms=9.0),
+            )
+        )
+        chaos = LinkChaos(policy, site=2)
+        drop, delay = chaos.decide(1, proto_frame("prepare"))
+        assert not drop
+        assert delay == pytest.approx(0.009)
+        assert chaos.delays == 1
+
+    def test_dropped_frame_reports_zero_delay(self):
+        policy = ChaosPolicy(
+            links=(ChaosRule(src=1, dst=2, drop=1.0, delay_ms=50.0),)
+        )
+        drop, delay = LinkChaos(policy, site=2).decide(1, proto_frame("x"))
+        assert drop and delay == 0.0
+
+
+class TestProfiles:
+    def test_wan_policy_covers_every_ordered_pair(self):
+        policy = wan_policy(4, seed=1)
+        pairs = {(rule.src, rule.dst) for rule in policy.links}
+        assert len(pairs) == 12
+        assert all(src != dst for src, dst in pairs)
+
+    def test_wan_policy_is_asymmetric(self):
+        policy = wan_policy(3, seed=0)
+        delays = {(r.src, r.dst): r.delay_ms for r in policy.links}
+        assert delays[(1, 2)] != delays[(2, 1)]
+
+    def test_wan_policy_never_touches_heartbeats(self):
+        for rule in wan_policy(3).links:
+            assert not rule.matches("hb", ("hb",))
+            assert rule.drop == 0.0
+
+    def test_wan_policy_delays_inside_band(self):
+        for rule in wan_policy(5, seed=3, min_ms=2.0, max_ms=4.0).links:
+            assert 2.0 <= rule.delay_ms <= 4.0
+
+    def test_wan_policy_rejects_degenerate_input(self):
+        with pytest.raises(LiveConfigError):
+            wan_policy(1)
+        with pytest.raises(LiveConfigError):
+            wan_policy(3, min_ms=5.0, max_ms=1.0)
+
+    def test_slow_disk_policy_covers_all_sites(self):
+        policy = slow_disk_policy(3, fsync_delay_ms=6.0)
+        assert [policy.fsync_delay_ms(s) for s in (1, 2, 3)] == [6.0] * 3
+        assert policy.links == ()
+
+    def test_pinned_corpus_artifact_records_gray_policy_provenance(self):
+        """The explorer round-trip of the live gray-link failure is
+        pinned under tests/corpus/ and names the policy that found it."""
+        from pathlib import Path
+
+        from repro.explore.schedule import ReplayArtifact
+
+        path = (
+            Path(__file__).parent.parent / "corpus" / "3pc-gray-link-split.json"
+        )
+        artifact = ReplayArtifact.load(str(path))
+        assert gray_link_policy(seed=0).hash in artifact.note
+        assert artifact.expect_verdict == "violation"
+        assert "atomicity" in artifact.expect_kinds
+        # The shrunk schedule isolates site 3 — the site the gray link
+        # starved of its commit-phase frames.
+        assert any(
+            choice.point == "partition" and choice.index == 3
+            for choice in artifact.schedule
+        )
+
+    def test_gray_link_policy_heartbeats_flow_before_xact(self):
+        """The packaged scenario is healthy until the txn starts."""
+        policy = gray_link_policy(seed=0)
+        hb_rules = [
+            rule
+            for rule in policy.links
+            if rule.kinds is not None and "@hb" in rule.kinds
+        ]
+        assert hb_rules, "expected heartbeat-only gray rules"
+        for rule in hb_rules:
+            assert rule.after_kind == "xact"
+            assert rule.drop == 1.0  # deterministic: no RNG draw on hb
+            assert rule.jitter_ms == 0.0
