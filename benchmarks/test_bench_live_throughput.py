@@ -5,7 +5,7 @@ Unlike the simulator benches (virtual time), this one spawns real
 clients see across a concurrency sweep: N ∈ {1, 4, 16, 64} workers
 each running one transaction at a time against round-robin gateways.
 
-Two contrasts are priced here in wall-clock time:
+Three contrasts are priced here in wall-clock time:
 
 * **2PC vs 3PC** — the paper's message-complexity gap: 3PC's extra
   prepare phase costs more frames per transaction and a longer
@@ -16,6 +16,15 @@ Two contrasts are priced here in wall-clock time:
   writes (frame coalescing), and metrics snapshots.  The serial
   client pays every one of those costs alone; ``fsync_calls``
   dropping below ``forced_writes`` is the direct observable.
+* **JSON vs binary wire codec** — the packed peer-link codec
+  (``--codec bin``) cuts frame bytes ~3x and decode CPU ~2.5x for
+  protocol traffic; on a single-core host, where every site process
+  and the client share the CPU, serialization savings convert
+  directly into throughput.
+
+``baseline_pr7`` embeds the committed txns/s of the previous report
+(JSON codec, interpreted FSA hot path) so the before/after trajectory
+rides inside the regenerated sidecar.
 """
 
 from __future__ import annotations
@@ -29,35 +38,53 @@ from repro.metrics.tables import Table
 pytestmark = pytest.mark.slow
 
 PROTOCOLS = ("2pc-central", "3pc-central")
+CODECS = ("json", "bin")
 
 #: Closed-loop worker counts, and transactions measured at each.  More
 #: txns at higher concurrency keeps per-point wall time comparable.
 SWEEP = ((1, 120), (4, 240), (16, 480), (64, 640))
 
+#: txns/s from the report committed before the binary codec and the
+#: compiled FSA tables landed (PR 5/7 state: JSON frames, interpreted
+#: transition lookup), measured on this same container class.  Kept in
+#: the regenerated report so the before/after comparison is auditable
+#: without digging through git history.
+BASELINE_PR7 = {
+    "2pc-central": {"c1": 127.43, "c4": 313.2, "c16": 450.46, "c64": 625.72},
+    "3pc-central": {"c1": 88.57, "c4": 242.05, "c16": 434.61, "c64": 462.65},
+}
+
 
 def run_live_bench(tmp_dir) -> ExperimentResult:
     reports: dict[str, dict] = {}
     for spec_name in PROTOCOLS:
-        config = ClusterConfig(
-            spec_name=spec_name, n_sites=3, data_dir=tmp_dir / spec_name
-        )
-        with ClusterHarness(config) as harness:
-            harness.start()
-            # Warm the pipeline (connections, code paths, allocator)
-            # before the measured points.
-            harness.bench(64, concurrency=16, first_txn=1)
-            next_txn = 1001
-            points = {}
-            for concurrency, n_txns in SWEEP:
-                points[f"c{concurrency}"] = harness.bench(
-                    n_txns, concurrency=concurrency, first_txn=next_txn
-                )
-                next_txn += n_txns
-            reports[spec_name] = points
+        by_codec: dict[str, dict] = {}
+        for codec in CODECS:
+            config = ClusterConfig(
+                spec_name=spec_name,
+                n_sites=3,
+                data_dir=tmp_dir / f"{spec_name}-{codec}",
+                codec=codec,
+            )
+            with ClusterHarness(config) as harness:
+                harness.start()
+                # Warm the pipeline (connections, code paths, allocator)
+                # before the measured points.
+                harness.bench(64, concurrency=16, first_txn=1)
+                next_txn = 1001
+                points = {}
+                for concurrency, n_txns in SWEEP:
+                    points[f"c{concurrency}"] = harness.bench(
+                        n_txns, concurrency=concurrency, first_txn=next_txn
+                    )
+                    next_txn += n_txns
+                by_codec[codec] = points
+        reports[spec_name] = by_codec
 
     table = Table(
         [
             "protocol",
+            "codec",
             "conc",
             "txns/s",
             "p50 ms",
@@ -68,23 +95,32 @@ def run_live_bench(tmp_dir) -> ExperimentResult:
         ],
         title="live loopback cluster, 3 sites, closed-loop concurrency sweep",
     )
-    for spec_name, points in reports.items():
-        for concurrency, _ in SWEEP:
-            report = points[f"c{concurrency}"]
-            table.add_row(
-                spec_name,
-                concurrency,
-                report["txns_per_sec"],
-                report["latency_ms"]["p50"],
-                report["latency_ms"]["p99"],
-                report["fsyncs_per_txn"],
-                report["forced_writes_per_txn"],
-                report["frames_per_socket_write"],
+    for spec_name, by_codec in reports.items():
+        for codec, points in by_codec.items():
+            for concurrency, _ in SWEEP:
+                report = points[f"c{concurrency}"]
+                table.add_row(
+                    spec_name,
+                    codec,
+                    concurrency,
+                    report["txns_per_sec"],
+                    report["latency_ms"]["p50"],
+                    report["latency_ms"]["p99"],
+                    report["fsyncs_per_txn"],
+                    report["forced_writes_per_txn"],
+                    report["frames_per_socket_write"],
+                )
+    for spec_name, by_codec in reports.items():
+        for codec, points in by_codec.items():
+            points["speedup_c16_over_c1"] = round(
+                points["c16"]["txns_per_sec"] / points["c1"]["txns_per_sec"], 2
             )
-    for spec_name, points in reports.items():
-        points["speedup_c16_over_c1"] = round(
-            points["c16"]["txns_per_sec"] / points["c1"]["txns_per_sec"], 2
+        by_codec["bin_vs_baseline_pr7_c16"] = round(
+            by_codec["bin"]["c16"]["txns_per_sec"]
+            / BASELINE_PR7[spec_name]["c16"],
+            2,
         )
+    reports["baseline_pr7"] = BASELINE_PR7
     return ExperimentResult(
         experiment_id="LIVE",
         title="live cluster throughput under client concurrency (wall clock)",
@@ -102,10 +138,15 @@ def run_live_bench(tmp_dir) -> ExperimentResult:
             "transaction, so it pays each fsync, snapshot, and syscall "
             "alone — that fixed cost is exactly what the concurrent "
             "pipeline amortizes",
+            "codec json/bin selects the peer-link wire format (client "
+            "traffic stays JSON); baseline_pr7 holds the committed "
+            "txns/s before the binary codec, compiled FSA tables, "
+            "TCP_NODELAY, and the fast trace serializer landed",
             "this container pins all site processes and the client to "
             "one CPU core with a ~0.1ms fsync, so the sweep measures "
             "batching efficiency, not parallel CPU; absolute numbers "
-            "vary with the host and run",
+            "vary with the host and run (the shared core makes "
+            "run-to-run variance substantial)",
         ],
     )
 
@@ -116,33 +157,41 @@ def test_bench_live_throughput(benchmark, record_report, tmp_path):
     data = result.data
 
     for spec_name in PROTOCOLS:
-        points = data[spec_name]
-        for concurrency, n_txns in SWEEP:
-            report = points[f"c{concurrency}"]
-            assert report["txns"] == n_txns
-            assert report["concurrency"] == concurrency
-            assert report["txns_per_sec"] > 0
-            assert 0 < report["latency_ms"]["p50"] <= report["latency_ms"]["p99"]
-            # Latency decomposes into the pipeline's three stages, and
-            # each reply's elapsed_ms is exactly its stage sum, so the
-            # stage means must add up to the measured latency mean.
-            breakdown = report["latency_breakdown"]
-            assert set(breakdown) == {"queue_ms", "resolve_ms", "durable_ms"}
-            mean = report["latency_ms"]["mean"]
-            stage_sum = sum(stats["mean"] for stats in breakdown.values())
-            assert stage_sum == pytest.approx(mean, abs=max(0.5, 0.05 * mean))
-            # Every site forces its vote/decision records: at least two
-            # writes per site per committed txn land in the DT logs.
-            assert report["forced_writes_per_txn"] >= 2
-        # Group commit under load: strictly fewer fsyncs than forced
-        # records, and a concurrent pipeline that outruns the serial one.
-        assert points["c16"]["fsync_calls"] < points["c16"]["forced_writes"]
-        assert points["c16"]["txns_per_sec"] > points["c1"]["txns_per_sec"]
-        assert points["c16"]["frames_per_socket_write"] > 1.0
+        for codec in CODECS:
+            points = data[spec_name][codec]
+            for concurrency, n_txns in SWEEP:
+                report = points[f"c{concurrency}"]
+                assert report["txns"] == n_txns
+                assert report["concurrency"] == concurrency
+                assert report["codec"] == codec
+                assert report["txns_per_sec"] > 0
+                assert 0 < report["latency_ms"]["p50"] <= report["latency_ms"]["p99"]
+                # Latency decomposes into the pipeline's three stages, and
+                # each reply's elapsed_ms is exactly its stage sum, so the
+                # stage means must add up to the measured latency mean.
+                breakdown = report["latency_breakdown"]
+                assert set(breakdown) == {"queue_ms", "resolve_ms", "durable_ms"}
+                mean = report["latency_ms"]["mean"]
+                stage_sum = sum(stats["mean"] for stats in breakdown.values())
+                assert stage_sum == pytest.approx(mean, abs=max(0.5, 0.05 * mean))
+                # Every site forces its vote/decision records: at least two
+                # writes per site per committed txn land in the DT logs.
+                assert report["forced_writes_per_txn"] >= 2
+            # Group commit under load: strictly fewer fsyncs than forced
+            # records, and a concurrent pipeline that outruns the serial one.
+            assert points["c16"]["fsync_calls"] < points["c16"]["forced_writes"]
+            assert points["c16"]["txns_per_sec"] > points["c1"]["txns_per_sec"]
+            assert points["c16"]["frames_per_socket_write"] > 1.0
 
-    # The message-complexity contrast (paper table 2): 3PC's prepare
-    # phase costs strictly more protocol messages per transaction.
-    assert (
-        data["3pc-central"]["c1"]["proto_frames_per_txn"]
-        > data["2pc-central"]["c1"]["proto_frames_per_txn"]
-    )
+        # The message-complexity contrast (paper table 2): 3PC's prepare
+        # phase costs strictly more protocol messages per transaction.
+        assert (
+            data["3pc-central"]["json"]["c1"]["proto_frames_per_txn"]
+            > data["2pc-central"]["json"]["c1"]["proto_frames_per_txn"]
+        )
+        # Codec invariant: frame *counts* are protocol properties, not
+        # codec properties — both codecs move the same frames.
+        for spec_name in PROTOCOLS:
+            assert data[spec_name]["bin"]["c1"]["proto_frames_per_txn"] == (
+                data[spec_name]["json"]["c1"]["proto_frames_per_txn"]
+            )

@@ -305,6 +305,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 parse_pause_after(args.pause_after) if args.pause_after else None
             ),
             chaos=Path(args.chaos) if args.chaos else None,
+            codec=args.codec,
         )
     except Exception as error:  # noqa: BLE001 - CLI boundary
         print(f"repro serve: {error}", file=sys.stderr)
@@ -339,6 +340,7 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
         decide_timeout=args.timeout,
         ready_timeout=args.timeout,
         max_inflight=args.max_inflight,
+        codec=args.codec,
     )
     try:
         with ClusterHarness(config) as harness:
@@ -403,6 +405,7 @@ def _cmd_soak(args: argparse.Namespace) -> int:
             requery_interval=args.requery_interval,
             timeout=args.timeout,
             fsync_delay_ms=args.fsync_delay_ms,
+            codec=args.codec,
         )
         result = run_soak(config)
     except Exception as error:  # noqa: BLE001 - CLI boundary
@@ -1096,6 +1099,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="chaos policy JSON (ChaosPolicy.save) shaping this site's "
         "inbound links, fsync latency, and clock skew",
     )
+    serve.add_argument(
+        "--codec",
+        choices=("json", "bin"),
+        default="json",
+        help="wire codec for outgoing peer frames (negotiated per "
+        "connection; json keeps tcpdump traffic readable)",
+    )
     serve.set_defaults(func=_cmd_serve)
 
     cluster = sub.add_parser(
@@ -1174,6 +1184,12 @@ def build_parser() -> argparse.ArgumentParser:
         dest="termination",
     )
     cluster.add_argument("--timeout", type=float, default=30.0)
+    cluster.add_argument(
+        "--codec",
+        choices=("json", "bin"),
+        default="json",
+        help="wire codec every site uses for peer frames",
+    )
     cluster.set_defaults(func=_cmd_cluster)
 
     soak = sub.add_parser(
@@ -1234,6 +1250,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--requery-interval", type=float, default=0.3, dest="requery_interval"
     )
     soak.add_argument("--timeout", type=float, default=30.0)
+    soak.add_argument(
+        "--codec",
+        choices=("json", "bin"),
+        default="json",
+        help="wire codec every site uses for peer frames",
+    )
     soak.add_argument(
         "--json-out",
         metavar="FILE",

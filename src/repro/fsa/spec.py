@@ -12,6 +12,7 @@ from typing import Iterable, Mapping, Optional
 
 from repro.errors import InvalidProtocolError
 from repro.fsa.automaton import SiteAutomaton
+from repro.fsa.compile import CompiledAutomaton, compile_spec
 from repro.fsa.messages import Msg
 from repro.types import ProtocolClass, SiteId
 
@@ -55,6 +56,10 @@ class ProtocolSpec:
             from repro.fsa.validate import validate_spec
 
             validate_spec(self)
+        # Compile every automaton's flat transition tables now, at
+        # spec-load time, so no engine (simulator or live node) ever
+        # pays the compilation on the transaction path.
+        self.compiled: dict[SiteId, CompiledAutomaton] = compile_spec(self.automata)
 
     # ------------------------------------------------------------------
     # Topology

@@ -22,6 +22,7 @@ import asyncio
 from typing import Any, Optional
 
 from repro.errors import LiveTimeoutError, TransportError
+from repro.live.transport import set_nodelay
 from repro.live.wire import encode_frame, read_frame
 
 
@@ -41,6 +42,7 @@ async def request(
         reader, writer = await asyncio.open_connection(host, port)
     except OSError as error:
         raise TransportError(f"cannot reach site at {host}:{port}: {error}") from error
+    set_nodelay(writer)
     try:
         writer.write(encode_frame(frame))
         await writer.drain()
@@ -90,6 +92,7 @@ class ClientSession:
             self._reader, self._writer = await asyncio.open_connection(
                 self.host, self.port
             )
+            set_nodelay(self._writer)
         except OSError as error:
             raise TransportError(
                 f"cannot reach site at {self.host}:{self.port}: {error}"

@@ -47,6 +47,7 @@ import repro
 from repro.errors import AtomicityViolationError, ClusterError, LiveTimeoutError
 from repro.live import client
 from repro.live.chaos import ChaosPolicy, gray_link_policy
+from repro.live.wire_bin import CODEC_JSON, CODECS
 from repro.types import Outcome, SiteId
 
 
@@ -75,11 +76,19 @@ class ClusterConfig:
     #: ``data_dir/chaos.json`` at spawn time and passed to every site
     #: via ``repro serve --chaos`` (each site applies its own slice).
     chaos: Optional[ChaosPolicy] = None
+    #: Wire codec for peer links (``"json"`` or ``"bin"``); every site
+    #: gets ``repro serve --codec`` with it.  Mixed clusters are legal
+    #: (negotiated per connection) but a harness spawns uniform ones.
+    codec: str = CODEC_JSON
 
     def __post_init__(self) -> None:
         self.data_dir = Path(self.data_dir)
         if self.n_sites < 2:
             raise ClusterError("a live cluster needs at least 2 sites")
+        if self.codec not in CODECS:
+            raise ClusterError(
+                f"codec must be one of {', '.join(CODECS)}, got {self.codec!r}"
+            )
 
 
 def _free_ports(host: str, count: int) -> list[int]:
@@ -156,6 +165,7 @@ class ClusterHarness:
             "--termination-mode", self.config.termination_mode,
             "--max-inflight", str(self.config.max_inflight),
             "--vote", vote,
+            "--codec", self.config.codec,
         ]
         if pause_after is not None:
             argv += ["--pause-after", pause_after]
@@ -447,6 +457,7 @@ class ClusterHarness:
         return {
             "protocol": self.config.spec_name,
             "n_sites": self.config.n_sites,
+            "codec": self.config.codec,
             "txns": n_txns,
             "concurrency": concurrency,
             "elapsed_s": round(elapsed, 4),

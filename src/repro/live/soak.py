@@ -99,6 +99,7 @@ class SoakConfig:
         requery_interval: Termination-protocol requery period.
         timeout: Per-decision and readiness timeout for the harness.
         fsync_delay_ms: Injected fsync latency for disk profiles.
+        codec: Wire codec every site uses for peer frames.
     """
 
     data_dir: Path
@@ -114,6 +115,7 @@ class SoakConfig:
     requery_interval: float = 0.3
     timeout: float = 30.0
     fsync_delay_ms: float = 4.0
+    codec: str = "json"
 
     def __post_init__(self) -> None:
         self.data_dir = Path(self.data_dir)
@@ -220,6 +222,7 @@ def run_soak(config: SoakConfig) -> SoakResult:
         decide_timeout=config.timeout,
         ready_timeout=config.timeout,
         chaos=policy,
+        codec=config.codec,
     )
     violations: list[str] = []
     waves = 0

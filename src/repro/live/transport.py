@@ -42,17 +42,40 @@ from __future__ import annotations
 
 import asyncio
 import collections
+import socket
 from typing import Any, Awaitable, Callable, Optional
 
 from repro.errors import LiveTimeoutError, TransportError
 from repro.live.chaos import LinkChaos
 from repro.live.clock import TimeoutClock
-from repro.live.wire import FrameDecoder, encode_frame, read_frame
+from repro.live.wire import encode_frame, read_frame
+from repro.live.wire_bin import (
+    CODEC_JSON,
+    CODECS,
+    frame_decoder_for,
+    frame_encoder_for,
+)
 from repro.types import SiteId
 
 #: Reconnect backoff: start fast (loopback restarts are quick), cap low.
 RECONNECT_MIN = 0.05
 RECONNECT_MAX = 1.0
+
+
+def set_nodelay(writer: asyncio.StreamWriter) -> None:
+    """Disable Nagle on a stream's socket (best-effort).
+
+    Commit protocols are request/reply chains of small frames; letting
+    the kernel hold a vote back waiting for more data only adds
+    round-trip latency.  The transport already coalesces frames into
+    large writes itself, so Nagle buys nothing here.
+    """
+    sock = writer.get_extra_info("socket")
+    if sock is not None:
+        try:
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        except OSError:  # pragma: no cover - non-TCP or closed socket
+            pass
 
 #: Upper bound on frames coalesced into one socket write.  Far above
 #: anything the commit protocols queue per drain cycle; it only bounds
@@ -121,12 +144,22 @@ class Transport:
         trace: Callable[..., None] = lambda *a, **k: None,
         wait_durable: Optional[DurabilityGate] = None,
         chaos: Optional[LinkChaos] = None,
+        codec: str = CODEC_JSON,
     ) -> None:
         if site in peers:
             raise TransportError(f"site {site} cannot be its own peer")
+        if codec not in CODECS:
+            raise TransportError(
+                f"unknown wire codec {codec!r} (choose from {', '.join(CODECS)})"
+            )
         self.site = site
         self.host = host
         self.port = port
+        #: Wire codec for *outgoing* peer frames, announced in hellos.
+        #: Inbound connections are decoded per what the peer announced,
+        #: so mixed-codec clusters interoperate per direction.
+        self.codec = codec
+        self._encode_peer = frame_encoder_for(codec)
         self.peers = dict(peers)
         self.clock = clock
         self.boot = int(boot)
@@ -273,7 +306,7 @@ class Transport:
             raise TransportError(f"site {self.site} has no peer {dst}")
         if volatile:
             frame = {**frame, "dst_boot": self._peer_boot.get(dst, 0)}
-        self._outbox[dst].append((encode_frame(frame), barrier))
+        self._outbox[dst].append((self._encode_peer(frame), barrier))
         event = self._outbox_ready.get(dst)
         if event is not None:
             event.set()
@@ -349,6 +382,7 @@ class Transport:
                 await asyncio.sleep(backoff)
                 backoff = min(backoff * 2, RECONNECT_MAX)
                 continue
+            set_nodelay(writer)
             backoff = RECONNECT_MIN
             if peer in self._dialed:
                 self.reconnects[peer] += 1
@@ -356,9 +390,17 @@ class Transport:
                 self._dialed.add(peer)
             self._writers[peer] = writer
             try:
+                # The hello is always JSON regardless of codec — it is
+                # the negotiation: its ``codec`` field announces how
+                # every later frame on this connection is encoded.
                 writer.write(
                     encode_frame(
-                        {"t": "hello", "site": int(self.site), "boot": self.boot}
+                        {
+                            "t": "hello",
+                            "site": int(self.site),
+                            "boot": self.boot,
+                            "codec": self.codec,
+                        }
                     )
                 )
                 await writer.drain()
@@ -494,6 +536,7 @@ class Transport:
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
         """Classify a new inbound connection by its first frame."""
+        set_nodelay(writer)
         try:
             first = await read_frame(reader)
         except TransportError:
@@ -503,9 +546,19 @@ class Transport:
             writer.close()
             return
         if first.get("t") == "hello":
+            codec = str(first.get("codec", CODEC_JSON))
+            if codec not in CODECS:
+                self._trace(
+                    "live.bad_codec",
+                    f"hello announcing unknown codec {codec!r}; closing",
+                    peer=int(first.get("site", -1)),
+                )
+                writer.close()
+                return
             await self._peer_receiver(
                 SiteId(int(first["site"])),
                 int(first.get("boot", 1)),
+                codec,
                 reader,
                 writer,
             )
@@ -519,6 +572,7 @@ class Transport:
         self,
         peer: SiteId,
         boot: int,
+        codec: str,
         reader: asyncio.StreamReader,
         writer: asyncio.StreamWriter,
     ) -> None:
@@ -575,7 +629,7 @@ class Transport:
         # one read() often yields a whole batch.  EOF with a partial
         # frame buffered is the same dropped connection as a clean EOF:
         # the sender re-queues undrained frames on reconnect.
-        decoder = FrameDecoder()
+        decoder = frame_decoder_for(codec)
         try:
             while True:
                 data = await reader.read(65536)

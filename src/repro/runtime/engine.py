@@ -21,6 +21,12 @@ from typing import Callable, Optional
 
 from repro.errors import TransitionError
 from repro.fsa.automaton import SiteAutomaton, Transition
+from repro.fsa.compile import (
+    CompiledAutomaton,
+    CompiledTransition,
+    compile_automaton,
+    engine_compiled,
+)
 from repro.fsa.messages import Msg
 from repro.runtime.log import DTLog
 from repro.runtime.policies import VotePolicy
@@ -62,6 +68,20 @@ class Engine:
         self._trace = on_trace
         self.state = automaton.initial
         self.buffer: set[Msg] = set()
+        # Compiled fast path: flat tuple-indexed transition tables with
+        # interned message keys (see repro.fsa.compile).  ``_cstate``
+        # and ``_ckeys`` mirror ``state`` and ``buffer`` as small ints;
+        # the mode is captured at construction so a mid-run flip of the
+        # global switch (differential tests) cannot desynchronize them.
+        self._compiled: Optional[CompiledAutomaton] = (
+            compile_automaton(automaton) if engine_compiled() else None
+        )
+        self._cstate = (
+            self._compiled.index[automaton.initial]
+            if self._compiled is not None
+            else -1
+        )
+        self._ckeys: set[int] = set()
         self.transitions_fired = 0
         self._halted = False
         # When the current FSA state (= protocol phase) was entered;
@@ -117,6 +137,11 @@ class Engine:
         if self._halted:
             return
         self.buffer.add(msg)
+        compiled = self._compiled
+        if compiled is not None:
+            key = compiled.msg_keys.get(msg)
+            if key is not None:
+                self._ckeys.add(key)
         self.pump()
 
     def pump(self) -> None:
@@ -129,7 +154,7 @@ class Engine:
             if not fired:
                 return
 
-    def _pick_enabled(self) -> Optional[Transition]:
+    def _pick_enabled(self) -> Optional["Transition | CompiledTransition"]:
         """Choose the transition to fire, resolving vote nondeterminism.
 
         Raises:
@@ -137,11 +162,18 @@ class Engine:
                 disagree on target or writes after vote resolution —
                 genuine ambiguity a correct spec never exhibits.
         """
-        enabled = [
-            t
-            for t in self.automaton.out_transitions(self.state)
-            if t.reads <= self.buffer
-        ]
+        compiled = self._compiled
+        if compiled is not None:
+            keys = self._ckeys
+            enabled = [
+                t for t in compiled.out[self._cstate] if t.reads_keys <= keys
+            ]
+        else:
+            enabled = [
+                t
+                for t in self.automaton.out_transitions(self.state)
+                if t.reads <= self.buffer
+            ]
         if not enabled:
             return None
         if len(enabled) == 1:
@@ -165,7 +197,7 @@ class Engine:
                 )
         return first
 
-    def _fire(self, transition: Transition) -> bool:
+    def _fire(self, transition: "Transition | CompiledTransition") -> bool:
         """Execute one transition.
 
         Returns:
@@ -177,7 +209,10 @@ class Engine:
         # Write-ahead: force the vote and/or decision before any send.
         if transition.vote is not None and self.log.vote() is None:
             self.log.write_vote(transition.vote, self._now())
-        entering_final = self.automaton.is_final(transition.target)
+        if self._compiled is not None:
+            entering_final = transition.target_final
+        else:
+            entering_final = self.automaton.is_final(transition.target)
         if entering_final:
             outcome = (
                 Outcome.COMMIT
@@ -195,6 +230,8 @@ class Engine:
             writes = transition.writes[: partial[1]]
 
         self.buffer -= transition.reads
+        if self._compiled is not None:
+            self._ckeys -= transition.reads_keys
         for msg in writes:
             self._send(msg)
 
@@ -212,6 +249,8 @@ class Engine:
 
         previous = self.state
         self.state = transition.target
+        if self._compiled is not None:
+            self._cstate = transition.target_idx
         self._trace(
             "engine.transition",
             transition.describe(),
@@ -278,6 +317,8 @@ class Engine:
             return
         previous = self.state
         self.state = state
+        if self._compiled is not None:
+            self._cstate = self._compiled.index[state]
         self._trace(
             "engine.forced_state",
             f"moved {previous!r} -> {state!r} by termination protocol",
@@ -299,6 +340,8 @@ class Engine:
         self.log.write_decision(outcome, self._now(), via=via)
         previous = self.state
         self.state = target
+        if self._compiled is not None:
+            self._cstate = self._compiled.index[target]
         self._trace(
             "engine.forced_outcome",
             f"{outcome.value} via {via}",

@@ -295,7 +295,7 @@ class TestStaleIncarnationDrop:
             reader = asyncio.StreamReader()
             reader.feed_data(encode_frame(frame))
             reader.feed_eof()
-            await transport._peer_receiver(SiteId(2), 1, reader, _Writer())
+            await transport._peer_receiver(SiteId(2), 1, "json", reader, _Writer())
 
         asyncio.run(go())
         assert received == []  # fenced, never delivered

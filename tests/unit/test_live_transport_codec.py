@@ -1,0 +1,191 @@
+"""Per-connection codec negotiation on real loopback transports.
+
+The hello handshake is always JSON; its ``codec`` field tells the
+receiver how to decode everything after it on that connection.  Each
+direction is its own TCP connection, so a binary-speaking site and a
+JSON-speaking site interoperate: each sender picks its own codec, each
+receiver honours the announced one.  A hello announcing a codec the
+receiver does not implement is traced and the connection closed —
+never guessed at.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import socket
+import time
+
+import pytest
+
+from repro.errors import TransportError
+from repro.live.clock import TimeoutClock
+from repro.live.transport import Transport
+from repro.live.wire import encode_frame, read_frame
+from repro.types import SiteId
+
+S1, S2 = SiteId(1), SiteId(2)
+
+
+def free_ports(count: int) -> list[int]:
+    sockets = []
+    try:
+        for _ in range(count):
+            sock = socket.socket()
+            sock.bind(("127.0.0.1", 0))
+            sockets.append(sock)
+        return [sock.getsockname()[1] for sock in sockets]
+    finally:
+        for sock in sockets:
+            sock.close()
+
+
+class Harness:
+    """One in-process transport endpoint with recording callbacks."""
+
+    def __init__(
+        self,
+        site: SiteId,
+        port: int,
+        peers: dict[SiteId, tuple[str, int]],
+        codec: str = "json",
+        suspect_after: float = 10.0,
+    ) -> None:
+        self.frames: list[tuple[SiteId, dict]] = []
+        self.traces: list[str] = []
+        self.suspects: list[SiteId] = []
+
+        async def on_frame(peer, frame):
+            self.frames.append((peer, frame))
+
+        async def on_client(first, reader, writer):
+            writer.close()
+
+        self.transport = Transport(
+            site=site,
+            host="127.0.0.1",
+            port=port,
+            peers=peers,
+            clock=TimeoutClock(),
+            on_frame=on_frame,
+            on_client=on_client,
+            on_suspect=self.suspects.append,
+            on_recover=lambda peer: None,
+            hb_interval=0.05,
+            suspect_after=suspect_after,
+            trace=lambda category, detail="", **data: self.traces.append(
+                category
+            ),
+            codec=codec,
+        )
+
+
+async def wait_for(predicate, timeout: float = 5.0, what: str = "condition"):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return
+        await asyncio.sleep(0.005)
+    raise AssertionError(f"timed out waiting for {what}")
+
+
+def payload(txn: int) -> dict:
+    return {"t": "payload", "txn": txn, "d": {"p": "proto", "kind": "prepare"}}
+
+
+class TestCodecValidation:
+    def test_unknown_codec_rejected_at_construction(self):
+        with pytest.raises(TransportError, match="codec"):
+            Harness(S1, 1, {}, codec="msgpack")
+
+    @pytest.mark.parametrize("codec", ["json", "bin"])
+    def test_known_codecs_accepted(self, codec):
+        harness = Harness(S1, 1, {}, codec=codec)
+        assert harness.transport.codec == codec
+
+
+class TestMixedCodecCluster:
+    def test_bin_and_json_sites_interoperate(self):
+        # S1 speaks binary, S2 speaks JSON.  Each direction negotiates
+        # independently via its hello; both deliver identical dicts.
+        async def go():
+            p1, p2 = free_ports(2)
+            peers1 = {S2: ("127.0.0.1", p2)}
+            peers2 = {S1: ("127.0.0.1", p1)}
+            a = Harness(S1, p1, peers1, codec="bin")
+            b = Harness(S2, p2, peers2, codec="json")
+            await a.transport.start()
+            await b.transport.start()
+            try:
+                sent = [payload(i) for i in range(4)]
+                for frame in sent:
+                    a.transport.send(S2, dict(frame))
+                    b.transport.send(S1, dict(frame))
+                await wait_for(
+                    lambda: len(a.frames) >= 4 and len(b.frames) >= 4,
+                    what="both directions delivering",
+                )
+                assert [f for _, f in b.frames[:4]] == sent
+                assert [f for _, f in a.frames[:4]] == sent
+                assert all(peer == S1 for peer, _ in b.frames)
+                assert all(peer == S2 for peer, _ in a.frames)
+            finally:
+                await a.transport.stop()
+                await b.transport.stop()
+
+        asyncio.run(go())
+
+    def test_bin_cluster_heartbeats_keep_liveness(self):
+        # Heartbeats ride the negotiated codec too — with a suspicion
+        # window a few hb intervals wide, a healthy bin/bin pair must
+        # never suspect each other.
+        async def go():
+            p1, p2 = free_ports(2)
+            a = Harness(
+                S1, p1, {S2: ("127.0.0.1", p2)}, codec="bin",
+                suspect_after=0.4,
+            )
+            b = Harness(
+                S2, p2, {S1: ("127.0.0.1", p1)}, codec="bin",
+                suspect_after=0.4,
+            )
+            await a.transport.start()
+            await b.transport.start()
+            try:
+                await asyncio.sleep(1.2)
+                assert a.suspects == []
+                assert b.suspects == []
+            finally:
+                await a.transport.stop()
+                await b.transport.stop()
+
+        asyncio.run(go())
+
+
+class TestBadCodecHello:
+    def test_unknown_codec_hello_is_traced_and_closed(self):
+        async def go():
+            (port,) = free_ports(1)
+            h = Harness(S1, port, {}, codec="json")
+            await h.transport.start()
+            try:
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", port
+                )
+                writer.write(
+                    encode_frame(
+                        {"t": "hello", "site": 2, "boot": 1, "codec": "gzip"}
+                    )
+                )
+                await writer.drain()
+                # The server must close without decoding anything more.
+                assert await read_frame(reader) is None
+                writer.close()
+                await wait_for(
+                    lambda: "live.bad_codec" in h.traces,
+                    what="bad-codec trace",
+                )
+                assert h.frames == []
+            finally:
+                await h.transport.stop()
+
+        asyncio.run(go())

@@ -75,6 +75,17 @@ class TestFrameLayer:
         with pytest.raises(FrameError):
             decode_frame_bytes(data)
 
+    def test_zero_length_frame_rejected_on_decode(self):
+        # A frame body is always at least "{}" — a zero-length prefix
+        # is corruption, and must say so rather than surface a JSON
+        # parse error (or, worse, an empty frame).
+        with pytest.raises(FrameError, match="zero-length"):
+            decode_frame_bytes(struct.pack(">I", 0) + b"{}")
+
+    def test_zero_length_frame_rejected_by_read_frame(self):
+        with pytest.raises(FrameError, match="zero-length"):
+            _read(struct.pack(">I", 0))
+
     def test_truncated_frame_rejected(self):
         data = encode_frame({"t": "hb"})[:-1]
         with pytest.raises(FrameError):
@@ -141,6 +152,11 @@ class TestFrameDecoder:
         decoder = FrameDecoder()
         with pytest.raises(FrameError):
             decoder.feed(struct.pack(">I", MAX_FRAME + 1) + b"{}")
+
+    def test_zero_length_frame_rejected(self):
+        decoder = FrameDecoder()
+        with pytest.raises(FrameError, match="zero-length"):
+            decoder.feed(struct.pack(">I", 0))
 
     def test_garbage_json_rejected(self):
         decoder = FrameDecoder()
