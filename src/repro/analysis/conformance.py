@@ -30,7 +30,8 @@ from repro.types import Outcome, SiteId
 
 #: Parses "q --(reads / writes)--> w [vote yes]" transition descriptions.
 _TRANSITION_RE = re.compile(
-    r"^(?P<source>\S+) --\(.*\)--> (?P<target>\S+?)(?: \[vote (?P<vote>yes|no)\])?$"
+    r"^(?P<source>\S+) --\(.*\)--> (?P<target>\S+?)"
+    r"(?: \[vote (?P<vote>yes|no|ro)\])?$"
 )
 
 

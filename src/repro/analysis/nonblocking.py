@@ -142,7 +142,16 @@ def check_nonblocking(
 
     violations: list[Violation] = []
     for site in graph.sites:
+        read_only = spec.automaton(site).read_only_states
         for state in sorted(graph.reachable_local_states(site)):
+            # A read-only exit state is terminal without an outcome:
+            # the site has left the protocol and never needs a
+            # decision, so the theorem's conditions — which protect an
+            # operational site that still must decide — do not apply.
+            # (Either global outcome coexists with ``r``, so condition
+            # 1 would otherwise flag it vacuously.)
+            if state in read_only:
+                continue
             cs = concurrency_set(graph, site, state)
             commit_states = sorted(
                 (other, local)

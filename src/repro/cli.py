@@ -279,6 +279,18 @@ def _parse_peers(text: str) -> dict:
     return peers
 
 
+def _parse_ro(text: str) -> tuple:
+    """Parse ``ID,ID,...`` into a tuple of read-only site ids."""
+    from repro.errors import LiveConfigError
+
+    try:
+        return tuple(SiteId(int(part)) for part in filter(None, text.split(",")))
+    except ValueError as error:
+        raise LiveConfigError(
+            f"bad read-only site list {text!r} (want ID,ID,...): {error}"
+        ) from error
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from pathlib import Path
 
@@ -306,6 +318,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             ),
             chaos=Path(args.chaos) if args.chaos else None,
             codec=args.codec,
+            presumption=args.presumption,
+            ro_sites=_parse_ro(args.ro),
+            loop=args.loop,
+            trace_max_entries=args.trace_cap,
         )
     except Exception as error:  # noqa: BLE001 - CLI boundary
         print(f"repro serve: {error}", file=sys.stderr)
@@ -329,20 +345,26 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
     data_dir = Path(
         args.data_dir if args.data_dir else tempfile.mkdtemp(prefix="repro-cluster-")
     )
-    config = ClusterConfig(
-        spec_name=args.spec,
-        n_sites=args.n_sites,
-        data_dir=data_dir,
-        hb_interval=args.hb_interval,
-        suspect_after=args.suspect_after,
-        requery_interval=args.requery_interval,
-        termination_mode=args.termination,
-        decide_timeout=args.timeout,
-        ready_timeout=args.timeout,
-        max_inflight=args.max_inflight,
-        codec=args.codec,
-    )
     try:
+        # Built inside the guard: config mistakes (bad presumption,
+        # loop, or read-only site list) exit EXIT_CONFIG, not a trace.
+        config = ClusterConfig(
+            spec_name=args.spec,
+            n_sites=args.n_sites,
+            data_dir=data_dir,
+            hb_interval=args.hb_interval,
+            suspect_after=args.suspect_after,
+            requery_interval=args.requery_interval,
+            termination_mode=args.termination,
+            decide_timeout=args.timeout,
+            ready_timeout=args.timeout,
+            max_inflight=args.max_inflight,
+            codec=args.codec,
+            presumption=args.presumption,
+            ro_sites=_parse_ro(args.ro),
+            loop=args.loop,
+            trace_cap=args.trace_cap,
+        )
         with ClusterHarness(config) as harness:
             if args.scenario == "gray-failure":
                 result = gray_failure_scenario(
@@ -406,6 +428,10 @@ def _cmd_soak(args: argparse.Namespace) -> int:
             timeout=args.timeout,
             fsync_delay_ms=args.fsync_delay_ms,
             codec=args.codec,
+            presumption=args.presumption,
+            ro_sites=_parse_ro(args.ro),
+            loop=args.loop,
+            trace_cap=args.trace_cap,
         )
         result = run_soak(config)
     except Exception as error:  # noqa: BLE001 - CLI boundary
@@ -1106,6 +1132,34 @@ def build_parser() -> argparse.ArgumentParser:
         help="wire codec for outgoing peer frames (negotiated per "
         "connection; json keeps tcpdump traffic readable)",
     )
+    # No choices= on --presumption/--loop: unknown values must exit
+    # EXIT_CONFIG via LiveConfigError, not argparse's usage error.
+    serve.add_argument(
+        "--presumption",
+        default="none",
+        help="commit presumption: none (force everything), abort "
+        "(presumed abort), or commit (presumed commit)",
+    )
+    serve.add_argument(
+        "--loop",
+        default="asyncio",
+        help="event loop implementation: asyncio or uvloop (if installed)",
+    )
+    serve.add_argument(
+        "--ro",
+        default="",
+        metavar="ID,ID,...",
+        help="site ids that participate read-only (one-phase exit)",
+    )
+    serve.add_argument(
+        "--trace-cap",
+        type=int,
+        default=200_000,
+        dest="trace_cap",
+        metavar="N",
+        help="cap on trace entries written per site (drops are counted "
+        "and noted by the auditor)",
+    )
     serve.set_defaults(func=_cmd_serve)
 
     cluster = sub.add_parser(
@@ -1190,6 +1244,30 @@ def build_parser() -> argparse.ArgumentParser:
         default="json",
         help="wire codec every site uses for peer frames",
     )
+    cluster.add_argument(
+        "--presumption",
+        default="none",
+        help="commit presumption every site runs under "
+        "(none, abort, or commit)",
+    )
+    cluster.add_argument(
+        "--loop",
+        default="asyncio",
+        help="event loop every site process runs (asyncio or uvloop)",
+    )
+    cluster.add_argument(
+        "--ro",
+        default="",
+        metavar="ID,ID,...",
+        help="site ids that participate read-only (one-phase exit)",
+    )
+    cluster.add_argument(
+        "--trace-cap",
+        type=int,
+        dest="trace_cap",
+        metavar="N",
+        help="per-site trace entry cap (default: site default)",
+    )
     cluster.set_defaults(func=_cmd_cluster)
 
     soak = sub.add_parser(
@@ -1255,6 +1333,30 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("json", "bin"),
         default="json",
         help="wire codec every site uses for peer frames",
+    )
+    soak.add_argument(
+        "--presumption",
+        default="none",
+        help="commit presumption every site runs under "
+        "(none, abort, or commit)",
+    )
+    soak.add_argument(
+        "--loop",
+        default="asyncio",
+        help="event loop every site process runs (asyncio or uvloop)",
+    )
+    soak.add_argument(
+        "--ro",
+        default="",
+        metavar="ID,ID,...",
+        help="site ids that participate read-only (one-phase exit)",
+    )
+    soak.add_argument(
+        "--trace-cap",
+        type=int,
+        dest="trace_cap",
+        metavar="N",
+        help="per-site trace entry cap (default: site default)",
     )
     soak.add_argument(
         "--json-out",

@@ -194,6 +194,12 @@ def _check_history(
         for site in spec.sites:
             if not alive[site] or site == witness:
                 continue
+            if site in spec.read_only_sites:
+                # A read-only participant left the protocol at phase 1;
+                # its exit state holds no outcome and is deliberately
+                # noncommittable, so the theorem's conditions do not
+                # range over it.
+                continue
             local = state[site]
             if local in abort_states[site] and "history-commit-abort" not in seen:
                 seen.add("history-commit-abort")

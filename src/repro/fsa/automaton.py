@@ -68,6 +68,11 @@ class SiteAutomaton:
         transitions: All transitions.  The full state set is inferred
             from the initial state, the final states, and transition
             endpoints.
+        read_only_states: Terminal states of a read-only participant
+            (the Gray & Lamport one-phase exit).  A site in such a state
+            has left the protocol without adopting either outcome; it is
+            final in the sense of "no further transitions", but carries
+            no decision and writes no DT record.
 
     The constructor performs no validation; call
     :func:`repro.fsa.validate.validate_automaton` (done automatically by
@@ -82,14 +87,21 @@ class SiteAutomaton:
         commit_states: Iterable[str],
         abort_states: Iterable[str],
         transitions: Iterable[Transition],
+        read_only_states: Iterable[str] = (),
     ) -> None:
         self.site = site
         self.role = role
         self.initial = initial
         self.commit_states = frozenset(commit_states)
         self.abort_states = frozenset(abort_states)
+        self.read_only_states = frozenset(read_only_states)
         self.transitions = tuple(transitions)
-        states = {initial} | set(self.commit_states) | set(self.abort_states)
+        states = (
+            {initial}
+            | set(self.commit_states)
+            | set(self.abort_states)
+            | set(self.read_only_states)
+        )
         for transition in self.transitions:
             states.add(transition.source)
             states.add(transition.target)
@@ -108,8 +120,8 @@ class SiteAutomaton:
 
     @property
     def final_states(self) -> frozenset[str]:
-        """Commit states plus abort states."""
-        return self.commit_states | self.abort_states
+        """Commit states, abort states, and read-only exit states."""
+        return self.commit_states | self.abort_states | self.read_only_states
 
     def kind(self, state: str) -> StateKind:
         """Classify a state: initial, intermediate, commit, or abort."""
@@ -117,13 +129,19 @@ class SiteAutomaton:
             return StateKind.COMMIT
         if state in self.abort_states:
             return StateKind.ABORT
+        if state in self.read_only_states:
+            return StateKind.READ_ONLY
         if state == self.initial:
             return StateKind.INITIAL
         return StateKind.INTERMEDIATE
 
     def is_final(self, state: str) -> bool:
-        """Whether the state is a commit or abort state."""
-        return state in self.commit_states or state in self.abort_states
+        """Whether the state terminates the site's protocol participation."""
+        return (
+            state in self.commit_states
+            or state in self.abort_states
+            or state in self.read_only_states
+        )
 
     # ------------------------------------------------------------------
     # Structure queries
@@ -229,8 +247,11 @@ class SiteAutomaton:
             if not incoming:
                 implies[state] = False
                 continue
+            # A READ_ONLY vote is consent: the read-only site never
+            # vetoes, so for committability it counts like a yes.
             implies[state] = all(
-                t.vote is Vote.YES or implies[t.source] for t in incoming
+                t.vote in (Vote.YES, Vote.READ_ONLY) or implies[t.source]
+                for t in incoming
             )
         return implies
 

@@ -4,7 +4,8 @@ A :class:`Msg` is the unit written to and read from the paper's
 "common input/output tape": an immutable ``(kind, src, dst)`` triple.
 Message kinds are short strings following the paper's vocabulary —
 ``request``, ``xact``, ``yes``, ``no``, ``commit``, ``abort``,
-``prepare``, ``ack``.
+``prepare``, ``ack`` — plus ``ro``, the read-only vote of the
+one-phase-exit optimization (Gray & Lamport).
 
 External inputs (the transaction request arriving at the coordinator,
 or the ``xact`` message each site receives in the decentralized model)
@@ -23,7 +24,7 @@ EXTERNAL: SiteId = SiteId(0)
 
 #: The message vocabulary used by the catalog protocols.
 KNOWN_KINDS = frozenset(
-    {"request", "xact", "yes", "no", "commit", "abort", "prepare", "ack"}
+    {"request", "xact", "yes", "no", "commit", "abort", "prepare", "ack", "ro"}
 )
 
 

@@ -60,6 +60,15 @@ class ProtocolSpec:
         # spec-load time, so no engine (simulator or live node) ever
         # pays the compilation on the transaction path.
         self.compiled: dict[SiteId, CompiledAutomaton] = compile_spec(self.automata)
+        #: Sites that leave the protocol through a read-only exit: they
+        #: have no commit/abort states, hold no outcome, and are pruned
+        #: from phase-2/3 fan-outs, termination, and recovery queries.
+        self.read_only_sites: frozenset[SiteId] = frozenset(
+            site
+            for site, automaton in self.automata.items()
+            if automaton.read_only_states
+            and not (automaton.commit_states or automaton.abort_states)
+        )
 
     # ------------------------------------------------------------------
     # Topology

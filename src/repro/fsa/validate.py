@@ -54,10 +54,22 @@ def validate_automaton(automaton: SiteAutomaton) -> None:
         raise InvalidAutomatonError(
             f"site {site}: states {sorted(overlap)} are both commit and abort"
         )
-    if not automaton.commit_states:
-        raise InvalidAutomatonError(f"site {site}: no commit state")
-    if not automaton.abort_states:
-        raise InvalidAutomatonError(f"site {site}: no abort state")
+    ro_overlap = automaton.read_only_states & (
+        automaton.commit_states | automaton.abort_states
+    )
+    if ro_overlap:
+        raise InvalidAutomatonError(
+            f"site {site}: states {sorted(ro_overlap)} are both read-only "
+            "and commit/abort"
+        )
+    # A read-only participant terminates without adopting either
+    # outcome, so its automaton legitimately has neither a commit nor
+    # an abort state; every other automaton needs both.
+    if not automaton.read_only_states:
+        if not automaton.commit_states:
+            raise InvalidAutomatonError(f"site {site}: no commit state")
+        if not automaton.abort_states:
+            raise InvalidAutomatonError(f"site {site}: no abort state")
 
     for transition in automaton.transitions:
         if not transition.reads:

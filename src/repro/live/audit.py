@@ -32,6 +32,7 @@ interval and exits nonzero the moment a violation appears.
 from __future__ import annotations
 
 import dataclasses
+import json
 import time
 from pathlib import Path
 from typing import Any, Union
@@ -170,6 +171,31 @@ def _audit_traces(data_dir: Path, report: AuditReport) -> None:
             )
 
 
+def _audit_trace_drops(data_dir: Path, report: AuditReport) -> None:
+    """Note any site whose trace ring hit its ``--trace-cap``.
+
+    Dropped trace entries are by design (the cap bounds disk use on
+    long soaks), but the trace cross-check then covers only a prefix
+    of the run — worth a note so a "clean" audit is read with that
+    caveat.  Metrics snapshots are advisory observability; a missing
+    or torn snapshot is not a finding.
+    """
+    for path in sorted(data_dir.glob("site-*.metrics.json")):
+        try:
+            live = json.loads(path.read_text()).get("live", {})
+        except (OSError, ValueError):
+            continue
+        dropped = int(live.get("trace_dropped") or 0)
+        if dropped:
+            site = live.get(
+                "site", path.name.split("-", 1)[1].split(".", 1)[0]
+            )
+            report.notes.append(
+                f"site {site}: {dropped} trace entries dropped at the "
+                "trace cap; trace cross-checks cover a prefix of the run"
+            )
+
+
 def audit_data_dir(
     data_dir: Union[str, Path], include_traces: bool = True
 ) -> AuditReport:
@@ -209,4 +235,5 @@ def audit_data_dir(
     report.txns = len(txns)
     if include_traces:
         _audit_traces(data_dir, report)
+        _audit_trace_drops(data_dir, report)
     return report

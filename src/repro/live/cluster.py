@@ -44,9 +44,15 @@ from pathlib import Path
 from typing import Any, Callable, Optional
 
 import repro
-from repro.errors import AtomicityViolationError, ClusterError, LiveTimeoutError
+from repro.errors import (
+    AtomicityViolationError,
+    ClusterError,
+    LiveConfigError,
+    LiveTimeoutError,
+)
 from repro.live import client
 from repro.live.chaos import ChaosPolicy, gray_link_policy
+from repro.live.node import LOOPS, PRESUMPTIONS
 from repro.live.wire_bin import CODEC_JSON, CODECS
 from repro.types import Outcome, SiteId
 
@@ -80,6 +86,19 @@ class ClusterConfig:
     #: gets ``repro serve --codec`` with it.  Mixed clusters are legal
     #: (negotiated per connection) but a harness spawns uniform ones.
     codec: str = CODEC_JSON
+    #: Commit presumption, cluster-uniform (``none`` / ``abort`` /
+    #: ``commit``); every site gets ``repro serve --presumption``.
+    presumption: str = "none"
+    #: Sites taking the read-only one-phase exit (cluster-uniform so
+    #: every site builds the same spec); excluded from the benchmark's
+    #: gateway rotation — a read-only site never hosts a client begin.
+    ro_sites: tuple[SiteId, ...] = ()
+    #: Event-loop implementation every site runs (``asyncio`` /
+    #: ``uvloop``).
+    loop: str = "asyncio"
+    #: Per-site trace ring capacity override (``repro serve
+    #: --trace-cap``); ``None`` keeps the serve default.
+    trace_cap: Optional[int] = None
 
     def __post_init__(self) -> None:
         self.data_dir = Path(self.data_dir)
@@ -88,6 +107,23 @@ class ClusterConfig:
         if self.codec not in CODECS:
             raise ClusterError(
                 f"codec must be one of {', '.join(CODECS)}, got {self.codec!r}"
+            )
+        # Config mistakes exit with EXIT_CONFIG, not EXIT_TRANSPORT: an
+        # unknown presumption or loop silently defaulting would skew a
+        # whole benchmark sweep.
+        if self.presumption not in PRESUMPTIONS:
+            raise LiveConfigError(
+                f"presumption must be one of {', '.join(PRESUMPTIONS)}, "
+                f"got {self.presumption!r}"
+            )
+        if self.loop not in LOOPS:
+            raise LiveConfigError(
+                f"loop must be one of {', '.join(LOOPS)}, got {self.loop!r}"
+            )
+        self.ro_sites = tuple(sorted(SiteId(int(s)) for s in self.ro_sites))
+        if self.trace_cap is not None and self.trace_cap < 1:
+            raise LiveConfigError(
+                f"trace cap must be >= 1, got {self.trace_cap}"
             )
 
 
@@ -166,7 +202,13 @@ class ClusterHarness:
             "--max-inflight", str(self.config.max_inflight),
             "--vote", vote,
             "--codec", self.config.codec,
+            "--presumption", self.config.presumption,
+            "--loop", self.config.loop,
         ]
+        if self.config.ro_sites:
+            argv += ["--ro", ",".join(str(int(s)) for s in self.config.ro_sites)]
+        if self.config.trace_cap is not None:
+            argv += ["--trace-cap", str(self.config.trace_cap)]
         if pause_after is not None:
             argv += ["--pause-after", pause_after]
         if self.config.chaos is not None:
@@ -458,6 +500,9 @@ class ClusterHarness:
             "protocol": self.config.spec_name,
             "n_sites": self.config.n_sites,
             "codec": self.config.codec,
+            "presumption": self.config.presumption,
+            "loop": self.config.loop,
+            "ro_sites": [int(s) for s in self.config.ro_sites],
             "txns": n_txns,
             "concurrency": concurrency,
             "elapsed_s": round(elapsed, 4),
@@ -471,6 +516,7 @@ class ClusterHarness:
             "latency_breakdown": breakdown,
             "forced_writes": delta["forced_writes"],
             "forced_writes_per_txn": round(delta["forced_writes"] / n_txns, 2),
+            "forced_writes_skipped": delta["forced_writes_skipped"],
             "fsync_calls": delta["fsync_calls"],
             "fsyncs_per_txn": round(delta["fsync_calls"] / n_txns, 2),
             "proto_frames": delta["proto_frames"],
@@ -487,7 +533,9 @@ class ClusterHarness:
         self, n_txns: int, gateway: SiteId, concurrency: int, first_txn: int
     ) -> tuple[list[float], dict[str, list[float]], float]:
         host = self.config.host
-        sites = sorted(self.ports)
+        # Read-only participants never gateway: their exit carries no
+        # outcome, so a client begin there would have nothing to wait on.
+        sites = sorted(s for s in self.ports if s not in self.config.ro_sites)
         first = sites.index(SiteId(int(gateway)))
         latencies: list[float] = []
         stage_samples: dict[str, list[float]] = {}
@@ -547,6 +595,7 @@ class ClusterHarness:
         """
         totals = {
             "forced_writes": 0,
+            "forced_writes_skipped": 0,
             "fsync_calls": 0,
             "frames_sent": 0,
             "socket_writes": 0,
@@ -561,6 +610,9 @@ class ClusterHarness:
             # Each incarnation forces exactly one boot record on open
             # (one forced write, one fsync); discount them.
             totals["forced_writes"] += int(live.get("forced_writes", 0)) - boots
+            totals["forced_writes_skipped"] += int(
+                live.get("forced_writes_skipped", 0)
+            )
             totals["fsync_calls"] += int(live.get("fsync_calls", 0)) - boots
             totals["frames_sent"] += int(live.get("frames_sent", 0))
             totals["socket_writes"] += int(live.get("socket_writes", 0))
@@ -597,6 +649,7 @@ class ScenarioResult:
     """What :func:`kill_coordinator_scenario` observed."""
 
     protocol: str
+    presumption: str
     survivors_blocked: bool
     survivor_outcomes: dict[int, str]
     final_outcomes: dict[int, str]
@@ -690,6 +743,7 @@ def kill_coordinator_scenario(harness: ClusterHarness, txn_id: int = 1) -> Scena
     assert coordinator_view is not None
     return ScenarioResult(
         protocol=spec_name,
+        presumption=harness.config.presumption,
         survivors_blocked=not nonblocking,
         survivor_outcomes=survivor_outcomes,
         final_outcomes={int(site): outcome for site, outcome in finals.items()},

@@ -57,8 +57,14 @@ from pathlib import Path
 from typing import Any, Callable, Optional, Union
 
 from repro.errors import WALError
-from repro.runtime.log import DecisionRecord, DTLog, VoteRecord
-from repro.types import Outcome, Vote
+from repro.runtime.log import (
+    DecisionRecord,
+    DTLog,
+    LogRecord,
+    MembershipRecord,
+    VoteRecord,
+)
+from repro.types import Outcome, SiteId, Vote
 
 #: Below this smoothed fsync duration the flusher calls ``fsync``
 #: inline on the event loop; above it, in a worker thread.  Handing a
@@ -149,7 +155,7 @@ def read_log_file(path: Union[str, Path]) -> tuple[list[dict[str, Any]], bool]:
     return records, False
 
 
-def _record_to_body(txn: int, record: Union[VoteRecord, DecisionRecord]) -> dict[str, Any]:
+def _record_to_body(txn: int, record: LogRecord) -> dict[str, Any]:
     if isinstance(record, VoteRecord):
         return {"r": "vote", "txn": txn, "vote": record.vote.value, "at": record.at}
     if isinstance(record, DecisionRecord):
@@ -160,10 +166,17 @@ def _record_to_body(txn: int, record: Union[VoteRecord, DecisionRecord]) -> dict
             "at": record.at,
             "via": record.via,
         }
+    if isinstance(record, MembershipRecord):
+        return {
+            "r": "membership",
+            "txn": txn,
+            "members": [int(site) for site in record.members],
+            "at": record.at,
+        }
     raise WALError(f"unknown log record {record!r}")
 
 
-def _body_to_record(body: dict[str, Any]) -> Union[VoteRecord, DecisionRecord]:
+def _body_to_record(body: dict[str, Any]) -> LogRecord:
     kind = body.get("r")
     try:
         if kind == "vote":
@@ -174,7 +187,12 @@ def _body_to_record(body: dict[str, Any]) -> Union[VoteRecord, DecisionRecord]:
                 at=float(body["at"]),
                 via=str(body["via"]),
             )
-    except (KeyError, ValueError) as error:
+        if kind == "membership":
+            return MembershipRecord(
+                members=tuple(SiteId(int(m)) for m in body["members"]),
+                at=float(body["at"]),
+            )
+    except (KeyError, TypeError, ValueError) as error:
         raise WALError(f"malformed {kind!r} record: {error}") from error
     raise WALError(f"unknown record kind {kind!r}")
 
@@ -212,10 +230,14 @@ class SiteLogStore:
     ) -> None:
         self.path = Path(path)
         self.forced_writes = 0
+        #: Records a commit presumption let through without durability
+        #: (appended lazily, no fsync demanded) — the live measure of
+        #: what presumed abort/commit saves on the log device.
+        self.forced_writes_skipped = 0
         self.fsync_calls = 0
         self.torn_tail_dropped = False
         self._fsync = fsync
-        self._by_txn: dict[int, list[Union[VoteRecord, DecisionRecord]]] = {}
+        self._by_txn: dict[int, list[LogRecord]] = {}
         self.boot_count = 0
         #: Per-fsync batch-size hook (records made durable by that call).
         self.on_batch: Optional[Callable[[int], None]] = None
@@ -225,6 +247,7 @@ class SiteLogStore:
         self.on_durable: Optional[Callable[[int], None]] = None
         self._buffer: list[bytes] = []
         self._pending_lsn = 0
+        self._last_forced_lsn = 0
         self._durable_lsn = 0
         self._waiters: list[tuple[int, asyncio.Future]] = []
         self._fsync_ema: Optional[float] = None
@@ -257,6 +280,17 @@ class SiteLogStore:
         return self._pending_lsn
 
     @property
+    def last_forced_lsn(self) -> int:
+        """LSN of the most recent append that demanded durability.
+
+        The send barrier gates on this, not :attr:`pending_lsn`: a
+        lazily appended record (a presumption-redundant vote or
+        decision) must not hold frames back waiting for an fsync nobody
+        asked for.  With no lazy appends the two watermarks coincide.
+        """
+        return self._last_forced_lsn
+
+    @property
     def durable_lsn(self) -> int:
         """Highest LSN known to be flushed and fsynced."""
         return self._durable_lsn
@@ -265,13 +299,11 @@ class SiteLogStore:
         """Transactions with at least one surviving record, sorted."""
         return sorted(self._by_txn)
 
-    def records_for(self, txn: int) -> list[Union[VoteRecord, DecisionRecord]]:
+    def records_for(self, txn: int) -> list[LogRecord]:
         """Surviving records for one transaction, in append order."""
         return list(self._by_txn.get(txn, ()))
 
-    def append_record(
-        self, txn: int, record: Union[VoteRecord, DecisionRecord], force: bool = True
-    ) -> int:
+    def append_record(self, txn: int, record: LogRecord, force: bool = True) -> int:
         """Append one transaction record; returns its LSN.
 
         With ``force`` the record is durable before the call returns
@@ -290,11 +322,14 @@ class SiteLogStore:
         lsn = self._pending_lsn
         if force:
             self.forced_writes += 1
+            self._last_forced_lsn = lsn
             if self._flush_task is not None:
                 assert self._flush_wanted is not None
                 self._flush_wanted.set()
             else:
                 self._flush_now()
+        else:
+            self.forced_writes_skipped += 1
         return lsn
 
     # -- Group commit ---------------------------------------------------
@@ -466,15 +501,23 @@ class DurableDTLog(DTLog):
         for record in store.records_for(txn):
             if isinstance(record, VoteRecord):
                 super().write_vote(record.vote, record.at)
+            elif isinstance(record, MembershipRecord):
+                super().write_membership(record.members, record.at)
             else:
                 super().write_decision(record.outcome, record.at, via=record.via)
 
-    def write_vote(self, vote: Vote, at: float) -> None:
+    def write_vote(self, vote: Vote, at: float, forced: bool = True) -> None:
         super().write_vote(vote, at)
-        self._store.append_record(self._txn, self.records[-1], force=True)
+        self._store.append_record(self._txn, self.records[-1], force=forced)
 
-    def write_decision(self, outcome: Outcome, at: float, via: str) -> None:
+    def write_decision(
+        self, outcome: Outcome, at: float, via: str, forced: bool = True
+    ) -> None:
         before = len(self)
         super().write_decision(outcome, at, via=via)
         if len(self) > before:  # Same-outcome re-log is a no-op; don't re-force.
-            self._store.append_record(self._txn, self.records[-1], force=True)
+            self._store.append_record(self._txn, self.records[-1], force=forced)
+
+    def write_membership(self, members, at: float) -> None:
+        super().write_membership(members, at)
+        self._store.append_record(self._txn, self.records[-1], force=True)

@@ -90,6 +90,12 @@ from repro.runtime.recovery import RecoveryController
 from repro.runtime.termination import TerminationController
 from repro.types import Outcome, SiteId, Vote
 
+#: The selectable commit presumptions (see :class:`LiveConfig`).
+PRESUMPTIONS = ("none", "abort", "commit")
+
+#: The selectable event-loop implementations.
+LOOPS = ("asyncio", "uvloop")
+
 #: Minimum seconds between metrics-snapshot writes while transactions
 #: are in flight.  Snapshots are advisory; serializing the registry per
 #: decision was the measured throughput ceiling under concurrency, and
@@ -142,6 +148,17 @@ class LiveConfig:
             (``"json"`` or ``"bin"``), negotiated per connection via
             the hello handshake — sites with different codecs
             interoperate.  Client traffic is always JSON.
+        presumption: Commit presumption governing which DT-log records
+            demand an fsync: ``"none"`` (every vote and decision is
+            forced — the paper's baseline), ``"abort"`` (no votes and
+            abort decisions go lazy; a missing record reads as abort),
+            or ``"commit"`` (the coordinator forces a membership record
+            before the ``xact`` fan-out and only its commit decision
+            thereafter).  Must agree across the cluster.
+        ro_sites: Sites taking the read-only one-phase exit (must agree
+            across the cluster — every site builds the same spec).
+        loop: Event-loop implementation: ``"asyncio"`` or ``"uvloop"``
+            (the latter only if importable; checked at serve time).
     """
 
     site: SiteId
@@ -161,6 +178,9 @@ class LiveConfig:
     trace_max_entries: int = 200_000
     chaos: Optional[Path] = None
     codec: str = CODEC_JSON
+    presumption: str = "none"
+    ro_sites: tuple[SiteId, ...] = ()
+    loop: str = "asyncio"
 
     def __post_init__(self) -> None:
         self.site = SiteId(int(self.site))
@@ -176,6 +196,26 @@ class LiveConfig:
         if self.codec not in CODECS:
             raise LiveConfigError(
                 f"codec must be one of {', '.join(CODECS)}, got {self.codec!r}"
+            )
+        if self.presumption not in PRESUMPTIONS:
+            raise LiveConfigError(
+                f"presumption must be one of {', '.join(PRESUMPTIONS)}, "
+                f"got {self.presumption!r}"
+            )
+        if self.loop not in LOOPS:
+            raise LiveConfigError(
+                f"loop must be one of {', '.join(LOOPS)}, got {self.loop!r}"
+            )
+        self.ro_sites = tuple(sorted(SiteId(int(s)) for s in self.ro_sites))
+        for ro in self.ro_sites:
+            if not 1 <= int(ro) <= self.n_sites:
+                raise LiveConfigError(
+                    f"read-only site {int(ro)} is not a participant "
+                    f"(n_sites={self.n_sites})"
+                )
+        if self.trace_max_entries < 1:
+            raise LiveConfigError(
+                f"trace cap must be >= 1, got {self.trace_max_entries}"
             )
         if self.max_inflight < 1:
             raise LiveConfigError(
@@ -262,12 +302,16 @@ class LiveTxn:
             now=node.clock.now,
             on_final=self._on_final,
             on_trace=self.trace,
+            presumption=node.config.presumption,
+            membership=node.membership,
         )
         self.termination = TerminationController(
             self, node.rule, mode=node.config.termination_mode
         )
         self.recovery = RecoveryController(
-            self, requery_interval=node.config.requery_interval
+            self,
+            requery_interval=node.config.requery_interval,
+            presumption=node.config.presumption,
         )
 
     # -- ProtocolHost surface -------------------------------------------
@@ -322,11 +366,17 @@ class LiveTxn:
         self.node.trace(category, detail, **data)
 
     def operational_participants(self) -> list[SiteId]:
-        """Participants this site believes operational (never-crashed)."""
+        """Participants this site believes operational (never-crashed).
+
+        Read-only participants are excluded — they exited at phase 1
+        and take no part in termination.
+        """
         return sorted(
             site
             for site in self.spec.sites
-            if site not in self.known_failed and (site != self.site or self.alive)
+            if site not in self.known_failed
+            and site not in self.spec.read_only_sites
+            and (site != self.site or self.alive)
         )
 
     def notify_blocked(self) -> None:
@@ -391,8 +441,17 @@ class LiveSite:
 
     def __init__(self, config: LiveConfig) -> None:
         self.config = config
-        self.spec = build(config.spec_name, config.n_sites)
+        self.spec = build(config.spec_name, config.n_sites, ro_sites=config.ro_sites)
         self.rule = TerminationRule(self.spec)
+        #: Voting-participant set the coordinator's engine force-logs
+        #: as the presumed-commit membership record (empty elsewhere).
+        self.membership: tuple[SiteId, ...] = ()
+        if config.site == self.spec.coordinator:
+            self.membership = tuple(
+                site
+                for site in self.spec.sites
+                if site != config.site and site not in self.spec.read_only_sites
+            )
         # The chaos policy (if any) is cluster-wide; this site applies
         # only its own slice of it.
         self.chaos_policy = (
@@ -663,8 +722,11 @@ class LiveSite:
         else:
             # The engine force-logged any vote/decision this message
             # implies *before* calling send; gating the frame on the
-            # log's current tail preserves the write-ahead rule while
-            # the group-commit flusher batches the actual fsync.
+            # log's last *forced* record preserves the write-ahead rule
+            # while the group-commit flusher batches the actual fsync.
+            # (A lazily appended presumption-redundant record must not
+            # hold frames back; with no lazy appends this watermark is
+            # the pending tail.)
             self.transport.send(
                 msg.dst,
                 stamp_trace_context(
@@ -676,7 +738,7 @@ class LiveSite:
                     sid,
                     self._current_parent,
                 ),
-                barrier=self.store.pending_lsn,
+                barrier=self.store.last_forced_lsn,
                 volatile=True,
             )
         self._count_pause_kind(msg.kind)
@@ -706,7 +768,7 @@ class LiveSite:
                 sid,
                 self._current_parent,
             ),
-            barrier=self.store.pending_lsn,
+            barrier=self.store.last_forced_lsn,
         )
 
     def _loopback(
@@ -848,6 +910,7 @@ class LiveSite:
     # ------------------------------------------------------------------
 
     def _on_suspect(self, peer: SiteId) -> None:
+        local_ro = self.config.site in self.spec.read_only_sites
         for txn in list(self.txns.values()):
             if peer not in self.spec.automata:
                 continue
@@ -855,7 +918,7 @@ class LiveSite:
             txn.trace(
                 "site.peer_failed", f"suspecting site {peer} (heartbeat timeout)"
             )
-            if not txn.ever_crashed:
+            if not txn.ever_crashed and not local_ro:
                 txn.termination.on_peer_failure(peer)
 
     def _on_recover(self, peer: SiteId) -> None:
@@ -878,10 +941,11 @@ class LiveSite:
         transaction here treats the restart exactly like a detected
         failure and invokes the termination protocol.
         """
+        local_ro = self.config.site in self.spec.read_only_sites
         for txn in list(self.txns.values()):
             if peer not in self.spec.automata:
                 continue
-            if txn.decided is not None or txn.ever_crashed:
+            if txn.decided is not None or txn.ever_crashed or local_ro:
                 continue
             txn.known_failed.add(peer)
             txn.trace(
@@ -1113,7 +1177,11 @@ class LiveSite:
             return
         if txn.decided_at is None:
             txn.decided_at = self.clock.now()
-        lsn = self.store.pending_lsn
+        # Publication gates on the last durability *demand*, not the
+        # raw tail: a presumption-lazy decision record publishes as
+        # soon as prior forced records are down (the presumption, not
+        # the fsync, is what makes forgetting it safe).
+        lsn = self.store.last_forced_lsn
         self._unpublished.append((lsn, txn, outcome, via))
         if self.store.durable_lsn >= lsn:
             # Synchronous-fallback store (or an already-durable tail):
@@ -1271,7 +1339,9 @@ class LiveSite:
             "site": int(self.config.site),
             "boot": self.store.boot_count,
             "forced_writes": self.store.forced_writes,
+            "forced_writes_skipped": self.store.forced_writes_skipped,
             "fsync_calls": self.store.fsync_calls,
+            "presumption": self.config.presumption,
             "inflight_txns": self._undecided,
             "frames_sent": self.transport.frames_sent,
             "frames_received": self.transport.frames_received,

@@ -79,6 +79,11 @@ INTERNED = (
     "prepare",
     "commit",
     "abort",
+    # Appended entries only (tokens are pinned by differential tests
+    # against recorded frames): the read-only vote/state of the
+    # one-phase exit.
+    "ro",
+    "r",
 )
 _STR_TOKEN = {value: index + 1 for index, value in enumerate(INTERNED)}
 _TOKEN_STR: tuple = (None,) + INTERNED

@@ -2,12 +2,74 @@
 
 from __future__ import annotations
 
+from typing import Iterable
+
 from repro.errors import InstantiationError
-from repro.types import SiteId
+from repro.fsa.automaton import SiteAutomaton, Transition
+from repro.fsa.messages import Msg
+from repro.types import SiteId, Vote
 
 #: Site id of the coordinator in every central-site protocol (the paper
 #: numbers it site 1).
 COORDINATOR: SiteId = SiteId(1)
+
+
+def check_ro_sites(
+    name: str, slaves: list[SiteId], ro_sites: Iterable[SiteId]
+) -> tuple[list[SiteId], list[SiteId]]:
+    """Split ``slaves`` into (voters, read_only) per ``ro_sites``.
+
+    The read-only one-phase exit only makes sense for slaves: the
+    coordinator drives the protocol and always votes.  At least one
+    voting slave must remain so the multi-site commit (and its
+    termination protocol) still has participants.
+
+    Raises:
+        InstantiationError: On a read-only site that is not a slave, or
+            when no voting slave would remain.
+    """
+    read_only = sorted(set(SiteId(site) for site in ro_sites))
+    for site in read_only:
+        if site not in slaves:
+            raise InstantiationError(
+                f"{name}: read-only site {site} is not a slave "
+                f"(slaves are {slaves})"
+            )
+    voters = [site for site in slaves if site not in read_only]
+    if not voters:
+        raise InstantiationError(
+            f"{name}: at least one voting slave is required, "
+            f"all of {slaves} are read-only"
+        )
+    return voters, read_only
+
+
+def read_only_slave_automaton(site: SiteId) -> SiteAutomaton:
+    """The one-phase FSA of a read-only slave: q -> r.
+
+    On receiving the transaction the site reports ``ro`` ("nothing to
+    commit here") and exits immediately — no wait state, no phase-2/3
+    messages, and (in the runtime) no forced DT-log writes.  The
+    ``r`` state is terminal but carries no outcome; either global
+    decision is acceptable to a site with no updates at stake.
+    """
+    return SiteAutomaton(
+        site=site,
+        role="read-only slave",
+        initial="q",
+        commit_states=[],
+        abort_states=[],
+        read_only_states=["r"],
+        transitions=[
+            Transition(
+                source="q",
+                target="r",
+                reads=frozenset({Msg("xact", COORDINATOR, site)}),
+                writes=(Msg("ro", site, COORDINATOR),),
+                vote=Vote.READ_ONLY,
+            ),
+        ],
+    )
 
 
 def check_site_count(name: str, n_sites: int, minimum: int = 2) -> list[SiteId]:

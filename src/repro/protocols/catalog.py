@@ -31,17 +31,29 @@ PROTOCOLS: dict[str, Callable[[int], ProtocolSpec]] = {
 BLOCKING = ("1pc", "2pc-central", "2pc-decentralized")
 NONBLOCKING = ("3pc-central", "3pc-decentralized")
 
+#: Protocols supporting the read-only one-phase exit (central-site
+#: protocols, where the coordinator can prune its fan-outs).
+RO_CAPABLE = ("2pc-central", "3pc-central")
+
 
 def protocol_names() -> list[str]:
     """Canonical names of every catalog protocol, sorted."""
     return sorted(PROTOCOLS)
 
 
-def build(name: str, n_sites: int) -> ProtocolSpec:
+def build(name: str, n_sites: int, ro_sites: tuple = ()) -> ProtocolSpec:
     """Build the named protocol for ``n_sites`` participants.
 
+    Args:
+        name: Canonical protocol name.
+        n_sites: Participant count.
+        ro_sites: Slaves running the read-only one-phase exit; only the
+            central-site protocols support the optimization.
+
     Raises:
-        InvalidProtocolError: If the name is not in the catalog.
+        InvalidProtocolError: If the name is not in the catalog, or
+            ``ro_sites`` is given for a protocol without the read-only
+            optimization.
     """
     try:
         builder = PROTOCOLS[name]
@@ -50,4 +62,11 @@ def build(name: str, n_sites: int) -> ProtocolSpec:
         raise InvalidProtocolError(
             f"unknown protocol {name!r}; known protocols: {known}"
         ) from None
+    if ro_sites:
+        if name not in RO_CAPABLE:
+            raise InvalidProtocolError(
+                f"{name!r} does not support read-only participants; "
+                f"supported: {', '.join(RO_CAPABLE)}"
+            )
+        return builder(n_sites, ro_sites=tuple(ro_sites))
     return builder(n_sites)

@@ -16,15 +16,27 @@ from repro.fsa.messages import EXTERNAL, Msg, fan_in, fan_out
 from repro.fsa.spec import ProtocolSpec
 from repro.protocols._shared import (
     COORDINATOR,
+    check_ro_sites,
     check_site_count,
     no_vote_combinations,
+    read_only_slave_automaton,
     slaves_of,
 )
 from repro.types import ProtocolClass, SiteId, Vote
 
 
-def _coordinator_automaton(slaves: list[SiteId], eager_abort: bool) -> SiteAutomaton:
-    """The coordinator FSA of slide 35: q -> w -> {a, p}, p -> c."""
+def _coordinator_automaton(
+    slaves: list[SiteId],
+    eager_abort: bool,
+    voters: list[SiteId],
+    read_only: list[SiteId],
+) -> SiteAutomaton:
+    """The coordinator FSA of slide 35: q -> w -> {a, p}, p -> c.
+
+    Read-only slaves answer the ``xact`` with ``ro`` and are pruned
+    from the prepare/ack round and both decision fan-outs.
+    """
+    ro_acks = fan_in("ro", read_only, COORDINATOR)
     transitions = [
         Transition(
             source="q",
@@ -36,39 +48,39 @@ def _coordinator_automaton(slaves: list[SiteId], eager_abort: bool) -> SiteAutom
         Transition(
             source="w",
             target="p",
-            reads=fan_in("yes", slaves, COORDINATOR),
-            writes=fan_out("prepare", COORDINATOR, slaves),
+            reads=fan_in("yes", voters, COORDINATOR) | ro_acks,
+            writes=fan_out("prepare", COORDINATOR, voters),
             vote=Vote.YES,
         ),
         # All slaves voted yes but the coordinator votes no: abort.
         Transition(
             source="w",
             target="a",
-            reads=fan_in("yes", slaves, COORDINATOR),
-            writes=fan_out("abort", COORDINATOR, slaves),
+            reads=fan_in("yes", voters, COORDINATOR) | ro_acks,
+            writes=fan_out("abort", COORDINATOR, voters),
             vote=Vote.NO,
         ),
         # Every slave acknowledged the prepare: commit.
         Transition(
             source="p",
             target="c",
-            reads=fan_in("ack", slaves, COORDINATOR),
-            writes=fan_out("commit", COORDINATOR, slaves),
+            reads=fan_in("ack", voters, COORDINATOR),
+            writes=fan_out("commit", COORDINATOR, voters),
         ),
     ]
     if eager_abort:
-        for slave in slaves:
+        for slave in voters:
             transitions.append(
                 Transition(
                     source="w",
                     target="a",
                     reads=frozenset({Msg("no", slave, COORDINATOR)}),
-                    writes=fan_out("abort", COORDINATOR, slaves),
+                    writes=fan_out("abort", COORDINATOR, voters),
                 )
             )
     else:
         # Property 4: read the full vote vector, abort on any no.
-        for vector in no_vote_combinations(slaves):
+        for vector in no_vote_combinations(voters):
             transitions.append(
                 Transition(
                     source="w",
@@ -76,8 +88,9 @@ def _coordinator_automaton(slaves: list[SiteId], eager_abort: bool) -> SiteAutom
                     reads=frozenset(
                         Msg(kind, slave, COORDINATOR)
                         for slave, kind in vector.items()
-                    ),
-                    writes=fan_out("abort", COORDINATOR, slaves),
+                    )
+                    | ro_acks,
+                    writes=fan_out("abort", COORDINATOR, voters),
                 )
             )
     return SiteAutomaton(
@@ -133,7 +146,9 @@ def _slave_automaton(site: SiteId) -> SiteAutomaton:
     )
 
 
-def central_three_phase(n_sites: int, eager_abort: bool = False) -> ProtocolSpec:
+def central_three_phase(
+    n_sites: int, eager_abort: bool = False, ro_sites: tuple = ()
+) -> ProtocolSpec:
     """Build the central-site 3PC spec for ``n_sites`` participants.
 
     Args:
@@ -142,6 +157,9 @@ def central_three_phase(n_sites: int, eager_abort: bool = False) -> ProtocolSpec
         eager_abort: Abort on the first ``no`` instead of collecting the
             full vote vector (loses synchronicity within one
             transition; see :mod:`repro.protocols.two_phase_central`).
+        ro_sites: Slaves running the read-only one-phase exit: they
+            answer the ``xact`` with ``ro`` and terminate, and the
+            coordinator prunes them from phases 2 and 3.
 
     Returns:
         A validated :class:`ProtocolSpec`.  Nonblocking: every site
@@ -150,13 +168,19 @@ def central_three_phase(n_sites: int, eager_abort: bool = False) -> ProtocolSpec
     """
     sites = check_site_count("central-site 3PC", n_sites)
     slaves = slaves_of(sites)
+    voters, read_only = check_ro_sites("central-site 3PC", slaves, ro_sites)
     automata: dict[SiteId, SiteAutomaton] = {
-        COORDINATOR: _coordinator_automaton(slaves, eager_abort)
+        COORDINATOR: _coordinator_automaton(slaves, eager_abort, voters, read_only)
     }
-    for site in slaves:
+    for site in voters:
         automata[site] = _slave_automaton(site)
+    for site in read_only:
+        automata[site] = read_only_slave_automaton(site)
+    ro_suffix = (
+        f", ro={{{','.join(str(s) for s in read_only)}}}" if read_only else ""
+    )
     return ProtocolSpec(
-        name=f"3PC (central-site, n={n_sites})",
+        name=f"3PC (central-site, n={n_sites}{ro_suffix})",
         protocol_class=ProtocolClass.CENTRAL_SITE,
         automata=automata,
         initial_messages=[Msg("request", EXTERNAL, COORDINATOR)],

@@ -26,15 +26,28 @@ from repro.fsa.messages import EXTERNAL, Msg, fan_in, fan_out
 from repro.fsa.spec import ProtocolSpec
 from repro.protocols._shared import (
     COORDINATOR,
+    check_ro_sites,
     check_site_count,
     no_vote_combinations,
+    read_only_slave_automaton,
     slaves_of,
 )
 from repro.types import ProtocolClass, SiteId, Vote
 
 
-def _coordinator_automaton(slaves: list[SiteId], eager_abort: bool) -> SiteAutomaton:
-    """The coordinator FSA: q -> w -> {a, c}."""
+def _coordinator_automaton(
+    slaves: list[SiteId],
+    eager_abort: bool,
+    voters: list[SiteId],
+    read_only: list[SiteId],
+) -> SiteAutomaton:
+    """The coordinator FSA: q -> w -> {a, c}.
+
+    Read-only slaves still receive the ``xact`` and their ``ro`` reply
+    completes phase 1, but they are pruned from every phase-2 fan-out:
+    a site with nothing at stake needs no outcome.
+    """
+    ro_acks = fan_in("ro", read_only, COORDINATOR)
     transitions = [
         Transition(
             source="q",
@@ -46,33 +59,33 @@ def _coordinator_automaton(slaves: list[SiteId], eager_abort: bool) -> SiteAutom
         Transition(
             source="w",
             target="c",
-            reads=fan_in("yes", slaves, COORDINATOR),
-            writes=fan_out("commit", COORDINATOR, slaves),
+            reads=fan_in("yes", voters, COORDINATOR) | ro_acks,
+            writes=fan_out("commit", COORDINATOR, voters),
             vote=Vote.YES,
         ),
         # All slaves voted yes but the coordinator votes no: abort.
         Transition(
             source="w",
             target="a",
-            reads=fan_in("yes", slaves, COORDINATOR),
-            writes=fan_out("abort", COORDINATOR, slaves),
+            reads=fan_in("yes", voters, COORDINATOR) | ro_acks,
+            writes=fan_out("abort", COORDINATOR, voters),
             vote=Vote.NO,
         ),
     ]
     if eager_abort:
         # Optimization: any slave no aborts without awaiting other votes.
-        for slave in slaves:
+        for slave in voters:
             transitions.append(
                 Transition(
                     source="w",
                     target="a",
                     reads=frozenset({Msg("no", slave, COORDINATOR)}),
-                    writes=fan_out("abort", COORDINATOR, slaves),
+                    writes=fan_out("abort", COORDINATOR, voters),
                 )
             )
     else:
         # Property 4: read the full vote vector, abort on any no.
-        for vector in no_vote_combinations(slaves):
+        for vector in no_vote_combinations(voters):
             transitions.append(
                 Transition(
                     source="w",
@@ -80,8 +93,9 @@ def _coordinator_automaton(slaves: list[SiteId], eager_abort: bool) -> SiteAutom
                     reads=frozenset(
                         Msg(kind, slave, COORDINATOR)
                         for slave, kind in vector.items()
-                    ),
-                    writes=fan_out("abort", COORDINATOR, slaves),
+                    )
+                    | ro_acks,
+                    writes=fan_out("abort", COORDINATOR, voters),
                 )
             )
     return SiteAutomaton(
@@ -131,7 +145,9 @@ def _slave_automaton(site: SiteId) -> SiteAutomaton:
     )
 
 
-def central_two_phase(n_sites: int, eager_abort: bool = False) -> ProtocolSpec:
+def central_two_phase(
+    n_sites: int, eager_abort: bool = False, ro_sites: tuple = ()
+) -> ProtocolSpec:
     """Build the central-site 2PC spec for ``n_sites`` participants.
 
     Args:
@@ -139,6 +155,9 @@ def central_two_phase(n_sites: int, eager_abort: bool = False) -> ProtocolSpec:
             (site 1); must be at least 2.
         eager_abort: Abort on the first ``no`` instead of collecting the
             full vote vector (see module docstring).
+        ro_sites: Slaves running the read-only one-phase exit: they
+            answer the ``xact`` with ``ro`` and terminate, and the
+            coordinator prunes them from the phase-2 fan-out.
 
     Returns:
         A validated :class:`ProtocolSpec`.  This protocol is *blocking*
@@ -148,13 +167,19 @@ def central_two_phase(n_sites: int, eager_abort: bool = False) -> ProtocolSpec:
     """
     sites = check_site_count("central-site 2PC", n_sites)
     slaves = slaves_of(sites)
+    voters, read_only = check_ro_sites("central-site 2PC", slaves, ro_sites)
     automata: dict[SiteId, SiteAutomaton] = {
-        COORDINATOR: _coordinator_automaton(slaves, eager_abort)
+        COORDINATOR: _coordinator_automaton(slaves, eager_abort, voters, read_only)
     }
-    for site in slaves:
+    for site in voters:
         automata[site] = _slave_automaton(site)
+    for site in read_only:
+        automata[site] = read_only_slave_automaton(site)
+    ro_suffix = (
+        f", ro={{{','.join(str(s) for s in read_only)}}}" if read_only else ""
+    )
     return ProtocolSpec(
-        name=f"2PC (central-site, n={n_sites})",
+        name=f"2PC (central-site, n={n_sites}{ro_suffix})",
         protocol_class=ProtocolClass.CENTRAL_SITE,
         automata=automata,
         initial_messages=[Msg("request", EXTERNAL, COORDINATOR)],

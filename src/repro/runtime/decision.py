@@ -68,6 +68,12 @@ class TerminationRule:
         for site in graph.sites:
             automaton = spec.automaton(site)
             for state in graph.reachable_local_states(site):
+                # A read-only exit state has no termination decision:
+                # the site left the protocol without an outcome and is
+                # never consulted by (or elected into) the termination
+                # protocol.
+                if state in automaton.read_only_states:
+                    continue
                 # Final states decide themselves: commit/abort are
                 # irreversible, so a final backup re-announces its
                 # outcome (slide 39 lets it skip phase 1 too).

@@ -46,6 +46,14 @@ class Engine:
         on_final: Callback invoked with (outcome, via) when the site
             enters a final state.
         on_trace: Callback for trace lines ``(category, detail, data)``.
+        presumption: Commit presumption governing which log records are
+            forced: ``"none"`` (every record, the classic write-ahead
+            discipline), ``"abort"`` (presumed abort: abort-side
+            records are logged lazily), or ``"commit"`` (presumed
+            commit: the coordinator forces a membership record up
+            front, participants log decisions lazily).
+        membership: Voting participants to pin in the presumed-commit
+            membership record; supplied only to the coordinator.
     """
 
     def __init__(
@@ -57,6 +65,8 @@ class Engine:
         now: Callable[[], float],
         on_final: Callable[[Outcome, str], None],
         on_trace: Callable[..., None],
+        presumption: str = "none",
+        membership: tuple[SiteId, ...] = (),
     ) -> None:
         self.automaton = automaton
         self.site: SiteId = automaton.site
@@ -66,6 +76,8 @@ class Engine:
         self._now = now
         self._on_final = on_final
         self._trace = on_trace
+        self.presumption = presumption
+        self._membership = membership
         self.state = automaton.initial
         self.buffer: set[Msg] = set()
         # Compiled fast path: flat tuple-indexed transition tables with
@@ -206,20 +218,55 @@ class Engine:
         """
         self.transitions_fired += 1
 
-        # Write-ahead: force the vote and/or decision before any send.
-        if transition.vote is not None and self.log.vote() is None:
-            self.log.write_vote(transition.vote, self._now())
+        # Presumed commit: the coordinator pins the participant set
+        # durably before the first message of the transaction leaves —
+        # a later no-record query answer of "commit" is only sound for
+        # transactions that provably never started.
+        if (
+            self._membership
+            and self.presumption == "commit"
+            and self.state == self.automaton.initial
+            and self.log.membership() is None
+        ):
+            self.log.write_membership(self._membership, self._now())
+            self._trace(
+                "engine.membership",
+                f"membership {sorted(self._membership)} forced "
+                "(presumed commit)",
+                members=sorted(self._membership),
+            )
+
+        # Write-ahead: log the vote and/or decision before any send;
+        # the presumption decides which records need the force.  A
+        # read-only vote is never logged — the one-phase exit's whole
+        # point is zero DT-log writes at the read-only site.
+        if (
+            transition.vote is not None
+            and transition.vote is not Vote.READ_ONLY
+            and self.log.vote() is None
+        ):
+            self.log.write_vote(
+                transition.vote,
+                self._now(),
+                forced=self._vote_forced(transition.vote),
+            )
         if self._compiled is not None:
             entering_final = transition.target_final
         else:
             entering_final = self.automaton.is_final(transition.target)
-        if entering_final:
+        entering_read_only = transition.target in self.automaton.read_only_states
+        if entering_final and not entering_read_only:
             outcome = (
                 Outcome.COMMIT
                 if transition.target in self.automaton.commit_states
                 else Outcome.ABORT
             )
-            self.log.write_decision(outcome, self._now(), via="protocol")
+            self.log.write_decision(
+                outcome,
+                self._now(),
+                via="protocol",
+                forced=self._decision_forced(outcome),
+            )
 
         partial = self._partial_crash
         crash_now = (
@@ -259,9 +306,53 @@ class Engine:
         )
         self._advance_phase(previous)
         if entering_final:
-            self._record_decision("protocol")
-            self._on_final(self.outcome, "protocol")
+            if entering_read_only:
+                # The one-phase exit: terminal, but no outcome and no
+                # DT record — the site simply leaves the protocol.
+                self._trace(
+                    "txn.readonly_exit",
+                    "read-only exit after phase 1",
+                    state=self.state,
+                )
+                self._on_final(Outcome.UNDECIDED, "read-only")
+            else:
+                self._record_decision("protocol")
+                self._on_final(self.outcome, "protocol")
         return True
+
+    def _vote_forced(self, vote: Vote) -> bool:
+        """Whether the presumption requires forcing this vote record.
+
+        Yes votes are always forced — the in-doubt protocol depends on
+        a durable yes.  A no vote is the abort side's first record:
+        under presumed abort losing it merely re-derives the
+        presumption, so the force is skipped; under presumed commit a
+        lost no would be mis-presumed as commit, so it stays forced.
+        """
+        if vote is Vote.NO:
+            return self.presumption != "abort"
+        return True
+
+    def _decision_forced(self, outcome: Outcome) -> bool:
+        """Whether the presumption requires forcing this decision record.
+
+        With no presumption every decision is forced.  Under either
+        presumption the coordinator's commit stays forced — it is the
+        cluster-durable authority every in-doubt participant resolves
+        against (this protocol family sends no decision acks, so the
+        coordinator never forgets a decision and participants may log
+        theirs lazily).  Abort decisions are lazy everywhere: presumed
+        abort re-derives them from the absence of records, and presumed
+        commit re-derives them from a membership record with no
+        decision (coordinator) or a forced no vote / in-doubt query
+        (participants).
+        """
+        if self.presumption == "none":
+            return True
+        return (
+            outcome is Outcome.COMMIT
+            and self.automaton.role == "coordinator"
+        )
 
     def _advance_phase(self, previous: str) -> None:
         """Emit the ``phase.exit``/``phase.enter`` pair for a state change.

@@ -53,6 +53,8 @@ class SiteReport:
         transitions_fired: FSA transitions executed by the site.
         vote: The vote the site force-logged before crashing or
             deciding (``None`` when it never voted).
+        read_only: Whether the site exited the protocol read-only after
+            phase 1 (no outcome, no log records — by design).
     """
 
     site: SiteId
@@ -64,6 +66,7 @@ class SiteReport:
     alive: bool
     transitions_fired: int
     vote: Optional[Vote] = None
+    read_only: bool = False
 
 
 @dataclasses.dataclass
@@ -111,11 +114,17 @@ class RunResult:
 
     @property
     def undecided_operational(self) -> list[SiteId]:
-        """Operational sites that never reached a decision."""
+        """Operational sites that never reached a decision.
+
+        Read-only participants are excluded: ending without an outcome
+        is their normal exit, not a liveness failure.
+        """
         return sorted(
             site
             for site, report in self.reports.items()
-            if report.alive and not report.outcome.is_final
+            if report.alive
+            and not report.outcome.is_final
+            and not report.read_only
         )
 
     def decision_times(self) -> dict[SiteId, SimTime]:
@@ -184,6 +193,7 @@ class CommitRun:
         termination_enabled: bool = True,
         termination_mode: str = "standard",
         total_failure_recovery: bool = False,
+        presumption: str = "none",
         elect: Optional[ElectionStrategy] = None,
         rule: Optional[TerminationRule] = None,
         requery_interval: float = 5.0,
@@ -205,6 +215,7 @@ class CommitRun:
         self.termination_enabled = termination_enabled
         self.termination_mode = termination_mode
         self.total_failure_recovery = total_failure_recovery
+        self.presumption = presumption
         self.elect = elect
         # Building a TerminationRule costs a state-graph enumeration, so
         # it is skipped when the termination protocol is disabled (e.g.
@@ -279,6 +290,7 @@ class CommitRun:
                 termination_enabled=self.termination_enabled,
                 termination_mode=self.termination_mode,
                 total_failure_recovery=self.total_failure_recovery,
+                presumption=self.presumption,
                 requery_interval=self.requery_interval,
                 on_outcome=on_outcome,
                 on_blocked=on_blocked,
@@ -323,6 +335,7 @@ class CommitRun:
                 alive=site.alive,
                 transitions_fired=site.engine.transitions_fired,
                 vote=vote_record.vote if vote_record is not None else None,
+                read_only=site_id in self.spec.read_only_sites,
             )
         result = RunResult(
             protocol=self.spec.name,

@@ -19,7 +19,7 @@ import dataclasses
 from typing import Iterable, Optional, Union
 
 from repro.errors import WALError
-from repro.types import Outcome, SimTime, Vote
+from repro.types import Outcome, SimTime, SiteId, Vote
 
 
 @dataclasses.dataclass(frozen=True)
@@ -47,7 +47,26 @@ class DecisionRecord:
     via: str
 
 
-LogRecord = Union[VoteRecord, DecisionRecord]
+@dataclasses.dataclass(frozen=True)
+class MembershipRecord:
+    """Presumed commit's forced membership record.
+
+    Force-written by the coordinator before any ``xact`` leaves, it
+    pins the set of voting participants: a recovering coordinator that
+    finds a membership record but no decision knows the transaction
+    was in flight and must abort it *explicitly* (the commit
+    presumption only covers transactions it has no record of).
+
+    Attributes:
+        members: The voting participants of the transaction.
+        at: Virtual time of the force-write.
+    """
+
+    members: tuple[SiteId, ...]
+    at: SimTime
+
+
+LogRecord = Union[VoteRecord, DecisionRecord, MembershipRecord]
 
 
 class DTLog:
@@ -61,8 +80,13 @@ class DTLog:
         """All records in append order."""
         return tuple(self._records)
 
-    def write_vote(self, vote: Vote, at: SimTime) -> None:
-        """Force a vote record.
+    def write_vote(self, vote: Vote, at: SimTime, forced: bool = True) -> None:
+        """Log a vote record (forced by default).
+
+        ``forced=False`` marks a record a commit presumption makes
+        redundant (e.g. a no vote under presumed abort): durable
+        implementations skip the fsync for it.  The in-memory log
+        keeps the record either way.
 
         Raises:
             WALError: On a second vote or a vote after the decision —
@@ -74,12 +98,16 @@ class DTLog:
             raise WALError("cannot vote after a decision is logged")
         self._records.append(VoteRecord(vote=vote, at=at))
 
-    def write_decision(self, outcome: Outcome, at: SimTime, via: str) -> None:
-        """Force a decision record.
+    def write_decision(
+        self, outcome: Outcome, at: SimTime, via: str, forced: bool = True
+    ) -> None:
+        """Log a decision record (forced by default).
 
         Re-logging the *same* outcome is a harmless no-op (a recovering
         site may re-learn its own decision); logging a conflicting
         outcome raises, since commit and abort are irreversible.
+        ``forced=False`` marks a presumption-redundant record (see
+        :meth:`write_vote`).
 
         Raises:
             WALError: If a different outcome was already logged, or the
@@ -96,6 +124,21 @@ class DTLog:
                 )
             return
         self._records.append(DecisionRecord(outcome=outcome, at=at, via=via))
+
+    def write_membership(self, members: Iterable[SiteId], at: SimTime) -> None:
+        """Force the presumed-commit membership record.
+
+        Raises:
+            WALError: On a second membership record, or one after the
+                decision (it must precede the ``xact`` fan-out).
+        """
+        if self.membership() is not None:
+            raise WALError("membership already logged")
+        if self.decision() is not None:
+            raise WALError("cannot log membership after a decision")
+        self._records.append(
+            MembershipRecord(members=tuple(members), at=at)
+        )
 
     @classmethod
     def replay(cls, records: Iterable[LogRecord]) -> "DTLog":
@@ -126,6 +169,8 @@ class DTLog:
                 log.write_vote(record.vote, record.at)
             elif isinstance(record, DecisionRecord):
                 log.write_decision(record.outcome, record.at, via=record.via)
+            elif isinstance(record, MembershipRecord):
+                log.write_membership(record.members, record.at)
             else:
                 raise WALError(f"unknown log record {record!r}")
         return log
@@ -134,6 +179,13 @@ class DTLog:
         """The vote record, if one was logged."""
         for record in self._records:
             if isinstance(record, VoteRecord):
+                return record
+        return None
+
+    def membership(self) -> Optional[MembershipRecord]:
+        """The membership record, if one was logged."""
+        for record in self._records:
+            if isinstance(record, MembershipRecord):
                 return record
         return None
 

@@ -57,10 +57,12 @@ class RecoveryController:
         site: "ProtocolHost",
         requery_interval: float = 5.0,
         total_failure_recovery: bool = False,
+        presumption: str = "none",
     ) -> None:
         self._site = site
         self.requery_interval = requery_interval
         self.total_failure_recovery = total_failure_recovery
+        self.presumption = presumption
         self.in_doubt = False
         self.queries_sent = 0
         self._round_replies: dict[SiteId, "OutcomeReply"] = {}
@@ -101,6 +103,20 @@ class RecoveryController:
     def on_restart(self) -> None:
         """Run the recovery decision procedure after a restart."""
         self._phase_enter()
+        automaton = self._site.spec.automaton(self._site.site)
+        if automaton.read_only_states and not (
+            automaton.commit_states or automaton.abort_states
+        ):
+            # A read-only participant has nothing to recover: it holds
+            # no locks, made no updates, and logged no records — either
+            # global outcome is acceptable to it.
+            self._site.trace(
+                "recovery.read_only",
+                "read-only participant; nothing to recover",
+                site=self._site.site,
+            )
+            self._phase_exit("resolved as read-only")
+            return
         log = self._site.log
         decision = log.decision()
         if decision is not None:
@@ -115,6 +131,20 @@ class RecoveryController:
             return
 
         vote = log.vote()
+        if log.membership() is not None and vote is None:
+            # Presumed commit: a membership record without a decision
+            # means the transaction was in flight when the coordinator
+            # crashed.  The commit presumption only covers transactions
+            # with *no* record at all, so an in-flight one must be
+            # aborted explicitly.
+            self._site.engine.force_outcome(Outcome.ABORT, via="recovery")
+            self._site.trace(
+                "recovery.presumed",
+                "membership record without decision; aborting explicitly",
+                site=self._site.site,
+            )
+            self._phase_exit("resolved by explicit abort of in-flight txn")
+            return
         can_unilaterally_abort = any(
             t.vote is Vote.NO
             for t in self._site.spec.automaton(self._site.site).transitions
@@ -156,7 +186,9 @@ class RecoveryController:
         peers = [
             s
             for s in self._site.network.operational_sites()
-            if s != self._site.site and s in self._site.spec.automata
+            if s != self._site.site
+            and s in self._site.spec.automata
+            and s not in self._site.spec.read_only_sites
         ]
         for peer in peers:
             self.queries_sent += 1

@@ -81,6 +81,7 @@ class CommitSite(Process):
         termination_enabled: bool = True,
         termination_mode: str = "standard",
         total_failure_recovery: bool = False,
+        presumption: str = "none",
         requery_interval: float = 5.0,
         on_outcome: Optional[OutcomeListener] = None,
         on_blocked: Optional[Callable[[SiteId], None]] = None,
@@ -92,6 +93,7 @@ class CommitSite(Process):
         self.log = DTLog()
         self.vote_policy = vote_policy
         self.termination_enabled = termination_enabled
+        self.presumption = presumption
         self.ever_crashed = False
         self.known_failed: set[SiteId] = set()
         self._on_outcome = on_outcome
@@ -108,6 +110,7 @@ class CommitSite(Process):
             self,
             requery_interval=requery_interval,
             total_failure_recovery=total_failure_recovery,
+            presumption=presumption,
         )
 
         network.attach(site_id, self)
@@ -119,6 +122,13 @@ class CommitSite(Process):
     # ------------------------------------------------------------------
 
     def _fresh_engine(self) -> Engine:
+        membership: tuple[SiteId, ...] = ()
+        if self.site == self.spec.coordinator:
+            membership = tuple(
+                site
+                for site in self.spec.sites
+                if site != self.site and site not in self.spec.read_only_sites
+            )
         return Engine(
             automaton=self.spec.automaton(self.site),
             vote_policy=self.vote_policy,
@@ -129,6 +139,8 @@ class CommitSite(Process):
             on_trace=lambda category, detail, **data: self.trace(
                 category, detail, site=self.site, **data
             ),
+            presumption=self.presumption,
+            membership=membership,
         )
 
     # ------------------------------------------------------------------
@@ -213,7 +225,13 @@ class CommitSite(Process):
         self.trace(
             "site.peer_failed", f"notified of failure of site {failed}", site=self.site
         )
-        if self.termination_enabled and not self.ever_crashed:
+        if (
+            self.termination_enabled
+            and not self.ever_crashed
+            and self.site not in self.spec.read_only_sites
+        ):
+            # Read-only participants left the protocol at phase 1 and
+            # take no part in termination.
             self.termination.on_peer_failure(failed)
 
     def _peer_recovered(self, peer: SiteId) -> None:
@@ -232,12 +250,15 @@ class CommitSite(Process):
         Derived from the reliable failure notifications received so
         far; the site itself is included while alive.  Recovered sites
         stay excluded — they are clients of the recovery protocol, not
-        termination participants.
+        termination participants — and so are read-only participants,
+        which exit at phase 1 without an outcome.
         """
         return sorted(
             site
             for site in self.spec.sites
-            if site not in self.known_failed and (site != self.site or self.alive)
+            if site not in self.known_failed
+            and site not in self.spec.read_only_sites
+            and (site != self.site or self.alive)
         )
 
     # ------------------------------------------------------------------

@@ -50,13 +50,19 @@ class Vote(enum.Enum):
 
     A transition annotated ``YES`` represents the site agreeing to
     commit ("yes to commit"); ``NO`` represents a unilateral abort vote.
+    ``READ_ONLY`` is the one-phase exit of Gray & Lamport: the site has
+    no updates at stake, so it votes "read-only" and leaves the
+    protocol — either outcome is acceptable to it, and it logs nothing.
     Vote annotations feed the committable-state analysis: a local state
     is *committable* when its occupancy implies every site has taken a
-    ``YES``-annotated transition (Skeen 1981, "Committable States").
+    ``YES``-annotated transition (Skeen 1981, "Committable States"); a
+    READ_ONLY vote counts as consent, since a read-only site never
+    vetoes the commit.
     """
 
     YES = "yes"
     NO = "no"
+    READ_ONLY = "ro"
 
 
 class ProtocolClass(enum.Enum):
@@ -73,6 +79,9 @@ class StateKind(enum.Enum):
     INTERMEDIATE = "intermediate"
     COMMIT = "commit"
     ABORT = "abort"
+    #: Terminal state of a read-only participant: the site has left the
+    #: protocol after phase 1 without adopting either outcome.
+    READ_ONLY = "read-only"
 
     @property
     def is_final(self) -> bool:

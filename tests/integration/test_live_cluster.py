@@ -420,3 +420,180 @@ def test_soak_canonical_stitch_byte_stable_under_wan_chaos(tmp_path):
         assert result.ok
         hashes.append(result.stitch_hash)
     assert hashes[0] == hashes[1]
+
+
+# ----------------------------------------------------------------------
+# Commit presumptions and the read-only one-phase exit
+# ----------------------------------------------------------------------
+
+
+def test_presumption_none_is_byte_identical_to_default(tmp_path):
+    """The differential contract: explicitly requesting --presumption
+    none (and the default asyncio loop) changes nothing — the canonical
+    stitch is byte-identical to a config that never mentions the new
+    knobs, and no forced write was elided."""
+    outputs = []
+    for run, extra in (("default", {}), ("explicit", {"presumption": "none", "loop": "asyncio"})):
+        config = ClusterConfig(
+            spec_name="3pc-central",
+            n_sites=3,
+            data_dir=tmp_path / run,
+            **extra,
+        )
+        harness = ClusterHarness(config)
+        try:
+            harness.start()
+            assert harness.begin(1)["outcome"] == "commit"
+            harness.wait_outcomes(
+                1,
+                lambda views: all(
+                    v is not None and v["outcome"] == "commit"
+                    for v in views.values()
+                ),
+                10.0,
+                "all sites committing",
+            )
+            skipped = sum(
+                harness.site_metrics(s)["live"]["forced_writes_skipped"]
+                for s in harness.ports
+            )
+            assert skipped == 0
+        finally:
+            harness.stop()
+        outputs.append(
+            stitch_data_dir(config.data_dir, canonical=True).trace.to_jsonl()
+        )
+    assert outputs[0] == outputs[1]
+
+
+@pytest.mark.parametrize("presumption", ["abort", "commit"])
+def test_presumptions_cut_forced_writes_on_the_commit_path(
+    tmp_path, presumption
+):
+    """Either presumption must strictly reduce forced writes for the
+    same committed workload (participant decisions go lazy), while the
+    audit stays clean."""
+    counts = {}
+    for name in ("none", presumption):
+        config = ClusterConfig(
+            spec_name="2pc-central",
+            n_sites=3,
+            data_dir=tmp_path / name,
+            presumption=name,
+        )
+        harness = ClusterHarness(config)
+        try:
+            harness.start()
+            report = harness.bench(8)
+            counts[name] = (report["forced_writes"], report["forced_writes_skipped"])
+        finally:
+            harness.stop()
+        audit = audit_data_dir(config.data_dir)
+        assert audit.ok(), audit.violations
+    assert counts["none"][1] == 0
+    assert counts[presumption][1] > 0
+    assert counts[presumption][0] < counts["none"][0]
+
+
+def test_read_only_site_exits_phase1_with_zero_log_writes(tmp_path):
+    """A READ-ONLY voter leaves after phase 1: the voters commit, the
+    read-only site's DT log holds nothing but boot records, and it is
+    pruned from the phase-2/3 fan-out."""
+    from repro.live.dtlog import read_log_file
+
+    config = ClusterConfig(
+        spec_name="3pc-central",
+        n_sites=3,
+        data_dir=tmp_path / "ro",
+        ro_sites=(SiteId(3),),
+    )
+    harness = ClusterHarness(config)
+    try:
+        harness.start()
+        reply = harness.begin(1)
+        assert reply["outcome"] == "commit"
+        views = harness.wait_outcomes(
+            1,
+            lambda views: all(
+                views[s] is not None and views[s]["outcome"] == "commit"
+                for s in (SiteId(1), SiteId(2))
+            ),
+            10.0,
+            "voters committing",
+        )
+        # The read-only site is done at phase 1 — no outcome to reach.
+        assert views[SiteId(3)] is None or views[SiteId(3)]["outcome"] != "commit"
+    finally:
+        harness.stop()
+    bodies, torn = read_log_file(config.data_dir / "site-3.dtlog")
+    assert not torn
+    assert [b["r"] for b in bodies] == ["boot"]
+    audit = audit_data_dir(config.data_dir)
+    assert audit.ok(), audit.violations
+
+
+def test_kill9_read_only_site_after_phase1_exit(tmp_path):
+    """kill -9 the read-only site once it has left the protocol: the
+    voters are unaffected, the restarted site has nothing to recover,
+    and the audit stays clean."""
+    from repro.live.dtlog import read_log_file
+
+    config = ClusterConfig(
+        spec_name="2pc-central",
+        n_sites=3,
+        data_dir=tmp_path / "ro-kill",
+        ro_sites=(SiteId(3),),
+        presumption="abort",
+    )
+    harness = ClusterHarness(config)
+    try:
+        harness.start()
+        assert harness.begin(1)["outcome"] == "commit"
+        harness.kill(SiteId(3))
+        harness.spawn(SiteId(3))
+        harness.wait_all_ready()
+        # The cluster keeps committing with the read-only site reborn.
+        assert harness.begin(2)["outcome"] == "commit"
+        views = harness.statuses(2)
+        assert views[SiteId(3)] is not None
+        assert views[SiteId(3)]["boot"] == 2
+    finally:
+        harness.stop()
+    bodies, _ = read_log_file(config.data_dir / "site-3.dtlog")
+    assert [b["r"] for b in bodies] == ["boot", "boot"]
+    audit = audit_data_dir(config.data_dir)
+    assert audit.ok(), audit.violations
+
+
+def test_kill9_presumed_commit_coordinator_before_decision(tmp_path):
+    """The presumed-commit danger window, live: the coordinator dies
+    after forcing the membership record but before any decision.  Its
+    recovery must abort *explicitly* (membership + no vote), never
+    presume commit, and the cluster must agree."""
+    from repro.live.dtlog import read_log_file
+
+    config = ClusterConfig(
+        spec_name="2pc-central",
+        n_sites=3,
+        data_dir=tmp_path / "pc-kill",
+        presumption="commit",
+    )
+    harness = ClusterHarness(config)
+    try:
+        result = kill_coordinator_scenario(harness)
+        assert set(result.final_outcomes.values()) == {"abort"}
+        assert result.coordinator_boot == 2
+    finally:
+        harness.stop()
+    bodies, _ = read_log_file(config.data_dir / "site-1.dtlog")
+    kinds = [b["r"] for b in bodies if b["r"] != "boot"]
+    # The membership record made it to disk before the kill; the
+    # explicit abort followed on recovery.
+    assert kinds[0] == "membership"
+    assert ("decision", "abort") in [
+        (b["r"], b.get("outcome")) for b in bodies
+    ]
+    trace_text = (config.data_dir / "site-1.trace.jsonl").read_text()
+    assert "recovery.presumed" in trace_text
+    audit = audit_data_dir(config.data_dir)
+    assert audit.ok(), audit.violations

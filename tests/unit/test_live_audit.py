@@ -298,3 +298,54 @@ class TestAuditCli:
         )
         assert code == EXIT_OK
         capsys.readouterr()
+
+
+class TestMembershipRecords:
+    def test_membership_records_are_audit_neutral(self, tmp_path):
+        from repro.runtime.log import MembershipRecord
+        from repro.types import SiteId
+
+        _write_log(
+            tmp_path,
+            1,
+            [
+                (1, MembershipRecord(members=(SiteId(2), SiteId(3)), at=0.05)),
+                (1, _vote("yes")),
+                (1, _decision("commit")),
+            ],
+        )
+        for site in (2, 3):
+            _write_log(
+                tmp_path, site, [(1, _vote("yes")), (1, _decision("commit"))]
+            )
+        report = audit_data_dir(tmp_path)
+        assert report.ok()
+        assert report.txns == 1
+
+
+class TestTraceDropNote:
+    def _metrics(self, data_dir: Path, site: int, dropped: int) -> None:
+        (data_dir / f"site-{site}.metrics.json").write_text(
+            json.dumps({"live": {"site": site, "trace_dropped": dropped}})
+        )
+
+    def test_dropped_traces_noted(self, tmp_path):
+        _clean_cluster(tmp_path)
+        self._metrics(tmp_path, 1, dropped=7)
+        self._metrics(tmp_path, 2, dropped=0)
+        report = audit_data_dir(tmp_path)
+        assert report.ok()
+        notes = [n for n in report.notes if "trace cap" in n]
+        assert len(notes) == 1 and "site 1" in notes[0] and "7" in notes[0]
+
+    def test_no_note_without_drops(self, tmp_path):
+        _clean_cluster(tmp_path)
+        self._metrics(tmp_path, 1, dropped=0)
+        report = audit_data_dir(tmp_path)
+        assert all("trace cap" not in note for note in report.notes)
+
+    def test_torn_metrics_snapshot_ignored(self, tmp_path):
+        _clean_cluster(tmp_path)
+        (tmp_path / "site-1.metrics.json").write_text("{not json")
+        report = audit_data_dir(tmp_path)
+        assert report.ok()

@@ -293,3 +293,63 @@ class TestDurableDTLog:
         assert DurableDTLog(reborn, txn=1).vote().vote is Vote.YES
         assert DurableDTLog(reborn, txn=2).vote().vote is Vote.NO
         reborn.close()
+
+
+class TestPresumptionForcing:
+    def test_lazy_appends_counted_not_fsynced(self, log_path):
+        fsyncs = []
+        store = SiteLogStore(log_path, fsync=fsyncs.append)
+        after_boot = len(fsyncs)
+        log = DurableDTLog(store, txn=1)
+        log.write_vote(Vote.NO, at=1.0, forced=False)
+        log.write_decision(Outcome.ABORT, at=2.0, via="protocol", forced=False)
+        assert len(fsyncs) == after_boot
+        assert store.forced_writes_skipped == 2
+        store.close()
+
+    def test_last_forced_lsn_tracks_forced_appends_only(self, log_path):
+        store = SiteLogStore(log_path)
+        log = DurableDTLog(store, txn=1)
+        log.write_vote(Vote.YES, at=1.0, forced=True)
+        watermark = store.last_forced_lsn
+        assert watermark == store.pending_lsn
+        log.write_decision(Outcome.COMMIT, at=2.0, via="protocol", forced=False)
+        # The lazy decision grew the pending log but not the forced
+        # watermark — a send barrier on it must not wait for an fsync
+        # nobody asked for.
+        assert store.pending_lsn > store.last_forced_lsn == watermark
+        store.close()
+
+    def test_lazy_records_survive_clean_shutdown(self, log_path):
+        store = SiteLogStore(log_path)
+        log = DurableDTLog(store, txn=1)
+        log.write_vote(Vote.NO, at=1.0, forced=False)
+        log.write_decision(Outcome.ABORT, at=2.0, via="protocol", forced=False)
+        store.close()
+        reborn = SiteLogStore(log_path)
+        assert [type(r).__name__ for r in reborn.records_for(1)] == [
+            "VoteRecord",
+            "DecisionRecord",
+        ]
+        reborn.close()
+
+    def test_membership_round_trips_and_is_always_forced(self, log_path):
+        from repro.runtime.log import MembershipRecord
+        from repro.types import SiteId
+
+        fsyncs = []
+        store = SiteLogStore(log_path, fsync=fsyncs.append)
+        after_boot = len(fsyncs)
+        log = DurableDTLog(store, txn=1)
+        log.write_membership((SiteId(2), SiteId(3)), at=0.5)
+        assert len(fsyncs) == after_boot + 1
+        store.close()
+
+        reborn = SiteLogStore(log_path)
+        replayed = DurableDTLog(reborn, txn=1)
+        assert replayed.membership() == MembershipRecord(
+            members=(SiteId(2), SiteId(3)), at=0.5
+        )
+        with pytest.raises(WALError):
+            replayed.write_membership((SiteId(2),), at=5.0)
+        reborn.close()

@@ -192,6 +192,7 @@ class TestFrameDecoder:
 
 PAYLOADS = [
     ProtoMsg("prepare"),
+    ProtoMsg("ro"),  # the read-only one-phase exit's phase-1 reply
     TermMoveTo(SiteId(2), "p", 3),
     TermAck(3),
     TermDecision(Outcome.COMMIT, 1),
